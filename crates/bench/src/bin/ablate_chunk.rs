@@ -1,0 +1,57 @@
+//! Ablation: eviction chunk size (the paper fixes 32 tokens, §4.3.1).
+//!
+//! Smaller chunks evict more precisely but make more decisions and more,
+//! smaller PCIe transfers; larger chunks waste cache space and recompute
+//! more than necessary. OPT-13B on ShareGPT at a rate with cache
+//! pressure.
+
+use pensieve_bench::{print_table, run_sweep, write_json, PointSpec};
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+
+fn main() {
+    println!("Ablation: eviction chunk size, OPT-13B, ShareGPT @ 6 req/s\n");
+    let mut specs = Vec::new();
+    for chunk in [8usize, 16, 32, 64, 128, 256] {
+        let mut engine = EngineConfig::pensieve();
+        engine.chunk_tokens = chunk;
+        engine.name = format!("chunk={chunk}");
+        specs.push(PointSpec {
+            engine,
+            model: ModelConfig::opt_13b(),
+            hardware: HardwareSpec::azure_nc_a100(1),
+            dataset: DatasetSpec::sharegpt(),
+            request_rate: 6.0,
+            think_time: 60.0,
+            seed: 47,
+            system_prompt_tokens: 0,
+        });
+    }
+    let points = run_sweep(specs);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.system.clone(),
+                format!("{:.2}", p.summary.throughput_rps),
+                format!("{:.1}", p.summary.p90_normalized * 1e3),
+                format!("{:.1}%", p.cache.hit_rate * 100.0),
+                p.cache.recomputed_tokens.to_string(),
+                p.cache.swapped_out_tokens.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "config",
+            "tp (req/s)",
+            "p90 norm (ms/tok)",
+            "hit rate",
+            "recomputed",
+            "swapped out",
+        ],
+        &rows,
+    );
+    write_json("ablate_chunk", &points);
+}

@@ -1,0 +1,61 @@
+//! Ablation: Sarathi-style chunked prefill on top of Pensieve.
+//!
+//! Pensieve already shrinks prefills by serving history from cache, but
+//! fresh conversations still bring multi-thousand-token prompts that
+//! stall concurrent decodes for an iteration. Chunking bounds the
+//! per-iteration prefill slice; this sweep quantifies the decode-latency
+//! benefit and the TTFT cost.
+
+use pensieve_bench::{print_table, run_sweep, write_json, PointSpec};
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+
+fn main() {
+    println!("Ablation: chunked prefill, Llama 2-13B, ShareGPT\n");
+    let mut specs = Vec::new();
+    let mut engines = vec![EngineConfig::pensieve()];
+    for chunk in [256usize, 512, 1024, 2048] {
+        engines.push(EngineConfig::pensieve_chunked_prefill(chunk));
+    }
+    for engine in engines {
+        for rate in [4.0f64, 8.0, 12.0] {
+            specs.push(PointSpec {
+                engine: engine.clone(),
+                model: ModelConfig::llama2_13b(),
+                hardware: HardwareSpec::azure_nc_a100(1),
+                dataset: DatasetSpec::sharegpt(),
+                request_rate: rate,
+                think_time: 60.0,
+                seed: 53,
+                system_prompt_tokens: 0,
+            });
+        }
+    }
+    let points = run_sweep(specs);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.system.clone(),
+                format!("{:.1}", p.request_rate),
+                format!("{:.2}", p.summary.throughput_rps),
+                format!("{:.1}", p.summary.p50_normalized * 1e3),
+                format!("{:.1}", p.summary.p90_normalized * 1e3),
+                format!("{:.1}", p.summary.mean_ttft * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "config",
+            "offered req/s",
+            "tp (req/s)",
+            "p50 norm (ms/tok)",
+            "p90 norm (ms/tok)",
+            "mean ttft (ms)",
+        ],
+        &rows,
+    );
+    write_json("ablate_chunked_prefill", &points);
+}

@@ -1,0 +1,69 @@
+//! Ablation: eviction shape — Pensieve vs the Table-3 alternatives.
+//!
+//! Compares Pensieve's retention-value chunks against classic LRU chunks,
+//! CachedAttention-style whole-conversation eviction, and SGLang-style
+//! trailing-end eviction, all inside the same engine (only the policy
+//! differs). OPT-13B on ShareGPT.
+
+use pensieve_bench::{print_table, run_sweep, write_json, PointSpec};
+use pensieve_core::config::PolicyKind;
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+
+fn main() {
+    println!("Ablation: eviction granularity/location (Table 3 shapes), OPT-13B, ShareGPT\n");
+    let policies = [
+        (PolicyKind::RetentionValue, "retention-value (Pensieve)"),
+        (PolicyKind::Lru, "LRU chunks"),
+        (
+            PolicyKind::WholeConversation,
+            "whole-conversation (CachedAttention)",
+        ),
+        (PolicyKind::TrailingEnd, "trailing-end (SGLang/RAGCache)"),
+    ];
+    let mut specs = Vec::new();
+    for (policy, name) in policies {
+        for rate in [4.0f64, 6.0, 8.0] {
+            let mut engine = EngineConfig::pensieve();
+            engine.policy = policy;
+            engine.name = name.to_owned();
+            specs.push(PointSpec {
+                engine,
+                model: ModelConfig::opt_13b(),
+                hardware: HardwareSpec::azure_nc_a100(1),
+                dataset: DatasetSpec::sharegpt(),
+                request_rate: rate,
+                think_time: 60.0,
+                seed: 49,
+                system_prompt_tokens: 0,
+            });
+        }
+    }
+    let points = run_sweep(specs);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.system.clone(),
+                format!("{:.1}", p.request_rate),
+                format!("{:.2}", p.summary.throughput_rps),
+                format!("{:.1}", p.summary.p90_normalized * 1e3),
+                format!("{:.1}%", p.cache.cpu_hit_rate * 100.0),
+                p.cache.recomputed_tokens.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "policy",
+            "offered req/s",
+            "tp (req/s)",
+            "p90 norm (ms/tok)",
+            "cpu hit rate",
+            "recomputed",
+        ],
+        &rows,
+    );
+    write_json("ablate_eviction", &points);
+}

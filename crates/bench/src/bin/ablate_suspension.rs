@@ -1,0 +1,97 @@
+//! Ablation: suspension victim selection under GPU memory pressure.
+//!
+//! §4.3.5 suspends requests in descending arrival order (newest first).
+//! This sweep compares that choice against oldest-first and
+//! largest-context-first on a memory-starved configuration (8 GB KV
+//! budget instead of 40 GB) where decode growth regularly outruns the
+//! cache.
+
+use pensieve_bench::{print_table, write_json, PointSpec};
+use pensieve_core::config::SuspendPolicy;
+use pensieve_core::{EngineConfig, SimServingEngine};
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+use pensieve_workload::driver::{run_closed_loop, DriverConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    policy: String,
+    rate: f64,
+    throughput_rps: f64,
+    p90_ms: f64,
+    suspensions: u64,
+}
+
+fn main() {
+    println!("Ablation: suspension policy, OPT-13B with an 8 GB KV budget, ShareGPT\n");
+    let mut hw = HardwareSpec::azure_nc_a100(1);
+    hw.gpu_kv_budget_bytes = 8 << 30;
+    let policies = [
+        (SuspendPolicy::NewestFirst, "newest-first (paper)"),
+        (SuspendPolicy::OldestFirst, "oldest-first"),
+        (SuspendPolicy::LargestContext, "largest-context"),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (policy, name) in policies {
+        for rate in [2.0f64, 4.0, 6.0] {
+            let mut engine_cfg = EngineConfig::pensieve();
+            engine_cfg.suspend_policy = policy;
+            engine_cfg.name = name.to_owned();
+            let spec = PointSpec {
+                engine: engine_cfg.clone(),
+                model: ModelConfig::opt_13b(),
+                hardware: hw.clone(),
+                dataset: DatasetSpec::sharegpt(),
+                request_rate: rate,
+                think_time: 60.0,
+                seed: 52,
+                system_prompt_tokens: 0,
+            };
+            let convs = pensieve_bench::workload_for(&spec);
+            let mut engine = SimServingEngine::new(engine_cfg, spec.model.clone(), hw.clone());
+            let result = run_closed_loop(
+                &mut engine,
+                &convs,
+                &DriverConfig {
+                    request_rate: rate,
+                    mean_think_time: 60.0,
+                    seed: 52,
+                    system_prompt_tokens: 0,
+                },
+            );
+            let s = result.summary();
+            eprintln!(
+                "  {name} rate={rate}: p90={:.1}ms susp={}",
+                s.p90_normalized * 1e3,
+                engine.counters().suspensions
+            );
+            rows.push(vec![
+                name.to_owned(),
+                format!("{rate:.0}"),
+                format!("{:.2}", s.throughput_rps),
+                format!("{:.1}", s.p90_normalized * 1e3),
+                engine.counters().suspensions.to_string(),
+            ]);
+            json.push(Row {
+                policy: name.to_owned(),
+                rate,
+                throughput_rps: s.throughput_rps,
+                p90_ms: s.p90_normalized * 1e3,
+                suspensions: engine.counters().suspensions,
+            });
+        }
+    }
+    print_table(
+        &[
+            "policy",
+            "offered req/s",
+            "tp (req/s)",
+            "p90 norm (ms/tok)",
+            "suspensions",
+        ],
+        &rows,
+    );
+    write_json("ablate_suspension", &json);
+}

@@ -1,0 +1,59 @@
+//! Ablation: ahead-of-time swap watermark and decode reserve.
+//!
+//! The paper fixes the swap trigger at 25 % free GPU slots (§4.3.2) and
+//! reserves 10 % for running decodes (§4.3.5). This sweep shows the
+//! trade-off: low watermarks evict too late (stalls), high ones evict
+//! hot data; a small reserve causes suspensions, a large one wastes
+//! capacity.
+
+use pensieve_bench::{print_table, run_sweep, write_json, PointSpec};
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+
+fn main() {
+    println!("Ablation: swap watermark x decode reserve, OPT-13B, ShareGPT @ 6 req/s\n");
+    let mut specs = Vec::new();
+    for watermark in [0.05f64, 0.25, 0.50] {
+        for reserve in [0.02f64, 0.10, 0.25] {
+            let mut engine = EngineConfig::pensieve();
+            engine.swap_watermark = watermark;
+            engine.decode_reserve = reserve;
+            engine.name = format!("wm={watermark:.2} rsv={reserve:.2}");
+            specs.push(PointSpec {
+                engine,
+                model: ModelConfig::opt_13b(),
+                hardware: HardwareSpec::azure_nc_a100(1),
+                dataset: DatasetSpec::sharegpt(),
+                request_rate: 6.0,
+                think_time: 60.0,
+                seed: 48,
+                system_prompt_tokens: 0,
+            });
+        }
+    }
+    let points = run_sweep(specs);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.system.clone(),
+                format!("{:.2}", p.summary.throughput_rps),
+                format!("{:.1}", p.summary.p90_normalized * 1e3),
+                format!("{:.1}", p.summary.mean_ttft * 1e3),
+                format!("{:.1}%", p.cache.hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "config",
+            "tp (req/s)",
+            "p90 norm (ms/tok)",
+            "mean ttft (ms)",
+            "hit rate",
+        ],
+        &rows,
+    );
+    write_json("ablate_watermark", &points);
+}

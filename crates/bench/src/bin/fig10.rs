@@ -1,0 +1,109 @@
+//! Figure 10: single-GPU serving — throughput vs p90 normalized latency.
+//!
+//! OPT-13B and Llama 2-13B on one A100, ShareGPT and UltraChat, for
+//! Pensieve, Pensieve (GPU cache), vLLM, and TensorRT-LLM. Each point is a
+//! closed-loop run at one offered request rate (think time 60 s).
+//!
+//! Scale with `PENSIEVE_DURATION` (seconds of arrivals per point).
+
+use pensieve_bench::{print_table, run_sweep, write_json, PointSpec, SweepPoint};
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+
+fn main() {
+    println!("Figure 10: LLM serving performance on 1 GPU (sweep running)...\n");
+    let mut specs = Vec::new();
+    for model in [ModelConfig::opt_13b(), ModelConfig::llama2_13b()] {
+        // GQA quadruples Llama's cached-token capacity, pushing its
+        // saturation knee to higher request rates.
+        let rates: &[f64] = if model.name.starts_with("OPT") {
+            &[1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+        } else {
+            &[2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0]
+        };
+        for dataset in [DatasetSpec::sharegpt(), DatasetSpec::ultrachat()] {
+            for engine in EngineConfig::figure10_systems() {
+                for &rate in rates {
+                    specs.push(PointSpec {
+                        engine: engine.clone(),
+                        model: model.clone(),
+                        hardware: HardwareSpec::azure_nc_a100(1),
+                        dataset: dataset.clone(),
+                        request_rate: rate,
+                        think_time: 60.0,
+                        seed: 42,
+                        system_prompt_tokens: 0,
+                    });
+                }
+            }
+        }
+    }
+    let points = run_sweep(specs);
+    report(&points);
+    write_json("fig10", &points);
+}
+
+fn report(points: &[SweepPoint]) {
+    for model in ["OPT-13B", "Llama 2-13B"] {
+        for dataset in ["ShareGPT", "UltraChat"] {
+            println!("\n--- {model} on {dataset} ---");
+            let rows: Vec<Vec<String>> = points
+                .iter()
+                .filter(|p| p.model == model && p.dataset == dataset)
+                .map(|p| {
+                    vec![
+                        p.system.clone(),
+                        format!("{:.1}", p.request_rate),
+                        format!("{:.2}", p.summary.throughput_rps),
+                        format!("{:.1}", p.summary.p90_normalized * 1e3),
+                        format!("{:.1}", p.summary.mean_normalized * 1e3),
+                        format!("{:.0}%", p.cache.hit_rate * 100.0),
+                    ]
+                })
+                .collect();
+            print_table(
+                &[
+                    "system",
+                    "offered req/s",
+                    "tp (req/s)",
+                    "p90 norm (ms/tok)",
+                    "mean norm (ms/tok)",
+                    "hit rate",
+                ],
+                &rows,
+            );
+            summarize_gain(points, model, dataset);
+        }
+    }
+}
+
+/// Reports max sustainable throughput at a latency cut, paper-style.
+fn summarize_gain(points: &[SweepPoint], model: &str, dataset: &str) {
+    let cut = 0.120; // 120 ms/token, as used for OPT-13B in §6.2.
+    let best = |system: &str| -> f64 {
+        points
+            .iter()
+            .filter(|p| {
+                p.model == model
+                    && p.dataset == dataset
+                    && p.system == system
+                    && p.summary.p90_normalized <= cut
+            })
+            .map(|p| p.summary.throughput_rps)
+            .fold(0.0, f64::max)
+    };
+    let pensieve = best("Pensieve");
+    let vllm = best("vLLM");
+    let trt = best("TensorRT-LLM");
+    if vllm > 0.0 && trt > 0.0 {
+        println!(
+            "  max throughput @ p90 <= 120 ms/token: Pensieve {:.2}, vLLM {:.2} ({:.2}x), TRT-LLM {:.2} ({:.2}x)",
+            pensieve,
+            vllm,
+            pensieve / vllm,
+            trt,
+            pensieve / trt
+        );
+    }
+}

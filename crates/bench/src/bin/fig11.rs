@@ -1,0 +1,88 @@
+//! Figure 11: 4-GPU serving — OPT-66B and Llama 2-70B on ShareGPT.
+//!
+//! Larger models amplify Pensieve's advantage: compute grows faster than
+//! KV size (§6.3), and Llama 2-70B's GQA (group 8) shrinks KV-tokens 8x.
+
+use pensieve_bench::{print_table, run_sweep, write_json, PointSpec};
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+
+fn main() {
+    println!("Figure 11: LLM serving performance on 4 GPUs, ShareGPT (sweep running)...\n");
+    let mut specs = Vec::new();
+    for model in [ModelConfig::opt_66b(), ModelConfig::llama2_70b()] {
+        // Llama 2-70B's GQA (group 8) supports far higher rates before its
+        // KV capacity saturates.
+        let rates: &[f64] = if model.name.starts_with("OPT") {
+            &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+        } else {
+            &[1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0]
+        };
+        for engine in EngineConfig::figure10_systems() {
+            for &rate in rates {
+                specs.push(PointSpec {
+                    engine: engine.clone(),
+                    model: model.clone(),
+                    hardware: HardwareSpec::azure_nc_a100(4),
+                    dataset: DatasetSpec::sharegpt(),
+                    request_rate: rate,
+                    think_time: 60.0,
+                    seed: 43,
+                    system_prompt_tokens: 0,
+                });
+            }
+        }
+    }
+    let points = run_sweep(specs);
+    for model in ["OPT-66B", "Llama 2-70B"] {
+        println!("\n--- {model} on ShareGPT, 4x A100 ---");
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.model == model)
+            .map(|p| {
+                vec![
+                    p.system.clone(),
+                    format!("{:.1}", p.request_rate),
+                    format!("{:.2}", p.summary.throughput_rps),
+                    format!("{:.1}", p.summary.p90_normalized * 1e3),
+                    format!("{:.0}%", p.cache.hit_rate * 100.0),
+                ]
+            })
+            .collect();
+        print_table(
+            &[
+                "system",
+                "offered req/s",
+                "tp (req/s)",
+                "p90 norm (ms/tok)",
+                "hit rate",
+            ],
+            &rows,
+        );
+        // Paper cuts: 200 ms/token (OPT-66B), 400 ms/token (Llama 2-70B).
+        let cut = if model == "OPT-66B" { 0.200 } else { 0.400 };
+        let best = |system: &str| -> f64 {
+            points
+                .iter()
+                .filter(|p| {
+                    p.model == model && p.system == system && p.summary.p90_normalized <= cut
+                })
+                .map(|p| p.summary.throughput_rps)
+                .fold(0.0, f64::max)
+        };
+        let (pv, vv, tv) = (best("Pensieve"), best("vLLM"), best("TensorRT-LLM"));
+        if vv > 0.0 && tv > 0.0 {
+            println!(
+                "  max tp @ p90 <= {:.0} ms/token: Pensieve {:.2}, vLLM {:.2} ({:.2}x), TRT {:.2} ({:.2}x)",
+                cut * 1e3,
+                pv,
+                vv,
+                pv / vv,
+                tv,
+                pv / tv
+            );
+        }
+    }
+    write_json("fig11", &points);
+}

@@ -1,0 +1,57 @@
+//! Figure 13: unified vs separate prefill/generation scheduling.
+//!
+//! Llama 2-13B on ShareGPT. Unified batching executes one invocation
+//! mixing phases; the separate variant pays two invocations per iteration
+//! and runs prefills with poor batch company (§6.5).
+
+use pensieve_bench::{print_table, run_sweep, write_json, PointSpec};
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+
+fn main() {
+    println!("Figure 13: unified vs separate scheduling, Llama 2-13B, ShareGPT\n");
+    let rates = [2.0f64, 4.0, 6.0, 8.0, 10.0, 12.0];
+    let mut specs = Vec::new();
+    for engine in [
+        EngineConfig::pensieve(),
+        EngineConfig::pensieve_non_unified(),
+    ] {
+        for &rate in &rates {
+            specs.push(PointSpec {
+                engine: engine.clone(),
+                model: ModelConfig::llama2_13b(),
+                hardware: HardwareSpec::azure_nc_a100(1),
+                dataset: DatasetSpec::sharegpt(),
+                request_rate: rate,
+                think_time: 60.0,
+                seed: 44,
+                system_prompt_tokens: 0,
+            });
+        }
+    }
+    let points = run_sweep(specs);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.system.clone(),
+                format!("{:.1}", p.request_rate),
+                format!("{:.2}", p.summary.throughput_rps),
+                format!("{:.1}", p.summary.p90_normalized * 1e3),
+                format!("{:.1}", p.summary.mean_ttft * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "system",
+            "offered req/s",
+            "tp (req/s)",
+            "p90 norm (ms/tok)",
+            "mean ttft (ms)",
+        ],
+        &rows,
+    );
+    write_json("fig13", &points);
+}

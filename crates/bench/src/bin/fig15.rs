@@ -1,0 +1,76 @@
+//! Figure 15: impact of user think time.
+//!
+//! Llama 2-13B on ShareGPT. Longer think times make cached KV-tokens age
+//! out before reuse, shrinking Pensieve's edge; vLLM at 600 s is the
+//! comparison point (§6.7).
+
+use pensieve_bench::{print_table, run_sweep, write_json, PointSpec};
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+
+fn main() {
+    println!("Figure 15: impact of user think time, Llama 2-13B, ShareGPT\n");
+    // Think-time effects only materialize once enough conversations have
+    // accumulated to pressure the CPU tier; default to a longer horizon
+    // than the other sweeps (still overridable).
+    if std::env::var("PENSIEVE_DURATION").is_err() {
+        std::env::set_var("PENSIEVE_DURATION", "1200");
+    }
+    let rates = [2.0f64, 4.0, 6.0, 8.0, 10.0];
+    let mut specs = Vec::new();
+    for think in [60.0f64, 120.0, 300.0, 600.0] {
+        for &rate in &rates {
+            let mut engine = EngineConfig::pensieve();
+            engine.name = format!("Pensieve (think {think:.0}s)");
+            specs.push(PointSpec {
+                engine,
+                model: ModelConfig::llama2_13b(),
+                hardware: HardwareSpec::azure_nc_a100(1),
+                dataset: DatasetSpec::sharegpt(),
+                request_rate: rate,
+                think_time: think,
+                seed: 46,
+                system_prompt_tokens: 0,
+            });
+        }
+    }
+    for &rate in &rates {
+        let mut engine = EngineConfig::vllm();
+        engine.name = "vLLM (think 600s)".to_owned();
+        specs.push(PointSpec {
+            engine,
+            model: ModelConfig::llama2_13b(),
+            hardware: HardwareSpec::azure_nc_a100(1),
+            dataset: DatasetSpec::sharegpt(),
+            request_rate: rate,
+            think_time: 600.0,
+            seed: 46,
+            system_prompt_tokens: 0,
+        });
+    }
+    let points = run_sweep(specs);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.system.clone(),
+                format!("{:.1}", p.request_rate),
+                format!("{:.2}", p.summary.throughput_rps),
+                format!("{:.1}", p.summary.p90_normalized * 1e3),
+                format!("{:.0}%", p.cache.hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "system",
+            "offered req/s",
+            "tp (req/s)",
+            "p90 norm (ms/tok)",
+            "hit rate",
+        ],
+        &rows,
+    );
+    write_json("fig15", &points);
+}

@@ -1,0 +1,54 @@
+//! Figure 4: attention cost of a 32-token chunk vs context size,
+//! normalized by the non-attention time of a transformer layer batch.
+//!
+//! This is the measurement behind Pensieve's eviction policy: attention
+//! cost grows linearly with context, so leading chunks (small context)
+//! are cheaper to recompute than trailing ones (§3.2, §4.3.1).
+
+use pensieve_bench::{print_table, write_json};
+use pensieve_model::{CostModel, HardwareSpec, ModelConfig, SeqShape};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    context: usize,
+    attention_us: f64,
+    normalized: f64,
+}
+
+fn main() {
+    println!(
+        "Figure 4: attention time for a 32-token chunk vs context size,\nnormalized by per-layer non-attention time (OPT-13B, A100)\n"
+    );
+    let cost = CostModel::new(ModelConfig::opt_13b(), HardwareSpec::azure_nc_a100(1));
+    let non_attention = cost.non_attention_layer_time(32);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for p in 5..=14 {
+        let context = 1usize << p;
+        let attn = cost.attention_layer_time(SeqShape {
+            query_len: 32,
+            context_len: context,
+        });
+        let normalized = attn / non_attention;
+        rows.push(vec![
+            context.to_string(),
+            format!("{:.1}", attn.as_micros()),
+            format!("{:.3}", normalized),
+        ]);
+        json.push(Row {
+            context,
+            attention_us: attn.as_micros(),
+            normalized,
+        });
+    }
+    print_table(&["context", "attention (us)", "normalized"], &rows);
+    let first = json.first().expect("rows");
+    let last = json.last().expect("rows");
+    println!(
+        "\nLinear growth: context x{} -> normalized cost x{:.0} (paper: cost grows linearly with context).",
+        last.context / first.context,
+        last.normalized / first.normalized
+    );
+    write_json("fig4", &json);
+}

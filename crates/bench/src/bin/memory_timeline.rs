@@ -1,0 +1,95 @@
+//! Cache-occupancy timeline: how the two tiers fill under load.
+//!
+//! Samples GPU KV-slot and CPU-tier usage every 10 simulated seconds
+//! while serving a ShareGPT workload, for Pensieve (stateful, two
+//! tiers), Pensieve (GPU cache only), and vLLM (stateless). The stateful
+//! systems accumulate inactive conversations' contexts until the 25 %
+//! watermark pushes chunks to the CPU tier (and eventually out); the
+//! stateless baseline's usage tracks only the running batch.
+
+use std::cell::RefCell;
+
+use pensieve_bench::{print_table, write_json};
+use pensieve_core::{EngineConfig, SimServingEngine};
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+use pensieve_workload::driver::{run_closed_loop_probed, DriverConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Sample {
+    system: String,
+    t: f64,
+    gpu_tokens: usize,
+    cpu_tokens: usize,
+    running: usize,
+    waiting: usize,
+}
+
+fn main() {
+    println!("Cache occupancy timeline: OPT-13B, ShareGPT @ 6 req/s, 600 s of arrivals\n");
+    let dataset = DatasetSpec::sharegpt();
+    let rate = 6.0;
+    let duration = 600.0;
+    let convs = dataset.generate(((rate / dataset.mean_turns) * duration) as usize, 77);
+    let samples: RefCell<Vec<Sample>> = RefCell::new(Vec::new());
+    let mut summary_rows = Vec::new();
+    let gpu_capacity = 52_428usize; // 40 GiB / 0.78125 MiB (OPT-13B).
+    for cfg in [
+        EngineConfig::pensieve(),
+        EngineConfig::pensieve_gpu_cache(),
+        EngineConfig::vllm(),
+    ] {
+        let name = cfg.name.clone();
+        let mut engine =
+            SimServingEngine::new(cfg, ModelConfig::opt_13b(), HardwareSpec::azure_nc_a100(1));
+        let _ = run_closed_loop_probed(
+            &mut engine,
+            &convs,
+            &DriverConfig {
+                request_rate: rate,
+                mean_think_time: 60.0,
+                seed: 9,
+                system_prompt_tokens: 0,
+            },
+            10.0,
+            |t, e| {
+                samples.borrow_mut().push(Sample {
+                    system: name.clone(),
+                    t,
+                    gpu_tokens: e.gpu_slots_used(),
+                    cpu_tokens: e.cpu_tokens_used(),
+                    running: e.running_requests(),
+                    waiting: e.waiting_requests(),
+                });
+            },
+        );
+        let s = samples.borrow();
+        let mine = s.iter().filter(|x| x.system == name);
+        let peak_gpu = mine.clone().map(|x| x.gpu_tokens).max().unwrap_or(0);
+        let peak_cpu = mine.clone().map(|x| x.cpu_tokens).max().unwrap_or(0);
+        let mean_gpu = {
+            let v: Vec<usize> = mine.map(|x| x.gpu_tokens).collect();
+            v.iter().sum::<usize>() / v.len().max(1)
+        };
+        summary_rows.push(vec![
+            name.clone(),
+            peak_gpu.to_string(),
+            mean_gpu.to_string(),
+            peak_cpu.to_string(),
+            format!("{:.0}%", 100.0 * peak_gpu as f64 / gpu_capacity as f64),
+        ]);
+    }
+    print_table(
+        &[
+            "system",
+            "peak GPU tokens",
+            "mean GPU tokens",
+            "peak CPU tokens",
+            "peak GPU util",
+        ],
+        &summary_rows,
+    );
+    println!("\nFull 10 s-resolution timeline in results/memory_timeline.json");
+    write_json("memory_timeline", &samples.into_inner());
+}

@@ -1,0 +1,238 @@
+//! `serve_sim` — run one serving experiment from the command line.
+//!
+//! ```text
+//! cargo run --release -p pensieve-bench --bin serve_sim -- \
+//!     --system pensieve --model llama2-13b --dataset sharegpt \
+//!     --rate 6 --think 60 --duration 400 --seed 42
+//! ```
+//!
+//! `--dataset` also accepts a path to a conversation-trace JSON file —
+//! either a real ShareGPT dump or a file produced by
+//! `pensieve_workload::save_conversations`.
+
+use std::path::Path;
+use std::process::exit;
+
+use pensieve_bench::{print_table, run_point, PointSpec};
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::{DatasetSpec, DatasetStats};
+use pensieve_workload::trace::{load_conversations, load_sharegpt_json};
+
+const USAGE: &str = "\
+usage: serve_sim [options]
+  --system   pensieve | pensieve-gpu | pensieve-lru | pensieve-separate |
+             vllm | trt | orca                       (default pensieve)
+  --model    opt-13b | opt-66b | llama2-13b | llama2-70b  (default llama2-13b)
+  --dataset  sharegpt | ultrachat | <trace.json>     (default sharegpt)
+  --rate     offered request rate, req/s             (default 4)
+  --think    mean user think time, seconds           (default 60)
+  --duration simulated seconds of arrivals           (default 400)
+  --gpus     tensor-parallel GPUs                    (default: model's)
+  --system-prompt  shared system prompt tokens       (default 0)
+  --seed     workload seed                           (default 42)";
+
+fn parse_engine(name: &str) -> Option<EngineConfig> {
+    Some(match name {
+        "pensieve" => EngineConfig::pensieve(),
+        "pensieve-gpu" => EngineConfig::pensieve_gpu_cache(),
+        "pensieve-lru" => EngineConfig::pensieve_lru(),
+        "pensieve-separate" => EngineConfig::pensieve_non_unified(),
+        "vllm" => EngineConfig::vllm(),
+        "trt" | "tensorrt" => EngineConfig::tensorrt_llm(),
+        "orca" => EngineConfig::orca(),
+        _ => return None,
+    })
+}
+
+fn parse_model(name: &str) -> Option<ModelConfig> {
+    Some(match name {
+        "opt-13b" => ModelConfig::opt_13b(),
+        "opt-66b" => ModelConfig::opt_66b(),
+        "llama2-13b" => ModelConfig::llama2_13b(),
+        "llama2-70b" => ModelConfig::llama2_70b(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut system = "pensieve".to_owned();
+    let mut model_name = "llama2-13b".to_owned();
+    let mut dataset = "sharegpt".to_owned();
+    let mut rate = 4.0f64;
+    let mut think = 60.0f64;
+    let mut duration = 400.0f64;
+    let mut gpus: Option<usize> = None;
+    let mut system_prompt = 0usize;
+    let mut seed = 42u64;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return;
+        }
+        let Some(value) = it.next() else {
+            eprintln!("missing value for {flag}\n{USAGE}");
+            exit(2);
+        };
+        let ok = match flag.as_str() {
+            "--system" => {
+                system = value.clone();
+                true
+            }
+            "--model" => {
+                model_name = value.clone();
+                true
+            }
+            "--dataset" => {
+                dataset = value.clone();
+                true
+            }
+            "--rate" => value.parse().map(|v| rate = v).is_ok(),
+            "--think" => value.parse().map(|v| think = v).is_ok(),
+            "--duration" => value.parse().map(|v| duration = v).is_ok(),
+            "--gpus" => value.parse().map(|v| gpus = Some(v)).is_ok(),
+            "--system-prompt" => value.parse().map(|v| system_prompt = v).is_ok(),
+            "--seed" => value.parse().map(|v| seed = v).is_ok(),
+            _ => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                exit(2);
+            }
+        };
+        if !ok {
+            eprintln!("invalid value {value:?} for {flag}\n{USAGE}");
+            exit(2);
+        }
+    }
+
+    let Some(engine) = parse_engine(&system) else {
+        eprintln!("unknown system {system:?}\n{USAGE}");
+        exit(2);
+    };
+    let Some(model) = parse_model(&model_name) else {
+        eprintln!("unknown model {model_name:?}\n{USAGE}");
+        exit(2);
+    };
+    let num_gpus = gpus.unwrap_or(model.default_num_gpus);
+    std::env::set_var("PENSIEVE_DURATION", format!("{duration}"));
+
+    // Dataset: a known synthetic spec, or a trace file.
+    let spec = match dataset.as_str() {
+        "sharegpt" => DatasetSpec::sharegpt(),
+        "ultrachat" => DatasetSpec::ultrachat(),
+        path => {
+            let p = Path::new(path);
+            let convs = load_conversations(p)
+                .or_else(|_| load_sharegpt_json(p))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot load trace {path:?}: {e}");
+                    exit(2);
+                });
+            let stats = DatasetStats::measure(&convs);
+            // Wrap the trace's statistics in a spec so the sweep sizes the
+            // workload correctly, then substitute the real conversations.
+            println!(
+                "trace: {} conversations, mean turns {:.2}, in {:.1}, out {:.1}",
+                stats.conversations, stats.mean_turns, stats.mean_input, stats.mean_output
+            );
+            return run_trace(
+                engine,
+                model,
+                num_gpus,
+                convs,
+                rate,
+                think,
+                seed,
+                system_prompt,
+            );
+        }
+    };
+
+    let point = run_point(&PointSpec {
+        engine,
+        model,
+        hardware: HardwareSpec::azure_nc_a100(num_gpus),
+        dataset: spec,
+        request_rate: rate,
+        think_time: think,
+        seed,
+        system_prompt_tokens: system_prompt,
+    });
+    report(
+        &point.system,
+        &point.model,
+        &point.dataset,
+        &point.summary,
+        point.cache.hit_rate,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_trace(
+    engine: EngineConfig,
+    model: ModelConfig,
+    num_gpus: usize,
+    convs: Vec<pensieve_workload::dataset::Conversation>,
+    rate: f64,
+    think: f64,
+    seed: u64,
+    system_prompt: usize,
+) {
+    use pensieve_core::SimServingEngine;
+    use pensieve_workload::driver::{run_closed_loop, DriverConfig};
+    let name = engine.name.clone();
+    let model_name = model.name.clone();
+    let mut e = SimServingEngine::new(engine, model, HardwareSpec::azure_nc_a100(num_gpus));
+    let result = run_closed_loop(
+        &mut e,
+        &convs,
+        &DriverConfig {
+            request_rate: rate,
+            mean_think_time: think,
+            seed,
+            system_prompt_tokens: system_prompt,
+        },
+    );
+    let s = result.summary();
+    report(&name, &model_name, "trace", &s, e.cache_stats().hit_rate());
+}
+
+fn report(
+    system: &str,
+    model: &str,
+    dataset: &str,
+    s: &pensieve_workload::metrics::LatencySummary,
+    hit_rate: f64,
+) {
+    println!("\n{system} serving {model} on {dataset}:");
+    print_table(
+        &["metric", "value"],
+        &[
+            vec!["completed requests".into(), s.requests.to_string()],
+            vec![
+                "throughput (req/s)".into(),
+                format!("{:.2}", s.throughput_rps),
+            ],
+            vec![
+                "throughput (tok/s)".into(),
+                format!("{:.0}", s.throughput_tps),
+            ],
+            vec![
+                "mean norm latency".into(),
+                format!("{:.1} ms/token", s.mean_normalized * 1e3),
+            ],
+            vec![
+                "p50 norm latency".into(),
+                format!("{:.1} ms/token", s.p50_normalized * 1e3),
+            ],
+            vec![
+                "p90 norm latency".into(),
+                format!("{:.1} ms/token", s.p90_normalized * 1e3),
+            ],
+            vec!["mean ttft".into(), format!("{:.1} ms", s.mean_ttft * 1e3)],
+            vec!["cache hit rate".into(), format!("{:.1}%", hit_rate * 100.0)],
+        ],
+    );
+}

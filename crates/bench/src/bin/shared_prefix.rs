@@ -1,0 +1,69 @@
+//! Extension (paper §7, footnote 3): shared system-prompt KV state.
+//!
+//! Chatbots commonly prepend one system prompt to every conversation.
+//! Per-conversation caching stores it once *per conversation*; the paper
+//! notes it "can be handled by explicitly designating the system prompt
+//! state as reusable". This experiment serves a ShareGPT workload whose
+//! conversations all share a system prompt of varying length and compares
+//! Pensieve with and without the globally shared prefix, plus vLLM.
+
+use pensieve_bench::{print_table, run_sweep, write_json, PointSpec};
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+
+fn main() {
+    println!(
+        "Shared system-prompt extension: OPT-13B, ShareGPT @ 6 req/s,\nsystem prompt shared by all conversations\n"
+    );
+    let mut specs = Vec::new();
+    for &sys_tokens in &[0usize, 256, 1024, 2048] {
+        for engine in [
+            EngineConfig::pensieve_shared_prefix(sys_tokens),
+            EngineConfig::pensieve(),
+            EngineConfig::vllm(),
+        ] {
+            // With sys_tokens == 0 the shared variant equals plain
+            // Pensieve; skip the duplicate.
+            if sys_tokens == 0 && engine.shared_prefix_tokens == 0 && engine.name != "Pensieve" {
+                continue;
+            }
+            let mut spec = PointSpec {
+                engine,
+                model: ModelConfig::opt_13b(),
+                hardware: HardwareSpec::azure_nc_a100(1),
+                dataset: DatasetSpec::sharegpt(),
+                request_rate: 6.0,
+                think_time: 60.0,
+                seed: 50,
+                system_prompt_tokens: sys_tokens,
+            };
+            spec.engine.name = format!("{} | sys={sys_tokens}", spec.engine.name);
+            specs.push(spec);
+        }
+    }
+    let points = run_sweep(specs);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.system.clone(),
+                format!("{:.2}", p.summary.throughput_rps),
+                format!("{:.1}", p.summary.p90_normalized * 1e3),
+                format!("{:.1}", p.summary.mean_ttft * 1e3),
+                format!("{:.0}%", p.cache.hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "system | sys prompt",
+            "tp (req/s)",
+            "p90 norm (ms/tok)",
+            "mean ttft (ms)",
+            "hit rate",
+        ],
+        &rows,
+    );
+    write_json("shared_prefix", &points);
+}

@@ -1,0 +1,43 @@
+//! Table 1: hyper-parameters of the evaluated models.
+
+use pensieve_bench::{print_table, write_json};
+use pensieve_model::ModelConfig;
+
+fn main() {
+    println!("Table 1: Hyper-parameters for OPT and Llama 2 models\n");
+    let models = ModelConfig::paper_models();
+    type Field = fn(&ModelConfig) -> String;
+    let rows: Vec<Vec<String>> = [
+        (
+            "# layer",
+            (|m: &ModelConfig| m.num_layers.to_string()) as Field,
+        ),
+        ("# hidden", |m: &ModelConfig| m.hidden_size.to_string()),
+        ("# head", |m: &ModelConfig| m.num_heads.to_string()),
+        ("# KV head", |m: &ModelConfig| m.num_kv_heads.to_string()),
+        ("Head size", |m: &ModelConfig| m.head_dim.to_string()),
+        ("# GPU", |m: &ModelConfig| m.default_num_gpus.to_string()),
+        ("KV bytes/token", |m: &ModelConfig| {
+            format!(
+                "{:.2} MiB",
+                m.kv_bytes_per_token() as f64 / (1 << 20) as f64
+            )
+        }),
+        ("~params", |m: &ModelConfig| {
+            format!("{:.1}B", m.param_count() as f64 / 1e9)
+        }),
+    ]
+    .iter()
+    .map(|(name, f)| {
+        let mut row = vec![(*name).to_owned()];
+        row.extend(models.iter().map(f));
+        row
+    })
+    .collect();
+
+    let mut headers = vec!["Model"];
+    let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+    headers.extend(names);
+    print_table(&headers, &rows);
+    write_json("table1", &models);
+}

@@ -1,0 +1,1172 @@
+//! The iteration-level serving engine (paper §4.1–§4.3), simulated timing.
+//!
+//! One configurable implementation covers every system in the paper's
+//! evaluation (see [`EngineConfig`]'s presets). The engine is "clocked" by
+//! generation-step completions (§4.2): each iteration
+//! performs, in order,
+//!
+//! 1. **decode slot growth** — every running request appends one KV slot;
+//!    on overflow, requests are *suspended* newest-arrival-first (§4.3.5),
+//! 2. **ahead-of-time swap-out** when the free watermark is breached
+//!    (§4.3.2), with eviction transfers queued behind retrievals (§5),
+//! 3. **FCFS admission** of waiting requests under the token budget and
+//!    the 10 % decode reserve, committing each one's Figure-5 restore plan
+//!    (GPU hits, revalidations, swap-ins, dropped-prefix recomputes),
+//! 4. **execution** — one unified invocation mixing prefill and decode
+//!    (§4.4.1), or two separate invocations for non-unified configs, with
+//!    swap-in transfers overlapped layer-by-layer (§4.3.3),
+//! 5. **completion** — finished requests leave the batch; stateful
+//!    configs keep their KV-tokens cached, stateless configs free them.
+
+use std::collections::VecDeque;
+
+use pensieve_kvcache::{
+    CacheConfig, CacheStats, CachedAttentionPolicy, EvictionPolicy, LruPolicy,
+    RetentionValuePolicy, TieredKvCache, TrailingEndPolicy,
+};
+use pensieve_model::{
+    BatchShape, CostModel, HardwareSpec, ModelConfig, ProfiledCostTable, SeqShape, SimDuration,
+    SimTime,
+};
+use pensieve_sim::{Direction, DuplexMode, GpuTimer, PcieLink};
+
+use crate::config::{EngineConfig, PolicyKind, SuspendPolicy};
+use crate::request::{Request, Response};
+
+/// Pseudo-conversation holding the globally shared system-prompt KV state
+/// (paper §7 footnote 3). Pinned for the engine's lifetime.
+const SHARED_PREFIX_CONV: pensieve_kvcache::ConversationId =
+    pensieve_kvcache::ConversationId(u64::MAX);
+
+/// Internal per-request execution state.
+#[derive(Debug, Clone)]
+struct RunningRequest {
+    req: Request,
+    /// Output tokens produced so far.
+    generated: usize,
+    /// Current context length in the KV cache (tokens with slots).
+    context_len: usize,
+    /// Prefill work to perform in the next invocation, if any.
+    prefill: Option<PrefillWork>,
+    first_token: Option<SimTime>,
+    /// Total query tokens processed in prefill (for reporting).
+    prefill_tokens: usize,
+    /// History tokens served from cache (for reporting).
+    cached_tokens: usize,
+    /// KV slots for the whole decode were reserved at admission
+    /// (ORCA-style); decode growth is a no-op.
+    preallocated: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PrefillWork {
+    /// Query tokens to process (recomputed history tail + new prompt).
+    query_tokens: usize,
+    /// Context length after the prefill.
+    context_len: usize,
+    /// Bytes to swap in from the CPU tier (per GPU shard).
+    swap_in_bytes: usize,
+    /// Query tokens already processed by earlier chunked iterations.
+    done_tokens: usize,
+}
+
+/// A waiting-queue entry: a fresh request or a suspended one.
+#[derive(Debug, Clone)]
+enum WorkItem {
+    New(Request),
+    Resumed(RunningRequest),
+}
+
+impl WorkItem {
+    fn arrival(&self) -> SimTime {
+        match self {
+            WorkItem::New(r) => r.arrival,
+            WorkItem::Resumed(r) => r.req.arrival,
+        }
+    }
+}
+
+/// Aggregate engine counters beyond per-request responses.
+#[derive(Debug, Clone, Default)]
+pub struct EngineCounters {
+    /// Batched model invocations executed.
+    pub iterations: u64,
+    /// Requests suspended mid-generation (§4.3.5).
+    pub suspensions: u64,
+    /// Total query tokens processed in prefill across all requests.
+    pub prefill_tokens: u64,
+    /// Total decode steps executed across all requests.
+    pub decode_tokens: u64,
+    /// History tokens served by the globally shared system-prompt prefix.
+    pub shared_prefix_hits: u64,
+    /// Accumulated busy time of the GPU.
+    pub busy_time: SimDuration,
+}
+
+/// The simulated-timing serving engine.
+pub struct SimServingEngine {
+    cfg: EngineConfig,
+    model: ModelConfig,
+    gpu: GpuTimer,
+    link: PcieLink,
+    cache: TieredKvCache,
+    now: SimTime,
+    wait_queue: VecDeque<WorkItem>,
+    running: Vec<RunningRequest>,
+    responses: Vec<Response>,
+    counters: EngineCounters,
+    kv_bytes_per_token_per_gpu: usize,
+    pcie_bandwidth: f64,
+}
+
+impl SimServingEngine {
+    /// Builds an engine for `model` on `hardware` with behaviour `cfg`.
+    #[must_use]
+    pub fn new(cfg: EngineConfig, model: ModelConfig, hardware: HardwareSpec) -> Self {
+        let cost = CostModel::new(model.clone(), hardware.clone());
+        let mut cache_cfg = CacheConfig::from_model(&model, &cost);
+        cache_cfg.chunk_tokens = cfg.chunk_tokens;
+        cache_cfg.swap_watermark = cfg.swap_watermark;
+        cache_cfg.decode_reserve = cfg.decode_reserve;
+        if !cfg.cpu_cache || !cfg.stateful {
+            cache_cfg.cpu_capacity_tokens = 0;
+        }
+        let policy: Box<dyn EvictionPolicy> = match cfg.policy {
+            PolicyKind::RetentionValue => Box::new(RetentionValuePolicy::new(
+                ProfiledCostTable::profile(&cost, cache_cfg.chunk_tokens, 16384),
+            )),
+            PolicyKind::Lru => Box::new(LruPolicy),
+            PolicyKind::WholeConversation => Box::new(CachedAttentionPolicy),
+            PolicyKind::TrailingEnd => Box::new(TrailingEndPolicy),
+        };
+        let gpu = GpuTimer::new(cost)
+            .with_compute_scale(cfg.compute_scale)
+            .with_iteration_overhead(cfg.iteration_overhead);
+        let link = PcieLink::new(hardware.pcie.clone(), DuplexMode::PrioritizeRetrieval);
+        let kv_bytes_per_token_per_gpu = model.kv_bytes_per_token_per_gpu(hardware.num_gpus.max(1));
+        let pcie_bandwidth = hardware.pcie.bandwidth;
+        let mut engine = SimServingEngine {
+            cfg,
+            model,
+            gpu,
+            link,
+            cache: TieredKvCache::new(cache_cfg, policy),
+            now: SimTime::ZERO,
+            wait_queue: VecDeque::new(),
+            running: Vec::new(),
+            responses: Vec::new(),
+            counters: EngineCounters::default(),
+            kv_bytes_per_token_per_gpu,
+            pcie_bandwidth,
+        };
+        // Materialize the shared system-prompt KV state once, pinned so
+        // it is never evicted (its memory cost is honest: it occupies GPU
+        // slots for the engine's lifetime).
+        if engine.cfg.stateful && engine.cfg.shared_prefix_tokens > 0 {
+            engine
+                .cache
+                .append_tokens(
+                    SHARED_PREFIX_CONV,
+                    engine.cfg.shared_prefix_tokens,
+                    SimTime::ZERO,
+                )
+                .expect("shared prefix must fit in the GPU cache");
+        }
+        engine
+    }
+
+    /// Tokens of `history` served by the globally shared prefix.
+    fn shared_credit(&self, history: usize) -> usize {
+        if self.cfg.stateful {
+            self.cfg.shared_prefix_tokens.min(history)
+        } else {
+            0
+        }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The model being served.
+    #[must_use]
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cache effectiveness statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Aggregate engine counters.
+    #[must_use]
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
+    /// GPU KV slots currently in use (resident + lazily-copied tokens).
+    #[must_use]
+    pub fn gpu_slots_used(&self) -> usize {
+        self.cache.gpu_slots_used()
+    }
+
+    /// CPU cache tokens currently in use.
+    #[must_use]
+    pub fn cpu_tokens_used(&self) -> usize {
+        self.cache.cpu_used()
+    }
+
+    /// Requests currently in the running batch.
+    #[must_use]
+    pub fn running_requests(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Requests currently waiting for admission.
+    #[must_use]
+    pub fn waiting_requests(&self) -> usize {
+        self.wait_queue.len()
+    }
+
+    /// True if no request is running or waiting.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.running.is_empty() && self.wait_queue.is_empty()
+    }
+
+    /// Enqueues a request. Admission is FCFS in *submission* order;
+    /// drivers submit in arrival order, and a request whose arrival lies
+    /// in the engine's past (the clock overshot while it was in flight)
+    /// is simply admissible immediately.
+    pub fn submit(&mut self, req: Request) {
+        self.wait_queue.push_back(WorkItem::New(req));
+    }
+
+    /// Drains completed responses.
+    pub fn drain_responses(&mut self) -> Vec<Response> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Runs iterations until the clock reaches `t` (an iteration in flight
+    /// at `t` finishes; the clock may overshoot) or all work completes.
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            if self.now >= t {
+                return;
+            }
+            if self.running.is_empty() {
+                // Jump to the next arrival that is due, or to t.
+                match self.next_due_arrival() {
+                    Some(a) if a <= t => self.now = self.now.max(a),
+                    _ => {
+                        self.now = t;
+                        return;
+                    }
+                }
+            }
+            self.iteration();
+        }
+    }
+
+    /// Runs until the clock reaches `t` (if given), at least one response
+    /// is ready to drain, or all work completes — whichever comes first.
+    /// Returns true if a response is ready.
+    ///
+    /// Closed-loop drivers use this instead of [`SimServingEngine::run_until`]
+    /// so that follow-up turns that causally depend on a response can be
+    /// injected before the engine simulates past their arrival.
+    pub fn run_until_or_response(&mut self, t: Option<SimTime>) -> bool {
+        loop {
+            if !self.responses.is_empty() {
+                return true;
+            }
+            if let Some(t) = t {
+                if self.now >= t {
+                    return false;
+                }
+            }
+            if self.running.is_empty() {
+                match self.next_due_arrival() {
+                    Some(a) if t.is_none_or(|t| a <= t) => self.now = self.now.max(a),
+                    _ => {
+                        if let Some(t) = t {
+                            self.now = self.now.max(t);
+                        }
+                        return false;
+                    }
+                }
+            }
+            self.iteration();
+        }
+    }
+
+    /// Runs until every submitted request has completed.
+    pub fn run_until_idle(&mut self) {
+        while !self.is_idle() {
+            if self.running.is_empty() {
+                let a = self.next_due_arrival().expect("wait queue non-empty");
+                self.now = self.now.max(a);
+            }
+            self.iteration();
+        }
+    }
+
+    fn next_due_arrival(&self) -> Option<SimTime> {
+        self.wait_queue.front().map(WorkItem::arrival)
+    }
+
+    /// One scheduler clock tick: grow decodes, swap, admit, execute.
+    fn iteration(&mut self) {
+        self.grow_decode_slots();
+        self.ahead_of_time_swap();
+        self.admit();
+        debug_assert!(!self.running.is_empty(), "iteration with empty batch");
+        self.execute();
+        self.complete();
+    }
+
+    /// Appends one KV slot per decoding request, suspending
+    /// newest-arrival requests if the GPU cannot hold the growth (§4.3.5).
+    fn grow_decode_slots(&mut self) {
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].prefill.is_some() || self.running[i].preallocated {
+                // Admitted this tick (prefill appends its own slots), or
+                // ORCA-style reservation already holds the slot.
+                self.running[i].context_len +=
+                    usize::from(self.running[i].preallocated && self.running[i].prefill.is_none());
+                i += 1;
+                continue;
+            }
+            let conv = self.running[i].req.conv;
+            match self.cache.append_tokens(conv, 1, self.now) {
+                Ok(()) => {
+                    self.running[i].context_len += 1;
+                    i += 1;
+                }
+                Err(_) => {
+                    // Reclaim lazily-copied slots via the eviction pass,
+                    // then retry; if that fails, suspend the newest.
+                    self.cache.swap_out_until(1, self.now);
+                    if self.cache.append_tokens(conv, 1, self.now).is_ok() {
+                        self.running[i].context_len += 1;
+                        i += 1;
+                    } else if !self.suspend_newest(Some(i)) {
+                        // Nothing left to suspend; drop the token growth
+                        // this tick (the request retries next tick).
+                        i += 1;
+                    } else if i < self.running.len() && self.running[i].req.conv != conv {
+                        // The suspended request was this one; do not
+                        // advance (a new request now occupies index i).
+                    }
+                }
+            }
+        }
+    }
+
+    /// Suspends one running request chosen by the configured policy
+    /// (paper default: newest arrival first), optionally protecting
+    /// `except`. Returns false if no candidate exists.
+    fn suspend_newest(&mut self, except: Option<usize>) -> bool {
+        let better = |cand: &RunningRequest, best: &RunningRequest| match self.cfg.suspend_policy {
+            SuspendPolicy::NewestFirst => cand.req.arrival > best.req.arrival,
+            SuspendPolicy::OldestFirst => cand.req.arrival < best.req.arrival,
+            SuspendPolicy::LargestContext => cand.context_len > best.context_len,
+        };
+        let mut chosen: Option<usize> = None;
+        for (j, r) in self.running.iter().enumerate() {
+            if Some(j) == except || r.prefill.is_some() {
+                continue;
+            }
+            if chosen.is_none_or(|n| better(r, &self.running[n])) {
+                chosen = Some(j);
+            }
+        }
+        // Fall back to suspending `except` itself if it is the only one.
+        let victim = chosen.or(except);
+        let Some(j) = victim else {
+            return false;
+        };
+        let mut r = self.running.remove(j);
+        let conv = r.req.conv;
+        let moved_tokens = self.cache.suspend(conv, self.now);
+        let bytes = moved_tokens * self.kv_bytes_per_token_per_gpu;
+        // The freed slots are only usable once the copy-out completes; we
+        // charge the wait by pushing the engine clock (§4.3.5: suspension
+        // waits for the swap-out).
+        let (_, end) = self.link.schedule(self.now, Direction::DeviceToHost, bytes);
+        self.now = self.now.max(end);
+        r.prefill = None;
+        self.counters.suspensions += 1;
+        self.wait_queue.push_front(WorkItem::Resumed(r));
+        true
+    }
+
+    /// Watermark-triggered eviction; transfers are queued on the link but
+    /// do not block compute (they run behind retrievals).
+    fn ahead_of_time_swap(&mut self) {
+        if !self.cfg.stateful {
+            return;
+        }
+        let ops = self.cache.maybe_swap_out(self.now);
+        // One DMA per chunk: small chunks pay the per-transfer setup
+        // latency more often (the §4.3.1 rationale for 32-token chunks).
+        for op in ops.iter().filter(|o| !o.dropped) {
+            self.link.schedule(
+                self.now,
+                Direction::DeviceToHost,
+                op.tokens * self.kv_bytes_per_token_per_gpu,
+            );
+        }
+    }
+
+    /// FCFS admission under the token budget and decode reserve.
+    fn admit(&mut self) {
+        let reserve = self.cache.config().decode_reserve_tokens();
+        loop {
+            if self.running.len() >= self.cfg.max_batch_requests {
+                return;
+            }
+            let Some(front) = self.wait_queue.front() else {
+                return;
+            };
+            if front.arrival() > self.now {
+                return;
+            }
+            let batch_tokens = self.current_iteration_query_tokens();
+            let has_prefill = self.running.iter().any(|r| r.prefill.is_some());
+            let item = self.wait_queue.front().expect("checked non-empty");
+            let (conv, query_tokens, new_slots) = self.admission_cost(item);
+            // Budget: allow one oversized prefill per iteration when no
+            // other prefill was admitted.
+            if batch_tokens + query_tokens > self.cfg.max_batch_tokens
+                && (has_prefill || batch_tokens > self.running.len())
+            {
+                return;
+            }
+            // Space: keep the decode reserve when a batch is running.
+            let reserve_needed = if self.running.is_empty() { 0 } else { reserve };
+            let mut query_tokens = query_tokens;
+            let mut new_slots = new_slots;
+            if self.cache.gpu_free_effective_for(conv) < new_slots + reserve_needed {
+                self.cache
+                    .swap_out_until_for(new_slots + reserve_needed, Some(conv), self.now);
+                // Eviction may have demoted this conversation's own
+                // chunks; recompute the admission cost before committing.
+                let item = self.wait_queue.front().expect("checked non-empty");
+                let (_, q2, s2) = self.admission_cost(item);
+                query_tokens = q2;
+                new_slots = s2;
+                if self.cache.gpu_free_effective_for(conv) < new_slots + reserve_needed {
+                    return;
+                }
+            }
+            let item = self.wait_queue.pop_front().expect("checked non-empty");
+            self.commit_admission(item, conv, query_tokens);
+        }
+    }
+
+    /// Query tokens already claimed by this iteration's batch.
+    fn current_iteration_query_tokens(&self) -> usize {
+        let chunk_cap = self.cfg.chunked_prefill.unwrap_or(usize::MAX);
+        self.running
+            .iter()
+            .map(|r| {
+                r.prefill
+                    .map_or(1, |p| (p.query_tokens - p.done_tokens).min(chunk_cap))
+            })
+            .sum()
+    }
+
+    /// Computes what admitting `item` costs: query tokens and new GPU
+    /// slots.
+    fn admission_cost(&self, item: &WorkItem) -> (pensieve_kvcache::ConversationId, usize, usize) {
+        match item {
+            WorkItem::New(req) => {
+                let cached = if self.cfg.stateful {
+                    self.cache.conversation_tokens(req.conv)
+                } else {
+                    0
+                };
+                let shared = self.shared_credit(req.history_tokens);
+                let plan = self.cache.plan_restore(req.conv);
+                // History beyond the shared prefix and what the cache
+                // tracks (e.g. the final token of the previous turn) is
+                // recomputed with the prompt.
+                let tail = req.history_tokens.saturating_sub(cached + shared);
+                let query = plan.recompute_tokens + tail + req.prompt_tokens;
+                let mut slots = plan.new_gpu_slots() + tail + req.prompt_tokens;
+                if self.cfg.reserve_max_decode {
+                    // ORCA-style: hold slots for the whole decode up front.
+                    slots += req.output_tokens;
+                }
+                (req.conv, query, slots)
+            }
+            WorkItem::Resumed(r) => {
+                let shared = self.shared_credit(r.context_len);
+                let plan = self.cache.plan_restore(r.req.conv);
+                let tail = r
+                    .context_len
+                    .saturating_sub(self.cache.conversation_tokens(r.req.conv) + shared);
+                let query = (plan.recompute_tokens + tail).max(1);
+                let slots = plan.new_gpu_slots() + tail;
+                (r.req.conv, query, slots)
+            }
+        }
+    }
+
+    fn commit_admission(
+        &mut self,
+        item: WorkItem,
+        conv: pensieve_kvcache::ConversationId,
+        query_tokens: usize,
+    ) {
+        let plan = self
+            .cache
+            .commit_restore(conv, self.now)
+            .expect("admission checked space");
+        let swap_in_bytes = plan.swap_in_tokens * self.kv_bytes_per_token_per_gpu;
+        match item {
+            WorkItem::New(req) => {
+                let shared = self.shared_credit(req.history_tokens);
+                self.counters.shared_prefix_hits += shared as u64;
+                let cached_before = plan.gpu_hit_tokens
+                    + plan.revalidate_tokens
+                    + plan.swap_in_tokens
+                    + plan.recompute_tokens;
+                let tail = req.history_tokens.saturating_sub(cached_before + shared);
+                let reserved = if self.cfg.reserve_max_decode {
+                    req.output_tokens
+                } else {
+                    0
+                };
+                self.cache
+                    .append_tokens(req.conv, tail + req.prompt_tokens + reserved, self.now)
+                    .expect("admission checked space");
+                let context_len = req.history_tokens + req.prompt_tokens;
+                self.running.push(RunningRequest {
+                    prefill: Some(PrefillWork {
+                        query_tokens,
+                        context_len,
+                        swap_in_bytes,
+                        done_tokens: 0,
+                    }),
+                    generated: 0,
+                    context_len,
+                    first_token: None,
+                    prefill_tokens: query_tokens,
+                    cached_tokens: plan.gpu_hit_tokens
+                        + plan.revalidate_tokens
+                        + plan.swap_in_tokens
+                        + shared,
+                    preallocated: self.cfg.reserve_max_decode,
+                    req,
+                });
+            }
+            WorkItem::Resumed(mut r) => {
+                let shared = self.shared_credit(r.context_len);
+                let cached_now = self.cache.conversation_tokens(r.req.conv);
+                let tail = r.context_len.saturating_sub(cached_now + shared);
+                if tail > 0 {
+                    self.cache
+                        .append_tokens(r.req.conv, tail, self.now)
+                        .expect("admission checked space");
+                }
+                r.prefill = Some(PrefillWork {
+                    query_tokens,
+                    context_len: r.context_len,
+                    swap_in_bytes,
+                    done_tokens: 0,
+                });
+                self.running.push(r);
+            }
+        }
+    }
+
+    /// Executes the iteration's model invocation(s) and advances the clock.
+    fn execute(&mut self) {
+        let chunk_cap = self.cfg.chunked_prefill.unwrap_or(usize::MAX);
+        let mut prefill_shapes = Vec::new();
+        let mut decode_shapes = Vec::new();
+        let mut swap_in_bytes = 0usize;
+        for r in &mut self.running {
+            match r.prefill.as_mut() {
+                Some(w) => {
+                    // Chunked prefill: feed at most `chunk_cap` query
+                    // tokens per iteration; the chunk attends to the
+                    // context up to its own end.
+                    let remaining = w.query_tokens - w.done_tokens;
+                    let slice = remaining.min(chunk_cap);
+                    let ctx_end = w.context_len - (remaining - slice);
+                    prefill_shapes.push(SeqShape {
+                        query_len: slice,
+                        context_len: ctx_end,
+                    });
+                    if w.done_tokens == 0 {
+                        swap_in_bytes += w.swap_in_bytes;
+                    }
+                    w.done_tokens += slice;
+                }
+                None => decode_shapes.push(SeqShape::decode(r.context_len)),
+            }
+        }
+        // Swap-ins contend on the link; queueing delay precedes compute.
+        let queue_delay = if swap_in_bytes > 0 {
+            let (start, _) = self
+                .link
+                .schedule(self.now, Direction::HostToDevice, swap_in_bytes);
+            start.duration_since(self.now)
+        } else {
+            SimDuration::ZERO
+        };
+        let duration = if self.cfg.unified_batching {
+            let mut all = prefill_shapes;
+            all.extend_from_slice(&decode_shapes);
+            self.gpu.batch_time_with_swap_in(
+                &BatchShape::new(all),
+                swap_in_bytes,
+                self.pcie_bandwidth,
+            )
+        } else {
+            let mut d = SimDuration::ZERO;
+            if !prefill_shapes.is_empty() {
+                d += self.gpu.batch_time_with_swap_in(
+                    &BatchShape::new(prefill_shapes),
+                    swap_in_bytes,
+                    self.pcie_bandwidth,
+                );
+            }
+            if !decode_shapes.is_empty() {
+                d += self.gpu.batch_time(&BatchShape::new(decode_shapes));
+            }
+            d
+        };
+        self.counters.iterations += 1;
+        self.counters.busy_time += duration + queue_delay;
+        self.now += queue_delay + duration;
+    }
+
+    /// Emits tokens, records completions, releases finished requests.
+    fn complete(&mut self) {
+        let now = self.now;
+        let mut finished = Vec::new();
+        for r in &mut self.running {
+            match r.prefill {
+                Some(w) if w.done_tokens < w.query_tokens => {
+                    // Mid-chunked-prefill: no token emitted yet.
+                    continue;
+                }
+                Some(w) => {
+                    self.counters.prefill_tokens += w.query_tokens as u64;
+                    r.prefill = None;
+                }
+                None => {
+                    self.counters.decode_tokens += 1;
+                }
+            }
+            r.generated += 1;
+            if r.first_token.is_none() {
+                r.first_token = Some(now);
+            }
+        }
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].generated >= self.running[i].req.output_tokens.max(1) {
+                finished.push(self.running.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for r in finished {
+            let conv = r.req.conv;
+            if self.cfg.stateful {
+                self.cache.unpin(conv);
+                self.cache.touch(conv, now);
+            } else {
+                self.cache.remove_conversation(conv);
+            }
+            self.responses.push(Response {
+                id: r.req.id,
+                conv,
+                arrival: r.req.arrival,
+                first_token: r.first_token.unwrap_or(now),
+                finish: now,
+                output_tokens: r.generated,
+                prefill_tokens: r.prefill_tokens,
+                cached_history_tokens: r.cached_tokens,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use pensieve_kvcache::ConversationId;
+
+    fn small_hw() -> HardwareSpec {
+        HardwareSpec::azure_nc_a100(1)
+    }
+
+    fn req(id: u64, conv: u64, at: f64, prompt: usize, out: usize, hist: usize) -> Request {
+        Request {
+            id: RequestId(id),
+            conv: ConversationId(conv),
+            arrival: SimTime::from_secs(at),
+            prompt_tokens: prompt,
+            output_tokens: out,
+            history_tokens: hist,
+        }
+    }
+
+    fn engine(cfg: EngineConfig) -> SimServingEngine {
+        SimServingEngine::new(cfg, ModelConfig::opt_13b(), small_hw())
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let mut e = engine(EngineConfig::pensieve());
+        e.submit(req(1, 1, 0.0, 100, 20, 0));
+        e.run_until_idle();
+        let rs = e.drain_responses();
+        assert_eq!(rs.len(), 1);
+        let r = &rs[0];
+        assert_eq!(r.output_tokens, 20);
+        assert_eq!(r.prefill_tokens, 100);
+        assert!(r.finish > r.first_token);
+        assert!(r.first_token > r.arrival);
+        // 100-token prefill + 19 decode steps of a 13B model: tens of ms
+        // to a few seconds.
+        assert!(r.latency().as_secs() > 0.05 && r.latency().as_secs() < 10.0);
+    }
+
+    #[test]
+    fn stateful_second_turn_prefills_only_the_prompt() {
+        let mut e = engine(EngineConfig::pensieve());
+        e.submit(req(1, 1, 0.0, 100, 50, 0));
+        e.run_until_idle();
+        let t1 = e.drain_responses().remove(0);
+        // Next turn: history = 100 + 50.
+        let mut r2 = req(2, 1, t1.finish.as_secs() + 5.0, 40, 50, 150);
+        r2.arrival = t1.finish + SimDuration::from_secs(5.0);
+        e.submit(r2);
+        e.run_until_idle();
+        let t2 = e.drain_responses().remove(0);
+        // Cached: 149 tokens (all but the last generated token).
+        assert_eq!(t2.cached_history_tokens, 149);
+        assert_eq!(t2.prefill_tokens, 41, "tail token + new prompt");
+    }
+
+    #[test]
+    fn stateless_second_turn_recomputes_everything() {
+        let mut e = engine(EngineConfig::vllm());
+        e.submit(req(1, 1, 0.0, 100, 50, 0));
+        e.run_until_idle();
+        let t1 = e.drain_responses().remove(0);
+        let mut r2 = req(2, 1, 0.0, 40, 50, 150);
+        r2.arrival = t1.finish + SimDuration::from_secs(5.0);
+        e.submit(r2);
+        e.run_until_idle();
+        let t2 = e.drain_responses().remove(0);
+        assert_eq!(t2.cached_history_tokens, 0);
+        assert_eq!(t2.prefill_tokens, 190, "history + prompt recomputed");
+    }
+
+    #[test]
+    fn stateful_turn_is_faster_than_stateless() {
+        let run = |cfg: EngineConfig| {
+            let mut e = engine(cfg);
+            e.submit(req(1, 1, 0.0, 50, 100, 0));
+            e.run_until_idle();
+            let t1 = e.drain_responses().remove(0);
+            // Long history follow-up.
+            let mut r2 = req(2, 1, 0.0, 50, 100, 4000);
+            r2.arrival = t1.finish + SimDuration::from_secs(1.0);
+            // Fake a long first turn by setting history directly: use a
+            // separate long turn first.
+            let mut e = engine_for(r2.clone());
+            e.run_until_idle();
+            let resp = e.drain_responses();
+            resp.last().unwrap().latency()
+        };
+        fn engine_for(second: Request) -> SimServingEngine {
+            // Build history with one long turn, then submit the follow-up.
+            let mut e = SimServingEngine::new(
+                EngineConfig::pensieve(),
+                ModelConfig::opt_13b(),
+                HardwareSpec::azure_nc_a100(1),
+            );
+            e.submit(Request {
+                id: RequestId(1),
+                conv: second.conv,
+                arrival: SimTime::ZERO,
+                prompt_tokens: 3900,
+                output_tokens: 100,
+                history_tokens: 0,
+            });
+            e.run_until_idle();
+            let t1 = e.drain_responses().remove(0);
+            let mut s = second;
+            s.arrival = t1.finish + SimDuration::from_secs(1.0);
+            e.submit(s);
+            e
+        }
+        let _ = run; // The helper above is the actual comparison driver.
+                     // Direct comparison: same two-turn trace on both engines.
+        let metrics_of = |cfg: EngineConfig| {
+            let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), small_hw());
+            e.submit(req(1, 1, 0.0, 3900, 100, 0));
+            e.run_until_idle();
+            let t1 = e.drain_responses().remove(0);
+            let mut r2 = req(2, 1, 0.0, 50, 100, 4000);
+            r2.arrival = t1.finish + SimDuration::from_secs(1.0);
+            e.submit(r2);
+            e.run_until_idle();
+            let r = e.drain_responses().remove(0);
+            (r.ttft(), r.latency())
+        };
+        let (stateful_ttft, stateful_lat) = metrics_of(EngineConfig::pensieve());
+        let (stateless_ttft, stateless_lat) = metrics_of(EngineConfig::vllm());
+        // Skipping the 4000-token history prefill slashes time-to-first-
+        // token and improves end-to-end latency (decode time dominates the
+        // rest).
+        assert!(
+            stateful_ttft.as_secs() < 0.3 * stateless_ttft.as_secs(),
+            "stateful ttft {stateful_ttft} vs stateless {stateless_ttft}"
+        );
+        assert!(stateful_lat < stateless_lat);
+    }
+
+    #[test]
+    fn unified_batches_mix_prefill_and_decode() {
+        let mut e = engine(EngineConfig::pensieve());
+        // First request decodes for a long time; second arrives mid-way.
+        e.submit(req(1, 1, 0.0, 200, 300, 0));
+        e.submit(req(2, 2, 0.5, 200, 10, 0));
+        e.run_until_idle();
+        let rs = e.drain_responses();
+        assert_eq!(rs.len(), 2);
+        // Request 2 must finish long before request 1 (iteration-level
+        // batching admitted it mid-decode).
+        let r1 = rs.iter().find(|r| r.id == RequestId(1)).unwrap();
+        let r2 = rs.iter().find(|r| r.id == RequestId(2)).unwrap();
+        assert!(r2.finish < r1.finish);
+    }
+
+    #[test]
+    fn tensorrt_is_faster_than_vllm() {
+        let latency_of = |cfg: EngineConfig| {
+            let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), small_hw());
+            e.submit(req(1, 1, 0.0, 500, 100, 0));
+            e.run_until_idle();
+            e.drain_responses().remove(0).latency()
+        };
+        let v = latency_of(EngineConfig::vllm());
+        let t = latency_of(EngineConfig::tensorrt_llm());
+        assert!(t < v, "TRT {t} vs vLLM {v}");
+    }
+
+    #[test]
+    fn fcfs_admission_order() {
+        let mut e = engine(EngineConfig::pensieve());
+        e.submit(req(1, 1, 0.0, 50, 5, 0));
+        e.submit(req(2, 2, 0.0, 50, 5, 0));
+        e.submit(req(3, 3, 0.0, 50, 5, 0));
+        e.run_until_idle();
+        let rs = e.drain_responses();
+        assert_eq!(rs.len(), 3);
+        // All three fit one batch: same finish ordering as submission.
+        assert!(rs[0].id <= rs[1].id && rs[1].id <= rs[2].id);
+    }
+
+    #[test]
+    fn run_until_respects_time_and_arrivals() {
+        let mut e = engine(EngineConfig::pensieve());
+        e.submit(req(1, 1, 5.0, 50, 5, 0));
+        e.run_until(SimTime::from_secs(2.0));
+        assert_eq!(e.now(), SimTime::from_secs(2.0));
+        assert!(e.drain_responses().is_empty());
+        e.run_until(SimTime::from_secs(100.0));
+        assert_eq!(e.drain_responses().len(), 1);
+    }
+
+    /// §4.3.5: when decode growth outruns the GPU cache, the newest
+    /// request is suspended, swapped out, and later resumed — and every
+    /// request still completes with the right token count.
+    #[test]
+    fn decode_overflow_suspends_and_resumes() {
+        let mut hw = small_hw();
+        // Shrink the KV budget to ~1100 OPT-13B tokens so two long decodes
+        // cannot coexist.
+        hw.gpu_kv_budget_bytes = 1100 * ModelConfig::opt_13b().kv_bytes_per_token();
+        hw.cpu_cache_bytes_per_gpu = 1 << 30;
+        let mut e = SimServingEngine::new(EngineConfig::pensieve(), ModelConfig::opt_13b(), hw);
+        e.submit(req(1, 1, 0.0, 100, 500, 0));
+        e.submit(req(2, 2, 0.1, 100, 500, 0));
+        e.run_until_idle();
+        let rs = e.drain_responses();
+        assert_eq!(rs.len(), 2);
+        for r in &rs {
+            assert_eq!(r.output_tokens, 500, "request {:?}", r.id);
+        }
+        assert!(
+            e.counters().suspensions > 0,
+            "expected at least one suspension under this budget"
+        );
+        // The earlier-arrived request finishes first (newest suspended).
+        let r1 = rs.iter().find(|r| r.id == RequestId(1)).unwrap();
+        let r2 = rs.iter().find(|r| r.id == RequestId(2)).unwrap();
+        assert!(r1.finish <= r2.finish);
+    }
+
+    /// §7 footnote 3: a globally shared system prompt is prefilled once
+    /// and then served as cached history to every conversation.
+    #[test]
+    fn shared_prefix_serves_all_conversations() {
+        let shared = 512usize;
+        let mut cfg = EngineConfig::pensieve_shared_prefix(shared);
+        cfg.name = "shared".to_owned();
+        let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), small_hw());
+        // Two fresh conversations, each with the system prompt as history.
+        e.submit(req(1, 1, 0.0, 40, 10, shared));
+        e.submit(req(2, 2, 0.1, 40, 10, shared));
+        e.run_until_idle();
+        let rs = e.drain_responses();
+        assert_eq!(rs.len(), 2);
+        for r in &rs {
+            assert_eq!(
+                r.prefill_tokens, 40,
+                "only the prompt is prefilled; the system prompt is shared"
+            );
+            assert_eq!(r.cached_history_tokens, shared);
+        }
+        assert_eq!(e.counters().shared_prefix_hits, 2 * shared as u64);
+
+        // Without sharing, each conversation prefills the prompt fresh.
+        let mut e =
+            SimServingEngine::new(EngineConfig::pensieve(), ModelConfig::opt_13b(), small_hw());
+        e.submit(req(1, 1, 0.0, 40, 10, shared));
+        e.run_until_idle();
+        let r = e.drain_responses().remove(0);
+        assert_eq!(r.prefill_tokens, shared + 40);
+        assert_eq!(r.cached_history_tokens, 0);
+    }
+
+    /// The shared prefix also accelerates *later* turns: it never ages
+    /// out, even when the conversation's own context was dropped.
+    #[test]
+    fn shared_prefix_survives_conversation_eviction() {
+        let shared = 256usize;
+        let mut hw = small_hw();
+        // Tiny GPU budget: the conversation's own history gets dropped
+        // (no CPU tier), but the pinned shared prefix survives.
+        hw.gpu_kv_budget_bytes = 2048 * ModelConfig::opt_13b().kv_bytes_per_token();
+        let mut cfg = EngineConfig::pensieve_shared_prefix(shared);
+        cfg.cpu_cache = false;
+        let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), hw);
+        e.submit(req(1, 1, 0.0, 400, 50, shared));
+        e.run_until_idle();
+        let t1 = e.drain_responses().remove(0);
+        // Another conversation floods the small cache.
+        let mut r2 = req(2, 2, 0.0, 1500, 20, shared);
+        r2.arrival = t1.finish + SimDuration::from_secs(1.0);
+        e.submit(r2);
+        e.run_until_idle();
+        e.drain_responses();
+        // Conversation 1 returns: its own history may be gone, but the
+        // shared prefix still counts as cached.
+        let mut r3 = req(3, 1, 0.0, 30, 10, shared + 450);
+        r3.arrival = e.now() + SimDuration::from_secs(1.0);
+        e.submit(r3);
+        e.run_until_idle();
+        let t3 = e.drain_responses().remove(0);
+        assert!(t3.cached_history_tokens >= shared);
+        assert_eq!(
+            t3.prefill_tokens + t3.cached_history_tokens,
+            shared + 450 + 30
+        );
+    }
+
+    /// ORCA-style max-length reservation admits fewer concurrent
+    /// requests than paged growth, but requests still complete correctly.
+    #[test]
+    fn orca_reservation_limits_concurrency() {
+        let mut hw = small_hw();
+        // Budget for ~1500 tokens: two 100+500 requests cannot coexist
+        // under max-reservation, but can under paged growth.
+        hw.gpu_kv_budget_bytes = 1500 * ModelConfig::opt_13b().kv_bytes_per_token();
+        hw.cpu_cache_bytes_per_gpu = 1 << 30;
+        let run = |cfg: EngineConfig| {
+            let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), hw.clone());
+            e.submit(req(1, 1, 0.0, 100, 700, 0));
+            e.submit(req(2, 2, 0.1, 100, 700, 0));
+            e.run_until_idle();
+            let rs = e.drain_responses();
+            assert_eq!(rs.len(), 2);
+            for r in &rs {
+                assert_eq!(r.output_tokens, 700);
+            }
+            // Overlap: does request 2 start before request 1 finishes?
+            let r1 = rs.iter().find(|r| r.id == RequestId(1)).unwrap();
+            let r2 = rs.iter().find(|r| r.id == RequestId(2)).unwrap();
+            (r2.first_token < r1.finish, r2.finish)
+        };
+        let (orca_overlaps, orca_finish) = run(EngineConfig::orca());
+        let (vllm_overlaps, vllm_finish) = run(EngineConfig::vllm());
+        assert!(
+            !orca_overlaps,
+            "max-reservation cannot fit both requests at once"
+        );
+        assert!(vllm_overlaps, "paged growth batches both");
+        assert!(vllm_finish < orca_finish, "paging finishes sooner");
+    }
+
+    /// Degenerate requests: single-token output finishes at prefill;
+    /// zero-output is clamped to one token.
+    #[test]
+    fn degenerate_output_lengths_complete() {
+        let mut e = engine(EngineConfig::pensieve());
+        e.submit(req(1, 1, 0.0, 50, 1, 0));
+        e.submit(req(2, 2, 0.0, 50, 0, 0));
+        e.run_until_idle();
+        let rs = e.drain_responses();
+        assert_eq!(rs.len(), 2);
+        for r in &rs {
+            assert_eq!(r.output_tokens, 1);
+            assert_eq!(r.first_token, r.finish, "finishes at the prefill step");
+        }
+    }
+
+    /// Interleaved turns of many conversations keep per-conversation
+    /// cache accounting exact across hundreds of iterations.
+    #[test]
+    fn many_conversations_accounting_stays_exact() {
+        let mut e = engine(EngineConfig::pensieve());
+        let mut at = 0.0f64;
+        let mut id = 0u64;
+        let mut hist = [0usize; 8];
+        for round in 0..4 {
+            for conv in 0..8u64 {
+                let prompt = 20 + (conv as usize * 13 + round * 7) % 80;
+                let output = 10 + (conv as usize * 5 + round * 11) % 60;
+                e.submit(req(id, conv, at, prompt, output, hist[conv as usize]));
+                id += 1;
+                at += 0.2;
+                hist[conv as usize] += prompt + output;
+            }
+            at += 30.0;
+            e.run_until(SimTime::from_secs(at));
+        }
+        e.run_until_idle();
+        let rs = e.drain_responses();
+        assert_eq!(rs.len(), 32);
+        // Conservation per response: prefill + cached covers history+prompt.
+        for r in &rs {
+            assert!(r.prefill_tokens >= 1);
+            assert!(r.output_tokens >= 1);
+        }
+        // All history reuse was served from cache (no pressure here).
+        assert_eq!(e.cache_stats().recomputed_tokens, 0);
+        assert!(e.cache_stats().gpu_hit_tokens > 0);
+    }
+
+    /// §4.3.3's payoff: restoring a conversation from the CPU tier
+    /// (pipelined swap-in) is far cheaper than recomputing it, so the
+    /// two-tier Pensieve beats the GPU-cache-only variant once contexts
+    /// get evicted.
+    #[test]
+    fn swap_in_beats_recompute_on_return() {
+        let mut hw = small_hw();
+        // Small GPU so the first conversation gets evicted; large CPU so
+        // the full Pensieve keeps it in the second tier.
+        hw.gpu_kv_budget_bytes = 3000 * ModelConfig::opt_13b().kv_bytes_per_token();
+        hw.cpu_cache_bytes_per_gpu = 8 << 30;
+        let ttft_of = |cfg: EngineConfig| {
+            let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), hw.clone());
+            // Conversation 1 builds 2000 tokens of context.
+            e.submit(req(1, 1, 0.0, 1960, 40, 0));
+            e.run_until_idle();
+            let t1 = e.drain_responses().remove(0);
+            // Conversation 2 floods the GPU tier.
+            let mut r2 = req(2, 2, 0.0, 2500, 30, 0);
+            r2.arrival = t1.finish + SimDuration::from_secs(1.0);
+            e.submit(r2);
+            e.run_until_idle();
+            e.drain_responses();
+            // Conversation 1 returns.
+            let mut r3 = req(3, 1, 0.0, 40, 20, 2000);
+            r3.arrival = e.now() + SimDuration::from_secs(1.0);
+            e.submit(r3);
+            e.run_until_idle();
+            e.drain_responses().remove(0).ttft()
+        };
+        let two_tier = ttft_of(EngineConfig::pensieve());
+        let gpu_only = ttft_of(EngineConfig::pensieve_gpu_cache());
+        assert!(
+            two_tier.as_secs() < 0.6 * gpu_only.as_secs(),
+            "swap-in ttft {two_tier} should beat recompute ttft {gpu_only}"
+        );
+    }
+
+    /// Chunked prefill produces the same completions, in more iterations,
+    /// and shields concurrent decodes from long-prompt stalls.
+    #[test]
+    fn chunked_prefill_preserves_results_and_smooths_decode() {
+        let run = |cfg: EngineConfig| {
+            let mut e = engine(cfg);
+            // A long-running decode...
+            e.submit(req(1, 1, 0.0, 50, 400, 0));
+            // ...joined mid-flight by a huge prefill.
+            e.submit(req(2, 2, 1.0, 3500, 20, 0));
+            e.run_until_idle();
+            let rs = e.drain_responses();
+            assert_eq!(rs.len(), 2);
+            let r1 = rs.iter().find(|r| r.id == RequestId(1)).unwrap().clone();
+            let r2 = rs.iter().find(|r| r.id == RequestId(2)).unwrap().clone();
+            (r1, r2)
+        };
+        let (whole_r1, whole_r2) = run(EngineConfig::pensieve());
+        let (chunk_r1, chunk_r2) = run(EngineConfig::pensieve_chunked_prefill(512));
+        // Same token counts either way; the prefill work is conserved.
+        assert_eq!(whole_r1.output_tokens, chunk_r1.output_tokens);
+        assert_eq!(whole_r2.output_tokens, chunk_r2.output_tokens);
+        assert_eq!(whole_r2.prefill_tokens, chunk_r2.prefill_tokens);
+        // The chunked prefill's own first token arrives no earlier (it is
+        // spread over several iterations)...
+        assert!(chunk_r2.ttft() >= whole_r2.ttft());
+        // ...but the concurrent decode's normalized latency improves: no
+        // single iteration stalls it for the whole 3500-token prompt.
+        assert!(
+            chunk_r1.normalized_latency().as_secs()
+                < whole_r1.normalized_latency().as_secs() * 0.999,
+            "chunked {} vs whole {}",
+            chunk_r1.normalized_latency(),
+            whole_r1.normalized_latency()
+        );
+    }
+
+    #[test]
+    fn engine_reports_cache_hits_for_returning_conversations() {
+        let mut e = engine(EngineConfig::pensieve());
+        e.submit(req(1, 1, 0.0, 500, 100, 0));
+        e.run_until_idle();
+        let t1 = e.drain_responses().remove(0);
+        let mut r2 = req(2, 1, 0.0, 30, 10, 600);
+        r2.arrival = t1.finish + SimDuration::from_secs(2.0);
+        e.submit(r2);
+        e.run_until_idle();
+        assert!(e.cache_stats().gpu_hit_tokens >= 599);
+        assert_eq!(e.cache_stats().full_gpu_hits, 1);
+    }
+}

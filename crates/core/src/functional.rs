@@ -1,0 +1,496 @@
+//! A functional (real-math) serving engine for end-to-end validation.
+//!
+//! [`FunctionalEngine`] serves multi-turn conversations with the tiny
+//! transformer from `pensieve-kernels`, exercising every *data-path*
+//! mechanism of the paper for real: KV-tokens are retained across turns in
+//! the paged GPU pool, evicted block-by-block (leading end first, LRU
+//! across conversations) into a host-memory stash, swapped back in on
+//! return, and — when the stash overflows — dropped and later *recomputed*
+//! from raw tokens as a leading sub-request (paper Figure 8).
+//!
+//! Because every step does real arithmetic, the integration tests can
+//! assert the strongest property the design must preserve: **a stateful
+//! engine's output tokens are identical to stateless recomputation from
+//! scratch**, no matter how the cache shuffled the data in between.
+
+use std::collections::HashMap;
+
+use pensieve_kernels::model::{SegmentInput, SeqInput, TinyModel};
+use pensieve_kernels::ops::argmax;
+use pensieve_kernels::paged::{BlockId, BlockTable, PagedKvCache};
+use pensieve_kvcache::{ConversationId, RawTokenStore};
+use pensieve_model::ModelConfig;
+
+/// KV data of one evicted block, for all layers.
+struct HostBlock {
+    /// Per layer: (K rows, V rows), each `block_size * kv_width` floats.
+    layers: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+struct ConvState {
+    table: BlockTable,
+    /// Logical clock of last activity, for LRU eviction.
+    last_active: u64,
+}
+
+/// Configuration of the functional engine's memory system.
+#[derive(Debug, Clone)]
+pub struct FunctionalConfig {
+    /// Tokens per KV block.
+    pub block_size: usize,
+    /// Physical GPU-pool blocks.
+    pub pool_blocks: usize,
+    /// Host-stash capacity in blocks (0 disables the CPU tier).
+    pub stash_blocks: usize,
+    /// Evict when free pool blocks fall below this count.
+    pub free_watermark: usize,
+}
+
+impl Default for FunctionalConfig {
+    fn default() -> Self {
+        FunctionalConfig {
+            block_size: 4,
+            pool_blocks: 64,
+            stash_blocks: 64,
+            free_watermark: 8,
+        }
+    }
+}
+
+/// The functional serving engine.
+pub struct FunctionalEngine {
+    model: TinyModel,
+    pool: PagedKvCache,
+    cfg: FunctionalConfig,
+    convs: HashMap<ConversationId, ConvState>,
+    /// Evicted block data keyed by (conversation, logical block index).
+    stash: HashMap<(ConversationId, usize), HostBlock>,
+    /// Insertion order of stash entries, for drop-from-front decisions.
+    stash_order: Vec<(ConversationId, usize)>,
+    store: RawTokenStore,
+    clock: u64,
+    /// Counters: (swapped_out, swapped_in, dropped, recomputed) blocks.
+    swap_out_blocks: u64,
+    swap_in_blocks: u64,
+    dropped_blocks: u64,
+    recomputed_tokens: u64,
+}
+
+impl FunctionalEngine {
+    /// Builds an engine with deterministic random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has a zero block size or pool.
+    #[must_use]
+    pub fn new(model_cfg: &ModelConfig, seed: u64, cfg: FunctionalConfig) -> Self {
+        assert!(cfg.block_size > 0 && cfg.pool_blocks > 0);
+        let model = TinyModel::new_random(model_cfg, seed);
+        let pool = PagedKvCache::new(
+            model.kv_layout(cfg.block_size),
+            model_cfg.num_layers,
+            cfg.pool_blocks,
+        );
+        FunctionalEngine {
+            model,
+            pool,
+            cfg,
+            convs: HashMap::new(),
+            stash: HashMap::new(),
+            stash_order: Vec::new(),
+            store: RawTokenStore::new(),
+            clock: 0,
+            swap_out_blocks: 0,
+            swap_in_blocks: 0,
+            dropped_blocks: 0,
+            recomputed_tokens: 0,
+        }
+    }
+
+    /// The underlying model (for building stateless references).
+    #[must_use]
+    pub fn model(&self) -> &TinyModel {
+        &self.model
+    }
+
+    /// Full raw history of a conversation.
+    #[must_use]
+    pub fn history(&self, conv: ConversationId) -> Vec<u32> {
+        if self.store.is_empty(conv) {
+            Vec::new()
+        } else {
+            self.store.fetch(conv, 0..self.store.len(conv)).to_vec()
+        }
+    }
+
+    /// Blocks swapped out / swapped in / dropped, and tokens recomputed.
+    #[must_use]
+    pub fn cache_activity(&self) -> (u64, u64, u64, u64) {
+        (
+            self.swap_out_blocks,
+            self.swap_in_blocks,
+            self.dropped_blocks,
+            self.recomputed_tokens,
+        )
+    }
+
+    /// Serves one conversation turn: processes `prompt` on top of the
+    /// conversation's cached context and greedily decodes `max_new`
+    /// tokens. Returns the generated tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty, `max_new` is zero, or the GPU pool is
+    /// too small to hold a single turn's working set.
+    pub fn serve_turn(&mut self, conv: ConversationId, prompt: &[u32], max_new: usize) -> Vec<u32> {
+        assert!(!prompt.is_empty() && max_new > 0);
+        self.clock += 1;
+        let clock = self.clock;
+        let block_size = self.cfg.block_size;
+        self.convs.entry(conv).or_insert_with(|| ConvState {
+            table: BlockTable::new(block_size),
+            last_active: clock,
+        });
+
+        // --- Restore phase: swap in or schedule recompute for holes. ---
+        let cached_len = self.convs[&conv].table.len();
+        let nb = cached_len.div_ceil(self.cfg.block_size);
+        let mut recompute_blocks = Vec::new();
+        for bi in 0..nb {
+            if self.convs[&conv].table.get_block(bi).is_none() {
+                recompute_blocks.push(bi);
+            }
+        }
+        // Allocate backing for every hole (evicting others if needed).
+        self.make_room(conv, recompute_blocks.len() + 2);
+        let mut recompute_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        for bi in recompute_blocks {
+            let state = self.convs.get_mut(&conv).expect("created above");
+            let filled = state
+                .table
+                .refill(&mut self.pool, bi..bi + 1)
+                .expect("make_room reserved space");
+            let (_, phys) = filled[0];
+            if let Some(hb) = self.stash.remove(&(conv, bi)) {
+                // Swap in: copy the stashed data back.
+                self.stash_order.retain(|k| *k != (conv, bi));
+                self.write_host_block(phys, &hb);
+                self.swap_in_blocks += 1;
+            } else {
+                // Dropped: recompute from raw tokens.
+                let start = bi * self.cfg.block_size;
+                let end = (start + self.cfg.block_size).min(cached_len);
+                match recompute_ranges.last_mut() {
+                    Some(r) if r.end == start => r.end = end,
+                    _ => recompute_ranges.push(start..end),
+                }
+                self.recomputed_tokens += (end - start) as u64;
+            }
+        }
+
+        // --- Prefill: recompute segments + (history tail + prompt). ---
+        let hist_len = self.store.len(conv);
+        debug_assert!(cached_len <= hist_len || hist_len == 0);
+        self.store.append(conv, prompt);
+        let mut segments = Vec::new();
+        for r in &recompute_ranges {
+            segments.push(SegmentInput {
+                tokens: self.store.fetch(conv, r.clone()).to_vec(),
+                start_pos: r.start,
+            });
+        }
+        // The tail covers raw history beyond the cached context (at least
+        // the previous turn's final token) plus the new prompt.
+        let tail: Vec<u32> = self.store.fetch(conv, cached_len..hist_len).to_vec();
+        let mut last_seg: Vec<u32> = tail;
+        last_seg.extend_from_slice(prompt);
+        segments.push(SegmentInput {
+            tokens: last_seg,
+            start_pos: cached_len,
+        });
+
+        // Blocks for the tokens the prefill will append (tail + prompt);
+        // decode growth makes room incrementally per step.
+        let needed_blocks = (hist_len + prompt.len() - cached_len) / self.cfg.block_size + 2;
+        self.make_room(conv, needed_blocks.min(self.cfg.pool_blocks / 2));
+        let mut next = {
+            let state = self.convs.get_mut(&conv).expect("exists");
+            let mut batch = [SeqInput {
+                segments,
+                table: &mut state.table,
+            }];
+            let logits = self
+                .model
+                .forward(&mut self.pool, &mut batch)
+                .expect("make_room reserved space");
+            argmax(logits.row(0)) as u32
+        };
+
+        // --- Greedy decode. ---
+        let mut generated = vec![next];
+        for _ in 1..max_new {
+            self.make_room(conv, 2);
+            let state = self.convs.get_mut(&conv).expect("exists");
+            let pos = state.table.len();
+            let mut batch = [SeqInput {
+                segments: vec![SegmentInput {
+                    tokens: vec![next],
+                    start_pos: pos,
+                }],
+                table: &mut state.table,
+            }];
+            let logits = self
+                .model
+                .forward(&mut self.pool, &mut batch)
+                .expect("make_room reserved space");
+            next = argmax(logits.row(0)) as u32;
+            generated.push(next);
+        }
+        self.store.append(conv, &generated);
+        self.convs.get_mut(&conv).expect("exists").last_active = self.clock;
+        generated
+    }
+
+    /// Stateless reference: greedy decode of `max_new` tokens after
+    /// `context`, recomputing everything from scratch each step.
+    #[must_use]
+    pub fn reference_decode(&self, context: &[u32], max_new: usize) -> Vec<u32> {
+        let mut ctx = context.to_vec();
+        let mut out = Vec::new();
+        for _ in 0..max_new {
+            let logits = self.model.forward_dense(&ctx);
+            let tok = argmax(&logits) as u32;
+            out.push(tok);
+            ctx.push(tok);
+        }
+        out
+    }
+
+    /// Ensures at least `blocks` free pool blocks, evicting fully-filled
+    /// blocks of inactive conversations (leading end first, least recently
+    /// active conversation first).
+    fn make_room(&mut self, active: ConversationId, blocks: usize) {
+        let target = blocks.max(self.cfg.free_watermark.min(self.cfg.pool_blocks / 4));
+        while self.pool.num_free() < target {
+            let Some((victim, bi)) = self.pick_victim(active) else {
+                break;
+            };
+            self.evict_block(victim, bi);
+        }
+        assert!(
+            self.pool.num_free() >= blocks,
+            "GPU pool too small: need {blocks} free of {}",
+            self.pool.num_blocks()
+        );
+    }
+
+    /// The leading resident, fully-filled block of the least recently
+    /// active conversation other than `active`.
+    fn pick_victim(&self, active: ConversationId) -> Option<(ConversationId, usize)> {
+        let mut best: Option<(u64, ConversationId)> = None;
+        for (&cid, st) in &self.convs {
+            if cid == active {
+                continue;
+            }
+            // Only fully-filled blocks are evictable.
+            let full_blocks = st.table.len() / self.cfg.block_size;
+            let has_resident = (0..full_blocks).any(|bi| st.table.get_block(bi).is_some());
+            if !has_resident {
+                continue;
+            }
+            if best.is_none_or(|(t, c)| (st.last_active, cid.0) < (t, c.0)) {
+                best = Some((st.last_active, cid));
+            }
+        }
+        let (_, cid) = best?;
+        let st = &self.convs[&cid];
+        let full_blocks = st.table.len() / self.cfg.block_size;
+        (0..full_blocks)
+            .find(|&bi| st.table.get_block(bi).is_some())
+            .map(|bi| (cid, bi))
+    }
+
+    /// Copies one block to the stash (or drops it if the stash is full or
+    /// disabled) and frees its pool backing.
+    fn evict_block(&mut self, conv: ConversationId, bi: usize) {
+        let phys = self.convs[&conv]
+            .table
+            .get_block(bi)
+            .expect("victim is resident");
+        if self.cfg.stash_blocks > 0 {
+            if self.stash.len() >= self.cfg.stash_blocks {
+                // Drop the oldest stashed block entirely.
+                let oldest = self.stash_order.remove(0);
+                self.stash.remove(&oldest);
+                self.dropped_blocks += 1;
+            }
+            let hb = self.read_host_block(phys);
+            self.stash.insert((conv, bi), hb);
+            self.stash_order.push((conv, bi));
+            self.swap_out_blocks += 1;
+        } else {
+            self.dropped_blocks += 1;
+        }
+        let state = self.convs.get_mut(&conv).expect("exists");
+        state.table.free_blocks(&mut self.pool, bi..bi + 1);
+    }
+
+    fn read_host_block(&self, phys: BlockId) -> HostBlock {
+        let bs = self.cfg.block_size;
+        let layers = (0..self.pool.num_layers())
+            .map(|li| {
+                let view = self.pool.layer(li);
+                let mut k = Vec::new();
+                let mut v = Vec::new();
+                for slot in 0..bs {
+                    k.extend_from_slice(view.k_token(phys, slot));
+                    v.extend_from_slice(view.v_token(phys, slot));
+                }
+                (k, v)
+            })
+            .collect();
+        HostBlock { layers }
+    }
+
+    fn write_host_block(&mut self, phys: BlockId, hb: &HostBlock) {
+        let bs = self.cfg.block_size;
+        let tf = self.pool.layout().token_floats();
+        for (li, (k, v)) in hb.layers.iter().enumerate() {
+            for slot in 0..bs {
+                self.pool.write_token(
+                    li,
+                    phys,
+                    slot,
+                    &k[slot * tf..(slot + 1) * tf],
+                    &v[slot * tf..(slot + 1) * tf],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prompt(seed: u32, len: usize, vocab: u32) -> Vec<u32> {
+        (0..len as u32)
+            .map(|i| (seed * 31 + i * 7) % vocab)
+            .collect()
+    }
+
+    #[test]
+    fn single_turn_matches_stateless() {
+        let cfg = ModelConfig::tiny_llama();
+        let mut e = FunctionalEngine::new(&cfg, 11, FunctionalConfig::default());
+        let conv = ConversationId(1);
+        let p = prompt(1, 6, cfg.vocab_size as u32);
+        let got = e.serve_turn(conv, &p, 4);
+        let expect = e.reference_decode(&p, 4);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn multi_turn_stateful_matches_stateless() {
+        let cfg = ModelConfig::tiny_llama();
+        let mut e = FunctionalEngine::new(&cfg, 12, FunctionalConfig::default());
+        let conv = ConversationId(1);
+        let mut full: Vec<u32> = Vec::new();
+        for turn in 0..3 {
+            let p = prompt(turn + 1, 5, cfg.vocab_size as u32);
+            let got = e.serve_turn(conv, &p, 3);
+            full.extend_from_slice(&p);
+            let expect = e.reference_decode(&full, 3);
+            assert_eq!(got, expect, "turn {turn}");
+            full.extend_from_slice(&got);
+        }
+        assert_eq!(e.history(conv), full);
+    }
+
+    #[test]
+    fn eviction_and_swap_in_preserve_outputs() {
+        let cfg = ModelConfig::tiny_llama();
+        // Tiny pool: two conversations cannot both stay resident.
+        let mut e = FunctionalEngine::new(
+            &cfg,
+            13,
+            FunctionalConfig {
+                block_size: 4,
+                pool_blocks: 12,
+                stash_blocks: 64,
+                free_watermark: 2,
+            },
+        );
+        let (a, b) = (ConversationId(1), ConversationId(2));
+        let mut full_a: Vec<u32> = Vec::new();
+        let mut full_b: Vec<u32> = Vec::new();
+        for turn in 0..3 {
+            let pa = prompt(10 + turn, 6, cfg.vocab_size as u32);
+            let ga = e.serve_turn(a, &pa, 4);
+            full_a.extend_from_slice(&pa);
+            assert_eq!(ga, e.reference_decode(&full_a, 4), "conv a turn {turn}");
+            full_a.extend_from_slice(&ga);
+
+            let pb = prompt(20 + turn, 6, cfg.vocab_size as u32);
+            let gb = e.serve_turn(b, &pb, 4);
+            full_b.extend_from_slice(&pb);
+            assert_eq!(gb, e.reference_decode(&full_b, 4), "conv b turn {turn}");
+            full_b.extend_from_slice(&gb);
+        }
+        let (out, inn, _, _) = e.cache_activity();
+        assert!(out > 0, "pool pressure must have caused eviction");
+        assert!(inn > 0, "returning conversations must have swapped in");
+    }
+
+    #[test]
+    fn dropped_blocks_are_recomputed_correctly() {
+        let cfg = ModelConfig::tiny_llama();
+        // No stash: every eviction is a drop -> recompute on return.
+        let mut e = FunctionalEngine::new(
+            &cfg,
+            14,
+            FunctionalConfig {
+                block_size: 4,
+                pool_blocks: 12,
+                stash_blocks: 0,
+                free_watermark: 2,
+            },
+        );
+        let (a, b) = (ConversationId(1), ConversationId(2));
+        let mut full_a: Vec<u32> = Vec::new();
+        for turn in 0..2 {
+            let pa = prompt(30 + turn, 8, cfg.vocab_size as u32);
+            let ga = e.serve_turn(a, &pa, 3);
+            full_a.extend_from_slice(&pa);
+            assert_eq!(ga, e.reference_decode(&full_a, 3), "conv a turn {turn}");
+            full_a.extend_from_slice(&ga);
+            // Interleave a competing conversation to force eviction.
+            let pb = prompt(40 + turn, 8, cfg.vocab_size as u32);
+            e.serve_turn(b, &pb, 3);
+        }
+        // A returns after B's growth evicted (and dropped) A's prefix.
+        let pa = prompt(50, 8, cfg.vocab_size as u32);
+        let ga = e.serve_turn(a, &pa, 3);
+        full_a.extend_from_slice(&pa);
+        assert_eq!(ga, e.reference_decode(&full_a, 3), "final returning turn");
+        let (_, _, dropped, recomputed) = e.cache_activity();
+        assert!(dropped > 0, "evictions must drop without a stash");
+        assert!(recomputed > 0, "returning conversation recomputed a prefix");
+    }
+
+    #[test]
+    fn opt_family_also_served_correctly() {
+        let cfg = ModelConfig::tiny_opt();
+        let mut e = FunctionalEngine::new(&cfg, 15, FunctionalConfig::default());
+        let conv = ConversationId(1);
+        let p1 = prompt(3, 5, cfg.vocab_size as u32);
+        let g1 = e.serve_turn(conv, &p1, 3);
+        let mut full = p1.clone();
+        assert_eq!(g1, e.reference_decode(&full, 3));
+        full.extend_from_slice(&g1);
+        let p2 = prompt(4, 4, cfg.vocab_size as u32);
+        let g2 = e.serve_turn(conv, &p2, 3);
+        full.extend_from_slice(&p2);
+        assert_eq!(g2, e.reference_decode(&full, 3));
+    }
+}

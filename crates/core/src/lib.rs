@@ -1,0 +1,29 @@
+//! Pensieve's stateful LLM serving engine and the paper's baselines.
+//!
+//! Two engines live here:
+//!
+//! * [`engine::SimServingEngine`] — the full iteration-level serving system
+//!   running against simulated device timing. One configurable
+//!   implementation covers every system in the paper's evaluation:
+//!   Pensieve, Pensieve (GPU cache only), Pensieve without unified
+//!   scheduling, vLLM, and TensorRT-LLM (see [`config::EngineConfig`]'s
+//!   presets). The scheduler, cache manager, eviction, suspension, and
+//!   dropped-token recomputation logic are all real; only `duration_of`
+//!   comes from the cost model.
+//! * [`functional::FunctionalEngine`] — a scaled-down engine executing
+//!   *real* forward passes of the tiny transformer over the paged KV pool,
+//!   including actual swap-out to a host-memory stash, swap-in, dropping,
+//!   and sub-request recomputation. Its outputs are compared token-for-
+//!   token against stateless recomputation in the integration tests.
+
+pub mod config;
+pub mod engine;
+pub mod functional;
+pub mod request;
+pub mod workers;
+
+pub use config::EngineConfig;
+pub use engine::SimServingEngine;
+pub use functional::FunctionalEngine;
+pub use request::{Request, RequestId, Response};
+pub use workers::ThreadedTpEngine;

@@ -1,0 +1,132 @@
+//! Serving request/response types and latency accounting.
+
+use pensieve_kvcache::ConversationId;
+use pensieve_model::{SimDuration, SimTime};
+
+/// Unique request identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// One conversation turn submitted to a serving engine.
+///
+/// Token *counts* describe the turn; the simulation engines never look at
+/// token values. `history_tokens` is the cumulative context length before
+/// this turn — a stateless engine must re-prefill it, a stateful engine
+/// hopes to find it cached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Unique id.
+    pub id: RequestId,
+    /// Owning conversation.
+    pub conv: ConversationId,
+    /// Arrival time at the serving system.
+    pub arrival: SimTime,
+    /// Length of the new user prompt in tokens.
+    pub prompt_tokens: usize,
+    /// Number of output tokens this turn will generate (from the trace;
+    /// stands in for the position of the EOS token).
+    pub output_tokens: usize,
+    /// Conversation context length before this turn (all previous prompts
+    /// and responses).
+    pub history_tokens: usize,
+}
+
+impl Request {
+    /// Context length after this turn completes.
+    #[must_use]
+    pub fn final_context(&self) -> usize {
+        self.history_tokens + self.prompt_tokens + self.output_tokens
+    }
+}
+
+/// Completion record for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's id.
+    pub id: RequestId,
+    /// Owning conversation.
+    pub conv: ConversationId,
+    /// Request arrival time.
+    pub arrival: SimTime,
+    /// When the first output token was produced.
+    pub first_token: SimTime,
+    /// When the last output token was produced.
+    pub finish: SimTime,
+    /// Output tokens generated.
+    pub output_tokens: usize,
+    /// Query tokens processed in the prefill phase (prompt + any
+    /// recomputed history; for stateless engines the entire context).
+    pub prefill_tokens: usize,
+    /// History tokens served from cache (GPU hits + swap-ins).
+    pub cached_history_tokens: usize,
+}
+
+impl Response {
+    /// End-to-end latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `finish < arrival`.
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.finish.duration_since(self.arrival)
+    }
+
+    /// The paper's normalized latency: end-to-end latency divided by the
+    /// number of output tokens (§6.1).
+    #[must_use]
+    pub fn normalized_latency(&self) -> SimDuration {
+        self.latency() / self.output_tokens.max(1) as f64
+    }
+
+    /// Time to first token.
+    #[must_use]
+    pub fn ttft(&self) -> SimDuration {
+        self.first_token.duration_since(self.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(arrival: f64, first: f64, finish: f64, out: usize) -> Response {
+        Response {
+            id: RequestId(1),
+            conv: ConversationId(1),
+            arrival: SimTime::from_secs(arrival),
+            first_token: SimTime::from_secs(first),
+            finish: SimTime::from_secs(finish),
+            output_tokens: out,
+            prefill_tokens: 10,
+            cached_history_tokens: 0,
+        }
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let r = resp(1.0, 1.5, 5.0, 40);
+        assert_eq!(r.latency().as_secs(), 4.0);
+        assert_eq!(r.normalized_latency().as_millis(), 100.0);
+        assert_eq!(r.ttft().as_millis(), 500.0);
+    }
+
+    #[test]
+    fn zero_output_does_not_divide_by_zero() {
+        let r = resp(0.0, 1.0, 2.0, 0);
+        assert_eq!(r.normalized_latency().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn final_context_sums_all_parts() {
+        let req = Request {
+            id: RequestId(1),
+            conv: ConversationId(1),
+            arrival: SimTime::ZERO,
+            prompt_tokens: 30,
+            output_tokens: 200,
+            history_tokens: 500,
+        };
+        assert_eq!(req.final_context(), 730);
+    }
+}

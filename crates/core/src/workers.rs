@@ -1,0 +1,392 @@
+//! Threaded tensor-parallel execution: one worker thread per GPU shard
+//! (paper Figure 7 and §4.4.2).
+//!
+//! Pensieve's architecture is a single scheduler plus one worker per GPU;
+//! each worker owns its model partition and its slice of the KV cache and
+//! executes the scheduler's plan. [`ThreadedTpEngine`] reproduces that
+//! structure with real threads: each worker owns a
+//! [`ShardRunner`] (weight slices +
+//! paged KV pool + block tables) and communicates with the scheduler over
+//! crossbeam channels; the scheduler performs the replicated work
+//! (embeddings, norms, residuals) and the all-reduce summations between
+//! the column- and row-parallel halves of every layer.
+//!
+//! Partial sums are accumulated in fixed shard order, so results are
+//! deterministic and bit-identical to the single-threaded
+//! [`TpModel`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pensieve_kernels::model::{SegmentInput, TinyModel};
+use pensieve_kernels::ops::argmax;
+use pensieve_kernels::paged::OutOfBlocks;
+use pensieve_kernels::tp::{ReplicatedWeights, ShardRunner, TpModel};
+use pensieve_kernels::Matrix;
+use pensieve_model::ModelConfig;
+
+/// Scheduler-to-worker commands.
+enum Cmd {
+    BeginPass {
+        conv: u64,
+        segments: Vec<(usize, usize)>,
+    },
+    AttnPartial {
+        layer: usize,
+        xn: Arc<Matrix>,
+    },
+    MlpPartial {
+        layer: usize,
+        xn: Arc<Matrix>,
+    },
+    LmHead {
+        hidden: Arc<Vec<f32>>,
+    },
+    Shutdown,
+}
+
+/// Worker-to-scheduler responses, tagged with the worker's shard index.
+enum Res {
+    Began(Result<(), OutOfBlocks>),
+    Partial(usize, Matrix),
+    Logits(usize, Vec<f32>),
+}
+
+/// A multi-worker tensor-parallel serving engine over real threads.
+pub struct ThreadedTpEngine {
+    replicated: ReplicatedWeights,
+    cmd_txs: Vec<Sender<Cmd>>,
+    res_rx: Receiver<Res>,
+    handles: Vec<JoinHandle<()>>,
+    /// Context length per conversation (scheduler-side bookkeeping).
+    contexts: HashMap<u64, usize>,
+    /// Each conversation's not-yet-processed final token from its
+    /// previous turn.
+    tails: HashMap<u64, Vec<u32>>,
+}
+
+impl ThreadedTpEngine {
+    /// Shards `model` across `num_shards` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same divisibility conditions as
+    /// [`TpModel::new`].
+    #[must_use]
+    pub fn new(
+        model: &TinyModel,
+        num_shards: usize,
+        block_size: usize,
+        blocks_per_shard: usize,
+    ) -> Self {
+        let (replicated, shards) =
+            TpModel::new(model, num_shards, block_size, blocks_per_shard).into_parts();
+        let (res_tx, res_rx) = unbounded();
+        let mut cmd_txs = Vec::with_capacity(num_shards);
+        let mut handles = Vec::with_capacity(num_shards);
+        for (idx, mut shard) in shards.into_iter().enumerate() {
+            let (tx, rx): (Sender<Cmd>, Receiver<Cmd>) = unbounded();
+            let res_tx = res_tx.clone();
+            cmd_txs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(idx, &mut shard, &rx, &res_tx)
+            }));
+        }
+        ThreadedTpEngine {
+            replicated,
+            cmd_txs,
+            res_rx,
+            handles,
+            contexts: HashMap::new(),
+            tails: HashMap::new(),
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.cmd_txs.len()
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        self.replicated.config()
+    }
+
+    fn broadcast(&self, mut make: impl FnMut() -> Cmd) {
+        for tx in &self.cmd_txs {
+            tx.send(make()).expect("worker alive");
+        }
+    }
+
+    /// Collects one tagged partial from every worker, summing into shard
+    /// order for determinism.
+    fn collect_partials(&self, tokens: usize, width: usize) -> Matrix {
+        let n = self.cmd_txs.len();
+        let mut by_shard: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            match self.res_rx.recv().expect("worker alive") {
+                Res::Partial(idx, m) => by_shard[idx] = Some(m),
+                _ => unreachable!("protocol violation: expected partial"),
+            }
+        }
+        let mut acc = Matrix::zeros(tokens, width);
+        for m in by_shard.into_iter().map(|m| m.expect("all shards replied")) {
+            for (a, p) in acc.as_mut_slice().iter_mut().zip(m.as_slice()) {
+                *a += p;
+            }
+        }
+        acc
+    }
+
+    /// One tensor-parallel forward pass over the worker fleet, returning
+    /// the last token's logits. Segment semantics match
+    /// [`TinyModel::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBlocks`] if any worker's KV pool is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or a worker thread died.
+    pub fn forward_seq(
+        &mut self,
+        conv: u64,
+        segments: &[SegmentInput],
+    ) -> Result<Vec<f32>, OutOfBlocks> {
+        assert!(!segments.is_empty());
+        let shapes: Vec<(usize, usize)> = segments
+            .iter()
+            .map(|s| (s.start_pos, s.tokens.len()))
+            .collect();
+        self.broadcast(|| Cmd::BeginPass {
+            conv,
+            segments: shapes.clone(),
+        });
+        let mut begin_err = None;
+        for _ in 0..self.cmd_txs.len() {
+            match self.res_rx.recv().expect("worker alive") {
+                Res::Began(Err(e)) => begin_err = Some(e),
+                Res::Began(Ok(())) => {}
+                _ => unreachable!("protocol violation: expected begin ack"),
+            }
+        }
+        if let Some(e) = begin_err {
+            return Err(e);
+        }
+
+        let h = self.replicated.config().hidden_size;
+        let layers = self.replicated.config().num_layers;
+        let total_q: usize = segments.iter().map(|s| s.tokens.len()).sum();
+        let mut x = Matrix::zeros(total_q, h);
+        let mut row = 0;
+        for seg in segments {
+            for (j, &tok) in seg.tokens.iter().enumerate() {
+                x.row_mut(row)
+                    .copy_from_slice(&self.replicated.embed_token(tok, seg.start_pos + j));
+                row += 1;
+            }
+        }
+        for l in 0..layers {
+            let xn = Arc::new(self.replicated.norm1(l, &x));
+            self.broadcast(|| Cmd::AttnPartial {
+                layer: l,
+                xn: Arc::clone(&xn),
+            });
+            let acc = self.collect_partials(total_q, h);
+            for (xv, av) in x.as_mut_slice().iter_mut().zip(acc.as_slice()) {
+                *xv += av;
+            }
+            let xn = Arc::new(self.replicated.norm2(l, &x));
+            self.broadcast(|| Cmd::MlpPartial {
+                layer: l,
+                xn: Arc::clone(&xn),
+            });
+            let acc = self.collect_partials(total_q, h);
+            for (xv, av) in x.as_mut_slice().iter_mut().zip(acc.as_slice()) {
+                *xv += av;
+            }
+        }
+        let hidden = Arc::new(self.replicated.final_norm(x.row(total_q - 1)));
+        self.broadcast(|| Cmd::LmHead {
+            hidden: Arc::clone(&hidden),
+        });
+        let n = self.cmd_txs.len();
+        let mut slices: Vec<Option<Vec<f32>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            match self.res_rx.recv().expect("worker alive") {
+                Res::Logits(idx, v) => slices[idx] = Some(v),
+                _ => unreachable!("protocol violation: expected logits"),
+            }
+        }
+        let mut logits = Vec::with_capacity(self.replicated.config().vocab_size);
+        for s in slices {
+            logits.extend(s.expect("all shards replied"));
+        }
+        Ok(logits)
+    }
+
+    /// Serves one conversation turn with greedy decoding, like
+    /// [`FunctionalEngine::serve_turn`](crate::functional::FunctionalEngine::serve_turn)
+    /// but across the worker fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty, `max_new` is zero, or a worker pool is
+    /// exhausted (the threaded engine does not implement eviction; size
+    /// the pools for the workload).
+    pub fn serve_turn(&mut self, conv: u64, prompt: &[u32], max_new: usize) -> Vec<u32> {
+        assert!(!prompt.is_empty() && max_new > 0);
+        let start = self.contexts.get(&conv).copied().unwrap_or(0);
+        // The previous turn's final token was emitted but never processed
+        // (its KV is absent); prepend it, exactly like the "tail" the
+        // serving engine recomputes with each new prompt.
+        let mut input = self.tails.remove(&conv).unwrap_or_default();
+        input.extend_from_slice(prompt);
+        let input_len = input.len();
+        let logits = self
+            .forward_seq(
+                conv,
+                &[SegmentInput {
+                    tokens: input,
+                    start_pos: start,
+                }],
+            )
+            .expect("pool exhausted: size blocks_per_shard for the workload");
+        let mut next = argmax(&logits) as u32;
+        let mut generated = vec![next];
+        let mut pos = start + input_len;
+        for _ in 1..max_new {
+            let logits = self
+                .forward_seq(
+                    conv,
+                    &[SegmentInput {
+                        tokens: vec![next],
+                        start_pos: pos,
+                    }],
+                )
+                .expect("pool exhausted: size blocks_per_shard for the workload");
+            next = argmax(&logits) as u32;
+            generated.push(next);
+            pos += 1;
+        }
+        self.contexts.insert(conv, pos);
+        self.tails.insert(conv, vec![next]);
+        generated
+    }
+}
+
+impl Drop for ThreadedTpEngine {
+    fn drop(&mut self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The worker loop: executes scheduler commands against its shard.
+fn worker_loop(idx: usize, shard: &mut ShardRunner, rx: &Receiver<Cmd>, res: &Sender<Res>) {
+    while let Ok(cmd) = rx.recv() {
+        let reply = match cmd {
+            Cmd::BeginPass { conv, segments } => Res::Began(shard.begin_pass(conv, &segments)),
+            Cmd::AttnPartial { layer, xn } => Res::Partial(idx, shard.attn_partial(layer, &xn)),
+            Cmd::MlpPartial { layer, xn } => Res::Partial(idx, shard.mlp_partial(layer, &xn)),
+            Cmd::LmHead { hidden } => Res::Logits(idx, shard.lm_head_partial(&hidden)),
+            Cmd::Shutdown => break,
+        };
+        if res.send(reply).is_err() {
+            break; // Scheduler gone; exit quietly.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prompt(seed: u32, len: usize, vocab: u32) -> Vec<u32> {
+        (0..len as u32)
+            .map(|i| (seed * 41 + i * 13) % vocab)
+            .collect()
+    }
+
+    /// Two worker threads produce exactly the tokens of the unsharded
+    /// stateless reference, across multiple turns.
+    #[test]
+    fn threaded_tp_matches_dense_reference() {
+        let cfg = ModelConfig::tiny_llama();
+        let model = TinyModel::new_random(&cfg, 91);
+        let mut engine = ThreadedTpEngine::new(&model, 2, 4, 128);
+        assert_eq!(engine.num_shards(), 2);
+        let mut full: Vec<u32> = Vec::new();
+        for turn in 0..3u32 {
+            let p = prompt(turn, 6, cfg.vocab_size as u32);
+            let got = engine.serve_turn(1, &p, 4);
+            full.extend_from_slice(&p);
+            // Stateless reference decode on the original model.
+            let mut ctx = full.clone();
+            let mut expect = Vec::new();
+            for _ in 0..4 {
+                let logits = model.forward_dense(&ctx);
+                let t = argmax(&logits) as u32;
+                expect.push(t);
+                ctx.push(t);
+            }
+            assert_eq!(got, expect, "turn {turn}");
+            full.extend_from_slice(&got);
+        }
+    }
+
+    /// Four OPT-family workers, interleaved conversations.
+    #[test]
+    fn four_workers_interleaved_conversations() {
+        let cfg = ModelConfig::tiny_opt();
+        let model = TinyModel::new_random(&cfg, 92);
+        let mut engine = ThreadedTpEngine::new(&model, 4, 4, 128);
+        let vocab = cfg.vocab_size as u32;
+        let mut transcripts: HashMap<u64, Vec<u32>> = HashMap::new();
+        for round in 0..2u32 {
+            for conv in 1..=2u64 {
+                let p = prompt(round * 2 + conv as u32, 5, vocab);
+                let got = engine.serve_turn(conv, &p, 3);
+                let t = transcripts.entry(conv).or_default();
+                t.extend_from_slice(&p);
+                let mut ctx = t.clone();
+                let mut expect = Vec::new();
+                for _ in 0..3 {
+                    let logits = model.forward_dense(&ctx);
+                    let tok = argmax(&logits) as u32;
+                    expect.push(tok);
+                    ctx.push(tok);
+                }
+                assert_eq!(got, expect, "conv {conv} round {round}");
+                t.extend_from_slice(&got);
+            }
+        }
+    }
+
+    /// The threaded engine is bit-identical to the single-threaded TP
+    /// orchestrator (fixed-order all-reduce).
+    #[test]
+    fn threaded_matches_single_threaded_tp() {
+        let cfg = ModelConfig::tiny_llama();
+        let model = TinyModel::new_random(&cfg, 93);
+        let mut threaded = ThreadedTpEngine::new(&model, 2, 4, 64);
+        let mut single = TpModel::new(&model, 2, 4, 64);
+        let p = prompt(9, 7, cfg.vocab_size as u32);
+        let seg = SegmentInput {
+            tokens: p,
+            start_pos: 0,
+        };
+        let a = threaded.forward_seq(5, std::slice::from_ref(&seg)).unwrap();
+        let b = single.forward_seq(5, &[seg]).unwrap();
+        assert_eq!(a, b, "fixed-order all-reduce must be bit-identical");
+    }
+}

@@ -1,0 +1,136 @@
+//! Fused attention over a *contiguous* KV cache — the Figure-12 "Ideal".
+//!
+//! Single streaming pass over the context using online softmax (never
+//! materializing the score matrix), with causal masking fused in. This is
+//! the performance ceiling the paged multi-token kernel is compared
+//! against: same algorithm, but K/V indexing is direct instead of going
+//! through a block table.
+
+use super::{dot, AttnConfig, OnlineSoftmax};
+use crate::tensor::Matrix;
+
+/// Fused causal attention over contiguous `k`/`v`.
+///
+/// Shapes and masking semantics are identical to
+/// [`naive_attention`](super::naive::naive_attention): `q` is
+/// `[q_len, num_heads * head_dim]`, `k`/`v` are
+/// `[context_len, num_kv_heads * head_dim]`, and query token `j` sees
+/// positions `0 ..= context_len - q_len + j`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `q_len > context_len`.
+#[must_use]
+pub fn fused_contiguous(cfg: &AttnConfig, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+    let q_len = q.rows();
+    let ctx = k.rows();
+    assert!(q_len <= ctx, "query longer than context");
+    assert_eq!(q.cols(), cfg.q_width());
+    assert_eq!(k.cols(), cfg.kv_width());
+    assert_eq!(v.cols(), cfg.kv_width());
+    assert_eq!(k.rows(), v.rows());
+
+    let d = cfg.head_dim;
+    let offset = ctx - q_len;
+    let mut out = Matrix::zeros(q_len, cfg.q_width());
+
+    // Per (query row, head) online-softmax state, streamed over the
+    // context so each K/V row is read exactly once.
+    let mut states: Vec<OnlineSoftmax> = (0..q_len * cfg.num_heads)
+        .map(|_| OnlineSoftmax::new(d))
+        .collect();
+
+    for t in 0..ctx {
+        let krow = k.row(t);
+        let vrow = v.row(t);
+        // Query rows that can see position t: j >= t - offset.
+        let j_lo = t.saturating_sub(offset);
+        for j in j_lo..q_len {
+            let qrow = q.row(j);
+            for h in 0..cfg.num_heads {
+                let kvh = cfg.kv_head_for(h);
+                let score =
+                    dot(&qrow[h * d..(h + 1) * d], &krow[kvh * d..(kvh + 1) * d]) * cfg.scale;
+                states[j * cfg.num_heads + h].update(score, &vrow[kvh * d..(kvh + 1) * d]);
+            }
+        }
+    }
+
+    for j in 0..q_len {
+        let orow = out.row_mut(j);
+        for h in 0..cfg.num_heads {
+            states[j * cfg.num_heads + h].finish(&mut orow[h * d..(h + 1) * d]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::naive::naive_attention;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(q_len, ctx, heads, kv_heads, d) in &[
+            (1usize, 1usize, 1usize, 1usize, 4usize),
+            (1, 17, 4, 4, 8),
+            (5, 5, 2, 2, 4),
+            (8, 33, 8, 2, 16),
+            (16, 64, 4, 1, 8),
+        ] {
+            let cfg = AttnConfig::new(heads, kv_heads, d);
+            let q = random_matrix(&mut rng, q_len, cfg.q_width());
+            let k = random_matrix(&mut rng, ctx, cfg.kv_width());
+            let v = random_matrix(&mut rng, ctx, cfg.kv_width());
+            let expect = naive_attention(&cfg, &q, &k, &v);
+            let got = fused_contiguous(&cfg, &q, &k, &v);
+            assert!(
+                got.max_abs_diff(&expect) < 1e-5,
+                "mismatch for q={q_len} ctx={ctx} heads={heads}/{kv_heads} d={d}"
+            );
+        }
+    }
+
+    /// Changing a key the mask hides must not change the output.
+    #[test]
+    fn masked_positions_are_ignored() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = AttnConfig::new(2, 2, 4);
+        let q = random_matrix(&mut rng, 3, cfg.q_width());
+        let k = random_matrix(&mut rng, 6, cfg.kv_width());
+        let v = random_matrix(&mut rng, 6, cfg.kv_width());
+        let base = fused_contiguous(&cfg, &q, &k, &v);
+        // Query row 0 sees positions 0..=3; perturb positions 4 and 5.
+        let mut k2 = k.clone();
+        let mut v2 = v.clone();
+        for t in 4..6 {
+            for x in k2.row_mut(t) {
+                *x += 100.0;
+            }
+            for x in v2.row_mut(t) {
+                *x -= 100.0;
+            }
+        }
+        let alt = fused_contiguous(&cfg, &q, &k2, &v2);
+        for c in 0..cfg.q_width() {
+            assert!(
+                (base[(0, c)] - alt[(0, c)]).abs() < 1e-6,
+                "row 0 leaked future"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Naive reference attention: materializes the full score matrix.
+//!
+//! Used as ground truth by every other kernel's tests. O(q·l) memory,
+//! two-pass softmax — deliberately the most obviously-correct formulation.
+
+use super::AttnConfig;
+use crate::ops::softmax_row;
+use crate::tensor::Matrix;
+
+/// Causal attention of `q` (`[q_len, num_heads * head_dim]`) over
+/// contiguous `k`/`v` (`[context_len, num_kv_heads * head_dim]`).
+///
+/// Query token `j` attends to context positions
+/// `0 ..= context_len - q_len + j`. Returns `[q_len, num_heads * head_dim]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `q_len > context_len`.
+#[must_use]
+pub fn naive_attention(cfg: &AttnConfig, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+    let q_len = q.rows();
+    let ctx = k.rows();
+    assert!(q_len <= ctx, "query longer than context");
+    assert_eq!(q.cols(), cfg.q_width());
+    assert_eq!(k.cols(), cfg.kv_width());
+    assert_eq!(v.cols(), cfg.kv_width());
+    assert_eq!(k.rows(), v.rows());
+
+    let d = cfg.head_dim;
+    let offset = ctx - q_len;
+    let mut out = Matrix::zeros(q_len, cfg.q_width());
+
+    for h in 0..cfg.num_heads {
+        let kvh = cfg.kv_head_for(h);
+        for j in 0..q_len {
+            let visible = offset + j + 1;
+            let qrow = &q.row(j)[h * d..(h + 1) * d];
+            let mut scores = vec![0.0f32; visible];
+            for (t, sc) in scores.iter_mut().enumerate() {
+                let krow = &k.row(t)[kvh * d..(kvh + 1) * d];
+                *sc = qrow.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * cfg.scale;
+            }
+            softmax_row(&mut scores);
+            let orow = &mut out.row_mut(j)[h * d..(h + 1) * d];
+            for (t, &p) in scores.iter().enumerate() {
+                let vrow = &v.row(t)[kvh * d..(kvh + 1) * d];
+                for (o, &vv) in orow.iter_mut().zip(vrow) {
+                    *o += p * vv;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With a single key the output is exactly that key's value row.
+    #[test]
+    fn single_token_returns_value() {
+        let cfg = AttnConfig::new(1, 1, 2);
+        let q = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let k = Matrix::from_vec(1, 2, vec![0.3, 0.7]);
+        let v = Matrix::from_vec(1, 2, vec![5.0, -2.0]);
+        let out = naive_attention(&cfg, &q, &k, &v);
+        assert_eq!(out.as_slice(), &[5.0, -2.0]);
+    }
+
+    /// Uniform scores average the visible values; causality limits them.
+    #[test]
+    fn causal_masking_limits_visibility() {
+        let cfg = AttnConfig::new(1, 1, 1);
+        // Zero queries -> all scores 0 -> uniform weights over visible keys.
+        let q = Matrix::zeros(2, 1);
+        let k = Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]);
+        let v = Matrix::from_vec(3, 1, vec![3.0, 6.0, 9.0]);
+        let out = naive_attention(&cfg, &q, &k, &v);
+        // Query 0 sees positions 0..=1 (offset 1): mean(3,6) = 4.5.
+        assert!((out[(0, 0)] - 4.5).abs() < 1e-6);
+        // Query 1 sees all three: mean = 6.
+        assert!((out[(1, 0)] - 6.0).abs() < 1e-6);
+    }
+
+    /// GQA: both query heads in a group read the same KV head.
+    #[test]
+    fn gqa_heads_share_kv() {
+        let cfg = AttnConfig::new(2, 1, 2);
+        let q = Matrix::from_vec(1, 4, vec![1.0, 0.0, 1.0, 0.0]);
+        let k = Matrix::from_vec(1, 2, vec![0.2, 0.8]);
+        let v = Matrix::from_vec(1, 2, vec![4.0, 7.0]);
+        let out = naive_attention(&cfg, &q, &k, &v);
+        assert_eq!(&out.row(0)[0..2], &out.row(0)[2..4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "query longer than context")]
+    fn rejects_query_longer_than_context() {
+        let cfg = AttnConfig::new(1, 1, 1);
+        let q = Matrix::zeros(3, 1);
+        let k = Matrix::zeros(2, 1);
+        let v = Matrix::zeros(2, 1);
+        let _ = naive_attention(&cfg, &q, &k, &v);
+    }
+}

@@ -1,0 +1,190 @@
+//! Single-token paged attention — our vLLM `PagedAttention` analogue.
+//!
+//! Computes attention for exactly **one** query token per request over a
+//! paged KV cache (paper Figure 9, left). The underlying computation is two
+//! matrix-vector products, so there is no query dimension to parallelize or
+//! tile over — which is precisely why the paper cannot use this kernel for
+//! prefill and builds the multi-token kernel instead.
+
+use super::{dot, AttnConfig, AttnSeq, OnlineSoftmax};
+use crate::paged::KvLayerView;
+use crate::tensor::Matrix;
+
+/// Attention for one query token (`q_row`, `[num_heads * head_dim]`) over
+/// the first `context_len` tokens of a paged context.
+///
+/// Writes the result into `out` (`[num_heads * head_dim]`).
+///
+/// # Panics
+///
+/// Panics if slice widths disagree with `cfg`, `context_len` is zero, or
+/// the block table is shorter than `context_len`.
+pub fn paged_single_token(
+    cfg: &AttnConfig,
+    q_row: &[f32],
+    layer: &KvLayerView<'_>,
+    seq: &AttnSeq<'_>,
+    out: &mut [f32],
+) {
+    assert_eq!(q_row.len(), cfg.q_width());
+    assert_eq!(out.len(), cfg.q_width());
+    assert!(seq.context_len > 0, "empty context");
+    assert!(
+        seq.table.len() >= seq.context_len,
+        "block table shorter than context"
+    );
+
+    let d = cfg.head_dim;
+    let block_size = layer.layout().block_size;
+    let num_blocks = seq.context_len.div_ceil(block_size);
+
+    for h in 0..cfg.num_heads {
+        let kvh = cfg.kv_head_for(h);
+        let qh = &q_row[h * d..(h + 1) * d];
+        let mut st = OnlineSoftmax::new(d);
+        let mut t = 0;
+        'outer: for bi in 0..num_blocks {
+            let b = seq.table.block_at(bi);
+            for slot in 0..block_size {
+                if t >= seq.context_len {
+                    break 'outer;
+                }
+                let score = dot(qh, layer.k_head(b, slot, kvh)) * cfg.scale;
+                st.update(score, layer.v_head(b, slot, kvh));
+                t += 1;
+            }
+        }
+        st.finish(&mut out[h * d..(h + 1) * d]);
+    }
+}
+
+/// Batched single-token attention: one query row per request.
+///
+/// `q` holds one row per sequence in `seqs` order; each sequence must have
+/// `q_len == 1`. Returns `[seqs.len(), num_heads * head_dim]`.
+///
+/// # Panics
+///
+/// Panics if any sequence has `q_len != 1` or shapes are inconsistent.
+#[must_use]
+pub fn paged_single_token_batch(
+    cfg: &AttnConfig,
+    q: &Matrix,
+    layer: &KvLayerView<'_>,
+    seqs: &[AttnSeq<'_>],
+) -> Matrix {
+    assert_eq!(q.rows(), seqs.len());
+    let mut out = Matrix::zeros(seqs.len(), cfg.q_width());
+    for (i, seq) in seqs.iter().enumerate() {
+        assert_eq!(seq.q_len, 1, "single-token kernel requires q_len == 1");
+        paged_single_token(cfg, q.row(i), layer, seq, out.row_mut(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::naive::naive_attention;
+    use super::*;
+    use crate::paged::{gather_contiguous, BlockTable, KvLayout, PagedKvCache};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Fills a paged context with random KV and returns the table.
+    fn build_context(rng: &mut StdRng, pool: &mut PagedKvCache, tokens: usize) -> BlockTable {
+        let mut table = BlockTable::new(pool.layout().block_size);
+        let tf = pool.layout().token_floats();
+        for _ in 0..tokens {
+            let (b, s) = table.append_token(pool).unwrap();
+            let k: Vec<f32> = (0..tf).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let v: Vec<f32> = (0..tf).map(|_| rng.random_range(-1.0..1.0)).collect();
+            pool.write_token(0, b, s, &k, &v);
+        }
+        table
+    }
+
+    #[test]
+    fn matches_naive_for_one_query_token() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = AttnConfig::new(4, 2, 8);
+        let layout = KvLayout {
+            num_kv_heads: 2,
+            head_dim: 8,
+            block_size: 4,
+        };
+        for ctx in [1usize, 3, 4, 5, 17, 64] {
+            let mut pool = PagedKvCache::new(layout, 1, 32);
+            let table = build_context(&mut rng, &mut pool, ctx);
+            let q = Matrix::from_vec(
+                1,
+                cfg.q_width(),
+                (0..cfg.q_width())
+                    .map(|_| rng.random_range(-1.0..1.0))
+                    .collect(),
+            );
+            let seq = AttnSeq {
+                q_start: 0,
+                q_len: 1,
+                context_len: ctx,
+                table: &table,
+            };
+            let got = paged_single_token_batch(&cfg, &q, &pool.layer(0), &[seq]);
+            let (k, v) = gather_contiguous(&pool.layer(0), &table, ctx);
+            let expect = naive_attention(&cfg, &q, &k, &v);
+            assert!(got.max_abs_diff(&expect) < 1e-5, "ctx={ctx}");
+        }
+    }
+
+    /// Tokens beyond `context_len` in the table must be invisible.
+    #[test]
+    fn respects_context_len_shorter_than_table() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = AttnConfig::new(2, 2, 4);
+        let layout = KvLayout {
+            num_kv_heads: 2,
+            head_dim: 4,
+            block_size: 4,
+        };
+        let mut pool = PagedKvCache::new(layout, 1, 8);
+        let table = build_context(&mut rng, &mut pool, 10);
+        let q = Matrix::from_vec(
+            1,
+            cfg.q_width(),
+            (0..cfg.q_width())
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect(),
+        );
+        let seq = AttnSeq {
+            q_start: 0,
+            q_len: 1,
+            context_len: 6,
+            table: &table,
+        };
+        let got = paged_single_token_batch(&cfg, &q, &pool.layer(0), &[seq]);
+        let (k, v) = gather_contiguous(&pool.layer(0), &table, 6);
+        let expect = naive_attention(&cfg, &q, &k, &v);
+        assert!(got.max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "q_len == 1")]
+    fn rejects_multi_token_queries() {
+        let cfg = AttnConfig::new(1, 1, 2);
+        let layout = KvLayout {
+            num_kv_heads: 1,
+            head_dim: 2,
+            block_size: 2,
+        };
+        let mut pool = PagedKvCache::new(layout, 1, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let table = build_context(&mut rng, &mut pool, 2);
+        let q = Matrix::zeros(1, 2);
+        let seq = AttnSeq {
+            q_start: 0,
+            q_len: 2,
+            context_len: 2,
+            table: &table,
+        };
+        let _ = paged_single_token_batch(&cfg, &q, &pool.layer(0), &[seq]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Elementary neural-network operators used by the functional transformer.
+//!
+//! All operators are straightforward scalar implementations; they exist for
+//! *correctness* (validating the paged attention kernels end-to-end), not
+//! for speed. The attention kernels in [`crate::attention`] are the
+//! performance-sensitive code this crate is really about.
+
+use crate::tensor::Matrix;
+
+/// `C = A * B` where `A` is `[m, k]` and `B` is `[k, n]`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            let brow = b.row(p);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// In-place numerically-stable softmax over a single row.
+pub fn softmax_row(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Root-mean-square normalization (Llama 2): `x * w / rms(x)`.
+pub fn rmsnorm(x: &mut [f32], weight: &[f32], eps: f32) {
+    debug_assert_eq!(x.len(), weight.len());
+    let ms: f32 = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    for (v, w) in x.iter_mut().zip(weight) {
+        *v = *v * inv * w;
+    }
+}
+
+/// Standard LayerNorm with affine parameters (OPT).
+pub fn layernorm(x: &mut [f32], weight: &[f32], bias: &[f32], eps: f32) {
+    debug_assert_eq!(x.len(), weight.len());
+    debug_assert_eq!(x.len(), bias.len());
+    let n = x.len() as f32;
+    let mean: f32 = x.iter().sum::<f32>() / n;
+    let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + eps).sqrt();
+    for ((v, w), b) in x.iter_mut().zip(weight).zip(bias) {
+        *v = (*v - mean) * inv * w + b;
+    }
+}
+
+/// Sigmoid-weighted linear unit: `x * sigmoid(x)`.
+#[must_use]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Rectified linear unit.
+#[must_use]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Applies rotary position embeddings in place to one token's Q or K rows.
+///
+/// `x` is laid out as `[num_heads, head_dim]` flattened; `pos` is the
+/// token's absolute position. Uses the standard base-10000 frequencies and
+/// the adjacent-pair rotation convention.
+///
+/// # Panics
+///
+/// Panics if `head_dim` is odd or `x.len()` is not a multiple of it.
+pub fn apply_rope(x: &mut [f32], num_heads: usize, head_dim: usize, pos: usize) {
+    assert_eq!(head_dim % 2, 0, "rope requires even head_dim");
+    assert_eq!(x.len(), num_heads * head_dim);
+    for h in 0..num_heads {
+        let head = &mut x[h * head_dim..(h + 1) * head_dim];
+        for i in 0..head_dim / 2 {
+            let theta = (pos as f32) * 10000f32.powf(-2.0 * i as f32 / head_dim as f32);
+            let (sin, cos) = theta.sin_cos();
+            let (a, b) = (head[2 * i], head[2 * i + 1]);
+            head[2 * i] = a * cos - b * sin;
+            head[2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+/// Element-wise `a += b` over two same-shaped matrices (residual add).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add_rows(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// Adds `bias` element-wise to every row of `m`.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != m.cols()`.
+pub fn add_bias(m: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), m.cols());
+    for r in 0..m.rows() {
+        for (v, b) in m.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Index of the maximum element (greedy sampling); ties go to the lower
+/// index.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+#[must_use]
+pub fn argmax(logits: &[f32]) -> usize {
+    assert!(!logits.is_empty());
+    let mut best = 0;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut row = vec![1.0, 2.0, 3.0];
+        softmax_row(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row[2] > row[1] && row[1] > row[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut row = vec![1000.0, 1000.0];
+        softmax_row(&mut row);
+        assert!((row[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut row: Vec<f32> = vec![];
+        softmax_row(&mut row);
+    }
+
+    #[test]
+    fn rmsnorm_unit_output_scale() {
+        let mut x = vec![3.0, 4.0];
+        let w = vec![1.0, 1.0];
+        rmsnorm(&mut x, &w, 0.0);
+        // rms(3,4) = sqrt(12.5); outputs are x / rms.
+        let rms = 12.5f32.sqrt();
+        assert!((x[0] - 3.0 / rms).abs() < 1e-6);
+        assert!((x[1] - 4.0 / rms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        let w = vec![1.0; 4];
+        let b = vec![0.0; 4];
+        layernorm(&mut x, &w, &b, 0.0);
+        let mean: f32 = x.iter().sum::<f32>() / 4.0;
+        let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn activations_match_definitions() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(2.0), 2.0);
+        assert!((silu(0.0)).abs() < 1e-7);
+        assert!(silu(10.0) > 9.99);
+        assert!(silu(-10.0) > -1e-3 && silu(-10.0) < 0.0);
+    }
+
+    #[test]
+    fn rope_preserves_norm_and_is_position_dependent() {
+        let orig = vec![1.0, 2.0, 3.0, 4.0];
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        apply_rope(&mut a, 1, 4, 3);
+        apply_rope(&mut b, 1, 4, 7);
+        let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm(&a) - norm(&orig)).abs() < 1e-5);
+        assert!(a != b, "different positions must rotate differently");
+        // Position 0 is the identity rotation.
+        let mut c = orig.clone();
+        apply_rope(&mut c, 1, 4, 0);
+        assert_eq!(c, orig);
+    }
+
+    #[test]
+    fn rope_relative_property() {
+        // Dot product of rope(q,i) and rope(k,j) depends only on i - j.
+        let q = vec![0.3, -0.7, 1.1, 0.2];
+        let k = vec![-0.5, 0.9, 0.4, -1.3];
+        let dot_at = |i: usize, j: usize| {
+            let mut qi = q.clone();
+            let mut kj = k.clone();
+            apply_rope(&mut qi, 1, 4, i);
+            apply_rope(&mut kj, 1, 4, j);
+            qi.iter().zip(&kj).map(|(a, b)| a * b).sum::<f32>()
+        };
+        assert!((dot_at(5, 3) - dot_at(9, 7)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn argmax_first_max_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn add_bias_applies_to_all_rows() {
+        let mut m = Matrix::zeros(2, 2);
+        add_bias(&mut m, &[1.0, 2.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 1.0, 2.0]);
+    }
+}

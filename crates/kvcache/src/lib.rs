@@ -1,0 +1,39 @@
+//! Two-tier (GPU + CPU) KV-token cache management for Pensieve (§4.3).
+//!
+//! This crate implements the paper's cache manager at the *decision* level:
+//! which chunks live where, what gets evicted when, and what a returning
+//! conversation must swap in or recompute. It tracks token counts and chunk
+//! states; the physical KV bytes live either in the simulator (timing
+//! experiments) or in `pensieve-kernels`' paged pool (functional tests).
+//!
+//! Key concepts, mapped to the paper:
+//!
+//! * **Chunks** — eviction happens in fixed-size groups of tokens
+//!   (32 by default) to amortize decision-making and PCIe transfer costs.
+//! * **Retention value** — `V = Cost(l) / T`: chunks that are cheap to
+//!   recompute (leading chunks, small `l`) or belong to long-inactive
+//!   conversations are evicted first ([`policy::RetentionValuePolicy`]).
+//! * **Ahead-of-time swapping** — when GPU free space falls below a
+//!   watermark (25 %), chunks are *copied* to CPU but their GPU slots are
+//!   reclaimed lazily, so a quickly-returning conversation gets them back
+//!   for free ([`tiered::TieredKvCache`]).
+//! * **Dropping and recomputation** — under CPU pressure chunks are
+//!   dropped entirely; a later request recomputes them from raw tokens kept
+//!   in a persistent store ([`store::RawTokenStore`]).
+//! * **Request plans** — a returning conversation's context splits into the
+//!   paper's Figure-5 segments: dropped prefix (recompute), CPU middle
+//!   (swap in), GPU tail (hit), new prompt (compute).
+
+pub mod policy;
+pub mod stats;
+pub mod store;
+pub mod tiered;
+pub mod types;
+
+pub use policy::{
+    CachedAttentionPolicy, EvictionPolicy, LruPolicy, RetentionValuePolicy, TrailingEndPolicy,
+};
+pub use stats::CacheStats;
+pub use store::RawTokenStore;
+pub use tiered::{RequestPlan, SwapOutOp, TieredKvCache};
+pub use types::{CacheConfig, ChunkRef, ChunkState, ConversationId, Tier};

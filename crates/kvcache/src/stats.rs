@@ -1,0 +1,80 @@
+//! Cache effectiveness counters (used by the Figure-14 analysis).
+
+/// Running counters of cache behaviour, all in tokens unless noted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Tokens served straight from the GPU tier (including revalidated
+    /// lazy copies).
+    pub gpu_hit_tokens: u64,
+    /// Tokens served by swapping in from the CPU tier.
+    pub cpu_hit_tokens: u64,
+    /// Previously-cached tokens that had been dropped and were recomputed.
+    pub recomputed_tokens: u64,
+    /// Tokens copied GPU -> CPU (ahead-of-time swap-out).
+    pub swapped_out_tokens: u64,
+    /// Tokens copied CPU -> GPU (swap-in).
+    pub swapped_in_tokens: u64,
+    /// Tokens dropped from the CPU tier under memory pressure.
+    pub dropped_tokens: u64,
+    /// Lazily-copied tokens whose GPU slots were reused by the same
+    /// conversation before reclamation (free swap-in).
+    pub revalidated_tokens: u64,
+    /// Requests whose entire history was still GPU-resident.
+    pub full_gpu_hits: u64,
+    /// Requests that needed at least one swap-in or recomputation.
+    pub partial_hits: u64,
+}
+
+impl CacheStats {
+    /// Fraction of reusable history tokens found in either cache tier.
+    ///
+    /// Returns 1.0 when no history has been requested yet.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.gpu_hit_tokens + self.cpu_hit_tokens;
+        let total = hits + self.recomputed_tokens;
+        if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of non-GPU-resident history tokens found in the CPU tier
+    /// (vs dropped): the "CPU cache hit rate" of §6.6.
+    ///
+    /// Returns 1.0 when the GPU tier absorbed everything.
+    #[must_use]
+    pub fn cpu_hit_rate(&self) -> f64 {
+        let total = self.cpu_hit_tokens + self.recomputed_tokens;
+        if total == 0 {
+            1.0
+        } else {
+            self.cpu_hit_tokens as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_degenerate_to_one_when_empty() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        assert_eq!(s.cpu_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn rates_reflect_counters() {
+        let s = CacheStats {
+            gpu_hit_tokens: 60,
+            cpu_hit_tokens: 20,
+            recomputed_tokens: 20,
+            ..CacheStats::default()
+        };
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
+        assert!((s.cpu_hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Persistent raw-token store (paper Figure 7, "persistent store").
+//!
+//! Pensieve keeps every conversation's raw token ids durably so that
+//! dropped KV chunks can be recomputed: the scheduler fetches the dropped
+//! range's raw tokens and prepends them to the new prompt (§4.3.4). This
+//! in-memory implementation stands in for the paper's external store; it
+//! is the source of truth for conversation *text*, while the tiered cache
+//! is only ever an optimization.
+
+use std::collections::HashMap;
+
+use crate::types::ConversationId;
+
+/// Durable store of each conversation's full raw-token history.
+#[derive(Debug, Default)]
+pub struct RawTokenStore {
+    convs: HashMap<ConversationId, Vec<u32>>,
+}
+
+impl RawTokenStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends tokens to a conversation's history, creating it on first
+    /// use.
+    pub fn append(&mut self, conv: ConversationId, tokens: &[u32]) {
+        self.convs
+            .entry(conv)
+            .or_default()
+            .extend_from_slice(tokens);
+    }
+
+    /// Total stored tokens for a conversation (0 if unknown).
+    #[must_use]
+    pub fn len(&self, conv: ConversationId) -> usize {
+        self.convs.get(&conv).map_or(0, Vec::len)
+    }
+
+    /// True if the conversation has no stored tokens.
+    #[must_use]
+    pub fn is_empty(&self, conv: ConversationId) -> bool {
+        self.len(conv) == 0
+    }
+
+    /// Fetches the raw tokens in `range` (for dropped-chunk recomputation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the stored history — the store is
+    /// durable, so asking for never-stored tokens is a logic error.
+    #[must_use]
+    pub fn fetch(&self, conv: ConversationId, range: std::ops::Range<usize>) -> &[u32] {
+        let hist = self
+            .convs
+            .get(&conv)
+            .unwrap_or_else(|| panic!("unknown conversation {conv:?}"));
+        &hist[range]
+    }
+
+    /// Removes a conversation's history entirely (end of conversation).
+    pub fn remove(&mut self, conv: ConversationId) {
+        self.convs.remove(&conv);
+    }
+
+    /// Number of tracked conversations.
+    #[must_use]
+    pub fn num_conversations(&self) -> usize {
+        self.convs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_fetch_ranges() {
+        let mut s = RawTokenStore::new();
+        let c = ConversationId(1);
+        s.append(c, &[1, 2, 3]);
+        s.append(c, &[4, 5]);
+        assert_eq!(s.len(c), 5);
+        assert_eq!(s.fetch(c, 1..4), &[2, 3, 4]);
+        assert_eq!(s.fetch(c, 0..0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn unknown_conversation_is_empty() {
+        let s = RawTokenStore::new();
+        assert!(s.is_empty(ConversationId(9)));
+        assert_eq!(s.len(ConversationId(9)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown conversation")]
+    fn fetch_unknown_panics() {
+        let s = RawTokenStore::new();
+        let _ = s.fetch(ConversationId(9), 0..1);
+    }
+
+    #[test]
+    fn remove_forgets_history() {
+        let mut s = RawTokenStore::new();
+        let c = ConversationId(2);
+        s.append(c, &[7]);
+        assert_eq!(s.num_conversations(), 1);
+        s.remove(c);
+        assert_eq!(s.num_conversations(), 0);
+        assert!(s.is_empty(c));
+    }
+}

@@ -1,0 +1,1083 @@
+//! The two-tier GPU/CPU KV cache manager (§4.3).
+//!
+//! [`TieredKvCache`] tracks every active conversation's chunks across four
+//! states (GPU-resident, lazily-copied, CPU-resident, dropped) and makes
+//! the paper's three decisions:
+//!
+//! 1. **Ahead-of-time swap-out** (§4.3.2): when strictly-free GPU slots
+//!    fall below the 25 % watermark, chunks chosen by the eviction policy
+//!    are *copied* to the CPU tier ([`Tier::GpuCopied`]). Their GPU slots
+//!    are reclaimed lazily — only when another allocation actually needs
+//!    them — so a conversation that returns quickly gets its context back
+//!    without any transfer ("revalidation").
+//! 2. **Dropping** (§4.3.4): when the CPU tier is full, the same policy
+//!    drops chunks entirely; they must later be recomputed from raw
+//!    tokens.
+//! 3. **Restore planning**: a returning conversation's context is split
+//!    into the Figure-5 segments — dropped prefix (recompute), CPU middle
+//!    (swap in), GPU tail (hit) — and committed once the scheduler has
+//!    verified GPU space.
+//!
+//! All quantities are in tokens; byte conversion and transfer timing are
+//! the simulator's job, physical KV bytes the functional engine's.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+use pensieve_model::SimTime;
+
+use crate::policy::{EvictionPolicy, Granularity, WithinOrder};
+use crate::stats::CacheStats;
+use crate::types::{CacheConfig, ChunkState, ConversationId, Tier};
+
+/// Error from cache operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheError {
+    /// Not enough effectively-free GPU slots for the request.
+    OutOfGpu {
+        /// Tokens requested.
+        needed: usize,
+        /// Tokens effectively free (counting reclaimable copies).
+        free: usize,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::OutOfGpu { needed, free } => {
+                write!(f, "out of GPU KV slots: need {needed}, free {free}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// One chunk chosen for ahead-of-time swap-out (GPU -> CPU copy), or for
+/// direct dropping when the CPU tier cannot hold it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapOutOp {
+    /// Owning conversation.
+    pub conv: ConversationId,
+    /// Chunk index within the conversation.
+    pub chunk: usize,
+    /// Tokens to copy.
+    pub tokens: usize,
+    /// True if the chunk was dropped instead of copied (no CPU space).
+    pub dropped: bool,
+}
+
+/// Restore plan for a returning conversation (paper Figure 5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestPlan {
+    /// Tokens still resident in the GPU tier (free hits).
+    pub gpu_hit_tokens: usize,
+    /// Lazily-copied tokens revalidated in place (free hits).
+    pub revalidate_tokens: usize,
+    /// Tokens to transfer CPU -> GPU.
+    pub swap_in_tokens: usize,
+    /// Dropped tokens to recompute from raw text.
+    pub recompute_tokens: usize,
+    /// Token ranges, in context order, with the tier they were found in.
+    /// `Tier::Dropped` ranges become recompute sub-requests.
+    pub segments: Vec<(Range<usize>, Tier)>,
+}
+
+impl RequestPlan {
+    /// New GPU slots this restore will occupy (swap-ins + recomputes).
+    #[must_use]
+    pub fn new_gpu_slots(&self) -> usize {
+        self.swap_in_tokens + self.recompute_tokens
+    }
+
+    /// Token ranges that must be recomputed, in ascending order.
+    #[must_use]
+    pub fn recompute_ranges(&self) -> Vec<Range<usize>> {
+        self.segments
+            .iter()
+            .filter(|(_, t)| *t == Tier::Dropped)
+            .map(|(r, _)| r.clone())
+            .collect()
+    }
+
+    /// True if the whole context was GPU-resident (or empty).
+    #[must_use]
+    pub fn is_full_gpu_hit(&self) -> bool {
+        self.swap_in_tokens == 0 && self.recompute_tokens == 0
+    }
+}
+
+#[derive(Debug)]
+struct ConvEntry {
+    chunks: Vec<ChunkState>,
+    last_active: SimTime,
+    pinned: bool,
+}
+
+impl ConvEntry {
+    fn total_tokens(&self) -> usize {
+        self.chunks.iter().map(|c| c.tokens).sum()
+    }
+}
+
+/// The tiered cache manager.
+///
+/// # Examples
+///
+/// ```
+/// use pensieve_kvcache::{CacheConfig, ConversationId, LruPolicy, TieredKvCache};
+/// use pensieve_model::SimTime;
+///
+/// let mut cache = TieredKvCache::new(
+///     CacheConfig::for_test(32, 1024, 4096),
+///     Box::new(LruPolicy),
+/// );
+/// let conv = ConversationId(1);
+/// // A first turn appends its prompt + outputs to the GPU tier.
+/// cache.append_tokens(conv, 300, SimTime::from_secs(0.0)).unwrap();
+/// cache.unpin(conv);
+/// // When the conversation returns, the whole context is a GPU hit.
+/// let plan = cache.commit_restore(conv, SimTime::from_secs(30.0)).unwrap();
+/// assert!(plan.is_full_gpu_hit());
+/// assert_eq!(plan.gpu_hit_tokens, 300);
+/// ```
+pub struct TieredKvCache {
+    cfg: CacheConfig,
+    policy: Box<dyn EvictionPolicy>,
+    convs: HashMap<ConversationId, ConvEntry>,
+    /// Tokens in `Tier::Gpu`.
+    gpu_resident: usize,
+    /// Tokens in `Tier::GpuCopied` (occupy a GPU slot *and* CPU space).
+    gpu_copied: usize,
+    /// Tokens in `Tier::Cpu`.
+    cpu_resident: usize,
+    /// Lazily-copied chunks in copy order, for O(1) slot reclamation.
+    /// Entries are validated at pop (a chunk may have been revalidated or
+    /// suspended since).
+    copied_fifo: std::collections::VecDeque<(ConversationId, usize)>,
+    stats: CacheStats,
+}
+
+impl fmt::Debug for TieredKvCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TieredKvCache")
+            .field("conversations", &self.convs.len())
+            .field("gpu_resident", &self.gpu_resident)
+            .field("gpu_copied", &self.gpu_copied)
+            .field("cpu_resident", &self.cpu_resident)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl TieredKvCache {
+    /// Creates a cache with the given capacities and eviction policy.
+    #[must_use]
+    pub fn new(cfg: CacheConfig, policy: Box<dyn EvictionPolicy>) -> Self {
+        TieredKvCache {
+            cfg,
+            policy,
+            convs: HashMap::new(),
+            gpu_resident: 0,
+            gpu_copied: 0,
+            cpu_resident: 0,
+            copied_fifo: std::collections::VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// GPU slots in use (resident + lazily-copied).
+    #[must_use]
+    pub fn gpu_slots_used(&self) -> usize {
+        self.gpu_resident + self.gpu_copied
+    }
+
+    /// Strictly free GPU slots (no reclamation needed).
+    #[must_use]
+    pub fn gpu_free_strict(&self) -> usize {
+        self.cfg.gpu_capacity_tokens - self.gpu_slots_used()
+    }
+
+    /// Effectively free GPU slots: strictly free plus lazily-reclaimable
+    /// copies.
+    #[must_use]
+    pub fn gpu_free_effective(&self) -> usize {
+        self.cfg.gpu_capacity_tokens - self.gpu_resident
+    }
+
+    /// CPU tokens in use (CPU-resident + lazy copies).
+    #[must_use]
+    pub fn cpu_used(&self) -> usize {
+        self.cpu_resident + self.gpu_copied
+    }
+
+    /// Lazily-copied tokens belonging to `conv`.
+    fn copied_tokens_of(&self, conv: ConversationId) -> usize {
+        self.convs.get(&conv).map_or(0, |e| {
+            e.chunks
+                .iter()
+                .filter(|c| c.tier == Tier::GpuCopied)
+                .map(|c| c.tokens)
+                .sum()
+        })
+    }
+
+    /// GPU tokens effectively free for *new allocations of `conv`*:
+    /// strictly free slots plus copies reclaimable from other
+    /// conversations. `conv`'s own lazy copies are excluded — they are
+    /// revalidated in place on restore, not reclaimed, so they cannot
+    /// back new slots.
+    #[must_use]
+    pub fn gpu_free_effective_for(&self, conv: ConversationId) -> usize {
+        self.gpu_free_effective() - self.copied_tokens_of(conv)
+    }
+
+    /// Tokens of `conv` currently tracked (0 if unknown).
+    #[must_use]
+    pub fn conversation_tokens(&self, conv: ConversationId) -> usize {
+        self.convs.get(&conv).map_or(0, ConvEntry::total_tokens)
+    }
+
+    /// True if the conversation has tracked context.
+    #[must_use]
+    pub fn contains(&self, conv: ConversationId) -> bool {
+        self.convs.contains_key(&conv)
+    }
+
+    /// Marks a conversation as part of the running batch: its chunks are
+    /// exempt from eviction.
+    pub fn pin(&mut self, conv: ConversationId) {
+        if let Some(e) = self.convs.get_mut(&conv) {
+            e.pinned = true;
+        }
+    }
+
+    /// Clears the running-batch pin.
+    pub fn unpin(&mut self, conv: ConversationId) {
+        if let Some(e) = self.convs.get_mut(&conv) {
+            e.pinned = false;
+        }
+    }
+
+    /// Updates a conversation's last-active time.
+    pub fn touch(&mut self, conv: ConversationId, now: SimTime) {
+        if let Some(e) = self.convs.get_mut(&conv) {
+            e.last_active = now;
+        }
+    }
+
+    /// Computes the Figure-5 restore plan for `conv` without mutating
+    /// anything. Unknown conversations yield an empty plan.
+    #[must_use]
+    pub fn plan_restore(&self, conv: ConversationId) -> RequestPlan {
+        let Some(e) = self.convs.get(&conv) else {
+            return RequestPlan::default();
+        };
+        let mut plan = RequestPlan::default();
+        let mut pos = 0;
+        for c in &e.chunks {
+            let range = pos..pos + c.tokens;
+            match c.tier {
+                Tier::Gpu => plan.gpu_hit_tokens += c.tokens,
+                Tier::GpuCopied => plan.revalidate_tokens += c.tokens,
+                Tier::Cpu => plan.swap_in_tokens += c.tokens,
+                Tier::Dropped => plan.recompute_tokens += c.tokens,
+            }
+            // Merge adjacent ranges of the same effective segment kind
+            // (GPU and GpuCopied both count as resident hits).
+            let kind = match c.tier {
+                Tier::Gpu | Tier::GpuCopied => Tier::Gpu,
+                t => t,
+            };
+            match plan.segments.last_mut() {
+                Some((r, t)) if *t == kind && r.end == range.start => r.end = range.end,
+                _ => plan.segments.push((range, kind)),
+            }
+            pos += c.tokens;
+        }
+        plan
+    }
+
+    /// Commits a restore: revalidates lazy copies, swaps CPU chunks in,
+    /// marks dropped chunks as recomputed-on-GPU, pins and touches the
+    /// conversation, and updates statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::OutOfGpu`] (without mutating) if the plan's
+    /// new slots exceed effectively-free GPU space.
+    pub fn commit_restore(
+        &mut self,
+        conv: ConversationId,
+        now: SimTime,
+    ) -> Result<RequestPlan, CacheError> {
+        let plan = self.plan_restore(conv);
+        let needed = plan.new_gpu_slots();
+        if needed > self.gpu_free_effective_for(conv) {
+            return Err(CacheError::OutOfGpu {
+                needed,
+                free: self.gpu_free_effective_for(conv),
+            });
+        }
+        self.reclaim_gpu_slots(needed, Some(conv));
+        if let Some(e) = self.convs.get_mut(&conv) {
+            for c in e.chunks.iter_mut() {
+                match c.tier {
+                    Tier::Gpu => {}
+                    Tier::GpuCopied => {
+                        // Revalidate: discard the CPU copy, keep the slot.
+                        self.gpu_copied -= c.tokens;
+                        self.gpu_resident += c.tokens;
+                        self.stats.revalidated_tokens += c.tokens as u64;
+                        c.tier = Tier::Gpu;
+                    }
+                    Tier::Cpu => {
+                        self.cpu_resident -= c.tokens;
+                        self.gpu_resident += c.tokens;
+                        self.stats.swapped_in_tokens += c.tokens as u64;
+                        c.tier = Tier::Gpu;
+                    }
+                    Tier::Dropped => {
+                        self.gpu_resident += c.tokens;
+                        c.tier = Tier::Gpu;
+                    }
+                }
+            }
+            e.last_active = now;
+            e.pinned = true;
+        }
+        self.stats.gpu_hit_tokens += (plan.gpu_hit_tokens + plan.revalidate_tokens) as u64;
+        self.stats.cpu_hit_tokens += plan.swap_in_tokens as u64;
+        self.stats.recomputed_tokens += plan.recompute_tokens as u64;
+        if plan.gpu_hit_tokens
+            + plan.revalidate_tokens
+            + plan.swap_in_tokens
+            + plan.recompute_tokens
+            > 0
+        {
+            if plan.is_full_gpu_hit() {
+                self.stats.full_gpu_hits += 1;
+            } else {
+                self.stats.partial_hits += 1;
+            }
+        }
+        debug_assert!(self.check_invariants());
+        Ok(plan)
+    }
+
+    /// Appends `n` freshly-computed tokens to `conv` in the GPU tier,
+    /// creating the conversation if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::OutOfGpu`] if effectively-free space is
+    /// insufficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conversation's trailing chunk is not GPU-resident —
+    /// callers must [`TieredKvCache::commit_restore`] first.
+    pub fn append_tokens(
+        &mut self,
+        conv: ConversationId,
+        n: usize,
+        now: SimTime,
+    ) -> Result<(), CacheError> {
+        if n > self.gpu_free_effective_for(conv) {
+            return Err(CacheError::OutOfGpu {
+                needed: n,
+                free: self.gpu_free_effective_for(conv),
+            });
+        }
+        self.reclaim_gpu_slots(n, Some(conv));
+        let chunk_tokens = self.cfg.chunk_tokens;
+        let e = self.convs.entry(conv).or_insert_with(|| ConvEntry {
+            chunks: Vec::new(),
+            last_active: now,
+            pinned: true,
+        });
+        let mut remaining = n;
+        let mut pos = e.total_tokens();
+        while remaining > 0 {
+            if let Some(last) = e.chunks.last_mut() {
+                if last.tokens < chunk_tokens {
+                    assert_eq!(
+                        last.tier,
+                        Tier::Gpu,
+                        "appending into a non-resident trailing chunk"
+                    );
+                    let add = remaining.min(chunk_tokens - last.tokens);
+                    last.tokens += add;
+                    last.context_end += add;
+                    pos += add;
+                    remaining -= add;
+                    continue;
+                }
+            }
+            let add = remaining.min(chunk_tokens);
+            e.chunks.push(ChunkState {
+                tier: Tier::Gpu,
+                tokens: add,
+                context_end: pos + add,
+            });
+            pos += add;
+            remaining -= add;
+        }
+        e.last_active = now;
+        self.gpu_resident += n;
+        debug_assert!(self.check_invariants());
+        Ok(())
+    }
+
+    /// Ahead-of-time swap-out (§4.3.2): if strictly-free GPU slots are
+    /// below the watermark, copies policy-chosen chunks to the CPU tier
+    /// until the watermark is met or no candidate remains. Chunks that the
+    /// CPU tier cannot hold (and nothing droppable remains) are dropped
+    /// directly.
+    ///
+    /// Returns the operations performed, for transfer timing.
+    pub fn maybe_swap_out(&mut self, now: SimTime) -> Vec<SwapOutOp> {
+        self.swap_out_until(self.cfg.swap_trigger_tokens(), now)
+    }
+
+    /// Evicts (copies or drops) policy-chosen chunks until at least
+    /// `target_free` GPU tokens are effectively free, or no candidate
+    /// remains. Used both for the watermark-triggered ahead-of-time pass
+    /// and for forced eviction when an admission cannot fit.
+    pub fn swap_out_until(&mut self, target_free: usize, now: SimTime) -> Vec<SwapOutOp> {
+        self.swap_out_until_for(target_free, None, now)
+    }
+
+    /// [`TieredKvCache::swap_out_until`] targeting the effective space
+    /// available *to `for_conv`* (see
+    /// [`TieredKvCache::gpu_free_effective_for`]): that conversation's own
+    /// chunks are not eviction candidates, since demoting them cannot
+    /// create space for its restore.
+    pub fn swap_out_until_for(
+        &mut self,
+        target_free: usize,
+        for_conv: Option<ConversationId>,
+        now: SimTime,
+    ) -> Vec<SwapOutOp> {
+        let trigger = target_free;
+        let free = |cache: &Self| match for_conv {
+            Some(c) => cache.gpu_free_effective_for(c),
+            None => cache.gpu_free_effective(),
+        };
+        let mut ops = Vec::new();
+        // Target *effective* free space: a copied chunk's GPU slot is
+        // reclaimed lazily, so the copy itself already makes room.
+        if free(self) >= trigger {
+            return ops;
+        }
+        // One candidate collection per pass: both the GPU eviction order
+        // and (lazily) the CPU drop order are snapshots walked in sorted
+        // order, which keeps the pass O(n log n) instead of O(n^2).
+        let mut candidates = self.collect_candidates(Tier::Gpu, now, false);
+        if let Some(c) = for_conv {
+            candidates.retain(|&(conv, _, _)| conv != c);
+        }
+        let mut drop_queue: Option<std::collections::VecDeque<(ConversationId, usize)>> = None;
+        let conversation_granularity = self.policy.granularity() == Granularity::Conversation;
+        let mut active_conv: Option<ConversationId> = None;
+        for (conv, idx, _) in candidates {
+            // Conversation-granularity policies finish the conversation
+            // they started evicting before honoring the watermark.
+            if free(self) >= trigger && !(conversation_granularity && Some(conv) == active_conv) {
+                break;
+            }
+            active_conv = Some(conv);
+            let tokens = self.convs[&conv].chunks[idx].tokens;
+            // Make CPU room; if impossible, drop the chunk instead.
+            let copied = self.ensure_cpu_space_with(tokens, now, &mut drop_queue);
+            let e = self.convs.get_mut(&conv).expect("candidate exists");
+            let c = &mut e.chunks[idx];
+            debug_assert_eq!(c.tier, Tier::Gpu);
+            self.gpu_resident -= tokens;
+            if copied {
+                c.tier = Tier::GpuCopied;
+                self.gpu_copied += tokens;
+                self.copied_fifo.push_back((conv, idx));
+                self.stats.swapped_out_tokens += tokens as u64;
+            } else {
+                c.tier = Tier::Dropped;
+                self.stats.dropped_tokens += tokens as u64;
+            }
+            ops.push(SwapOutOp {
+                conv,
+                chunk: idx,
+                tokens,
+                dropped: !copied,
+            });
+        }
+        debug_assert!(self.check_invariants());
+        ops
+    }
+
+    /// Suspends a running request (§4.3.5): moves all its GPU-resident
+    /// chunks to the CPU tier immediately and unpins it. Returns the
+    /// number of tokens that must be transferred.
+    pub fn suspend(&mut self, conv: ConversationId, now: SimTime) -> usize {
+        let Some(e) = self.convs.get_mut(&conv) else {
+            return 0;
+        };
+        e.pinned = false;
+        let mut to_move = Vec::new();
+        for (i, c) in e.chunks.iter().enumerate() {
+            match c.tier {
+                Tier::Gpu => to_move.push((i, c.tokens, false)),
+                Tier::GpuCopied => to_move.push((i, c.tokens, true)),
+                _ => {}
+            }
+        }
+        let mut transferred = 0;
+        for (i, tokens, already_copied) in to_move {
+            if already_copied {
+                // The CPU already holds a copy; just release the GPU slot.
+                let e = self.convs.get_mut(&conv).expect("exists");
+                e.chunks[i].tier = Tier::Cpu;
+                self.gpu_copied -= tokens;
+                self.cpu_resident += tokens;
+                continue;
+            }
+            let copied = self.ensure_cpu_space(tokens, now);
+            let e = self.convs.get_mut(&conv).expect("exists");
+            let c = &mut e.chunks[i];
+            self.gpu_resident -= tokens;
+            if copied {
+                c.tier = Tier::Cpu;
+                self.cpu_resident += tokens;
+                self.stats.swapped_out_tokens += tokens as u64;
+                transferred += tokens;
+            } else {
+                c.tier = Tier::Dropped;
+                self.stats.dropped_tokens += tokens as u64;
+            }
+        }
+        debug_assert!(self.check_invariants());
+        transferred
+    }
+
+    /// Removes a conversation and frees all its space.
+    pub fn remove_conversation(&mut self, conv: ConversationId) {
+        if let Some(e) = self.convs.remove(&conv) {
+            for c in &e.chunks {
+                match c.tier {
+                    Tier::Gpu => self.gpu_resident -= c.tokens,
+                    Tier::GpuCopied => self.gpu_copied -= c.tokens,
+                    Tier::Cpu => self.cpu_resident -= c.tokens,
+                    Tier::Dropped => {}
+                }
+            }
+        }
+        debug_assert!(self.check_invariants());
+    }
+
+    /// Frees CPU space for `tokens` by dropping policy-chosen CPU-tier
+    /// chunks. Returns false if space could not be found (caller should
+    /// drop instead of copy).
+    fn ensure_cpu_space(&mut self, tokens: usize, now: SimTime) -> bool {
+        self.ensure_cpu_space_with(tokens, now, &mut None)
+    }
+
+    /// [`TieredKvCache::ensure_cpu_space`] with a caller-held drop queue:
+    /// the candidate snapshot is collected at most once per pass and
+    /// consumed from the front, entries being re-validated at use.
+    fn ensure_cpu_space_with(
+        &mut self,
+        tokens: usize,
+        now: SimTime,
+        queue: &mut Option<std::collections::VecDeque<(ConversationId, usize)>>,
+    ) -> bool {
+        if tokens > self.cfg.cpu_capacity_tokens {
+            return false;
+        }
+        while self.cpu_used() + tokens > self.cfg.cpu_capacity_tokens {
+            let q = queue.get_or_insert_with(|| {
+                self.collect_candidates(Tier::Cpu, now, false)
+                    .into_iter()
+                    .map(|(c, i, _)| (c, i))
+                    .collect()
+            });
+            let Some((conv, idx)) = q.pop_front() else {
+                return false;
+            };
+            let Some(e) = self.convs.get_mut(&conv) else {
+                continue; // Conversation removed since the snapshot.
+            };
+            if e.pinned {
+                continue; // Re-pinned since the snapshot.
+            }
+            let c = &mut e.chunks[idx];
+            if c.tier != Tier::Cpu {
+                continue; // Tier changed since the snapshot.
+            }
+            self.cpu_resident -= c.tokens;
+            self.stats.dropped_tokens += c.tokens as u64;
+            c.tier = Tier::Dropped;
+        }
+        true
+    }
+
+    /// Converts lazily-copied chunks back to CPU-only until at least
+    /// `needed` strictly-free slots exist. `favored` conversations' copies
+    /// are reclaimed last (they are about to be revalidated).
+    ///
+    /// Runs in amortized O(1) per reclaimed chunk: copies are queued in
+    /// copy order (which follows the eviction policy's order) and stale
+    /// entries are skipped on pop.
+    fn reclaim_gpu_slots(&mut self, needed: usize, favored: Option<ConversationId>) {
+        if self.gpu_free_strict() >= needed || self.gpu_copied == 0 {
+            return;
+        }
+        let mut kept = Vec::new();
+        while self.gpu_free_strict() < needed {
+            let Some((conv, idx)) = self.copied_fifo.pop_front() else {
+                break;
+            };
+            if Some(conv) == favored {
+                kept.push((conv, idx));
+                continue;
+            }
+            let Some(e) = self.convs.get_mut(&conv) else {
+                continue; // Conversation removed; stale entry.
+            };
+            let c = &mut e.chunks[idx];
+            if c.tier != Tier::GpuCopied {
+                continue; // Revalidated/suspended since copying; stale.
+            }
+            c.tier = Tier::Cpu;
+            self.gpu_copied -= c.tokens;
+            self.cpu_resident += c.tokens;
+        }
+        // Favored entries stay queued for future reclamation.
+        for entry in kept.into_iter().rev() {
+            self.copied_fifo.push_front(entry);
+        }
+    }
+
+    /// All evictable chunks in `tier`, sorted ascending by
+    /// (score, conversation, within-order index).
+    fn collect_candidates(
+        &self,
+        tier: Tier,
+        now: SimTime,
+        include_pinned: bool,
+    ) -> Vec<(ConversationId, usize, f64)> {
+        let trailing = self.policy.within_order() == WithinOrder::TrailingFirst;
+        let mut out: Vec<(ConversationId, usize, f64)> = Vec::new();
+        for (&cid, e) in &self.convs {
+            if e.pinned && !include_pinned {
+                continue;
+            }
+            for (i, c) in e.chunks.iter().enumerate() {
+                if c.tier == tier {
+                    let score = self.policy.score(c, e.last_active, now);
+                    out.push((cid, i, score));
+                }
+            }
+        }
+        match self.policy.granularity() {
+            Granularity::Chunk => {
+                out.sort_by(|a, b| {
+                    a.2.partial_cmp(&b.2)
+                        .expect("scores are finite")
+                        .then(a.0.cmp(&b.0))
+                        .then(if trailing {
+                            b.1.cmp(&a.1)
+                        } else {
+                            a.1.cmp(&b.1)
+                        })
+                });
+            }
+            Granularity::Conversation => {
+                // Order conversations by score, then take each
+                // conversation's chunks together (leading first).
+                out.sort_by(|a, b| {
+                    a.2.partial_cmp(&b.2)
+                        .expect("scores are finite")
+                        .then(a.0.cmp(&b.0))
+                        .then(a.1.cmp(&b.1))
+                });
+            }
+        }
+        out
+    }
+
+    /// Verifies internal accounting; used in debug assertions.
+    fn check_invariants(&self) -> bool {
+        let mut gpu = 0;
+        let mut copied = 0;
+        let mut cpu = 0;
+        for e in self.convs.values() {
+            let mut pos = 0;
+            for c in &e.chunks {
+                assert!(c.tokens > 0 && c.tokens <= self.cfg.chunk_tokens);
+                assert_eq!(c.context_end, pos + c.tokens, "context_end drift");
+                pos += c.tokens;
+                match c.tier {
+                    Tier::Gpu => gpu += c.tokens,
+                    Tier::GpuCopied => copied += c.tokens,
+                    Tier::Cpu => cpu += c.tokens,
+                    Tier::Dropped => {}
+                }
+            }
+        }
+        assert_eq!(gpu, self.gpu_resident, "gpu_resident drift");
+        assert_eq!(copied, self.gpu_copied, "gpu_copied drift");
+        assert_eq!(cpu, self.cpu_resident, "cpu_resident drift");
+        assert!(self.gpu_slots_used() <= self.cfg.gpu_capacity_tokens);
+        assert!(self.cpu_used() <= self.cfg.cpu_capacity_tokens);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CachedAttentionPolicy, LruPolicy, TrailingEndPolicy};
+
+    fn lru_cache(gpu: usize, cpu: usize) -> TieredKvCache {
+        TieredKvCache::new(CacheConfig::for_test(32, gpu, cpu), Box::new(LruPolicy))
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn append_builds_chunks() {
+        let mut cache = lru_cache(1000, 1000);
+        let c = ConversationId(1);
+        cache.append_tokens(c, 50, t(0.0)).unwrap();
+        assert_eq!(cache.conversation_tokens(c), 50);
+        cache.append_tokens(c, 20, t(1.0)).unwrap();
+        assert_eq!(cache.conversation_tokens(c), 70);
+        assert_eq!(cache.gpu_slots_used(), 70);
+        // 70 tokens at chunk 32 = chunks of 32, 32, 6.
+        let plan = cache.plan_restore(c);
+        assert_eq!(plan.gpu_hit_tokens, 70);
+        assert!(plan.is_full_gpu_hit());
+    }
+
+    #[test]
+    fn append_rejects_overflow() {
+        let mut cache = lru_cache(64, 64);
+        let c = ConversationId(1);
+        assert!(matches!(
+            cache.append_tokens(c, 65, t(0.0)),
+            Err(CacheError::OutOfGpu { needed: 65, .. })
+        ));
+        assert_eq!(cache.conversation_tokens(c), 0);
+    }
+
+    #[test]
+    fn watermark_triggers_ahead_of_time_swap() {
+        // Capacity 128, watermark 25% -> swap when effective free < 32.
+        let mut cache = lru_cache(128, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 64, t(0.0)).unwrap();
+        cache.unpin(a);
+        // 64 free (50%): above the watermark, nothing to do.
+        assert!(cache.maybe_swap_out(t(0.5)).is_empty());
+        cache.append_tokens(a, 36, t(1.0)).unwrap();
+        cache.unpin(a);
+        // 28 effectively free -> copy exactly one 32-token chunk.
+        let ops = cache.maybe_swap_out(t(1.5));
+        assert_eq!(ops.len(), 1);
+        assert!(!ops[0].dropped);
+        assert_eq!(ops[0].tokens, 32);
+        assert!(cache.gpu_free_effective() >= 32);
+        // The copied chunk still revalidates for free on return.
+        let plan = cache.plan_restore(a);
+        assert_eq!(plan.revalidate_tokens, 32);
+        assert_eq!(plan.swap_in_tokens, 0);
+    }
+
+    #[test]
+    fn revalidation_restores_for_free() {
+        let mut cache = lru_cache(128, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 100, t(0.0)).unwrap();
+        cache.unpin(a);
+        let ops = cache.maybe_swap_out(t(1.0));
+        assert_eq!(ops.len(), 1, "one chunk copied reaches the watermark");
+        let plan = cache.commit_restore(a, t(2.0)).unwrap();
+        assert_eq!(plan.new_gpu_slots(), 0, "revalidation costs nothing");
+        assert_eq!(cache.stats().revalidated_tokens, 32);
+        assert_eq!(cache.stats().swapped_in_tokens, 0);
+        assert!(cache.stats().full_gpu_hits == 1);
+    }
+
+    #[test]
+    fn lazy_copies_reclaimed_under_pressure_then_swapped_in() {
+        let mut cache = lru_cache(128, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 100, t(0.0)).unwrap();
+        cache.unpin(a);
+        cache.maybe_swap_out(t(1.0));
+        // A second conversation consumes the reclaimable slots.
+        let b = ConversationId(2);
+        cache.append_tokens(b, 60, t(2.0)).unwrap();
+        // A's copied chunk lost its GPU slot.
+        let plan = cache.plan_restore(a);
+        assert_eq!(plan.swap_in_tokens, 32);
+        assert_eq!(plan.revalidate_tokens, 0);
+        // B must release space before A can restore (b drops from gpu).
+        cache.unpin(b);
+        cache.suspend(b, t(3.0));
+        let plan = cache.commit_restore(a, t(3.0)).unwrap();
+        assert_eq!(plan.new_gpu_slots(), 32);
+        assert_eq!(cache.stats().swapped_in_tokens, 32);
+        assert_eq!(cache.stats().partial_hits, 1);
+    }
+
+    #[test]
+    fn chunk_too_big_for_cpu_tier_is_dropped() {
+        // CPU tier smaller than one chunk: eviction must drop, not copy.
+        let mut cache = lru_cache(128, 16);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 128, t(0.0)).unwrap();
+        cache.unpin(a);
+        let ops = cache.maybe_swap_out(t(1.0));
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].dropped);
+        assert_eq!(ops[0].chunk, 0, "leading chunk goes first under LRU");
+        assert_eq!(cache.stats().dropped_tokens, 32);
+    }
+
+    #[test]
+    fn cpu_pressure_drops_cpu_chunks_leading_first() {
+        let mut cache = lru_cache(192, 64);
+        // Conversation A is suspended to CPU (64 tokens fill the tier).
+        let a = ConversationId(1);
+        cache.append_tokens(a, 64, t(0.0)).unwrap();
+        cache.suspend(a, t(1.0));
+        assert_eq!(cache.cpu_used(), 64);
+        // Conversation B fills the GPU and triggers eviction; copying B's
+        // chunk requires dropping A's leading CPU chunk.
+        let b = ConversationId(2);
+        cache.append_tokens(b, 192, t(2.0)).unwrap();
+        cache.unpin(b);
+        let ops = cache.maybe_swap_out(t(3.0));
+        assert!(!ops.is_empty());
+        assert!(!ops[0].dropped, "B's chunk was copied, not dropped");
+        assert!(cache.stats().dropped_tokens >= 32, "A lost a CPU chunk");
+        let plan_a = cache.plan_restore(a);
+        assert!(plan_a.recompute_tokens >= 32);
+        assert_eq!(
+            plan_a.segments.first().map(|(r, t)| (r.clone(), *t)),
+            Some((0..64, Tier::Dropped)),
+            "A's chunks dropped from the leading end"
+        );
+    }
+
+    #[test]
+    fn restore_plan_splits_figure5_segments() {
+        let mut cache = lru_cache(128, 64);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 128, t(0.0)).unwrap();
+        // Suspending with a CPU tier that holds only two chunks: chunks
+        // 0 and 1 get copied but are then dropped to make room for 2 and
+        // 3, leaving the paper's Figure-5 layout — dropped prefix, CPU
+        // middle.
+        cache.suspend(a, t(1.0));
+        let plan = cache.plan_restore(a);
+        assert_eq!(plan.recompute_tokens, 64);
+        assert_eq!(plan.swap_in_tokens, 64);
+        assert_eq!(plan.segments.len(), 2);
+        assert_eq!(plan.segments[0], (0..64, Tier::Dropped));
+        assert_eq!(plan.segments[1], (64..128, Tier::Cpu));
+        assert_eq!(plan.recompute_ranges(), vec![0..64]);
+        assert!(!plan.is_full_gpu_hit());
+        assert_eq!(plan.new_gpu_slots(), 128);
+    }
+
+    #[test]
+    fn suspend_moves_everything_off_gpu() {
+        let mut cache = lru_cache(256, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 100, t(0.0)).unwrap();
+        let moved = cache.suspend(a, t(1.0));
+        assert_eq!(moved, 100);
+        assert_eq!(cache.gpu_slots_used(), 0);
+        let plan = cache.plan_restore(a);
+        assert_eq!(plan.swap_in_tokens, 100);
+    }
+
+    #[test]
+    fn pinned_conversations_are_not_evicted() {
+        let mut cache = lru_cache(128, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 120, t(0.0)).unwrap();
+        // Still pinned: swap-out finds no candidates.
+        let ops = cache.maybe_swap_out(t(1.0));
+        assert!(ops.is_empty());
+        cache.unpin(a);
+        assert!(!cache.maybe_swap_out(t(1.0)).is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_active_conversation() {
+        let mut cache = lru_cache(96, 1000);
+        let (a, b) = (ConversationId(1), ConversationId(2));
+        cache.append_tokens(a, 32, t(0.0)).unwrap();
+        cache.append_tokens(b, 32, t(5.0)).unwrap();
+        cache.unpin(a);
+        cache.unpin(b);
+        // 32 free = 33% > 25%: no swap yet. Add one more chunk.
+        let c = ConversationId(3);
+        cache.append_tokens(c, 32, t(6.0)).unwrap();
+        let ops = cache.maybe_swap_out(t(7.0));
+        assert_eq!(ops[0].conv, a, "oldest conversation evicted first");
+    }
+
+    #[test]
+    fn whole_conversation_policy_takes_all_chunks_of_one_conv() {
+        let mut cache = TieredKvCache::new(
+            CacheConfig::for_test(32, 192, 1000),
+            Box::new(CachedAttentionPolicy),
+        );
+        let (a, b) = (ConversationId(1), ConversationId(2));
+        cache.append_tokens(a, 64, t(0.0)).unwrap();
+        cache.append_tokens(b, 96, t(5.0)).unwrap();
+        cache.unpin(a);
+        cache.unpin(b);
+        // 32 free < 48 trigger: evict. Policy must take both of A's chunks
+        // before any of B's.
+        let ops = cache.maybe_swap_out(t(6.0));
+        assert!(ops.len() >= 2);
+        assert!(ops[0].conv == a && ops[1].conv == a);
+    }
+
+    #[test]
+    fn trailing_policy_evicts_from_the_back() {
+        let mut cache = TieredKvCache::new(
+            CacheConfig::for_test(32, 128, 1000),
+            Box::new(TrailingEndPolicy),
+        );
+        let a = ConversationId(1);
+        cache.append_tokens(a, 128, t(0.0)).unwrap();
+        cache.unpin(a);
+        let ops = cache.maybe_swap_out(t(1.0));
+        assert_eq!(ops[0].chunk, 3, "trailing chunk first");
+    }
+
+    #[test]
+    fn remove_conversation_frees_all_tiers() {
+        let mut cache = lru_cache(128, 64);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 128, t(0.0)).unwrap();
+        cache.unpin(a);
+        cache.maybe_swap_out(t(1.0));
+        cache.remove_conversation(a);
+        assert_eq!(cache.gpu_slots_used(), 0);
+        assert_eq!(cache.cpu_used(), 0);
+        assert_eq!(cache.conversation_tokens(a), 0);
+    }
+
+    #[test]
+    fn commit_restore_fails_without_space_and_is_side_effect_free() {
+        let mut cache = lru_cache(96, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 96, t(0.0)).unwrap();
+        cache.unpin(a);
+        cache.suspend(a, t(1.0));
+        // Fill the GPU with another pinned conversation.
+        let b = ConversationId(2);
+        cache.append_tokens(b, 96, t(2.0)).unwrap();
+        let before = cache.plan_restore(a);
+        assert!(cache.commit_restore(a, t(3.0)).is_err());
+        assert_eq!(cache.plan_restore(a), before, "failed commit mutated state");
+    }
+
+    /// Retention-value eviction order: cheap-to-recompute leading chunks
+    /// of long-idle conversations go first; an active conversation's
+    /// trailing chunk goes last.
+    #[test]
+    fn retention_value_orders_evictions() {
+        use crate::policy::RetentionValuePolicy;
+        use pensieve_model::{CostModel, HardwareSpec, ModelConfig, ProfiledCostTable};
+        let cost = CostModel::new(ModelConfig::opt_13b(), HardwareSpec::azure_nc_a100(1));
+        let policy = RetentionValuePolicy::new(ProfiledCostTable::profile(&cost, 32, 16384));
+        let mut cache = TieredKvCache::new(CacheConfig::for_test(32, 512, 4096), Box::new(policy));
+        // Conversation A: long context, idle since t=0.
+        let a = ConversationId(1);
+        cache.append_tokens(a, 256, t(0.0)).unwrap();
+        cache.unpin(a);
+        // Conversation B: short context, active recently.
+        let b = ConversationId(2);
+        cache.append_tokens(b, 128, t(100.0)).unwrap();
+        cache.unpin(b);
+        // Force deep eviction.
+        let ops = cache.swap_out_until(512, t(101.0));
+        assert!(!ops.is_empty());
+        // The very first eviction is A's leading chunk (idle + cheap).
+        assert_eq!(ops[0].conv, a);
+        assert_eq!(ops[0].chunk, 0);
+        // All of A's chunks go before any of B's (A idle 101 s vs 1 s —
+        // the idle-time ratio dominates the cost ratio here).
+        let first_b = ops.iter().position(|o| o.conv == b);
+        let last_a = ops.iter().rposition(|o| o.conv == a);
+        if let (Some(fb), Some(la)) = (first_b, last_a) {
+            assert!(la < fb, "A (idle) must evict before B (recent)");
+        }
+        // Within A, chunks leave leading-end first.
+        let a_chunks: Vec<usize> = ops
+            .iter()
+            .filter(|o| o.conv == a)
+            .map(|o| o.chunk)
+            .collect();
+        let mut sorted = a_chunks.clone();
+        sorted.sort_unstable();
+        assert_eq!(a_chunks, sorted, "leading chunks evicted first");
+    }
+
+    /// Stale lazy-copy FIFO entries (revalidated chunks) are skipped, and
+    /// re-copied chunks reclaim correctly afterwards.
+    #[test]
+    fn reclamation_skips_revalidated_copies() {
+        let mut cache = lru_cache(128, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 100, t(0.0)).unwrap();
+        cache.unpin(a);
+        // Copy one chunk out, then revalidate it by restoring A.
+        assert_eq!(cache.maybe_swap_out(t(1.0)).len(), 1);
+        cache.commit_restore(a, t(2.0)).unwrap();
+        assert_eq!(cache.stats().revalidated_tokens, 32);
+        cache.unpin(a);
+        // Copy again; the stale FIFO entry must not confuse reclamation.
+        cache.append_tokens(a, 4, t(3.0)).unwrap();
+        cache.unpin(a);
+        let ops = cache.maybe_swap_out(t(4.0));
+        assert!(!ops.is_empty());
+        // A new conversation forces reclamation of the fresh copy.
+        let b = ConversationId(2);
+        cache.append_tokens(b, 50, t(5.0)).unwrap();
+        assert!(cache.gpu_slots_used() <= 128);
+        let plan = cache.plan_restore(a);
+        assert!(plan.swap_in_tokens >= 32, "fresh copy was reclaimed to CPU");
+    }
+
+    #[test]
+    fn unknown_conversation_has_empty_plan() {
+        let cache = lru_cache(10, 10);
+        let plan = cache.plan_restore(ConversationId(42));
+        assert_eq!(plan, RequestPlan::default());
+        assert!(plan.is_full_gpu_hit());
+    }
+}

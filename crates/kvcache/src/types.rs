@@ -1,0 +1,135 @@
+//! Core identifiers and configuration for the tiered cache.
+
+use pensieve_model::{CostModel, ModelConfig};
+
+/// Identifier of a conversation whose context the cache tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConversationId(pub u64);
+
+/// Where a chunk's KV-tokens currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Resident in GPU memory only.
+    Gpu,
+    /// Copied to CPU ahead of time; the GPU copy still exists but its slots
+    /// are reclaimable (lazy reclamation, §4.3.2). Counts toward *both*
+    /// tiers' usage until the GPU copy is reclaimed or revalidated.
+    GpuCopied,
+    /// Resident in CPU memory only; must be swapped in before use.
+    Cpu,
+    /// Dropped entirely; must be recomputed from raw tokens.
+    Dropped,
+}
+
+/// State of one chunk of a conversation's context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkState {
+    /// Current tier.
+    pub tier: Tier,
+    /// Number of tokens in the chunk (the trailing chunk may be partial).
+    pub tokens: usize,
+    /// Context length at the chunk's end: the `l` of `Cost(l)`.
+    pub context_end: usize,
+}
+
+/// Reference to a chunk: conversation plus chunk index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkRef {
+    /// Owning conversation.
+    pub conv: ConversationId,
+    /// Zero-based chunk index within the conversation's context.
+    pub index: usize,
+}
+
+/// Capacity and policy parameters of the tiered cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Tokens per eviction chunk (paper: 32).
+    pub chunk_tokens: usize,
+    /// GPU KV capacity in tokens.
+    pub gpu_capacity_tokens: usize,
+    /// CPU cache capacity in tokens.
+    pub cpu_capacity_tokens: usize,
+    /// Start ahead-of-time swap-out when free GPU fraction drops below
+    /// this (paper: 0.25).
+    pub swap_watermark: f64,
+    /// Fraction of GPU slots reserved for running decodes; new requests are
+    /// not admitted below this free fraction (paper: 0.10).
+    pub decode_reserve: f64,
+}
+
+impl CacheConfig {
+    /// Derives capacities from a model + hardware pair: the 40 GB GPU KV
+    /// budget and the host cache size divided by the model's per-token KV
+    /// footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model stores zero-sized KV tokens.
+    #[must_use]
+    pub fn from_model(cfg: &ModelConfig, cost: &CostModel) -> Self {
+        let hw = cost.hardware();
+        let per_token = cfg.kv_bytes_per_token();
+        assert!(per_token > 0);
+        CacheConfig {
+            chunk_tokens: 32,
+            gpu_capacity_tokens: hw.total_gpu_kv_budget() / per_token,
+            cpu_capacity_tokens: hw.total_cpu_cache_bytes() / per_token,
+            swap_watermark: 0.25,
+            decode_reserve: 0.10,
+        }
+    }
+
+    /// A small configuration for unit tests: capacities given directly.
+    #[must_use]
+    pub fn for_test(chunk_tokens: usize, gpu: usize, cpu: usize) -> Self {
+        CacheConfig {
+            chunk_tokens,
+            gpu_capacity_tokens: gpu,
+            cpu_capacity_tokens: cpu,
+            swap_watermark: 0.25,
+            decode_reserve: 0.10,
+        }
+    }
+
+    /// GPU token threshold below which ahead-of-time swap-out starts.
+    #[must_use]
+    pub fn swap_trigger_tokens(&self) -> usize {
+        (self.gpu_capacity_tokens as f64 * self.swap_watermark) as usize
+    }
+
+    /// GPU tokens that must stay free for running decodes.
+    #[must_use]
+    pub fn decode_reserve_tokens(&self) -> usize {
+        (self.gpu_capacity_tokens as f64 * self.decode_reserve) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pensieve_model::HardwareSpec;
+
+    #[test]
+    fn capacities_follow_kv_footprint() {
+        let cfg = ModelConfig::opt_13b();
+        let cost = CostModel::new(cfg.clone(), HardwareSpec::azure_nc_a100(1));
+        let cache = CacheConfig::from_model(&cfg, &cost);
+        // 40 GiB / 0.78125 MiB = 52,428 tokens..
+        assert_eq!(cache.gpu_capacity_tokens, 52_428);
+        // GQA model stores 4x more tokens in the same budget.
+        let llama = ModelConfig::llama2_13b();
+        let cost_l = CostModel::new(llama.clone(), HardwareSpec::azure_nc_a100(1));
+        let cache_l = CacheConfig::from_model(&llama, &cost_l);
+        let ratio = cache_l.gpu_capacity_tokens as f64 / cache.gpu_capacity_tokens as f64;
+        assert!((ratio - 4.0).abs() < 1e-3, "ratio {ratio}");
+        assert!(cache.cpu_capacity_tokens > cache.gpu_capacity_tokens);
+    }
+
+    #[test]
+    fn watermark_and_reserve_thresholds() {
+        let c = CacheConfig::for_test(32, 1000, 4000);
+        assert_eq!(c.swap_trigger_tokens(), 250);
+        assert_eq!(c.decode_reserve_tokens(), 100);
+    }
+}

@@ -1,0 +1,31 @@
+//! Model configurations and analytical hardware cost model for Pensieve.
+//!
+//! This crate provides the three ingredients every other crate in the
+//! workspace builds on:
+//!
+//! 1. [`config`] — the transformer architecture hyper-parameters of the four
+//!    models evaluated in the paper (Table 1): OPT-13B, OPT-66B,
+//!    Llama 2-13B (with 10 KV heads, as modified by the authors) and
+//!    Llama 2-70B, plus tiny configurations for functional tests.
+//! 2. [`hardware`] — specifications of the simulated testbed: A100-80GB
+//!    GPUs, the PCIe 4.0 host link (including the measured 18–20 %
+//!    full-duplex contention penalty from §5 of the paper), NVLink for
+//!    tensor-parallel all-reduce, and host memory capacity.
+//! 3. [`cost`] — a roofline cost model mapping batch shapes to execution
+//!    time, and [`profile`] — the offline profiling + power-of-two
+//!    interpolation used by the eviction policy (§4.3.1).
+//!
+//! Simulated time is represented by the [`time::SimTime`] /
+//! [`time::SimDuration`] newtypes shared across the workspace.
+
+pub mod config;
+pub mod cost;
+pub mod hardware;
+pub mod profile;
+pub mod time;
+
+pub use config::{Activation, ModelConfig, ModelFamily, Norm, PositionEmbedding};
+pub use cost::{BatchShape, CostModel, SeqShape};
+pub use hardware::{GpuSpec, HardwareSpec, InterconnectSpec, PcieSpec};
+pub use profile::{InterpolatedCost, ProfiledCostTable};
+pub use time::{SimDuration, SimTime};

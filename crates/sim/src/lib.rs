@@ -1,0 +1,20 @@
+//! Discrete-event simulation primitives for Pensieve's serving experiments.
+//!
+//! The serving engines in `pensieve-core` are *real* implementations of the
+//! paper's scheduler and cache manager; only device speed is simulated.
+//! This crate provides the three device models they consume:
+//!
+//! * [`events::EventQueue`] — a deterministic time-ordered event queue.
+//! * [`pcie::PcieLink`] — the GPU<->CPU host link, including the paper's
+//!   measured full-duplex contention (§5) and the "prioritize retrieval
+//!   over eviction" waiting mechanism.
+//! * [`gpu::GpuTimer`] — batch execution timing from the roofline cost
+//!   model, plus the §4.3.3 pipelined per-layer swap-in overlap.
+
+pub mod events;
+pub mod gpu;
+pub mod pcie;
+
+pub use events::EventQueue;
+pub use gpu::GpuTimer;
+pub use pcie::{Direction, DuplexMode, PcieLink};

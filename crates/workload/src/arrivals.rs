@@ -1,0 +1,78 @@
+//! Arrival processes: Poisson conversation starts, exponential think time.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use pensieve_model::{SimDuration, SimTime};
+
+/// Samples an exponential duration with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean_secs` is negative or non-finite.
+#[must_use]
+pub fn exponential(rng: &mut StdRng, mean_secs: f64) -> SimDuration {
+    assert!(mean_secs.is_finite() && mean_secs >= 0.0);
+    if mean_secs == 0.0 {
+        return SimDuration::ZERO;
+    }
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    SimDuration::from_secs(-mean_secs * u.ln())
+}
+
+/// Generates `n` Poisson arrival instants at `rate` events per second,
+/// starting from time zero.
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive.
+#[must_use]
+pub fn poisson_arrivals(rng: &mut StdRng, rate: f64, n: usize) -> Vec<SimTime> {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    let mut t = SimTime::ZERO;
+    (0..n)
+        .map(|_| {
+            t += exponential(rng, 1.0 / rate);
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut rng, 60.0).as_secs()).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 60.0).abs() < 2.0, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn exponential_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(exponential(&mut rng, 0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let arrivals = poisson_arrivals(&mut rng, 2.0, 10_000);
+        let span = arrivals.last().unwrap().as_secs();
+        let rate = 10_000.0 / span;
+        assert!((rate - 2.0).abs() < 0.1, "empirical rate {rate}");
+        // Strictly increasing.
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn arrivals_deterministic_per_seed() {
+        let a = poisson_arrivals(&mut StdRng::seed_from_u64(4), 1.0, 100);
+        let b = poisson_arrivals(&mut StdRng::seed_from_u64(4), 1.0, 100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,276 @@
+//! Synthetic multi-turn conversation datasets calibrated to Table 2.
+//!
+//! Turn counts follow a shifted geometric distribution and token lengths a
+//! log-normal, both parameterized so the *means* match the paper's
+//! dataset statistics. A conversation is truncated once its cumulative
+//! context would exceed the 16,384-token cap the paper applies (§6.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One conversation turn: a user prompt and the assistant's response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Turn {
+    /// User prompt length in tokens.
+    pub input_tokens: usize,
+    /// Response length in tokens.
+    pub output_tokens: usize,
+}
+
+/// A multi-turn conversation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conversation {
+    /// The turns, in order.
+    pub turns: Vec<Turn>,
+}
+
+impl Conversation {
+    /// Total tokens accumulated by the end of the conversation.
+    #[must_use]
+    pub fn total_tokens(&self) -> usize {
+        self.turns
+            .iter()
+            .map(|t| t.input_tokens + t.output_tokens)
+            .sum()
+    }
+}
+
+/// Statistical profile of a dataset (paper Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Mean number of turns per conversation.
+    pub mean_turns: f64,
+    /// Mean request input (prompt) length in tokens.
+    pub mean_input: f64,
+    /// Mean request output length in tokens.
+    pub mean_output: f64,
+    /// Maximum context size; longer conversations are truncated.
+    pub max_context: usize,
+    /// Log-normal shape parameter for length distributions (ShareGPT's
+    /// real lengths are heavy-tailed; UltraChat's synthetic ones less so).
+    pub length_sigma: f64,
+}
+
+impl DatasetSpec {
+    /// ShareGPT: real user-shared ChatGPT conversations
+    /// (Table 2, column 1).
+    #[must_use]
+    pub fn sharegpt() -> Self {
+        DatasetSpec {
+            name: "ShareGPT".to_owned(),
+            mean_turns: 5.56,
+            mean_input: 37.77,
+            mean_output: 204.58,
+            max_context: 16_384,
+            length_sigma: 1.0,
+        }
+    }
+
+    /// UltraChat: large-scale synthetic dialogue (Table 2, column 2).
+    #[must_use]
+    pub fn ultrachat() -> Self {
+        DatasetSpec {
+            name: "UltraChat".to_owned(),
+            mean_turns: 3.86,
+            mean_input: 51.78,
+            mean_output: 257.81,
+            max_context: 16_384,
+            length_sigma: 0.6,
+        }
+    }
+
+    /// Samples `n` conversations with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's means are not positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pensieve_workload::dataset::{DatasetSpec, DatasetStats};
+    ///
+    /// let convs = DatasetSpec::sharegpt().generate(500, 7);
+    /// let stats = DatasetStats::measure(&convs);
+    /// assert!((stats.mean_turns - 5.56).abs() < 1.5);
+    /// ```
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Conversation> {
+        assert!(self.mean_turns >= 1.0 && self.mean_input > 0.0 && self.mean_output > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.sample_conversation(&mut rng)).collect()
+    }
+
+    fn sample_conversation(&self, rng: &mut StdRng) -> Conversation {
+        // Shifted geometric: turns = 1 + Geom(p), so E[turns] = 1 + (1-p)/p
+        // = mean  =>  p = 1 / mean.
+        let p = 1.0 / self.mean_turns;
+        let mut turns = Vec::new();
+        let mut total = 0usize;
+        loop {
+            let input = self.sample_length(rng, self.mean_input);
+            let output = self.sample_length(rng, self.mean_output);
+            // Truncate at the paper's context cap.
+            if total + input + output > self.max_context {
+                if turns.is_empty() {
+                    // Clamp a pathological first turn so every
+                    // conversation has at least one servable request.
+                    let input = input.min(self.max_context / 4);
+                    let output = (self.max_context - input).min(output).max(1);
+                    turns.push(Turn {
+                        input_tokens: input,
+                        output_tokens: output,
+                    });
+                }
+                break;
+            }
+            turns.push(Turn {
+                input_tokens: input,
+                output_tokens: output,
+            });
+            total += input + output;
+            if rng.random::<f64>() < p {
+                break;
+            }
+        }
+        Conversation { turns }
+    }
+
+    /// Log-normal sample with the requested mean and `length_sigma` shape,
+    /// clamped to at least one token.
+    fn sample_length(&self, rng: &mut StdRng, mean: f64) -> usize {
+        let sigma = self.length_sigma;
+        // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = mean.
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        // Box-Muller standard normal.
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (mu + sigma * z).exp();
+        (v.round() as usize).max(1)
+    }
+}
+
+/// Empirical statistics of a conversation set, Table-2 style.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of conversations.
+    pub conversations: usize,
+    /// Mean turns per conversation.
+    pub mean_turns: f64,
+    /// Mean request input length.
+    pub mean_input: f64,
+    /// Mean request output length.
+    pub mean_output: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics over `convs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `convs` is empty.
+    #[must_use]
+    pub fn measure(convs: &[Conversation]) -> Self {
+        assert!(!convs.is_empty());
+        let total_turns: usize = convs.iter().map(|c| c.turns.len()).sum();
+        let total_input: usize = convs
+            .iter()
+            .flat_map(|c| &c.turns)
+            .map(|t| t.input_tokens)
+            .sum();
+        let total_output: usize = convs
+            .iter()
+            .flat_map(|c| &c.turns)
+            .map(|t| t.output_tokens)
+            .sum();
+        DatasetStats {
+            conversations: convs.len(),
+            mean_turns: total_turns as f64 / convs.len() as f64,
+            mean_input: total_input as f64 / total_turns as f64,
+            mean_output: total_output as f64 / total_turns as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generated statistics must track Table 2 within sampling error.
+    /// (Truncation at 16K pulls the means slightly below the targets.)
+    #[test]
+    fn sharegpt_statistics_match_table2() {
+        let convs = DatasetSpec::sharegpt().generate(4000, 1);
+        let s = DatasetStats::measure(&convs);
+        assert!(
+            (s.mean_turns - 5.56).abs() < 0.8,
+            "mean turns {}",
+            s.mean_turns
+        );
+        assert!(
+            (s.mean_input - 37.77) / 37.77 < 0.15,
+            "mean input {}",
+            s.mean_input
+        );
+        assert!(
+            (s.mean_output - 204.58) / 204.58 < 0.15,
+            "mean output {}",
+            s.mean_output
+        );
+    }
+
+    #[test]
+    fn ultrachat_statistics_match_table2() {
+        let convs = DatasetSpec::ultrachat().generate(4000, 2);
+        let s = DatasetStats::measure(&convs);
+        assert!(
+            (s.mean_turns - 3.86).abs() < 0.6,
+            "mean turns {}",
+            s.mean_turns
+        );
+        assert!(
+            (s.mean_input - 51.78).abs() / 51.78 < 0.15,
+            "mean input {}",
+            s.mean_input
+        );
+        assert!(
+            (s.mean_output - 257.81).abs() / 257.81 < 0.15,
+            "mean output {}",
+            s.mean_output
+        );
+    }
+
+    #[test]
+    fn context_cap_is_respected() {
+        let convs = DatasetSpec::sharegpt().generate(2000, 3);
+        for c in &convs {
+            assert!(c.total_tokens() <= 16_384, "conversation exceeds cap");
+            assert!(!c.turns.is_empty());
+            for t in &c.turns {
+                assert!(t.input_tokens >= 1 && t.output_tokens >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = DatasetSpec::sharegpt().generate(50, 7);
+        let b = DatasetSpec::sharegpt().generate(50, 7);
+        let c = DatasetSpec::sharegpt().generate(50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    /// ShareGPT has more turns than UltraChat — the property §6.2 uses to
+    /// explain Pensieve's larger gains on ShareGPT.
+    #[test]
+    fn sharegpt_has_more_turns_than_ultrachat() {
+        let s = DatasetStats::measure(&DatasetSpec::sharegpt().generate(3000, 4));
+        let u = DatasetStats::measure(&DatasetSpec::ultrachat().generate(3000, 4));
+        assert!(s.mean_turns > u.mean_turns);
+    }
+}

@@ -1,0 +1,337 @@
+//! Closed-loop workload driver (§6.1's methodology).
+//!
+//! Conversations *start* according to a Poisson process whose rate is
+//! derived from the target request rate. Within a conversation, causal
+//! dependency is maintained: turn `k+1` is submitted only after turn `k`'s
+//! response has been received, plus an exponentially-distributed user
+//! think time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pensieve_core::{Request, RequestId, Response, SimServingEngine};
+use pensieve_kvcache::ConversationId;
+use pensieve_model::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::arrivals::{exponential, poisson_arrivals};
+use crate::dataset::Conversation;
+use crate::metrics::LatencySummary;
+
+/// Closed-loop driver parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverConfig {
+    /// Target request arrival rate (requests/second). Conversation starts
+    /// are Poisson at `request_rate / mean_turns`.
+    pub request_rate: f64,
+    /// Mean user think time between a response and the next turn
+    /// (paper default: 60 s).
+    pub mean_think_time: f64,
+    /// RNG seed for arrivals and think times.
+    pub seed: u64,
+    /// Tokens of a system prompt prepended to every conversation: each
+    /// conversation's first turn arrives with this much history already
+    /// (stateless engines recompute it; Pensieve caches it per
+    /// conversation, or once globally with
+    /// `EngineConfig::pensieve_shared_prefix`).
+    pub system_prompt_tokens: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            request_rate: 1.0,
+            mean_think_time: 60.0,
+            seed: 0,
+            system_prompt_tokens: 0,
+        }
+    }
+}
+
+/// Outcome of one driver run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// All completed responses, in completion order.
+    pub responses: Vec<Response>,
+    /// Simulated span from first arrival to last completion.
+    pub span: SimDuration,
+}
+
+impl RunResult {
+    /// Steady-state latency/throughput summary of the run (§6.1 metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run produced no responses.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::steady_state(&self.responses)
+    }
+}
+
+/// A turn pending submission at a given time.
+#[derive(Debug)]
+struct Pending {
+    at: SimTime,
+    seq: u64,
+    conv_index: usize,
+    turn_index: usize,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .partial_cmp(&other.at)
+            .expect("finite times")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Runs `convs` against `engine` under `cfg`, returning all responses.
+///
+/// Conversation ids are assigned from the conversation index; request ids
+/// are globally unique. The engine is expected to be fresh (time zero),
+/// but any monotonically-advanced engine works.
+///
+/// # Panics
+///
+/// Panics if `convs` is empty or contains an empty conversation.
+#[must_use]
+pub fn run_closed_loop(
+    engine: &mut SimServingEngine,
+    convs: &[Conversation],
+    cfg: &DriverConfig,
+) -> RunResult {
+    run_closed_loop_probed(engine, convs, cfg, f64::INFINITY, |_, _| {})
+}
+
+/// [`run_closed_loop`] with a periodic probe: `probe` is called with the
+/// engine every time the simulated clock crosses another multiple of
+/// `probe_interval_secs` (e.g. to sample cache occupancy over time).
+///
+/// # Panics
+///
+/// Panics if `convs` is empty or contains an empty conversation.
+#[must_use]
+pub fn run_closed_loop_probed(
+    engine: &mut SimServingEngine,
+    convs: &[Conversation],
+    cfg: &DriverConfig,
+    probe_interval_secs: f64,
+    mut probe: impl FnMut(f64, &SimServingEngine),
+) -> RunResult {
+    assert!(!convs.is_empty());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mean_turns = convs.iter().map(|c| c.turns.len()).sum::<usize>() as f64 / convs.len() as f64;
+    let conv_rate = (cfg.request_rate / mean_turns).max(1e-9);
+    let starts = poisson_arrivals(&mut rng, conv_rate, convs.len());
+
+    let mut pending: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, at) in starts.iter().enumerate() {
+        pending.push(Reverse(Pending {
+            at: *at,
+            seq,
+            conv_index: i,
+            turn_index: 0,
+        }));
+        seq += 1;
+    }
+
+    // Cumulative history per conversation, for Request::history_tokens.
+    // Every conversation starts with the system prompt as history.
+    let mut history: Vec<usize> = vec![cfg.system_prompt_tokens; convs.len()];
+    // Turns submitted so far per conversation (== completed turns at any
+    // response boundary, thanks to causal ordering).
+    let mut submitted: Vec<usize> = vec![0; convs.len()];
+    let mut next_request_id = 0u64;
+    let mut responses: Vec<Response> = Vec::new();
+    let first_arrival = starts.first().copied().unwrap_or(SimTime::ZERO);
+
+    let mut next_probe = probe_interval_secs;
+    // Co-simulation loop: submit every due turn, then advance the engine
+    // only until its next response (or the next pending arrival), so that
+    // causally-dependent follow-up turns are injected at the right time.
+    loop {
+        while engine.now().as_secs() >= next_probe {
+            probe(next_probe, engine);
+            next_probe += probe_interval_secs;
+        }
+        while let Some(Reverse(p)) = pending.peek() {
+            if p.at > engine.now() {
+                break;
+            }
+            let Reverse(p) = pending.pop().expect("peeked");
+            let turn = convs[p.conv_index].turns[p.turn_index];
+            engine.submit(Request {
+                id: RequestId(next_request_id),
+                conv: ConversationId(p.conv_index as u64),
+                arrival: p.at,
+                prompt_tokens: turn.input_tokens,
+                output_tokens: turn.output_tokens,
+                history_tokens: history[p.conv_index],
+            });
+            next_request_id += 1;
+            submitted[p.conv_index] += 1;
+            history[p.conv_index] += turn.input_tokens + turn.output_tokens;
+        }
+        let target = pending.peek().map(|Reverse(p)| p.at);
+        if engine.is_idle() && target.is_none() {
+            break;
+        }
+        engine.run_until_or_response(target);
+        for resp in engine.drain_responses() {
+            let conv_index = resp.conv.0 as usize;
+            let next_turn = submitted[conv_index];
+            if next_turn < convs[conv_index].turns.len() {
+                let think = exponential(&mut rng, cfg.mean_think_time);
+                pending.push(Reverse(Pending {
+                    at: resp.finish + think,
+                    seq,
+                    conv_index,
+                    turn_index: next_turn,
+                }));
+                seq += 1;
+            }
+            responses.push(resp);
+        }
+    }
+
+    let last_finish = responses
+        .iter()
+        .map(|r| r.finish)
+        .fold(first_arrival, SimTime::max);
+    RunResult {
+        span: last_finish.saturating_duration_since(first_arrival),
+        responses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+    use pensieve_core::EngineConfig;
+    use pensieve_model::{HardwareSpec, ModelConfig};
+
+    fn engine(cfg: EngineConfig) -> SimServingEngine {
+        SimServingEngine::new(cfg, ModelConfig::opt_13b(), HardwareSpec::azure_nc_a100(1))
+    }
+
+    fn small_workload(n: usize, seed: u64) -> Vec<Conversation> {
+        DatasetSpec::sharegpt().generate(n, seed)
+    }
+
+    #[test]
+    fn all_turns_complete() {
+        let convs = small_workload(20, 1);
+        let total_turns: usize = convs.iter().map(|c| c.turns.len()).sum();
+        let mut e = engine(EngineConfig::pensieve());
+        let result = run_closed_loop(
+            &mut e,
+            &convs,
+            &DriverConfig {
+                request_rate: 2.0,
+                mean_think_time: 10.0,
+                seed: 42,
+                system_prompt_tokens: 0,
+            },
+        );
+        assert_eq!(result.responses.len(), total_turns);
+        assert!(result.span.as_secs() > 0.0);
+        let s = result.summary();
+        assert!(s.mean_normalized > 0.0 && s.p90_normalized >= s.p50_normalized);
+    }
+
+    #[test]
+    fn causal_order_within_conversations() {
+        let convs = small_workload(10, 2);
+        let mut e = engine(EngineConfig::pensieve());
+        let result = run_closed_loop(
+            &mut e,
+            &convs,
+            &DriverConfig {
+                request_rate: 5.0,
+                mean_think_time: 5.0,
+                seed: 7,
+                system_prompt_tokens: 0,
+            },
+        );
+        // For each conversation, arrivals and finishes must interleave:
+        // next turn arrives after the previous finish.
+        for conv in 0..convs.len() {
+            let mut rs: Vec<&Response> = result
+                .responses
+                .iter()
+                .filter(|r| r.conv.0 as usize == conv)
+                .collect();
+            rs.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap());
+            for w in rs.windows(2) {
+                assert!(
+                    w[1].arrival >= w[0].finish,
+                    "turn submitted before previous response"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn driver_is_deterministic() {
+        let convs = small_workload(10, 3);
+        let run = || {
+            let mut e = engine(EngineConfig::pensieve());
+            let r = run_closed_loop(
+                &mut e,
+                &convs,
+                &DriverConfig {
+                    request_rate: 3.0,
+                    mean_think_time: 20.0,
+                    seed: 9,
+                    system_prompt_tokens: 0,
+                },
+            );
+            (r.responses.len(), r.span)
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Higher request rates push p90 normalized latency up — the basic
+    /// shape behind every throughput-latency plot in the paper.
+    #[test]
+    fn latency_rises_with_load() {
+        let convs = small_workload(100, 4);
+        let p90_at = |rate: f64| {
+            let mut e = engine(EngineConfig::vllm());
+            run_closed_loop(
+                &mut e,
+                &convs,
+                &DriverConfig {
+                    request_rate: rate,
+                    mean_think_time: 1.0,
+                    seed: 11,
+                    system_prompt_tokens: 0,
+                },
+            )
+            .summary()
+            .p90_normalized
+        };
+        let light = p90_at(0.3);
+        let heavy = p90_at(30.0);
+        assert!(
+            heavy > 1.3 * light,
+            "p90 at heavy load {heavy} <= light load {light}"
+        );
+    }
+}

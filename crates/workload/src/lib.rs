@@ -1,0 +1,26 @@
+//! Conversation workloads, arrival processes, and the closed-loop driver.
+//!
+//! The paper evaluates on two multi-turn datasets (ShareGPT, UltraChat;
+//! Table 2) with Poisson request arrivals and exponential user think time
+//! (§6.1). The real datasets are not redistributable here, so
+//! [`dataset`] generates synthetic conversations whose turn-count and
+//! length distributions are calibrated to Table 2's statistics; the
+//! serving experiments consume only those shapes.
+//!
+//! [`driver`] co-simulates a workload against a serving engine while
+//! maintaining the causal dependency between turns: a conversation's next
+//! request is only issued after the previous response, plus a sampled
+//! think time. [`metrics`] summarizes the resulting responses the way the
+//! paper reports them (throughput and mean/p50/p90 normalized latency).
+
+pub mod arrivals;
+pub mod dataset;
+pub mod driver;
+pub mod metrics;
+pub mod trace;
+
+pub use arrivals::{exponential, poisson_arrivals};
+pub use dataset::{Conversation, DatasetSpec, DatasetStats, Turn};
+pub use driver::{DriverConfig, RunResult};
+pub use metrics::LatencySummary;
+pub use trace::{load_conversations, load_sharegpt_json, parse_sharegpt, save_conversations};

@@ -1,0 +1,197 @@
+//! Conversation-trace import/export.
+//!
+//! The paper evaluates on the ShareGPT dump, which is not redistributable
+//! here; this module lets a user who *has* it feed the real data in.
+//! [`load_sharegpt_json`] parses the standard dump format
+//! (`[{"conversations": [{"from": "human"|"gpt", "value": "…"}, …]}, …]`)
+//! into [`Conversation`]s, estimating token counts with the common
+//! 4-characters-per-token heuristic; malformed entries are skipped and
+//! conversations are truncated at the paper's 16,384-token cap (§6.1).
+//! [`save_conversations`]/[`load_conversations`] round-trip this crate's
+//! own JSON representation so generated workloads can be pinned for
+//! apples-to-apples comparisons across runs.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::dataset::{Conversation, Turn};
+
+/// Paper §6.1: maximum context size; longer conversations are truncated.
+const MAX_CONTEXT: usize = 16_384;
+
+/// Estimates a token count from raw text (≈4 characters per token, min 1).
+#[must_use]
+pub fn estimate_tokens(text: &str) -> usize {
+    text.chars().count().div_ceil(4).max(1)
+}
+
+/// Parses a ShareGPT-format JSON dump into conversations.
+///
+/// Consecutive `human` → `gpt` message pairs become [`Turn`]s; leading
+/// `gpt` messages and unpaired trailing `human` messages are skipped, as
+/// are conversations that yield no complete turn.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or is not valid JSON of
+/// the expected top-level shape (an array).
+pub fn load_sharegpt_json(path: &Path) -> io::Result<Vec<Conversation>> {
+    let data = fs::read_to_string(path)?;
+    parse_sharegpt(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Parses ShareGPT-format JSON from a string (see [`load_sharegpt_json`]).
+///
+/// # Errors
+///
+/// Returns a description of the parse failure.
+pub fn parse_sharegpt(data: &str) -> Result<Vec<Conversation>, String> {
+    let root: serde_json::Value =
+        serde_json::from_str(data).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Some(items) = root.as_array() else {
+        return Err("expected a top-level JSON array".to_owned());
+    };
+    let mut out = Vec::new();
+    for item in items {
+        let Some(msgs) = item.get("conversations").and_then(|c| c.as_array()) else {
+            continue;
+        };
+        let mut turns = Vec::new();
+        let mut total = 0usize;
+        let mut pending_input: Option<usize> = None;
+        for msg in msgs {
+            let (Some(from), Some(value)) = (
+                msg.get("from").and_then(|f| f.as_str()),
+                msg.get("value").and_then(|v| v.as_str()),
+            ) else {
+                continue;
+            };
+            let tokens = estimate_tokens(value);
+            match from {
+                "human" | "user" => pending_input = Some(tokens),
+                "gpt" | "assistant" | "chatgpt" | "bard" => {
+                    if let Some(input) = pending_input.take() {
+                        if total + input + tokens > MAX_CONTEXT {
+                            break;
+                        }
+                        total += input + tokens;
+                        turns.push(Turn {
+                            input_tokens: input,
+                            output_tokens: tokens,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !turns.is_empty() {
+            out.push(Conversation { turns });
+        }
+    }
+    Ok(out)
+}
+
+/// Writes conversations as pretty JSON.
+///
+/// # Errors
+///
+/// Returns an error if serialization or the write fails.
+pub fn save_conversations(path: &Path, convs: &[Conversation]) -> io::Result<()> {
+    let data = serde_json::to_string_pretty(convs)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, data)
+}
+
+/// Reads conversations saved by [`save_conversations`].
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or parsed.
+pub fn load_conversations(path: &Path) -> io::Result<Vec<Conversation>> {
+    let data = fs::read_to_string(path)?;
+    serde_json::from_str(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+
+    const SAMPLE: &str = r#"[
+      {"id": "a", "conversations": [
+        {"from": "human", "value": "What is the capital of France, and why?"},
+        {"from": "gpt", "value": "The capital of France is Paris. It became the capital because of its central role in French politics, economy, and culture over many centuries."},
+        {"from": "human", "value": "Thanks!"},
+        {"from": "gpt", "value": "You're welcome."}
+      ]},
+      {"id": "b", "conversations": [
+        {"from": "gpt", "value": "stray assistant opener, skipped"},
+        {"from": "human", "value": "only a question with no answer"}
+      ]},
+      {"id": "c", "conversations": [
+        {"from": "human", "value": "hi"},
+        {"from": "assistant", "value": "hello there"}
+      ]},
+      {"not_conversations": true}
+    ]"#;
+
+    #[test]
+    fn parses_human_gpt_pairs() {
+        let convs = parse_sharegpt(SAMPLE).unwrap();
+        // Conversation b yields no complete pair; the malformed entry is
+        // skipped entirely.
+        assert_eq!(convs.len(), 2);
+        assert_eq!(convs[0].turns.len(), 2);
+        assert_eq!(convs[1].turns.len(), 1);
+        let t = &convs[0].turns[0];
+        assert_eq!(
+            t.input_tokens,
+            estimate_tokens("What is the capital of France, and why?")
+        );
+        assert!(t.output_tokens > t.input_tokens);
+    }
+
+    #[test]
+    fn token_estimate_heuristic() {
+        assert_eq!(estimate_tokens(""), 1);
+        assert_eq!(estimate_tokens("abcd"), 1);
+        assert_eq!(estimate_tokens("abcde"), 2);
+        assert_eq!(estimate_tokens(&"x".repeat(400)), 100);
+    }
+
+    #[test]
+    fn rejects_non_array_root() {
+        assert!(parse_sharegpt("{\"a\": 1}").is_err());
+        assert!(parse_sharegpt("not json").is_err());
+    }
+
+    #[test]
+    fn long_conversations_truncate_at_cap() {
+        // One turn of ~20k tokens input: truncated away -> conversation
+        // dropped; a prior small turn survives.
+        let big = "y".repeat(90_000);
+        let json = format!(
+            r#"[{{"conversations": [
+                {{"from": "human", "value": "short question"}},
+                {{"from": "gpt", "value": "short answer"}},
+                {{"from": "human", "value": "{big}"}},
+                {{"from": "gpt", "value": "ok"}}
+            ]}}]"#
+        );
+        let convs = parse_sharegpt(&json).unwrap();
+        assert_eq!(convs.len(), 1);
+        assert_eq!(convs[0].turns.len(), 1, "oversized turn truncated");
+        assert!(convs[0].total_tokens() <= MAX_CONTEXT);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let convs = DatasetSpec::sharegpt().generate(25, 9);
+        let path = std::env::temp_dir().join("pensieve_trace_roundtrip.json");
+        save_conversations(&path, &convs).unwrap();
+        let loaded = load_conversations(&path).unwrap();
+        assert_eq!(convs, loaded);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,63 @@
+//! Chatbot fleet simulation: a ShareGPT-like workload served end to end.
+//!
+//! Generates a synthetic multi-turn chatbot workload calibrated to the
+//! paper's ShareGPT statistics, then serves it closed-loop (Poisson
+//! conversation starts, exponential think time, causal turn ordering) on
+//! all four systems from the paper's Figure 10 and prints a comparison.
+//!
+//! Run with: `cargo run --release --example chatbot_serving`
+
+use pensieve_core::{EngineConfig, SimServingEngine};
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_workload::dataset::DatasetSpec;
+use pensieve_workload::driver::{run_closed_loop, DriverConfig};
+
+fn main() {
+    let dataset = DatasetSpec::sharegpt();
+    let request_rate = 6.0;
+    let n = ((request_rate / dataset.mean_turns) * 300.0) as usize;
+    let convs = dataset.generate(n, 2024);
+    let total_turns: usize = convs.iter().map(|c| c.turns.len()).sum();
+    println!(
+        "workload: {} conversations, {} total requests, ~{:.1} req/s offered, think time 60 s\n",
+        convs.len(),
+        total_turns,
+        request_rate
+    );
+
+    println!(
+        "{:<22} {:>10} {:>14} {:>14} {:>10}",
+        "system", "tp (req/s)", "p90 (ms/tok)", "ttft (ms)", "hit rate"
+    );
+    for cfg in EngineConfig::figure10_systems() {
+        let name = cfg.name.clone();
+        let mut engine = SimServingEngine::new(
+            cfg,
+            ModelConfig::llama2_13b(),
+            HardwareSpec::azure_nc_a100(1),
+        );
+        let result = run_closed_loop(
+            &mut engine,
+            &convs,
+            &DriverConfig {
+                request_rate,
+                mean_think_time: 60.0,
+                seed: 7,
+                system_prompt_tokens: 0,
+            },
+        );
+        let s = result.summary();
+        println!(
+            "{:<22} {:>10.2} {:>14.1} {:>14.1} {:>9.0}%",
+            name,
+            s.throughput_rps,
+            s.p90_normalized * 1e3,
+            s.mean_ttft * 1e3,
+            engine.cache_stats().hit_rate() * 100.0
+        );
+    }
+    println!(
+        "\nStateful serving avoids re-prefilling each conversation's history, so\n\
+         Pensieve holds lower latency at the same offered load (paper Figure 10)."
+    );
+}

@@ -1,0 +1,47 @@
+//! Pensieve: stateful LLM serving with a two-tier KV cache.
+//!
+//! This facade crate re-exports the workspace's public surface so that
+//! downstream users can depend on a single crate. See the individual
+//! crates for details:
+//!
+//! * [`model`] — architecture configs, hardware specs, the roofline cost
+//!   model, and offline cost profiling.
+//! * [`kernels`] — the paged KV pool and the multi-token paged attention
+//!   kernel family (plus a tiny functional transformer).
+//! * [`kvcache`] — the two-tier GPU/CPU cache manager and eviction
+//!   policies.
+//! * [`sim`] — discrete-event device models (PCIe link, GPU timing).
+//! * [`core`] — the serving engines: Pensieve and the paper's baselines.
+//! * [`workload`] — multi-turn conversation workloads and the closed-loop
+//!   driver.
+//!
+//! # Examples
+//!
+//! ```
+//! use pensieve::core::{EngineConfig, Request, RequestId, SimServingEngine};
+//! use pensieve::kvcache::ConversationId;
+//! use pensieve::model::{HardwareSpec, ModelConfig, SimTime};
+//!
+//! let mut engine = SimServingEngine::new(
+//!     EngineConfig::pensieve(),
+//!     ModelConfig::opt_13b(),
+//!     HardwareSpec::azure_nc_a100(1),
+//! );
+//! engine.submit(Request {
+//!     id: RequestId(0),
+//!     conv: ConversationId(1),
+//!     arrival: SimTime::ZERO,
+//!     prompt_tokens: 64,
+//!     output_tokens: 32,
+//!     history_tokens: 0,
+//! });
+//! engine.run_until_idle();
+//! assert_eq!(engine.drain_responses().len(), 1);
+//! ```
+
+pub use pensieve_core as core;
+pub use pensieve_kernels as kernels;
+pub use pensieve_kvcache as kvcache;
+pub use pensieve_model as model;
+pub use pensieve_sim as sim;
+pub use pensieve_workload as workload;

@@ -1,0 +1,218 @@
+//! Property-based tests over the core data structures and kernels.
+
+use pensieve_kernels::attention::contiguous::fused_contiguous;
+use pensieve_kernels::attention::multi::paged_multi_token;
+use pensieve_kernels::attention::multiround::multi_round_single_token;
+use pensieve_kernels::attention::naive::naive_attention;
+use pensieve_kernels::paged::gather_contiguous;
+use pensieve_kernels::{AttnConfig, AttnSeq, BlockTable, KvLayout, Matrix, PagedKvCache};
+use pensieve_kvcache::{CacheConfig, ConversationId, LruPolicy, TieredKvCache};
+use pensieve_model::{CostModel, HardwareSpec, ModelConfig, ProfiledCostTable, SeqShape, SimTime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random paged context and query for a given shape.
+fn build_case(
+    seed: u64,
+    q_len: usize,
+    ctx: usize,
+    heads: usize,
+    kv_heads: usize,
+    d: usize,
+    block: usize,
+) -> (AttnConfig, PagedKvCache, BlockTable, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = AttnConfig::new(heads, kv_heads, d);
+    let layout = KvLayout {
+        num_kv_heads: kv_heads,
+        head_dim: d,
+        block_size: block,
+    };
+    let mut pool = PagedKvCache::new(layout, 1, ctx.div_ceil(block) + 1);
+    let mut table = BlockTable::new(block);
+    let tf = layout.token_floats();
+    for _ in 0..ctx {
+        let (b, s) = table.append_token(&mut pool).unwrap();
+        let k: Vec<f32> = (0..tf).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let v: Vec<f32> = (0..tf).map(|_| rng.random_range(-1.0..1.0)).collect();
+        pool.write_token(0, b, s, &k, &v);
+    }
+    let q = Matrix::from_vec(
+        q_len,
+        cfg.q_width(),
+        (0..q_len * cfg.q_width())
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect(),
+    );
+    (cfg, pool, table, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All four attention kernels agree with the naive reference on
+    /// arbitrary shapes (including GQA and ragged block tails).
+    #[test]
+    fn attention_kernels_agree(
+        seed in 0u64..1000,
+        q_len in 1usize..12,
+        extra_ctx in 0usize..40,
+        head_split in 0usize..3,
+        block in prop::sample::select(vec![2usize, 4, 8, 16]),
+    ) {
+        let (heads, kv_heads) = [(4, 4), (4, 2), (8, 1)][head_split];
+        let d = 8;
+        let ctx = q_len + extra_ctx;
+        let (cfg, pool, table, q) = build_case(seed, q_len, ctx, heads, kv_heads, d, block);
+        let layer = pool.layer(0);
+        let seq = AttnSeq { q_start: 0, q_len, context_len: ctx, table: &table };
+
+        let multi = paged_multi_token(&cfg, &q, &layer, &[seq]);
+        let rounds = multi_round_single_token(&cfg, &q, &layer, &[seq]);
+        let (k, v) = gather_contiguous(&layer, &table, ctx);
+        let fused = fused_contiguous(&cfg, &q, &k, &v);
+        let reference = naive_attention(&cfg, &q, &k, &v);
+
+        prop_assert!(multi.max_abs_diff(&reference) < 1e-4);
+        prop_assert!(rounds.max_abs_diff(&reference) < 1e-4);
+        prop_assert!(fused.max_abs_diff(&reference) < 1e-4);
+    }
+
+    /// Causality: perturbing KV beyond a query row's visible range never
+    /// changes that row's output.
+    #[test]
+    fn causal_masking_blocks_future_leakage(
+        seed in 0u64..1000,
+        q_len in 2usize..8,
+        extra in 1usize..16,
+    ) {
+        let ctx = q_len + extra;
+        let (cfg, mut pool, table, q) = build_case(seed, q_len, ctx, 4, 2, 8, 4);
+        let base = paged_multi_token(&cfg, &q, &pool.layer(0), &[AttnSeq {
+            q_start: 0, q_len, context_len: ctx, table: &table,
+        }]);
+        // Perturb the final context token (visible only to the last row).
+        let (b, s) = table.position(ctx - 1);
+        let tf = pool.layout().token_floats();
+        pool.write_token(0, b, s, &vec![9.0; tf], &vec![-9.0; tf]);
+        let alt = paged_multi_token(&cfg, &q, &pool.layer(0), &[AttnSeq {
+            q_start: 0, q_len, context_len: ctx, table: &table,
+        }]);
+        for j in 0..q_len - 1 {
+            for c in 0..cfg.q_width() {
+                prop_assert!((base[(j, c)] - alt[(j, c)]).abs() < 1e-6,
+                    "row {j} saw a future token");
+            }
+        }
+    }
+
+    /// Tiered-cache conservation: tokens never appear or vanish across an
+    /// arbitrary sequence of appends, swaps, suspends, and restores.
+    #[test]
+    fn cache_conserves_tokens(
+        ops in prop::collection::vec((0u8..5, 0u64..4, 1usize..100), 1..60),
+    ) {
+        let mut cache = TieredKvCache::new(
+            CacheConfig::for_test(32, 2048, 1024),
+            Box::new(LruPolicy),
+        );
+        let mut expected: std::collections::HashMap<u64, usize> = Default::default();
+        let mut t = 0.0f64;
+        for (op, conv_raw, n) in ops {
+            t += 1.0;
+            let now = SimTime::from_secs(t);
+            let conv = ConversationId(conv_raw);
+            match op {
+                0 => {
+                    // Append (restore first so the trailing chunk is GPU).
+                    if cache.commit_restore(conv, now).is_ok()
+                        && cache.append_tokens(conv, n, now).is_ok()
+                    {
+                        *expected.entry(conv_raw).or_default() += n;
+                    }
+                }
+                1 => { cache.unpin(conv); }
+                2 => { cache.suspend(conv, now); }
+                3 => { let _ = cache.maybe_swap_out(now); }
+                _ => { let _ = cache.plan_restore(conv); }
+            }
+            for (&c, &tokens) in &expected {
+                prop_assert_eq!(
+                    cache.conversation_tokens(ConversationId(c)),
+                    tokens,
+                    "token count drifted for conversation {}", c
+                );
+            }
+            prop_assert!(cache.gpu_slots_used() <= 2048);
+            prop_assert!(cache.cpu_used() <= 1024);
+        }
+    }
+
+    /// A restore plan always accounts for exactly the tracked tokens, and
+    /// committing it makes everything GPU-resident.
+    #[test]
+    fn restore_plans_are_complete(
+        appends in prop::collection::vec(1usize..200, 1..6),
+    ) {
+        let mut cache = TieredKvCache::new(
+            CacheConfig::for_test(32, 4096, 512),
+            Box::new(LruPolicy),
+        );
+        let conv = ConversationId(1);
+        let mut t = 0.0;
+        for n in &appends {
+            t += 1.0;
+            cache.commit_restore(conv, SimTime::from_secs(t)).unwrap();
+            cache.append_tokens(conv, *n, SimTime::from_secs(t)).unwrap();
+        }
+        cache.suspend(conv, SimTime::from_secs(t + 1.0));
+        let total: usize = appends.iter().sum();
+        let plan = cache.plan_restore(conv);
+        prop_assert_eq!(
+            plan.gpu_hit_tokens + plan.revalidate_tokens
+                + plan.swap_in_tokens + plan.recompute_tokens,
+            total
+        );
+        let plan = cache.commit_restore(conv, SimTime::from_secs(t + 2.0)).unwrap();
+        prop_assert_eq!(plan.new_gpu_slots() + plan.gpu_hit_tokens + plan.revalidate_tokens, total);
+        let after = cache.plan_restore(conv);
+        prop_assert!(after.is_full_gpu_hit());
+    }
+
+    /// The profiled cost table is monotone in context length, so the
+    /// retention-value policy always prefers leading chunks.
+    #[test]
+    fn profiled_cost_is_monotone(chunk in prop::sample::select(vec![8usize, 16, 32, 64])) {
+        let cost = CostModel::new(ModelConfig::opt_13b(), HardwareSpec::azure_nc_a100(1));
+        let table = ProfiledCostTable::profile(&cost, chunk, 16384);
+        let mut prev = table.chunk_cost(chunk);
+        let mut l = chunk * 2;
+        while l <= 16384 {
+            let c = table.chunk_cost(l);
+            prop_assert!(c >= prev, "cost not monotone at context {}", l);
+            prev = c;
+            l += chunk.max(97);
+        }
+    }
+
+    /// Batch cost is superadditive-ish: a unified batch never costs more
+    /// than running its halves separately (the Figure-13 rationale).
+    #[test]
+    fn unified_batch_never_slower_than_split(
+        prefill_len in 1usize..512,
+        decodes in 1usize..48,
+        ctx in 64usize..4096,
+    ) {
+        let cost = CostModel::new(ModelConfig::llama2_13b(), HardwareSpec::azure_nc_a100(1));
+        let prefill = SeqShape::prefill(prefill_len, 0);
+        let decode_shapes: Vec<SeqShape> =
+            (0..decodes).map(|_| SeqShape::decode(ctx)).collect();
+        let mut all = decode_shapes.clone();
+        all.push(prefill);
+        let unified = cost.batch_step_time(&pensieve_model::BatchShape::new(all));
+        let split = cost.batch_step_time(&pensieve_model::BatchShape::new(vec![prefill]))
+            + cost.batch_step_time(&pensieve_model::BatchShape::new(decode_shapes));
+        prop_assert!(unified.as_secs() <= split.as_secs() * 1.0001);
+    }
+}
