@@ -28,7 +28,9 @@ use pensieve_model::{
     BatchShape, CostModel, HardwareSpec, ModelConfig, ProfiledCostTable, SeqShape, SimDuration,
     SimTime,
 };
-use pensieve_sim::{Direction, DuplexMode, GpuTimer, PcieLink};
+use pensieve_sim::{
+    Direction, DuplexMode, FaultCounters, FaultInjector, FaultKind, GpuTimer, PcieLink,
+};
 
 use crate::config::{EngineConfig, PolicyKind, SuspendPolicy};
 use crate::request::{Request, Response};
@@ -68,6 +70,11 @@ struct PrefillWork {
     swap_in_bytes: usize,
     /// Query tokens already processed by earlier chunked iterations.
     done_tokens: usize,
+    /// Queueing delay of a swap-in DMA already placed on the link during
+    /// fault-aware admission (its retries consumed link time there), so
+    /// `execute` must not schedule those bytes again. `None` on the
+    /// fault-free path.
+    reserved_delay: Option<SimDuration>,
 }
 
 /// A waiting-queue entry: a fresh request or a suspended one.
@@ -101,6 +108,41 @@ pub struct EngineCounters {
     pub shared_prefix_hits: u64,
     /// Accumulated busy time of the GPU.
     pub busy_time: SimDuration,
+    /// Swap-in DMA attempts that failed or timed out and were retried
+    /// (fault injection only).
+    pub swap_in_retries: u64,
+    /// Restores whose swap-in retries were exhausted, falling back to
+    /// dropping the CPU chunks and recomputing them from raw tokens.
+    pub recompute_fallbacks: u64,
+    /// Transient GPU slot-allocation failures absorbed by eviction
+    /// backpressure.
+    pub gpu_alloc_faults: u64,
+    /// Injected worker stalls absorbed as longer iterations.
+    pub worker_stalls: u64,
+    /// CPU-tier chunks lost or corrupted by injected host-memory faults.
+    pub chunk_faults: u64,
+}
+
+/// Retry/backoff parameters for recovering from transient swap-in faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retries after the first failed swap-in DMA before falling back to
+    /// dropped-token recomputation.
+    pub max_swap_in_retries: u32,
+    /// Backoff before the first retry.
+    pub retry_backoff_base: SimDuration,
+    /// Multiplier applied to the backoff after every failed retry.
+    pub retry_backoff_factor: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_swap_in_retries: 3,
+            retry_backoff_base: SimDuration::from_micros(200.0),
+            retry_backoff_factor: 2.0,
+        }
+    }
 }
 
 /// The simulated-timing serving engine.
@@ -117,6 +159,11 @@ pub struct SimServingEngine {
     counters: EngineCounters,
     kv_bytes_per_token_per_gpu: usize,
     pcie_bandwidth: f64,
+    faults: Option<FaultInjector>,
+    recovery: RecoveryPolicy,
+    /// Consecutive fault-induced ticks that admitted nothing; bounds the
+    /// empty-tick retry loop in `iteration`.
+    empty_ticks: u32,
 }
 
 impl SimServingEngine {
@@ -158,6 +205,9 @@ impl SimServingEngine {
             counters: EngineCounters::default(),
             kv_bytes_per_token_per_gpu,
             pcie_bandwidth,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
+            empty_ticks: 0,
         };
         // Materialize the shared system-prompt KV state once, pinned so
         // it is never evicted (its memory cost is honest: it occupies GPU
@@ -170,9 +220,39 @@ impl SimServingEngine {
                     engine.cfg.shared_prefix_tokens,
                     SimTime::ZERO,
                 )
+                // Invariant: a shared prefix larger than the GPU cache is
+                // a configuration bug, not a runtime condition — fail
+                // loudly at construction rather than mid-serving.
                 .expect("shared prefix must fit in the GPU cache");
         }
         engine
+    }
+
+    /// Attaches a deterministic fault injector; subsequent iterations
+    /// draw PCIe, CPU-tier, allocation and worker faults from it and
+    /// exercise the corresponding recovery paths.
+    #[must_use]
+    pub fn with_fault_injector(mut self, inj: FaultInjector) -> Self {
+        self.faults = Some(inj);
+        self
+    }
+
+    /// Replaces (or clears) the fault injector at runtime.
+    pub fn set_fault_injector(&mut self, inj: Option<FaultInjector>) {
+        self.faults = inj;
+    }
+
+    /// Overrides the swap-in retry/backoff parameters.
+    #[must_use]
+    pub fn with_recovery_policy(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Counters of injected faults, if an injector is attached.
+    #[must_use]
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_ref().map(FaultInjector::counters)
     }
 
     /// Tokens of `history` served by the globally shared prefix.
@@ -314,6 +394,8 @@ impl SimServingEngine {
     pub fn run_until_idle(&mut self) {
         while !self.is_idle() {
             if self.running.is_empty() {
+                // Invariant: not idle + empty batch means the wait queue
+                // holds at least one item.
                 let a = self.next_due_arrival().expect("wait queue non-empty");
                 self.now = self.now.max(a);
             }
@@ -327,12 +409,62 @@ impl SimServingEngine {
 
     /// One scheduler clock tick: grow decodes, swap, admit, execute.
     fn iteration(&mut self) {
+        self.fault_tick();
         self.grow_decode_slots();
         self.ahead_of_time_swap();
         self.admit();
-        debug_assert!(!self.running.is_empty(), "iteration with empty batch");
+        if self.running.is_empty() {
+            // Fault-free admission always seats something when work is
+            // due; only an injected fault (allocation failure whose
+            // backpressure pass freed nothing yet, or a failed restore
+            // commit) can empty a tick. Back off briefly and retry —
+            // but boundedly, so an infeasible request (a context larger
+            // than the whole GPU KV budget) panics with a diagnosis
+            // instead of spinning forever.
+            debug_assert!(self.faults.is_some(), "iteration with empty batch");
+            self.empty_ticks += 1;
+            assert!(
+                self.empty_ticks < 10_000,
+                "admission livelock: the queue front cannot be seated \
+                 (context larger than the GPU KV budget?)"
+            );
+            self.now += self.recovery.retry_backoff_base;
+            return;
+        }
+        self.empty_ticks = 0;
         self.execute();
         self.complete();
+    }
+
+    /// Draws this tick's CPU-tier faults: loss or corruption of a chunk
+    /// with a CPU copy. Lost [`pensieve_kvcache::Tier::Cpu`] chunks become
+    /// dropped (recomputed on the owner's next restore); lost lazy copies
+    /// revert to plain GPU residency — either way the cache accounting
+    /// stays exact and the request-visible recovery path is the existing
+    /// Figure-5 restore machinery.
+    fn fault_tick(&mut self) {
+        let Some(inj) = self.faults.as_mut() else {
+            return;
+        };
+        for kind in [FaultKind::CpuChunkLoss, FaultKind::CpuChunkCorruption] {
+            if !inj.roll(kind) {
+                continue;
+            }
+            let listing = self.cache.cpu_resident_chunks();
+            if listing.is_empty() {
+                continue;
+            }
+            let (conv, idx, _) = listing[inj.pick(listing.len())];
+            let applied = match kind {
+                FaultKind::CpuChunkLoss => self.cache.mark_chunk_lost(conv, idx),
+                _ => self.cache.mark_chunk_corrupt(conv, idx),
+            };
+            // The listing was taken this tick, so the target is valid.
+            debug_assert!(applied.is_ok());
+            if applied.is_ok() {
+                self.counters.chunk_faults += 1;
+            }
+        }
     }
 
     /// Appends one KV slot per decoding request, suspending
@@ -349,12 +481,28 @@ impl SimServingEngine {
                 continue;
             }
             let conv = self.running[i].req.conv;
-            match self.cache.append_tokens(conv, 1, self.now) {
+            // An injected allocation fault behaves exactly like an
+            // out-of-space allocation: it routes into the eviction /
+            // suspension backpressure branch below, whose retry succeeds
+            // once the transient condition has been absorbed.
+            let alloc_fault = self
+                .faults
+                .as_mut()
+                .is_some_and(|f| f.roll(FaultKind::GpuAllocFailure));
+            if alloc_fault {
+                self.counters.gpu_alloc_faults += 1;
+            }
+            let grown = if alloc_fault {
+                Err(())
+            } else {
+                self.cache.append_tokens(conv, 1, self.now).map_err(|_| ())
+            };
+            match grown {
                 Ok(()) => {
                     self.running[i].context_len += 1;
                     i += 1;
                 }
-                Err(_) => {
+                Err(()) => {
                     // Reclaim lazily-copied slots via the eviction pass,
                     // then retry; if that fails, suspend the newest.
                     self.cache.swap_out_until(1, self.now);
@@ -445,6 +593,8 @@ impl SimServingEngine {
             }
             let batch_tokens = self.current_iteration_query_tokens();
             let has_prefill = self.running.iter().any(|r| r.prefill.is_some());
+            // Invariant: the queue front was observed non-empty above and
+            // nothing in between pops.
             let item = self.wait_queue.front().expect("checked non-empty");
             let (conv, query_tokens, new_slots) = self.admission_cost(item);
             // Budget: allow one oversized prefill per iteration when no
@@ -454,15 +604,27 @@ impl SimServingEngine {
             {
                 return;
             }
-            // Space: keep the decode reserve when a batch is running.
+            // Space: keep the decode reserve when a batch is running. An
+            // injected allocation fault is absorbed the same way as real
+            // pressure: force the eviction backpressure pass, then
+            // re-check.
             let reserve_needed = if self.running.is_empty() { 0 } else { reserve };
+            let alloc_fault = self
+                .faults
+                .as_mut()
+                .is_some_and(|f| f.roll(FaultKind::GpuAllocFailure));
+            if alloc_fault {
+                self.counters.gpu_alloc_faults += 1;
+            }
             let mut query_tokens = query_tokens;
             let mut new_slots = new_slots;
-            if self.cache.gpu_free_effective_for(conv) < new_slots + reserve_needed {
+            if alloc_fault || self.cache.gpu_free_effective_for(conv) < new_slots + reserve_needed {
                 self.cache
                     .swap_out_until_for(new_slots + reserve_needed, Some(conv), self.now);
                 // Eviction may have demoted this conversation's own
                 // chunks; recompute the admission cost before committing.
+                // Invariant: the queue front was observed non-empty above
+                // and nothing in between pops.
                 let item = self.wait_queue.front().expect("checked non-empty");
                 let (_, q2, s2) = self.admission_cost(item);
                 query_tokens = q2;
@@ -471,9 +633,76 @@ impl SimServingEngine {
                     return;
                 }
             }
+            // Fault-aware swap-in: place the restore's DMA on the link
+            // *before* committing cache state, so a persistently failing
+            // transfer can fall back to recomputation without leaving the
+            // cache half-restored.
+            let mut reserved_delay = None;
+            if self.faults.is_some() {
+                let swap_in_tokens = self.cache.plan_restore(conv).swap_in_tokens;
+                if swap_in_tokens > 0 {
+                    match self.swap_in_with_retries(swap_in_tokens) {
+                        Ok(delay) => reserved_delay = Some(delay),
+                        Err(()) => {
+                            // Retries exhausted: drop the CPU chunks so
+                            // the restore plan recomputes them from raw
+                            // tokens, and re-run the admission check with
+                            // the new (swap-in-free) plan. Dropped chunks
+                            // cannot fail again, so this converges.
+                            self.cache.drop_cpu_chunks(conv);
+                            self.counters.recompute_fallbacks += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Invariant: the queue front was observed non-empty above and
+            // nothing in between pops.
             let item = self.wait_queue.pop_front().expect("checked non-empty");
-            self.commit_admission(item, conv, query_tokens);
+            if self
+                .commit_admission(item, conv, query_tokens, reserved_delay)
+                .is_err()
+            {
+                // The item was re-queued at the front; stop admitting
+                // this tick and retry after the next eviction pass.
+                return;
+            }
         }
+    }
+
+    /// Schedules a swap-in DMA under fault injection, retrying failed or
+    /// timed-out transfers with bounded exponential backoff. Every failed
+    /// attempt consumes real link time and pushes the engine clock past
+    /// the failure-detection point plus the backoff. Returns the
+    /// queueing delay of the successful transfer relative to the (possibly
+    /// advanced) current clock, which `execute` folds into this
+    /// iteration's stall.
+    ///
+    /// # Errors
+    ///
+    /// `Err(())` when `RecoveryPolicy::max_swap_in_retries` is exhausted;
+    /// the caller falls back to dropped-token recomputation.
+    fn swap_in_with_retries(&mut self, swap_in_tokens: usize) -> Result<SimDuration, ()> {
+        let bytes = swap_in_tokens * self.kv_bytes_per_token_per_gpu;
+        let mut backoff = self.recovery.retry_backoff_base;
+        for _attempt in 0..=self.recovery.max_swap_in_retries {
+            match self.link.try_schedule(
+                self.now,
+                Direction::HostToDevice,
+                bytes,
+                self.faults.as_mut(),
+            ) {
+                Ok((start, _end)) => return Ok(start.duration_since(self.now)),
+                Err(e) => {
+                    self.counters.swap_in_retries += 1;
+                    // The aborted DMA held the link until its failure was
+                    // detected; the retry is issued after backoff.
+                    self.now = self.now.max(e.completes()) + backoff;
+                    backoff = backoff * self.recovery.retry_backoff_factor;
+                }
+            }
+        }
+        Err(())
     }
 
     /// Query tokens already claimed by this iteration's batch.
@@ -525,16 +754,30 @@ impl SimServingEngine {
         }
     }
 
+    /// Commits an admission's restore plan and moves the item into the
+    /// running batch.
+    ///
+    /// # Errors
+    ///
+    /// If the restore cannot be committed (the space the admission check
+    /// saw has vanished — possible only under injected faults that demote
+    /// chunks between check and commit), the item is pushed back to the
+    /// queue front untouched and the error returned; `commit_restore`
+    /// itself is atomic, so no cache state is left half-restored.
     fn commit_admission(
         &mut self,
         item: WorkItem,
         conv: pensieve_kvcache::ConversationId,
         query_tokens: usize,
-    ) {
-        let plan = self
-            .cache
-            .commit_restore(conv, self.now)
-            .expect("admission checked space");
+        reserved_delay: Option<SimDuration>,
+    ) -> Result<(), pensieve_kvcache::CacheError> {
+        let plan = match self.cache.commit_restore(conv, self.now) {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.wait_queue.push_front(item);
+                return Err(e);
+            }
+        };
         let swap_in_bytes = plan.swap_in_tokens * self.kv_bytes_per_token_per_gpu;
         match item {
             WorkItem::New(req) => {
@@ -552,6 +795,10 @@ impl SimServingEngine {
                 };
                 self.cache
                     .append_tokens(req.conv, tail + req.prompt_tokens + reserved, self.now)
+                    // Invariant: admit() verified effective free space for
+                    // the full slot count (restore + tail + prompt +
+                    // reservation) and nothing between the check and here
+                    // consumes slots.
                     .expect("admission checked space");
                 let context_len = req.history_tokens + req.prompt_tokens;
                 self.running.push(RunningRequest {
@@ -560,6 +807,7 @@ impl SimServingEngine {
                         context_len,
                         swap_in_bytes,
                         done_tokens: 0,
+                        reserved_delay,
                     }),
                     generated: 0,
                     context_len,
@@ -580,6 +828,7 @@ impl SimServingEngine {
                 if tail > 0 {
                     self.cache
                         .append_tokens(r.req.conv, tail, self.now)
+                        // Invariant: same space check as the New arm.
                         .expect("admission checked space");
                 }
                 r.prefill = Some(PrefillWork {
@@ -587,10 +836,12 @@ impl SimServingEngine {
                     context_len: r.context_len,
                     swap_in_bytes,
                     done_tokens: 0,
+                    reserved_delay,
                 });
                 self.running.push(r);
             }
         }
+        Ok(())
     }
 
     /// Executes the iteration's model invocation(s) and advances the clock.
@@ -598,7 +849,13 @@ impl SimServingEngine {
         let chunk_cap = self.cfg.chunked_prefill.unwrap_or(usize::MAX);
         let mut prefill_shapes = Vec::new();
         let mut decode_shapes = Vec::new();
+        // Bytes still needing a link slot vs all bytes overlapping with
+        // compute: fault-aware admission already scheduled its DMA (the
+        // reserved delay), but those transfers still pipeline with the
+        // layer-by-layer execution (§4.3.3).
         let mut swap_in_bytes = 0usize;
+        let mut overlap_bytes = 0usize;
+        let mut reserved_delay = SimDuration::ZERO;
         for r in &mut self.running {
             match r.prefill.as_mut() {
                 Some(w) => {
@@ -613,7 +870,11 @@ impl SimServingEngine {
                         context_len: ctx_end,
                     });
                     if w.done_tokens == 0 {
-                        swap_in_bytes += w.swap_in_bytes;
+                        overlap_bytes += w.swap_in_bytes;
+                        match w.reserved_delay.take() {
+                            Some(d) => reserved_delay = reserved_delay.max(d),
+                            None => swap_in_bytes += w.swap_in_bytes,
+                        }
                     }
                     w.done_tokens += slice;
                 }
@@ -629,12 +890,13 @@ impl SimServingEngine {
         } else {
             SimDuration::ZERO
         };
+        let queue_delay = queue_delay.max(reserved_delay);
         let duration = if self.cfg.unified_batching {
             let mut all = prefill_shapes;
             all.extend_from_slice(&decode_shapes);
             self.gpu.batch_time_with_swap_in(
                 &BatchShape::new(all),
-                swap_in_bytes,
+                overlap_bytes,
                 self.pcie_bandwidth,
             )
         } else {
@@ -642,7 +904,7 @@ impl SimServingEngine {
             if !prefill_shapes.is_empty() {
                 d += self.gpu.batch_time_with_swap_in(
                     &BatchShape::new(prefill_shapes),
-                    swap_in_bytes,
+                    overlap_bytes,
                     self.pcie_bandwidth,
                 );
             }
@@ -651,9 +913,18 @@ impl SimServingEngine {
             }
             d
         };
+        // An injected worker stall completes the iteration late; the
+        // scheduler sees it purely as a longer step.
+        let mut stall = SimDuration::ZERO;
+        if let Some(f) = self.faults.as_mut() {
+            if f.roll(FaultKind::WorkerStall) {
+                self.counters.worker_stalls += 1;
+                stall = f.config().stall_duration;
+            }
+        }
         self.counters.iterations += 1;
-        self.counters.busy_time += duration + queue_delay;
-        self.now += queue_delay + duration;
+        self.counters.busy_time += duration + queue_delay + stall;
+        self.now += queue_delay + duration + stall;
     }
 
     /// Emits tokens, records completions, releases finished requests.
@@ -1154,6 +1425,92 @@ mod tests {
             chunk_r1.normalized_latency(),
             whole_r1.normalized_latency()
         );
+    }
+
+    /// Under chaos-level fault injection every request still completes
+    /// with its exact token counts; recovery shows up only in counters
+    /// and timing.
+    #[test]
+    fn chaos_faults_preserve_token_counts() {
+        use pensieve_sim::FaultConfig;
+        let mut hw = small_hw();
+        // Small GPU + CPU tier so swap-ins actually happen (and can fail).
+        hw.gpu_kv_budget_bytes = 1500 * ModelConfig::opt_13b().kv_bytes_per_token();
+        hw.cpu_cache_bytes_per_gpu = 1 << 30;
+        let run = |faults: Option<FaultInjector>| {
+            let mut e =
+                SimServingEngine::new(EngineConfig::pensieve(), ModelConfig::opt_13b(), hw.clone());
+            e.set_fault_injector(faults);
+            e.submit(req(1, 1, 0.0, 100, 400, 0));
+            e.submit(req(2, 2, 0.1, 100, 400, 0));
+            e.run_until_idle();
+            // Both conversations return after an idle gap.
+            let mut r3 = req(3, 1, 0.0, 50, 100, 500);
+            r3.arrival = e.now() + SimDuration::from_secs(2.0);
+            let mut r4 = req(4, 2, 0.0, 50, 100, 500);
+            r4.arrival = e.now() + SimDuration::from_secs(2.1);
+            e.submit(r3);
+            e.submit(r4);
+            e.run_until_idle();
+            let mut rs = e.drain_responses();
+            rs.sort_by_key(|r| r.id);
+            (
+                rs.iter()
+                    .map(|r| (r.id, r.output_tokens, r.prefill_tokens))
+                    .collect::<Vec<_>>(),
+                e.counters().clone(),
+            )
+        };
+        let (clean, clean_counters) = run(None);
+        let mut chaos_cfg = FaultConfig::chaos(42);
+        // Crank PCIe failures so swap-in retries certainly occur.
+        chaos_cfg.pcie_failure = 0.6;
+        let (faulty, counters) = run(Some(FaultInjector::new(chaos_cfg)));
+        assert_eq!(faulty.len(), 4, "every request completes under faults");
+        for (id, out, _prefill) in &faulty {
+            let (cid, cout, _) = clean.iter().find(|(c, _, _)| c == id).unwrap();
+            assert_eq!(id, cid);
+            assert_eq!(out, cout, "output token counts must match fault-free");
+        }
+        assert!(
+            counters.swap_in_retries > 0 || counters.chunk_faults > 0,
+            "chaos config must exercise at least one recovery path: {counters:?}"
+        );
+        assert_eq!(clean_counters.swap_in_retries, 0);
+        assert_eq!(clean_counters.chunk_faults, 0);
+    }
+
+    /// A fault rate of 1.0 on PCIe transfers forces every swap-in to
+    /// exhaust its retries and fall back to recomputation — and the
+    /// engine still completes everything.
+    #[test]
+    fn total_pcie_failure_falls_back_to_recompute() {
+        use pensieve_sim::FaultConfig;
+        let mut hw = small_hw();
+        hw.gpu_kv_budget_bytes = 1200 * ModelConfig::opt_13b().kv_bytes_per_token();
+        hw.cpu_cache_bytes_per_gpu = 1 << 30;
+        let mut cfg = FaultConfig::disabled(7);
+        cfg.pcie_failure = 1.0;
+        let mut e =
+            SimServingEngine::new(EngineConfig::pensieve(), ModelConfig::opt_13b(), hw.clone())
+                .with_fault_injector(FaultInjector::new(cfg));
+        e.submit(req(1, 1, 0.0, 100, 400, 0));
+        e.submit(req(2, 2, 0.1, 100, 400, 0));
+        e.run_until_idle();
+        let mut r3 = req(3, 1, 0.0, 50, 50, 500);
+        r3.arrival = e.now() + SimDuration::from_secs(2.0);
+        e.submit(r3);
+        e.run_until_idle();
+        let rs = e.drain_responses();
+        assert_eq!(rs.len(), 3);
+        for r in &rs {
+            assert!(r.output_tokens > 0);
+        }
+        // If any swap-in was needed it must have fallen back.
+        if e.counters().swap_in_retries > 0 {
+            assert!(e.counters().recompute_fallbacks > 0);
+            assert!(e.cache_stats().swap_in_fault_tokens > 0);
+        }
     }
 
     #[test]

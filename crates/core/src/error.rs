@@ -1,0 +1,117 @@
+//! Typed errors for the serving stack.
+//!
+//! Every fallible layer has its own error enum close to its code
+//! ([`pensieve_kvcache::CacheError`], [`pensieve_sim::TransferError`],
+//! [`pensieve_sim::ScheduleError`], [`WorkerError`] here); this module
+//! adds the worker-fleet error and the top-level [`PensieveError`] that
+//! embedding applications can match on without knowing which layer
+//! failed.
+
+use std::fmt;
+
+use pensieve_kernels::paged::OutOfBlocks;
+
+/// Error from the threaded tensor-parallel worker fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerError {
+    /// A worker's KV pool was exhausted (propagated from the shard).
+    OutOfBlocks(OutOfBlocks),
+    /// A worker shard's channel disconnected — the thread crashed or was
+    /// shut down. `shard` is the index when the send side detected it,
+    /// `None` when detected on the shared response channel.
+    ShardDisconnected {
+        /// Index of the dead shard, if known.
+        shard: Option<usize>,
+    },
+    /// A worker replied out of protocol (a scheduler/worker bug, surfaced
+    /// instead of silently mis-summing partials).
+    Protocol(&'static str),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::OutOfBlocks(e) => write!(f, "worker KV pool exhausted: {e}"),
+            WorkerError::ShardDisconnected { shard: Some(i) } => {
+                write!(f, "worker shard {i} disconnected")
+            }
+            WorkerError::ShardDisconnected { shard: None } => {
+                write!(f, "a worker shard disconnected")
+            }
+            WorkerError::Protocol(what) => write!(f, "worker protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<OutOfBlocks> for WorkerError {
+    fn from(e: OutOfBlocks) -> Self {
+        WorkerError::OutOfBlocks(e)
+    }
+}
+
+/// Top-level error uniting every layer's typed failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PensieveError {
+    /// KV cache management failed.
+    Cache(pensieve_kvcache::CacheError),
+    /// A simulated PCIe transfer failed or timed out.
+    Transfer(pensieve_sim::TransferError),
+    /// An event was scheduled into the simulator's past.
+    Schedule(pensieve_sim::ScheduleError),
+    /// The tensor-parallel worker fleet failed.
+    Worker(WorkerError),
+}
+
+impl fmt::Display for PensieveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PensieveError::Cache(e) => write!(f, "cache: {e}"),
+            PensieveError::Transfer(e) => write!(f, "transfer: {e}"),
+            PensieveError::Schedule(e) => write!(f, "schedule: {e}"),
+            PensieveError::Worker(e) => write!(f, "worker: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PensieveError {}
+
+impl From<pensieve_kvcache::CacheError> for PensieveError {
+    fn from(e: pensieve_kvcache::CacheError) -> Self {
+        PensieveError::Cache(e)
+    }
+}
+
+impl From<pensieve_sim::TransferError> for PensieveError {
+    fn from(e: pensieve_sim::TransferError) -> Self {
+        PensieveError::Transfer(e)
+    }
+}
+
+impl From<pensieve_sim::ScheduleError> for PensieveError {
+    fn from(e: pensieve_sim::ScheduleError) -> Self {
+        PensieveError::Schedule(e)
+    }
+}
+
+impl From<WorkerError> for PensieveError {
+    fn from(e: WorkerError) -> Self {
+        PensieveError::Worker(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let w: PensieveError = WorkerError::ShardDisconnected { shard: Some(2) }.into();
+        assert_eq!(w.to_string(), "worker: worker shard 2 disconnected");
+        let c: PensieveError = pensieve_kvcache::CacheError::OutOfGpu { needed: 8, free: 4 }.into();
+        assert!(c.to_string().contains("out of GPU KV slots"));
+        let p: WorkerError = OutOfBlocks.into();
+        assert!(matches!(p, WorkerError::OutOfBlocks(_)));
+    }
+}

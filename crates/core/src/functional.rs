@@ -20,11 +20,34 @@ use pensieve_kernels::ops::argmax;
 use pensieve_kernels::paged::{BlockId, BlockTable, PagedKvCache};
 use pensieve_kvcache::{ConversationId, RawTokenStore};
 use pensieve_model::ModelConfig;
+use pensieve_sim::{FaultCounters, FaultInjector, FaultKind};
 
 /// KV data of one evicted block, for all layers.
 struct HostBlock {
     /// Per layer: (K rows, V rows), each `block_size * kv_width` floats.
     layers: Vec<(Vec<f32>, Vec<f32>)>,
+    /// FNV-1a over the f32 bit patterns, taken at swap-out. Verified on
+    /// swap-in so silent host-memory corruption downgrades to a recompute
+    /// instead of poisoning the KV state.
+    checksum: u64,
+}
+
+/// FNV-1a over the bit patterns of every float in the block.
+fn kv_checksum(layers: &[(Vec<f32>, Vec<f32>)]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |xs: &[f32]| {
+        for x in xs {
+            for b in x.to_bits().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    };
+    for (k, v) in layers {
+        eat(k);
+        eat(v);
+    }
+    h
 }
 
 struct ConvState {
@@ -74,6 +97,12 @@ pub struct FunctionalEngine {
     swap_in_blocks: u64,
     dropped_blocks: u64,
     recomputed_tokens: u64,
+    /// Optional deterministic fault source targeting the host stash.
+    faults: Option<FaultInjector>,
+    /// Stashed blocks destroyed by injected loss.
+    lost_blocks: u64,
+    /// Stashed blocks whose checksum failed on swap-in.
+    corrupt_blocks: u64,
 }
 
 impl FunctionalEngine {
@@ -104,7 +133,30 @@ impl FunctionalEngine {
             swap_in_blocks: 0,
             dropped_blocks: 0,
             recomputed_tokens: 0,
+            faults: None,
+            lost_blocks: 0,
+            corrupt_blocks: 0,
         }
+    }
+
+    /// Installs a deterministic fault injector. Each turn it may destroy a
+    /// stashed block (loss) or flip a bit in one (corruption, caught by
+    /// the checksum on swap-in); both downgrade to recomputation, so
+    /// outputs stay bit-identical to the fault-free run.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
+    }
+
+    /// Faults injected so far, if an injector is installed.
+    #[must_use]
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_ref().map(FaultInjector::counters)
+    }
+
+    /// Stashed blocks (destroyed by injected loss, rejected by checksum).
+    #[must_use]
+    pub fn fault_activity(&self) -> (u64, u64) {
+        (self.lost_blocks, self.corrupt_blocks)
     }
 
     /// The underlying model (for building stateless references).
@@ -145,6 +197,7 @@ impl FunctionalEngine {
     pub fn serve_turn(&mut self, conv: ConversationId, prompt: &[u32], max_new: usize) -> Vec<u32> {
         assert!(!prompt.is_empty() && max_new > 0);
         self.clock += 1;
+        self.fault_tick();
         let clock = self.clock;
         let block_size = self.cfg.block_size;
         self.convs.entry(conv).or_insert_with(|| ConvState {
@@ -171,9 +224,18 @@ impl FunctionalEngine {
                 .refill(&mut self.pool, bi..bi + 1)
                 .expect("make_room reserved space");
             let (_, phys) = filled[0];
-            if let Some(hb) = self.stash.remove(&(conv, bi)) {
-                // Swap in: copy the stashed data back.
+            let stashed = self.stash.remove(&(conv, bi)).and_then(|hb| {
                 self.stash_order.retain(|k| *k != (conv, bi));
+                if kv_checksum(&hb.layers) == hb.checksum {
+                    Some(hb)
+                } else {
+                    // Corrupted in host memory: discard and recompute.
+                    self.corrupt_blocks += 1;
+                    None
+                }
+            });
+            if let Some(hb) = stashed {
+                // Swap in: copy the stashed data back.
                 self.write_host_block(phys, &hb);
                 self.swap_in_blocks += 1;
             } else {
@@ -337,7 +399,7 @@ impl FunctionalEngine {
 
     fn read_host_block(&self, phys: BlockId) -> HostBlock {
         let bs = self.cfg.block_size;
-        let layers = (0..self.pool.num_layers())
+        let layers: Vec<(Vec<f32>, Vec<f32>)> = (0..self.pool.num_layers())
             .map(|li| {
                 let view = self.pool.layer(li);
                 let mut k = Vec::new();
@@ -349,7 +411,36 @@ impl FunctionalEngine {
                 (k, v)
             })
             .collect();
-        HostBlock { layers }
+        let checksum = kv_checksum(&layers);
+        HostBlock { layers, checksum }
+    }
+
+    /// One fault opportunity per turn against the host stash: an injected
+    /// loss destroys a stashed block outright (discovered as a hole on the
+    /// conversation's return); an injected corruption flips one bit of a
+    /// stashed K row, which the swap-in checksum rejects. Both downgrade
+    /// to recomputation from raw tokens.
+    fn fault_tick(&mut self) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        if self.stash_order.is_empty() {
+            return;
+        }
+        if f.roll(FaultKind::CpuChunkLoss) {
+            let key = self.stash_order.remove(f.pick(self.stash_order.len()));
+            self.stash.remove(&key);
+            self.lost_blocks += 1;
+        }
+        if !self.stash_order.is_empty() && f.roll(FaultKind::CpuChunkCorruption) {
+            let key = self.stash_order[f.pick(self.stash_order.len())];
+            let hb = self.stash.get_mut(&key).expect("order tracks stash keys");
+            // Flip a mantissa bit in the first stored K value; the stale
+            // checksum now disagrees with the data.
+            if let Some(x) = hb.layers.first_mut().and_then(|(k, _)| k.first_mut()) {
+                *x = f32::from_bits(x.to_bits() ^ 0x0000_0400);
+            }
+        }
     }
 
     fn write_host_block(&mut self, phys: BlockId, hb: &HostBlock) {
@@ -476,6 +567,43 @@ mod tests {
         let (_, _, dropped, recomputed) = e.cache_activity();
         assert!(dropped > 0, "evictions must drop without a stash");
         assert!(recomputed > 0, "returning conversation recomputed a prefix");
+    }
+
+    #[test]
+    fn stash_faults_keep_outputs_bit_identical() {
+        use pensieve_sim::FaultConfig;
+        let cfg = ModelConfig::tiny_llama();
+        let small = FunctionalConfig {
+            block_size: 4,
+            pool_blocks: 16,
+            stash_blocks: 64,
+            free_watermark: 2,
+        };
+        // Clean engine and faulty engine run the same workload; loss and
+        // corruption fire aggressively against the stash.
+        let mut clean = FunctionalEngine::new(&cfg, 17, small.clone());
+        let mut faulty = FunctionalEngine::new(&cfg, 17, small);
+        let mut fc = FaultConfig::disabled(99);
+        fc.cpu_chunk_loss = 0.7;
+        fc.cpu_chunk_corruption = 0.7;
+        faulty.set_fault_injector(FaultInjector::new(fc));
+        let (a, b) = (ConversationId(1), ConversationId(2));
+        for turn in 0..4 {
+            for &conv in &[a, b] {
+                let p = prompt(60 + turn * 2 + conv.0 as u32, 6, cfg.vocab_size as u32);
+                let want = clean.serve_turn(conv, &p, 4);
+                let got = faulty.serve_turn(conv, &p, 4);
+                assert_eq!(got, want, "conv {} turn {turn}", conv.0);
+            }
+        }
+        let (lost, corrupt) = faulty.fault_activity();
+        assert!(lost > 0, "injected losses must have destroyed stash blocks");
+        assert!(corrupt > 0, "checksum must have caught a corrupted block");
+        let ctrs = faulty.fault_counters().expect("injector installed");
+        assert_eq!(ctrs.cpu_chunk_losses, lost);
+        let (_, _, _, recomputed) = faulty.cache_activity();
+        assert!(recomputed > 0, "faults must have forced recomputation");
+        assert_eq!(clean.fault_activity(), (0, 0));
     }
 
     #[test]

@@ -18,12 +18,14 @@
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod functional;
 pub mod request;
 pub mod workers;
 
 pub use config::EngineConfig;
-pub use engine::SimServingEngine;
+pub use engine::{EngineCounters, RecoveryPolicy, SimServingEngine};
+pub use error::{PensieveError, WorkerError};
 pub use functional::FunctionalEngine;
 pub use request::{Request, RequestId, Response};
 pub use workers::ThreadedTpEngine;

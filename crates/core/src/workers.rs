@@ -27,6 +27,8 @@ use pensieve_kernels::tp::{ReplicatedWeights, ShardRunner, TpModel};
 use pensieve_kernels::Matrix;
 use pensieve_model::ModelConfig;
 
+use crate::error::WorkerError;
+
 /// Scheduler-to-worker commands.
 enum Cmd {
     BeginPass {
@@ -65,6 +67,12 @@ pub struct ThreadedTpEngine {
     /// Each conversation's not-yet-processed final token from its
     /// previous turn.
     tails: HashMap<u64, Vec<u32>>,
+    /// Fail-stop flag: set on the first detected shard failure. A fleet
+    /// with a dead shard can never complete an all-reduce, and replies
+    /// from the surviving shards may still sit in `res_rx`; poisoning
+    /// makes every later call fail fast with a typed error instead of
+    /// hanging or consuming stale partials.
+    poisoned: bool,
 }
 
 impl ThreadedTpEngine {
@@ -101,6 +109,7 @@ impl ThreadedTpEngine {
             handles,
             contexts: HashMap::new(),
             tails: HashMap::new(),
+            poisoned: false,
         }
     }
 
@@ -116,30 +125,78 @@ impl ThreadedTpEngine {
         self.replicated.config()
     }
 
-    fn broadcast(&self, mut make: impl FnMut() -> Cmd) {
-        for tx in &self.cmd_txs {
-            tx.send(make()).expect("worker alive");
+    /// True if a shard failure has been detected; every subsequent call
+    /// returns [`WorkerError::ShardDisconnected`] immediately.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Test/chaos hook: shuts down one worker shard as if its process
+    /// crashed. The next forward pass detects the dead shard via channel
+    /// disconnect and fails with a typed error instead of hanging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn kill_shard(&mut self, shard: usize) {
+        // A send error here means the shard is already gone — the goal
+        // state, so it is not an error.
+        let _ = self.cmd_txs[shard].send(Cmd::Shutdown);
+        if let Some(h) = self.handles.get_mut(shard) {
+            // Join so the crash is fully materialized (the worker's
+            // command receiver is dropped) before the caller's next
+            // pass. JoinHandle::join consumes, so swap in a no-op thread.
+            let dead = std::mem::replace(h, std::thread::spawn(|| ()));
+            let _ = dead.join();
         }
+    }
+
+    /// Sends one command to every shard, detecting dead shards at the
+    /// send side.
+    fn broadcast(&mut self, mut make: impl FnMut() -> Cmd) -> Result<(), WorkerError> {
+        for (i, tx) in self.cmd_txs.iter().enumerate() {
+            if tx.send(make()).is_err() {
+                self.poisoned = true;
+                return Err(WorkerError::ShardDisconnected { shard: Some(i) });
+            }
+        }
+        Ok(())
+    }
+
+    /// Receives one response, detecting a fleet-wide disconnect.
+    fn recv_res(&mut self) -> Result<Res, WorkerError> {
+        self.res_rx.recv().map_err(|_| {
+            self.poisoned = true;
+            WorkerError::ShardDisconnected { shard: None }
+        })
     }
 
     /// Collects one tagged partial from every worker, summing into shard
     /// order for determinism.
-    fn collect_partials(&self, tokens: usize, width: usize) -> Matrix {
+    fn collect_partials(&mut self, tokens: usize, width: usize) -> Result<Matrix, WorkerError> {
         let n = self.cmd_txs.len();
         let mut by_shard: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
-            match self.res_rx.recv().expect("worker alive") {
+            match self.recv_res()? {
                 Res::Partial(idx, m) => by_shard[idx] = Some(m),
-                _ => unreachable!("protocol violation: expected partial"),
+                _ => {
+                    self.poisoned = true;
+                    return Err(WorkerError::Protocol("expected partial"));
+                }
             }
         }
         let mut acc = Matrix::zeros(tokens, width);
-        for m in by_shard.into_iter().map(|m| m.expect("all shards replied")) {
+        for m in by_shard {
+            let Some(m) = m else {
+                self.poisoned = true;
+                return Err(WorkerError::Protocol("duplicate shard partial"));
+            };
             for (a, p) in acc.as_mut_slice().iter_mut().zip(m.as_slice()) {
                 *a += p;
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// One tensor-parallel forward pass over the worker fleet, returning
@@ -148,17 +205,24 @@ impl ThreadedTpEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfBlocks`] if any worker's KV pool is exhausted.
+    /// Returns [`WorkerError::OutOfBlocks`] if any worker's KV pool is
+    /// exhausted, and [`WorkerError::ShardDisconnected`] if a worker
+    /// thread died (detected via channel disconnect — the pass fails with
+    /// a typed error instead of hanging on the dead shard's reply). After
+    /// a disconnect the engine is poisoned: all later calls fail fast.
     ///
     /// # Panics
     ///
-    /// Panics if `segments` is empty or a worker thread died.
+    /// Panics if `segments` is empty.
     pub fn forward_seq(
         &mut self,
         conv: u64,
         segments: &[SegmentInput],
-    ) -> Result<Vec<f32>, OutOfBlocks> {
+    ) -> Result<Vec<f32>, WorkerError> {
         assert!(!segments.is_empty());
+        if self.poisoned {
+            return Err(WorkerError::ShardDisconnected { shard: None });
+        }
         let shapes: Vec<(usize, usize)> = segments
             .iter()
             .map(|s| (s.start_pos, s.tokens.len()))
@@ -166,17 +230,20 @@ impl ThreadedTpEngine {
         self.broadcast(|| Cmd::BeginPass {
             conv,
             segments: shapes.clone(),
-        });
-        let mut begin_err = None;
+        })?;
+        let mut begin_err: Option<OutOfBlocks> = None;
         for _ in 0..self.cmd_txs.len() {
-            match self.res_rx.recv().expect("worker alive") {
+            match self.recv_res()? {
                 Res::Began(Err(e)) => begin_err = Some(e),
                 Res::Began(Ok(())) => {}
-                _ => unreachable!("protocol violation: expected begin ack"),
+                _ => {
+                    self.poisoned = true;
+                    return Err(WorkerError::Protocol("expected begin ack"));
+                }
             }
         }
         if let Some(e) = begin_err {
-            return Err(e);
+            return Err(WorkerError::OutOfBlocks(e));
         }
 
         let h = self.replicated.config().hidden_size;
@@ -196,8 +263,8 @@ impl ThreadedTpEngine {
             self.broadcast(|| Cmd::AttnPartial {
                 layer: l,
                 xn: Arc::clone(&xn),
-            });
-            let acc = self.collect_partials(total_q, h);
+            })?;
+            let acc = self.collect_partials(total_q, h)?;
             for (xv, av) in x.as_mut_slice().iter_mut().zip(acc.as_slice()) {
                 *xv += av;
             }
@@ -205,8 +272,8 @@ impl ThreadedTpEngine {
             self.broadcast(|| Cmd::MlpPartial {
                 layer: l,
                 xn: Arc::clone(&xn),
-            });
-            let acc = self.collect_partials(total_q, h);
+            })?;
+            let acc = self.collect_partials(total_q, h)?;
             for (xv, av) in x.as_mut_slice().iter_mut().zip(acc.as_slice()) {
                 *xv += av;
             }
@@ -214,18 +281,25 @@ impl ThreadedTpEngine {
         let hidden = Arc::new(self.replicated.final_norm(x.row(total_q - 1)));
         self.broadcast(|| Cmd::LmHead {
             hidden: Arc::clone(&hidden),
-        });
+        })?;
         let n = self.cmd_txs.len();
         let mut slices: Vec<Option<Vec<f32>>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
-            match self.res_rx.recv().expect("worker alive") {
+            match self.recv_res()? {
                 Res::Logits(idx, v) => slices[idx] = Some(v),
-                _ => unreachable!("protocol violation: expected logits"),
+                _ => {
+                    self.poisoned = true;
+                    return Err(WorkerError::Protocol("expected logits"));
+                }
             }
         }
         let mut logits = Vec::with_capacity(self.replicated.config().vocab_size);
         for s in slices {
-            logits.extend(s.expect("all shards replied"));
+            let Some(s) = s else {
+                self.poisoned = true;
+                return Err(WorkerError::Protocol("duplicate shard logits"));
+            };
+            logits.extend(s);
         }
         Ok(logits)
     }
@@ -234,49 +308,59 @@ impl ThreadedTpEngine {
     /// [`FunctionalEngine::serve_turn`](crate::functional::FunctionalEngine::serve_turn)
     /// but across the worker fleet.
     ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerError::OutOfBlocks`] when a worker pool is
+    /// exhausted (the threaded engine does not implement eviction; size
+    /// the pools for the workload) and
+    /// [`WorkerError::ShardDisconnected`] when a worker thread died.
+    /// The conversation's scheduler-side bookkeeping is only updated on
+    /// success, so a failed turn does not corrupt later ones.
+    ///
     /// # Panics
     ///
-    /// Panics if `prompt` is empty, `max_new` is zero, or a worker pool is
-    /// exhausted (the threaded engine does not implement eviction; size
-    /// the pools for the workload).
-    pub fn serve_turn(&mut self, conv: u64, prompt: &[u32], max_new: usize) -> Vec<u32> {
+    /// Panics if `prompt` is empty or `max_new` is zero.
+    pub fn serve_turn(
+        &mut self,
+        conv: u64,
+        prompt: &[u32],
+        max_new: usize,
+    ) -> Result<Vec<u32>, WorkerError> {
         assert!(!prompt.is_empty() && max_new > 0);
         let start = self.contexts.get(&conv).copied().unwrap_or(0);
         // The previous turn's final token was emitted but never processed
         // (its KV is absent); prepend it, exactly like the "tail" the
-        // serving engine recomputes with each new prompt.
-        let mut input = self.tails.remove(&conv).unwrap_or_default();
+        // serving engine recomputes with each new prompt. Peek rather
+        // than remove: the tail is consumed only if the turn succeeds.
+        let mut input = self.tails.get(&conv).cloned().unwrap_or_default();
         input.extend_from_slice(prompt);
         let input_len = input.len();
-        let logits = self
-            .forward_seq(
-                conv,
-                &[SegmentInput {
-                    tokens: input,
-                    start_pos: start,
-                }],
-            )
-            .expect("pool exhausted: size blocks_per_shard for the workload");
+        let logits = self.forward_seq(
+            conv,
+            &[SegmentInput {
+                tokens: input,
+                start_pos: start,
+            }],
+        )?;
         let mut next = argmax(&logits) as u32;
         let mut generated = vec![next];
         let mut pos = start + input_len;
         for _ in 1..max_new {
-            let logits = self
-                .forward_seq(
-                    conv,
-                    &[SegmentInput {
-                        tokens: vec![next],
-                        start_pos: pos,
-                    }],
-                )
-                .expect("pool exhausted: size blocks_per_shard for the workload");
+            let logits = self.forward_seq(
+                conv,
+                &[SegmentInput {
+                    tokens: vec![next],
+                    start_pos: pos,
+                }],
+            )?;
             next = argmax(&logits) as u32;
             generated.push(next);
             pos += 1;
         }
+        self.tails.remove(&conv);
         self.contexts.insert(conv, pos);
         self.tails.insert(conv, vec![next]);
-        generated
+        Ok(generated)
     }
 }
 
@@ -328,7 +412,7 @@ mod tests {
         let mut full: Vec<u32> = Vec::new();
         for turn in 0..3u32 {
             let p = prompt(turn, 6, cfg.vocab_size as u32);
-            let got = engine.serve_turn(1, &p, 4);
+            let got = engine.serve_turn(1, &p, 4).unwrap();
             full.extend_from_slice(&p);
             // Stateless reference decode on the original model.
             let mut ctx = full.clone();
@@ -355,7 +439,7 @@ mod tests {
         for round in 0..2u32 {
             for conv in 1..=2u64 {
                 let p = prompt(round * 2 + conv as u32, 5, vocab);
-                let got = engine.serve_turn(conv, &p, 3);
+                let got = engine.serve_turn(conv, &p, 3).unwrap();
                 let t = transcripts.entry(conv).or_default();
                 t.extend_from_slice(&p);
                 let mut ctx = t.clone();
@@ -388,5 +472,56 @@ mod tests {
         let a = threaded.forward_seq(5, std::slice::from_ref(&seg)).unwrap();
         let b = single.forward_seq(5, &[seg]).unwrap();
         assert_eq!(a, b, "fixed-order all-reduce must be bit-identical");
+    }
+
+    /// A dead worker shard surfaces as a typed error, never a hang, and
+    /// poisons the fleet fail-stop.
+    #[test]
+    fn dead_shard_yields_typed_error_not_hang() {
+        let cfg = ModelConfig::tiny_llama();
+        let model = TinyModel::new_random(&cfg, 94);
+        let mut engine = ThreadedTpEngine::new(&model, 2, 4, 64);
+        // A healthy turn first.
+        let p = prompt(3, 5, cfg.vocab_size as u32);
+        engine.serve_turn(1, &p, 2).unwrap();
+        assert!(!engine.is_poisoned());
+        // Crash shard 1, then try again.
+        engine.kill_shard(1);
+        let err = engine.serve_turn(1, &p, 2).unwrap_err();
+        assert!(
+            matches!(err, WorkerError::ShardDisconnected { .. }),
+            "got {err}"
+        );
+        assert!(engine.is_poisoned());
+        // Every later call fails fast with the same typed error.
+        let err2 = engine
+            .forward_seq(
+                1,
+                &[SegmentInput {
+                    tokens: vec![0],
+                    start_pos: 0,
+                }],
+            )
+            .unwrap_err();
+        assert_eq!(err2, WorkerError::ShardDisconnected { shard: None });
+    }
+
+    /// Exhausting the paged pool is a typed, non-poisoning error.
+    #[test]
+    fn pool_exhaustion_is_typed_and_recoverable() {
+        let cfg = ModelConfig::tiny_llama();
+        let model = TinyModel::new_random(&cfg, 95);
+        // Tiny pool: 4 blocks of 4 tokens per shard.
+        let mut engine = ThreadedTpEngine::new(&model, 2, 4, 4);
+        let p = prompt(1, 64, cfg.vocab_size as u32);
+        let err = engine.serve_turn(1, &p, 1).unwrap_err();
+        assert!(matches!(err, WorkerError::OutOfBlocks(_)), "got {err}");
+        // The fleet is not poisoned: the workers are alive and later
+        // calls keep returning typed errors instead of hanging (the
+        // failed pass's blocks stay installed, so the pool stays full).
+        assert!(!engine.is_poisoned());
+        let small = prompt(2, 3, cfg.vocab_size as u32);
+        let err = engine.serve_turn(2, &small, 1).unwrap_err();
+        assert!(matches!(err, WorkerError::OutOfBlocks(_)), "got {err}");
     }
 }

@@ -35,5 +35,5 @@ pub use policy::{
 };
 pub use stats::CacheStats;
 pub use store::RawTokenStore;
-pub use tiered::{RequestPlan, SwapOutOp, TieredKvCache};
+pub use tiered::{CacheError, RequestPlan, SwapOutOp, TieredKvCache};
 pub use types::{CacheConfig, ChunkRef, ChunkState, ConversationId, Tier};

@@ -23,6 +23,14 @@ pub struct CacheStats {
     pub full_gpu_hits: u64,
     /// Requests that needed at least one swap-in or recomputation.
     pub partial_hits: u64,
+    /// CPU-tier tokens lost to injected host-memory faults (recomputed
+    /// later from raw tokens).
+    pub lost_chunk_tokens: u64,
+    /// CPU-tier tokens invalidated after checksum-detected corruption.
+    pub corrupted_chunk_tokens: u64,
+    /// CPU-tier tokens force-dropped because their swap-in transfers kept
+    /// failing and the engine fell back to recomputation.
+    pub swap_in_fault_tokens: u64,
 }
 
 impl CacheStats {

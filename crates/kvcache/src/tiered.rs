@@ -41,6 +41,16 @@ pub enum CacheError {
         /// Tokens effectively free (counting reclaimable copies).
         free: usize,
     },
+    /// The conversation is not tracked by the cache.
+    UnknownConversation(ConversationId),
+    /// The addressed chunk holds no CPU-tier copy, so a CPU-tier fault
+    /// cannot apply to it.
+    ChunkNotInCpuTier {
+        /// Owning conversation.
+        conv: ConversationId,
+        /// Chunk index within the conversation.
+        chunk: usize,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -48,6 +58,12 @@ impl fmt::Display for CacheError {
         match self {
             CacheError::OutOfGpu { needed, free } => {
                 write!(f, "out of GPU KV slots: need {needed}, free {free}")
+            }
+            CacheError::UnknownConversation(c) => {
+                write!(f, "unknown conversation {c:?}")
+            }
+            CacheError::ChunkNotInCpuTier { conv, chunk } => {
+                write!(f, "chunk {chunk} of {conv:?} has no CPU-tier copy")
             }
         }
     }
@@ -504,6 +520,9 @@ impl TieredKvCache {
             let tokens = self.convs[&conv].chunks[idx].tokens;
             // Make CPU room; if impossible, drop the chunk instead.
             let copied = self.ensure_cpu_space_with(tokens, now, &mut drop_queue);
+            // Invariant: candidates were collected from `convs` this pass
+            // and nothing in the loop removes a conversation, so the key
+            // is always present.
             let e = self.convs.get_mut(&conv).expect("candidate exists");
             let c = &mut e.chunks[idx];
             debug_assert_eq!(c.tier, Tier::Gpu);
@@ -548,6 +567,8 @@ impl TieredKvCache {
         for (i, tokens, already_copied) in to_move {
             if already_copied {
                 // The CPU already holds a copy; just release the GPU slot.
+                // Invariant: `conv` was fetched above and nothing in this
+                // loop removes conversations.
                 let e = self.convs.get_mut(&conv).expect("exists");
                 e.chunks[i].tier = Tier::Cpu;
                 self.gpu_copied -= tokens;
@@ -555,6 +576,8 @@ impl TieredKvCache {
                 continue;
             }
             let copied = self.ensure_cpu_space(tokens, now);
+            // Invariant: ensure_cpu_space only drops CPU-tier chunks; it
+            // never removes a conversation entry.
             let e = self.convs.get_mut(&conv).expect("exists");
             let c = &mut e.chunks[i];
             self.gpu_resident -= tokens;
@@ -585,6 +608,120 @@ impl TieredKvCache {
             }
         }
         debug_assert!(self.check_invariants());
+    }
+
+    /// Every chunk with a CPU-tier copy ([`Tier::Cpu`] or
+    /// [`Tier::GpuCopied`]), as `(conversation, chunk index, tokens)` in a
+    /// deterministic `(conversation, index)` order. The fault injector
+    /// picks loss/corruption victims from this listing, so the order must
+    /// not depend on `HashMap` iteration.
+    #[must_use]
+    pub fn cpu_resident_chunks(&self) -> Vec<(ConversationId, usize, usize)> {
+        let mut out: Vec<(ConversationId, usize, usize)> = Vec::new();
+        for (&cid, e) in &self.convs {
+            for (i, c) in e.chunks.iter().enumerate() {
+                if matches!(c.tier, Tier::Cpu | Tier::GpuCopied) {
+                    out.push((cid, i, c.tokens));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(c, i, _)| (c, i));
+        out
+    }
+
+    /// Applies a host-memory-loss fault to a chunk's CPU-tier copy:
+    /// [`Tier::Cpu`] chunks become [`Tier::Dropped`] (recompute on next
+    /// restore); [`Tier::GpuCopied`] chunks lose only the copy and revert
+    /// to [`Tier::Gpu`] (the GPU bytes are intact). Returns the tokens
+    /// affected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownConversation`] or
+    /// [`CacheError::ChunkNotInCpuTier`] if the addressed chunk holds no
+    /// CPU-tier copy; the cache is unchanged.
+    pub fn mark_chunk_lost(
+        &mut self,
+        conv: ConversationId,
+        chunk: usize,
+    ) -> Result<usize, CacheError> {
+        let tokens = self.invalidate_cpu_copy(conv, chunk)?;
+        self.stats.lost_chunk_tokens += tokens as u64;
+        Ok(tokens)
+    }
+
+    /// Applies a corruption fault: identical state transition to
+    /// [`TieredKvCache::mark_chunk_lost`] (a checksum-mismatched copy is
+    /// unusable), but counted separately in
+    /// [`CacheStats::corrupted_chunk_tokens`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TieredKvCache::mark_chunk_lost`].
+    pub fn mark_chunk_corrupt(
+        &mut self,
+        conv: ConversationId,
+        chunk: usize,
+    ) -> Result<usize, CacheError> {
+        let tokens = self.invalidate_cpu_copy(conv, chunk)?;
+        self.stats.corrupted_chunk_tokens += tokens as u64;
+        Ok(tokens)
+    }
+
+    /// Shared state transition for loss/corruption of a CPU-tier copy.
+    fn invalidate_cpu_copy(
+        &mut self,
+        conv: ConversationId,
+        chunk: usize,
+    ) -> Result<usize, CacheError> {
+        let e = self
+            .convs
+            .get_mut(&conv)
+            .ok_or(CacheError::UnknownConversation(conv))?;
+        let Some(c) = e.chunks.get_mut(chunk) else {
+            return Err(CacheError::ChunkNotInCpuTier { conv, chunk });
+        };
+        let tokens = c.tokens;
+        match c.tier {
+            Tier::Cpu => {
+                c.tier = Tier::Dropped;
+                self.cpu_resident -= tokens;
+            }
+            Tier::GpuCopied => {
+                // The GPU still holds the bytes; only the copy is gone.
+                // The chunk's copied_fifo entry goes stale and is skipped
+                // at reclamation (tier check at pop).
+                c.tier = Tier::Gpu;
+                self.gpu_copied -= tokens;
+                self.gpu_resident += tokens;
+            }
+            Tier::Gpu | Tier::Dropped => {
+                return Err(CacheError::ChunkNotInCpuTier { conv, chunk });
+            }
+        }
+        debug_assert!(self.check_invariants());
+        Ok(tokens)
+    }
+
+    /// Recompute fallback after persistent swap-in transfer failures:
+    /// drops every [`Tier::Cpu`] chunk of `conv` so its next restore plan
+    /// recomputes them from raw tokens instead of retrying the transfer.
+    /// Returns the tokens dropped (0 for unknown conversations).
+    pub fn drop_cpu_chunks(&mut self, conv: ConversationId) -> usize {
+        let Some(e) = self.convs.get_mut(&conv) else {
+            return 0;
+        };
+        let mut dropped = 0;
+        for c in e.chunks.iter_mut() {
+            if c.tier == Tier::Cpu {
+                c.tier = Tier::Dropped;
+                dropped += c.tokens;
+            }
+        }
+        self.cpu_resident -= dropped;
+        self.stats.swap_in_fault_tokens += dropped as u64;
+        debug_assert!(self.check_invariants());
+        dropped
     }
 
     /// Frees CPU space for `tokens` by dropping policy-chosen CPU-tier
@@ -691,6 +828,9 @@ impl TieredKvCache {
                 }
             }
         }
+        // Invariant (both arms): EvictionPolicy::score documents a finite
+        // return value, and every in-tree policy derives scores from
+        // finite times/costs, so partial_cmp cannot observe a NaN.
         match self.policy.granularity() {
             Granularity::Chunk => {
                 out.sort_by(|a, b| {
@@ -1071,6 +1211,86 @@ mod tests {
         assert!(cache.gpu_slots_used() <= 128);
         let plan = cache.plan_restore(a);
         assert!(plan.swap_in_tokens >= 32, "fresh copy was reclaimed to CPU");
+    }
+
+    #[test]
+    fn lost_cpu_chunk_becomes_dropped_and_recomputes() {
+        let mut cache = lru_cache(256, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 64, t(0.0)).unwrap();
+        cache.suspend(a, t(1.0));
+        let listing = cache.cpu_resident_chunks();
+        assert_eq!(listing, vec![(a, 0, 32), (a, 1, 32)]);
+        let tokens = cache.mark_chunk_lost(a, 0).unwrap();
+        assert_eq!(tokens, 32);
+        assert_eq!(cache.stats().lost_chunk_tokens, 32);
+        let plan = cache.plan_restore(a);
+        assert_eq!(plan.recompute_tokens, 32);
+        assert_eq!(plan.swap_in_tokens, 32);
+        // A second fault on the same chunk is rejected: no CPU copy left.
+        assert_eq!(
+            cache.mark_chunk_lost(a, 0),
+            Err(CacheError::ChunkNotInCpuTier { conv: a, chunk: 0 })
+        );
+    }
+
+    #[test]
+    fn corrupted_lazy_copy_reverts_to_gpu_resident() {
+        let mut cache = lru_cache(128, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 100, t(0.0)).unwrap();
+        cache.unpin(a);
+        // One chunk gets lazily copied by the watermark pass.
+        assert_eq!(cache.maybe_swap_out(t(1.0)).len(), 1);
+        let listing = cache.cpu_resident_chunks();
+        assert_eq!(listing.len(), 1);
+        let (conv, idx, _) = listing[0];
+        let tokens = cache.mark_chunk_corrupt(conv, idx).unwrap();
+        assert_eq!(tokens, 32);
+        assert_eq!(cache.stats().corrupted_chunk_tokens, 32);
+        // The GPU bytes were never touched: a restore is still a full hit.
+        let plan = cache.plan_restore(a);
+        assert!(plan.is_full_gpu_hit());
+        assert_eq!(cache.cpu_used(), 0);
+        // The stale copied_fifo entry must not break later reclamation.
+        let b = ConversationId(2);
+        cache.append_tokens(b, 28, t(2.0)).unwrap();
+        assert!(cache.gpu_slots_used() <= 128);
+    }
+
+    #[test]
+    fn drop_cpu_chunks_forces_recompute_fallback() {
+        let mut cache = lru_cache(256, 1000);
+        let a = ConversationId(1);
+        cache.append_tokens(a, 96, t(0.0)).unwrap();
+        cache.suspend(a, t(1.0));
+        assert_eq!(cache.drop_cpu_chunks(a), 96);
+        assert_eq!(cache.stats().swap_in_fault_tokens, 96);
+        assert_eq!(cache.cpu_used(), 0);
+        let plan = cache.plan_restore(a);
+        assert_eq!(plan.swap_in_tokens, 0);
+        assert_eq!(plan.recompute_tokens, 96);
+        // Idempotent and safe on unknown conversations.
+        assert_eq!(cache.drop_cpu_chunks(a), 0);
+        assert_eq!(cache.drop_cpu_chunks(ConversationId(99)), 0);
+    }
+
+    #[test]
+    fn fault_apis_reject_unknown_targets() {
+        let mut cache = lru_cache(64, 64);
+        assert_eq!(
+            cache.mark_chunk_lost(ConversationId(9), 0),
+            Err(CacheError::UnknownConversation(ConversationId(9)))
+        );
+        let a = ConversationId(1);
+        cache.append_tokens(a, 32, t(0.0)).unwrap();
+        // GPU-resident chunk has no CPU copy.
+        assert_eq!(
+            cache.mark_chunk_corrupt(a, 0),
+            Err(CacheError::ChunkNotInCpuTier { conv: a, chunk: 0 })
+        );
+        // Out-of-range chunk index.
+        assert!(cache.mark_chunk_lost(a, 7).is_err());
     }
 
     #[test]

@@ -2,8 +2,34 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 use pensieve_model::SimTime;
+
+/// Error from scheduling an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleError {
+    /// The requested time lies before the queue's clock — events may not
+    /// rewrite history.
+    InPast {
+        /// The requested (past) event time.
+        at: SimTime,
+        /// The queue's current clock.
+        now: SimTime,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InPast { at, now } => {
+                write!(f, "scheduling into the past: {at} < {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// An event queue delivering payloads in `(time, insertion order)` order.
 ///
@@ -76,18 +102,32 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if `at` is in the past — events may not rewrite history.
+    /// Use [`EventQueue::try_schedule`] where a past time is a recoverable
+    /// condition rather than a programmer bug.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
-        assert!(
-            at >= self.now,
-            "scheduling into the past: {at} < {}",
-            self.now
-        );
+        if let Err(e) = self.try_schedule(at, payload) {
+            panic!("{e}");
+        }
+    }
+
+    /// Schedules `payload` at absolute time `at`, rejecting past times
+    /// with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InPast`] if `at` precedes the queue's
+    /// clock; the queue is unchanged.
+    pub fn try_schedule(&mut self, at: SimTime, payload: E) -> Result<(), ScheduleError> {
+        if at < self.now {
+            return Err(ScheduleError::InPast { at, now: self.now });
+        }
         self.heap.push(Entry {
             time: at,
             seq: self.seq,
             payload,
         });
         self.seq += 1;
+        Ok(())
     }
 
     /// Pops the earliest event, advancing the clock to its time.
@@ -166,6 +206,22 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn try_schedule_returns_typed_error_for_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2.0), 1);
+        q.pop();
+        assert_eq!(
+            q.try_schedule(t(1.0), 2),
+            Err(ScheduleError::InPast {
+                at: t(1.0),
+                now: t(2.0)
+            })
+        );
+        assert!(q.is_empty(), "failed schedule must not enqueue");
+        assert_eq!(q.try_schedule(t(3.0), 3), Ok(()));
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Deterministic, seedable fault injection for the serving stack.
+//!
+//! Real deployments of a two-tier KV cache see partial failures the paper
+//! does not model: DMA engines abort or time out, host memory holding
+//! swapped-out KV chunks gets reclaimed or corrupted, slot allocators
+//! transiently fail, and tensor-parallel workers stall or crash. The
+//! [`FaultInjector`] draws those events from a seeded SplitMix64 stream so
+//! that an entire chaos run is reproducible from a single `u64` seed: the
+//! same seed yields the same fault schedule, which lets the integration
+//! tests assert that recovery produces *bit-identical* outputs to the
+//! fault-free run.
+//!
+//! The injector is purely a decision source — it never mutates the
+//! component it targets. Each subsystem polls it at its natural fault
+//! point ([`crate::pcie::PcieLink::try_schedule`] for transfers, the cache
+//! manager for CPU-tier chunk loss, the engine for allocation faults and
+//! worker stalls) and implements its own recovery.
+
+use std::fmt;
+
+use pensieve_model::SimDuration;
+
+/// The kinds of fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A PCIe DMA transfer aborts; the link time is consumed but no data
+    /// arrives. Retryable.
+    PcieTransferFailure,
+    /// A PCIe DMA transfer hangs past its deadline; detected only after a
+    /// timeout penalty. Retryable.
+    PcieTimeout,
+    /// A swapped-out chunk in the CPU tier is lost (e.g. host memory
+    /// reclaimed). The chunk must be recomputed from raw tokens.
+    CpuChunkLoss,
+    /// A swapped-out chunk's bytes are silently corrupted; detected by
+    /// checksum on swap-in, then treated as lost.
+    CpuChunkCorruption,
+    /// The GPU KV slot allocator transiently fails even though capacity
+    /// accounting says space exists. Recovered by eviction backpressure.
+    GpuAllocFailure,
+    /// A tensor-parallel worker shard stalls for a bounded time; the
+    /// iteration completes late.
+    WorkerStall,
+    /// A tensor-parallel worker shard dies; detected via channel
+    /// disconnect and surfaced as a typed error.
+    WorkerCrash,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::PcieTransferFailure => "pcie-transfer-failure",
+            FaultKind::PcieTimeout => "pcie-timeout",
+            FaultKind::CpuChunkLoss => "cpu-chunk-loss",
+            FaultKind::CpuChunkCorruption => "cpu-chunk-corruption",
+            FaultKind::GpuAllocFailure => "gpu-alloc-failure",
+            FaultKind::WorkerStall => "worker-stall",
+            FaultKind::WorkerCrash => "worker-crash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-fault-kind probabilities (per opportunity) and penalty parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability that a PCIe transfer aborts.
+    pub pcie_failure: f64,
+    /// Probability that a PCIe transfer times out.
+    pub pcie_timeout: f64,
+    /// Probability (per opportunity) that a CPU-tier chunk is lost.
+    pub cpu_chunk_loss: f64,
+    /// Probability (per opportunity) that a CPU-tier chunk is corrupted.
+    pub cpu_chunk_corruption: f64,
+    /// Probability that a GPU slot allocation transiently fails.
+    pub gpu_alloc_failure: f64,
+    /// Probability that a worker shard stalls during an iteration.
+    pub worker_stall: f64,
+    /// Probability that a worker shard crashes (functional engines only;
+    /// the timing engine treats crashes as stalls).
+    pub worker_crash: f64,
+    /// Extra wall-clock consumed before a timed-out transfer is detected.
+    pub timeout_penalty: SimDuration,
+    /// Duration of one worker stall.
+    pub stall_duration: SimDuration,
+}
+
+impl FaultConfig {
+    /// A configuration that never fires; useful as a base to override.
+    #[must_use]
+    pub fn disabled(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            pcie_failure: 0.0,
+            pcie_timeout: 0.0,
+            cpu_chunk_loss: 0.0,
+            cpu_chunk_corruption: 0.0,
+            gpu_alloc_failure: 0.0,
+            worker_stall: 0.0,
+            worker_crash: 0.0,
+            timeout_penalty: SimDuration::from_secs(10e-3),
+            stall_duration: SimDuration::from_secs(5e-3),
+        }
+    }
+
+    /// A moderately hostile preset used by the chaos tests: every fault
+    /// kind fires regularly but recovery keeps the workload completing.
+    #[must_use]
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            pcie_failure: 0.10,
+            pcie_timeout: 0.05,
+            cpu_chunk_loss: 0.05,
+            cpu_chunk_corruption: 0.05,
+            gpu_alloc_failure: 0.05,
+            worker_stall: 0.05,
+            worker_crash: 0.0,
+            ..FaultConfig::disabled(seed)
+        }
+    }
+}
+
+/// Counts of injected faults, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// PCIe transfers aborted.
+    pub pcie_failures: u64,
+    /// PCIe transfers timed out.
+    pub pcie_timeouts: u64,
+    /// CPU-tier chunks lost.
+    pub cpu_chunk_losses: u64,
+    /// CPU-tier chunks corrupted.
+    pub cpu_chunk_corruptions: u64,
+    /// GPU slot allocations failed.
+    pub gpu_alloc_failures: u64,
+    /// Worker stalls injected.
+    pub worker_stalls: u64,
+    /// Worker crashes injected.
+    pub worker_crashes: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.pcie_failures
+            + self.pcie_timeouts
+            + self.cpu_chunk_losses
+            + self.cpu_chunk_corruptions
+            + self.gpu_alloc_failures
+            + self.worker_stalls
+            + self.worker_crashes
+    }
+}
+
+/// The deterministic fault source.
+///
+/// Each [`FaultInjector::roll`] advances the SplitMix64 stream exactly
+/// once, regardless of whether the fault fires, so the decision sequence
+/// is a pure function of the seed and the *number* of opportunities —
+/// recovery code that retries does not perturb later draws in surprising
+/// ways beyond consuming its own retry rolls.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    state: u64,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a fault configuration.
+    #[must_use]
+    pub fn new(cfg: FaultConfig) -> Self {
+        // Pre-mix the seed so that seeds 0 and 1 diverge immediately.
+        let state = cfg.seed ^ 0x6A09_E667_F3BC_C909;
+        FaultInjector {
+            cfg,
+            state,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The configuration this injector draws from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Faults injected so far.
+    #[must_use]
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// SplitMix64 step.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Rolls for one fault opportunity of `kind`; true means the fault
+    /// fires (and is counted).
+    pub fn roll(&mut self, kind: FaultKind) -> bool {
+        let p = match kind {
+            FaultKind::PcieTransferFailure => self.cfg.pcie_failure,
+            FaultKind::PcieTimeout => self.cfg.pcie_timeout,
+            FaultKind::CpuChunkLoss => self.cfg.cpu_chunk_loss,
+            FaultKind::CpuChunkCorruption => self.cfg.cpu_chunk_corruption,
+            FaultKind::GpuAllocFailure => self.cfg.gpu_alloc_failure,
+            FaultKind::WorkerStall => self.cfg.worker_stall,
+            FaultKind::WorkerCrash => self.cfg.worker_crash,
+        };
+        let fired = self.next_f64() < p;
+        if fired {
+            let c = &mut self.counters;
+            match kind {
+                FaultKind::PcieTransferFailure => c.pcie_failures += 1,
+                FaultKind::PcieTimeout => c.pcie_timeouts += 1,
+                FaultKind::CpuChunkLoss => c.cpu_chunk_losses += 1,
+                FaultKind::CpuChunkCorruption => c.cpu_chunk_corruptions += 1,
+                FaultKind::GpuAllocFailure => c.gpu_alloc_failures += 1,
+                FaultKind::WorkerStall => c.worker_stalls += 1,
+                FaultKind::WorkerCrash => c.worker_crashes += 1,
+            }
+        }
+        fired
+    }
+
+    /// Deterministic uniform index in `[0, n)`, for choosing which chunk
+    /// or shard a fault targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "pick from an empty set");
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig::chaos(7);
+        let mut a = FaultInjector::new(cfg.clone());
+        let mut b = FaultInjector::new(cfg);
+        let kinds = [
+            FaultKind::PcieTransferFailure,
+            FaultKind::CpuChunkLoss,
+            FaultKind::GpuAllocFailure,
+            FaultKind::WorkerStall,
+        ];
+        for i in 0..1000 {
+            let k = kinds[i % kinds.len()];
+            assert_eq!(a.roll(k), b.roll(k), "draw {i} diverged");
+        }
+        assert_eq!(a.counters(), b.counters());
+        assert!(a.counters().total() > 0, "chaos preset must fire");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(FaultConfig::chaos(1));
+        let mut b = FaultInjector::new(FaultConfig::chaos(2));
+        let seq = |inj: &mut FaultInjector| -> Vec<bool> {
+            (0..256)
+                .map(|_| inj.roll(FaultKind::PcieTransferFailure))
+                .collect()
+        };
+        assert_ne!(seq(&mut a), seq(&mut b));
+    }
+
+    #[test]
+    fn disabled_never_fires() {
+        let mut inj = FaultInjector::new(FaultConfig::disabled(3));
+        for _ in 0..1000 {
+            assert!(!inj.roll(FaultKind::CpuChunkLoss));
+            assert!(!inj.roll(FaultKind::WorkerCrash));
+        }
+        assert_eq!(inj.counters().total(), 0);
+    }
+
+    #[test]
+    fn fire_rate_tracks_probability() {
+        let mut cfg = FaultConfig::disabled(11);
+        cfg.pcie_failure = 0.25;
+        let mut inj = FaultInjector::new(cfg);
+        let fired = (0..20_000)
+            .filter(|_| inj.roll(FaultKind::PcieTransferFailure))
+            .count();
+        let rate = fired as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert_eq!(inj.counters().pcie_failures, fired as u64);
+    }
+
+    #[test]
+    fn pick_is_in_bounds_and_deterministic() {
+        let mut a = FaultInjector::new(FaultConfig::chaos(5));
+        let mut b = FaultInjector::new(FaultConfig::chaos(5));
+        for _ in 0..1000 {
+            let x = a.pick(7);
+            assert!(x < 7);
+            assert_eq!(x, b.pick(7));
+        }
+    }
+}

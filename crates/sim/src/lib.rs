@@ -2,7 +2,7 @@
 //!
 //! The serving engines in `pensieve-core` are *real* implementations of the
 //! paper's scheduler and cache manager; only device speed is simulated.
-//! This crate provides the three device models they consume:
+//! This crate provides the device models they consume:
 //!
 //! * [`events::EventQueue`] — a deterministic time-ordered event queue.
 //! * [`pcie::PcieLink`] — the GPU<->CPU host link, including the paper's
@@ -10,11 +10,16 @@
 //!   over eviction" waiting mechanism.
 //! * [`gpu::GpuTimer`] — batch execution timing from the roofline cost
 //!   model, plus the §4.3.3 pipelined per-layer swap-in overlap.
+//! * [`faults::FaultInjector`] — a seeded, deterministic fault source used
+//!   to exercise recovery paths (PCIe failures/timeouts, CPU-tier chunk
+//!   loss/corruption, allocation faults, worker stalls and crashes).
 
 pub mod events;
+pub mod faults;
 pub mod gpu;
 pub mod pcie;
 
-pub use events::EventQueue;
+pub use events::{EventQueue, ScheduleError};
+pub use faults::{FaultConfig, FaultCounters, FaultInjector, FaultKind};
 pub use gpu::GpuTimer;
-pub use pcie::{Direction, DuplexMode, PcieLink};
+pub use pcie::{Direction, DuplexMode, PcieLink, TransferError};

@@ -18,7 +18,66 @@
 //! Each direction is a FIFO: a new transfer starts at
 //! `max(now, direction busy-until)`.
 
+use std::fmt;
+
 use pensieve_model::{PcieSpec, SimDuration, SimTime};
+
+use crate::faults::{FaultInjector, FaultKind};
+
+/// Typed failure of a scheduled transfer.
+///
+/// A failed or timed-out DMA still occupied the link for its full
+/// duration — the failure is only detected at (or past) the would-be
+/// completion instant, which `completes` reports so callers can charge
+/// the wasted time before retrying.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferError {
+    /// The DMA aborted; no data arrived.
+    Failed {
+        /// Transfer direction.
+        dir: Direction,
+        /// Bytes that were requested.
+        bytes: usize,
+        /// When the failure is detected (the would-be completion time).
+        completes: SimTime,
+    },
+    /// The DMA hung and was killed after a timeout penalty.
+    TimedOut {
+        /// Transfer direction.
+        dir: Direction,
+        /// Bytes that were requested.
+        bytes: usize,
+        /// When the timeout fires (completion time plus the penalty).
+        completes: SimTime,
+    },
+}
+
+impl TransferError {
+    /// The instant at which the failure is observed by the host.
+    #[must_use]
+    pub fn completes(&self) -> SimTime {
+        match self {
+            TransferError::Failed { completes, .. } | TransferError::TimedOut { completes, .. } => {
+                *completes
+            }
+        }
+    }
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::Failed { dir, bytes, .. } => {
+                write!(f, "PCIe transfer failed ({dir:?}, {bytes} bytes)")
+            }
+            TransferError::TimedOut { dir, bytes, .. } => {
+                write!(f, "PCIe transfer timed out ({dir:?}, {bytes} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
 
 /// Transfer direction over the host link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +171,60 @@ impl PcieLink {
             Direction::DeviceToHost => self.d2h_busy_until = end,
         }
         (start, end)
+    }
+
+    /// Fault-aware [`PcieLink::schedule`]: rolls `faults` for a timeout
+    /// and then an abort before committing the transfer.
+    ///
+    /// Failure semantics mirror real DMA engines: a failed transfer
+    /// consumed the link for its full duration (the abort is detected at
+    /// completion), and a timed-out transfer additionally holds its
+    /// direction busy for the configured timeout penalty. With
+    /// `faults: None` this is exactly [`PcieLink::schedule`].
+    ///
+    /// # Errors
+    ///
+    /// [`TransferError::Failed`] or [`TransferError::TimedOut`] when the
+    /// injector fires; the link time is consumed either way.
+    pub fn try_schedule(
+        &mut self,
+        now: SimTime,
+        dir: Direction,
+        bytes: usize,
+        faults: Option<&mut FaultInjector>,
+    ) -> Result<(SimTime, SimTime), TransferError> {
+        let Some(faults) = faults else {
+            return Ok(self.schedule(now, dir, bytes));
+        };
+        if bytes == 0 {
+            return Ok((now, now));
+        }
+        let timed_out = faults.roll(FaultKind::PcieTimeout);
+        let failed = !timed_out && faults.roll(FaultKind::PcieTransferFailure);
+        let penalty = faults.config().timeout_penalty;
+        let (start, end) = self.schedule(now, dir, bytes);
+        if timed_out {
+            // The hung DMA holds its direction busy until the watchdog
+            // kills it.
+            let completes = end + penalty;
+            match dir {
+                Direction::HostToDevice => self.h2d_busy_until = completes,
+                Direction::DeviceToHost => self.d2h_busy_until = completes,
+            }
+            return Err(TransferError::TimedOut {
+                dir,
+                bytes,
+                completes,
+            });
+        }
+        if failed {
+            return Err(TransferError::Failed {
+                dir,
+                bytes,
+                completes: end,
+            });
+        }
+        Ok((start, end))
     }
 
     /// When the given direction becomes idle.
@@ -220,6 +333,52 @@ mod tests {
         // A third retrieval still queues only behind its own direction.
         let (in3_start, _) = l.schedule(t(0.6), Direction::HostToDevice, GB);
         assert_eq!(in3_start, in2);
+    }
+
+    #[test]
+    fn try_schedule_without_injector_matches_schedule() {
+        let mut a = link(DuplexMode::PrioritizeRetrieval);
+        let mut b = link(DuplexMode::PrioritizeRetrieval);
+        let want = a.schedule(t(0.0), Direction::HostToDevice, GB);
+        let got = b
+            .try_schedule(t(0.0), Direction::HostToDevice, GB, None)
+            .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(a.h2d_total_bytes(), b.h2d_total_bytes());
+    }
+
+    #[test]
+    fn failed_transfer_consumes_link_time() {
+        use crate::faults::{FaultConfig, FaultInjector};
+        let mut cfg = FaultConfig::disabled(1);
+        cfg.pcie_failure = 1.0;
+        let mut inj = FaultInjector::new(cfg);
+        let mut l = link(DuplexMode::PrioritizeRetrieval);
+        let err = l
+            .try_schedule(t(0.0), Direction::HostToDevice, 25 * GB, Some(&mut inj))
+            .unwrap_err();
+        assert!(matches!(err, TransferError::Failed { .. }));
+        // The aborted DMA still held the link for its full duration.
+        assert!((l.busy_until(Direction::HostToDevice).as_secs() - 1.0).abs() < 0.01);
+        assert_eq!(err.completes(), l.busy_until(Direction::HostToDevice));
+        assert_eq!(inj.counters().pcie_failures, 1);
+    }
+
+    #[test]
+    fn timed_out_transfer_adds_penalty_to_busy_horizon() {
+        use crate::faults::{FaultConfig, FaultInjector};
+        let mut cfg = FaultConfig::disabled(2);
+        cfg.pcie_timeout = 1.0;
+        cfg.timeout_penalty = SimDuration::from_secs(0.5);
+        let mut inj = FaultInjector::new(cfg);
+        let mut l = link(DuplexMode::PrioritizeRetrieval);
+        let err = l
+            .try_schedule(t(0.0), Direction::HostToDevice, 25 * GB, Some(&mut inj))
+            .unwrap_err();
+        assert!(matches!(err, TransferError::TimedOut { .. }));
+        assert!((err.completes().as_secs() - 1.5).abs() < 0.01);
+        assert_eq!(l.busy_until(Direction::HostToDevice), err.completes());
+        assert_eq!(inj.counters().pcie_timeouts, 1);
     }
 
     #[test]

@@ -32,7 +32,9 @@ fn main() {
         let prompt: Vec<u32> = (0..6u32)
             .map(|i| (turn * 29 + i * 5 + 3) % cfg.vocab_size as u32)
             .collect();
-        let generated = engine.serve_turn(conv, &prompt, 5);
+        let generated = engine
+            .serve_turn(conv, &prompt, 5)
+            .expect("healthy fleet serves the turn");
         transcript.extend_from_slice(&prompt);
 
         // Stateless single-model reference.

@@ -1,0 +1,215 @@
+//! Offline drop-in replacement for the subset of the `criterion` API used
+//! by this workspace's benchmarks.
+//!
+//! The build environment cannot reach a crates.io registry, so the
+//! workspace vendors a minimal timing harness under the same item paths:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! warmed up briefly, then timed for `sample_size` samples; the median
+//! per-iteration time is printed. No statistical analysis, plots, or
+//! baselines — enough to compare kernels by eye and to keep
+//! `cargo bench` / `clippy --all-targets` working offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, recorded by the `iter` calls.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median over the configured samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up and pick an iteration count targeting ~1 ms per sample.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().as_nanos().max(1) as f64;
+        let iters = ((1e6 / once).ceil() as usize).clamp(1, 1_000_000);
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            times.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.median_ns = times[times.len() / 2];
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_with_setup<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(t.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        median_ns: f64::NAN,
+    };
+    f(&mut b);
+    let ns = b.median_ns;
+    let pretty = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    };
+    println!("{label:<50} median {pretty}");
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.full);
+        run_one(&label, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in the shim; mirrors the real API).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions and its configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn iter_with_setup_times_routine_only() {
+        let mut b = Bencher {
+            samples: 3,
+            median_ns: f64::NAN,
+        };
+        b.iter_with_setup(|| vec![1u64; 64], |v| v.iter().sum::<u64>());
+        assert!(b.median_ns.is_finite());
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline drop-in replacement for the subset of the `rand` crate API used
+//! by this workspace.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors a tiny deterministic PRNG under the same paths the
+//! real crate exposes: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and [`Rng::random`] / [`Rng::random_range`]. The generator is a
+//! SplitMix64 core — statistically solid for simulation workloads, fully
+//! reproducible per seed, and intentionally *not* cryptographic.
+//!
+//! The numeric streams differ from the real `rand` crate; everything in
+//! this repository that consumes randomness asserts statistical or
+//! determinism properties rather than exact sequences, so the swap is
+//! transparent.
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore + Sized {
+    /// Samples a value from the type's standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`; integers: uniform over the
+    /// full domain; `bool`: fair coin).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Types samplable from their standard distribution.
+pub trait StandardSample: Sized {
+    /// Draws one standard-distribution sample from `rng`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait UniformSample: Sized {
+    /// Draws one sample uniform over `range`.
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 high-quality mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl UniformSample for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        let u = f64::sample_standard(rng);
+        range.start + u * (range.end - range.start)
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<f32>) -> f32 {
+        assert!(range.start < range.end, "empty range");
+        let u = f32::sample_standard(rng);
+        range.start + u * (range.end - range.start)
+    }
+}
+
+/// Unbiased-enough integer range sampling via a 128-bit widening multiply
+/// (Lemire's method without the rejection step; bias is < 2^-64 per draw).
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..32).map(|_| a.random::<f64>()).collect();
+        let ys: Vec<f64> = (0..32).map(|_| b.random::<f64>()).collect();
+        let zs: Vec<f64> = (0..32).map(|_| c.random::<f64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_interval_and_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.random_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let s = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline shim for serde's `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Generates impls of the *shim* `serde::Serialize` / `serde::Deserialize`
+//! traits (a simplified `Value`-tree model, not the real serde visitor
+//! API). The input grammar is parsed by hand — the build environment has
+//! no registry access, so `syn`/`quote` are unavailable — and covers
+//! exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs with a single field (newtypes),
+//! * enums whose variants are all unit variants.
+//!
+//! Serde field/variant attributes (`#[serde(...)]`) are not supported and
+//! produce a compile error, as does any other shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input item.
+enum Item {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T);`
+    Newtype { name: String },
+    /// `enum E { A, B }` — variant names in declaration order.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .expect("valid compile_error tokens")
+        }
+    };
+    let code = match (&item, serialize) {
+        (Item::NamedStruct { name, fields }, true) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut m = ::serde::Map::new();\n\
+                 {inserts}\
+                 ::serde::Value::Object(m)\n\
+                 }}\n}}\n"
+            )
+        }
+        (Item::NamedStruct { name, fields }, false) => {
+            let reads: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(obj.get({f:?}).ok_or_else(|| \
+                         ::serde::DeError::custom(concat!(\"missing field `\", {f:?}, \"` in \", {name:?})))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(concat!(\"expected an object for \", {name:?})))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{reads}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        (Item::Newtype { name }, true) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+             }}\n"
+        ),
+        (Item::Newtype { name }, false) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+             }}\n}}\n"
+        ),
+        (Item::UnitEnum { name, variants }, true) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::String(match self {{\n{arms}}}.to_string())\n\
+                 }}\n}}\n"
+            )
+        }
+        (Item::UnitEnum { name, variants }, false) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v.as_str().ok_or_else(|| \
+                 ::serde::DeError::custom(concat!(\"expected a string for \", {name:?})))? {{\n\
+                 {arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    };
+    code.parse().expect("derive output parses as Rust")
+}
+
+/// Parses the derive input into one of the supported [`Item`] shapes.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and the
+    // visibility qualifier.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a type name".to_string()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("serde shim derive does not support generic types".to_string());
+    }
+
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = count_tuple_fields(g.stream());
+            if fields == 1 {
+                Ok(Item::Newtype { name })
+            } else {
+                Err(format!(
+                    "serde shim derive supports only single-field tuple structs, `{name}` has {fields}"
+                ))
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::UnitEnum {
+                name,
+                variants: parse_unit_variants(g.stream())?,
+            })
+        }
+        _ => Err(format!("unsupported shape for `{name}`")),
+    }
+}
+
+/// Extracts field names from the body of a braced struct.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected a field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts top-level fields of a tuple struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+/// Extracts variant names from an enum body, rejecting non-unit variants.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // attribute
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected a variant name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                i += 1;
+                variants.push(name);
+            }
+            Some(_) => {
+                return Err(format!(
+                    "serde shim derive supports only unit enum variants; `{name}` has data"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}

@@ -149,6 +149,72 @@ proptest! {
         }
     }
 
+    /// Eviction and fault operations never touch a conversation pinned by
+    /// the active batch: between `commit_restore` and `suspend` its whole
+    /// context stays GPU-resident, even while other conversations are
+    /// swapped out, force-evicted, lost, corrupted, or force-dropped
+    /// around it — including by the fault-injection entry points.
+    #[test]
+    fn eviction_never_evicts_pinned_chunks(
+        ops in prop::collection::vec((0u8..7, 0u64..4, 1usize..64), 1..60),
+    ) {
+        let mut cache = TieredKvCache::new(
+            CacheConfig::for_test(32, 1024, 4096),
+            Box::new(LruPolicy),
+        );
+        let mut pinned: std::collections::HashSet<u64> = Default::default();
+        let mut t = 0.0f64;
+        for (op, conv_raw, n) in ops {
+            t += 1.0;
+            let now = SimTime::from_secs(t);
+            let conv = ConversationId(conv_raw);
+            match op {
+                0 => {
+                    // Admission: restore pins; the append may fail on a
+                    // full GPU without unpinning.
+                    if cache.commit_restore(conv, now).is_ok() {
+                        pinned.insert(conv_raw);
+                        let _ = cache.append_tokens(conv, n, now);
+                    }
+                }
+                1 => {
+                    cache.suspend(conv, now);
+                    pinned.remove(&conv_raw);
+                }
+                2 => { let _ = cache.maybe_swap_out(now); }
+                3 => {
+                    // Backpressure eviction on behalf of some conversation.
+                    let _ = cache.swap_out_until_for(n, Some(conv), now);
+                }
+                4 | 5 => {
+                    // Injected chunk loss/corruption against a CPU copy.
+                    let targets = cache.cpu_resident_chunks();
+                    if !targets.is_empty() {
+                        let (c, idx, _) = targets[n % targets.len()];
+                        if op == 4 {
+                            cache.mark_chunk_lost(c, idx).unwrap();
+                        } else {
+                            cache.mark_chunk_corrupt(c, idx).unwrap();
+                        }
+                    }
+                }
+                _ => {
+                    // Swap-in retry exhaustion: force-drop CPU chunks.
+                    let _ = cache.drop_cpu_chunks(conv);
+                }
+            }
+            for &c in &pinned {
+                let plan = cache.plan_restore(ConversationId(c));
+                prop_assert_eq!(
+                    plan.swap_in_tokens + plan.recompute_tokens,
+                    0,
+                    "active conversation {} lost GPU residency", c
+                );
+            }
+            prop_assert!(cache.gpu_slots_used() <= 1024);
+        }
+    }
+
     /// A restore plan always accounts for exactly the tracked tokens, and
     /// committing it makes everything GPU-resident.
     #[test]
