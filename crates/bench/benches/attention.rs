@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pensieve_kernels::attention::contiguous::fused_contiguous;
 use pensieve_kernels::attention::copyout::copyout_attention;
-use pensieve_kernels::attention::multi::paged_multi_token;
+use pensieve_kernels::attention::multi::{paged_multi_token, paged_multi_token_par};
 use pensieve_kernels::attention::multiround::multi_round_single_token;
 use pensieve_kernels::paged::gather_contiguous;
 use pensieve_kernels::{AttnConfig, AttnSeq, BlockTable, KvLayout, Matrix, PagedKvCache};
@@ -78,10 +78,11 @@ fn seqs(s: &Setup) -> Vec<AttnSeq<'_>> {
         .collect()
 }
 
-/// Benchmarks the four Figure-12 kernels at two context sizes.
+/// Benchmarks the four Figure-12 kernels at short and long (>= 2k token)
+/// contexts.
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_attention");
-    for context in [256usize, 1024] {
+    for context in [256usize, 1024, 2048] {
         let s = setup(context);
         let layer = s.pool.layer(0);
         let sq = seqs(&s);
@@ -125,9 +126,80 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Benchmarks the blocked, parallel, and multi-round kernels on a ragged
+/// unified batch mixing decode (q_len 1), chunked prefill (8), and long
+/// prefill (32) sub-requests — the §4.3 batch shape the multi-token
+/// kernel exists for.
+fn bench_ragged(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let cfg = AttnConfig::new(HEADS, HEADS, HEAD_DIM);
+    let layout = KvLayout {
+        num_kv_heads: HEADS,
+        head_dim: HEAD_DIM,
+        block_size: BLOCK,
+    };
+    let q_lens: Vec<usize> = [1usize, 8, 32].iter().copied().cycle().take(9).collect();
+    let context = 512usize;
+    let mut pool = PagedKvCache::new(layout, 1, q_lens.len() * context.div_ceil(BLOCK) + 1);
+    let tf = layout.token_floats();
+    let mut tables = Vec::new();
+    for _ in &q_lens {
+        let mut t = BlockTable::new(BLOCK);
+        for _ in 0..context {
+            let (b, s) = t.append_token(&mut pool).unwrap();
+            let k: Vec<f32> = (0..tf).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let v: Vec<f32> = (0..tf).map(|_| rng.random_range(-1.0..1.0)).collect();
+            pool.write_token(0, b, s, &k, &v);
+        }
+        tables.push(t);
+    }
+    let rows: usize = q_lens.iter().sum();
+    let q = Matrix::from_vec(
+        rows,
+        cfg.q_width(),
+        (0..rows * cfg.q_width())
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect(),
+    );
+    let mut start = 0;
+    let sq: Vec<AttnSeq<'_>> = q_lens
+        .iter()
+        .zip(&tables)
+        .map(|(&q_len, table)| {
+            let s = AttnSeq {
+                q_start: start,
+                q_len,
+                context_len: context,
+                table,
+            };
+            start += q_len;
+            s
+        })
+        .collect();
+    let layer = pool.layer(0);
+
+    let mut group = c.benchmark_group("ragged_attention");
+    group.bench_with_input(BenchmarkId::new("pensieve", 1), &1usize, |b, _| {
+        b.iter(|| black_box(paged_multi_token(&cfg, &q, &layer, &sq)));
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("pensieve_par", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| black_box(paged_multi_token_par(&cfg, &q, &layer, &sq, t)));
+            },
+        );
+    }
+    group.bench_with_input(BenchmarkId::new("multiround", 1), &1usize, |b, _| {
+        b.iter(|| black_box(multi_round_single_token(&cfg, &q, &layer, &sq)));
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_kernels
+    targets = bench_kernels, bench_ragged
 }
 criterion_main!(benches);

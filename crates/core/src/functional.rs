@@ -165,6 +165,14 @@ impl FunctionalEngine {
         &self.model
     }
 
+    /// Sets the number of worker threads used by the model's batched
+    /// compute kernels (see
+    /// [`TinyModel::set_threads`]). Served tokens are bit-identical at
+    /// every setting, so this is purely a latency knob.
+    pub fn set_compute_threads(&mut self, threads: usize) {
+        self.model.set_threads(threads);
+    }
+
     /// Full raw history of a conversation.
     #[must_use]
     pub fn history(&self, conv: ConversationId) -> Vec<u32> {
@@ -604,6 +612,25 @@ mod tests {
         let (_, _, _, recomputed) = faulty.cache_activity();
         assert!(recomputed > 0, "faults must have forced recomputation");
         assert_eq!(clean.fault_activity(), (0, 0));
+    }
+
+    /// The compute-thread knob is a pure latency knob: served tokens are
+    /// bit-identical at every setting.
+    #[test]
+    fn compute_threads_do_not_change_tokens() {
+        let cfg = ModelConfig::tiny_llama();
+        let mut serial = FunctionalEngine::new(&cfg, 18, FunctionalConfig::default());
+        let mut par = FunctionalEngine::new(&cfg, 18, FunctionalConfig::default());
+        par.set_compute_threads(4);
+        let conv = ConversationId(1);
+        for turn in 0..2 {
+            let p = prompt(70 + turn, 6, cfg.vocab_size as u32);
+            assert_eq!(
+                par.serve_turn(conv, &p, 3),
+                serial.serve_turn(conv, &p, 3),
+                "turn {turn}"
+            );
+        }
     }
 
     #[test]

@@ -89,8 +89,36 @@ impl ThreadedTpEngine {
         block_size: usize,
         blocks_per_shard: usize,
     ) -> Self {
-        let (replicated, shards) =
+        Self::with_intra_threads(model, num_shards, block_size, blocks_per_shard, 1)
+    }
+
+    /// Like [`ThreadedTpEngine::new`], but each worker additionally fans
+    /// its own per-layer shard math (blocked GEMM row partitions,
+    /// attention (sequence, KV-head) partitions) out over `intra_threads`
+    /// scoped threads.
+    ///
+    /// The two axes compose: `num_shards` splits the model Megatron-style,
+    /// `intra_threads` splits each shard's operators. Results are
+    /// bit-identical at every combination — partials are accumulated in
+    /// fixed shard order and intra-operator partitions are merged in fixed
+    /// partition order.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same divisibility conditions as [`TpModel::new`].
+    #[must_use]
+    pub fn with_intra_threads(
+        model: &TinyModel,
+        num_shards: usize,
+        block_size: usize,
+        blocks_per_shard: usize,
+        intra_threads: usize,
+    ) -> Self {
+        let (replicated, mut shards) =
             TpModel::new(model, num_shards, block_size, blocks_per_shard).into_parts();
+        for shard in &mut shards {
+            shard.set_threads(intra_threads);
+        }
         let (res_tx, res_rx) = unbounded();
         let mut cmd_txs = Vec::with_capacity(num_shards);
         let mut handles = Vec::with_capacity(num_shards);
@@ -472,6 +500,26 @@ mod tests {
         let a = threaded.forward_seq(5, std::slice::from_ref(&seg)).unwrap();
         let b = single.forward_seq(5, &[seg]).unwrap();
         assert_eq!(a, b, "fixed-order all-reduce must be bit-identical");
+    }
+
+    /// Intra-shard data parallelism (scoped worker pool inside each shard)
+    /// must not change a single bit of the logits either.
+    #[test]
+    fn intra_threads_bit_identical() {
+        let cfg = ModelConfig::tiny_llama();
+        let model = TinyModel::new_random(&cfg, 96);
+        let p = prompt(4, 9, cfg.vocab_size as u32);
+        let seg = SegmentInput {
+            tokens: p,
+            start_pos: 0,
+        };
+        let mut serial = ThreadedTpEngine::new(&model, 2, 4, 64);
+        let base = serial.forward_seq(5, std::slice::from_ref(&seg)).unwrap();
+        for intra in [2usize, 4] {
+            let mut engine = ThreadedTpEngine::with_intra_threads(&model, 2, 4, 64, intra);
+            let got = engine.forward_seq(5, std::slice::from_ref(&seg)).unwrap();
+            assert_eq!(got, base, "intra_threads={intra}");
+        }
     }
 
     /// A dead worker shard surfaces as a typed error, never a hang, and

@@ -202,11 +202,9 @@ impl OnlineSoftmax {
     }
 }
 
-#[inline]
-pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
+// The shared scalar inner products live in `ops`; attention kernels use the
+// same definitions so their scores are bit-comparable with the GEMM path.
+pub(crate) use crate::ops::{dot, dot4};
 
 #[cfg(test)]
 mod tests {

@@ -16,8 +16,20 @@
 //! ([`super::multiround`]) forfeits it by re-walking the context per token.
 
 use super::{dot, AttnConfig, AttnSeq, OnlineSoftmax};
+use crate::ops::dot_lanes;
 use crate::paged::KvLayerView;
 use crate::tensor::Matrix;
+
+fn check_batch(cfg: &AttnConfig, q: &Matrix, seqs: &[AttnSeq<'_>]) {
+    assert_eq!(q.cols(), cfg.q_width());
+    for seq in seqs {
+        seq.check();
+        assert!(
+            seq.q_start + seq.q_len <= q.rows(),
+            "query range beyond batch tensor"
+        );
+    }
+}
 
 /// Batched multi-token causal attention over paged KV.
 ///
@@ -62,21 +74,170 @@ pub fn paged_multi_token(
     layer: &KvLayerView<'_>,
     seqs: &[AttnSeq<'_>],
 ) -> Matrix {
-    assert_eq!(q.cols(), cfg.q_width());
+    check_batch(cfg, q, seqs);
     let mut out = Matrix::zeros(q.rows(), cfg.q_width());
     for seq in seqs {
-        seq.check();
-        assert!(
-            seq.q_start + seq.q_len <= q.rows(),
-            "query range beyond batch tensor"
-        );
-        attend_one_seq(cfg, q, layer, seq, &mut out);
+        let local = attend_seq(cfg, q, layer, seq);
+        merge_seq(seq, &local, &mut out);
     }
     out
 }
 
-/// Streams one sequence's context, updating all its query rows.
-fn attend_one_seq(
+/// Scalar reference for [`paged_multi_token`]: per-token `dot` calls, no
+/// slab access, no score batching. Kept as the accumulation-order-defining
+/// implementation the blocked and parallel kernels are tested against
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Same conditions as [`paged_multi_token`].
+#[must_use]
+pub fn paged_multi_token_ref(
+    cfg: &AttnConfig,
+    q: &Matrix,
+    layer: &KvLayerView<'_>,
+    seqs: &[AttnSeq<'_>],
+) -> Matrix {
+    check_batch(cfg, q, seqs);
+    let mut out = Matrix::zeros(q.rows(), cfg.q_width());
+    for seq in seqs {
+        attend_one_seq_ref(cfg, q, layer, seq, &mut out);
+    }
+    out
+}
+
+/// [`paged_multi_token`] with its per-sequence partitions fanned out over
+/// `threads` scoped workers.
+///
+/// Each partition is one (sub-)request: a disjoint band of output rows,
+/// computed independently into a partition-local buffer by the same
+/// blocked kernel, then merged back **sequentially in sequence order** —
+/// so the result is bit-identical to the serial kernel (and to
+/// [`paged_multi_token_ref`]) at every thread count, including when two
+/// sub-requests name overlapping query rows (last writer wins in both).
+///
+/// # Panics
+///
+/// Same conditions as [`paged_multi_token`].
+#[must_use]
+pub fn paged_multi_token_par(
+    cfg: &AttnConfig,
+    q: &Matrix,
+    layer: &KvLayerView<'_>,
+    seqs: &[AttnSeq<'_>],
+    threads: usize,
+) -> Matrix {
+    check_batch(cfg, q, seqs);
+    if threads <= 1 || seqs.is_empty() {
+        return paged_multi_token(cfg, q, layer, seqs);
+    }
+    let locals = crossbeam::pool::map_partitions(threads, seqs.len(), |si| {
+        attend_seq(cfg, q, layer, &seqs[si])
+    });
+    let mut out = Matrix::zeros(q.rows(), cfg.q_width());
+    for (si, local) in locals.iter().enumerate() {
+        merge_seq(&seqs[si], local, &mut out);
+    }
+    out
+}
+
+/// Computes one sequence partition: the attention output of `seq`'s query
+/// rows across **all** heads, returned as a `[q_len, q_width]`
+/// partition-local matrix.
+///
+/// This is the blocked inner kernel: the context is streamed **once**,
+/// each KV block read as a contiguous `[block_size, kv_width]` slab whose
+/// every row serves all KV heads before the walk moves on (the reference
+/// and the old per-KV-head partitioning re-walk the paged context per
+/// head, multiplying DRAM traffic by `num_kv_heads`). Per slot and KV
+/// head, one loaded K row scores all visible (query row, grouped head)
+/// pairs at SIMD width via [`dot_lanes`] over a per-KV-head transposed
+/// query pack. Each softmax state still receives its scores one per
+/// visible position in ascending-`t` order with [`dot`]'s exact
+/// accumulation order, so outputs are bit-identical to the scalar
+/// reference.
+fn attend_seq(cfg: &AttnConfig, q: &Matrix, layer: &KvLayerView<'_>, seq: &AttnSeq<'_>) -> Matrix {
+    let d = cfg.head_dim;
+    let tf = layer.layout().token_floats();
+    let block_size = layer.layout().block_size;
+    let num_blocks = seq.context_len.div_ceil(block_size);
+    let group = cfg.group_size();
+    // Context position of query row j is offset + j.
+    let offset = seq.context_len - seq.q_len;
+
+    // Per-KV-head transposed query packs — `qt[kvh][i*np + j*group + g]`
+    // is element `i` of query row `j`, head `kvh*group + g`. Lanes are
+    // ordered by j then g so a causal lower bound on j is a suffix of the
+    // lane range, and padded to the SIMD chunk width (pad lanes hold zero
+    // queries and their scores are never read). The transposed layout
+    // lets [`dot_lanes`] score every pair against one loaded K row at
+    // SIMD width while each lane keeps [`dot`]'s accumulation order.
+    let n = seq.q_len * group;
+    let np = n.next_multiple_of(crate::ops::SCORE_LANES);
+    let mut qt = vec![0.0f32; cfg.num_kv_heads * d * np];
+    for j in 0..seq.q_len {
+        let qrow = q.row(seq.q_start + j);
+        for h in 0..cfg.num_heads {
+            let (kvh, g) = (h / group, h % group);
+            let pack = &mut qt[kvh * d * np..(kvh + 1) * d * np];
+            for (i, &v) in qrow[h * d..(h + 1) * d].iter().enumerate() {
+                pack[i * np + j * group + g] = v;
+            }
+        }
+    }
+    // States for lane `j*group + g` of each KV head, KV-head-major.
+    let mut states: Vec<OnlineSoftmax> = (0..cfg.num_kv_heads * n)
+        .map(|_| OnlineSoftmax::new(d))
+        .collect();
+    let mut scores = vec![0.0f32; np];
+
+    for bi in 0..num_blocks {
+        let b = seq.table.block_at(bi);
+        let kslab = layer.k_block(b);
+        let vslab = layer.v_block(b);
+        let t0 = bi * block_size;
+        let slots = block_size.min(seq.context_len - t0);
+        for slot in 0..slots {
+            let t = t0 + slot;
+            // Lanes that see position t: offset + j >= t. All n lanes are
+            // scored (the masked prefix is a few lanes on the last `q_len`
+            // positions only); masked lanes are never folded into a state.
+            let lo = t.saturating_sub(offset) * group;
+            let ktoken = &kslab[slot * tf..(slot + 1) * tf];
+            let vtoken = &vslab[slot * tf..(slot + 1) * tf];
+            for kvh in 0..cfg.num_kv_heads {
+                let krow = &ktoken[kvh * d..(kvh + 1) * d];
+                let vrow = &vtoken[kvh * d..(kvh + 1) * d];
+                dot_lanes(krow, &qt[kvh * d * np..(kvh + 1) * d * np], &mut scores);
+                let head_states = &mut states[kvh * n..(kvh + 1) * n];
+                for (state, &s) in head_states[lo..].iter_mut().zip(&scores[lo..]) {
+                    state.update(s * cfg.scale, vrow);
+                }
+            }
+        }
+    }
+
+    let mut local = Matrix::zeros(seq.q_len, cfg.q_width());
+    for j in 0..seq.q_len {
+        let orow = local.row_mut(j);
+        for h in 0..cfg.num_heads {
+            let (kvh, g) = (h / group, h % group);
+            states[kvh * n + j * group + g].finish(&mut orow[h * d..(h + 1) * d]);
+        }
+    }
+    local
+}
+
+/// Writes one partition-local result into its band of output rows.
+fn merge_seq(seq: &AttnSeq<'_>, local: &Matrix, out: &mut Matrix) {
+    for j in 0..seq.q_len {
+        out.row_mut(seq.q_start + j).copy_from_slice(local.row(j));
+    }
+}
+
+/// Streams one sequence's context, updating all its query rows (scalar
+/// reference path).
+fn attend_one_seq_ref(
     cfg: &AttnConfig,
     q: &Matrix,
     layer: &KvLayerView<'_>,
@@ -405,6 +566,68 @@ mod tests {
                         "shard {shard} row {j} col {c} diverged"
                     );
                 }
+            }
+        }
+    }
+
+    /// The blocked kernel and its parallel fan-out must be *bit-identical*
+    /// to the scalar reference, across ragged batches, GQA ratios, block
+    /// sizes, and the shared-table sub-request layout (§4.3.4).
+    #[test]
+    fn blocked_and_parallel_bit_identical_to_ref() {
+        let mut rng = StdRng::seed_from_u64(25);
+        for &(heads, kv_heads, d, bs) in &[
+            (4usize, 2usize, 8usize, 4usize),
+            (8, 2, 16, 16),
+            (6, 1, 4, 8),
+            (3, 3, 32, 2),
+        ] {
+            let cfg = AttnConfig::new(heads, kv_heads, d);
+            let layout = KvLayout {
+                num_kv_heads: kv_heads,
+                head_dim: d,
+                block_size: bs,
+            };
+            let mut pool = PagedKvCache::new(layout, 1, 128);
+            // Ragged batch: decode, prefill chunk, and two sub-requests
+            // sharing one table (dropped-token recomputation).
+            let t0 = build_context(&mut rng, &mut pool, 9);
+            let t1 = build_context(&mut rng, &mut pool, 33);
+            let shared = build_context(&mut rng, &mut pool, 21);
+            let (dropped, prompt) = (6usize, 4usize);
+            let q = random_matrix(&mut rng, 1 + 8 + dropped + prompt, cfg.q_width());
+            let seqs = [
+                AttnSeq {
+                    q_start: 0,
+                    q_len: 1,
+                    context_len: 9,
+                    table: &t0,
+                },
+                AttnSeq {
+                    q_start: 1,
+                    q_len: 8,
+                    context_len: 33,
+                    table: &t1,
+                },
+                AttnSeq {
+                    q_start: 9,
+                    q_len: dropped,
+                    context_len: dropped,
+                    table: &shared,
+                },
+                AttnSeq {
+                    q_start: 9 + dropped,
+                    q_len: prompt,
+                    context_len: 21,
+                    table: &shared,
+                },
+            ];
+            let reference = paged_multi_token_ref(&cfg, &q, &pool.layer(0), &seqs);
+            let blocked = paged_multi_token(&cfg, &q, &pool.layer(0), &seqs);
+            assert_eq!(blocked, reference, "blocked != ref h={heads}/{kv_heads}");
+            for threads in [1usize, 2, 3, 4] {
+                let par = paged_multi_token_par(&cfg, &q, &pool.layer(0), &seqs, threads);
+                assert_eq!(par, reference, "par({threads}) != ref h={heads}/{kv_heads}");
             }
         }
     }

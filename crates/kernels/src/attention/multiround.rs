@@ -6,8 +6,13 @@
 //! correct, but gives up the parallelization/data-reuse opportunity of the
 //! query dimension — the context is re-walked `q_len` times — so its cost
 //! grows linearly with the number of prompt tokens.
+//!
+//! The straw-man is deliberately pinned to the *scalar reference*
+//! single-token kernel ([`paged_single_token_ref`]) so the Figure-12
+//! baseline stays fixed as the fast paths evolve; `BENCH_kernels.json`
+//! speedups are measured against this implementation.
 
-use super::single::paged_single_token;
+use super::single::paged_single_token_ref;
 use super::{AttnConfig, AttnSeq};
 use crate::paged::KvLayerView;
 use crate::tensor::Matrix;
@@ -41,7 +46,7 @@ pub fn multi_round_single_token(
                 context_len: seq.visible(j),
                 table: seq.table,
             };
-            paged_single_token(
+            paged_single_token_ref(
                 cfg,
                 q.row(seq.q_start + j),
                 layer,

@@ -16,10 +16,12 @@ use pensieve_model::{Activation, ModelConfig, Norm, PositionEmbedding};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::attention::multi::paged_multi_token;
+use crate::attention::multi::paged_multi_token_par;
 use crate::attention::naive::naive_attention;
 use crate::attention::{AttnConfig, AttnSeq};
-use crate::ops::{add_rows, apply_rope, layernorm, matmul, relu, rmsnorm, silu};
+use crate::ops::{
+    add_rows, apply_rope, layernorm, matmul, matmul_par, matmul_ref, relu, rmsnorm, silu,
+};
 use crate::paged::{BlockTable, KvLayout, OutOfBlocks, PagedKvCache};
 use crate::tensor::Matrix;
 
@@ -50,6 +52,9 @@ pub struct TinyModel {
     pub(crate) final_norm: Vec<f32>,
     pub(crate) final_norm_bias: Vec<f32>,
     pub(crate) lm_head: Matrix,
+    /// Worker threads for the batched kernels (1 = fully serial). Results
+    /// are bit-identical at every setting; see [`TinyModel::set_threads`].
+    threads: usize,
 }
 
 /// One contiguous run of query tokens at absolute positions
@@ -154,7 +159,25 @@ impl TinyModel {
             lm_head: mat(h, cfg.vocab_size),
             layers,
             cfg: cfg.clone(),
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads used by the batched compute
+    /// kernels ([`matmul_par`] row partitions, [`paged_multi_token_par`]
+    /// (sequence, KV-head) partitions).
+    ///
+    /// Forward-pass results are **bit-identical** at every thread count:
+    /// partitions are disjoint output regions merged sequentially in a
+    /// fixed order. `0` is clamped to `1`.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Current worker-thread setting (see [`TinyModel::set_threads`]).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The model configuration.
@@ -262,9 +285,9 @@ impl TinyModel {
             for r in 0..total_q {
                 self.normalize(xn.row_mut(r), &lw.norm1, &lw.norm1_bias);
             }
-            let mut q = matmul(&xn, &lw.wq);
-            let mut k = matmul(&xn, &lw.wk);
-            let v = matmul(&xn, &lw.wv);
+            let mut q = matmul_par(&xn, &lw.wq, self.threads);
+            let mut k = matmul_par(&xn, &lw.wk, self.threads);
+            let v = matmul_par(&xn, &lw.wv, self.threads);
             if self.cfg.position_embedding == PositionEmbedding::Rotary {
                 for (r, &pos) in positions.iter().enumerate() {
                     apply_rope(q.row_mut(r), self.cfg.num_heads, self.cfg.head_dim, pos);
@@ -290,8 +313,8 @@ impl TinyModel {
                     r0 += seg.tokens.len();
                 }
             }
-            let attn_out = paged_multi_token(&self.attn, &q, &layer_view, &seqs);
-            let proj = matmul(&attn_out, &lw.wo);
+            let attn_out = paged_multi_token_par(&self.attn, &q, &layer_view, &seqs, self.threads);
+            let proj = matmul_par(&attn_out, &lw.wo, self.threads);
             add_rows(&mut x, &proj);
 
             // MLP with pre-norm.
@@ -320,19 +343,19 @@ impl TinyModel {
     fn mlp(&self, xn: &Matrix, lw: &LayerWeights) -> Matrix {
         match self.cfg.activation {
             Activation::Relu => {
-                let mut up = matmul(xn, &lw.mlp[0]);
+                let mut up = matmul_par(xn, &lw.mlp[0], self.threads);
                 for v in up.as_mut_slice() {
                     *v = relu(*v);
                 }
-                matmul(&up, &lw.mlp[1])
+                matmul_par(&up, &lw.mlp[1], self.threads)
             }
             Activation::Silu => {
-                let mut gate = matmul(xn, &lw.mlp[0]);
-                let up = matmul(xn, &lw.mlp[1]);
+                let mut gate = matmul_par(xn, &lw.mlp[0], self.threads);
+                let up = matmul_par(xn, &lw.mlp[1], self.threads);
                 for (g, u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
                     *g = silu(*g) * u;
                 }
-                matmul(&gate, &lw.mlp[2])
+                matmul_par(&gate, &lw.mlp[2], self.threads)
             }
         }
     }
@@ -340,8 +363,10 @@ impl TinyModel {
     /// Stateless reference: processes `tokens` from scratch with dense,
     /// contiguous, naive attention and returns the last token's logits.
     ///
-    /// Shares no KV-cache code with [`TinyModel::forward`], so agreement
-    /// between the two is strong evidence the paged path is correct.
+    /// Shares no KV-cache code with [`TinyModel::forward`], and uses only
+    /// the scalar reference kernels ([`matmul_ref`], naive attention) —
+    /// never the blocked or parallel fast paths — so agreement between the
+    /// two is strong evidence the whole optimized paged path is correct.
     ///
     /// # Panics
     ///
@@ -360,9 +385,9 @@ impl TinyModel {
             for r in 0..n {
                 self.normalize(xn.row_mut(r), &lw.norm1, &lw.norm1_bias);
             }
-            let mut q = matmul(&xn, &lw.wq);
-            let mut k = matmul(&xn, &lw.wk);
-            let v = matmul(&xn, &lw.wv);
+            let mut q = matmul_ref(&xn, &lw.wq);
+            let mut k = matmul_ref(&xn, &lw.wk);
+            let v = matmul_ref(&xn, &lw.wv);
             if self.cfg.position_embedding == PositionEmbedding::Rotary {
                 for r in 0..n {
                     apply_rope(q.row_mut(r), self.cfg.num_heads, self.cfg.head_dim, r);
@@ -370,20 +395,41 @@ impl TinyModel {
                 }
             }
             let attn_out = naive_attention(&self.attn, &q, &k, &v);
-            let proj = matmul(&attn_out, &lw.wo);
+            let proj = matmul_ref(&attn_out, &lw.wo);
             add_rows(&mut x, &proj);
             let mut xn = x.clone();
             for r in 0..n {
                 self.normalize(xn.row_mut(r), &lw.norm2, &lw.norm2_bias);
             }
-            let mlp_out = self.mlp(&xn, lw);
+            let mlp_out = self.mlp_ref(&xn, lw);
             add_rows(&mut x, &mlp_out);
         }
         let mut hrow = x.row(n - 1).to_vec();
         self.normalize(&mut hrow, &self.final_norm, &self.final_norm_bias);
-        matmul(&Matrix::from_vec(1, h, hrow), &self.lm_head)
+        matmul_ref(&Matrix::from_vec(1, h, hrow), &self.lm_head)
             .row(0)
             .to_vec()
+    }
+
+    /// Reference-kernel MLP used only by [`TinyModel::forward_dense`].
+    fn mlp_ref(&self, xn: &Matrix, lw: &LayerWeights) -> Matrix {
+        match self.cfg.activation {
+            Activation::Relu => {
+                let mut up = matmul_ref(xn, &lw.mlp[0]);
+                for v in up.as_mut_slice() {
+                    *v = relu(*v);
+                }
+                matmul_ref(&up, &lw.mlp[1])
+            }
+            Activation::Silu => {
+                let mut gate = matmul_ref(xn, &lw.mlp[0]);
+                let up = matmul_ref(xn, &lw.mlp[1]);
+                for (g, u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
+                    *g = silu(*g) * u;
+                }
+                matmul_ref(&gate, &lw.mlp[2])
+            }
+        }
     }
 }
 
@@ -583,6 +629,40 @@ mod tests {
         let dense_b = model.forward_dense(&prompt_b);
         assert!(max_diff(logits.row(0), &dense_a) < 1e-3);
         assert!(max_diff(logits.row(1), &dense_b) < 1e-3);
+    }
+
+    /// The data-parallel compute path must not change a single bit of the
+    /// logits: partitions are disjoint and merged in fixed order.
+    #[test]
+    fn forward_bit_identical_across_thread_counts() {
+        let cfg = ModelConfig::tiny_llama();
+        let run = |threads: usize| {
+            let mut model = TinyModel::new_random(&cfg, 9);
+            model.set_threads(threads);
+            let mut cache = PagedKvCache::new(model.kv_layout(4), cfg.num_layers, 64);
+            let mut table = BlockTable::new(4);
+            let mut batch = [SeqInput {
+                segments: vec![SegmentInput {
+                    tokens: (0..13).map(|i| (i * 5 + 2) % 128).collect(),
+                    start_pos: 0,
+                }],
+                table: &mut table,
+            }];
+            let prefill = model.forward(&mut cache, &mut batch).unwrap();
+            let mut batch = [SeqInput {
+                segments: vec![SegmentInput {
+                    tokens: vec![42],
+                    start_pos: 13,
+                }],
+                table: &mut table,
+            }];
+            let decode = model.forward(&mut cache, &mut batch).unwrap();
+            (prefill, decode)
+        };
+        let base = run(1);
+        for threads in [2usize, 3, 4] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
     }
 
     /// OPT's learned position table is finite; exceeding it is a clear

@@ -206,6 +206,25 @@ impl<'a> KvLayerView<'a> {
         &self.v[off..off + d]
     }
 
+    /// One block's whole K slab (`[block_size, num_kv_heads * head_dim]`,
+    /// row-major by slot).
+    ///
+    /// The blocked attention kernels read a block through this single
+    /// contiguous slice — one bounds check per block instead of one per
+    /// (token, head) — and index heads/slots arithmetically inside it.
+    #[must_use]
+    pub fn k_block(&self, block: BlockId) -> &'a [f32] {
+        let bf = self.layout.block_floats();
+        &self.k[block * bf..(block + 1) * bf]
+    }
+
+    /// One block's whole V slab (see [`Self::k_block`]).
+    #[must_use]
+    pub fn v_block(&self, block: BlockId) -> &'a [f32] {
+        let bf = self.layout.block_floats();
+        &self.v[block * bf..(block + 1) * bf]
+    }
+
     /// Whole-token K row (`[num_kv_heads * head_dim]`).
     #[must_use]
     pub fn k_token(&self, block: BlockId, slot: usize) -> &'a [f32] {

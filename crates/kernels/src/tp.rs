@@ -25,10 +25,10 @@ use std::collections::HashMap;
 
 use pensieve_model::{Activation, ModelConfig, Norm, PositionEmbedding};
 
-use crate::attention::multi::paged_multi_token;
+use crate::attention::multi::paged_multi_token_par;
 use crate::attention::{AttnConfig, AttnSeq};
 use crate::model::{SegmentInput, TinyModel};
-use crate::ops::{apply_rope, layernorm, matmul, relu, rmsnorm, silu};
+use crate::ops::{apply_rope, layernorm, matmul, matmul_par, relu, rmsnorm, silu};
 use crate::paged::{BlockTable, KvLayout, OutOfBlocks, PagedKvCache};
 use crate::tensor::Matrix;
 
@@ -151,6 +151,8 @@ pub struct ShardRunner {
     positions: Vec<usize>,
     pass_conv: u64,
     pass_segments: Vec<(usize, usize)>,
+    /// Worker threads for this shard's intra-operator math (1 = serial).
+    threads: usize,
 }
 
 impl ShardRunner {
@@ -158,6 +160,17 @@ impl ShardRunner {
     #[must_use]
     pub fn heads_per_shard(&self) -> usize {
         self.attn.num_heads
+    }
+
+    /// Sets the number of worker threads used *inside* this shard's
+    /// operators (blocked GEMM row partitions and attention
+    /// (sequence, KV-head) partitions).
+    ///
+    /// Orthogonal to tensor-parallel sharding: shards split the model,
+    /// intra-shard threads split each shard's math. Results are
+    /// bit-identical at every setting; `0` is clamped to `1`.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Allocates KV slots for a pass over `conv` with the given query
@@ -208,9 +221,9 @@ impl ShardRunner {
     #[must_use]
     pub fn attn_partial(&mut self, l: usize, xn: &Matrix) -> Matrix {
         let lw = &self.layers[l];
-        let mut q = matmul(xn, &lw.wq);
-        let mut k = matmul(xn, &lw.wk);
-        let v = matmul(xn, &lw.wv);
+        let mut q = matmul_par(xn, &lw.wq, self.threads);
+        let mut k = matmul_par(xn, &lw.wk, self.threads);
+        let v = matmul_par(xn, &lw.wv, self.threads);
         if self.cfg.position_embedding == PositionEmbedding::Rotary {
             for r in 0..q.rows() {
                 apply_rope(
@@ -242,8 +255,9 @@ impl ShardRunner {
             });
             q_start += len;
         }
-        let attn_out = paged_multi_token(&self.attn, &q, &self.cache.layer(l), &seqs);
-        matmul(&attn_out, &lw.wo)
+        let attn_out =
+            paged_multi_token_par(&self.attn, &q, &self.cache.layer(l), &seqs, self.threads);
+        matmul_par(&attn_out, &lw.wo, self.threads)
     }
 
     /// Computes this shard's MLP partial for layer `l` (column-parallel up
@@ -253,19 +267,19 @@ impl ShardRunner {
         let lw = &self.layers[l];
         match self.cfg.activation {
             Activation::Relu => {
-                let mut up = matmul(xn, &lw.mlp[0]);
+                let mut up = matmul_par(xn, &lw.mlp[0], self.threads);
                 for v in up.as_mut_slice() {
                     *v = relu(*v);
                 }
-                matmul(&up, &lw.mlp[1])
+                matmul_par(&up, &lw.mlp[1], self.threads)
             }
             Activation::Silu => {
-                let mut gate = matmul(xn, &lw.mlp[0]);
-                let up = matmul(xn, &lw.mlp[1]);
+                let mut gate = matmul_par(xn, &lw.mlp[0], self.threads);
+                let up = matmul_par(xn, &lw.mlp[1], self.threads);
                 for (g, u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
                     *g = silu(*g) * u;
                 }
-                matmul(&gate, &lw.mlp[2])
+                matmul_par(&gate, &lw.mlp[2], self.threads)
             }
         }
     }
@@ -358,6 +372,7 @@ impl TpModel {
                     positions: Vec::new(),
                     pass_conv: 0,
                     pass_segments: Vec::new(),
+                    threads: 1,
                 }
             })
             .collect();
@@ -389,6 +404,14 @@ impl TpModel {
     #[must_use]
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Sets the intra-shard worker thread count on every shard (see
+    /// [`ShardRunner::set_threads`]). Bit-identical at every setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        for shard in &mut self.shards {
+            shard.set_threads(threads);
+        }
     }
 
     /// Splits the model into its replicated weights and shard runners, for

@@ -14,6 +14,68 @@
 //!   queue is drained — the disconnect signal the engine uses to detect
 //!   dead tensor-parallel workers.
 
+/// A scoped fork/join worker pool for data-parallel kernels.
+///
+/// Mirrors the shape of `crossbeam::thread::scope` fan-out but exposes the
+/// one pattern this workspace needs: map a function over `n` disjoint
+/// partitions on up to `threads` OS threads and return the results **in
+/// partition order**. Built on [`std::thread::scope`], so borrowed data
+/// (weights, KV pools, query matrices) can be shared without `Arc`.
+///
+/// Determinism contract: partition indices are assigned to threads in
+/// fixed contiguous ranges, every partition is computed independently, and
+/// the caller receives the results in index order regardless of thread
+/// interleaving. Callers that combine partition outputs must do so
+/// sequentially in that order (see `pensieve-kernels`), which keeps
+/// multi-threaded results bit-identical to the single-threaded path.
+pub mod pool {
+    /// Maps `f` over partitions `0..n`, using up to `threads` worker
+    /// threads, and returns the outputs in partition order.
+    ///
+    /// With `threads <= 1` (or `n <= 1`) the map runs inline on the
+    /// calling thread — same results, no spawn cost. Partitions are split
+    /// into `threads` contiguous index ranges, one spawned thread per
+    /// non-empty range; each thread evaluates its range in ascending
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker thread.
+    pub fn map_partitions<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let per = n.div_ceil(threads);
+        let f = &f;
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .filter_map(|t| {
+                    let lo = t * per;
+                    let hi = n.min(lo + per);
+                    (lo < hi).then(|| s.spawn(move || (lo, (lo..hi).map(f).collect::<Vec<T>>())))
+                })
+                .collect();
+            for h in handles {
+                let (lo, vals) = match h.join() {
+                    Ok(res) => res,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                for (i, v) in vals.into_iter().enumerate() {
+                    out[lo + i] = Some(v);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|v| v.expect("every partition filled"))
+            .collect()
+    }
+}
+
 /// Unbounded MPMC channels with disconnect semantics.
 pub mod channel {
     use std::collections::VecDeque;
@@ -214,6 +276,39 @@ pub mod channel {
 #[cfg(test)]
 mod tests {
     use super::channel::{unbounded, RecvError, TryRecvError};
+    use super::pool::map_partitions;
+
+    #[test]
+    fn pool_results_in_partition_order() {
+        for threads in [1usize, 2, 3, 4, 9] {
+            let got = map_partitions(threads, 7, |i| i * i);
+            assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_singleton() {
+        assert_eq!(map_partitions(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_partitions(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn pool_shares_borrowed_data() {
+        let data: Vec<u64> = (0..100).collect();
+        let sums = map_partitions(3, 4, |p| data[p * 25..(p + 1) * 25].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), (0..100).sum());
+    }
+
+    #[test]
+    fn pool_propagates_worker_panic() {
+        let r = std::panic::catch_unwind(|| {
+            map_partitions(2, 4, |i| {
+                assert!(i != 3, "boom");
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
 
     #[test]
     fn send_recv_fifo() {

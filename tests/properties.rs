@@ -1,9 +1,13 @@
 //! Property-based tests over the core data structures and kernels.
 
 use pensieve_kernels::attention::contiguous::fused_contiguous;
-use pensieve_kernels::attention::multi::paged_multi_token;
+use pensieve_kernels::attention::multi::{
+    paged_multi_token, paged_multi_token_par, paged_multi_token_ref,
+};
 use pensieve_kernels::attention::multiround::multi_round_single_token;
 use pensieve_kernels::attention::naive::naive_attention;
+use pensieve_kernels::attention::single::paged_single_token_batch;
+use pensieve_kernels::ops::{matmul, matmul_par, matmul_ref};
 use pensieve_kernels::paged::gather_contiguous;
 use pensieve_kernels::{AttnConfig, AttnSeq, BlockTable, KvLayout, Matrix, PagedKvCache};
 use pensieve_kvcache::{CacheConfig, ConversationId, LruPolicy, TieredKvCache};
@@ -77,6 +81,80 @@ proptest! {
         prop_assert!(multi.max_abs_diff(&reference) < 1e-4);
         prop_assert!(rounds.max_abs_diff(&reference) < 1e-4);
         prop_assert!(fused.max_abs_diff(&reference) < 1e-4);
+    }
+
+    /// The cache-blocked GEMM and its data-parallel variant reproduce the
+    /// scalar reference **bit-for-bit** on arbitrary shapes, straddling
+    /// both the small-volume fallback and the packing tile boundaries.
+    #[test]
+    fn blocked_and_parallel_matmul_bit_identical(
+        seed in 0u64..1000,
+        m in 1usize..40,
+        k in prop::sample::select(vec![1usize, 3, 63, 64, 65, 130]),
+        n in prop::sample::select(vec![1usize, 7, 127, 128, 129]),
+        threads in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_vec(
+            m, k, (0..m * k).map(|_| rng.random_range(-1.0..1.0)).collect());
+        let b = Matrix::from_vec(
+            k, n, (0..k * n).map(|_| rng.random_range(-1.0..1.0)).collect());
+        let reference = matmul_ref(&a, &b);
+        prop_assert_eq!(&matmul(&a, &b), &reference);
+        prop_assert_eq!(&matmul_par(&a, &b, threads), &reference);
+    }
+
+    /// The blocked and data-parallel attention kernels reproduce the
+    /// scalar reference **bit-for-bit** across random shapes, GQA ratios,
+    /// block sizes, and thread counts; decode batches (`q_len == 1`) also
+    /// cover the batched single-token fast path.
+    #[test]
+    fn blocked_and_parallel_attention_bit_identical(
+        seed in 0u64..1000,
+        q_len in 1usize..12,
+        extra_ctx in 0usize..40,
+        head_split in 0usize..4,
+        block in prop::sample::select(vec![2usize, 4, 8, 16]),
+        threads in 2usize..4,
+    ) {
+        let (heads, kv_heads) = [(4, 4), (4, 2), (8, 1), (6, 3)][head_split];
+        let ctx = q_len + extra_ctx;
+        let (cfg, pool, table, q) = build_case(seed, q_len, ctx, heads, kv_heads, 8, block);
+        let layer = pool.layer(0);
+        let seq = AttnSeq { q_start: 0, q_len, context_len: ctx, table: &table };
+
+        let reference = paged_multi_token_ref(&cfg, &q, &layer, &[seq]);
+        prop_assert_eq!(&paged_multi_token(&cfg, &q, &layer, &[seq]), &reference);
+        prop_assert_eq!(&paged_multi_token_par(&cfg, &q, &layer, &[seq], threads), &reference);
+        if q_len == 1 {
+            prop_assert_eq!(&paged_single_token_batch(&cfg, &q, &layer, &[seq]), &reference);
+        }
+    }
+
+    /// §4.3.4 dropped-token recomputation layout: two sub-requests sharing
+    /// one block table with different context lengths stay bit-identical
+    /// to the scalar reference under the blocked and parallel kernels.
+    #[test]
+    fn subrequest_attention_bit_identical(
+        seed in 0u64..1000,
+        dropped in 1usize..8,
+        prompt in 1usize..8,
+        gap in 0usize..24,
+        threads in 2usize..4,
+    ) {
+        // Context layout: [kept history][dropped tokens][gap][prompt].
+        let ctx = dropped + gap + prompt + 3;
+        let (cfg, pool, table, q) = build_case(seed, dropped + prompt, ctx, 4, 2, 8, 4);
+        let layer = pool.layer(0);
+        let seqs = [
+            // Recomputed dropped tokens, mid-context.
+            AttnSeq { q_start: 0, q_len: dropped, context_len: dropped + 3, table: &table },
+            // The new prompt chunk at the end of the same table.
+            AttnSeq { q_start: dropped, q_len: prompt, context_len: ctx, table: &table },
+        ];
+        let reference = paged_multi_token_ref(&cfg, &q, &layer, &seqs);
+        prop_assert_eq!(&paged_multi_token(&cfg, &q, &layer, &seqs), &reference);
+        prop_assert_eq!(&paged_multi_token_par(&cfg, &q, &layer, &seqs, threads), &reference);
     }
 
     /// Causality: perturbing KV beyond a query row's visible range never
