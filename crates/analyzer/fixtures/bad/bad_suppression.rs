@@ -1,0 +1,20 @@
+// analyzer-fixture: crates/core/src/bad_suppression.rs
+//! Known-bad: malformed suppressions are themselves violations, and a
+//! bare suppression does not silence the underlying finding.
+//! Never compiled — input for the analyzer's own test suite.
+
+pub fn bare(x: Option<u32>) -> u32 {
+    // lint:allow(r1-panic) //~ r4-suppression
+    x.unwrap() //~ r1-panic
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    // lint:allow(no-such-rule): reason given but rule is bogus //~ r4-suppression
+    x.unwrap() //~ r1-panic
+}
+
+pub fn empty_reason(x: Option<u32>) -> u32 {
+    // lint:allow(r1-panic):
+    //~^ r4-suppression
+    x.unwrap() //~ r1-panic
+}

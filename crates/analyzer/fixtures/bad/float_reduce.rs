@@ -1,0 +1,19 @@
+// analyzer-fixture: crates/kernels/src/float_reduce.rs
+//! Known-bad: unordered float reduction inside a parallel closure.
+//! Never compiled — input for the analyzer's own test suite.
+
+pub fn partition_norms(pool: &Pool, xs: &[f32]) -> Vec<f32> {
+    pool.map_partitions(|chunk| {
+        chunk.iter().map(|x| x * x).sum::<f32>() //~ r2-float-reduce
+    })
+}
+
+pub fn spawned_total(scope: &Scope, xs: &[f64]) {
+    scope.spawn(move || {
+        let _t = xs.iter().sum::<f64>(); //~ r2-float-reduce
+    });
+}
+
+pub fn sequential_is_fine(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>()
+}

@@ -1,0 +1,29 @@
+// analyzer-fixture: crates/core/src/hash_iter.rs
+//! Known-bad: hash-ordered iteration in scheduler code.
+//! Never compiled — input for the analyzer's own test suite.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Sched {
+    convs: HashMap<u64, u32>,
+    live: HashSet<u64>,
+}
+
+impl Sched {
+    pub fn pick_victim(&self) -> Option<u64> {
+        for (&cid, &score) in self.convs.iter() { //~ r2-hash-iter
+            if score == 0 {
+                return Some(cid);
+            }
+        }
+        None
+    }
+
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        for cid in &self.live { //~ r2-hash-iter
+            n += usize::from(*cid != 0);
+        }
+        n + self.convs.keys().len() //~ r2-hash-iter
+    }
+}

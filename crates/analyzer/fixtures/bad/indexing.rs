@@ -1,0 +1,14 @@
+// analyzer-fixture: crates/kvcache/src/store.rs
+//! Known-bad: unchecked indexing on the cache hot-path files.
+//! Never compiled — input for the analyzer's own test suite.
+
+pub fn fetch(hist: &[u32], chunks: &mut Vec<Vec<u32>>, i: usize) -> u32 {
+    let x = hist[i]; //~ r1-index
+    chunks[0].push(x); //~ r1-index
+    let slice = &hist[1..3]; //~ r1-index
+    slice.len() as u32
+}
+
+pub fn checked_is_fine(hist: &[u32], i: usize) -> Option<u32> {
+    hist.get(i).copied()
+}

@@ -1,0 +1,15 @@
+// analyzer-fixture: crates/core/src/lock_cycle.rs
+//! Known-bad: two functions acquire the same locks in opposite orders.
+//! Never compiled — input for the analyzer's own test suite.
+
+pub fn transfer(a: &Account, b: &Account) {
+    let ga = a.inner.lock();
+    let gb = b.inner.lock();
+    drop((ga, gb));
+}
+
+pub fn audit(a: &Account, b: &Account) {
+    let gb = b.inner.lock();
+    let ga = a.inner.lock(); //~ r3-lock-order
+    drop((ga, gb));
+}

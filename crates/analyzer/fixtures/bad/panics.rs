@@ -1,0 +1,20 @@
+// analyzer-fixture: crates/core/src/panics.rs
+//! Known-bad: every panic family member on a hot path.
+//! Tilde-marker comments flag the expected violation lines.
+//! Never compiled — input for the analyzer's own test suite.
+
+pub fn hot_path(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); //~ r1-panic
+    let b = y.expect("present"); //~ r1-panic
+    if a > b {
+        panic!("a > b"); //~ r1-panic
+    }
+    if a == b {
+        unreachable!(); //~ r1-panic
+    }
+    todo!() //~ r1-panic
+}
+
+pub fn also_counts() -> u32 {
+    unimplemented!() //~ r1-panic
+}

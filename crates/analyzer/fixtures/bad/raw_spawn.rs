@@ -1,0 +1,14 @@
+// analyzer-fixture: crates/sim/src/raw_spawn.rs
+//! Known-bad: raw thread spawns outside the sanctioned layers.
+//! Never compiled — input for the analyzer's own test suite.
+
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| { //~ r3-raw-spawn
+        let _ = 1 + 1;
+    });
+    std::thread::spawn(compute); //~ r3-raw-spawn
+}
+
+fn compute() {}

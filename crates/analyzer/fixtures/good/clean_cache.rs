@@ -1,0 +1,35 @@
+// analyzer-fixture: crates/kvcache/src/clean_cache.rs
+//! A known-good file: ordered structures, total walks, typed errors.
+//! Never compiled — input for the analyzer's own test suite.
+
+use std::collections::BTreeMap;
+
+pub struct Cache {
+    convs: BTreeMap<u64, Vec<u32>>,
+}
+
+pub enum CacheError {
+    Unknown(u64),
+}
+
+impl Cache {
+    /// BTreeMap iteration is ordered by construction: fine under r2.
+    pub fn resident(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (&cid, chunks) in &self.convs {
+            if !chunks.is_empty() {
+                out.push(cid);
+            }
+        }
+        out
+    }
+
+    /// Total walk with a typed error: fine under r1.
+    pub fn first_chunk(&self, conv: u64) -> Result<u32, CacheError> {
+        self.convs
+            .get(&conv)
+            .and_then(|c| c.get(0))
+            .copied()
+            .ok_or(CacheError::Unknown(conv))
+    }
+}

@@ -1,0 +1,21 @@
+// analyzer-fixture: crates/core/src/suppressed.rs
+//! A known-good file: every violation carries a reasoned suppression.
+//! Never compiled — input for the analyzer's own test suite.
+
+pub fn documented_invariant(x: Option<u32>) -> u32 {
+    // lint:allow(r1-panic): construction-time invariant documented on
+    // the caller; a None here is a configuration bug.
+    x.expect("validated at construction")
+}
+
+pub fn trailing_form(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(r1-panic): checked by caller, doc'd contract
+}
+
+pub fn multi_line_reason(x: Option<u32>) -> u32 {
+    x
+        // lint:allow(r1-panic): the reason may spill across several
+        // comment lines; the suppression still binds to the next code
+        // line below.
+        .unwrap()
+}

@@ -1,0 +1,33 @@
+// analyzer-fixture: crates/core/src/test_code.rs
+//! A known-good file: panics and hash iteration confined to test code.
+//! Never compiled — input for the analyzer's own test suite.
+
+pub fn shipping_code(x: Option<u32>) -> Option<u32> {
+    x.map(|v| v + 1)
+}
+
+/// Doc examples are comments to the lexer; calls inside them are inert:
+///
+/// ```
+/// let v = maybe().unwrap();
+/// pool[0].touch();
+/// ```
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in m.iter() {
+            assert!(k <= v);
+        }
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        if false {
+            panic!("unreachable in practice");
+        }
+    }
+}

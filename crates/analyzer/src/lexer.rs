@@ -1,0 +1,601 @@
+//! A hand-rolled Rust lexer: the analyzer's only view of source code.
+//!
+//! The workspace vendors every external dependency as a shim, so the
+//! analyzer cannot lean on `syn`/`proc-macro2`; instead it tokenizes
+//! Rust source directly. The lexer is deliberately *lossless where it
+//! matters for linting*: comments are kept as tokens (the suppression
+//! grammar lives in them, and doc-test code inside `///` examples must
+//! *not* trip rules), strings and char literals are opaque single tokens
+//! (an `"unwrap()"` inside a string is not a call), and every token
+//! carries its 1-based source line for reporting.
+//!
+//! It is *not* a parser: rules downstream work on the token stream with
+//! small amounts of context (brace depth, attribute lookahead). That is
+//! exactly the level of fidelity the project rules need, and it keeps
+//! the tool dependency-free and fast.
+
+use std::fmt;
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `self`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1e-5`, `0xFF_u8`).
+    Number,
+    /// String literal: plain, raw (`r#"..."#`), byte, or byte-raw.
+    Str,
+    /// Character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// `//`-style comment (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* ... */` comment, with nesting (includes `/** ... */`).
+    BlockComment,
+    /// Punctuation or operator, maximal-munch (`::`, `..=`, `<<=`, `+`).
+    Punct,
+}
+
+/// One token: its kind, verbatim source text, and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Failure to tokenize a file (unterminated string/comment/char).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line where the offending token started.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the list in order.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "..", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one char, tracking the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    /// True if the upcoming chars equal `s`.
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars()
+            .enumerate()
+            .all(|(k, want)| self.peek(k) == Some(want))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src` into a flat stream (comments included).
+///
+/// # Errors
+///
+/// Returns [`LexError`] on an unterminated string, char literal, or
+/// block comment; the analyzer surfaces this as a per-file failure.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start_line = cur.line;
+        if cur.starts_with("//") {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            out.push(Tok {
+                kind: TokKind::LineComment,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        if cur.starts_with("/*") {
+            out.push(lex_block_comment(&mut cur)?);
+            continue;
+        }
+        if is_ident_start(c) {
+            out.push(lex_ident_or_prefixed_literal(&mut cur)?);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut cur));
+            continue;
+        }
+        if c == '"' {
+            out.push(lex_string(&mut cur, String::new(), 0)?);
+            continue;
+        }
+        if c == '\'' {
+            out.push(lex_char_or_lifetime(&mut cur)?);
+            continue;
+        }
+        // Punctuation, maximal munch.
+        let mut matched = None;
+        for op in MULTI_PUNCT {
+            if cur.starts_with(op) {
+                matched = Some(*op);
+                break;
+            }
+        }
+        if let Some(op) = matched {
+            for _ in 0..op.chars().count() {
+                cur.bump();
+            }
+            out.push(Tok {
+                kind: TokKind::Punct,
+                text: op.to_string(),
+                line: start_line,
+            });
+        } else {
+            cur.bump();
+            out.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line: start_line,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Lexes a `/* ... */` comment with nesting.
+fn lex_block_comment(cur: &mut Cursor) -> Result<Tok, LexError> {
+    let start_line = cur.line;
+    let mut text = String::new();
+    let mut depth = 0usize;
+    loop {
+        if cur.starts_with("/*") {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if cur.starts_with("*/") {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            match cur.bump() {
+                Some(c) => text.push(c),
+                None => {
+                    return Err(LexError {
+                        line: start_line,
+                        msg: "unterminated block comment".to_string(),
+                    })
+                }
+            }
+        }
+    }
+    Ok(Tok {
+        kind: TokKind::BlockComment,
+        text,
+        line: start_line,
+    })
+}
+
+/// Lexes an identifier, or a string/char literal introduced by the
+/// `r`/`b`/`br` prefixes (`r"..."`, `r#"..."#`, `b"..."`, `b'x'`).
+fn lex_ident_or_prefixed_literal(cur: &mut Cursor) -> Result<Tok, LexError> {
+    let start_line = cur.line;
+    let mut ident = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            ident.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let raw_capable = ident == "r" || ident == "br";
+    let bytes_capable = ident == "b" || ident == "br";
+    // Raw string: prefix + zero or more '#' + '"'.
+    if raw_capable {
+        let mut hashes = 0usize;
+        while cur.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if cur.peek(hashes) == Some('"') {
+            for _ in 0..hashes {
+                ident.push('#');
+                cur.bump();
+            }
+            return lex_string(cur, ident, hashes);
+        }
+    }
+    if bytes_capable && cur.peek(0) == Some('"') {
+        return lex_string(cur, ident, 0);
+    }
+    if ident == "b" && cur.peek(0) == Some('\'') {
+        let mut t = lex_char_or_lifetime(cur)?;
+        t.text.insert(0, 'b');
+        t.line = start_line;
+        return Ok(t);
+    }
+    Ok(Tok {
+        kind: TokKind::Ident,
+        text: ident,
+        line: start_line,
+    })
+}
+
+/// Lexes the quoted part of a string; `prefix` holds any `r#`/`b` intro
+/// already consumed, `hashes` the number of `#` a raw string closes with.
+fn lex_string(cur: &mut Cursor, prefix: String, hashes: usize) -> Result<Tok, LexError> {
+    let start_line = cur.line;
+    let raw = prefix.contains('r');
+    let mut text = prefix;
+    text.push('"');
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek(0) {
+            None => {
+                return Err(LexError {
+                    line: start_line,
+                    msg: "unterminated string literal".to_string(),
+                })
+            }
+            Some('\\') if !raw => {
+                text.push('\\');
+                cur.bump();
+                match cur.bump() {
+                    Some(e) => text.push(e),
+                    None => {
+                        return Err(LexError {
+                            line: start_line,
+                            msg: "unterminated escape in string".to_string(),
+                        })
+                    }
+                }
+            }
+            Some('"') => {
+                // A raw string only closes when followed by its hashes.
+                let closes = !raw || (1..=hashes).all(|k| cur.peek(k) == Some('#'));
+                text.push('"');
+                cur.bump();
+                if closes {
+                    for _ in 0..hashes {
+                        text.push('#');
+                        cur.bump();
+                    }
+                    break;
+                }
+            }
+            Some(c) => {
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    Ok(Tok {
+        kind: TokKind::Str,
+        text,
+        line: start_line,
+    })
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) from `'\n'` (escaped
+/// char).
+fn lex_char_or_lifetime(cur: &mut Cursor) -> Result<Tok, LexError> {
+    let start_line = cur.line;
+    let mut text = String::from('\'');
+    cur.bump(); // the quote
+    match cur.peek(0) {
+        None => Err(LexError {
+            line: start_line,
+            msg: "dangling single quote".to_string(),
+        }),
+        Some('\\') => {
+            // Escaped char literal: consume escape then closing quote.
+            text.push('\\');
+            cur.bump();
+            match cur.bump() {
+                Some('u') => {
+                    // `\u{..}` — consume the braced hex payload.
+                    text.push('u');
+                    if cur.peek(0) == Some('{') {
+                        loop {
+                            match cur.bump() {
+                                Some('}') => {
+                                    text.push('}');
+                                    break;
+                                }
+                                Some(c) => text.push(c),
+                                None => {
+                                    return Err(LexError {
+                                        line: start_line,
+                                        msg: "unterminated \\u escape".to_string(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                }
+                Some('x') => {
+                    // `\xNN` — two hex digits.
+                    text.push('x');
+                    for _ in 0..2 {
+                        match cur.bump() {
+                            Some(c) => text.push(c),
+                            None => {
+                                return Err(LexError {
+                                    line: start_line,
+                                    msg: "unterminated \\x escape".to_string(),
+                                })
+                            }
+                        }
+                    }
+                }
+                Some(e) => text.push(e),
+                None => {
+                    return Err(LexError {
+                        line: start_line,
+                        msg: "unterminated char escape".to_string(),
+                    })
+                }
+            }
+            match cur.bump() {
+                Some('\'') => text.push('\''),
+                _ => {
+                    return Err(LexError {
+                        line: start_line,
+                        msg: "unterminated char literal".to_string(),
+                    })
+                }
+            }
+            Ok(Tok {
+                kind: TokKind::Char,
+                text,
+                line: start_line,
+            })
+        }
+        Some(c) if is_ident_continue(c) => {
+            if cur.peek(1) == Some('\'') {
+                // 'x' — a one-char literal.
+                text.push(c);
+                cur.bump();
+                text.push('\'');
+                cur.bump();
+                Ok(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line: start_line,
+                })
+            } else {
+                // 'ident — a lifetime.
+                while let Some(c) = cur.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: start_line,
+                })
+            }
+        }
+        Some(c) => {
+            // A non-ident char like '"' or '('.
+            text.push(c);
+            cur.bump();
+            match cur.bump() {
+                Some('\'') => text.push('\''),
+                _ => {
+                    return Err(LexError {
+                        line: start_line,
+                        msg: "unterminated char literal".to_string(),
+                    })
+                }
+            }
+            Ok(Tok {
+                kind: TokKind::Char,
+                text,
+                line: start_line,
+            })
+        }
+    }
+}
+
+/// Lexes a numeric literal: decimal/hex/binary/octal, underscores, type
+/// suffixes, floats with exponents (`1.5e-3`). A `.` is only part of the
+/// number when followed by a digit, so `0..5` and `1.min(2)` stay three
+/// tokens.
+fn lex_number(cur: &mut Cursor) -> Tok {
+    let start_line = cur.line;
+    let mut text = String::new();
+    let mut prev = '\0';
+    while let Some(c) = cur.peek(0) {
+        let take = if is_ident_continue(c) {
+            true
+        } else if c == '.' {
+            !text.contains('.') && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+        } else if c == '+' || c == '-' {
+            (prev == 'e' || prev == 'E') && !text.starts_with("0x") && !text.starts_with("0b")
+        } else {
+            false
+        };
+        if !take {
+            break;
+        }
+        text.push(c);
+        prev = c;
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Number,
+        text,
+        line: start_line,
+    }
+}
+
+/// Renders tokens back to text: space-separated, newline after line
+/// comments (which would otherwise swallow the rest of the stream).
+/// `lex(render(toks))` reproduces the same `(kind, text)` sequence —
+/// the property the round-trip test exercises.
+#[must_use]
+pub fn render(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    for t in toks {
+        out.push_str(&t.text);
+        if t.kind == TokKind::LineComment {
+            out.push('\n');
+        } else {
+            out.push(' ');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = kinds("fn f(x: u32) -> u32 { x.unwrap() }");
+        assert!(toks.contains(&(TokKind::Ident, "unwrap".to_string())));
+        assert!(toks.contains(&(TokKind::Punct, "->".to_string())));
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds("// unwrap()\nlet s = \"panic!()\"; /* todo!() */");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r####"r#"a "quoted" b"# b"bytes" br##"x"##"####);
+        assert_eq!(toks.len(), 3);
+        assert!(toks.iter().all(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' 'static '\\n' '_ b'z'");
+        let want = [
+            (TokKind::Char, "'a'"),
+            (TokKind::Lifetime, "'static"),
+            (TokKind::Char, "'\\n'"),
+            (TokKind::Lifetime, "'_"),
+            (TokKind::Char, "b'z'"),
+        ];
+        for (got, (k, t)) in toks.iter().zip(want) {
+            assert_eq!(got, &(k, t.to_string()));
+        }
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            kinds("0..5"),
+            vec![
+                (TokKind::Number, "0".to_string()),
+                (TokKind::Punct, "..".to_string()),
+                (TokKind::Number, "5".to_string()),
+            ]
+        );
+        assert_eq!(kinds("1.5e-3")[0], (TokKind::Number, "1.5e-3".to_string()));
+        assert_eq!(
+            kinds("0x0000_0400")[0],
+            (TokKind::Number, "0x0000_0400".to_string())
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_inputs_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+        assert!(lex("'").is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! CLI for `pensieve-analyzer`.
+//!
+//! ```text
+//! cargo run -p pensieve-analyzer -- [--deny] [--json <path|->] [--root <dir>]
+//! ```
+//!
+//! Walks every `.rs` file under `--root` (default: the workspace root,
+//! i.e. the current directory), applies the rules in
+//! [`pensieve_analyzer::rules`], and prints a text report. `--deny`
+//! exits non-zero when any violation survives suppression — this is the
+//! mode CI runs. `--json` additionally writes the machine-readable
+//! report to a file, or to stdout when the argument is `-` (the text
+//! report then moves to stderr so the JSON pipes cleanly).
+//!
+//! The walker skips `target/`, `.git/`, `results/`, and the analyzer's
+//! own `fixtures/` corpus (the fixtures are deliberately violating
+//! files; they are checked by their own test suite and by pointing
+//! `--root` at them explicitly).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pensieve_analyzer::{render_text, to_json, Analyzer};
+
+/// Directory names never descended into during the workspace walk.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "fixtures", "node_modules"];
+
+struct Cli {
+    deny: bool,
+    json: Option<String>,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        deny: false,
+        json: None,
+        root: PathBuf::from("."),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => cli.deny = true,
+            "--json" => {
+                cli.json = Some(args.next().ok_or("--json requires a path (or `-`)")?);
+            }
+            "--root" => {
+                cli.root = PathBuf::from(args.next().ok_or("--root requires a directory")?);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: pensieve-analyzer [--deny] [--json <path|->] [--root <dir>]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Collects every `.rs` file under `root`, depth-first, in sorted order
+/// so reports are stable across filesystems.
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(root)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    if let Err(e) = collect_rs_files(&cli.root, &mut files) {
+        eprintln!("pensieve-analyzer: cannot walk {}: {e}", cli.root.display());
+        return ExitCode::from(2);
+    }
+
+    let mut analyzer = Analyzer::new();
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pensieve-analyzer: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        // Report paths relative to the walk root's prefix, normalized.
+        let rel = path
+            .strip_prefix(&cli.root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        analyzer.analyze_file(&rel, &src);
+    }
+
+    let report = analyzer.finish();
+    // With `--json -` stdout belongs to the JSON document alone (so it
+    // can be piped); the human-readable report moves to stderr.
+    if cli.json.as_deref() == Some("-") {
+        eprint!("{}", render_text(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+    if let Some(dest) = &cli.json {
+        let doc = to_json(&report);
+        if dest == "-" {
+            println!("{doc}");
+        } else if let Err(e) = std::fs::write(dest, doc) {
+            eprintln!("pensieve-analyzer: cannot write {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if cli.deny && !report.violations.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

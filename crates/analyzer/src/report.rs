@@ -1,0 +1,80 @@
+//! Report rendering: human-readable text and machine-readable JSON.
+
+use serde_json::{Map, Value};
+
+use crate::rules::Report;
+
+/// Renders the report for terminals: one `path:line: [rule] msg` per
+/// violation plus a summary line.
+#[must_use]
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!("{}:{}: [{}] {}\n", v.path, v.line, v.rule, v.msg));
+    }
+    out.push_str(&format!(
+        "pensieve-analyzer: {} file(s) scanned, {} violation(s), {} suppressed\n",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed
+    ));
+    out
+}
+
+/// Renders the report as a JSON document:
+///
+/// ```json
+/// {
+///   "files_scanned": 42,
+///   "suppressed": 3,
+///   "violations": [ {"rule": "...", "path": "...", "line": 7, "msg": "..."} ]
+/// }
+/// ```
+#[must_use]
+pub fn to_json(report: &Report) -> String {
+    let mut root = Map::new();
+    root.insert(
+        "files_scanned".to_string(),
+        Value::Number(report.files_scanned as f64),
+    );
+    root.insert(
+        "suppressed".to_string(),
+        Value::Number(report.suppressed as f64),
+    );
+    let violations: Vec<Value> = report
+        .violations
+        .iter()
+        .map(|v| {
+            let mut m = Map::new();
+            m.insert("rule".to_string(), Value::String(v.rule.to_string()));
+            m.insert("path".to_string(), Value::String(v.path.clone()));
+            m.insert("line".to_string(), Value::Number(f64::from(v.line)));
+            m.insert("msg".to_string(), Value::String(v.msg.clone()));
+            Value::Object(m)
+        })
+        .collect();
+    root.insert("violations".to_string(), Value::Array(violations));
+    // The shim's serializer is infallible for a hand-built `Value` tree.
+    serde_json::to_string_pretty(&Value::Object(root)).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Analyzer;
+
+    #[test]
+    fn json_and_text_cover_violations() {
+        let mut a = Analyzer::new();
+        a.analyze_file(
+            "crates/core/src/engine.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        let report = a.finish();
+        let text = render_text(&report);
+        assert!(text.contains("crates/core/src/engine.rs:1: [r1-panic]"));
+        let json = to_json(&report);
+        assert!(json.contains("\"rule\": \"r1-panic\""));
+        assert!(json.contains("\"files_scanned\": 1"));
+    }
+}

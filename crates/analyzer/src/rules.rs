@@ -1,0 +1,927 @@
+//! The project-invariant rules and the engine that applies them.
+//!
+//! Each rule encodes a convention the compiler cannot check but the
+//! system's correctness arguments rely on (see DESIGN.md §8):
+//!
+//! - **r1-panic** — no `unwrap`/`expect`/`panic!`/`unreachable!`/
+//!   `todo!`/`unimplemented!` in non-test code of the hot-path crates
+//!   (`core`, `kvcache`, `kernels`, `sim`). Fallible paths must use the
+//!   typed `PensieveError` hierarchy; deliberate documented panics carry
+//!   a reasoned suppression.
+//! - **r1-index** — no unchecked `x[i]` indexing/slicing in the cache
+//!   hot-path files (`kvcache/src/tiered.rs`, `kvcache/src/store.rs`):
+//!   the swap-in/eviction path must be total.
+//! - **r2-hash-iter** — no iteration over `HashMap`/`HashSet` in
+//!   scheduler/cache/kernel code: eviction victim selection and
+//!   partition merges are bit-identity-tested, so walk order must be
+//!   deterministic (`BTreeMap` or explicitly sorted snapshots).
+//! - **r2-float-reduce** — no `.sum::<f32>()`-style float reductions
+//!   inside parallel closures (`map_partitions`, `spawn`): float
+//!   addition does not commute, so cross-thread reduction order must be
+//!   fixed by sequential merges.
+//! - **r3-raw-spawn** — no raw `thread::spawn` outside the sanctioned
+//!   concurrency layers (`shims/crossbeam`, `core::workers`).
+//! - **r3-lock-order** — the static graph of nested `.lock()`
+//!   acquisitions must be acyclic across the workspace.
+//! - **r4-suppression** — `// lint:allow(<rule>): <reason>` is the only
+//!   suppression form; a missing or empty reason, or an unknown rule
+//!   id, is itself a violation.
+//!
+//! The engine is token-stream based (see [`crate::lexer`]): it tracks
+//! just enough context — `#[cfg(test)]` regions, brace depth, attribute
+//! boundaries — to apply the rules without a full parse.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Every rule id the suppression grammar accepts.
+pub const RULE_IDS: &[&str] = &[
+    "r1-panic",
+    "r1-index",
+    "r2-hash-iter",
+    "r2-float-reduce",
+    "r3-raw-spawn",
+    "r3-lock-order",
+    "r4-suppression",
+    "lex-error",
+];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (one of [`RULE_IDS`]).
+    pub rule: &'static str,
+    /// Path the file was analyzed under (workspace-relative).
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// A nested lock acquisition observed while one lock is held.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    held: String,
+    acquired: String,
+    path: String,
+    line: u32,
+}
+
+/// Final analysis results for a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations surviving suppression, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Files analyzed.
+    pub files_scanned: usize,
+    /// Violations silenced by a reasoned suppression.
+    pub suppressed: usize,
+}
+
+/// Accumulates per-file findings and the cross-file lock graph.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    violations: Vec<Violation>,
+    lock_edges: Vec<LockEdge>,
+    files_scanned: usize,
+    suppressed: usize,
+}
+
+/// Paths are matched workspace-relative with forward slashes.
+fn norm(path: &str) -> String {
+    path.replace('\\', "/").trim_start_matches("./").to_string()
+}
+
+/// Crates whose non-test code must be panic-free (r1-panic).
+fn in_panic_scope(p: &str) -> bool {
+    [
+        "crates/core/src/",
+        "crates/kvcache/src/",
+        "crates/kernels/src/",
+        "crates/sim/src/",
+    ]
+    .iter()
+    .any(|pre| p.starts_with(pre))
+}
+
+/// Cache hot-path files where unchecked indexing is banned (r1-index).
+fn in_index_scope(p: &str) -> bool {
+    p == "crates/kvcache/src/tiered.rs" || p == "crates/kvcache/src/store.rs"
+}
+
+/// Scheduler/cache/kernel code where hash-order iteration is banned.
+fn in_hash_scope(p: &str) -> bool {
+    [
+        "crates/core/src/",
+        "crates/kvcache/src/",
+        "crates/kernels/src/",
+    ]
+    .iter()
+    .any(|pre| p.starts_with(pre))
+}
+
+/// The sanctioned spawn sites: the vendored concurrency shim and the
+/// tensor-parallel worker fleet.
+fn spawn_allowed(p: &str) -> bool {
+    p.starts_with("shims/crossbeam/") || p == "crates/core/src/workers.rs"
+}
+
+/// Whole-file test-ish locations: integration tests, benches, examples.
+fn is_test_path(p: &str) -> bool {
+    p.starts_with("tests/")
+        || p.starts_with("examples/")
+        || p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+}
+
+/// A parsed `lint:allow` suppression.
+#[derive(Debug)]
+struct Suppression {
+    rule: String,
+    /// Line of the suppression comment itself.
+    line: u32,
+    /// Line of the first code token after the comment (the statement the
+    /// suppression annotates); equals `line` for trailing comments.
+    target_line: u32,
+    file_level: bool,
+}
+
+impl Analyzer {
+    /// Creates an empty analyzer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyzes one file. `path` determines rule scoping; fixture files
+    /// may override it with a `// analyzer-fixture: <path>` header so
+    /// the corpus exercises scoped rules from outside the scoped trees.
+    pub fn analyze_file(&mut self, path: &str, src: &str) {
+        self.files_scanned += 1;
+        let real_path = norm(path);
+        let toks = match lex(src) {
+            Ok(t) => t,
+            Err(e) => {
+                self.violations.push(Violation {
+                    rule: "lex-error",
+                    path: real_path,
+                    line: e.line,
+                    msg: format!("cannot tokenize file: {}", e.msg),
+                });
+                return;
+            }
+        };
+        // Virtual path header, for the fixture corpus.
+        let scope_path = toks
+            .first()
+            .filter(|t| t.kind == TokKind::LineComment)
+            .and_then(|t| t.text.strip_prefix("// analyzer-fixture:"))
+            .map_or_else(|| real_path.clone(), |v| norm(v.trim()));
+
+        let (sups, mut sup_violations) = collect_suppressions(&toks);
+        let test_mask = compute_test_mask(&toks, &scope_path);
+
+        let mut found = Vec::new();
+        if in_panic_scope(&scope_path) {
+            rule_panic(&toks, &test_mask, &mut found);
+        }
+        if in_index_scope(&scope_path) {
+            rule_index(&toks, &test_mask, &mut found);
+        }
+        if in_hash_scope(&scope_path) {
+            rule_hash_iter(&toks, &test_mask, &mut found);
+            rule_float_reduce(&toks, &test_mask, &mut found);
+        }
+        if !spawn_allowed(&scope_path) {
+            rule_raw_spawn(&toks, &test_mask, &mut found);
+        }
+        self.collect_lock_edges(&toks, &real_path);
+
+        // Apply suppressions: file-level allows silence the whole file;
+        // a line-level allow covers its own line and the next line (so
+        // the comment can trail the code or sit on its own line above).
+        let file_allows: BTreeSet<&str> = sups
+            .iter()
+            .filter(|s| s.file_level)
+            .map(|s| s.rule.as_str())
+            .collect();
+        let mut line_allows: BTreeMap<(u32, &str), ()> = BTreeMap::new();
+        for s in sups.iter().filter(|s| !s.file_level) {
+            line_allows.insert((s.line, s.rule.as_str()), ());
+            line_allows.insert((s.target_line, s.rule.as_str()), ());
+        }
+        for v in found {
+            let line_hit = line_allows.contains_key(&(v.line, v.rule));
+            if file_allows.contains(v.rule) || line_hit {
+                self.suppressed += 1;
+            } else {
+                self.violations.push(Violation {
+                    path: real_path.clone(),
+                    ..v
+                });
+            }
+        }
+        for v in &mut sup_violations {
+            v.path.clone_from(&real_path);
+        }
+        self.violations.append(&mut sup_violations);
+    }
+
+    /// Finishes the run: detects lock-order cycles across every analyzed
+    /// file and returns the sorted report.
+    #[must_use]
+    pub fn finish(mut self) -> Report {
+        self.detect_lock_cycles();
+        self.violations
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        Report {
+            violations: self.violations,
+            files_scanned: self.files_scanned,
+            suppressed: self.suppressed,
+        }
+    }
+
+    /// Walks function bodies recording which locks are held when another
+    /// `.lock()` is acquired. Heuristic: a guard bound with `let` is
+    /// held until its enclosing block closes; a temporary guard lives
+    /// for its statement only. Receivers are identified by their token
+    /// text (`self.inner.state`), which is exactly the granularity the
+    /// lock-order convention is written in.
+    fn collect_lock_edges(&mut self, toks: &[Tok], path: &str) {
+        let code: Vec<(usize, &Tok)> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment)
+            .collect();
+        let mut depth: i32 = 0;
+        // (receiver, depth at binding); cleared when depth drops below.
+        let mut held: Vec<(String, i32)> = Vec::new();
+        for w in 0..code.len() {
+            let t = code[w].1;
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "{") => depth += 1,
+                (TokKind::Punct, "}") => {
+                    depth -= 1;
+                    held.retain(|(_, d)| *d <= depth);
+                }
+                // A new top-level item resets the held set (closures keep
+                // it — they run on the same thread with guards live).
+                (TokKind::Ident, "fn") if depth == 0 => held.clear(),
+                (TokKind::Ident, "lock") => {
+                    let is_call = w >= 1
+                        && code[w - 1].1.text == "."
+                        && code.get(w + 1).is_some_and(|(_, n)| n.text == "(");
+                    if !is_call {
+                        continue;
+                    }
+                    // Receiver: the longest ident/`.` chain before `.lock`.
+                    let mut parts: Vec<&str> = Vec::new();
+                    let mut j = w - 1; // points at the `.`
+                    while j >= 1 {
+                        let prev = code[j - 1].1;
+                        match prev.kind {
+                            TokKind::Ident => parts.push(&prev.text),
+                            TokKind::Punct if prev.text == "." => {}
+                            _ => break,
+                        }
+                        j -= 1;
+                    }
+                    parts.reverse();
+                    if parts.is_empty() {
+                        continue;
+                    }
+                    let recv = parts.join(".");
+                    for (h, _) in &held {
+                        if *h != recv {
+                            self.lock_edges.push(LockEdge {
+                                held: h.clone(),
+                                acquired: recv.clone(),
+                                path: path.to_string(),
+                                line: t.line,
+                            });
+                        }
+                    }
+                    // Held only if bound: `let [mut] g = recv.lock()...`.
+                    // The preceding-token check rejects `==` comparisons.
+                    let bound = j >= 2
+                        && code[j - 1].1.text == "="
+                        && code[j - 2].1.kind == TokKind::Ident
+                        && code[j - 2].1.text != "=";
+                    if bound {
+                        held.push((recv, depth));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// DFS over the acquisition graph; every distinct cycle becomes one
+    /// violation at the edge that closes it.
+    fn detect_lock_cycles(&mut self) {
+        let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+        for e in &self.lock_edges {
+            adj.entry(&e.held).or_default().push(e);
+        }
+        let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut cycle_violations = Vec::new();
+        for start in adj.keys().copied().collect::<Vec<_>>() {
+            // Path-stack DFS from each node, small graphs only.
+            let mut stack: Vec<(&str, Vec<String>)> = vec![(start, vec![start.to_string()])];
+            while let Some((node, path_nodes)) = stack.pop() {
+                for e in adj.get(node).map_or(&[][..], |v| v) {
+                    if e.acquired == start {
+                        let mut key = path_nodes.clone();
+                        key.sort();
+                        if reported.insert(key) {
+                            cycle_violations.push(Violation {
+                                rule: "r3-lock-order",
+                                path: e.path.clone(),
+                                line: e.line,
+                                msg: format!(
+                                    "lock-order cycle: {} -> {} closes a cycle through [{}]",
+                                    e.held,
+                                    e.acquired,
+                                    path_nodes.join(" -> ")
+                                ),
+                            });
+                        }
+                    } else if !path_nodes.contains(&e.acquired) && path_nodes.len() < 16 {
+                        let mut p = path_nodes.clone();
+                        p.push(e.acquired.clone());
+                        stack.push((&e.acquired, p));
+                    }
+                }
+            }
+        }
+        self.violations.append(&mut cycle_violations);
+    }
+}
+
+/// Parses every `lint:allow(...)` comment. Returns well-formed
+/// suppressions plus r4 violations for malformed ones (bare allows,
+/// unknown rule ids).
+fn collect_suppressions(toks: &[Tok]) -> (Vec<Suppression>, Vec<Violation>) {
+    let mut sups = Vec::new();
+    let mut violations = Vec::new();
+    for (ti, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment {
+            continue;
+        }
+        // The statement a suppression annotates is the next code token,
+        // possibly several comment lines below (multi-line reasons).
+        let target_line = toks[ti + 1..]
+            .iter()
+            .find(|n| n.kind != TokKind::LineComment && n.kind != TokKind::BlockComment)
+            .map_or(t.line, |n| n.line);
+        // Strip the comment opener; doc comments (`///`, `//!`, `/**`,
+        // `/*!`) are prose, never suppressions — a doc sentence that
+        // *mentions* the grammar must not activate it.
+        let body = if let Some(rest) = t.text.strip_prefix("//") {
+            if rest.starts_with('/') || rest.starts_with('!') {
+                continue;
+            }
+            rest
+        } else if let Some(rest) = t.text.strip_prefix("/*") {
+            if rest.starts_with('*') || rest.starts_with('!') {
+                continue;
+            }
+            rest.trim_end_matches("*/")
+        } else {
+            continue;
+        };
+        // The marker must lead the comment (modulo whitespace): the
+        // suppression is the comment's whole job, not an aside.
+        let body = body.trim_start();
+        let (after_marker, file_level) = if let Some(r) = body.strip_prefix("lint:allow-file") {
+            (r, true)
+        } else if let Some(r) = body.strip_prefix("lint:allow") {
+            (r, false)
+        } else {
+            continue;
+        };
+        let Some(after) = after_marker.strip_prefix('(') else {
+            violations.push(Violation {
+                rule: "r4-suppression",
+                path: String::new(),
+                line: t.line,
+                msg: "malformed suppression: expected `(` after `lint:allow`".to_string(),
+            });
+            continue;
+        };
+        let Some(close) = after.find(')') else {
+            violations.push(Violation {
+                rule: "r4-suppression",
+                path: String::new(),
+                line: t.line,
+                msg: "malformed suppression: missing `)` after rule id".to_string(),
+            });
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        if !RULE_IDS.contains(&rule.as_str()) {
+            violations.push(Violation {
+                rule: "r4-suppression",
+                path: String::new(),
+                line: t.line,
+                msg: format!("suppression names unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        let rest = after[close + 1..].trim_start();
+        let reason = rest.strip_prefix(':').map(str::trim);
+        match reason {
+            Some(r) if !r.is_empty() => sups.push(Suppression {
+                rule,
+                line: t.line,
+                target_line,
+                file_level,
+            }),
+            _ => violations.push(Violation {
+                rule: "r4-suppression",
+                path: String::new(),
+                line: t.line,
+                msg: format!(
+                    "bare suppression of `{rule}`: a written reason is mandatory \
+                     (`// lint:allow({rule}): <why this is sound>`)"
+                ),
+            }),
+        }
+    }
+    (sups, violations)
+}
+
+/// Marks every token inside test code: `#[cfg(test)]` / `#[test]`
+/// items, and whole files under test-ish paths.
+fn compute_test_mask(toks: &[Tok], scope_path: &str) -> Vec<bool> {
+    let mut mask = vec![is_test_path(scope_path); toks.len()];
+    if mask.first().copied().unwrap_or(false) {
+        return mask;
+    }
+    let n = toks.len();
+    let mut i = 0;
+    while i < n {
+        let is_attr_start = toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[");
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens between the matching brackets.
+        let mut j = i + 2;
+        let mut brackets = 1;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < n && brackets > 0 {
+            match toks[j].text.as_str() {
+                "[" => brackets += 1,
+                "]" => brackets -= 1,
+                "test" if toks[j].kind == TokKind::Ident => has_test = true,
+                "not" if toks[j].kind == TokKind::Ident => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j;
+            continue;
+        }
+        // Mark from the attribute through the end of the annotated item:
+        // skip any further attributes, then either a `;`-terminated item
+        // or a braced body.
+        let start = i;
+        let mut k = j;
+        loop {
+            // Skip subsequent attributes wholesale.
+            if k < n && toks[k].text == "#" && toks.get(k + 1).is_some_and(|t| t.text == "[") {
+                let mut b = 1;
+                k += 2;
+                while k < n && b > 0 {
+                    match toks[k].text.as_str() {
+                        "[" => b += 1,
+                        "]" => b -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let mut braces = 0;
+        let mut entered = false;
+        while k < n {
+            match toks[k].text.as_str() {
+                "{" => {
+                    braces += 1;
+                    entered = true;
+                }
+                "}" => {
+                    braces -= 1;
+                    if entered && braces == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                ";" if !entered => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(k.min(n)).skip(start) {
+            *m = true;
+        }
+        i = k;
+    }
+    mask
+}
+
+/// Non-comment code tokens with their original indices.
+fn code_indices(toks: &[Tok]) -> Vec<usize> {
+    (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::LineComment && toks[i].kind != TokKind::BlockComment)
+        .collect()
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// r1-panic: `.unwrap()`/`.expect(` calls and panic-family macros.
+fn rule_panic(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let code = code_indices(toks);
+    for (w, &i) in code.iter().enumerate() {
+        if test_mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if PANIC_METHODS.contains(&name) {
+            let after_dot = w >= 1 && toks[code[w - 1]].text == ".";
+            let called = code.get(w + 1).is_some_and(|&k| toks[k].text == "(");
+            if after_dot && called {
+                out.push(Violation {
+                    rule: "r1-panic",
+                    path: String::new(),
+                    line: toks[i].line,
+                    msg: format!(
+                        "`.{name}()` on a hot path: convert to a typed `PensieveError` \
+                         or annotate the documented invariant"
+                    ),
+                });
+            }
+        } else if PANIC_MACROS.contains(&name)
+            && code.get(w + 1).is_some_and(|&k| toks[k].text == "!")
+        {
+            out.push(Violation {
+                rule: "r1-panic",
+                path: String::new(),
+                line: toks[i].line,
+                msg: format!("`{name}!` on a hot path: return a typed error instead"),
+            });
+        }
+    }
+}
+
+/// r1-index: `expr[...]` indexing/slicing in the cache hot-path files.
+fn rule_index(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let code = code_indices(toks);
+    for (w, &i) in code.iter().enumerate() {
+        if test_mask[i] || toks[i].text != "[" || toks[i].kind != TokKind::Punct {
+            continue;
+        }
+        let Some(&p) = w.checked_sub(1).and_then(|k| code.get(k)) else {
+            continue;
+        };
+        let prev = &toks[p];
+        let indexes = prev.kind == TokKind::Ident
+            || (prev.kind == TokKind::Punct && matches!(prev.text.as_str(), ")" | "]" | "?"));
+        if indexes {
+            out.push(Violation {
+                rule: "r1-index",
+                path: String::new(),
+                line: toks[i].line,
+                msg: "unchecked index/slice on a cache hot path: use `.get()` and a \
+                      typed error (or a reasoned suppression for a proven invariant)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Identifiers declared as `HashMap`/`HashSet` in this file: field and
+/// binding type annotations (`name: HashMap<..>`) and constructor
+/// bindings (`let name = HashMap::new()`).
+fn hash_names(toks: &[Tok]) -> BTreeSet<String> {
+    let code = code_indices(toks);
+    let mut names = BTreeSet::new();
+    for (w, &i) in code.iter().enumerate() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if toks[i].text != "HashMap" && toks[i].text != "HashSet" {
+            continue;
+        }
+        // Walk back over an optional `std::collections::` path prefix.
+        let mut j = w;
+        while j >= 1 {
+            let prev = &toks[code[j - 1]];
+            let is_path = prev.text == "::"
+                || (prev.kind == TokKind::Ident
+                    && (prev.text == "std" || prev.text == "collections"));
+            if is_path {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j >= 2 {
+            let sep = &toks[code[j - 1]];
+            let name = &toks[code[j - 2]];
+            let decl = sep.text == ":" && name.kind == TokKind::Ident;
+            let ctor_bind = sep.text == "=" && name.kind == TokKind::Ident;
+            if (decl || ctor_bind) && name.text != "use" {
+                names.insert(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// r2-hash-iter: iteration over identifiers known to be hash
+/// collections, via iterator methods or `for .. in` loops.
+fn rule_hash_iter(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let names = hash_names(toks);
+    if names.is_empty() {
+        return;
+    }
+    let code = code_indices(toks);
+    for (w, &i) in code.iter().enumerate() {
+        if test_mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name.iter()` and friends.
+        if names.contains(&toks[i].text) {
+            let dot = code.get(w + 1).is_some_and(|&k| toks[k].text == ".");
+            let method = code.get(w + 2).map(|&k| toks[k].text.as_str());
+            let called = code.get(w + 3).is_some_and(|&k| toks[k].text == "(");
+            if dot && called && method.is_some_and(|m| HASH_ITER_METHODS.contains(&m)) {
+                out.push(Violation {
+                    rule: "r2-hash-iter",
+                    path: String::new(),
+                    line: toks[i].line,
+                    msg: format!(
+                        "iteration over hash-ordered `{}`: use a `BTreeMap`/sorted \
+                         snapshot so eviction/merge order is deterministic",
+                        toks[i].text
+                    ),
+                });
+            }
+        }
+        // `for pat in [&[mut]] [self.]name {`.
+        if toks[i].text == "for" {
+            let mut k = w + 1;
+            let mut saw_in = false;
+            while k < code.len() && k < w + 24 {
+                if toks[code[k]].text == "in" {
+                    saw_in = true;
+                    break;
+                }
+                k += 1;
+            }
+            if !saw_in {
+                continue;
+            }
+            // Expression tokens between `in` and the loop body `{`.
+            let mut expr: Vec<&Tok> = Vec::new();
+            let mut m = k + 1;
+            while m < code.len() && toks[code[m]].text != "{" && expr.len() < 12 {
+                expr.push(&toks[code[m]]);
+                m += 1;
+            }
+            // Simple chains only: [& [mut]] (ident .)* ident
+            let chain_ok = expr
+                .iter()
+                .all(|t| t.kind == TokKind::Ident || matches!(t.text.as_str(), "&" | "." | "mut"));
+            let last_ident = expr.iter().rev().find(|t| t.kind == TokKind::Ident);
+            if chain_ok && last_ident.is_some_and(|t| names.contains(&t.text)) {
+                out.push(Violation {
+                    rule: "r2-hash-iter",
+                    path: String::new(),
+                    line: toks[i].line,
+                    msg: format!(
+                        "`for` over hash-ordered `{}`: iteration order is \
+                         nondeterministic across runs",
+                        last_ident.map_or("", |t| t.text.as_str())
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// r2-float-reduce: `.sum::<f32>()` / `.product::<f64>()` inside the
+/// argument list of a parallel combinator (`map_partitions`, `spawn`).
+fn rule_float_reduce(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let code = code_indices(toks);
+    let mut depth = 0i32;
+    // Paren depths at which a parallel call's argument list opened.
+    let mut par_depths: Vec<i32> = Vec::new();
+    for (w, &i) in code.iter().enumerate() {
+        match toks[i].text.as_str() {
+            "(" => {
+                let callee = w
+                    .checked_sub(1)
+                    .map(|k| toks[code[k]].text.as_str())
+                    .unwrap_or("");
+                if callee == "map_partitions" || callee == "spawn" {
+                    par_depths.push(depth);
+                }
+                depth += 1;
+            }
+            ")" => {
+                depth -= 1;
+                if par_depths.last().is_some_and(|d| *d >= depth) {
+                    par_depths.pop();
+                }
+            }
+            "sum" | "product" if toks[i].kind == TokKind::Ident => {
+                if test_mask[i] || par_depths.is_empty() {
+                    continue;
+                }
+                let turbofish_float = code.get(w + 1).is_some_and(|&k| toks[k].text == "::")
+                    && code.get(w + 2).is_some_and(|&k| toks[k].text == "<")
+                    && code
+                        .get(w + 3)
+                        .is_some_and(|&k| toks[k].text == "f32" || toks[k].text == "f64");
+                let after_dot = w >= 1 && toks[code[w - 1]].text == ".";
+                if after_dot && turbofish_float {
+                    out.push(Violation {
+                        rule: "r2-float-reduce",
+                        path: String::new(),
+                        line: toks[i].line,
+                        msg: format!(
+                            "float `.{}` inside a parallel closure: reduction order \
+                             is not fixed; merge partials sequentially",
+                            toks[i].text
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// r3-raw-spawn: `thread::spawn` outside the sanctioned layers.
+fn rule_raw_spawn(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let code = code_indices(toks);
+    for (w, &i) in code.iter().enumerate() {
+        if test_mask[i] || toks[i].kind != TokKind::Ident || toks[i].text != "thread" {
+            continue;
+        }
+        let sep = code.get(w + 1).is_some_and(|&k| toks[k].text == "::");
+        let spawn = code.get(w + 2).is_some_and(|&k| toks[k].text == "spawn");
+        if sep && spawn {
+            out.push(Violation {
+                rule: "r3-raw-spawn",
+                path: String::new(),
+                line: toks[i].line,
+                msg: "raw `thread::spawn`: route threading through \
+                      `shims/crossbeam` scopes or `core::workers` so shutdown \
+                      and panics stay contained"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        let mut a = Analyzer::new();
+        a.analyze_file(path, src);
+        a.finish().violations
+    }
+
+    #[test]
+    fn panics_flagged_in_scope_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(run("crates/core/src/engine.rs", src).len(), 1);
+        assert!(run("crates/workload/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { panic!(\"x\") }\n}\n";
+        assert!(run("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_are_exempt() {
+        let src = "/// cache.append(c).unwrap();\nfn ok() {}\n";
+        assert!(run("crates/kvcache/src/tiered.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(r1-panic): \
+                   documented construction-time invariant\n    x.unwrap()\n}\n";
+        assert!(run("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_suppression_is_a_violation() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(r1-panic)\n    x.unwrap()\n}\n";
+        let v = run("crates/core/src/engine.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}"); // bare allow + unsuppressed unwrap
+        assert!(v.iter().any(|v| v.rule == "r4-suppression"));
+        assert!(v.iter().any(|v| v.rule == "r1-panic"));
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_a_violation() {
+        let src = "// lint:allow(no-such-rule): whatever\nfn f() {}\n";
+        let v = run("crates/core/src/engine.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "r4-suppression");
+    }
+
+    #[test]
+    fn hash_iteration_flagged() {
+        let src = "use std::collections::HashMap;\nstruct S { convs: HashMap<u64, u32> }\n\
+                   impl S { fn walk(&self) { for (k, v) in &self.convs { let _ = (k, v); } \
+                   let _n = self.convs.keys().count(); } }\n";
+        let v = run("crates/kvcache/src/tiered.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "r2-hash-iter").count(), 2);
+    }
+
+    #[test]
+    fn btreemap_is_fine() {
+        let src = "use std::collections::BTreeMap;\nstruct S { convs: BTreeMap<u64, u32> }\n\
+                   impl S { fn walk(&self) { for (_k, _v) in &self.convs {} } }\n";
+        assert!(run("crates/kvcache/src/tiered.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_cycle_detected() {
+        let src = "fn ab(a: &M, b: &M) { let g = a.lock(); let h = b.lock(); }\n\
+                   fn ba(a: &M, b: &M) { let g = b.lock(); let h = a.lock(); }\n";
+        let v = run("crates/core/src/anywhere.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "r3-lock-order").count(), 1);
+    }
+
+    #[test]
+    fn nested_same_order_is_fine() {
+        let src = "fn ab(a: &M, b: &M) { let g = a.lock(); let h = b.lock(); }\n\
+                   fn also_ab(a: &M, b: &M) { let g = a.lock(); let h = b.lock(); }\n";
+        assert!(run("crates/core/src/anywhere.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_flagged_outside_sanctioned_files() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(run("crates/sim/src/gpu.rs", src).len(), 1);
+        assert!(run("crates/core/src/workers.rs", src).is_empty());
+        assert!(run("shims/crossbeam/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_reduce_inside_parallel_closure() {
+        let src = "fn f(p: &P, xs: &[f32]) { p.map_partitions(|c| \
+                   c.iter().map(|x| x * x).sum::<f32>()); }\n";
+        let v = run("crates/kernels/src/ops.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "r2-float-reduce").count(), 1);
+        // The same reduction outside any parallel combinator is fine.
+        let seq = "fn f(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }\n";
+        assert!(run("crates/kernels/src/ops.rs", seq).is_empty());
+    }
+
+    #[test]
+    fn fixture_header_overrides_scope() {
+        let src = "// analyzer-fixture: crates/core/src/hot.rs\nfn f(x: Option<u32>) \
+                   -> u32 { x.unwrap() }\n";
+        let v = run("crates/analyzer/fixtures/bad/p.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "r1-panic");
+    }
+}

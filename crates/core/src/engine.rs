@@ -220,9 +220,10 @@ impl SimServingEngine {
                     engine.cfg.shared_prefix_tokens,
                     SimTime::ZERO,
                 )
-                // Invariant: a shared prefix larger than the GPU cache is
-                // a configuration bug, not a runtime condition — fail
-                // loudly at construction rather than mid-serving.
+                // lint:allow(r1-panic): a shared prefix larger than the
+                // GPU cache is a configuration bug, not a runtime
+                // condition — fail loudly at construction, not
+                // mid-serving.
                 .expect("shared prefix must fit in the GPU cache");
         }
         engine
@@ -394,9 +395,12 @@ impl SimServingEngine {
     pub fn run_until_idle(&mut self) {
         while !self.is_idle() {
             if self.running.is_empty() {
-                // Invariant: not idle + empty batch means the wait queue
-                // holds at least one item.
-                let a = self.next_due_arrival().expect("wait queue non-empty");
+                // Not idle with an empty batch means the wait queue holds
+                // at least one item; if that invariant ever breaks,
+                // stopping is strictly safer than spinning forever.
+                let Some(a) = self.next_due_arrival() else {
+                    break;
+                };
                 self.now = self.now.max(a);
             }
             self.iteration();
@@ -593,9 +597,11 @@ impl SimServingEngine {
             }
             let batch_tokens = self.current_iteration_query_tokens();
             let has_prefill = self.running.iter().any(|r| r.prefill.is_some());
-            // Invariant: the queue front was observed non-empty above and
-            // nothing in between pops.
-            let item = self.wait_queue.front().expect("checked non-empty");
+            // The front was observed non-empty above and nothing in
+            // between pops, but the walk stays total regardless.
+            let Some(item) = self.wait_queue.front() else {
+                return;
+            };
             let (conv, query_tokens, new_slots) = self.admission_cost(item);
             // Budget: allow one oversized prefill per iteration when no
             // other prefill was admitted.
@@ -623,9 +629,9 @@ impl SimServingEngine {
                     .swap_out_until_for(new_slots + reserve_needed, Some(conv), self.now);
                 // Eviction may have demoted this conversation's own
                 // chunks; recompute the admission cost before committing.
-                // Invariant: the queue front was observed non-empty above
-                // and nothing in between pops.
-                let item = self.wait_queue.front().expect("checked non-empty");
+                let Some(item) = self.wait_queue.front() else {
+                    return;
+                };
                 let (_, q2, s2) = self.admission_cost(item);
                 query_tokens = q2;
                 new_slots = s2;
@@ -656,9 +662,9 @@ impl SimServingEngine {
                     }
                 }
             }
-            // Invariant: the queue front was observed non-empty above and
-            // nothing in between pops.
-            let item = self.wait_queue.pop_front().expect("checked non-empty");
+            let Some(item) = self.wait_queue.pop_front() else {
+                return;
+            };
             if self
                 .commit_admission(item, conv, query_tokens, reserved_delay)
                 .is_err()
@@ -793,13 +799,19 @@ impl SimServingEngine {
                 } else {
                     0
                 };
-                self.cache
-                    .append_tokens(req.conv, tail + req.prompt_tokens + reserved, self.now)
-                    // Invariant: admit() verified effective free space for
-                    // the full slot count (restore + tail + prompt +
-                    // reservation) and nothing between the check and here
-                    // consumes slots.
-                    .expect("admission checked space");
+                if let Err(e) = self.cache.append_tokens(
+                    req.conv,
+                    tail + req.prompt_tokens + reserved,
+                    self.now,
+                ) {
+                    // admit() verified effective free space, but under
+                    // injected faults it can vanish before the commit.
+                    // The committed restore stays consistent — the
+                    // re-queued item sees those chunks as GPU hits on the
+                    // next attempt.
+                    self.wait_queue.push_front(WorkItem::New(req));
+                    return Err(e);
+                }
                 let context_len = req.history_tokens + req.prompt_tokens;
                 self.running.push(RunningRequest {
                     prefill: Some(PrefillWork {
@@ -826,10 +838,13 @@ impl SimServingEngine {
                 let cached_now = self.cache.conversation_tokens(r.req.conv);
                 let tail = r.context_len.saturating_sub(cached_now + shared);
                 if tail > 0 {
-                    self.cache
-                        .append_tokens(r.req.conv, tail, self.now)
-                        // Invariant: same space check as the New arm.
-                        .expect("admission checked space");
+                    if let Err(e) = self.cache.append_tokens(r.req.conv, tail, self.now) {
+                        // Same recovery as the New arm: re-queue and let
+                        // the next admission pass retry against the
+                        // committed (consistent) restore state.
+                        self.wait_queue.push_front(WorkItem::Resumed(r));
+                        return Err(e);
+                    }
                 }
                 r.prefill = Some(PrefillWork {
                     query_tokens,

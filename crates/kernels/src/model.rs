@@ -89,6 +89,8 @@ impl SeqInput<'_> {
     /// Panics if there are no segments.
     #[must_use]
     pub fn context_len(&self) -> usize {
+        // lint:allow(r1-panic): documented panic contract — callers must
+        // provide at least one segment.
         let last = self.segments.last().expect("no segments");
         last.start_pos + last.tokens.len()
     }
@@ -106,6 +108,8 @@ impl TinyModel {
     /// Panics if `cfg` is invalid.
     #[must_use]
     pub fn new_random(cfg: &ModelConfig, seed: u64) -> Self {
+        // lint:allow(r1-panic): construction-time config validation —
+        // documented panic contract, never on a serving path.
         cfg.validate().expect("invalid model config");
         let mut rng = StdRng::seed_from_u64(seed);
         let h = cfg.hidden_size;

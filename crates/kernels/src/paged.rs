@@ -298,6 +298,9 @@ impl BlockTable {
     /// only run once every visible block is resident.
     #[must_use]
     pub fn block_at(&self, i: usize) -> BlockId {
+        // lint:allow(r1-panic): documented panic contract — kernels only
+        // run after residency is established; a hole here is memory-
+        // safety-adjacent corruption, not a recoverable condition.
         self.blocks[i].unwrap_or_else(|| panic!("logical block {i} is a hole"))
     }
 
@@ -346,6 +349,8 @@ impl BlockTable {
             self.blocks.push(Some(b));
         }
         let bi = self.len / self.block_size;
+        // lint:allow(r1-panic): the branch above just ensured the tail
+        // block exists; a hole at the tail is accounting corruption.
         let block = self.blocks[bi].expect("appending into a hole");
         let pos = (block, self.len % self.block_size);
         self.len += 1;

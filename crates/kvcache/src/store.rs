@@ -7,14 +7,19 @@
 //! is the source of truth for conversation *text*, while the tiered cache
 //! is only ever an optimization.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
+use crate::tiered::CacheError;
 use crate::types::ConversationId;
 
 /// Durable store of each conversation's full raw-token history.
+///
+/// Keyed by a `BTreeMap` so any future iteration over the store is
+/// deterministic by construction (the replay/recomputation paths are
+/// bit-identity tested).
 #[derive(Debug, Default)]
 pub struct RawTokenStore {
-    convs: HashMap<ConversationId, Vec<u32>>,
+    convs: BTreeMap<ConversationId, Vec<u32>>,
 }
 
 impl RawTokenStore {
@@ -47,17 +52,28 @@ impl RawTokenStore {
 
     /// Fetches the raw tokens in `range` (for dropped-chunk recomputation).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range exceeds the stored history — the store is
-    /// durable, so asking for never-stored tokens is a logic error.
-    #[must_use]
-    pub fn fetch(&self, conv: ConversationId, range: std::ops::Range<usize>) -> &[u32] {
+    /// Returns [`CacheError::UnknownConversation`] for a never-stored
+    /// conversation and [`CacheError::HistoryRangeOutOfBounds`] when the
+    /// range exceeds the stored history — the store is durable, so both
+    /// indicate a scheduler logic error the caller must surface, not a
+    /// panic.
+    pub fn fetch(
+        &self,
+        conv: ConversationId,
+        range: std::ops::Range<usize>,
+    ) -> Result<&[u32], CacheError> {
         let hist = self
             .convs
             .get(&conv)
-            .unwrap_or_else(|| panic!("unknown conversation {conv:?}"));
-        &hist[range]
+            .ok_or(CacheError::UnknownConversation(conv))?;
+        hist.get(range.clone())
+            .ok_or(CacheError::HistoryRangeOutOfBounds {
+                conv,
+                end: range.end,
+                len: hist.len(),
+            })
     }
 
     /// Removes a conversation's history entirely (end of conversation).
@@ -83,8 +99,8 @@ mod tests {
         s.append(c, &[1, 2, 3]);
         s.append(c, &[4, 5]);
         assert_eq!(s.len(c), 5);
-        assert_eq!(s.fetch(c, 1..4), &[2, 3, 4]);
-        assert_eq!(s.fetch(c, 0..0), &[] as &[u32]);
+        assert_eq!(s.fetch(c, 1..4).unwrap(), &[2, 3, 4]);
+        assert_eq!(s.fetch(c, 0..0).unwrap(), &[] as &[u32]);
     }
 
     #[test]
@@ -95,10 +111,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown conversation")]
-    fn fetch_unknown_panics() {
+    fn fetch_unknown_is_a_typed_error() {
         let s = RawTokenStore::new();
-        let _ = s.fetch(ConversationId(9), 0..1);
+        assert!(matches!(
+            s.fetch(ConversationId(9), 0..1),
+            Err(CacheError::UnknownConversation(ConversationId(9)))
+        ));
+    }
+
+    #[test]
+    fn fetch_past_history_is_a_typed_error() {
+        let mut s = RawTokenStore::new();
+        let c = ConversationId(3);
+        s.append(c, &[1, 2]);
+        assert!(matches!(
+            s.fetch(c, 0..5),
+            Err(CacheError::HistoryRangeOutOfBounds { end: 5, len: 2, .. })
+        ));
     }
 
     #[test]

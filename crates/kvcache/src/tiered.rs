@@ -21,7 +21,7 @@
 //! All quantities are in tokens; byte conversion and transfer timing are
 //! the simulator's job, physical KV bytes the functional engine's.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
 
@@ -51,6 +51,15 @@ pub enum CacheError {
         /// Chunk index within the conversation.
         chunk: usize,
     },
+    /// A raw-token fetch addressed tokens beyond the stored history.
+    HistoryRangeOutOfBounds {
+        /// Owning conversation.
+        conv: ConversationId,
+        /// One past the last requested token.
+        end: usize,
+        /// Stored history length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -64,6 +73,12 @@ impl fmt::Display for CacheError {
             }
             CacheError::ChunkNotInCpuTier { conv, chunk } => {
                 write!(f, "chunk {chunk} of {conv:?} has no CPU-tier copy")
+            }
+            CacheError::HistoryRangeOutOfBounds { conv, end, len } => {
+                write!(
+                    f,
+                    "raw-token fetch past stored history of {conv:?}: end {end}, stored {len}"
+                )
             }
         }
     }
@@ -162,7 +177,7 @@ impl ConvEntry {
 pub struct TieredKvCache {
     cfg: CacheConfig,
     policy: Box<dyn EvictionPolicy>,
-    convs: HashMap<ConversationId, ConvEntry>,
+    convs: BTreeMap<ConversationId, ConvEntry>,
     /// Tokens in `Tier::Gpu`.
     gpu_resident: usize,
     /// Tokens in `Tier::GpuCopied` (occupy a GPU slot *and* CPU space).
@@ -195,7 +210,7 @@ impl TieredKvCache {
         TieredKvCache {
             cfg,
             policy,
-            convs: HashMap::new(),
+            convs: BTreeMap::new(),
             gpu_resident: 0,
             gpu_copied: 0,
             cpu_resident: 0,
@@ -517,14 +532,26 @@ impl TieredKvCache {
                 break;
             }
             active_conv = Some(conv);
-            let tokens = self.convs[&conv].chunks[idx].tokens;
+            // Candidates were collected from `convs` this pass, but the
+            // walk is total anyway: a missing entry is skipped, not a
+            // panic on the eviction path.
+            let Some(tokens) = self
+                .convs
+                .get(&conv)
+                .and_then(|e| e.chunks.get(idx))
+                .map(|c| c.tokens)
+            else {
+                continue;
+            };
             // Make CPU room; if impossible, drop the chunk instead.
             let copied = self.ensure_cpu_space_with(tokens, now, &mut drop_queue);
-            // Invariant: candidates were collected from `convs` this pass
-            // and nothing in the loop removes a conversation, so the key
-            // is always present.
-            let e = self.convs.get_mut(&conv).expect("candidate exists");
-            let c = &mut e.chunks[idx];
+            let Some(c) = self
+                .convs
+                .get_mut(&conv)
+                .and_then(|e| e.chunks.get_mut(idx))
+            else {
+                continue;
+            };
             debug_assert_eq!(c.tier, Tier::Gpu);
             self.gpu_resident -= tokens;
             if copied {
@@ -567,19 +594,20 @@ impl TieredKvCache {
         for (i, tokens, already_copied) in to_move {
             if already_copied {
                 // The CPU already holds a copy; just release the GPU slot.
-                // Invariant: `conv` was fetched above and nothing in this
-                // loop removes conversations.
-                let e = self.convs.get_mut(&conv).expect("exists");
-                e.chunks[i].tier = Tier::Cpu;
+                let Some(c) = self.convs.get_mut(&conv).and_then(|e| e.chunks.get_mut(i)) else {
+                    continue;
+                };
+                c.tier = Tier::Cpu;
                 self.gpu_copied -= tokens;
                 self.cpu_resident += tokens;
                 continue;
             }
             let copied = self.ensure_cpu_space(tokens, now);
-            // Invariant: ensure_cpu_space only drops CPU-tier chunks; it
-            // never removes a conversation entry.
-            let e = self.convs.get_mut(&conv).expect("exists");
-            let c = &mut e.chunks[i];
+            // ensure_cpu_space only drops CPU-tier chunks and never
+            // removes a conversation entry, but the walk stays total.
+            let Some(c) = self.convs.get_mut(&conv).and_then(|e| e.chunks.get_mut(i)) else {
+                continue;
+            };
             self.gpu_resident -= tokens;
             if copied {
                 c.tier = Tier::Cpu;
@@ -613,8 +641,9 @@ impl TieredKvCache {
     /// Every chunk with a CPU-tier copy ([`Tier::Cpu`] or
     /// [`Tier::GpuCopied`]), as `(conversation, chunk index, tokens)` in a
     /// deterministic `(conversation, index)` order. The fault injector
-    /// picks loss/corruption victims from this listing, so the order must
-    /// not depend on `HashMap` iteration.
+    /// picks loss/corruption victims from this listing; `convs` is a
+    /// `BTreeMap`, so the walk is ordered by construction and no
+    /// post-sort is needed.
     #[must_use]
     pub fn cpu_resident_chunks(&self) -> Vec<(ConversationId, usize, usize)> {
         let mut out: Vec<(ConversationId, usize, usize)> = Vec::new();
@@ -625,7 +654,6 @@ impl TieredKvCache {
                 }
             }
         }
-        out.sort_unstable_by_key(|&(c, i, _)| (c, i));
         out
     }
 
@@ -759,7 +787,9 @@ impl TieredKvCache {
             if e.pinned {
                 continue; // Re-pinned since the snapshot.
             }
-            let c = &mut e.chunks[idx];
+            let Some(c) = e.chunks.get_mut(idx) else {
+                continue; // Chunk index stale; snapshot outlived it.
+            };
             if c.tier != Tier::Cpu {
                 continue; // Tier changed since the snapshot.
             }
@@ -790,10 +820,13 @@ impl TieredKvCache {
                 kept.push((conv, idx));
                 continue;
             }
-            let Some(e) = self.convs.get_mut(&conv) else {
+            let Some(c) = self
+                .convs
+                .get_mut(&conv)
+                .and_then(|e| e.chunks.get_mut(idx))
+            else {
                 continue; // Conversation removed; stale entry.
             };
-            let c = &mut e.chunks[idx];
             if c.tier != Tier::GpuCopied {
                 continue; // Revalidated/suspended since copying; stale.
             }
@@ -828,31 +861,24 @@ impl TieredKvCache {
                 }
             }
         }
-        // Invariant (both arms): EvictionPolicy::score documents a finite
-        // return value, and every in-tree policy derives scores from
-        // finite times/costs, so partial_cmp cannot observe a NaN.
+        // total_cmp gives a total order even if a policy ever returned a
+        // NaN score (NaN sorts last instead of panicking), and agrees
+        // with partial_cmp on the finite scores every in-tree policy
+        // produces.
         match self.policy.granularity() {
             Granularity::Chunk => {
                 out.sort_by(|a, b| {
-                    a.2.partial_cmp(&b.2)
-                        .expect("scores are finite")
-                        .then(a.0.cmp(&b.0))
-                        .then(if trailing {
-                            b.1.cmp(&a.1)
-                        } else {
-                            a.1.cmp(&b.1)
-                        })
+                    a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(if trailing {
+                        b.1.cmp(&a.1)
+                    } else {
+                        a.1.cmp(&b.1)
+                    })
                 });
             }
             Granularity::Conversation => {
                 // Order conversations by score, then take each
                 // conversation's chunks together (leading first).
-                out.sort_by(|a, b| {
-                    a.2.partial_cmp(&b.2)
-                        .expect("scores are finite")
-                        .then(a.0.cmp(&b.0))
-                        .then(a.1.cmp(&b.1))
-                });
+                out.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
             }
         }
         out

@@ -177,6 +177,15 @@ impl SimTime {
         self.0
     }
 
+    /// Total ordering over instants, delegating to [`f64::total_cmp`].
+    /// Agrees with `partial_cmp` on the finite values [`SimTime`]
+    /// constructors accept, but cannot fail, so ordered containers
+    /// (event queues) need no panicking unwrap.
+    #[must_use]
+    pub fn total_cmp(&self, other: &SimTime) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
     /// Returns the duration elapsed since `earlier`.
     ///
     /// # Panics

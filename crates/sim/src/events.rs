@@ -66,10 +66,10 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        // total_cmp keeps Ord total without a panicking unwrap.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("times are finite")
+            .total_cmp(&self.time)
             .then(other.seq.cmp(&self.seq))
     }
 }
@@ -106,6 +106,9 @@ impl<E> EventQueue<E> {
     /// condition rather than a programmer bug.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         if let Err(e) = self.try_schedule(at, payload) {
+            // lint:allow(r1-panic): documented panic contract — rewriting
+            // history is a programmer bug; try_schedule is the typed
+            // alternative for recoverable cases.
             panic!("{e}");
         }
     }

@@ -241,3 +241,47 @@ fn worker_stalls_only_cost_time() {
         calm.span
     );
 }
+
+/// Regression for the typed-error conversion of the engine/cache/PCIe
+/// hot paths: across a sweep of fault seeds with every fault kind
+/// cranked well past the chaos preset, a full closed-loop run must
+/// finish every request through the typed recovery paths. Any residual
+/// `unwrap`/`expect` on those paths would surface here as a panic.
+#[test]
+fn aggressive_fault_seed_sweep_never_panics() {
+    let model = ModelConfig::opt_13b();
+    let dataset = DatasetSpec::sharegpt();
+    let convs = dataset.generate(12, 55);
+    let total_turns: usize = convs.iter().map(|c| c.turns.len()).sum();
+    let driver = DriverConfig {
+        request_rate: 10.0,
+        mean_think_time: 10.0,
+        seed: 7,
+        system_prompt_tokens: 0,
+    };
+    for seed in [fault_seed(), 2, 3, 5, 8, 13] {
+        let mut fc = FaultConfig::chaos(seed);
+        fc.pcie_failure = 0.80;
+        fc.pcie_timeout = 0.25;
+        fc.cpu_chunk_loss = 0.20;
+        fc.cpu_chunk_corruption = 0.20;
+        fc.gpu_alloc_failure = 0.25;
+        fc.worker_stall = 0.20;
+        let mut e = SimServingEngine::new(
+            EngineConfig::pensieve(),
+            model.clone(),
+            tight_hw(&model, &convs),
+        )
+        .with_recovery_policy(RecoveryPolicy {
+            max_swap_in_retries: 1,
+            ..RecoveryPolicy::default()
+        });
+        e.set_fault_injector(Some(FaultInjector::new(fc)));
+        let result = run_closed_loop(&mut e, &convs, &driver);
+        assert_eq!(
+            result.responses.len(),
+            total_turns,
+            "seed {seed}: every request must complete (no hangs, no panics)"
+        );
+    }
+}
