@@ -101,6 +101,7 @@ fn in_panic_scope(p: &str) -> bool {
         "crates/kvcache/src/",
         "crates/kernels/src/",
         "crates/sim/src/",
+        "crates/obs/src/",
     ]
     .iter()
     .any(|pre| p.starts_with(pre))
@@ -117,6 +118,7 @@ fn in_hash_scope(p: &str) -> bool {
         "crates/core/src/",
         "crates/kvcache/src/",
         "crates/kernels/src/",
+        "crates/obs/src/",
     ]
     .iter()
     .any(|pre| p.starts_with(pre))

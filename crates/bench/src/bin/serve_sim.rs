@@ -10,12 +10,13 @@
 //! either a real ShareGPT dump or a file produced by
 //! `pensieve_workload::save_conversations`.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use pensieve_bench::{print_table, run_point, PointSpec};
+use pensieve_bench::{engine_for, print_table, run_point_on, PointSpec};
 use pensieve_core::EngineConfig;
 use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_obs::{to_jsonl, SharedRecorder};
 use pensieve_workload::dataset::{DatasetSpec, DatasetStats};
 use pensieve_workload::trace::{load_conversations, load_sharegpt_json};
 
@@ -30,7 +31,9 @@ usage: serve_sim [options]
   --duration simulated seconds of arrivals           (default 400)
   --gpus     tensor-parallel GPUs                    (default: model's)
   --system-prompt  shared system prompt tokens       (default 0)
-  --seed     workload seed                           (default 42)";
+  --seed     workload seed                           (default 42)
+  --trace-out    write a JSONL event trace here      (see docs/OBSERVABILITY.md)
+  --metrics-out  write a Prometheus-style text dump here";
 
 fn parse_engine(name: &str) -> Option<EngineConfig> {
     Some(match name {
@@ -66,6 +69,8 @@ fn main() {
     let mut gpus: Option<usize> = None;
     let mut system_prompt = 0usize;
     let mut seed = 42u64;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -96,6 +101,14 @@ fn main() {
             "--gpus" => value.parse().map(|v| gpus = Some(v)).is_ok(),
             "--system-prompt" => value.parse().map(|v| system_prompt = v).is_ok(),
             "--seed" => value.parse().map(|v| seed = v).is_ok(),
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(value));
+                true
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(value));
+                true
+            }
             _ => {
                 eprintln!("unknown flag {flag}\n{USAGE}");
                 exit(2);
@@ -107,10 +120,17 @@ fn main() {
         }
     }
 
-    let Some(engine) = parse_engine(&system) else {
+    let Some(mut engine) = parse_engine(&system) else {
         eprintln!("unknown system {system:?}\n{USAGE}");
         exit(2);
     };
+    // The flag means a *shared* system prompt: pair the workload's extra
+    // history with the engine-side pinned shared prefix, the same wiring
+    // the `shared_prefix` bench uses. Stateless baselines have no cache
+    // to share it from.
+    if system_prompt > 0 && engine.stateful {
+        engine.shared_prefix_tokens = system_prompt;
+    }
     let Some(model) = parse_model(&model_name) else {
         eprintln!("unknown model {model_name:?}\n{USAGE}");
         exit(2);
@@ -146,11 +166,19 @@ fn main() {
                 think,
                 seed,
                 system_prompt,
+                &Outputs {
+                    trace_out,
+                    metrics_out,
+                },
             );
         }
     };
 
-    let point = run_point(&PointSpec {
+    let outputs = Outputs {
+        trace_out,
+        metrics_out,
+    };
+    let spec = PointSpec {
         engine,
         model,
         hardware: HardwareSpec::azure_nc_a100(num_gpus),
@@ -159,7 +187,12 @@ fn main() {
         think_time: think,
         seed,
         system_prompt_tokens: system_prompt,
-    });
+    };
+    let mut engine = engine_for(&spec);
+    let recorder = outputs.recorder();
+    engine.set_recorder(recorder.clone());
+    let point = run_point_on(&spec, &mut engine);
+    outputs.write(recorder.as_ref());
     report(
         &point.system,
         &point.model,
@@ -167,6 +200,45 @@ fn main() {
         &point.summary,
         point.cache.hit_rate,
     );
+}
+
+/// Where (if anywhere) to dump the trace and metrics after a run.
+struct Outputs {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl Outputs {
+    /// A recorder to attach to the engine, or `None` when neither output
+    /// was requested (keeping the run allocation-free on the trace path).
+    fn recorder(&self) -> Option<SharedRecorder> {
+        if self.trace_out.is_some() || self.metrics_out.is_some() {
+            Some(SharedRecorder::new())
+        } else {
+            None
+        }
+    }
+
+    /// Writes the requested artifacts; exits nonzero on I/O failure.
+    fn write(&self, recorder: Option<&SharedRecorder>) {
+        let Some(rec) = recorder else { return };
+        if let Some(path) = &self.trace_out {
+            let events = rec.take_events();
+            if let Err(e) = std::fs::write(path, to_jsonl(&events)) {
+                eprintln!("cannot write trace {}: {e}", path.display());
+                exit(1);
+            }
+            println!("wrote {} trace events to {}", events.len(), path.display());
+        }
+        if let Some(path) = &self.metrics_out {
+            let text = rec.metrics().prometheus();
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("cannot write metrics {}: {e}", path.display());
+                exit(1);
+            }
+            println!("wrote metrics dump to {}", path.display());
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -179,12 +251,15 @@ fn run_trace(
     think: f64,
     seed: u64,
     system_prompt: usize,
+    outputs: &Outputs,
 ) {
     use pensieve_core::SimServingEngine;
     use pensieve_workload::driver::{run_closed_loop, DriverConfig};
     let name = engine.name.clone();
     let model_name = model.name.clone();
     let mut e = SimServingEngine::new(engine, model, HardwareSpec::azure_nc_a100(num_gpus));
+    let recorder = outputs.recorder();
+    e.set_recorder(recorder.clone());
     let result = run_closed_loop(
         &mut e,
         &convs,
@@ -195,6 +270,7 @@ fn run_trace(
             system_prompt_tokens: system_prompt,
         },
     );
+    outputs.write(recorder.as_ref());
     let s = result.summary();
     report(&name, &model_name, "trace", &s, e.cache_stats().hit_rate());
 }

@@ -1,0 +1,49 @@
+//! `trace_report` — post-process a `serve_sim --trace-out` JSONL trace.
+//!
+//! ```text
+//! cargo run --release -p pensieve-bench --bin trace_report -- t.jsonl
+//! ```
+//!
+//! Parses the trace strictly (any malformed line is reported with its
+//! line number and fails the run, so this doubles as a schema
+//! validator), then prints per-turn cache-hit attribution and
+//! PCIe/compute overlap statistics. Event and field semantics are
+//! documented in `docs/OBSERVABILITY.md`.
+
+use std::process::exit;
+
+use pensieve_obs::{parse_jsonl, TraceReport};
+
+const USAGE: &str = "usage: trace_report <trace.jsonl>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("{USAGE}");
+        exit(2);
+    };
+    if path == "--help" || path == "-h" {
+        println!("{USAGE}");
+        return;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            exit(2);
+        }
+    };
+    let events = match parse_jsonl(&text) {
+        Ok(evs) => evs,
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            exit(1);
+        }
+    };
+    if events.is_empty() {
+        eprintln!("{path}: no events");
+        exit(1);
+    }
+    println!("{path}: {} events", events.len());
+    print!("{}", TraceReport::from_events(&events).render());
+}

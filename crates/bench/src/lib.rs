@@ -117,17 +117,32 @@ pub fn workload_for(spec: &PointSpec) -> Vec<Conversation> {
     spec.dataset.generate(n.max(50), spec.seed)
 }
 
-/// Runs one sweep point to completion.
+/// Builds the engine a sweep point runs on. Callers that need to attach
+/// a trace recorder (`serve_sim --trace-out`) build the engine here,
+/// decorate it, and hand it to [`run_point_on`].
 #[must_use]
-pub fn run_point(spec: &PointSpec) -> SweepPoint {
-    let convs = workload_for(spec);
-    let mut engine = SimServingEngine::new(
+pub fn engine_for(spec: &PointSpec) -> SimServingEngine {
+    SimServingEngine::new(
         spec.engine.clone(),
         spec.model.clone(),
         spec.hardware.clone(),
-    );
+    )
+}
+
+/// Runs one sweep point to completion.
+#[must_use]
+pub fn run_point(spec: &PointSpec) -> SweepPoint {
+    let mut engine = engine_for(spec);
+    run_point_on(spec, &mut engine)
+}
+
+/// Runs one sweep point on a caller-provided engine (which must have
+/// been built from the same spec for the labels to be honest).
+#[must_use]
+pub fn run_point_on(spec: &PointSpec, engine: &mut SimServingEngine) -> SweepPoint {
+    let convs = workload_for(spec);
     let result = run_closed_loop(
-        &mut engine,
+        engine,
         &convs,
         &DriverConfig {
             request_rate: spec.request_rate,

@@ -28,6 +28,7 @@ use pensieve_model::{
     BatchShape, CostModel, HardwareSpec, ModelConfig, ProfiledCostTable, SeqShape, SimDuration,
     SimTime,
 };
+use pensieve_obs::{metrics, DropReason, Recorder as _, RecoveryKind, SharedRecorder, TraceEvent};
 use pensieve_sim::{
     Direction, DuplexMode, FaultCounters, FaultInjector, FaultKind, GpuTimer, PcieLink,
 };
@@ -164,6 +165,9 @@ pub struct SimServingEngine {
     /// Consecutive fault-induced ticks that admitted nothing; bounds the
     /// empty-tick retry loop in `iteration`.
     empty_ticks: u32,
+    /// Passive trace/metrics sink shared with the cache, link and GPU
+    /// timer; `None` (the default) records nothing.
+    recorder: Option<SharedRecorder>,
 }
 
 impl SimServingEngine {
@@ -208,6 +212,7 @@ impl SimServingEngine {
             faults: None,
             recovery: RecoveryPolicy::default(),
             empty_ticks: 0,
+            recorder: None,
         };
         // Materialize the shared system-prompt KV state once, pinned so
         // it is never evicted (its memory cost is honest: it occupies GPU
@@ -248,6 +253,24 @@ impl SimServingEngine {
     pub fn with_recovery_policy(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
         self
+    }
+
+    /// Attaches a trace/metrics recorder, cloning it into the cache, the
+    /// PCIe link and the GPU timer so every layer records into one
+    /// buffer. Recording is strictly passive: simulated clocks,
+    /// schedules and responses are bit-identical with or without it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.set_recorder(Some(recorder));
+        self
+    }
+
+    /// Replaces (or clears) the recorder at runtime.
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.cache.set_recorder(recorder.clone());
+        self.link.set_recorder(recorder.clone());
+        self.gpu.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Counters of injected faults, if an injector is attached.
@@ -413,6 +436,18 @@ impl SimServingEngine {
 
     /// One scheduler clock tick: grow decodes, swap, admit, execute.
     fn iteration(&mut self) {
+        if self.recorder.enabled() {
+            // Under injected faults a tick can admit nothing and retry;
+            // such ticks repeat the same iteration index (the counter
+            // only advances when a batch executes) and have no matching
+            // `BatchComposed`/`IterationEnd`.
+            self.recorder.record(TraceEvent::IterationStart {
+                at: self.now,
+                iteration: self.counters.iterations,
+                running: self.running.len(),
+                waiting: self.wait_queue.len(),
+            });
+        }
         self.fault_tick();
         self.grow_decode_slots();
         self.ahead_of_time_swap();
@@ -438,6 +473,44 @@ impl SimServingEngine {
         self.empty_ticks = 0;
         self.execute();
         self.complete();
+        self.sample_metrics();
+    }
+
+    /// Mirrors the engine's counters and gauges into the recorder's
+    /// metrics registry and takes one time-series sample, timestamped at
+    /// the end of the just-finished iteration. No-op without a recorder.
+    fn sample_metrics(&self) {
+        let Some(rec) = self.recorder.clone() else {
+            return;
+        };
+        let c = &self.counters;
+        let gpu_slots = self.cache.gpu_slots_used();
+        let cpu_tokens = self.cache.cpu_used();
+        let running = self.running.len();
+        let waiting = self.wait_queue.len();
+        let _ = rec.with_metrics(|m| {
+            m.counter_set(metrics::names::ITERATIONS_TOTAL, c.iterations);
+            m.counter_set(metrics::names::PREFILL_TOKENS_TOTAL, c.prefill_tokens);
+            m.counter_set(metrics::names::DECODE_TOKENS_TOTAL, c.decode_tokens);
+            m.counter_set(metrics::names::SUSPENSIONS_TOTAL, c.suspensions);
+            m.counter_set(
+                metrics::names::SHARED_PREFIX_HIT_TOKENS_TOTAL,
+                c.shared_prefix_hits,
+            );
+            m.counter_set(metrics::names::SWAP_IN_RETRIES_TOTAL, c.swap_in_retries);
+            m.counter_set(
+                metrics::names::RECOMPUTE_FALLBACKS_TOTAL,
+                c.recompute_fallbacks,
+            );
+            m.counter_set(metrics::names::GPU_ALLOC_FAULTS_TOTAL, c.gpu_alloc_faults);
+            m.counter_set(metrics::names::WORKER_STALLS_TOTAL, c.worker_stalls);
+            m.counter_set(metrics::names::CHUNK_FAULTS_TOTAL, c.chunk_faults);
+            m.gauge_set(metrics::names::RUNNING_REQUESTS, running as f64);
+            m.gauge_set(metrics::names::WAITING_REQUESTS, waiting as f64);
+            m.gauge_set(metrics::names::GPU_SLOTS_USED, gpu_slots as f64);
+            m.gauge_set(metrics::names::CPU_TOKENS_USED, cpu_tokens as f64);
+            m.sample(self.now);
+        });
     }
 
     /// Draws this tick's CPU-tier faults: loss or corruption of a chunk
@@ -458,7 +531,7 @@ impl SimServingEngine {
             if listing.is_empty() {
                 continue;
             }
-            let (conv, idx, _) = listing[inj.pick(listing.len())];
+            let (conv, idx, tokens) = listing[inj.pick(listing.len())];
             let applied = match kind {
                 FaultKind::CpuChunkLoss => self.cache.mark_chunk_lost(conv, idx),
                 _ => self.cache.mark_chunk_corrupt(conv, idx),
@@ -467,6 +540,19 @@ impl SimServingEngine {
             debug_assert!(applied.is_ok());
             if applied.is_ok() {
                 self.counters.chunk_faults += 1;
+                // `ChunkDropped` traces loss of the *CPU-tier copy*: for
+                // a lazily-copied chunk the GPU bytes survive and only
+                // the backup is gone.
+                self.recorder.record(TraceEvent::ChunkDropped {
+                    at: self.now,
+                    conv: conv.0,
+                    chunk: idx,
+                    tokens,
+                    reason: match kind {
+                        FaultKind::CpuChunkLoss => DropReason::HostLoss,
+                        _ => DropReason::HostCorruption,
+                    },
+                });
             }
         }
     }
@@ -495,6 +581,12 @@ impl SimServingEngine {
                 .is_some_and(|f| f.roll(FaultKind::GpuAllocFailure));
             if alloc_fault {
                 self.counters.gpu_alloc_faults += 1;
+                self.recorder.record(TraceEvent::FaultRecovery {
+                    at: self.now,
+                    conv: Some(conv.0),
+                    kind: RecoveryKind::GpuAllocFault,
+                    tokens: 1,
+                });
             }
             let grown = if alloc_fault {
                 Err(())
@@ -621,6 +713,12 @@ impl SimServingEngine {
                 .is_some_and(|f| f.roll(FaultKind::GpuAllocFailure));
             if alloc_fault {
                 self.counters.gpu_alloc_faults += 1;
+                self.recorder.record(TraceEvent::FaultRecovery {
+                    at: self.now,
+                    conv: Some(conv.0),
+                    kind: RecoveryKind::GpuAllocFault,
+                    tokens: new_slots,
+                });
             }
             let mut query_tokens = query_tokens;
             let mut new_slots = new_slots;
@@ -655,8 +753,14 @@ impl SimServingEngine {
                             // tokens, and re-run the admission check with
                             // the new (swap-in-free) plan. Dropped chunks
                             // cannot fail again, so this converges.
-                            self.cache.drop_cpu_chunks(conv);
+                            let dropped = self.cache.drop_cpu_chunks(conv, self.now);
                             self.counters.recompute_fallbacks += 1;
+                            self.recorder.record(TraceEvent::FaultRecovery {
+                                at: self.now,
+                                conv: Some(conv.0),
+                                kind: RecoveryKind::RecomputeFallback,
+                                tokens: dropped,
+                            });
                             continue;
                         }
                     }
@@ -705,6 +809,12 @@ impl SimServingEngine {
                     // detected; the retry is issued after backoff.
                     self.now = self.now.max(e.completes()) + backoff;
                     backoff = backoff * self.recovery.retry_backoff_factor;
+                    self.recorder.record(TraceEvent::FaultRecovery {
+                        at: self.now,
+                        conv: None,
+                        kind: RecoveryKind::SwapInRetry,
+                        tokens: swap_in_tokens,
+                    });
                 }
             }
         }
@@ -812,6 +922,22 @@ impl SimServingEngine {
                     self.wait_queue.push_front(WorkItem::New(req));
                     return Err(e);
                 }
+                if self.recorder.enabled() {
+                    self.recorder.record(TraceEvent::Admitted {
+                        at: self.now,
+                        iteration: self.counters.iterations,
+                        request: req.id.0,
+                        conv: conv.0,
+                        resumed: false,
+                        prompt_tokens: req.prompt_tokens,
+                        tail_tokens: tail,
+                        shared_tokens: shared,
+                        gpu_hit_tokens: plan.gpu_hit_tokens,
+                        revalidate_tokens: plan.revalidate_tokens,
+                        swap_in_tokens: plan.swap_in_tokens,
+                        recompute_tokens: plan.recompute_tokens,
+                    });
+                }
                 let context_len = req.history_tokens + req.prompt_tokens;
                 self.running.push(RunningRequest {
                     prefill: Some(PrefillWork {
@@ -845,6 +971,22 @@ impl SimServingEngine {
                         self.wait_queue.push_front(WorkItem::Resumed(r));
                         return Err(e);
                     }
+                }
+                if self.recorder.enabled() {
+                    self.recorder.record(TraceEvent::Admitted {
+                        at: self.now,
+                        iteration: self.counters.iterations,
+                        request: r.req.id.0,
+                        conv: conv.0,
+                        resumed: true,
+                        prompt_tokens: 0,
+                        tail_tokens: tail,
+                        shared_tokens: shared,
+                        gpu_hit_tokens: plan.gpu_hit_tokens,
+                        revalidate_tokens: plan.revalidate_tokens,
+                        swap_in_tokens: plan.swap_in_tokens,
+                        recompute_tokens: plan.recompute_tokens,
+                    });
                 }
                 r.prefill = Some(PrefillWork {
                     query_tokens,
@@ -896,6 +1038,18 @@ impl SimServingEngine {
                 None => decode_shapes.push(SeqShape::decode(r.context_len)),
             }
         }
+        let prefill_query_tokens: usize = prefill_shapes.iter().map(|s| s.query_len).sum();
+        let batch_query_tokens = prefill_query_tokens + decode_shapes.len();
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent::BatchComposed {
+                at: self.now,
+                iteration: self.counters.iterations,
+                prefill_seqs: prefill_shapes.len(),
+                decode_seqs: decode_shapes.len(),
+                prefill_tokens: prefill_query_tokens,
+                decode_tokens: decode_shapes.len(),
+            });
+        }
         // Swap-ins contend on the link; queueing delay precedes compute.
         let queue_delay = if swap_in_bytes > 0 {
             let (start, _) = self
@@ -909,18 +1063,20 @@ impl SimServingEngine {
         let duration = if self.cfg.unified_batching {
             let mut all = prefill_shapes;
             all.extend_from_slice(&decode_shapes);
-            self.gpu.batch_time_with_swap_in(
+            self.gpu.batch_time_with_swap_in_at(
                 &BatchShape::new(all),
                 overlap_bytes,
                 self.pcie_bandwidth,
+                self.now,
             )
         } else {
             let mut d = SimDuration::ZERO;
             if !prefill_shapes.is_empty() {
-                d += self.gpu.batch_time_with_swap_in(
+                d += self.gpu.batch_time_with_swap_in_at(
                     &BatchShape::new(prefill_shapes),
                     overlap_bytes,
                     self.pcie_bandwidth,
+                    self.now,
                 );
             }
             if !decode_shapes.is_empty() {
@@ -935,11 +1091,40 @@ impl SimServingEngine {
             if f.roll(FaultKind::WorkerStall) {
                 self.counters.worker_stalls += 1;
                 stall = f.config().stall_duration;
+                self.recorder.record(TraceEvent::FaultRecovery {
+                    at: self.now,
+                    conv: None,
+                    kind: RecoveryKind::WorkerStall,
+                    tokens: 0,
+                });
             }
         }
+        let iteration = self.counters.iterations;
         self.counters.iterations += 1;
         self.counters.busy_time += duration + queue_delay + stall;
         self.now += queue_delay + duration + stall;
+        if let Some(rec) = self.recorder.clone() {
+            rec.record(TraceEvent::IterationEnd {
+                at: self.now,
+                iteration,
+                queue_delay,
+                compute: duration,
+                stall,
+            });
+            let total = queue_delay + duration + stall;
+            let _ = rec.with_metrics(|m| {
+                m.observe(
+                    metrics::names::ITERATION_SECONDS,
+                    metrics::ITERATION_SECONDS_BUCKETS,
+                    total.as_secs(),
+                );
+                m.observe(
+                    metrics::names::BATCH_QUERY_TOKENS,
+                    metrics::BATCH_QUERY_TOKENS_BUCKETS,
+                    batch_query_tokens as f64,
+                );
+            });
+        }
     }
 
     /// Emits tokens, records completions, releases finished requests.
@@ -981,11 +1166,34 @@ impl SimServingEngine {
             } else {
                 self.cache.remove_conversation(conv);
             }
+            let first_token = r.first_token.unwrap_or(now);
+            if let Some(rec) = self.recorder.clone() {
+                rec.record(TraceEvent::RequestCompleted {
+                    at: now,
+                    request: r.req.id.0,
+                    conv: conv.0,
+                    arrival: r.req.arrival,
+                    first_token,
+                    output_tokens: r.generated,
+                    prefill_tokens: r.prefill_tokens,
+                    cached_tokens: r.cached_tokens,
+                });
+                let _ = rec.with_metrics(|m| {
+                    m.counter_add(metrics::names::REQUESTS_COMPLETED_TOTAL, 1);
+                    m.observe(
+                        metrics::names::TTFT_SECONDS,
+                        metrics::TTFT_SECONDS_BUCKETS,
+                        first_token
+                            .saturating_duration_since(r.req.arrival)
+                            .as_secs(),
+                    );
+                });
+            }
             self.responses.push(Response {
                 id: r.req.id,
                 conv,
                 arrival: r.req.arrival,
-                first_token: r.first_token.unwrap_or(now),
+                first_token,
                 finish: now,
                 output_tokens: r.generated,
                 prefill_tokens: r.prefill_tokens,

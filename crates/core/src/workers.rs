@@ -73,6 +73,12 @@ pub struct ThreadedTpEngine {
     /// makes every later call fail fast with a typed error instead of
     /// hanging or consuming stale partials.
     poisoned: bool,
+    /// Passive trace sink; `None` (the default) records nothing. The
+    /// functional engine has no simulated clock, so its `TpPass` events
+    /// carry a logical pass counter instead of a timestamp.
+    recorder: Option<pensieve_obs::SharedRecorder>,
+    /// Forward passes issued, for `TpPass` event numbering.
+    pass_count: u64,
 }
 
 impl ThreadedTpEngine {
@@ -138,7 +144,15 @@ impl ThreadedTpEngine {
             contexts: HashMap::new(),
             tails: HashMap::new(),
             poisoned: false,
+            recorder: None,
+            pass_count: 0,
         }
+    }
+
+    /// Attaches a trace recorder; each forward pass then records a
+    /// `TpPass` event. Recording is passive and does not change results.
+    pub fn set_recorder(&mut self, recorder: Option<pensieve_obs::SharedRecorder>) {
+        self.recorder = recorder;
     }
 
     /// Number of worker threads.
@@ -277,6 +291,19 @@ impl ThreadedTpEngine {
         let h = self.replicated.config().hidden_size;
         let layers = self.replicated.config().num_layers;
         let total_q: usize = segments.iter().map(|s| s.tokens.len()).sum();
+        {
+            use pensieve_obs::Recorder as _;
+            if self.recorder.enabled() {
+                self.recorder.record(pensieve_obs::TraceEvent::TpPass {
+                    at: pensieve_model::SimTime::ZERO,
+                    pass: self.pass_count,
+                    conv,
+                    query_tokens: total_q,
+                    shards: self.cmd_txs.len(),
+                });
+            }
+            self.pass_count += 1;
+        }
         let mut x = Matrix::zeros(total_q, h);
         let mut row = 0;
         for seg in segments {

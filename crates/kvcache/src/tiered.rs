@@ -26,6 +26,7 @@ use std::fmt;
 use std::ops::Range;
 
 use pensieve_model::SimTime;
+use pensieve_obs::{DropReason, Recorder as _, SharedRecorder, TraceEvent};
 
 use crate::policy::{EvictionPolicy, Granularity, WithinOrder};
 use crate::stats::CacheStats;
@@ -189,6 +190,8 @@ pub struct TieredKvCache {
     /// suspended since).
     copied_fifo: std::collections::VecDeque<(ConversationId, usize)>,
     stats: CacheStats,
+    /// Passive trace sink; `None` (the default) records nothing.
+    recorder: Option<SharedRecorder>,
 }
 
 impl fmt::Debug for TieredKvCache {
@@ -216,7 +219,14 @@ impl TieredKvCache {
             cpu_resident: 0,
             copied_fifo: std::collections::VecDeque::new(),
             stats: CacheStats::default(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a trace recorder. Recording is passive: eviction, drop
+    /// and restore decisions are identical with or without it.
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.recorder = recorder;
     }
 
     /// The cache configuration.
@@ -406,6 +416,29 @@ impl TieredKvCache {
                 self.stats.partial_hits += 1;
             }
         }
+        if self.recorder.enabled() {
+            if plan.revalidate_tokens > 0 {
+                self.recorder.record(TraceEvent::Revalidated {
+                    at: now,
+                    conv: conv.0,
+                    tokens: plan.revalidate_tokens,
+                });
+            }
+            if plan.swap_in_tokens > 0 {
+                self.recorder.record(TraceEvent::SwapInCommitted {
+                    at: now,
+                    conv: conv.0,
+                    tokens: plan.swap_in_tokens,
+                });
+            }
+            if plan.recompute_tokens > 0 {
+                self.recorder.record(TraceEvent::RecomputeCommitted {
+                    at: now,
+                    conv: conv.0,
+                    tokens: plan.recompute_tokens,
+                });
+            }
+        }
         debug_assert!(self.check_invariants());
         Ok(plan)
     }
@@ -563,6 +596,13 @@ impl TieredKvCache {
                 c.tier = Tier::Dropped;
                 self.stats.dropped_tokens += tokens as u64;
             }
+            self.recorder.record(TraceEvent::ChunkEvicted {
+                at: now,
+                conv: conv.0,
+                chunk: idx,
+                tokens,
+                dropped: !copied,
+            });
             ops.push(SwapOutOp {
                 conv,
                 chunk: idx,
@@ -619,6 +659,11 @@ impl TieredKvCache {
                 self.stats.dropped_tokens += tokens as u64;
             }
         }
+        self.recorder.record(TraceEvent::Suspended {
+            at: now,
+            conv: conv.0,
+            tokens: transferred,
+        });
         debug_assert!(self.check_invariants());
         transferred
     }
@@ -735,15 +780,22 @@ impl TieredKvCache {
     /// drops every [`Tier::Cpu`] chunk of `conv` so its next restore plan
     /// recomputes them from raw tokens instead of retrying the transfer.
     /// Returns the tokens dropped (0 for unknown conversations).
-    pub fn drop_cpu_chunks(&mut self, conv: ConversationId) -> usize {
+    pub fn drop_cpu_chunks(&mut self, conv: ConversationId, now: SimTime) -> usize {
         let Some(e) = self.convs.get_mut(&conv) else {
             return 0;
         };
         let mut dropped = 0;
-        for c in e.chunks.iter_mut() {
+        for (i, c) in e.chunks.iter_mut().enumerate() {
             if c.tier == Tier::Cpu {
                 c.tier = Tier::Dropped;
                 dropped += c.tokens;
+                self.recorder.record(TraceEvent::ChunkDropped {
+                    at: now,
+                    conv: conv.0,
+                    chunk: i,
+                    tokens: c.tokens,
+                    reason: DropReason::SwapInFault,
+                });
             }
         }
         self.cpu_resident -= dropped;
@@ -795,7 +847,15 @@ impl TieredKvCache {
             }
             self.cpu_resident -= c.tokens;
             self.stats.dropped_tokens += c.tokens as u64;
+            let tokens = c.tokens;
             c.tier = Tier::Dropped;
+            self.recorder.record(TraceEvent::ChunkDropped {
+                at: now,
+                conv: conv.0,
+                chunk: idx,
+                tokens,
+                reason: DropReason::CpuPressure,
+            });
         }
         true
     }
@@ -1290,15 +1350,15 @@ mod tests {
         let a = ConversationId(1);
         cache.append_tokens(a, 96, t(0.0)).unwrap();
         cache.suspend(a, t(1.0));
-        assert_eq!(cache.drop_cpu_chunks(a), 96);
+        assert_eq!(cache.drop_cpu_chunks(a, t(2.0)), 96);
         assert_eq!(cache.stats().swap_in_fault_tokens, 96);
         assert_eq!(cache.cpu_used(), 0);
         let plan = cache.plan_restore(a);
         assert_eq!(plan.swap_in_tokens, 0);
         assert_eq!(plan.recompute_tokens, 96);
         // Idempotent and safe on unknown conversations.
-        assert_eq!(cache.drop_cpu_chunks(a), 0);
-        assert_eq!(cache.drop_cpu_chunks(ConversationId(99)), 0);
+        assert_eq!(cache.drop_cpu_chunks(a, t(2.0)), 0);
+        assert_eq!(cache.drop_cpu_chunks(ConversationId(99), t(2.0)), 0);
     }
 
     #[test]

@@ -1,0 +1,966 @@
+//! The typed structured-event stream recorded by the serving stack.
+//!
+//! Every event carries a [`SimTime`] timestamp (`at`) and, where
+//! meaningful, raw `u64` request/conversation ids. Ids are raw integers
+//! rather than the `core`/`kvcache` newtypes so that this crate sits
+//! *below* the runtime crates in the dependency graph: the hot path
+//! depends on `obs`, never the other way around.
+//!
+//! Serialization is hand-written (the vendored `serde_derive` shim only
+//! supports named-field structs and unit enums): each event becomes a
+//! JSON object whose `"ev"` field is the variant name and whose remaining
+//! fields are the variant's payload. [`TraceEvent::from_value`] is strict
+//! — an unknown `"ev"` or a missing/mistyped field is an error — which is
+//! what `trace_report` uses to validate a JSONL log against the schema.
+
+use pensieve_model::{SimDuration, SimTime};
+use serde::{DeError, Deserialize, Map, Serialize, Value};
+
+/// Transfer direction of a swap DMA over the PCIe link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapDir {
+    /// CPU → GPU (swap-in / retrieval).
+    In,
+    /// GPU → CPU (swap-out / eviction or suspension).
+    Out,
+}
+
+impl SwapDir {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SwapDir::In => "in",
+            SwapDir::Out => "out",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, DeError> {
+        match s {
+            "in" => Ok(SwapDir::In),
+            "out" => Ok(SwapDir::Out),
+            other => Err(DeError::custom(format!("unknown swap dir {other:?}"))),
+        }
+    }
+}
+
+/// Why a chunk's CPU-tier copy (or the chunk itself) was discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The CPU tier was full and the policy chose this chunk.
+    CpuPressure,
+    /// An injected host-memory fault lost the copy.
+    HostLoss,
+    /// A checksum mismatch invalidated the copy.
+    HostCorruption,
+    /// Persistent swap-in DMA failures forced a recompute fallback.
+    SwapInFault,
+}
+
+impl DropReason {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::CpuPressure => "cpu-pressure",
+            DropReason::HostLoss => "host-loss",
+            DropReason::HostCorruption => "host-corruption",
+            DropReason::SwapInFault => "swap-in-fault",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, DeError> {
+        match s {
+            "cpu-pressure" => Ok(DropReason::CpuPressure),
+            "host-loss" => Ok(DropReason::HostLoss),
+            "host-corruption" => Ok(DropReason::HostCorruption),
+            "swap-in-fault" => Ok(DropReason::SwapInFault),
+            other => Err(DeError::custom(format!("unknown drop reason {other:?}"))),
+        }
+    }
+}
+
+/// Which fault-recovery path the engine exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// A swap-in DMA failed or timed out and was retried after backoff.
+    SwapInRetry,
+    /// Swap-in retries were exhausted; the CPU chunks were dropped and
+    /// will be recomputed from raw tokens.
+    RecomputeFallback,
+    /// A transient GPU slot-allocation failure was absorbed by the
+    /// eviction backpressure pass.
+    GpuAllocFault,
+    /// An injected worker stall lengthened the iteration.
+    WorkerStall,
+}
+
+impl RecoveryKind {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryKind::SwapInRetry => "swap-in-retry",
+            RecoveryKind::RecomputeFallback => "recompute-fallback",
+            RecoveryKind::GpuAllocFault => "gpu-alloc-fault",
+            RecoveryKind::WorkerStall => "worker-stall",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, DeError> {
+        match s {
+            "swap-in-retry" => Ok(RecoveryKind::SwapInRetry),
+            "recompute-fallback" => Ok(RecoveryKind::RecomputeFallback),
+            "gpu-alloc-fault" => Ok(RecoveryKind::GpuAllocFault),
+            "worker-stall" => Ok(RecoveryKind::WorkerStall),
+            other => Err(DeError::custom(format!("unknown recovery kind {other:?}"))),
+        }
+    }
+}
+
+/// One structured event recorded by the serving stack.
+///
+/// See `docs/OBSERVABILITY.md` for the full reference of every variant's
+/// meaning and wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A scheduler iteration began (before admission).
+    IterationStart {
+        /// Simulated time at the start of the tick.
+        at: SimTime,
+        /// Zero-based iteration index.
+        iteration: u64,
+        /// Requests in the running batch at tick start.
+        running: usize,
+        /// Requests waiting for admission at tick start.
+        waiting: usize,
+    },
+    /// The iteration's batch was composed (after admission), with its
+    /// prefill/generation split.
+    BatchComposed {
+        /// Simulated time (still the tick start; compute has not run).
+        at: SimTime,
+        /// Zero-based iteration index.
+        iteration: u64,
+        /// Sequences doing prefill work this iteration.
+        prefill_seqs: usize,
+        /// Sequences doing single-token decode this iteration.
+        decode_seqs: usize,
+        /// Query tokens of prefill work in this iteration's invocation.
+        prefill_tokens: usize,
+        /// Query tokens of decode work (one per decode sequence).
+        decode_tokens: usize,
+    },
+    /// The iteration's model invocation completed and the clock advanced.
+    IterationEnd {
+        /// Simulated time after the clock advanced (= end of the tick).
+        at: SimTime,
+        /// Zero-based iteration index.
+        iteration: u64,
+        /// Link queueing delay that preceded compute.
+        queue_delay: SimDuration,
+        /// Model compute time, including any pipelined swap-in stall.
+        compute: SimDuration,
+        /// Injected worker-stall time (fault injection only).
+        stall: SimDuration,
+    },
+    /// A request was admitted and its Figure-5 restore plan committed.
+    /// The token fields are the per-turn cache-hit attribution.
+    Admitted {
+        /// Admission time.
+        at: SimTime,
+        /// Iteration that admitted the request.
+        iteration: u64,
+        /// Request id.
+        request: u64,
+        /// Conversation id.
+        conv: u64,
+        /// True when this resumes a suspended request rather than
+        /// starting a fresh turn.
+        resumed: bool,
+        /// New prompt tokens (0 for resumed requests).
+        prompt_tokens: usize,
+        /// History-tail tokens recomputed with the prompt (history the
+        /// cache never held, e.g. the previous turn's final token).
+        tail_tokens: usize,
+        /// History tokens served by the globally shared prefix.
+        shared_tokens: usize,
+        /// History tokens still GPU-resident (free hits).
+        gpu_hit_tokens: usize,
+        /// Lazily-copied tokens revalidated in place (free hits).
+        revalidate_tokens: usize,
+        /// History tokens swapped in from the CPU tier.
+        swap_in_tokens: usize,
+        /// Dropped history tokens recomputed from raw text.
+        recompute_tokens: usize,
+    },
+    /// A swap DMA was placed on the PCIe link (chunk swap-in/out start).
+    /// Under fault injection a failed DMA still records its start/end
+    /// pair: the aborted transfer occupied the link for its full duration.
+    SwapStart {
+        /// When the transfer starts moving bytes (after FIFO queueing).
+        at: SimTime,
+        /// Transfer direction.
+        dir: SwapDir,
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// A swap DMA completed (chunk swap-in/out end).
+    SwapEnd {
+        /// Completion time.
+        at: SimTime,
+        /// Transfer direction.
+        dir: SwapDir,
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// The eviction pass demoted a GPU-resident chunk: copied to the CPU
+    /// tier (ahead-of-time swap-out, `dropped = false`) or dropped
+    /// outright because the CPU tier could not hold it (`dropped = true`).
+    ChunkEvicted {
+        /// Eviction time.
+        at: SimTime,
+        /// Owning conversation.
+        conv: u64,
+        /// Chunk index within the conversation.
+        chunk: usize,
+        /// Tokens in the chunk.
+        tokens: usize,
+        /// True if dropped instead of copied.
+        dropped: bool,
+    },
+    /// A chunk's CPU-tier copy was discarded (the chunk must be
+    /// recomputed on its next restore unless the GPU still holds it).
+    ChunkDropped {
+        /// Drop time.
+        at: SimTime,
+        /// Owning conversation.
+        conv: u64,
+        /// Chunk index within the conversation.
+        chunk: usize,
+        /// Tokens in the chunk.
+        tokens: usize,
+        /// Why the copy was discarded.
+        reason: DropReason,
+    },
+    /// A restore revalidated lazily-copied tokens in place — their GPU
+    /// slots were never reclaimed, so the "swap-in" was free.
+    Revalidated {
+        /// Restore commit time.
+        at: SimTime,
+        /// Conversation restored.
+        conv: u64,
+        /// Tokens revalidated.
+        tokens: usize,
+    },
+    /// A restore committed a CPU→GPU swap-in of this many tokens.
+    SwapInCommitted {
+        /// Restore commit time.
+        at: SimTime,
+        /// Conversation restored.
+        conv: u64,
+        /// Tokens to transfer.
+        tokens: usize,
+    },
+    /// A restore committed recomputation of dropped tokens from raw text
+    /// (they run as extra prefill work in the admitting iteration).
+    RecomputeCommitted {
+        /// Restore commit time.
+        at: SimTime,
+        /// Conversation restored.
+        conv: u64,
+        /// Tokens to recompute.
+        tokens: usize,
+    },
+    /// A running request was suspended (§4.3.5) and its GPU-resident
+    /// context moved to the CPU tier.
+    Suspended {
+        /// Suspension time.
+        at: SimTime,
+        /// Conversation suspended.
+        conv: u64,
+        /// Tokens that must be transferred GPU→CPU.
+        tokens: usize,
+    },
+    /// The engine exercised a fault-recovery path.
+    FaultRecovery {
+        /// When the recovery action was taken.
+        at: SimTime,
+        /// Affected conversation, when one is attributable.
+        conv: Option<u64>,
+        /// Which recovery path ran.
+        kind: RecoveryKind,
+        /// Tokens involved (e.g. the swap-in size being retried).
+        tokens: usize,
+    },
+    /// A request finished and its response was emitted.
+    RequestCompleted {
+        /// Finish time.
+        at: SimTime,
+        /// Request id.
+        request: u64,
+        /// Conversation id.
+        conv: u64,
+        /// Request arrival time.
+        arrival: SimTime,
+        /// When the first output token was emitted.
+        first_token: SimTime,
+        /// Output tokens generated.
+        output_tokens: usize,
+        /// Query tokens processed in prefill.
+        prefill_tokens: usize,
+        /// History tokens served from cache (incl. the shared prefix).
+        cached_tokens: usize,
+    },
+    /// `sim::gpu` timed an iteration whose swap-in was pipelined
+    /// layer-by-layer with compute (§4.3.3); `total - compute` is the
+    /// stall the transfer could not hide.
+    PipelinedSwapIn {
+        /// Start of the timed invocation.
+        at: SimTime,
+        /// Swap-in bytes overlapped with the invocation.
+        bytes: u64,
+        /// Pure compute time of the batch.
+        compute: SimDuration,
+        /// Total time including the transfer stall.
+        total: SimDuration,
+    },
+    /// One forward pass of the threaded tensor-parallel engine. The
+    /// threaded engine has no simulated clock, so `at` is always zero and
+    /// `pass` provides the logical ordering.
+    TpPass {
+        /// Always [`SimTime::ZERO`] (no simulated clock in real-thread
+        /// execution).
+        at: SimTime,
+        /// Monotonic pass counter.
+        pass: u64,
+        /// Conversation served.
+        conv: u64,
+        /// Query tokens in the pass.
+        query_tokens: usize,
+        /// Worker shards that participated.
+        shards: usize,
+    },
+}
+
+/// Every variant name, in declaration order. The docs-coverage test
+/// asserts each appears in `docs/OBSERVABILITY.md`.
+pub const VARIANTS: &[&str] = &[
+    "IterationStart",
+    "BatchComposed",
+    "IterationEnd",
+    "Admitted",
+    "SwapStart",
+    "SwapEnd",
+    "ChunkEvicted",
+    "ChunkDropped",
+    "Revalidated",
+    "SwapInCommitted",
+    "RecomputeCommitted",
+    "Suspended",
+    "FaultRecovery",
+    "RequestCompleted",
+    "PipelinedSwapIn",
+    "TpPass",
+];
+
+impl TraceEvent {
+    /// The variant's wire name (the JSON `"ev"` field).
+    #[must_use]
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            TraceEvent::IterationStart { .. } => "IterationStart",
+            TraceEvent::BatchComposed { .. } => "BatchComposed",
+            TraceEvent::IterationEnd { .. } => "IterationEnd",
+            TraceEvent::Admitted { .. } => "Admitted",
+            TraceEvent::SwapStart { .. } => "SwapStart",
+            TraceEvent::SwapEnd { .. } => "SwapEnd",
+            TraceEvent::ChunkEvicted { .. } => "ChunkEvicted",
+            TraceEvent::ChunkDropped { .. } => "ChunkDropped",
+            TraceEvent::Revalidated { .. } => "Revalidated",
+            TraceEvent::SwapInCommitted { .. } => "SwapInCommitted",
+            TraceEvent::RecomputeCommitted { .. } => "RecomputeCommitted",
+            TraceEvent::Suspended { .. } => "Suspended",
+            TraceEvent::FaultRecovery { .. } => "FaultRecovery",
+            TraceEvent::RequestCompleted { .. } => "RequestCompleted",
+            TraceEvent::PipelinedSwapIn { .. } => "PipelinedSwapIn",
+            TraceEvent::TpPass { .. } => "TpPass",
+        }
+    }
+
+    /// The event's timestamp.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::IterationStart { at, .. }
+            | TraceEvent::BatchComposed { at, .. }
+            | TraceEvent::IterationEnd { at, .. }
+            | TraceEvent::Admitted { at, .. }
+            | TraceEvent::SwapStart { at, .. }
+            | TraceEvent::SwapEnd { at, .. }
+            | TraceEvent::ChunkEvicted { at, .. }
+            | TraceEvent::ChunkDropped { at, .. }
+            | TraceEvent::Revalidated { at, .. }
+            | TraceEvent::SwapInCommitted { at, .. }
+            | TraceEvent::RecomputeCommitted { at, .. }
+            | TraceEvent::Suspended { at, .. }
+            | TraceEvent::FaultRecovery { at, .. }
+            | TraceEvent::RequestCompleted { at, .. }
+            | TraceEvent::PipelinedSwapIn { at, .. }
+            | TraceEvent::TpPass { at, .. } => *at,
+        }
+    }
+}
+
+/// Builds the `"ev"`-tagged object for one event.
+fn obj(ev: &str, fields: &[(&str, Value)]) -> Value {
+    let mut m = Map::new();
+    m.insert("ev".to_owned(), Value::String(ev.to_owned()));
+    for (k, v) in fields {
+        m.insert((*k).to_owned(), v.clone());
+    }
+    Value::Object(m)
+}
+
+fn num(x: f64) -> Value {
+    Value::Number(x)
+}
+
+fn time(t: SimTime) -> Value {
+    num(t.as_secs())
+}
+
+fn dur(d: SimDuration) -> Value {
+    num(d.as_secs())
+}
+
+fn get<'v>(v: &'v Value, key: &str) -> Result<&'v Value, DeError> {
+    v.get(key)
+        .ok_or_else(|| DeError::custom(format!("missing field {key:?}")))
+}
+
+fn f_time(v: &Value, key: &str) -> Result<SimTime, DeError> {
+    Ok(SimTime::from_secs(f64::from_value(get(v, key)?)?))
+}
+
+fn f_dur(v: &Value, key: &str) -> Result<SimDuration, DeError> {
+    Ok(SimDuration::from_secs(f64::from_value(get(v, key)?)?))
+}
+
+fn f_u64(v: &Value, key: &str) -> Result<u64, DeError> {
+    u64::from_value(get(v, key)?)
+}
+
+fn f_usize(v: &Value, key: &str) -> Result<usize, DeError> {
+    usize::from_value(get(v, key)?)
+}
+
+fn f_bool(v: &Value, key: &str) -> Result<bool, DeError> {
+    bool::from_value(get(v, key)?)
+}
+
+fn f_str(v: &Value, key: &str) -> Result<String, DeError> {
+    String::from_value(get(v, key)?)
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        match self {
+            TraceEvent::IterationStart {
+                at,
+                iteration,
+                running,
+                waiting,
+            } => obj(
+                "IterationStart",
+                &[
+                    ("at", time(*at)),
+                    ("iteration", num(*iteration as f64)),
+                    ("running", num(*running as f64)),
+                    ("waiting", num(*waiting as f64)),
+                ],
+            ),
+            TraceEvent::BatchComposed {
+                at,
+                iteration,
+                prefill_seqs,
+                decode_seqs,
+                prefill_tokens,
+                decode_tokens,
+            } => obj(
+                "BatchComposed",
+                &[
+                    ("at", time(*at)),
+                    ("iteration", num(*iteration as f64)),
+                    ("prefill_seqs", num(*prefill_seqs as f64)),
+                    ("decode_seqs", num(*decode_seqs as f64)),
+                    ("prefill_tokens", num(*prefill_tokens as f64)),
+                    ("decode_tokens", num(*decode_tokens as f64)),
+                ],
+            ),
+            TraceEvent::IterationEnd {
+                at,
+                iteration,
+                queue_delay,
+                compute,
+                stall,
+            } => obj(
+                "IterationEnd",
+                &[
+                    ("at", time(*at)),
+                    ("iteration", num(*iteration as f64)),
+                    ("queue_delay", dur(*queue_delay)),
+                    ("compute", dur(*compute)),
+                    ("stall", dur(*stall)),
+                ],
+            ),
+            TraceEvent::Admitted {
+                at,
+                iteration,
+                request,
+                conv,
+                resumed,
+                prompt_tokens,
+                tail_tokens,
+                shared_tokens,
+                gpu_hit_tokens,
+                revalidate_tokens,
+                swap_in_tokens,
+                recompute_tokens,
+            } => obj(
+                "Admitted",
+                &[
+                    ("at", time(*at)),
+                    ("iteration", num(*iteration as f64)),
+                    ("request", num(*request as f64)),
+                    ("conv", num(*conv as f64)),
+                    ("resumed", Value::Bool(*resumed)),
+                    ("prompt_tokens", num(*prompt_tokens as f64)),
+                    ("tail_tokens", num(*tail_tokens as f64)),
+                    ("shared_tokens", num(*shared_tokens as f64)),
+                    ("gpu_hit_tokens", num(*gpu_hit_tokens as f64)),
+                    ("revalidate_tokens", num(*revalidate_tokens as f64)),
+                    ("swap_in_tokens", num(*swap_in_tokens as f64)),
+                    ("recompute_tokens", num(*recompute_tokens as f64)),
+                ],
+            ),
+            TraceEvent::SwapStart { at, dir, bytes } => obj(
+                "SwapStart",
+                &[
+                    ("at", time(*at)),
+                    ("dir", Value::String(dir.as_str().to_owned())),
+                    ("bytes", num(*bytes as f64)),
+                ],
+            ),
+            TraceEvent::SwapEnd { at, dir, bytes } => obj(
+                "SwapEnd",
+                &[
+                    ("at", time(*at)),
+                    ("dir", Value::String(dir.as_str().to_owned())),
+                    ("bytes", num(*bytes as f64)),
+                ],
+            ),
+            TraceEvent::ChunkEvicted {
+                at,
+                conv,
+                chunk,
+                tokens,
+                dropped,
+            } => obj(
+                "ChunkEvicted",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("chunk", num(*chunk as f64)),
+                    ("tokens", num(*tokens as f64)),
+                    ("dropped", Value::Bool(*dropped)),
+                ],
+            ),
+            TraceEvent::ChunkDropped {
+                at,
+                conv,
+                chunk,
+                tokens,
+                reason,
+            } => obj(
+                "ChunkDropped",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("chunk", num(*chunk as f64)),
+                    ("tokens", num(*tokens as f64)),
+                    ("reason", Value::String(reason.as_str().to_owned())),
+                ],
+            ),
+            TraceEvent::Revalidated { at, conv, tokens } => obj(
+                "Revalidated",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("tokens", num(*tokens as f64)),
+                ],
+            ),
+            TraceEvent::SwapInCommitted { at, conv, tokens } => obj(
+                "SwapInCommitted",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("tokens", num(*tokens as f64)),
+                ],
+            ),
+            TraceEvent::RecomputeCommitted { at, conv, tokens } => obj(
+                "RecomputeCommitted",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("tokens", num(*tokens as f64)),
+                ],
+            ),
+            TraceEvent::Suspended { at, conv, tokens } => obj(
+                "Suspended",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("tokens", num(*tokens as f64)),
+                ],
+            ),
+            TraceEvent::FaultRecovery {
+                at,
+                conv,
+                kind,
+                tokens,
+            } => obj(
+                "FaultRecovery",
+                &[
+                    ("at", time(*at)),
+                    ("conv", conv.map_or(Value::Null, |c| num(c as f64))),
+                    ("kind", Value::String(kind.as_str().to_owned())),
+                    ("tokens", num(*tokens as f64)),
+                ],
+            ),
+            TraceEvent::RequestCompleted {
+                at,
+                request,
+                conv,
+                arrival,
+                first_token,
+                output_tokens,
+                prefill_tokens,
+                cached_tokens,
+            } => obj(
+                "RequestCompleted",
+                &[
+                    ("at", time(*at)),
+                    ("request", num(*request as f64)),
+                    ("conv", num(*conv as f64)),
+                    ("arrival", time(*arrival)),
+                    ("first_token", time(*first_token)),
+                    ("output_tokens", num(*output_tokens as f64)),
+                    ("prefill_tokens", num(*prefill_tokens as f64)),
+                    ("cached_tokens", num(*cached_tokens as f64)),
+                ],
+            ),
+            TraceEvent::PipelinedSwapIn {
+                at,
+                bytes,
+                compute,
+                total,
+            } => obj(
+                "PipelinedSwapIn",
+                &[
+                    ("at", time(*at)),
+                    ("bytes", num(*bytes as f64)),
+                    ("compute", dur(*compute)),
+                    ("total", dur(*total)),
+                ],
+            ),
+            TraceEvent::TpPass {
+                at,
+                pass,
+                conv,
+                query_tokens,
+                shards,
+            } => obj(
+                "TpPass",
+                &[
+                    ("at", time(*at)),
+                    ("pass", num(*pass as f64)),
+                    ("conv", num(*conv as f64)),
+                    ("query_tokens", num(*query_tokens as f64)),
+                    ("shards", num(*shards as f64)),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let ev = f_str(v, "ev")?;
+        match ev.as_str() {
+            "IterationStart" => Ok(TraceEvent::IterationStart {
+                at: f_time(v, "at")?,
+                iteration: f_u64(v, "iteration")?,
+                running: f_usize(v, "running")?,
+                waiting: f_usize(v, "waiting")?,
+            }),
+            "BatchComposed" => Ok(TraceEvent::BatchComposed {
+                at: f_time(v, "at")?,
+                iteration: f_u64(v, "iteration")?,
+                prefill_seqs: f_usize(v, "prefill_seqs")?,
+                decode_seqs: f_usize(v, "decode_seqs")?,
+                prefill_tokens: f_usize(v, "prefill_tokens")?,
+                decode_tokens: f_usize(v, "decode_tokens")?,
+            }),
+            "IterationEnd" => Ok(TraceEvent::IterationEnd {
+                at: f_time(v, "at")?,
+                iteration: f_u64(v, "iteration")?,
+                queue_delay: f_dur(v, "queue_delay")?,
+                compute: f_dur(v, "compute")?,
+                stall: f_dur(v, "stall")?,
+            }),
+            "Admitted" => Ok(TraceEvent::Admitted {
+                at: f_time(v, "at")?,
+                iteration: f_u64(v, "iteration")?,
+                request: f_u64(v, "request")?,
+                conv: f_u64(v, "conv")?,
+                resumed: f_bool(v, "resumed")?,
+                prompt_tokens: f_usize(v, "prompt_tokens")?,
+                tail_tokens: f_usize(v, "tail_tokens")?,
+                shared_tokens: f_usize(v, "shared_tokens")?,
+                gpu_hit_tokens: f_usize(v, "gpu_hit_tokens")?,
+                revalidate_tokens: f_usize(v, "revalidate_tokens")?,
+                swap_in_tokens: f_usize(v, "swap_in_tokens")?,
+                recompute_tokens: f_usize(v, "recompute_tokens")?,
+            }),
+            "SwapStart" => Ok(TraceEvent::SwapStart {
+                at: f_time(v, "at")?,
+                dir: SwapDir::parse(&f_str(v, "dir")?)?,
+                bytes: f_u64(v, "bytes")?,
+            }),
+            "SwapEnd" => Ok(TraceEvent::SwapEnd {
+                at: f_time(v, "at")?,
+                dir: SwapDir::parse(&f_str(v, "dir")?)?,
+                bytes: f_u64(v, "bytes")?,
+            }),
+            "ChunkEvicted" => Ok(TraceEvent::ChunkEvicted {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                chunk: f_usize(v, "chunk")?,
+                tokens: f_usize(v, "tokens")?,
+                dropped: f_bool(v, "dropped")?,
+            }),
+            "ChunkDropped" => Ok(TraceEvent::ChunkDropped {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                chunk: f_usize(v, "chunk")?,
+                tokens: f_usize(v, "tokens")?,
+                reason: DropReason::parse(&f_str(v, "reason")?)?,
+            }),
+            "Revalidated" => Ok(TraceEvent::Revalidated {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                tokens: f_usize(v, "tokens")?,
+            }),
+            "SwapInCommitted" => Ok(TraceEvent::SwapInCommitted {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                tokens: f_usize(v, "tokens")?,
+            }),
+            "RecomputeCommitted" => Ok(TraceEvent::RecomputeCommitted {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                tokens: f_usize(v, "tokens")?,
+            }),
+            "Suspended" => Ok(TraceEvent::Suspended {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                tokens: f_usize(v, "tokens")?,
+            }),
+            "FaultRecovery" => Ok(TraceEvent::FaultRecovery {
+                at: f_time(v, "at")?,
+                conv: Option::<u64>::from_value(get(v, "conv")?)?,
+                kind: RecoveryKind::parse(&f_str(v, "kind")?)?,
+                tokens: f_usize(v, "tokens")?,
+            }),
+            "RequestCompleted" => Ok(TraceEvent::RequestCompleted {
+                at: f_time(v, "at")?,
+                request: f_u64(v, "request")?,
+                conv: f_u64(v, "conv")?,
+                arrival: f_time(v, "arrival")?,
+                first_token: f_time(v, "first_token")?,
+                output_tokens: f_usize(v, "output_tokens")?,
+                prefill_tokens: f_usize(v, "prefill_tokens")?,
+                cached_tokens: f_usize(v, "cached_tokens")?,
+            }),
+            "PipelinedSwapIn" => Ok(TraceEvent::PipelinedSwapIn {
+                at: f_time(v, "at")?,
+                bytes: f_u64(v, "bytes")?,
+                compute: f_dur(v, "compute")?,
+                total: f_dur(v, "total")?,
+            }),
+            "TpPass" => Ok(TraceEvent::TpPass {
+                at: f_time(v, "at")?,
+                pass: f_u64(v, "pass")?,
+                conv: f_u64(v, "conv")?,
+                query_tokens: f_usize(v, "query_tokens")?,
+                shards: f_usize(v, "shards")?,
+            }),
+            other => Err(DeError::custom(format!("unknown event variant {other:?}"))),
+        }
+    }
+}
+
+/// One instance of every variant, in declaration order — the fixture
+/// behind the wire-format unit tests, the Chrome-trace golden file, and
+/// the docs-coverage test, and a compact reference for what each variant
+/// looks like on the wire.
+#[must_use]
+pub fn sample_events() -> Vec<TraceEvent> {
+    let t = SimTime::from_secs(1.25);
+    vec![
+        TraceEvent::IterationStart {
+            at: t,
+            iteration: 3,
+            running: 2,
+            waiting: 1,
+        },
+        TraceEvent::BatchComposed {
+            at: t,
+            iteration: 3,
+            prefill_seqs: 1,
+            decode_seqs: 2,
+            prefill_tokens: 128,
+            decode_tokens: 2,
+        },
+        TraceEvent::IterationEnd {
+            at: SimTime::from_secs(1.30),
+            iteration: 3,
+            queue_delay: SimDuration::from_millis(1.0),
+            compute: SimDuration::from_millis(48.0),
+            stall: SimDuration::ZERO,
+        },
+        TraceEvent::Admitted {
+            at: t,
+            iteration: 3,
+            request: 7,
+            conv: 4,
+            resumed: false,
+            prompt_tokens: 40,
+            tail_tokens: 1,
+            shared_tokens: 0,
+            gpu_hit_tokens: 96,
+            revalidate_tokens: 32,
+            swap_in_tokens: 64,
+            recompute_tokens: 32,
+        },
+        TraceEvent::SwapStart {
+            at: t,
+            dir: SwapDir::In,
+            bytes: 1 << 20,
+        },
+        TraceEvent::SwapEnd {
+            at: SimTime::from_secs(1.26),
+            dir: SwapDir::In,
+            bytes: 1 << 20,
+        },
+        TraceEvent::ChunkEvicted {
+            at: t,
+            conv: 2,
+            chunk: 5,
+            tokens: 32,
+            dropped: false,
+        },
+        TraceEvent::ChunkDropped {
+            at: t,
+            conv: 2,
+            chunk: 6,
+            tokens: 32,
+            reason: DropReason::CpuPressure,
+        },
+        TraceEvent::Revalidated {
+            at: t,
+            conv: 4,
+            tokens: 32,
+        },
+        TraceEvent::SwapInCommitted {
+            at: t,
+            conv: 4,
+            tokens: 64,
+        },
+        TraceEvent::RecomputeCommitted {
+            at: t,
+            conv: 4,
+            tokens: 32,
+        },
+        TraceEvent::Suspended {
+            at: t,
+            conv: 9,
+            tokens: 256,
+        },
+        TraceEvent::FaultRecovery {
+            at: t,
+            conv: Some(4),
+            kind: RecoveryKind::SwapInRetry,
+            tokens: 64,
+        },
+        TraceEvent::RequestCompleted {
+            at: SimTime::from_secs(2.5),
+            request: 7,
+            conv: 4,
+            arrival: SimTime::from_secs(1.0),
+            first_token: SimTime::from_secs(1.3),
+            output_tokens: 20,
+            prefill_tokens: 73,
+            cached_tokens: 192,
+        },
+        TraceEvent::PipelinedSwapIn {
+            at: t,
+            bytes: 1 << 20,
+            compute: SimDuration::from_millis(48.0),
+            total: SimDuration::from_millis(50.0),
+        },
+        TraceEvent::TpPass {
+            at: SimTime::ZERO,
+            pass: 11,
+            conv: 4,
+            query_tokens: 16,
+            shards: 2,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_match_const_list() {
+        let samples = sample_events();
+        assert_eq!(samples.len(), VARIANTS.len());
+        for (ev, name) in samples.iter().zip(VARIANTS) {
+            assert_eq!(ev.variant_name(), *name);
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for ev in sample_events() {
+            let v = ev.to_value();
+            let back = TraceEvent::from_value(&v).expect("round trip");
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn unknown_variant_is_an_error() {
+        let v = obj("NotAnEvent", &[("at", num(0.0))]);
+        assert!(TraceEvent::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let v = obj("Suspended", &[("at", num(0.0)), ("conv", num(1.0))]);
+        assert!(TraceEvent::from_value(&v).is_err());
+    }
+}

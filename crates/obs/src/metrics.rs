@@ -1,0 +1,347 @@
+//! Deterministic metrics registry: counters, gauges, fixed-bucket
+//! histograms, per-iteration time series, Prometheus-style text dump.
+//!
+//! Nothing here reads a wall clock or iterates hash-ordered containers —
+//! every map is a `BTreeMap`, so registration order never changes the
+//! exported text and traced runs stay bit-reproducible.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use pensieve_model::SimTime;
+
+/// Canonical metric names recorded by the serving stack. The
+/// docs-coverage test asserts each appears in `docs/OBSERVABILITY.md`.
+pub mod names {
+    /// Counter: scheduler iterations executed.
+    pub const ITERATIONS_TOTAL: &str = "pensieve_iterations_total";
+    /// Counter: query tokens processed in prefill.
+    pub const PREFILL_TOKENS_TOTAL: &str = "pensieve_prefill_tokens_total";
+    /// Counter: decode steps executed.
+    pub const DECODE_TOKENS_TOTAL: &str = "pensieve_decode_tokens_total";
+    /// Counter: requests suspended mid-generation (§4.3.5).
+    pub const SUSPENSIONS_TOTAL: &str = "pensieve_suspensions_total";
+    /// Counter: swap-in DMA attempts retried after injected faults.
+    pub const SWAP_IN_RETRIES_TOTAL: &str = "pensieve_swap_in_retries_total";
+    /// Counter: restores that fell back to dropped-token recomputation.
+    pub const RECOMPUTE_FALLBACKS_TOTAL: &str = "pensieve_recompute_fallbacks_total";
+    /// Counter: transient GPU allocation faults absorbed by backpressure.
+    pub const GPU_ALLOC_FAULTS_TOTAL: &str = "pensieve_gpu_alloc_faults_total";
+    /// Counter: injected worker stalls absorbed as longer iterations.
+    pub const WORKER_STALLS_TOTAL: &str = "pensieve_worker_stalls_total";
+    /// Counter: CPU-tier chunks lost or corrupted by injected faults.
+    pub const CHUNK_FAULTS_TOTAL: &str = "pensieve_chunk_faults_total";
+    /// Counter: completed requests.
+    pub const REQUESTS_COMPLETED_TOTAL: &str = "pensieve_requests_completed_total";
+    /// Counter: history tokens served by the shared system prompt.
+    pub const SHARED_PREFIX_HIT_TOKENS_TOTAL: &str = "pensieve_shared_prefix_hit_tokens_total";
+    /// Gauge: requests in the running batch.
+    pub const RUNNING_REQUESTS: &str = "pensieve_running_requests";
+    /// Gauge: requests waiting for admission.
+    pub const WAITING_REQUESTS: &str = "pensieve_waiting_requests";
+    /// Gauge: GPU KV slots in use (resident + lazily-copied tokens).
+    pub const GPU_SLOTS_USED: &str = "pensieve_gpu_slots_used";
+    /// Gauge: CPU cache tokens in use.
+    pub const CPU_TOKENS_USED: &str = "pensieve_cpu_tokens_used";
+    /// Histogram: end-to-end iteration time (queue delay + compute +
+    /// stall), seconds.
+    pub const ITERATION_SECONDS: &str = "pensieve_iteration_seconds";
+    /// Histogram: query tokens per batched invocation.
+    pub const BATCH_QUERY_TOKENS: &str = "pensieve_batch_query_tokens";
+    /// Histogram: time to first token, seconds.
+    pub const TTFT_SECONDS: &str = "pensieve_ttft_seconds";
+
+    /// Every canonical metric name.
+    pub const ALL: &[&str] = &[
+        ITERATIONS_TOTAL,
+        PREFILL_TOKENS_TOTAL,
+        DECODE_TOKENS_TOTAL,
+        SUSPENSIONS_TOTAL,
+        SWAP_IN_RETRIES_TOTAL,
+        RECOMPUTE_FALLBACKS_TOTAL,
+        GPU_ALLOC_FAULTS_TOTAL,
+        WORKER_STALLS_TOTAL,
+        CHUNK_FAULTS_TOTAL,
+        REQUESTS_COMPLETED_TOTAL,
+        SHARED_PREFIX_HIT_TOKENS_TOTAL,
+        RUNNING_REQUESTS,
+        WAITING_REQUESTS,
+        GPU_SLOTS_USED,
+        CPU_TOKENS_USED,
+        ITERATION_SECONDS,
+        BATCH_QUERY_TOKENS,
+        TTFT_SECONDS,
+    ];
+}
+
+/// Default bucket upper bounds for [`names::ITERATION_SECONDS`].
+pub const ITERATION_SECONDS_BUCKETS: &[f64] =
+    &[0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0];
+
+/// Default bucket upper bounds for [`names::BATCH_QUERY_TOKENS`].
+pub const BATCH_QUERY_TOKENS_BUCKETS: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+];
+
+/// Default bucket upper bounds for [`names::TTFT_SECONDS`].
+pub const TTFT_SECONDS_BUCKETS: &[f64] = &[0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0];
+
+/// A fixed-bucket histogram (cumulative at export time, per-bucket in
+/// memory).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing. An implicit `+Inf`
+    /// bucket always follows.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts; `counts[bounds.len()]` is `+Inf`.
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds.
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+        self.sum += v;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Bucket upper bounds (without the implicit `+Inf`).
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative count of observations `<= bounds()[i]`; the last entry
+    /// (index `bounds().len()`) is the `+Inf` bucket and equals
+    /// [`Histogram::count`].
+    #[must_use]
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// The metrics registry: monotonic counters, gauges, histograms, and a
+/// per-iteration time series of every counter/gauge.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Sample timestamps, one per [`MetricsRegistry::sample`] call.
+    sample_times: Vec<f64>,
+    /// Column-oriented series: metric name → one value per sample. A
+    /// metric first seen after sampling began is backfilled with zeros.
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a monotonic counter to `v`. Values below the current one are
+    /// ignored (counters never regress), which lets callers mirror an
+    /// externally-maintained total without delta bookkeeping.
+    pub fn counter_set(&mut self, name: &str, v: u64) {
+        let c = self.counters.entry(name.to_owned()).or_insert(0);
+        *c = (*c).max(v);
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (0 if never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_owned(), v);
+    }
+
+    /// Current value of a gauge (`None` if never written).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records an observation into the named histogram, creating it with
+    /// `bounds` on first use.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// The named histogram, if any observation was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Appends one time-series sample: the current value of every counter
+    /// and gauge, stamped `at`. Metrics that appear later are backfilled
+    /// with zeros so all columns stay aligned with
+    /// [`MetricsRegistry::sample_times`].
+    pub fn sample(&mut self, at: SimTime) {
+        let n = self.sample_times.len();
+        self.sample_times.push(at.as_secs());
+        for (name, v) in &self.counters {
+            let col = self
+                .series
+                .entry(name.clone())
+                .or_insert_with(|| vec![0.0; n]);
+            col.resize(n, 0.0);
+            col.push(*v as f64);
+        }
+        for (name, v) in &self.gauges {
+            let col = self
+                .series
+                .entry(name.clone())
+                .or_insert_with(|| vec![0.0; n]);
+            col.resize(n, 0.0);
+            col.push(*v);
+        }
+    }
+
+    /// Timestamps (seconds) of the recorded samples.
+    #[must_use]
+    pub fn sample_times(&self) -> &[f64] {
+        &self.sample_times
+    }
+
+    /// The sampled column for one metric, aligned with
+    /// [`MetricsRegistry::sample_times`] (shorter if the metric appeared
+    /// after the final sample).
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    /// Deterministic: metrics are emitted in lexicographic name order.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let cumulative = h.cumulative();
+            for (i, bound) in h.bounds().iter().enumerate() {
+                let c = cumulative.get(i).copied().unwrap_or(0);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {c}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic() {
+        let mut r = MetricsRegistry::new();
+        r.counter_set("c", 5);
+        r.counter_set("c", 3);
+        assert_eq!(r.counter("c"), 5);
+        r.counter_add("c", 2);
+        assert_eq!(r.counter("c"), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 11.0).abs() < 1e-12);
+        assert_eq!(h.cumulative(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sampling_backfills_late_metrics() {
+        let mut r = MetricsRegistry::new();
+        r.counter_set("a", 1);
+        r.sample(SimTime::from_secs(0.0));
+        r.gauge_set("g", 2.5);
+        r.sample(SimTime::from_secs(1.0));
+        assert_eq!(r.sample_times(), &[0.0, 1.0]);
+        assert_eq!(r.series("a"), Some([1.0, 1.0].as_slice()));
+        assert_eq!(r.series("g"), Some([0.0, 2.5].as_slice()));
+    }
+
+    #[test]
+    fn prometheus_dump_is_deterministic_and_complete() {
+        let mut r = MetricsRegistry::new();
+        r.counter_set(names::ITERATIONS_TOTAL, 4);
+        r.gauge_set(names::RUNNING_REQUESTS, 2.0);
+        r.observe(names::ITERATION_SECONDS, ITERATION_SECONDS_BUCKETS, 0.03);
+        let a = r.prometheus();
+        let b = r.clone().prometheus();
+        assert_eq!(a, b);
+        assert!(a.contains("# TYPE pensieve_iterations_total counter"));
+        assert!(a.contains("pensieve_iterations_total 4"));
+        assert!(a.contains("# TYPE pensieve_running_requests gauge"));
+        assert!(a.contains("pensieve_iteration_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(a.contains("pensieve_iteration_seconds_count 1"));
+    }
+}

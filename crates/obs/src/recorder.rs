@@ -1,0 +1,183 @@
+//! The [`Recorder`] trait and its implementations.
+//!
+//! Instrumented components (`core::engine`, `kvcache::tiered`,
+//! `sim::pcie`, `sim::gpu`, `core::workers`) hold an
+//! `Option<SharedRecorder>`: `None` is the compiled-away no-op path — a
+//! `None` check and nothing else on the hot path, no event construction,
+//! no allocation — and `Some` appends to a buffer shared with the driver.
+//! Recording is strictly passive: it never feeds back into scheduling or
+//! timing decisions, so enabling a trace cannot perturb simulated
+//! results.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::TraceEvent;
+use crate::metrics::MetricsRegistry;
+
+/// Sink for trace events.
+pub trait Recorder {
+    /// True when events will actually be kept. Callers may use this to
+    /// skip building expensive event payloads.
+    fn enabled(&self) -> bool;
+
+    /// Records one event.
+    fn record(&self, ev: TraceEvent);
+}
+
+/// The no-op recorder: drops everything, reports disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _ev: TraceEvent) {}
+}
+
+/// Everything one recording session accumulates.
+#[derive(Debug, Default)]
+struct Observations {
+    events: Vec<TraceEvent>,
+    metrics: MetricsRegistry,
+}
+
+/// A cloneable recorder sharing one event buffer and metrics registry.
+///
+/// The simulated engine is single-threaded, so the shared state is a
+/// plain `Rc<RefCell<..>>`: cloning hands the same buffer to the engine,
+/// cache, link and GPU timer without locks. Re-entrant borrows are
+/// impossible by construction (no recording call invokes another), but
+/// `record` still uses `try_borrow_mut` so a future mistake drops an
+/// event instead of panicking on a hot path.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRecorder {
+    inner: Rc<RefCell<Observations>>,
+}
+
+impl SharedRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.inner.try_borrow().map_or(0, |o| o.events.len())
+    }
+
+    /// A copy of the recorded events, in recording order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .try_borrow()
+            .map_or_else(|_| Vec::new(), |o| o.events.clone())
+    }
+
+    /// Drains the recorded events, leaving the buffer empty.
+    #[must_use]
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .try_borrow_mut()
+            .map_or_else(|_| Vec::new(), |mut o| std::mem::take(&mut o.events))
+    }
+
+    /// Runs `f` with mutable access to the metrics registry. Returns
+    /// `None` only on a re-entrant borrow (which instrumented code never
+    /// produces).
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
+        self.inner
+            .try_borrow_mut()
+            .ok()
+            .map(|mut o| f(&mut o.metrics))
+    }
+
+    /// A snapshot of the metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner
+            .try_borrow()
+            .map_or_else(|_| MetricsRegistry::new(), |o| o.metrics.clone())
+    }
+}
+
+impl Recorder for SharedRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        if let Ok(mut o) = self.inner.try_borrow_mut() {
+            o.events.push(ev);
+        }
+    }
+}
+
+/// The form instrumented components hold: `None` is the no-op path.
+impl Recorder for Option<SharedRecorder> {
+    fn enabled(&self) -> bool {
+        self.is_some()
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        if let Some(r) = self {
+            r.record(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pensieve_model::SimTime;
+
+    fn ev(at: f64) -> TraceEvent {
+        TraceEvent::Suspended {
+            at: SimTime::from_secs(at),
+            conv: 1,
+            tokens: 32,
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(ev(0.0));
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = SharedRecorder::new();
+        let b = a.clone();
+        a.record(ev(0.0));
+        b.record(ev(1.0));
+        assert_eq!(a.event_count(), 2);
+        let events = a.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(b.event_count(), 0);
+    }
+
+    #[test]
+    fn optional_recorder_none_is_noop() {
+        let none: Option<SharedRecorder> = None;
+        assert!(!none.enabled());
+        none.record(ev(0.0));
+        let some = Some(SharedRecorder::new());
+        assert!(some.enabled());
+        some.record(ev(0.0));
+        assert_eq!(some.as_ref().map(SharedRecorder::event_count), Some(1));
+    }
+
+    #[test]
+    fn metrics_are_shared_too() {
+        let a = SharedRecorder::new();
+        let b = a.clone();
+        a.with_metrics(|m| m.counter_add("c", 3));
+        assert_eq!(b.metrics().counter("c"), 3);
+    }
+}

@@ -1,0 +1,388 @@
+//! Post-processing of event logs: per-turn cache-hit attribution and
+//! PCIe duplex/pipelining overlap statistics.
+//!
+//! This is the analysis behind `trace_report` (in `pensieve-bench`): it
+//! answers "where did each admitted turn's history tokens come from?"
+//! (GPU hit / revalidated / swapped in / recomputed — the §3 cache
+//! effectiveness split, cf. Figure 14) and "how much did the two PCIe
+//! directions and GPU compute actually overlap?" (the §4.2 duplex and
+//! §4.3.3 pipelining claims).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use pensieve_model::{SimDuration, SimTime};
+
+use crate::event::{SwapDir, TraceEvent};
+
+/// Cache-source attribution for one admitted turn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurnAttribution {
+    /// Request id of the turn.
+    pub request: u64,
+    /// Conversation the turn belongs to.
+    pub conv: u64,
+    /// True when the conversation had prior state (a follow-up turn).
+    pub resumed: bool,
+    /// New prompt tokens in this turn.
+    pub prompt_tokens: usize,
+    /// History tokens served straight from GPU-resident chunks.
+    pub gpu_hit_tokens: usize,
+    /// History tokens revalidated from stale GPU copies (free).
+    pub revalidate_tokens: usize,
+    /// History tokens restored over PCIe from the CPU tier.
+    pub swap_in_tokens: usize,
+    /// History tokens recomputed because their cache was dropped.
+    pub recompute_tokens: usize,
+    /// Tokens credited to the shared system-prompt prefix.
+    pub shared_tokens: usize,
+}
+
+impl TurnAttribution {
+    /// All history tokens the cache was asked to produce for this turn.
+    #[must_use]
+    pub fn history_tokens(&self) -> usize {
+        self.gpu_hit_tokens + self.revalidate_tokens + self.swap_in_tokens + self.recompute_tokens
+    }
+
+    /// Fraction of history tokens that avoided recomputation
+    /// (GPU hit + revalidate + swap-in), or `None` with no history.
+    #[must_use]
+    pub fn saved_fraction(&self) -> Option<f64> {
+        let total = self.history_tokens();
+        if total == 0 {
+            return None;
+        }
+        let saved = total - self.recompute_tokens;
+        Some(saved as f64 / total as f64)
+    }
+}
+
+/// Aggregated report over one event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Per-turn attribution rows, in admission order.
+    pub turns: Vec<TurnAttribution>,
+    /// Scheduler iterations observed.
+    pub iterations: u64,
+    /// Requests that ran to completion.
+    pub requests_completed: u64,
+    /// Suspension events (§4.3.5).
+    pub suspensions: u64,
+    /// Fault-recovery events.
+    pub fault_recoveries: u64,
+    /// Time between the first and last event.
+    pub span: SimDuration,
+    /// Total simulated time GPU compute was busy (iteration compute).
+    pub compute_busy: SimDuration,
+    /// Total simulated time the H2D direction carried swap-in DMAs.
+    pub swap_in_busy: SimDuration,
+    /// Total simulated time the D2H direction carried swap-out DMAs.
+    pub swap_out_busy: SimDuration,
+    /// Bytes moved host-to-device (swap-in).
+    pub swap_in_bytes: u64,
+    /// Bytes moved device-to-host (swap-out).
+    pub swap_out_bytes: u64,
+    /// Time both PCIe directions were simultaneously busy — the §4.2
+    /// full-duplex win over a half-duplex schedule.
+    pub duplex_overlap: SimDuration,
+    /// Time GPU compute and swap-in DMA were simultaneously busy — the
+    /// §4.3.3 layered-pipelining win over stop-and-copy.
+    pub compute_swap_in_overlap: SimDuration,
+}
+
+/// Sums, merges and intersects `(start, end)` second intervals.
+fn merged(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|(s, e)| e > s);
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn total(iv: &[(f64, f64)]) -> f64 {
+    // `+ 0.0` normalises the empty sum: f64's additive identity is -0.0,
+    // which would render as "-0.000s".
+    iv.iter().map(|(s, e)| e - s).sum::<f64>() + 0.0
+}
+
+/// Total length of the intersection of two merged interval lists.
+fn overlap(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            acc += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    acc
+}
+
+impl TraceReport {
+    /// Builds the report from an event log (any ordering; swap pairs are
+    /// matched FIFO per direction, as they were recorded).
+    #[must_use]
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut report = Self::default();
+        let mut first: Option<SimTime> = None;
+        let mut last: Option<SimTime> = None;
+        let mut compute_iv: Vec<(f64, f64)> = Vec::new();
+        let mut in_iv: Vec<(f64, f64)> = Vec::new();
+        let mut out_iv: Vec<(f64, f64)> = Vec::new();
+        let mut in_starts: VecDeque<(f64, u64)> = VecDeque::new();
+        let mut out_starts: VecDeque<(f64, u64)> = VecDeque::new();
+        for ev in events {
+            let at = ev.at();
+            first = Some(first.map_or(at, |f| if at < f { at } else { f }));
+            last = Some(last.map_or(at, |l| if at > l { at } else { l }));
+            match ev {
+                TraceEvent::IterationEnd {
+                    at, compute, stall, ..
+                } => {
+                    report.iterations += 1;
+                    // Time advances queue_delay, then compute, then stall:
+                    // compute occupies [at - stall - compute, at - stall].
+                    let end = at.as_secs() - stall.as_secs();
+                    compute_iv.push((end - compute.as_secs(), end));
+                }
+                TraceEvent::Admitted {
+                    request,
+                    conv,
+                    resumed,
+                    prompt_tokens,
+                    shared_tokens,
+                    gpu_hit_tokens,
+                    revalidate_tokens,
+                    swap_in_tokens,
+                    recompute_tokens,
+                    ..
+                } => report.turns.push(TurnAttribution {
+                    request: *request,
+                    conv: *conv,
+                    resumed: *resumed,
+                    prompt_tokens: *prompt_tokens,
+                    gpu_hit_tokens: *gpu_hit_tokens,
+                    revalidate_tokens: *revalidate_tokens,
+                    swap_in_tokens: *swap_in_tokens,
+                    recompute_tokens: *recompute_tokens,
+                    shared_tokens: *shared_tokens,
+                }),
+                TraceEvent::SwapStart { at, dir, bytes } => match dir {
+                    SwapDir::In => in_starts.push_back((at.as_secs(), *bytes)),
+                    SwapDir::Out => out_starts.push_back((at.as_secs(), *bytes)),
+                },
+                TraceEvent::SwapEnd { at, dir, .. } => {
+                    let (starts, iv, bytes_acc) = match dir {
+                        SwapDir::In => (&mut in_starts, &mut in_iv, &mut report.swap_in_bytes),
+                        SwapDir::Out => (&mut out_starts, &mut out_iv, &mut report.swap_out_bytes),
+                    };
+                    if let Some((start, bytes)) = starts.pop_front() {
+                        iv.push((start, at.as_secs()));
+                        *bytes_acc += bytes;
+                    }
+                }
+                TraceEvent::Suspended { .. } => report.suspensions += 1,
+                TraceEvent::FaultRecovery { .. } => report.fault_recoveries += 1,
+                TraceEvent::RequestCompleted { .. } => report.requests_completed += 1,
+                _ => {}
+            }
+        }
+        if let (Some(f), Some(l)) = (first, last) {
+            report.span = l.saturating_duration_since(f);
+        }
+        let compute_iv = merged(compute_iv);
+        let in_iv = merged(in_iv);
+        let out_iv = merged(out_iv);
+        report.compute_busy = SimDuration::from_secs(total(&compute_iv));
+        report.swap_in_busy = SimDuration::from_secs(total(&in_iv));
+        report.swap_out_busy = SimDuration::from_secs(total(&out_iv));
+        report.duplex_overlap = SimDuration::from_secs(overlap(&in_iv, &out_iv));
+        report.compute_swap_in_overlap = SimDuration::from_secs(overlap(&compute_iv, &in_iv));
+        report
+    }
+
+    /// Token totals across all turns:
+    /// `(history, gpu_hit, revalidate, swap_in, recompute, shared)`.
+    #[must_use]
+    pub fn token_totals(&self) -> (usize, usize, usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0, 0, 0);
+        for turn in &self.turns {
+            t.0 += turn.history_tokens();
+            t.1 += turn.gpu_hit_tokens;
+            t.2 += turn.revalidate_tokens;
+            t.3 += turn.swap_in_tokens;
+            t.4 += turn.recompute_tokens;
+            t.5 += turn.shared_tokens;
+        }
+        t
+    }
+
+    /// Renders the report as a plain-text summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let pct = |part: f64, whole: f64| {
+            if whole > 0.0 {
+                100.0 * part / whole
+            } else {
+                0.0
+            }
+        };
+        let (history, gpu, reval, swap, recompute, shared) = self.token_totals();
+        let h = history as f64;
+        let _ = writeln!(out, "== trace report ==");
+        let _ = writeln!(
+            out,
+            "span {:.3}s  iterations {}  turns {}  completed {}  suspensions {}  fault-recoveries {}",
+            self.span.as_secs(),
+            self.iterations,
+            self.turns.len(),
+            self.requests_completed,
+            self.suspensions,
+            self.fault_recoveries,
+        );
+        let _ = writeln!(
+            out,
+            "\n-- per-turn cache-hit attribution (history tokens) --"
+        );
+        let _ = writeln!(
+            out,
+            "history {history}  gpu-hit {gpu} ({:.1}%)  revalidated {reval} ({:.1}%)  swapped-in {swap} ({:.1}%)  recomputed {recompute} ({:.1}%)  shared-prefix credit {shared}",
+            pct(gpu as f64, h),
+            pct(reval as f64, h),
+            pct(swap as f64, h),
+            pct(recompute as f64, h),
+        );
+        let resumed = self.turns.iter().filter(|t| t.resumed).count();
+        let _ = writeln!(
+            out,
+            "resumed turns {resumed}/{}  saved (non-recompute) {:.1}%",
+            self.turns.len(),
+            pct(h - recompute as f64, h),
+        );
+        let _ = writeln!(out, "\n-- PCIe / compute overlap --");
+        let _ = writeln!(
+            out,
+            "swap-in busy {:.3}s ({} bytes)  swap-out busy {:.3}s ({} bytes)",
+            self.swap_in_busy.as_secs(),
+            self.swap_in_bytes,
+            self.swap_out_busy.as_secs(),
+            self.swap_out_bytes,
+        );
+        let _ = writeln!(
+            out,
+            "duplex overlap {:.3}s ({:.1}% of swap-in busy) — time both PCIe directions ran at once",
+            self.duplex_overlap.as_secs(),
+            pct(self.duplex_overlap.as_secs(), self.swap_in_busy.as_secs()),
+        );
+        let _ = writeln!(
+            out,
+            "compute busy {:.3}s; compute/swap-in overlap {:.3}s ({:.1}% of swap-in hidden behind compute)",
+            self.compute_busy.as_secs(),
+            self.compute_swap_in_overlap.as_secs(),
+            pct(
+                self.compute_swap_in_overlap.as_secs(),
+                self.swap_in_busy.as_secs()
+            ),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let m = merged(vec![(2.0, 3.0), (0.0, 1.0), (0.5, 1.5), (3.0, 3.0)]);
+        assert_eq!(m, vec![(0.0, 1.5), (2.0, 3.0)]);
+        assert!((total(&m) - 2.5).abs() < 1e-12);
+        let o = overlap(&[(0.0, 2.0), (3.0, 4.0)], &[(1.0, 3.5)]);
+        assert!((o - 1.5).abs() < 1e-12, "overlap {o}");
+    }
+
+    #[test]
+    fn attribution_and_overlap_from_events() {
+        let events = vec![
+            TraceEvent::Admitted {
+                at: t(0.0),
+                iteration: 0,
+                request: 1,
+                conv: 7,
+                resumed: true,
+                prompt_tokens: 10,
+                tail_tokens: 0,
+                shared_tokens: 4,
+                gpu_hit_tokens: 60,
+                revalidate_tokens: 10,
+                swap_in_tokens: 20,
+                recompute_tokens: 10,
+            },
+            TraceEvent::SwapStart {
+                at: t(0.0),
+                dir: SwapDir::In,
+                bytes: 100,
+            },
+            TraceEvent::SwapEnd {
+                at: t(1.0),
+                dir: SwapDir::In,
+                bytes: 100,
+            },
+            TraceEvent::SwapStart {
+                at: t(0.5),
+                dir: SwapDir::Out,
+                bytes: 50,
+            },
+            TraceEvent::SwapEnd {
+                at: t(1.5),
+                dir: SwapDir::Out,
+                bytes: 50,
+            },
+            TraceEvent::IterationEnd {
+                at: t(1.0),
+                iteration: 0,
+                queue_delay: SimDuration::from_secs(0.2),
+                compute: SimDuration::from_secs(0.8),
+                stall: SimDuration::ZERO,
+            },
+        ];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.turns.len(), 1);
+        assert_eq!(r.turns[0].history_tokens(), 100);
+        let saved = r.turns[0].saved_fraction().expect("has history");
+        assert!((saved - 0.9).abs() < 1e-12);
+        assert_eq!(r.swap_in_bytes, 100);
+        assert_eq!(r.swap_out_bytes, 50);
+        // Swap-in [0,1] vs swap-out [0.5,1.5] overlap 0.5s.
+        assert!((r.duplex_overlap.as_secs() - 0.5).abs() < 1e-9);
+        // Compute [0.2,1.0] vs swap-in [0,1] overlap 0.8s.
+        assert!((r.compute_swap_in_overlap.as_secs() - 0.8).abs() < 1e-9);
+        let text = r.render();
+        assert!(text.contains("gpu-hit 60 (60.0%)"), "{text}");
+        assert!(text.contains("duplex overlap 0.500s"), "{text}");
+    }
+
+    #[test]
+    fn empty_log_renders_without_dividing_by_zero() {
+        let r = TraceReport::from_events(&[]);
+        assert_eq!(r.span, SimDuration::ZERO);
+        let text = r.render();
+        assert!(text.contains("turns 0"), "{text}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Golden-file test for the Chrome `trace_event` exporter.
+//!
+//! The exporter must be byte-stable: Perfetto/`chrome://tracing` users
+//! diff traces across runs, and the docs embed excerpts of this exact
+//! output. Regenerate the golden file after an intentional format change
+//! with:
+//!
+//! ```text
+//! cargo test -p pensieve-obs --test chrome_golden -- --ignored regenerate
+//! ```
+
+use pensieve_obs::{chrome_trace, chrome_trace_string, sample_events};
+use serde::Value;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("chrome_trace.json")
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let rendered = chrome_trace_string(&sample_events());
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file exists");
+    assert_eq!(
+        rendered.trim_end(),
+        golden.trim_end(),
+        "chrome_trace output drifted from tests/golden/chrome_trace.json; \
+         if intentional, regenerate with \
+         `cargo test -p pensieve-obs --test chrome_golden -- --ignored regenerate`"
+    );
+}
+
+#[test]
+fn golden_file_is_valid_chrome_json() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file exists");
+    let doc: Value = serde_json::from_str(&golden).expect("golden parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).expect("ph field");
+        assert!(
+            ["X", "M", "i", "C"].contains(&ph),
+            "unexpected phase {ph:?}"
+        );
+        assert!(ev.get("pid").is_some(), "missing pid in {ev:?}");
+        if ph != "M" {
+            assert!(ev.get("ts").is_some(), "missing ts in {ev:?}");
+        }
+    }
+}
+
+/// Timestamps ascend (stable sort by ts), so Perfetto renders tracks
+/// without re-sorting surprises.
+#[test]
+fn golden_trace_events_are_time_ordered() {
+    let doc = chrome_trace(&sample_events());
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let ts: Vec<f64> = events
+        .iter()
+        .filter_map(|e| e.get("ts").and_then(Value::as_f64))
+        .collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]), "ts not sorted: {ts:?}");
+}
+
+/// Not a test: rewrites the golden file from the current exporter.
+#[test]
+#[ignore = "run explicitly to regenerate the golden file"]
+fn regenerate() {
+    let rendered = chrome_trace_string(&sample_events());
+    std::fs::write(golden_path(), rendered).expect("write golden");
+}

@@ -1,0 +1,44 @@
+//! Keeps `docs/OBSERVABILITY.md` in sync with the code: every trace
+//! event variant and every canonical metric name must be documented.
+//! Adding a variant or metric without documenting it fails this test.
+
+use pensieve_obs::event::VARIANTS;
+use pensieve_obs::metrics::names;
+
+fn doc_text() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("docs")
+        .join("OBSERVABILITY.md");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("docs/OBSERVABILITY.md must exist ({e})"))
+}
+
+#[test]
+fn every_event_variant_is_documented() {
+    let doc = doc_text();
+    let missing: Vec<&str> = VARIANTS
+        .iter()
+        .filter(|v| !doc.contains(&format!("`{v}`")))
+        .copied()
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "docs/OBSERVABILITY.md is missing event variants: {missing:?}"
+    );
+}
+
+#[test]
+fn every_metric_is_documented() {
+    let doc = doc_text();
+    let missing: Vec<&str> = names::ALL
+        .iter()
+        .filter(|m| !doc.contains(&format!("`{m}`")))
+        .copied()
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "docs/OBSERVABILITY.md is missing metrics: {missing:?}"
+    );
+}

@@ -1,0 +1,180 @@
+//! Property test: any interleaving of trace events round-trips through
+//! the JSONL exporter byte-for-byte in order and value.
+//!
+//! Numbers ride over the wire as JSON `f64`s, so integer fields are
+//! generated within the 2^53 exactly-representable range — the same
+//! contract the instrumented code obeys (token counts, chunk indices and
+//! ids never approach it).
+
+use pensieve_model::{SimDuration, SimTime};
+use pensieve_obs::{parse_jsonl, to_jsonl, DropReason, RecoveryKind, SwapDir, TraceEvent};
+use proptest::prelude::*;
+
+/// Samples one event of any variant from the raw entropy in `w`.
+fn arbitrary_event(variant: usize, w: &[u64; 6], t: f64) -> TraceEvent {
+    let at = SimTime::from_secs(t);
+    let u = |i: usize| w[i] % (1 << 53);
+    let n = |i: usize| (w[i] % 100_000) as usize;
+    let dur = |i: usize| SimDuration::from_secs((w[i] % 10_000) as f64 * 1e-4);
+    match variant % 16 {
+        0 => TraceEvent::IterationStart {
+            at,
+            iteration: u(0),
+            running: n(1),
+            waiting: n(2),
+        },
+        1 => TraceEvent::BatchComposed {
+            at,
+            iteration: u(0),
+            prefill_seqs: n(1),
+            decode_seqs: n(2),
+            prefill_tokens: n(3),
+            decode_tokens: n(4),
+        },
+        2 => TraceEvent::IterationEnd {
+            at,
+            iteration: u(0),
+            queue_delay: dur(1),
+            compute: dur(2),
+            stall: dur(3),
+        },
+        3 => TraceEvent::Admitted {
+            at,
+            iteration: u(0),
+            request: u(1),
+            conv: u(2),
+            resumed: w[3].is_multiple_of(2),
+            prompt_tokens: n(3),
+            tail_tokens: n(4),
+            shared_tokens: n(5),
+            gpu_hit_tokens: n(0),
+            revalidate_tokens: n(1),
+            swap_in_tokens: n(2),
+            recompute_tokens: n(4),
+        },
+        4 => TraceEvent::SwapStart {
+            at,
+            dir: if w[0].is_multiple_of(2) {
+                SwapDir::In
+            } else {
+                SwapDir::Out
+            },
+            bytes: u(1),
+        },
+        5 => TraceEvent::SwapEnd {
+            at,
+            dir: if w[0].is_multiple_of(2) {
+                SwapDir::In
+            } else {
+                SwapDir::Out
+            },
+            bytes: u(1),
+        },
+        6 => TraceEvent::ChunkEvicted {
+            at,
+            conv: u(0),
+            chunk: n(1),
+            tokens: n(2),
+            dropped: w[3].is_multiple_of(2),
+        },
+        7 => TraceEvent::ChunkDropped {
+            at,
+            conv: u(0),
+            chunk: n(1),
+            tokens: n(2),
+            reason: match w[3] % 4 {
+                0 => DropReason::CpuPressure,
+                1 => DropReason::HostLoss,
+                2 => DropReason::HostCorruption,
+                _ => DropReason::SwapInFault,
+            },
+        },
+        8 => TraceEvent::Revalidated {
+            at,
+            conv: u(0),
+            tokens: n(1),
+        },
+        9 => TraceEvent::SwapInCommitted {
+            at,
+            conv: u(0),
+            tokens: n(1),
+        },
+        10 => TraceEvent::RecomputeCommitted {
+            at,
+            conv: u(0),
+            tokens: n(1),
+        },
+        11 => TraceEvent::Suspended {
+            at,
+            conv: u(0),
+            tokens: n(1),
+        },
+        12 => TraceEvent::FaultRecovery {
+            at,
+            conv: if w[0].is_multiple_of(3) {
+                None
+            } else {
+                Some(u(1))
+            },
+            kind: match w[2] % 4 {
+                0 => RecoveryKind::SwapInRetry,
+                1 => RecoveryKind::RecomputeFallback,
+                2 => RecoveryKind::GpuAllocFault,
+                _ => RecoveryKind::WorkerStall,
+            },
+            tokens: n(3),
+        },
+        13 => TraceEvent::RequestCompleted {
+            at,
+            request: u(0),
+            conv: u(1),
+            arrival: SimTime::from_secs(t * 0.5),
+            first_token: SimTime::from_secs(t * 0.75),
+            output_tokens: n(2),
+            prefill_tokens: n(3),
+            cached_tokens: n(4),
+        },
+        14 => TraceEvent::PipelinedSwapIn {
+            at,
+            bytes: u(0),
+            compute: dur(1),
+            total: dur(2),
+        },
+        _ => TraceEvent::TpPass {
+            at,
+            pass: u(0),
+            conv: u(1),
+            query_tokens: n(2),
+            shards: n(3) % 8 + 1,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any mix of variants, timestamps and payloads survives
+    /// serialize → parse with order and equality preserved.
+    #[test]
+    fn any_interleaving_round_trips(
+        spec in prop::collection::vec(
+            (
+                0usize..16,
+                (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+                (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+                0.0f64..100_000.0,
+            ),
+            0..40,
+        ),
+    ) {
+        let events: Vec<TraceEvent> = spec
+            .iter()
+            .map(|(variant, (a, b, c), (d, e, f), t)| {
+                arbitrary_event(*variant, &[*a, *b, *c, *d, *e, *f], *t)
+            })
+            .collect();
+        let text = to_jsonl(&events);
+        let back = parse_jsonl(&text).expect("round trip parses");
+        prop_assert_eq!(back, events);
+    }
+}

@@ -6,7 +6,8 @@
 //! layer *i*'s attention kernel only waits for layer *i*'s KV-tokens, so a
 //! transfer slower than one layer's compute stalls only the difference.
 
-use pensieve_model::{BatchShape, CostModel, SimDuration};
+use pensieve_model::{BatchShape, CostModel, SimDuration, SimTime};
+use pensieve_obs::{Recorder as _, SharedRecorder, TraceEvent};
 
 /// Times batched model invocations on one (possibly tensor-parallel) GPU
 /// group.
@@ -20,6 +21,8 @@ pub struct GpuTimer {
     /// Multiplier (< 1.0 speeds up) on non-attention compute, modelling
     /// graph-compiled runtimes (TensorRT-LLM's operator fusion).
     compute_scale: f64,
+    /// Passive trace sink; `None` (the default) records nothing.
+    recorder: Option<SharedRecorder>,
 }
 
 impl GpuTimer {
@@ -30,7 +33,15 @@ impl GpuTimer {
             cost,
             iteration_overhead: SimDuration::from_micros(300.0),
             compute_scale: 1.0,
+            recorder: None,
         }
+    }
+
+    /// Attaches a trace recorder (used by
+    /// [`GpuTimer::batch_time_with_swap_in_at`]). Recording is passive:
+    /// timings are identical with or without it.
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.recorder = recorder;
     }
 
     /// Overrides the per-iteration overhead (compiled runtimes pay less).
@@ -98,6 +109,31 @@ impl GpuTimer {
             finish = finish.max(arrival) + per_layer_compute;
         }
         finish
+    }
+
+    /// [`GpuTimer::batch_time_with_swap_in`] that also emits a
+    /// [`TraceEvent::PipelinedSwapIn`] (timestamped `now`, the iteration
+    /// start) when a recorder is attached and a transfer actually
+    /// overlapped compute. The returned duration is identical to the
+    /// unrecorded variant.
+    #[must_use]
+    pub fn batch_time_with_swap_in_at(
+        &self,
+        batch: &BatchShape,
+        swap_in_bytes: usize,
+        pcie_bandwidth: f64,
+        now: SimTime,
+    ) -> SimDuration {
+        let total = self.batch_time_with_swap_in(batch, swap_in_bytes, pcie_bandwidth);
+        if self.recorder.enabled() && swap_in_bytes > 0 && !batch.is_empty() {
+            self.recorder.record(TraceEvent::PipelinedSwapIn {
+                at: now,
+                bytes: swap_in_bytes as u64,
+                compute: self.batch_time(batch),
+                total,
+            });
+        }
+        total
     }
 
     /// The stall (extra latency beyond pure compute) a swap-in causes.

@@ -21,6 +21,7 @@
 use std::fmt;
 
 use pensieve_model::{PcieSpec, SimDuration, SimTime};
+use pensieve_obs::{Recorder as _, SharedRecorder, SwapDir, TraceEvent};
 
 use crate::faults::{FaultInjector, FaultKind};
 
@@ -107,6 +108,8 @@ pub struct PcieLink {
     /// Total bytes moved, per direction, for reporting.
     h2d_bytes: u64,
     d2h_bytes: u64,
+    /// Passive trace sink; `None` (the default) records nothing.
+    recorder: Option<SharedRecorder>,
 }
 
 impl PcieLink {
@@ -120,7 +123,14 @@ impl PcieLink {
             d2h_busy_until: SimTime::ZERO,
             h2d_bytes: 0,
             d2h_bytes: 0,
+            recorder: None,
         }
+    }
+
+    /// Attaches a trace recorder. Recording is passive: every schedule
+    /// decision is identical with or without it.
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.recorder = recorder;
     }
 
     /// The scheduling discipline in use.
@@ -169,6 +179,25 @@ impl PcieLink {
         match dir {
             Direction::HostToDevice => self.h2d_busy_until = end,
             Direction::DeviceToHost => self.d2h_busy_until = end,
+        }
+        if self.recorder.enabled() {
+            // Failed/timed-out DMAs (see `try_schedule`) also pass through
+            // here and are recorded: they occupied the bus either way, so
+            // the trace reflects honest link occupancy.
+            let wire_dir = match dir {
+                Direction::HostToDevice => SwapDir::In,
+                Direction::DeviceToHost => SwapDir::Out,
+            };
+            self.recorder.record(TraceEvent::SwapStart {
+                at: start,
+                dir: wire_dir,
+                bytes: bytes as u64,
+            });
+            self.recorder.record(TraceEvent::SwapEnd {
+                at: end,
+                dir: wire_dir,
+                bytes: bytes as u64,
+            });
         }
         (start, end)
     }

@@ -1,4 +1,14 @@
-//! Latency/throughput summaries matching the paper's reporting (§6.1).
+//! Latency/throughput summaries matching the paper's reporting (§6.1):
+//! normalized latency percentiles over a steady-state window, TTFT, and
+//! request/token throughput.
+//!
+//! These summaries are what the serving sweeps print and persist: the
+//! `fig10`/`fig11` rate sweeps, the `fig15` think-time sweep, and the
+//! interactive `serve_sim` binary (all under
+//! `cargo run --release -p pensieve-bench --bin <id>`; measured results
+//! in `EXPERIMENTS.md`). Distribution-level TTFT lives in the
+//! `pensieve_ttft_seconds` histogram recorded alongside a trace — see
+//! `docs/OBSERVABILITY.md`.
 
 use pensieve_core::Response;
 use pensieve_model::SimDuration;

@@ -11,6 +11,8 @@
 //! * [`kvcache`] — the two-tier GPU/CPU cache manager and eviction
 //!   policies.
 //! * [`sim`] — discrete-event device models (PCIe link, GPU timing).
+//! * [`obs`] — structured trace events, the metrics registry, and the
+//!   JSONL / Chrome-trace / Prometheus exporters.
 //! * [`core`] — the serving engines: Pensieve and the paper's baselines.
 //! * [`workload`] — multi-turn conversation workloads and the closed-loop
 //!   driver.
@@ -43,5 +45,6 @@ pub use pensieve_core as core;
 pub use pensieve_kernels as kernels;
 pub use pensieve_kvcache as kvcache;
 pub use pensieve_model as model;
+pub use pensieve_obs as obs;
 pub use pensieve_sim as sim;
 pub use pensieve_workload as workload;

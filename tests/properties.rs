@@ -278,7 +278,7 @@ proptest! {
                 }
                 _ => {
                     // Swap-in retry exhaustion: force-drop CPU chunks.
-                    let _ = cache.drop_cpu_chunks(conv);
+                    let _ = cache.drop_cpu_chunks(conv, now);
                 }
             }
             for &c in &pinned {
