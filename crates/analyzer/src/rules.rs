@@ -102,6 +102,7 @@ fn in_panic_scope(p: &str) -> bool {
         "crates/kernels/src/",
         "crates/sim/src/",
         "crates/obs/src/",
+        "crates/cluster/src/",
     ]
     .iter()
     .any(|pre| p.starts_with(pre))
@@ -119,6 +120,7 @@ fn in_hash_scope(p: &str) -> bool {
         "crates/kvcache/src/",
         "crates/kernels/src/",
         "crates/obs/src/",
+        "crates/cluster/src/",
     ]
     .iter()
     .any(|pre| p.starts_with(pre))

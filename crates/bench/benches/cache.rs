@@ -4,7 +4,7 @@
 #![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pensieve_kvcache::{CacheConfig, ConversationId, LruPolicy, TieredKvCache};
+use pensieve_kvcache::{CacheConfig, LruPolicy, SessionId, TieredKvCache};
 use pensieve_model::SimTime;
 use std::hint::black_box;
 
@@ -15,7 +15,7 @@ fn populated(n: usize) -> TieredKvCache {
         Box::new(LruPolicy),
     );
     for i in 0..n {
-        let conv = ConversationId(i as u64);
+        let conv = SessionId(i as u64);
         cache
             .append_tokens(conv, 256, SimTime::from_secs(i as f64))
             .unwrap();
@@ -33,7 +33,7 @@ fn bench_cache(c: &mut Criterion) {
             CacheConfig::for_test(32, usize::MAX / 2, usize::MAX / 2),
             Box::new(LruPolicy),
         );
-        let conv = ConversationId(0);
+        let conv = SessionId(0);
         cache
             .append_tokens(conv, 256, SimTime::from_secs(0.0))
             .unwrap();
@@ -46,7 +46,7 @@ fn bench_cache(c: &mut Criterion) {
 
     c.bench_function("plan_restore_256_convs", |b| {
         let cache = populated(256);
-        b.iter(|| black_box(cache.plan_restore(ConversationId(17))));
+        b.iter(|| black_box(cache.plan_restore(SessionId(17))));
     });
 
     c.bench_function("swap_out_pass_256_convs", |b| {
@@ -57,7 +57,7 @@ fn bench_cache(c: &mut Criterion) {
                     Box::new(LruPolicy),
                 );
                 for i in 0..256usize {
-                    let conv = ConversationId(i as u64);
+                    let conv = SessionId(i as u64);
                     cache
                         .append_tokens(conv, 256, SimTime::from_secs(i as f64))
                         .unwrap();

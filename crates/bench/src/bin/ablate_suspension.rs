@@ -50,7 +50,8 @@ fn main() {
                 system_prompt_tokens: 0,
             };
             let convs = pensieve_bench::workload_for(&spec);
-            let mut engine = SimServingEngine::new(engine_cfg, spec.model.clone(), hw.clone());
+            let mut engine =
+                SimServingEngine::builder(engine_cfg, spec.model.clone(), hw.clone()).build();
             let result = run_closed_loop(
                 &mut engine,
                 &convs,

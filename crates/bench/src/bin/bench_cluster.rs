@@ -1,0 +1,186 @@
+//! `bench_cluster` — multi-replica routing-policy comparison.
+//!
+//! Runs the same closed-loop workload against a 4-replica cluster under
+//! each routing policy and reports cluster-wide cache effectiveness,
+//! latency and migration activity. The cache-aware policy re-runs a
+//! second time and the FNV-1a hash of the two event traces is compared,
+//! pinning the cluster's bit-determinism in the committed results.
+//!
+//! ```text
+//! cargo run --release -p pensieve-bench --bin bench_cluster
+//! ```
+//!
+//! Writes `results/BENCH_cluster.json`.
+
+use pensieve_bench::{cluster_for, driver_for, print_table, workload_for, write_json, PointSpec};
+use pensieve_cluster::RouterPolicy;
+use pensieve_core::EngineConfig;
+use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_obs::{to_jsonl, SharedRecorder};
+use pensieve_workload::dataset::DatasetSpec;
+use pensieve_workload::driver::run_closed_loop;
+use pensieve_workload::metrics::LatencySummary;
+use serde::Serialize;
+
+const REPLICAS: usize = 4;
+
+#[derive(Debug, Serialize)]
+struct ClusterRow {
+    policy: String,
+    replicas: usize,
+    summary: LatencySummary,
+    /// Context tokens (prompt + history) processed across every
+    /// completed turn; by token conservation this is identical for every
+    /// policy on the same workload.
+    context_tokens: u64,
+    /// Context tokens served from cache (GPU + CPU tiers) instead of
+    /// being prefilled, summed over every completed turn.
+    hit_tokens: u64,
+    /// Cluster-wide KV hit-token rate: hit_tokens / context_tokens.
+    hit_token_rate: f64,
+    migrations: u64,
+    migrated_tokens: u64,
+    migration_lost_tokens: u64,
+    trace_events: usize,
+    /// FNV-1a hash of the run's JSONL event trace.
+    trace_hash: String,
+}
+
+#[derive(Debug, Serialize)]
+struct ClusterResults {
+    replicas: usize,
+    rows: Vec<ClusterRow>,
+    /// Trace hash of the cache-aware re-run; determinism holds iff it
+    /// equals the first cache-aware hash.
+    cache_aware_rerun_hash: String,
+    deterministic: bool,
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn spec() -> PointSpec {
+    PointSpec {
+        engine: EngineConfig::pensieve(),
+        model: ModelConfig::llama2_13b(),
+        hardware: HardwareSpec::azure_nc_a100(ModelConfig::llama2_13b().default_num_gpus),
+        dataset: DatasetSpec::sharegpt(),
+        request_rate: 12.0,
+        think_time: 60.0,
+        seed: 42,
+        system_prompt_tokens: 0,
+    }
+}
+
+fn run_policy(policy: RouterPolicy) -> ClusterRow {
+    let spec = spec();
+    let recorder = SharedRecorder::new();
+    let mut cluster = cluster_for(&spec, REPLICAS, policy, Some(recorder.clone()));
+    let convs = workload_for(&spec);
+    let result = run_closed_loop(&mut cluster, &convs, &driver_for(&spec));
+    let hits: u64 = result
+        .responses
+        .iter()
+        .map(|r| r.cached_history_tokens as u64)
+        .sum();
+    let context: u64 = hits
+        + result
+            .responses
+            .iter()
+            .map(|r| r.prefill_tokens as u64)
+            .sum::<u64>();
+    let events = recorder.take_events();
+    let trace = to_jsonl(&events);
+    ClusterRow {
+        policy: policy.name().to_owned(),
+        replicas: REPLICAS,
+        summary: result.summary(),
+        context_tokens: context,
+        hit_tokens: hits,
+        hit_token_rate: if context == 0 {
+            1.0
+        } else {
+            hits as f64 / context as f64
+        },
+        migrations: cluster.migrations(),
+        migrated_tokens: cluster.migrated_tokens(),
+        migration_lost_tokens: cluster.migration_lost_tokens(),
+        trace_events: events.len(),
+        trace_hash: format!("{:016x}", fnv1a(trace.as_bytes())),
+    }
+}
+
+fn main() {
+    let policies = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::LeastLoaded,
+        RouterPolicy::CacheAware,
+    ];
+    let rows: Vec<ClusterRow> = policies.into_iter().map(run_policy).collect();
+    let rerun = run_policy(RouterPolicy::CacheAware);
+    let cache_aware = rows
+        .iter()
+        .find(|r| r.policy == "cache_aware")
+        .expect("cache_aware row");
+    let round_robin = rows
+        .iter()
+        .find(|r| r.policy == "round_robin")
+        .expect("round_robin row");
+    let deterministic = rerun.trace_hash == cache_aware.trace_hash;
+
+    println!(
+        "{REPLICAS}-replica cluster, {} on {}:",
+        spec().model.name,
+        spec().dataset.name
+    );
+    print_table(
+        &[
+            "policy",
+            "hit rate",
+            "hit tokens",
+            "migrations",
+            "p90 (ms/tok)",
+            "req/s",
+            "trace hash",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{:.1}%", r.hit_token_rate * 100.0),
+                    r.hit_tokens.to_string(),
+                    r.migrations.to_string(),
+                    format!("{:.1}", r.summary.p90_normalized * 1e3),
+                    format!("{:.2}", r.summary.throughput_rps),
+                    r.trace_hash.clone(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\ncache-aware rerun hash {} -> deterministic: {deterministic}",
+        rerun.trace_hash
+    );
+    assert!(
+        cache_aware.hit_token_rate > round_robin.hit_token_rate,
+        "cache-aware ({:.3}) must beat round-robin ({:.3}) on hit-token rate",
+        cache_aware.hit_token_rate,
+        round_robin.hit_token_rate
+    );
+    assert!(deterministic, "cluster trace must be bit-deterministic");
+
+    let results = ClusterResults {
+        replicas: REPLICAS,
+        cache_aware_rerun_hash: rerun.trace_hash.clone(),
+        deterministic,
+        rows,
+    };
+    write_json("BENCH_cluster", &results);
+}

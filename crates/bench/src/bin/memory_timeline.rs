@@ -42,7 +42,8 @@ fn main() {
     ] {
         let name = cfg.name.clone();
         let mut engine =
-            SimServingEngine::new(cfg, ModelConfig::opt_13b(), HardwareSpec::azure_nc_a100(1));
+            SimServingEngine::builder(cfg, ModelConfig::opt_13b(), HardwareSpec::azure_nc_a100(1))
+                .build();
         let _ = run_closed_loop_probed(
             &mut engine,
             &convs,

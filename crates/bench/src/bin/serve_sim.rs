@@ -13,8 +13,9 @@
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use pensieve_bench::{engine_for, print_table, run_point_on, PointSpec};
-use pensieve_core::EngineConfig;
+use pensieve_bench::{cluster_for, engine_builder_for, print_table, run_point_on, PointSpec};
+use pensieve_cluster::RouterPolicy;
+use pensieve_core::{EngineConfig, ServingBackend};
 use pensieve_model::{HardwareSpec, ModelConfig};
 use pensieve_obs::{to_jsonl, SharedRecorder};
 use pensieve_workload::dataset::{DatasetSpec, DatasetStats};
@@ -32,6 +33,8 @@ usage: serve_sim [options]
   --gpus     tensor-parallel GPUs                    (default: model's)
   --system-prompt  shared system prompt tokens       (default 0)
   --seed     workload seed                           (default 42)
+  --replicas cluster replicas behind a router        (default 1: no router)
+  --router   round_robin | least_loaded | cache_aware  (default cache_aware)
   --trace-out    write a JSONL event trace here      (see docs/OBSERVABILITY.md)
   --metrics-out  write a Prometheus-style text dump here";
 
@@ -69,6 +72,8 @@ fn main() {
     let mut gpus: Option<usize> = None;
     let mut system_prompt = 0usize;
     let mut seed = 42u64;
+    let mut replicas = 1usize;
+    let mut router = RouterPolicy::CacheAware;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
 
@@ -101,6 +106,8 @@ fn main() {
             "--gpus" => value.parse().map(|v| gpus = Some(v)).is_ok(),
             "--system-prompt" => value.parse().map(|v| system_prompt = v).is_ok(),
             "--seed" => value.parse().map(|v| seed = v).is_ok(),
+            "--replicas" => value.parse().map(|v| replicas = v).is_ok() && replicas >= 1,
+            "--router" => RouterPolicy::parse(value).map(|p| router = p).is_some(),
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(value));
                 true
@@ -166,6 +173,7 @@ fn main() {
                 think,
                 seed,
                 system_prompt,
+                (replicas, router),
                 &Outputs {
                     trace_out,
                     metrics_out,
@@ -188,18 +196,35 @@ fn main() {
         seed,
         system_prompt_tokens: system_prompt,
     };
-    let mut engine = engine_for(&spec);
     let recorder = outputs.recorder();
-    engine.set_recorder(recorder.clone());
-    let point = run_point_on(&spec, &mut engine);
+    let point = if replicas > 1 {
+        let mut cluster = cluster_for(&spec, replicas, router, recorder.clone());
+        run_point_on(&spec, &mut cluster)
+    } else {
+        let mut builder = engine_builder_for(&spec);
+        if let Some(rec) = recorder.clone() {
+            builder = builder.recorder(rec);
+        }
+        run_point_on(&spec, &mut builder.build())
+    };
     outputs.write(recorder.as_ref());
+    let system = system_label(&point.system, replicas, router);
     report(
-        &point.system,
+        &system,
         &point.model,
         &point.dataset,
         &point.summary,
         point.cache.hit_rate,
     );
+}
+
+/// `pensieve` for one engine, `pensieve x4 (cache_aware)` for a cluster.
+fn system_label(system: &str, replicas: usize, router: RouterPolicy) -> String {
+    if replicas > 1 {
+        format!("{system} x{replicas} ({router})")
+    } else {
+        system.to_owned()
+    }
 }
 
 /// Where (if anywhere) to dump the trace and metrics after a run.
@@ -251,28 +276,47 @@ fn run_trace(
     think: f64,
     seed: u64,
     system_prompt: usize,
+    (replicas, router): (usize, RouterPolicy),
     outputs: &Outputs,
 ) {
-    use pensieve_core::SimServingEngine;
     use pensieve_workload::driver::{run_closed_loop, DriverConfig};
-    let name = engine.name.clone();
+    let name = system_label(&engine.name, replicas, router);
     let model_name = model.name.clone();
-    let mut e = SimServingEngine::new(engine, model, HardwareSpec::azure_nc_a100(num_gpus));
+    let spec = PointSpec {
+        engine,
+        model,
+        hardware: HardwareSpec::azure_nc_a100(num_gpus),
+        dataset: DatasetSpec::sharegpt(), // placeholder; convs come from the trace
+        request_rate: rate,
+        think_time: think,
+        seed,
+        system_prompt_tokens: system_prompt,
+    };
+    let drv = DriverConfig {
+        request_rate: rate,
+        mean_think_time: think,
+        seed,
+        system_prompt_tokens: system_prompt,
+    };
     let recorder = outputs.recorder();
-    e.set_recorder(recorder.clone());
-    let result = run_closed_loop(
-        &mut e,
-        &convs,
-        &DriverConfig {
-            request_rate: rate,
-            mean_think_time: think,
-            seed,
-            system_prompt_tokens: system_prompt,
-        },
-    );
+    let (result, hit_rate) = if replicas > 1 {
+        let mut cluster = cluster_for(&spec, replicas, router, recorder.clone());
+        let result = run_closed_loop(&mut cluster, &convs, &drv);
+        let hit = cluster.cache_stats().hit_rate();
+        (result, hit)
+    } else {
+        let mut builder = engine_builder_for(&spec);
+        if let Some(rec) = recorder.clone() {
+            builder = builder.recorder(rec);
+        }
+        let mut e = builder.build();
+        let result = run_closed_loop(&mut e, &convs, &drv);
+        let hit = ServingBackend::cache_stats(&e).hit_rate();
+        (result, hit)
+    };
     outputs.write(recorder.as_ref());
     let s = result.summary();
-    report(&name, &model_name, "trace", &s, e.cache_stats().hit_rate());
+    report(&name, &model_name, "trace", &s, hit_rate);
 }
 
 fn report(

@@ -14,9 +14,11 @@
 
 use std::sync::Mutex;
 
-use pensieve_core::{EngineConfig, SimServingEngine};
+use pensieve_cluster::{Router, RouterConfig, RouterPolicy};
+use pensieve_core::{EngineBuilder, EngineConfig, ServingBackend, SimServingEngine};
 use pensieve_kvcache::CacheStats;
 use pensieve_model::{HardwareSpec, ModelConfig};
+use pensieve_obs::SharedRecorder;
 use pensieve_workload::dataset::{Conversation, DatasetSpec};
 use pensieve_workload::driver::{run_closed_loop, DriverConfig};
 use pensieve_workload::metrics::LatencySummary;
@@ -118,11 +120,18 @@ pub fn workload_for(spec: &PointSpec) -> Vec<Conversation> {
 }
 
 /// Builds the engine a sweep point runs on. Callers that need to attach
-/// a trace recorder (`serve_sim --trace-out`) build the engine here,
-/// decorate it, and hand it to [`run_point_on`].
+/// a trace recorder (`serve_sim --trace-out`) use [`engine_builder_for`]
+/// instead and hand the result to [`run_point_on`].
 #[must_use]
 pub fn engine_for(spec: &PointSpec) -> SimServingEngine {
-    SimServingEngine::new(
+    engine_builder_for(spec).build()
+}
+
+/// The [`EngineBuilder`] for a sweep point, for callers that decorate
+/// the engine (recorder, fault injector) before building.
+#[must_use]
+pub fn engine_builder_for(spec: &PointSpec) -> EngineBuilder {
+    SimServingEngine::builder(
         spec.engine.clone(),
         spec.model.clone(),
         spec.hardware.clone(),
@@ -136,21 +145,51 @@ pub fn run_point(spec: &PointSpec) -> SweepPoint {
     run_point_on(spec, &mut engine)
 }
 
-/// Runs one sweep point on a caller-provided engine (which must have
-/// been built from the same spec for the labels to be honest).
+/// Builds an N-replica cluster router for a sweep point. When a recorder
+/// is given, the router and every replica share it, producing one merged
+/// event trace for the whole cluster.
 #[must_use]
-pub fn run_point_on(spec: &PointSpec, engine: &mut SimServingEngine) -> SweepPoint {
+pub fn cluster_for(
+    spec: &PointSpec,
+    replicas: usize,
+    policy: RouterPolicy,
+    recorder: Option<SharedRecorder>,
+) -> Router<SimServingEngine> {
+    let fleet: Vec<SimServingEngine> = (0..replicas)
+        .map(|_| {
+            let mut b = engine_builder_for(spec);
+            if let Some(rec) = recorder.clone() {
+                b = b.recorder(rec);
+            }
+            b.build()
+        })
+        .collect();
+    let mut router = Router::new(fleet, policy, RouterConfig::default());
+    if let Some(rec) = recorder {
+        router = router.recorder(rec);
+    }
+    router
+}
+
+/// The closed-loop driver configuration a sweep point runs under (the
+/// arrival seed is decorrelated from the workload-generation seed).
+#[must_use]
+pub fn driver_for(spec: &PointSpec) -> DriverConfig {
+    DriverConfig {
+        request_rate: spec.request_rate,
+        mean_think_time: spec.think_time,
+        seed: spec.seed.wrapping_mul(2654435761).wrapping_add(1),
+        system_prompt_tokens: spec.system_prompt_tokens,
+    }
+}
+
+/// Runs one sweep point on a caller-provided backend (which must have
+/// been built from the same spec for the labels to be honest) — a single
+/// engine or a whole cluster router.
+#[must_use]
+pub fn run_point_on<B: ServingBackend>(spec: &PointSpec, engine: &mut B) -> SweepPoint {
     let convs = workload_for(spec);
-    let result = run_closed_loop(
-        engine,
-        &convs,
-        &DriverConfig {
-            request_rate: spec.request_rate,
-            mean_think_time: spec.think_time,
-            seed: spec.seed.wrapping_mul(2654435761).wrapping_add(1),
-            system_prompt_tokens: spec.system_prompt_tokens,
-        },
-    );
+    let result = run_closed_loop(engine, &convs, &driver_for(spec));
     SweepPoint {
         system: spec.engine.name.clone(),
         model: spec.model.name.clone(),
@@ -158,7 +197,7 @@ pub fn run_point_on(spec: &PointSpec, engine: &mut SimServingEngine) -> SweepPoi
         request_rate: spec.request_rate,
         think_time: spec.think_time,
         summary: result.summary(),
-        cache: CacheRow::from(engine.cache_stats()),
+        cache: CacheRow::from(&engine.cache_stats()),
     }
 }
 

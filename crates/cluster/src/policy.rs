@@ -1,0 +1,73 @@
+//! Placement policies: where a new turn lands among the replicas.
+//!
+//! The interesting one is [`RouterPolicy::CacheAware`] — Pensieve's
+//! stateful serving makes placement matter, because only the replica that
+//! served a conversation before holds its KV state. Pure load balancing
+//! (round-robin, least-loaded) scatters turns and forfeits the cache;
+//! pure affinity overloads hot replicas. Cache-aware placement scores
+//! both: hit-tokens saved minus a load-imbalance penalty.
+
+use std::fmt;
+
+/// Which placement policy the router runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Cyclic placement over alive replicas, ignoring state and load.
+    RoundRobin,
+    /// Place on the alive replica with the smallest queue depth
+    /// (ties: lowest index).
+    LeastLoaded,
+    /// Session-affinity placement: score each alive replica by cached
+    /// hit tokens for the session minus a penalty proportional to how
+    /// far its queue depth exceeds the cluster minimum; place on the
+    /// best score (ties: lowest index). Saturated affine replicas
+    /// trigger conversation migration instead of blind queueing.
+    CacheAware,
+}
+
+impl RouterPolicy {
+    /// Parses a CLI-style policy name (`round_robin`, `least_loaded`,
+    /// `cache_aware`). Returns `None` for anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RouterPolicy> {
+        match s {
+            "round_robin" => Some(RouterPolicy::RoundRobin),
+            "least_loaded" => Some(RouterPolicy::LeastLoaded),
+            "cache_aware" => Some(RouterPolicy::CacheAware),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI name, inverse of [`RouterPolicy::parse`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round_robin",
+            RouterPolicy::LeastLoaded => "least_loaded",
+            RouterPolicy::CacheAware => "cache_aware",
+        }
+    }
+}
+
+impl fmt::Display for RouterPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for p in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::CacheAware,
+        ] {
+            assert_eq!(RouterPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(RouterPolicy::parse("random"), None);
+    }
+}

@@ -1,0 +1,900 @@
+//! The [`Router`]: N replicas behind one [`ServingBackend`] facade.
+//!
+//! The router owns a fleet of replicas (anything implementing
+//! [`ServingBackend`] — in practice `SimServingEngine`s) and is itself a
+//! [`ServingBackend`], so the same closed-loop workload driver that runs
+//! a single engine runs a cluster unchanged. Placement follows a
+//! [`RouterPolicy`]; the cache-aware policy adds two stateful-serving
+//! mechanisms on top:
+//!
+//! * **Conversation migration.** When a session's affine replica is
+//!   saturated, its KV chunks stream to a less-loaded replica over the
+//!   simulated [`NodeLink`] (DéjàVu-style KV streaming). Chunks lost in
+//!   transit are marked dropped and fall back to Pensieve's dropped-token
+//!   recomputation at the target — migration trades network time and a
+//!   little recomputation against head-of-line queueing.
+//! * **Fail-stop recovery.** [`Router::fail_replica_at`] schedules a
+//!   replica death: its KV state vanishes, completed responses remain
+//!   drainable, and queued/running requests are re-routed to survivors
+//!   (which recompute any lost context from raw tokens).
+//!
+//! Everything is deterministic: replica polling order, placement
+//! tie-breaks and the link's loss schedule are pure functions of the
+//! inputs, so a cluster run has a stable trace hash.
+
+use std::collections::BTreeMap;
+
+use pensieve_core::{Request, RequestId, Response, ServingBackend};
+use pensieve_kvcache::{CacheStats, SessionExport, SessionId, Tier};
+use pensieve_model::SimTime;
+use pensieve_obs::{metrics, Recorder as _, SharedRecorder, TraceEvent};
+use pensieve_sim::{NodeLink, NodeLinkSpec};
+
+use crate::policy::RouterPolicy;
+
+/// Tuning knobs for the router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Queue depth at which a session's affine replica counts as
+    /// saturated and the cache-aware policy considers migrating the
+    /// conversation instead of queueing behind the backlog.
+    pub saturation_depth: usize,
+    /// Cache-aware score penalty, in hit-tokens, per request of queue
+    /// depth above the cluster minimum: placement prefers the affine
+    /// replica until its backlog costs more than the cache hit saves.
+    pub imbalance_penalty_tokens: usize,
+    /// Shape of the inter-node link migrations stream over.
+    pub link: NodeLinkSpec,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            saturation_depth: 4,
+            imbalance_penalty_tokens: 256,
+            link: NodeLinkSpec::datacenter_25g(),
+        }
+    }
+}
+
+/// One replica slot: the backend plus its liveness flag.
+#[derive(Debug)]
+struct Replica<B> {
+    backend: B,
+    alive: bool,
+}
+
+/// N replicas behind a placement policy; itself a [`ServingBackend`].
+/// See the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct Router<B> {
+    replicas: Vec<Replica<B>>,
+    policy: RouterPolicy,
+    cfg: RouterConfig,
+    /// Next round-robin candidate.
+    rr_next: usize,
+    /// Which replica last held each session's KV state.
+    affinity: BTreeMap<SessionId, usize>,
+    link: NodeLink,
+    /// Original arrival per in-flight request: migrations and re-routes
+    /// re-submit with a later effective arrival so queueing delay lands
+    /// on the right replica clock, and the original is patched back on
+    /// drain so reported latency honestly includes that wait.
+    origin_arrivals: BTreeMap<RequestId, SimTime>,
+    /// Scheduled fail-stop injections, sorted by (time, replica).
+    scheduled_failures: Vec<(SimTime, usize)>,
+    /// Future effective arrivals the router itself created (migration
+    /// transfer completions, failure re-dispatch times). `poll(None)`
+    /// treats them as due work: without this a delayed submission on an
+    /// otherwise idle replica would never be reached.
+    wakeups: Vec<SimTime>,
+    /// Responses salvaged from replicas that have since died.
+    buffered: Vec<Response>,
+    /// Requests that could not be placed because no replica is alive.
+    parked: Vec<Request>,
+    recorder: Option<SharedRecorder>,
+    routed: u64,
+    migrations: u64,
+    migrated_tokens: u64,
+    migration_lost_tokens: u64,
+    replica_failures: u64,
+}
+
+impl<B: ServingBackend> Router<B> {
+    /// Builds a router over `replicas` (index order is placement order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    #[must_use]
+    pub fn new(replicas: Vec<B>, policy: RouterPolicy, cfg: RouterConfig) -> Self {
+        assert!(!replicas.is_empty(), "a cluster needs at least one replica");
+        let link = NodeLink::new(cfg.link.clone());
+        Router {
+            replicas: replicas
+                .into_iter()
+                .map(|backend| Replica {
+                    backend,
+                    alive: true,
+                })
+                .collect(),
+            policy,
+            cfg,
+            rr_next: 0,
+            affinity: BTreeMap::new(),
+            link,
+            origin_arrivals: BTreeMap::new(),
+            scheduled_failures: Vec::new(),
+            wakeups: Vec::new(),
+            buffered: Vec::new(),
+            parked: Vec::new(),
+            recorder: None,
+            routed: 0,
+            migrations: 0,
+            migrated_tokens: 0,
+            migration_lost_tokens: 0,
+            replica_failures: 0,
+        }
+    }
+
+    /// Attaches a recorder for router-level events and metrics. The
+    /// replicas keep whatever recorder they were built with — share one
+    /// [`SharedRecorder`] across the fleet for a merged trace.
+    #[must_use]
+    pub fn recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Schedules replica `idx` to fail-stop at time `at`. The failure
+    /// takes effect when the cluster's clock (or an arriving request)
+    /// reaches `at`; scheduling twice is idempotent once the replica is
+    /// dead.
+    pub fn fail_replica_at(&mut self, idx: usize, at: SimTime) {
+        debug_assert!(idx < self.replicas.len());
+        self.scheduled_failures.push((at, idx));
+        self.scheduled_failures
+            .sort_by_key(|&(at, idx)| (OrdTime(at), idx));
+    }
+
+    /// The placement policy in force.
+    #[must_use]
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// Number of replicas, dead or alive.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Indices of replicas still alive.
+    #[must_use]
+    pub fn alive_replicas(&self) -> Vec<usize> {
+        (0..self.replicas.len())
+            .filter(|&i| self.replicas[i].alive)
+            .collect()
+    }
+
+    /// Conversations migrated so far.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// KV tokens successfully streamed between replicas so far.
+    #[must_use]
+    pub fn migrated_tokens(&self) -> u64 {
+        self.migrated_tokens
+    }
+
+    /// KV tokens lost in transit (recomputed at the target) so far.
+    #[must_use]
+    pub fn migration_lost_tokens(&self) -> u64 {
+        self.migration_lost_tokens
+    }
+
+    /// Requests that could not be placed because every replica was dead.
+    #[must_use]
+    pub fn parked_requests(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Direct access to replica `idx`'s backend (inspection in tests and
+    /// benches; routing itself never bypasses the trait).
+    #[must_use]
+    pub fn replica(&self, idx: usize) -> &B {
+        &self.replicas[idx].backend
+    }
+
+    fn alive_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.replicas.len()).filter(|&i| self.replicas[i].alive)
+    }
+
+    fn min_alive_depth(&self) -> usize {
+        self.alive_indices()
+            .map(|i| self.replicas[i].backend.queue_depth())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Applies every scheduled failure that is due: the victim's own
+    /// clock reached the failure time, or `frontier` (e.g. an arriving
+    /// request's timestamp) passed it.
+    fn apply_due_failures(&mut self, frontier: Option<SimTime>) {
+        loop {
+            let due = self.scheduled_failures.iter().position(|&(at, idx)| {
+                self.replicas
+                    .get(idx)
+                    .is_some_and(|r| r.backend.now() >= at)
+                    || frontier.is_some_and(|f| f >= at)
+            });
+            let Some(pos) = due else { return };
+            let (at, idx) = self.scheduled_failures.remove(pos);
+            self.fail_replica_now(idx, at);
+        }
+    }
+
+    fn fail_replica_now(&mut self, idx: usize, at: SimTime) {
+        if !self.replicas[idx].alive {
+            return;
+        }
+        let t = at.max(self.replicas[idx].backend.now());
+        // Responses completed before the failure survive it.
+        self.buffered
+            .extend(self.replicas[idx].backend.drain_responses());
+        let orphans = self.replicas[idx].backend.fail_stop();
+        self.replicas[idx].alive = false;
+        self.affinity.retain(|_, r| *r != idx);
+        self.replica_failures += 1;
+        self.recorder.record(TraceEvent::ReplicaFailed {
+            at: t,
+            replica: idx,
+            requeued: orphans.len(),
+        });
+        for mut req in orphans {
+            // The orphan restarts from scratch on a survivor; its effective
+            // arrival is the failure time (it cannot be re-admitted in the
+            // past), while drain patches the original back for latency.
+            req.arrival = req.arrival.max(t);
+            self.dispatch(req);
+        }
+        self.publish_metrics(t);
+    }
+
+    /// Routes and submits one request (the single entry point for fresh
+    /// submissions and re-routes alike).
+    fn dispatch(&mut self, req: Request) {
+        self.origin_arrivals.entry(req.id).or_insert(req.arrival);
+        let Some(target) = self.pick_replica(&req) else {
+            self.parked.push(req);
+            return;
+        };
+        let (req, target) = if self.policy == RouterPolicy::CacheAware {
+            self.maybe_migrate(req, target)
+        } else {
+            (req, target)
+        };
+        if req.arrival > self.replicas[target].backend.now() {
+            self.wakeups.push(req.arrival);
+            self.wakeups.sort_by_key(|&t| OrdTime(t));
+        }
+        let cached = self.replicas[target].backend.cached_tokens(req.conv);
+        self.affinity.insert(req.conv, target);
+        self.routed += 1;
+        self.recorder.record(TraceEvent::Routed {
+            at: req.arrival,
+            request: req.id.0,
+            conv: req.conv.0,
+            replica: target,
+            cached_tokens: cached,
+        });
+        self.publish_metrics(req.arrival);
+        self.replicas[target].backend.submit(req);
+    }
+
+    /// Picks the placement target per policy. `None` only when every
+    /// replica is dead.
+    fn pick_replica(&mut self, req: &Request) -> Option<usize> {
+        let n = self.replicas.len();
+        match self.policy {
+            RouterPolicy::RoundRobin => {
+                for off in 0..n {
+                    let i = (self.rr_next + off) % n;
+                    if self.replicas[i].alive {
+                        self.rr_next = (i + 1) % n;
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            RouterPolicy::LeastLoaded => self
+                .alive_indices()
+                .min_by_key(|&i| (self.replicas[i].backend.queue_depth(), i)),
+            RouterPolicy::CacheAware => {
+                let min_depth = self.min_alive_depth();
+                // Highest score wins: cached hit-tokens minus the load
+                // imbalance penalty; ties go to the lowest index.
+                self.alive_indices()
+                    .map(|i| {
+                        let cached = self.replicas[i].backend.cached_tokens(req.conv) as i64;
+                        let excess = (self.replicas[i].backend.queue_depth() - min_depth) as i64;
+                        let score = cached - excess * self.cfg.imbalance_penalty_tokens as i64;
+                        (score, i)
+                    })
+                    .fold(None, |best: Option<(i64, usize)>, cand| match best {
+                        Some(b) if b.0 >= cand.0 => Some(b),
+                        _ => Some(cand),
+                    })
+                    .map(|(_, i)| i)
+            }
+        }
+    }
+
+    /// If `target` is the session's saturated affine replica and a
+    /// clearly less-loaded alternative exists, migrates the session's KV
+    /// there and retargets the request; otherwise returns it unchanged.
+    fn maybe_migrate(&mut self, mut req: Request, target: usize) -> (Request, usize) {
+        let depth = self.replicas[target].backend.queue_depth();
+        if depth < self.cfg.saturation_depth {
+            return (req, target);
+        }
+        if self.affinity.get(&req.conv) != Some(&target)
+            || self.replicas[target].backend.cached_tokens(req.conv) == 0
+        {
+            return (req, target);
+        }
+        // Hysteresis: only move when the alternative is at least two
+        // requests lighter, so a borderline depth difference cannot
+        // bounce a session back and forth.
+        let alt = self
+            .alive_indices()
+            .filter(|&i| i != target)
+            .min_by_key(|&i| (self.replicas[i].backend.queue_depth(), i));
+        let Some(alt) = alt else { return (req, target) };
+        if self.replicas[alt].backend.queue_depth() + 2 > depth {
+            return (req, target);
+        }
+        let Some(end) = self.migrate(req.conv, target, alt, req.arrival) else {
+            return (req, target);
+        };
+        // The turn cannot start before its KV lands at the target.
+        req.arrival = req.arrival.max(end);
+        (req, alt)
+    }
+
+    /// Streams `session`'s KV from `from` to `to` over the link. Returns
+    /// the transfer completion time, or `None` when the source refuses
+    /// the export (session unknown or still in flight there).
+    fn migrate(
+        &mut self,
+        session: SessionId,
+        from: usize,
+        to: usize,
+        at: SimTime,
+    ) -> Option<SimTime> {
+        let mut export = self.replicas[from].backend.export_session(session)?;
+        let bytes_per_token = self.replicas[from].backend.kv_bytes_per_token() as u64;
+        let total_bytes: u64 = export
+            .chunks
+            .iter()
+            .filter(|c| c.tier != Tier::Dropped)
+            .map(|c| c.tokens as u64 * bytes_per_token)
+            .sum();
+        self.recorder.record(TraceEvent::MigrationStart {
+            at,
+            conv: session.0,
+            from,
+            to,
+            chunks: export.chunks.len(),
+            bytes: total_bytes,
+        });
+        let mut transfer_end = at;
+        let mut lost_tokens = 0usize;
+        for i in 0..export.chunks.len() {
+            let chunk = export.chunks[i];
+            if chunk.tier == Tier::Dropped {
+                continue;
+            }
+            let bytes = chunk.tokens * bytes_per_token as usize;
+            match self.link.stream_chunk(at, bytes) {
+                Ok((_start, end)) => transfer_end = transfer_end.max(end),
+                Err(lost) => {
+                    // The wire time was spent; the chunk is recomputed at
+                    // the target from raw tokens instead.
+                    transfer_end = transfer_end.max(lost.completes);
+                    lost_tokens += export.mark_lost(i);
+                }
+            }
+        }
+        let streamed = export.streamable_tokens();
+        self.recorder.record(TraceEvent::MigrationEnd {
+            at: transfer_end,
+            conv: session.0,
+            to,
+            streamed_tokens: streamed,
+            lost_tokens,
+        });
+        self.migrations += 1;
+        self.migrated_tokens += streamed as u64;
+        self.migration_lost_tokens += lost_tokens as u64;
+        let _admitted = self.replicas[to].backend.import_session(export);
+        self.affinity.insert(session, to);
+        Some(transfer_end)
+    }
+
+    fn publish_metrics(&self, now: SimTime) {
+        let Some(rec) = self.recorder.clone() else {
+            return;
+        };
+        let _ = rec.with_metrics(|m| {
+            m.counter_set(metrics::names::ROUTED_REQUESTS_TOTAL, self.routed);
+            m.counter_set(metrics::names::MIGRATIONS_TOTAL, self.migrations);
+            m.counter_set(metrics::names::MIGRATED_TOKENS_TOTAL, self.migrated_tokens);
+            m.counter_set(
+                metrics::names::MIGRATION_LOST_TOKENS_TOTAL,
+                self.migration_lost_tokens,
+            );
+            m.counter_set(
+                metrics::names::REPLICA_FAILURES_TOTAL,
+                self.replica_failures,
+            );
+            m.sample(now);
+        });
+    }
+
+    /// Patches a drained response's arrival back to its original
+    /// submission time, so migration/re-route wait counts as latency.
+    fn patch_arrival(&mut self, mut resp: Response) -> Response {
+        if let Some(orig) = self.origin_arrivals.remove(&resp.id) {
+            resp.arrival = orig;
+        }
+        resp
+    }
+}
+
+impl<B: ServingBackend> ServingBackend for Router<B> {
+    fn submit(&mut self, req: Request) {
+        self.apply_due_failures(Some(req.arrival));
+        self.dispatch(req);
+    }
+
+    fn poll(&mut self, deadline: Option<SimTime>) -> bool {
+        loop {
+            self.apply_due_failures(None);
+            if self.responses_ready() {
+                return true;
+            }
+            // Cap each replica's advance at the next scheduled failure so
+            // the injection lands before any later work is simulated.
+            // Pending failures and router-created future arrivals count
+            // as due work, so they may pull idle clocks forward even
+            // under `deadline: None`.
+            let frontier = self.now();
+            self.wakeups.retain(|&w| w > frontier);
+            let next_fail = self.scheduled_failures.first().map(|&(at, _)| at);
+            let next_wake = match (next_fail, self.wakeups.first().copied()) {
+                (Some(f), Some(w)) => Some(if w < f { w } else { f }),
+                (f, w) => f.or(w),
+            };
+            let eff = match (deadline, next_wake) {
+                (Some(d), Some(f)) => Some(if f < d { f } else { d }),
+                (Some(d), None) => Some(d),
+                (None, f) => f,
+            };
+            // Poll the laggard replica first: deterministic order, and the
+            // cluster clock (the minimum) advances as fast as possible.
+            let mut order: Vec<usize> = self.alive_indices().collect();
+            order.sort_by_key(|&i| (OrdTime(self.replicas[i].backend.now()), i));
+            let mut progressed = false;
+            for i in order {
+                let before = self.replicas[i].backend.now();
+                let ready = self.replicas[i].backend.poll(eff);
+                if ready || self.replicas[i].backend.now() > before {
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                // Nothing due anywhere (and any due failures were applied
+                // at the top of the loop): with a deadline every alive
+                // clock has reached it; without one we must not advance.
+                self.apply_due_failures(None);
+                return self.responses_ready();
+            }
+        }
+    }
+
+    fn responses_ready(&self) -> bool {
+        !self.buffered.is_empty()
+            || self
+                .alive_indices()
+                .any(|i| self.replicas[i].backend.responses_ready())
+    }
+
+    fn drain_responses(&mut self) -> Vec<Response> {
+        self.apply_due_failures(None);
+        let mut out = std::mem::take(&mut self.buffered);
+        for i in 0..self.replicas.len() {
+            if self.replicas[i].alive {
+                out.extend(self.replicas[i].backend.drain_responses());
+            }
+        }
+        let mut out: Vec<Response> = out.into_iter().map(|r| self.patch_arrival(r)).collect();
+        out.sort_by_key(|r| (OrdTime(r.finish), r.id));
+        out
+    }
+
+    fn now(&self) -> SimTime {
+        // The cluster's frontier is the slowest alive replica: everything
+        // before it is fully simulated. With no survivors, freeze at the
+        // fastest clock ever reached.
+        let alive = self
+            .alive_indices()
+            .map(|i| self.replicas[i].backend.now())
+            .min_by_key(|&t| OrdTime(t));
+        alive.unwrap_or_else(|| {
+            self.replicas
+                .iter()
+                .map(|r| r.backend.now())
+                .fold(SimTime::ZERO, SimTime::max)
+        })
+    }
+
+    fn run_until(&mut self, t: SimTime) {
+        // Stop at each scheduled failure first so the injection lands
+        // before later work is simulated.
+        while let Some(&(at, _)) = self.scheduled_failures.first() {
+            if at > t {
+                break;
+            }
+            for i in 0..self.replicas.len() {
+                if self.replicas[i].alive {
+                    self.replicas[i].backend.run_until(at);
+                }
+            }
+            self.apply_due_failures(Some(at));
+        }
+        for i in 0..self.replicas.len() {
+            if self.replicas[i].alive {
+                self.replicas[i].backend.run_until(t);
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.buffered.is_empty()
+            && self
+                .alive_indices()
+                .all(|i| self.replicas[i].backend.is_idle())
+    }
+
+    fn running_requests(&self) -> usize {
+        self.alive_indices()
+            .map(|i| self.replicas[i].backend.running_requests())
+            .sum()
+    }
+
+    fn waiting_requests(&self) -> usize {
+        self.alive_indices()
+            .map(|i| self.replicas[i].backend.waiting_requests())
+            .sum()
+    }
+
+    fn gpu_slots_used(&self) -> usize {
+        self.alive_indices()
+            .map(|i| self.replicas[i].backend.gpu_slots_used())
+            .sum()
+    }
+
+    fn gpu_capacity_tokens(&self) -> usize {
+        self.alive_indices()
+            .map(|i| self.replicas[i].backend.gpu_capacity_tokens())
+            .sum()
+    }
+
+    fn cpu_tokens_used(&self) -> usize {
+        self.alive_indices()
+            .map(|i| self.replicas[i].backend.cpu_tokens_used())
+            .sum()
+    }
+
+    fn kv_bytes_per_token(&self) -> usize {
+        // The fleet is uniform by construction (same model, same
+        // hardware), so replica 0 speaks for everyone.
+        self.replicas
+            .first()
+            .map_or(0, |r| r.backend.kv_bytes_per_token())
+    }
+
+    fn cached_tokens(&self, session: SessionId) -> usize {
+        match self.affinity.get(&session) {
+            Some(&i) if self.replicas[i].alive => self.replicas[i].backend.cached_tokens(session),
+            _ => 0,
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        // Dead replicas still contribute: their counters describe work
+        // that really happened before the failure.
+        let mut total = CacheStats::default();
+        for r in &self.replicas {
+            total.merge(&r.backend.cache_stats());
+        }
+        total
+    }
+
+    fn export_session(&mut self, session: SessionId) -> Option<SessionExport> {
+        let &i = self.affinity.get(&session)?;
+        if !self.replicas[i].alive {
+            return None;
+        }
+        let export = self.replicas[i].backend.export_session(session)?;
+        self.affinity.remove(&session);
+        Some(export)
+    }
+
+    fn import_session(&mut self, export: SessionExport) -> usize {
+        let Some(target) = self
+            .alive_indices()
+            .min_by_key(|&i| (self.replicas[i].backend.queue_depth(), i))
+        else {
+            return 0;
+        };
+        let session = export.session;
+        let admitted = self.replicas[target].backend.import_session(export);
+        self.affinity.insert(session, target);
+        admitted
+    }
+
+    fn fail_stop(&mut self) -> Vec<Request> {
+        let mut orphans = Vec::new();
+        for i in 0..self.replicas.len() {
+            if self.replicas[i].alive {
+                self.buffered
+                    .extend(self.replicas[i].backend.drain_responses());
+                orphans.extend(self.replicas[i].backend.fail_stop());
+                self.replicas[i].alive = false;
+            }
+        }
+        self.affinity.clear();
+        orphans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pensieve_core::{EngineConfig, SimServingEngine};
+    use pensieve_model::{HardwareSpec, ModelConfig};
+
+    fn engine() -> SimServingEngine {
+        SimServingEngine::builder(
+            EngineConfig::pensieve(),
+            ModelConfig::opt_13b(),
+            HardwareSpec::azure_nc_a100(1),
+        )
+        .build()
+    }
+
+    fn cluster(n: usize, policy: RouterPolicy, cfg: RouterConfig) -> Router<SimServingEngine> {
+        Router::new((0..n).map(|_| engine()).collect(), policy, cfg)
+    }
+
+    fn req(id: u64, conv: u64, at: f64, prompt: usize, out: usize, hist: usize) -> Request {
+        Request::builder()
+            .id(RequestId(id))
+            .session(SessionId(conv))
+            .arrival(SimTime::from_secs(at))
+            .prompt_tokens(prompt)
+            .output_tokens(out)
+            .history_tokens(hist)
+            .build()
+            .unwrap()
+    }
+
+    fn drain_all(r: &mut Router<SimServingEngine>) -> Vec<Response> {
+        let mut out = Vec::new();
+        for _ in 0..1000 {
+            r.run_until(r.now() + pensieve_model::SimDuration::from_secs(1000.0));
+            out.extend(r.drain_responses());
+            if r.is_idle() && r.parked_requests() == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn round_robin_cycles_over_replicas() {
+        let mut r = cluster(3, RouterPolicy::RoundRobin, RouterConfig::default());
+        for i in 0..4 {
+            r.submit(req(i, i, 0.0, 64, 8, 0));
+        }
+        let depths: Vec<usize> = (0..3).map(|i| r.replica(i).queue_depth()).collect();
+        assert_eq!(depths, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_shallowest_queue() {
+        let mut r = cluster(2, RouterPolicy::LeastLoaded, RouterConfig::default());
+        r.submit(req(0, 0, 0.0, 64, 512, 0));
+        r.submit(req(1, 1, 0.0, 64, 8, 0));
+        r.submit(req(2, 2, 0.0, 64, 8, 0));
+        // 0 -> replica 0 (tie, lowest index), 1 -> replica 1, 2 -> either
+        // at depth 1 each -> lowest index.
+        assert_eq!(r.replica(0).queue_depth(), 2);
+        assert_eq!(r.replica(1).queue_depth(), 1);
+    }
+
+    #[test]
+    fn cache_aware_sticks_to_affine_replica() {
+        let mut r = cluster(4, RouterPolicy::CacheAware, RouterConfig::default());
+        r.submit(req(0, 7, 0.0, 256, 64, 0));
+        let first = drain_all(&mut r);
+        assert_eq!(first.len(), 1);
+        assert!(r.cached_tokens(SessionId(7)) > 0, "turn 1 left KV behind");
+        // Follow-up turn: must land on the replica holding the cache.
+        r.submit(req(1, 7, 50.0, 64, 32, 320));
+        let second = drain_all(&mut r);
+        assert_eq!(second.len(), 1);
+        assert!(
+            second[0].cached_history_tokens > 0,
+            "affine routing found no cached history"
+        );
+    }
+
+    #[test]
+    fn saturation_triggers_migration_and_preserves_cache() {
+        let cfg = RouterConfig {
+            saturation_depth: 2,
+            ..RouterConfig::default()
+        };
+        let mut r = cluster(2, RouterPolicy::CacheAware, cfg);
+        // Three conversations complete a turn each; ties route them all
+        // to replica 0, which now holds all the KV state.
+        for (id, conv) in [(0u64, 1u64), (1, 2), (2, 3)] {
+            r.submit(req(id, conv, 0.0, 512, 64, 0));
+            let done = drain_all(&mut r);
+            assert_eq!(done.len(), 1);
+        }
+        let t = r.now().as_secs() + 1.0;
+        // Two long follow-ups saturate replica 0 (their cache pins them
+        // there)...
+        r.submit(req(10, 2, t, 64, 512, 576));
+        r.submit(req(11, 3, t, 64, 512, 576));
+        assert_eq!(r.replica(0).queue_depth(), 2);
+        // ...so conversation 1's follow-up migrates to replica 1.
+        r.submit(req(12, 1, t, 64, 64, 576));
+        assert_eq!(r.migrations(), 1, "saturated affine replica must migrate");
+        assert!(r.migrated_tokens() > 0);
+        let done = drain_all(&mut r);
+        assert_eq!(done.len(), 3);
+        let moved = done.iter().find(|resp| resp.id == RequestId(12)).unwrap();
+        assert!(
+            moved.cached_history_tokens > 0,
+            "migrated KV should still produce cache hits at the target"
+        );
+        assert_eq!(
+            moved.arrival,
+            SimTime::from_secs(t),
+            "latency must include the migration wait (original arrival)"
+        );
+        assert!(
+            r.cached_tokens(SessionId(1)) > 0,
+            "affinity moved with the KV"
+        );
+    }
+
+    #[test]
+    fn lost_chunks_fall_back_to_recomputation() {
+        let cfg = RouterConfig {
+            saturation_depth: 2,
+            link: NodeLinkSpec::lossy_25g(1.0, 9), // every chunk lost
+            ..RouterConfig::default()
+        };
+        let mut r = cluster(2, RouterPolicy::CacheAware, cfg);
+        for (id, conv) in [(0u64, 1u64), (1, 2), (2, 3)] {
+            r.submit(req(id, conv, 0.0, 512, 64, 0));
+            let _ = drain_all(&mut r);
+        }
+        let t = r.now().as_secs() + 1.0;
+        r.submit(req(10, 2, t, 64, 512, 576));
+        r.submit(req(11, 3, t, 64, 512, 576));
+        r.submit(req(12, 1, t, 64, 64, 576));
+        assert_eq!(r.migrations(), 1);
+        assert!(r.migration_lost_tokens() > 0, "lossy link must lose chunks");
+        let done = drain_all(&mut r);
+        // The turn still completes correctly: lost KV is recomputed.
+        let moved = done.iter().find(|resp| resp.id == RequestId(12)).unwrap();
+        assert_eq!(moved.output_tokens, 64);
+        assert_eq!(
+            moved.prefill_tokens + moved.cached_history_tokens,
+            64 + 576,
+            "every context token is either cached or recomputed, never lost"
+        );
+    }
+
+    #[test]
+    fn replica_failure_requeues_in_flight_work() {
+        let mut r = cluster(2, RouterPolicy::RoundRobin, RouterConfig::default());
+        r.fail_replica_at(0, SimTime::from_secs(0.5));
+        r.submit(req(0, 1, 0.0, 64, 2000, 0)); // replica 0, dies mid-decode
+        r.submit(req(1, 2, 0.0, 64, 8, 0)); // replica 1
+        let done = drain_all(&mut r);
+        assert_eq!(r.alive_replicas(), vec![1]);
+        assert_eq!(
+            done.len(),
+            2,
+            "orphaned request must complete on a survivor"
+        );
+        let restarted = done.iter().find(|resp| resp.id == RequestId(0)).unwrap();
+        assert_eq!(restarted.output_tokens, 2000);
+        assert_eq!(
+            restarted.arrival,
+            SimTime::ZERO,
+            "latency spans the failure (original arrival restored)"
+        );
+        assert!(restarted.finish > SimTime::from_secs(0.5));
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let run = || {
+            let cfg = RouterConfig {
+                saturation_depth: 2,
+                link: NodeLinkSpec::lossy_25g(0.5, 42),
+                ..RouterConfig::default()
+            };
+            let mut r = cluster(2, RouterPolicy::CacheAware, cfg);
+            r.fail_replica_at(1, SimTime::from_secs(40.0));
+            for (id, conv) in [(0u64, 1u64), (1, 2), (2, 3)] {
+                r.submit(req(id, conv, 0.0, 512, 64, 0));
+                let _ = drain_all(&mut r);
+            }
+            let t = r.now().as_secs() + 1.0;
+            r.submit(req(10, 2, t, 64, 512, 576));
+            r.submit(req(11, 3, t, 64, 512, 576));
+            r.submit(req(12, 1, t, 64, 64, 576));
+            let mut done = drain_all(&mut r);
+            done.sort_by_key(|resp| resp.id);
+            done.iter()
+                .map(|resp| (resp.id.0, resp.finish.as_secs(), resp.cached_history_tokens))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn router_fail_stop_orphans_everything() {
+        let mut r = cluster(2, RouterPolicy::RoundRobin, RouterConfig::default());
+        r.submit(req(0, 1, 0.0, 64, 100, 0));
+        r.submit(req(1, 2, 0.0, 64, 100, 0));
+        let orphans = r.fail_stop();
+        assert_eq!(orphans.len(), 2);
+        assert!(r.alive_replicas().is_empty());
+        assert!(r.is_idle());
+    }
+}
+
+/// Total order over [`SimTime`] for sort keys (simulated times are always
+/// finite; NaN cannot arise from the engines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdTime(SimTime);
+
+impl Eq for OrdTime {}
+
+impl PartialOrd for OrdTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}

@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 
 use pensieve_kvcache::{
     CacheConfig, CacheStats, CachedAttentionPolicy, EvictionPolicy, LruPolicy,
-    RetentionValuePolicy, TieredKvCache, TrailingEndPolicy,
+    RetentionValuePolicy, SessionId, TieredKvCache, TrailingEndPolicy,
 };
 use pensieve_model::{
     BatchShape, CostModel, HardwareSpec, ModelConfig, ProfiledCostTable, SeqShape, SimDuration,
@@ -38,8 +38,7 @@ use crate::request::{Request, Response};
 
 /// Pseudo-conversation holding the globally shared system-prompt KV state
 /// (paper §7 footnote 3). Pinned for the engine's lifetime.
-const SHARED_PREFIX_CONV: pensieve_kvcache::ConversationId =
-    pensieve_kvcache::ConversationId(u64::MAX);
+const SHARED_PREFIX_CONV: pensieve_kvcache::SessionId = pensieve_kvcache::SessionId(u64::MAX);
 
 /// Internal per-request execution state.
 #[derive(Debug, Clone)]
@@ -170,10 +169,80 @@ pub struct SimServingEngine {
     recorder: Option<SharedRecorder>,
 }
 
-impl SimServingEngine {
-    /// Builds an engine for `model` on `hardware` with behaviour `cfg`.
+/// Builder for [`SimServingEngine`] — the only way to construct one.
+///
+/// Collapses the former `with_*`/`set_*` injection-setter pairs into one
+/// construction path: fault injection, recovery tuning and trace
+/// recording are all decided before the engine exists, so no call site
+/// can half-configure a live engine.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    cfg: EngineConfig,
+    model: ModelConfig,
+    hardware: HardwareSpec,
+    faults: Option<FaultInjector>,
+    recovery: RecoveryPolicy,
+    recorder: Option<SharedRecorder>,
+}
+
+impl EngineBuilder {
+    /// Attaches a deterministic fault injector; iterations draw PCIe,
+    /// CPU-tier, allocation and worker faults from it and exercise the
+    /// corresponding recovery paths.
     #[must_use]
-    pub fn new(cfg: EngineConfig, model: ModelConfig, hardware: HardwareSpec) -> Self {
+    pub fn fault_injector(mut self, inj: FaultInjector) -> Self {
+        self.faults = Some(inj);
+        self
+    }
+
+    /// Overrides the swap-in retry/backoff parameters.
+    #[must_use]
+    pub fn recovery_policy(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Attaches a trace/metrics recorder, cloned into the cache, the
+    /// PCIe link and the GPU timer so every layer records into one
+    /// buffer. Recording is strictly passive: simulated clocks,
+    /// schedules and responses are bit-identical with or without it.
+    #[must_use]
+    pub fn recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Constructs the engine.
+    #[must_use]
+    pub fn build(self) -> SimServingEngine {
+        let mut engine = SimServingEngine::new(self.cfg, self.model, self.hardware);
+        engine.faults = self.faults;
+        engine.recovery = self.recovery;
+        if let Some(recorder) = self.recorder {
+            engine.attach_recorder(recorder);
+        }
+        engine
+    }
+}
+
+impl SimServingEngine {
+    /// Starts building an engine for `model` on `hardware` with
+    /// behaviour `cfg`. See [`EngineBuilder`] for the optional knobs.
+    #[must_use]
+    pub fn builder(cfg: EngineConfig, model: ModelConfig, hardware: HardwareSpec) -> EngineBuilder {
+        EngineBuilder {
+            cfg,
+            model,
+            hardware,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
+            recorder: None,
+        }
+    }
+
+    /// Internal constructor; external call sites go through
+    /// [`SimServingEngine::builder`].
+    fn new(cfg: EngineConfig, model: ModelConfig, hardware: HardwareSpec) -> Self {
         let cost = CostModel::new(model.clone(), hardware.clone());
         let mut cache_cfg = CacheConfig::from_model(&model, &cost);
         cache_cfg.chunk_tokens = cfg.chunk_tokens;
@@ -234,39 +303,10 @@ impl SimServingEngine {
         engine
     }
 
-    /// Attaches a deterministic fault injector; subsequent iterations
-    /// draw PCIe, CPU-tier, allocation and worker faults from it and
-    /// exercise the corresponding recovery paths.
-    #[must_use]
-    pub fn with_fault_injector(mut self, inj: FaultInjector) -> Self {
-        self.faults = Some(inj);
-        self
-    }
-
-    /// Replaces (or clears) the fault injector at runtime.
-    pub fn set_fault_injector(&mut self, inj: Option<FaultInjector>) {
-        self.faults = inj;
-    }
-
-    /// Overrides the swap-in retry/backoff parameters.
-    #[must_use]
-    pub fn with_recovery_policy(mut self, recovery: RecoveryPolicy) -> Self {
-        self.recovery = recovery;
-        self
-    }
-
-    /// Attaches a trace/metrics recorder, cloning it into the cache, the
-    /// PCIe link and the GPU timer so every layer records into one
-    /// buffer. Recording is strictly passive: simulated clocks,
-    /// schedules and responses are bit-identical with or without it.
-    #[must_use]
-    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
-        self.set_recorder(Some(recorder));
-        self
-    }
-
-    /// Replaces (or clears) the recorder at runtime.
-    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+    /// Wires a recorder into every layer (cache, PCIe link, GPU timer);
+    /// called once from [`EngineBuilder::build`].
+    fn attach_recorder(&mut self, recorder: SharedRecorder) {
+        let recorder = Some(recorder);
         self.cache.set_recorder(recorder.clone());
         self.link.set_recorder(recorder.clone());
         self.gpu.set_recorder(recorder.clone());
@@ -348,6 +388,84 @@ impl SimServingEngine {
         self.running.is_empty() && self.wait_queue.is_empty()
     }
 
+    /// True if at least one completed response is waiting to be drained.
+    #[must_use]
+    pub fn responses_ready(&self) -> bool {
+        !self.responses.is_empty()
+    }
+
+    /// Total GPU KV slot capacity in tokens.
+    #[must_use]
+    pub fn gpu_capacity_tokens(&self) -> usize {
+        self.cache.config().gpu_capacity_tokens
+    }
+
+    /// KV bytes per cached token (per GPU shard) — what a migration must
+    /// move per token of context.
+    #[must_use]
+    pub fn kv_bytes_per_token(&self) -> usize {
+        self.kv_bytes_per_token_per_gpu
+    }
+
+    /// History tokens of `session` this engine could serve from its KV
+    /// cache right now (GPU hits, in-place revalidations and CPU
+    /// swap-ins; dropped chunks need recomputation and do not count).
+    /// The globally shared system prefix is excluded — every replica of
+    /// a cluster holds it, so it never differentiates placement.
+    #[must_use]
+    pub fn cached_tokens(&self, session: SessionId) -> usize {
+        let plan = self.cache.plan_restore(session);
+        plan.gpu_hit_tokens + plan.revalidate_tokens + plan.swap_in_tokens
+    }
+
+    /// Removes `session`'s KV state for handoff to another engine.
+    /// Returns `None` when the session is unknown here or still has
+    /// in-flight work (queued or running requests) — migrating state out
+    /// from under an active request would corrupt it.
+    pub fn export_session(
+        &mut self,
+        session: SessionId,
+    ) -> Option<pensieve_kvcache::SessionExport> {
+        let in_flight = self.running.iter().any(|r| r.req.conv == session)
+            || self.wait_queue.iter().any(|w| match w {
+                WorkItem::New(r) => r.conv == session,
+                WorkItem::Resumed(r) => r.req.conv == session,
+            });
+        if in_flight || session == SHARED_PREFIX_CONV {
+            return None;
+        }
+        self.cache.export_session(session)
+    }
+
+    /// Installs a handed-off session snapshot into this engine's CPU
+    /// cache tier (see [`pensieve_kvcache::TieredKvCache::import_session`]).
+    /// Returns the tokens admitted; a session already present here (the
+    /// cache refuses the import) or a zero-sized CPU tier yields 0 and
+    /// the conversation recomputes instead.
+    pub fn import_session(&mut self, export: pensieve_kvcache::SessionExport) -> usize {
+        self.cache.import_session(export, self.now).unwrap_or(0)
+    }
+
+    /// Fail-stop: the replica dies, its KV state is unrecoverable, and
+    /// every queued or running request is orphaned. Returns the orphaned
+    /// requests (queued first, then running, both in order) so a router
+    /// can re-route them; partially generated output is discarded and
+    /// regenerated from scratch at the new replica. Already-completed
+    /// responses remain drainable.
+    pub fn fail_stop(&mut self) -> Vec<Request> {
+        let mut orphans: Vec<Request> = Vec::new();
+        for item in std::mem::take(&mut self.wait_queue) {
+            orphans.push(match item {
+                WorkItem::New(r) => r,
+                WorkItem::Resumed(r) => r.req,
+            });
+        }
+        for r in std::mem::take(&mut self.running) {
+            orphans.push(r.req);
+        }
+        orphans
+    }
+
     /// Enqueues a request. Admission is FCFS in *submission* order;
     /// drivers submit in arrival order, and a request whose arrival lies
     /// in the engine's past (the clock overshot while it was in flight)
@@ -383,12 +501,19 @@ impl SimServingEngine {
     }
 
     /// Runs until the clock reaches `t` (if given), at least one response
-    /// is ready to drain, or all work completes — whichever comes first.
+    /// is ready to drain, or no more work is due — whichever comes first.
     /// Returns true if a response is ready.
     ///
     /// Closed-loop drivers use this instead of [`SimServingEngine::run_until`]
     /// so that follow-up turns that causally depend on a response can be
     /// injected before the engine simulates past their arrival.
+    ///
+    /// With `t: None` the engine never advances its clock past the
+    /// present: it returns `false` immediately when idle, and also when
+    /// its only pending work is a future-dated arrival. A fair polling
+    /// loop (the cluster router's) relies on this — busy-advancing one
+    /// replica's clock to its next arrival would let it leap past its
+    /// siblings.
     pub fn run_until_or_response(&mut self, t: Option<SimTime>) -> bool {
         loop {
             if !self.responses.is_empty() {
@@ -401,7 +526,13 @@ impl SimServingEngine {
             }
             if self.running.is_empty() {
                 match self.next_due_arrival() {
-                    Some(a) if t.is_none_or(|t| a <= t) => self.now = self.now.max(a),
+                    // Work is already due: seat it without moving the
+                    // clock.
+                    Some(a) if a <= self.now => {}
+                    // A future arrival inside the deadline: jump to it.
+                    Some(a) if t.is_some_and(|t| a <= t) => self.now = a,
+                    // Nothing due before the deadline (or no deadline):
+                    // advance to the deadline if one was given and yield.
                     _ => {
                         if let Some(t) = t {
                             self.now = self.now.max(t);
@@ -835,7 +966,7 @@ impl SimServingEngine {
 
     /// Computes what admitting `item` costs: query tokens and new GPU
     /// slots.
-    fn admission_cost(&self, item: &WorkItem) -> (pensieve_kvcache::ConversationId, usize, usize) {
+    fn admission_cost(&self, item: &WorkItem) -> (pensieve_kvcache::SessionId, usize, usize) {
         match item {
             WorkItem::New(req) => {
                 let cached = if self.cfg.stateful {
@@ -883,7 +1014,7 @@ impl SimServingEngine {
     fn commit_admission(
         &mut self,
         item: WorkItem,
-        conv: pensieve_kvcache::ConversationId,
+        conv: pensieve_kvcache::SessionId,
         query_tokens: usize,
         reserved_delay: Option<SimDuration>,
     ) -> Result<(), pensieve_kvcache::CacheError> {
@@ -1203,29 +1334,104 @@ impl SimServingEngine {
     }
 }
 
+impl crate::backend::ServingBackend for SimServingEngine {
+    fn submit(&mut self, req: Request) {
+        SimServingEngine::submit(self, req);
+    }
+
+    fn poll(&mut self, deadline: Option<SimTime>) -> bool {
+        self.run_until_or_response(deadline)
+    }
+
+    fn responses_ready(&self) -> bool {
+        SimServingEngine::responses_ready(self)
+    }
+
+    fn drain_responses(&mut self) -> Vec<Response> {
+        SimServingEngine::drain_responses(self)
+    }
+
+    fn now(&self) -> SimTime {
+        SimServingEngine::now(self)
+    }
+
+    fn run_until(&mut self, t: SimTime) {
+        SimServingEngine::run_until(self, t);
+    }
+
+    fn is_idle(&self) -> bool {
+        SimServingEngine::is_idle(self)
+    }
+
+    fn running_requests(&self) -> usize {
+        SimServingEngine::running_requests(self)
+    }
+
+    fn waiting_requests(&self) -> usize {
+        SimServingEngine::waiting_requests(self)
+    }
+
+    fn gpu_slots_used(&self) -> usize {
+        SimServingEngine::gpu_slots_used(self)
+    }
+
+    fn gpu_capacity_tokens(&self) -> usize {
+        SimServingEngine::gpu_capacity_tokens(self)
+    }
+
+    fn cpu_tokens_used(&self) -> usize {
+        SimServingEngine::cpu_tokens_used(self)
+    }
+
+    fn kv_bytes_per_token(&self) -> usize {
+        SimServingEngine::kv_bytes_per_token(self)
+    }
+
+    fn cached_tokens(&self, session: SessionId) -> usize {
+        SimServingEngine::cached_tokens(self, session)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats().clone()
+    }
+
+    fn export_session(&mut self, session: SessionId) -> Option<pensieve_kvcache::SessionExport> {
+        SimServingEngine::export_session(self, session)
+    }
+
+    fn import_session(&mut self, export: pensieve_kvcache::SessionExport) -> usize {
+        SimServingEngine::import_session(self, export)
+    }
+
+    fn fail_stop(&mut self) -> Vec<Request> {
+        SimServingEngine::fail_stop(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::request::RequestId;
-    use pensieve_kvcache::ConversationId;
+    use pensieve_kvcache::SessionId;
 
     fn small_hw() -> HardwareSpec {
         HardwareSpec::azure_nc_a100(1)
     }
 
     fn req(id: u64, conv: u64, at: f64, prompt: usize, out: usize, hist: usize) -> Request {
-        Request {
-            id: RequestId(id),
-            conv: ConversationId(conv),
-            arrival: SimTime::from_secs(at),
-            prompt_tokens: prompt,
-            output_tokens: out,
-            history_tokens: hist,
-        }
+        Request::builder()
+            .id(RequestId(id))
+            .session(SessionId(conv))
+            .arrival(SimTime::from_secs(at))
+            .prompt_tokens(prompt)
+            .output_tokens(out)
+            .history_tokens(hist)
+            .build()
+            .unwrap()
     }
 
     fn engine(cfg: EngineConfig) -> SimServingEngine {
-        SimServingEngine::new(cfg, ModelConfig::opt_13b(), small_hw())
+        SimServingEngine::builder(cfg, ModelConfig::opt_13b(), small_hw()).build()
     }
 
     #[test]
@@ -1296,19 +1502,21 @@ mod tests {
         };
         fn engine_for(second: Request) -> SimServingEngine {
             // Build history with one long turn, then submit the follow-up.
-            let mut e = SimServingEngine::new(
+            let mut e = SimServingEngine::builder(
                 EngineConfig::pensieve(),
                 ModelConfig::opt_13b(),
                 HardwareSpec::azure_nc_a100(1),
+            )
+            .build();
+            e.submit(
+                Request::builder()
+                    .id(RequestId(1))
+                    .session(second.conv)
+                    .prompt_tokens(3900)
+                    .output_tokens(100)
+                    .build()
+                    .unwrap(),
             );
-            e.submit(Request {
-                id: RequestId(1),
-                conv: second.conv,
-                arrival: SimTime::ZERO,
-                prompt_tokens: 3900,
-                output_tokens: 100,
-                history_tokens: 0,
-            });
             e.run_until_idle();
             let t1 = e.drain_responses().remove(0);
             let mut s = second;
@@ -1319,7 +1527,7 @@ mod tests {
         let _ = run; // The helper above is the actual comparison driver.
                      // Direct comparison: same two-turn trace on both engines.
         let metrics_of = |cfg: EngineConfig| {
-            let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), small_hw());
+            let mut e = SimServingEngine::builder(cfg, ModelConfig::opt_13b(), small_hw()).build();
             e.submit(req(1, 1, 0.0, 3900, 100, 0));
             e.run_until_idle();
             let t1 = e.drain_responses().remove(0);
@@ -1361,7 +1569,7 @@ mod tests {
     #[test]
     fn tensorrt_is_faster_than_vllm() {
         let latency_of = |cfg: EngineConfig| {
-            let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), small_hw());
+            let mut e = SimServingEngine::builder(cfg, ModelConfig::opt_13b(), small_hw()).build();
             e.submit(req(1, 1, 0.0, 500, 100, 0));
             e.run_until_idle();
             e.drain_responses().remove(0).latency()
@@ -1405,7 +1613,8 @@ mod tests {
         // cannot coexist.
         hw.gpu_kv_budget_bytes = 1100 * ModelConfig::opt_13b().kv_bytes_per_token();
         hw.cpu_cache_bytes_per_gpu = 1 << 30;
-        let mut e = SimServingEngine::new(EngineConfig::pensieve(), ModelConfig::opt_13b(), hw);
+        let mut e =
+            SimServingEngine::builder(EngineConfig::pensieve(), ModelConfig::opt_13b(), hw).build();
         e.submit(req(1, 1, 0.0, 100, 500, 0));
         e.submit(req(2, 2, 0.1, 100, 500, 0));
         e.run_until_idle();
@@ -1431,7 +1640,7 @@ mod tests {
         let shared = 512usize;
         let mut cfg = EngineConfig::pensieve_shared_prefix(shared);
         cfg.name = "shared".to_owned();
-        let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), small_hw());
+        let mut e = SimServingEngine::builder(cfg, ModelConfig::opt_13b(), small_hw()).build();
         // Two fresh conversations, each with the system prompt as history.
         e.submit(req(1, 1, 0.0, 40, 10, shared));
         e.submit(req(2, 2, 0.1, 40, 10, shared));
@@ -1449,7 +1658,8 @@ mod tests {
 
         // Without sharing, each conversation prefills the prompt fresh.
         let mut e =
-            SimServingEngine::new(EngineConfig::pensieve(), ModelConfig::opt_13b(), small_hw());
+            SimServingEngine::builder(EngineConfig::pensieve(), ModelConfig::opt_13b(), small_hw())
+                .build();
         e.submit(req(1, 1, 0.0, 40, 10, shared));
         e.run_until_idle();
         let r = e.drain_responses().remove(0);
@@ -1468,7 +1678,7 @@ mod tests {
         hw.gpu_kv_budget_bytes = 2048 * ModelConfig::opt_13b().kv_bytes_per_token();
         let mut cfg = EngineConfig::pensieve_shared_prefix(shared);
         cfg.cpu_cache = false;
-        let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), hw);
+        let mut e = SimServingEngine::builder(cfg, ModelConfig::opt_13b(), hw).build();
         e.submit(req(1, 1, 0.0, 400, 50, shared));
         e.run_until_idle();
         let t1 = e.drain_responses().remove(0);
@@ -1502,7 +1712,7 @@ mod tests {
         hw.gpu_kv_budget_bytes = 1500 * ModelConfig::opt_13b().kv_bytes_per_token();
         hw.cpu_cache_bytes_per_gpu = 1 << 30;
         let run = |cfg: EngineConfig| {
-            let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), hw.clone());
+            let mut e = SimServingEngine::builder(cfg, ModelConfig::opt_13b(), hw.clone()).build();
             e.submit(req(1, 1, 0.0, 100, 700, 0));
             e.submit(req(2, 2, 0.1, 100, 700, 0));
             e.run_until_idle();
@@ -1587,7 +1797,7 @@ mod tests {
         hw.gpu_kv_budget_bytes = 3000 * ModelConfig::opt_13b().kv_bytes_per_token();
         hw.cpu_cache_bytes_per_gpu = 8 << 30;
         let ttft_of = |cfg: EngineConfig| {
-            let mut e = SimServingEngine::new(cfg, ModelConfig::opt_13b(), hw.clone());
+            let mut e = SimServingEngine::builder(cfg, ModelConfig::opt_13b(), hw.clone()).build();
             // Conversation 1 builds 2000 tokens of context.
             e.submit(req(1, 1, 0.0, 1960, 40, 0));
             e.run_until_idle();
@@ -1650,6 +1860,87 @@ mod tests {
         );
     }
 
+    /// `run_until_or_response(None)` must not busy-advance the clock to
+    /// a future arrival: a fair multi-replica polling loop would
+    /// otherwise let one replica's clock leap past its siblings.
+    #[test]
+    fn poll_without_deadline_never_advances_past_present() {
+        let mut e = engine(EngineConfig::pensieve());
+        assert!(!e.run_until_or_response(None), "idle engine yields false");
+        assert_eq!(e.now(), SimTime::ZERO);
+        // A future-dated arrival is pending work, but not *due* work.
+        e.submit(req(1, 1, 5.0, 100, 10, 0));
+        assert!(!e.run_until_or_response(None));
+        assert_eq!(e.now(), SimTime::ZERO, "clock must not jump to t=5");
+        // With a deadline past the arrival the request is served.
+        assert!(e.run_until_or_response(Some(SimTime::from_secs(100.0))));
+        assert_eq!(e.drain_responses().len(), 1);
+    }
+
+    /// Export on one engine + import on another moves the KV state: the
+    /// follow-up turn at the target serves history from cache.
+    #[test]
+    fn session_handoff_carries_cache_across_engines() {
+        let mut a = engine(EngineConfig::pensieve());
+        a.submit(req(1, 7, 0.0, 100, 50, 0));
+        a.run_until_idle();
+        assert_eq!(a.drain_responses().len(), 1);
+        let conv = SessionId(7);
+        assert!(a.cached_tokens(conv) > 0);
+
+        let export = a.export_session(conv).expect("completed session exports");
+        assert_eq!(a.cached_tokens(conv), 0, "source relinquished the state");
+
+        let mut b = engine(EngineConfig::pensieve());
+        let admitted = b.import_session(export);
+        assert!(admitted > 0);
+        assert_eq!(b.cached_tokens(conv), admitted);
+        let mut r2 = req(2, 7, 0.0, 40, 50, 150);
+        r2.arrival = b.now() + SimDuration::from_secs(1.0);
+        b.submit(r2);
+        b.run_until_idle();
+        let t2 = b.drain_responses().remove(0);
+        assert!(
+            t2.cached_history_tokens > 0,
+            "imported chunks must serve the follow-up turn's history"
+        );
+    }
+
+    /// Sessions with queued or running work refuse to export.
+    #[test]
+    fn export_refuses_in_flight_sessions() {
+        let mut e = engine(EngineConfig::pensieve());
+        e.submit(req(1, 3, 0.0, 100, 50, 0));
+        assert!(e.export_session(SessionId(3)).is_none(), "queued");
+        e.run_until_or_response(Some(SimTime::ZERO + SimDuration::from_micros(1.0)));
+        if e.running_requests() > 0 {
+            assert!(e.export_session(SessionId(3)).is_none(), "running");
+        }
+        e.run_until_idle();
+        e.drain_responses();
+        assert!(e.export_session(SessionId(3)).is_some(), "completed");
+    }
+
+    /// Fail-stop orphans every queued and running request, in order.
+    #[test]
+    fn fail_stop_orphans_all_work() {
+        let mut e = engine(EngineConfig::pensieve());
+        e.submit(req(1, 1, 0.0, 100, 400, 0));
+        e.submit(req(2, 2, 0.0, 100, 400, 0));
+        e.run_until_or_response(Some(SimTime::ZERO + SimDuration::from_millis(50.0)));
+        e.submit(req(3, 3, 0.0, 100, 10, 0));
+        let before = e.running_requests() + e.waiting_requests();
+        assert!(before > 0);
+        let orphans = e.fail_stop();
+        assert_eq!(orphans.len(), before);
+        assert!(e.is_idle());
+        let ids: Vec<u64> = orphans.iter().map(|r| r.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
     /// Under chaos-level fault injection every request still completes
     /// with its exact token counts; recovery shows up only in counters
     /// and timing.
@@ -1661,9 +1952,15 @@ mod tests {
         hw.gpu_kv_budget_bytes = 1500 * ModelConfig::opt_13b().kv_bytes_per_token();
         hw.cpu_cache_bytes_per_gpu = 1 << 30;
         let run = |faults: Option<FaultInjector>| {
-            let mut e =
-                SimServingEngine::new(EngineConfig::pensieve(), ModelConfig::opt_13b(), hw.clone());
-            e.set_fault_injector(faults);
+            let mut b = SimServingEngine::builder(
+                EngineConfig::pensieve(),
+                ModelConfig::opt_13b(),
+                hw.clone(),
+            );
+            if let Some(f) = faults {
+                b = b.fault_injector(f);
+            }
+            let mut e = b.build();
             e.submit(req(1, 1, 0.0, 100, 400, 0));
             e.submit(req(2, 2, 0.1, 100, 400, 0));
             e.run_until_idle();
@@ -1715,8 +2012,9 @@ mod tests {
         let mut cfg = FaultConfig::disabled(7);
         cfg.pcie_failure = 1.0;
         let mut e =
-            SimServingEngine::new(EngineConfig::pensieve(), ModelConfig::opt_13b(), hw.clone())
-                .with_fault_injector(FaultInjector::new(cfg));
+            SimServingEngine::builder(EngineConfig::pensieve(), ModelConfig::opt_13b(), hw.clone())
+                .fault_injector(FaultInjector::new(cfg))
+                .build();
         e.submit(req(1, 1, 0.0, 100, 400, 0));
         e.submit(req(2, 2, 0.1, 100, 400, 0));
         e.run_until_idle();

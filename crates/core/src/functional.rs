@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use pensieve_kernels::model::{SegmentInput, SeqInput, TinyModel};
 use pensieve_kernels::ops::argmax;
 use pensieve_kernels::paged::{BlockId, BlockTable, PagedKvCache};
-use pensieve_kvcache::{ConversationId, RawTokenStore};
+use pensieve_kvcache::{RawTokenStore, SessionId};
 use pensieve_model::ModelConfig;
 use pensieve_sim::{FaultCounters, FaultInjector, FaultKind};
 
@@ -85,11 +85,11 @@ pub struct FunctionalEngine {
     model: TinyModel,
     pool: PagedKvCache,
     cfg: FunctionalConfig,
-    convs: BTreeMap<ConversationId, ConvState>,
+    convs: BTreeMap<SessionId, ConvState>,
     /// Evicted block data keyed by (conversation, logical block index).
-    stash: BTreeMap<(ConversationId, usize), HostBlock>,
+    stash: BTreeMap<(SessionId, usize), HostBlock>,
     /// Insertion order of stash entries, for drop-from-front decisions.
-    stash_order: Vec<(ConversationId, usize)>,
+    stash_order: Vec<(SessionId, usize)>,
     store: RawTokenStore,
     clock: u64,
     /// Counters: (swapped_out, swapped_in, dropped, recomputed) blocks.
@@ -175,7 +175,7 @@ impl FunctionalEngine {
 
     /// Full raw history of a conversation.
     #[must_use]
-    pub fn history(&self, conv: ConversationId) -> Vec<u32> {
+    pub fn history(&self, conv: SessionId) -> Vec<u32> {
         self.store
             .fetch(conv, 0..self.store.len(conv))
             .map(<[u32]>::to_vec)
@@ -201,7 +201,7 @@ impl FunctionalEngine {
     ///
     /// Panics if `prompt` is empty, `max_new` is zero, or the GPU pool is
     /// too small to hold a single turn's working set.
-    pub fn serve_turn(&mut self, conv: ConversationId, prompt: &[u32], max_new: usize) -> Vec<u32> {
+    pub fn serve_turn(&mut self, conv: SessionId, prompt: &[u32], max_new: usize) -> Vec<u32> {
         assert!(!prompt.is_empty() && max_new > 0);
         self.clock += 1;
         self.fault_tick();
@@ -362,7 +362,7 @@ impl FunctionalEngine {
     /// Ensures at least `blocks` free pool blocks, evicting fully-filled
     /// blocks of inactive conversations (leading end first, least recently
     /// active conversation first).
-    fn make_room(&mut self, active: ConversationId, blocks: usize) {
+    fn make_room(&mut self, active: SessionId, blocks: usize) {
         let target = blocks.max(self.cfg.free_watermark.min(self.cfg.pool_blocks / 4));
         while self.pool.num_free() < target {
             let Some((victim, bi)) = self.pick_victim(active) else {
@@ -379,8 +379,8 @@ impl FunctionalEngine {
 
     /// The leading resident, fully-filled block of the least recently
     /// active conversation other than `active`.
-    fn pick_victim(&self, active: ConversationId) -> Option<(ConversationId, usize)> {
-        let mut best: Option<(u64, ConversationId)> = None;
+    fn pick_victim(&self, active: SessionId) -> Option<(SessionId, usize)> {
+        let mut best: Option<(u64, SessionId)> = None;
         for (&cid, st) in &self.convs {
             if cid == active {
                 continue;
@@ -405,7 +405,7 @@ impl FunctionalEngine {
 
     /// Copies one block to the stash (or drops it if the stash is full or
     /// disabled) and frees its pool backing.
-    fn evict_block(&mut self, conv: ConversationId, bi: usize) {
+    fn evict_block(&mut self, conv: SessionId, bi: usize) {
         let phys = self.convs[&conv]
             .table
             .get_block(bi)
@@ -510,7 +510,7 @@ mod tests {
     fn single_turn_matches_stateless() {
         let cfg = ModelConfig::tiny_llama();
         let mut e = FunctionalEngine::new(&cfg, 11, FunctionalConfig::default());
-        let conv = ConversationId(1);
+        let conv = SessionId(1);
         let p = prompt(1, 6, cfg.vocab_size as u32);
         let got = e.serve_turn(conv, &p, 4);
         let expect = e.reference_decode(&p, 4);
@@ -521,7 +521,7 @@ mod tests {
     fn multi_turn_stateful_matches_stateless() {
         let cfg = ModelConfig::tiny_llama();
         let mut e = FunctionalEngine::new(&cfg, 12, FunctionalConfig::default());
-        let conv = ConversationId(1);
+        let conv = SessionId(1);
         let mut full: Vec<u32> = Vec::new();
         for turn in 0..3 {
             let p = prompt(turn + 1, 5, cfg.vocab_size as u32);
@@ -548,7 +548,7 @@ mod tests {
                 free_watermark: 2,
             },
         );
-        let (a, b) = (ConversationId(1), ConversationId(2));
+        let (a, b) = (SessionId(1), SessionId(2));
         let mut full_a: Vec<u32> = Vec::new();
         let mut full_b: Vec<u32> = Vec::new();
         for turn in 0..3 {
@@ -583,7 +583,7 @@ mod tests {
                 free_watermark: 2,
             },
         );
-        let (a, b) = (ConversationId(1), ConversationId(2));
+        let (a, b) = (SessionId(1), SessionId(2));
         let mut full_a: Vec<u32> = Vec::new();
         for turn in 0..2 {
             let pa = prompt(30 + turn, 8, cfg.vocab_size as u32);
@@ -623,7 +623,7 @@ mod tests {
         fc.cpu_chunk_loss = 0.7;
         fc.cpu_chunk_corruption = 0.7;
         faulty.set_fault_injector(FaultInjector::new(fc));
-        let (a, b) = (ConversationId(1), ConversationId(2));
+        let (a, b) = (SessionId(1), SessionId(2));
         for turn in 0..4 {
             for &conv in &[a, b] {
                 let p = prompt(60 + turn * 2 + conv.0 as u32, 6, cfg.vocab_size as u32);
@@ -650,7 +650,7 @@ mod tests {
         let mut serial = FunctionalEngine::new(&cfg, 18, FunctionalConfig::default());
         let mut par = FunctionalEngine::new(&cfg, 18, FunctionalConfig::default());
         par.set_compute_threads(4);
-        let conv = ConversationId(1);
+        let conv = SessionId(1);
         for turn in 0..2 {
             let p = prompt(70 + turn, 6, cfg.vocab_size as u32);
             assert_eq!(
@@ -665,7 +665,7 @@ mod tests {
     fn opt_family_also_served_correctly() {
         let cfg = ModelConfig::tiny_opt();
         let mut e = FunctionalEngine::new(&cfg, 15, FunctionalConfig::default());
-        let conv = ConversationId(1);
+        let conv = SessionId(1);
         let p1 = prompt(3, 5, cfg.vocab_size as u32);
         let g1 = e.serve_turn(conv, &p1, 3);
         let mut full = p1.clone();

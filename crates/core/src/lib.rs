@@ -16,6 +16,7 @@
 //!   and sub-request recomputation. Its outputs are compared token-for-
 //!   token against stateless recomputation in the integration tests.
 
+pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -23,9 +24,10 @@ pub mod functional;
 pub mod request;
 pub mod workers;
 
+pub use backend::ServingBackend;
 pub use config::EngineConfig;
-pub use engine::{EngineCounters, RecoveryPolicy, SimServingEngine};
+pub use engine::{EngineBuilder, EngineCounters, RecoveryPolicy, SimServingEngine};
 pub use error::{PensieveError, WorkerError};
 pub use functional::FunctionalEngine;
-pub use request::{Request, RequestId, Response};
+pub use request::{Request, RequestBuildError, RequestBuilder, RequestId, Response};
 pub use workers::ThreadedTpEngine;

@@ -35,5 +35,5 @@ pub use policy::{
 };
 pub use stats::CacheStats;
 pub use store::RawTokenStore;
-pub use tiered::{CacheError, RequestPlan, SwapOutOp, TieredKvCache};
-pub use types::{CacheConfig, ChunkRef, ChunkState, ConversationId, Tier};
+pub use tiered::{CacheError, RequestPlan, SessionExport, SwapOutOp, TieredKvCache};
+pub use types::{CacheConfig, ChunkRef, ChunkState, SessionId, Tier};

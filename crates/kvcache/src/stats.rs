@@ -42,6 +42,23 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Field-wise accumulation of `other` into `self` — how a composite
+    /// backend (e.g. a multi-replica router) reports cluster-wide totals.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.gpu_hit_tokens += other.gpu_hit_tokens;
+        self.cpu_hit_tokens += other.cpu_hit_tokens;
+        self.recomputed_tokens += other.recomputed_tokens;
+        self.swapped_out_tokens += other.swapped_out_tokens;
+        self.swapped_in_tokens += other.swapped_in_tokens;
+        self.dropped_tokens += other.dropped_tokens;
+        self.revalidated_tokens += other.revalidated_tokens;
+        self.full_gpu_hits += other.full_gpu_hits;
+        self.partial_hits += other.partial_hits;
+        self.lost_chunk_tokens += other.lost_chunk_tokens;
+        self.corrupted_chunk_tokens += other.corrupted_chunk_tokens;
+        self.swap_in_fault_tokens += other.swap_in_fault_tokens;
+    }
+
     /// Fraction of reusable history tokens found in either cache tier.
     ///
     /// Returns 1.0 when no history has been requested yet.
@@ -80,6 +97,29 @@ mod tests {
         let s = CacheStats::default();
         assert_eq!(s.hit_rate(), 1.0);
         assert_eq!(s.cpu_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = CacheStats {
+            gpu_hit_tokens: 1,
+            cpu_hit_tokens: 2,
+            recomputed_tokens: 3,
+            swapped_out_tokens: 4,
+            swapped_in_tokens: 5,
+            dropped_tokens: 6,
+            revalidated_tokens: 7,
+            full_gpu_hits: 8,
+            partial_hits: 9,
+            lost_chunk_tokens: 10,
+            corrupted_chunk_tokens: 11,
+            swap_in_fault_tokens: 12,
+        };
+        let mut sum = a.clone();
+        sum.merge(&a);
+        assert_eq!(sum.gpu_hit_tokens, 2);
+        assert_eq!(sum.swap_in_fault_tokens, 24);
+        assert_eq!(sum.partial_hits, 18);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use crate::tiered::CacheError;
-use crate::types::ConversationId;
+use crate::types::SessionId;
 
 /// Durable store of each conversation's full raw-token history.
 ///
@@ -19,7 +19,7 @@ use crate::types::ConversationId;
 /// bit-identity tested).
 #[derive(Debug, Default)]
 pub struct RawTokenStore {
-    convs: BTreeMap<ConversationId, Vec<u32>>,
+    convs: BTreeMap<SessionId, Vec<u32>>,
 }
 
 impl RawTokenStore {
@@ -31,7 +31,7 @@ impl RawTokenStore {
 
     /// Appends tokens to a conversation's history, creating it on first
     /// use.
-    pub fn append(&mut self, conv: ConversationId, tokens: &[u32]) {
+    pub fn append(&mut self, conv: SessionId, tokens: &[u32]) {
         self.convs
             .entry(conv)
             .or_default()
@@ -40,13 +40,13 @@ impl RawTokenStore {
 
     /// Total stored tokens for a conversation (0 if unknown).
     #[must_use]
-    pub fn len(&self, conv: ConversationId) -> usize {
+    pub fn len(&self, conv: SessionId) -> usize {
         self.convs.get(&conv).map_or(0, Vec::len)
     }
 
     /// True if the conversation has no stored tokens.
     #[must_use]
-    pub fn is_empty(&self, conv: ConversationId) -> bool {
+    pub fn is_empty(&self, conv: SessionId) -> bool {
         self.len(conv) == 0
     }
 
@@ -61,7 +61,7 @@ impl RawTokenStore {
     /// panic.
     pub fn fetch(
         &self,
-        conv: ConversationId,
+        conv: SessionId,
         range: std::ops::Range<usize>,
     ) -> Result<&[u32], CacheError> {
         let hist = self
@@ -77,7 +77,7 @@ impl RawTokenStore {
     }
 
     /// Removes a conversation's history entirely (end of conversation).
-    pub fn remove(&mut self, conv: ConversationId) {
+    pub fn remove(&mut self, conv: SessionId) {
         self.convs.remove(&conv);
     }
 
@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn append_and_fetch_ranges() {
         let mut s = RawTokenStore::new();
-        let c = ConversationId(1);
+        let c = SessionId(1);
         s.append(c, &[1, 2, 3]);
         s.append(c, &[4, 5]);
         assert_eq!(s.len(c), 5);
@@ -106,23 +106,23 @@ mod tests {
     #[test]
     fn unknown_conversation_is_empty() {
         let s = RawTokenStore::new();
-        assert!(s.is_empty(ConversationId(9)));
-        assert_eq!(s.len(ConversationId(9)), 0);
+        assert!(s.is_empty(SessionId(9)));
+        assert_eq!(s.len(SessionId(9)), 0);
     }
 
     #[test]
     fn fetch_unknown_is_a_typed_error() {
         let s = RawTokenStore::new();
         assert!(matches!(
-            s.fetch(ConversationId(9), 0..1),
-            Err(CacheError::UnknownConversation(ConversationId(9)))
+            s.fetch(SessionId(9), 0..1),
+            Err(CacheError::UnknownConversation(SessionId(9)))
         ));
     }
 
     #[test]
     fn fetch_past_history_is_a_typed_error() {
         let mut s = RawTokenStore::new();
-        let c = ConversationId(3);
+        let c = SessionId(3);
         s.append(c, &[1, 2]);
         assert!(matches!(
             s.fetch(c, 0..5),
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn remove_forgets_history() {
         let mut s = RawTokenStore::new();
-        let c = ConversationId(2);
+        let c = SessionId(2);
         s.append(c, &[7]);
         assert_eq!(s.num_conversations(), 1);
         s.remove(c);

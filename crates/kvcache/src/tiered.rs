@@ -30,7 +30,7 @@ use pensieve_obs::{DropReason, Recorder as _, SharedRecorder, TraceEvent};
 
 use crate::policy::{EvictionPolicy, Granularity, WithinOrder};
 use crate::stats::CacheStats;
-use crate::types::{CacheConfig, ChunkState, ConversationId, Tier};
+use crate::types::{CacheConfig, ChunkState, SessionId, Tier};
 
 /// Error from cache operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,19 +43,22 @@ pub enum CacheError {
         free: usize,
     },
     /// The conversation is not tracked by the cache.
-    UnknownConversation(ConversationId),
+    UnknownConversation(SessionId),
     /// The addressed chunk holds no CPU-tier copy, so a CPU-tier fault
     /// cannot apply to it.
     ChunkNotInCpuTier {
         /// Owning conversation.
-        conv: ConversationId,
+        conv: SessionId,
         /// Chunk index within the conversation.
         chunk: usize,
     },
+    /// An imported session is already tracked by this cache; a handoff
+    /// target must not hold prior state for the session.
+    SessionExists(SessionId),
     /// A raw-token fetch addressed tokens beyond the stored history.
     HistoryRangeOutOfBounds {
         /// Owning conversation.
-        conv: ConversationId,
+        conv: SessionId,
         /// One past the last requested token.
         end: usize,
         /// Stored history length.
@@ -75,6 +78,9 @@ impl fmt::Display for CacheError {
             CacheError::ChunkNotInCpuTier { conv, chunk } => {
                 write!(f, "chunk {chunk} of {conv:?} has no CPU-tier copy")
             }
+            CacheError::SessionExists(c) => {
+                write!(f, "session {c:?} already tracked by this cache")
+            }
             CacheError::HistoryRangeOutOfBounds { conv, end, len } => {
                 write!(
                     f,
@@ -87,12 +93,65 @@ impl fmt::Display for CacheError {
 
 impl std::error::Error for CacheError {}
 
+/// Portable snapshot of one session's chunk layout, produced by
+/// [`TieredKvCache::export_session`] for KV handoff between replicas.
+///
+/// Resident tiers are normalized to [`Tier::Cpu`] — handoffs stream from
+/// host memory, never device-to-device — while [`Tier::Dropped`] chunks
+/// carry no bytes and survive only as recompute obligations. A router
+/// models the inter-node transfer chunk by chunk and calls
+/// [`SessionExport::mark_lost`] for any chunk the link loses, before
+/// handing the snapshot to [`TieredKvCache::import_session`] on the
+/// target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionExport {
+    /// The exported session.
+    pub session: SessionId,
+    /// Chunk states in context order.
+    pub chunks: Vec<ChunkState>,
+}
+
+impl SessionExport {
+    /// Tokens that carry KV bytes and must be streamed to the target.
+    #[must_use]
+    pub fn streamable_tokens(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| c.tier != Tier::Dropped)
+            .map(|c| c.tokens)
+            .sum()
+    }
+
+    /// Tokens already lost: recompute obligations at the target.
+    #[must_use]
+    pub fn dropped_tokens(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| c.tier == Tier::Dropped)
+            .map(|c| c.tokens)
+            .sum()
+    }
+
+    /// Marks chunk `index` as lost in transit ([`Tier::Dropped`]).
+    /// Returns the tokens affected (0 if out of range or already
+    /// dropped).
+    pub fn mark_lost(&mut self, index: usize) -> usize {
+        match self.chunks.get_mut(index) {
+            Some(c) if c.tier != Tier::Dropped => {
+                c.tier = Tier::Dropped;
+                c.tokens
+            }
+            _ => 0,
+        }
+    }
+}
+
 /// One chunk chosen for ahead-of-time swap-out (GPU -> CPU copy), or for
 /// direct dropping when the CPU tier cannot hold it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwapOutOp {
     /// Owning conversation.
-    pub conv: ConversationId,
+    pub conv: SessionId,
     /// Chunk index within the conversation.
     pub chunk: usize,
     /// Tokens to copy.
@@ -159,14 +218,14 @@ impl ConvEntry {
 /// # Examples
 ///
 /// ```
-/// use pensieve_kvcache::{CacheConfig, ConversationId, LruPolicy, TieredKvCache};
+/// use pensieve_kvcache::{CacheConfig, SessionId, LruPolicy, TieredKvCache};
 /// use pensieve_model::SimTime;
 ///
 /// let mut cache = TieredKvCache::new(
 ///     CacheConfig::for_test(32, 1024, 4096),
 ///     Box::new(LruPolicy),
 /// );
-/// let conv = ConversationId(1);
+/// let conv = SessionId(1);
 /// // A first turn appends its prompt + outputs to the GPU tier.
 /// cache.append_tokens(conv, 300, SimTime::from_secs(0.0)).unwrap();
 /// cache.unpin(conv);
@@ -178,7 +237,7 @@ impl ConvEntry {
 pub struct TieredKvCache {
     cfg: CacheConfig,
     policy: Box<dyn EvictionPolicy>,
-    convs: BTreeMap<ConversationId, ConvEntry>,
+    convs: BTreeMap<SessionId, ConvEntry>,
     /// Tokens in `Tier::Gpu`.
     gpu_resident: usize,
     /// Tokens in `Tier::GpuCopied` (occupy a GPU slot *and* CPU space).
@@ -188,7 +247,7 @@ pub struct TieredKvCache {
     /// Lazily-copied chunks in copy order, for O(1) slot reclamation.
     /// Entries are validated at pop (a chunk may have been revalidated or
     /// suspended since).
-    copied_fifo: std::collections::VecDeque<(ConversationId, usize)>,
+    copied_fifo: std::collections::VecDeque<(SessionId, usize)>,
     stats: CacheStats,
     /// Passive trace sink; `None` (the default) records nothing.
     recorder: Option<SharedRecorder>,
@@ -267,7 +326,7 @@ impl TieredKvCache {
     }
 
     /// Lazily-copied tokens belonging to `conv`.
-    fn copied_tokens_of(&self, conv: ConversationId) -> usize {
+    fn copied_tokens_of(&self, conv: SessionId) -> usize {
         self.convs.get(&conv).map_or(0, |e| {
             e.chunks
                 .iter()
@@ -283,39 +342,39 @@ impl TieredKvCache {
     /// revalidated in place on restore, not reclaimed, so they cannot
     /// back new slots.
     #[must_use]
-    pub fn gpu_free_effective_for(&self, conv: ConversationId) -> usize {
+    pub fn gpu_free_effective_for(&self, conv: SessionId) -> usize {
         self.gpu_free_effective() - self.copied_tokens_of(conv)
     }
 
     /// Tokens of `conv` currently tracked (0 if unknown).
     #[must_use]
-    pub fn conversation_tokens(&self, conv: ConversationId) -> usize {
+    pub fn conversation_tokens(&self, conv: SessionId) -> usize {
         self.convs.get(&conv).map_or(0, ConvEntry::total_tokens)
     }
 
     /// True if the conversation has tracked context.
     #[must_use]
-    pub fn contains(&self, conv: ConversationId) -> bool {
+    pub fn contains(&self, conv: SessionId) -> bool {
         self.convs.contains_key(&conv)
     }
 
     /// Marks a conversation as part of the running batch: its chunks are
     /// exempt from eviction.
-    pub fn pin(&mut self, conv: ConversationId) {
+    pub fn pin(&mut self, conv: SessionId) {
         if let Some(e) = self.convs.get_mut(&conv) {
             e.pinned = true;
         }
     }
 
     /// Clears the running-batch pin.
-    pub fn unpin(&mut self, conv: ConversationId) {
+    pub fn unpin(&mut self, conv: SessionId) {
         if let Some(e) = self.convs.get_mut(&conv) {
             e.pinned = false;
         }
     }
 
     /// Updates a conversation's last-active time.
-    pub fn touch(&mut self, conv: ConversationId, now: SimTime) {
+    pub fn touch(&mut self, conv: SessionId, now: SimTime) {
         if let Some(e) = self.convs.get_mut(&conv) {
             e.last_active = now;
         }
@@ -324,7 +383,7 @@ impl TieredKvCache {
     /// Computes the Figure-5 restore plan for `conv` without mutating
     /// anything. Unknown conversations yield an empty plan.
     #[must_use]
-    pub fn plan_restore(&self, conv: ConversationId) -> RequestPlan {
+    pub fn plan_restore(&self, conv: SessionId) -> RequestPlan {
         let Some(e) = self.convs.get(&conv) else {
             return RequestPlan::default();
         };
@@ -363,7 +422,7 @@ impl TieredKvCache {
     /// new slots exceed effectively-free GPU space.
     pub fn commit_restore(
         &mut self,
-        conv: ConversationId,
+        conv: SessionId,
         now: SimTime,
     ) -> Result<RequestPlan, CacheError> {
         let plan = self.plan_restore(conv);
@@ -457,7 +516,7 @@ impl TieredKvCache {
     /// callers must [`TieredKvCache::commit_restore`] first.
     pub fn append_tokens(
         &mut self,
-        conv: ConversationId,
+        conv: SessionId,
         n: usize,
         now: SimTime,
     ) -> Result<(), CacheError> {
@@ -534,7 +593,7 @@ impl TieredKvCache {
     pub fn swap_out_until_for(
         &mut self,
         target_free: usize,
-        for_conv: Option<ConversationId>,
+        for_conv: Option<SessionId>,
         now: SimTime,
     ) -> Vec<SwapOutOp> {
         let trigger = target_free;
@@ -555,9 +614,9 @@ impl TieredKvCache {
         if let Some(c) = for_conv {
             candidates.retain(|&(conv, _, _)| conv != c);
         }
-        let mut drop_queue: Option<std::collections::VecDeque<(ConversationId, usize)>> = None;
+        let mut drop_queue: Option<std::collections::VecDeque<(SessionId, usize)>> = None;
         let conversation_granularity = self.policy.granularity() == Granularity::Conversation;
-        let mut active_conv: Option<ConversationId> = None;
+        let mut active_conv: Option<SessionId> = None;
         for (conv, idx, _) in candidates {
             // Conversation-granularity policies finish the conversation
             // they started evicting before honoring the watermark.
@@ -617,7 +676,7 @@ impl TieredKvCache {
     /// Suspends a running request (§4.3.5): moves all its GPU-resident
     /// chunks to the CPU tier immediately and unpins it. Returns the
     /// number of tokens that must be transferred.
-    pub fn suspend(&mut self, conv: ConversationId, now: SimTime) -> usize {
+    pub fn suspend(&mut self, conv: SessionId, now: SimTime) -> usize {
         let Some(e) = self.convs.get_mut(&conv) else {
             return 0;
         };
@@ -669,7 +728,7 @@ impl TieredKvCache {
     }
 
     /// Removes a conversation and frees all its space.
-    pub fn remove_conversation(&mut self, conv: ConversationId) {
+    pub fn remove_conversation(&mut self, conv: SessionId) {
         if let Some(e) = self.convs.remove(&conv) {
             for c in &e.chunks {
                 match c.tier {
@@ -683,6 +742,91 @@ impl TieredKvCache {
         debug_assert!(self.check_invariants());
     }
 
+    /// Removes `session` from this cache and returns a portable snapshot
+    /// of its chunk layout for handoff to another replica. All resident
+    /// chunks (GPU, lazily-copied, CPU) are staged as [`Tier::Cpu`] in
+    /// the export; already-[`Tier::Dropped`] chunks stay dropped and
+    /// become recompute obligations at the target. Returns `None` if the
+    /// session is unknown or pinned in the running batch — pinned
+    /// sessions must finish or be suspended before export.
+    pub fn export_session(&mut self, session: SessionId) -> Option<SessionExport> {
+        if self.convs.get(&session).is_none_or(|e| e.pinned) {
+            return None;
+        }
+        let e = self.convs.remove(&session)?;
+        let mut chunks = e.chunks;
+        for c in &mut chunks {
+            match c.tier {
+                Tier::Gpu => {
+                    self.gpu_resident -= c.tokens;
+                    c.tier = Tier::Cpu;
+                }
+                Tier::GpuCopied => {
+                    self.gpu_copied -= c.tokens;
+                    c.tier = Tier::Cpu;
+                }
+                Tier::Cpu => self.cpu_resident -= c.tokens,
+                Tier::Dropped => {}
+            }
+        }
+        debug_assert!(self.check_invariants());
+        Some(SessionExport { session, chunks })
+    }
+
+    /// Installs a handed-off session snapshot into this cache's CPU
+    /// tier. Chunks are admitted in context order; once CPU capacity is
+    /// exhausted the remainder is demoted to [`Tier::Dropped`] (counted
+    /// in [`CacheStats::dropped_tokens`]) and recomputed on the next
+    /// restore. Imports never evict existing residents — a migrated-in
+    /// conversation has no claim over the target's warm cache. Returns
+    /// the tokens admitted to the CPU tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::SessionExists`] if the session is already
+    /// tracked here; the cache is unchanged.
+    pub fn import_session(
+        &mut self,
+        export: SessionExport,
+        now: SimTime,
+    ) -> Result<usize, CacheError> {
+        if self.convs.contains_key(&export.session) {
+            return Err(CacheError::SessionExists(export.session));
+        }
+        let mut chunks = export.chunks;
+        let mut admitted = 0usize;
+        for c in &mut chunks {
+            match c.tier {
+                Tier::Cpu => {
+                    if self.cpu_used() + c.tokens <= self.cfg.cpu_capacity_tokens {
+                        self.cpu_resident += c.tokens;
+                        admitted += c.tokens;
+                    } else {
+                        c.tier = Tier::Dropped;
+                        self.stats.dropped_tokens += c.tokens as u64;
+                    }
+                }
+                Tier::Dropped => {}
+                Tier::Gpu | Tier::GpuCopied => {
+                    // Exports are CPU-staged by construction; a stray
+                    // GPU-tier chunk carries no transferable bytes here.
+                    c.tier = Tier::Dropped;
+                    self.stats.dropped_tokens += c.tokens as u64;
+                }
+            }
+        }
+        self.convs.insert(
+            export.session,
+            ConvEntry {
+                chunks,
+                last_active: now,
+                pinned: false,
+            },
+        );
+        debug_assert!(self.check_invariants());
+        Ok(admitted)
+    }
+
     /// Every chunk with a CPU-tier copy ([`Tier::Cpu`] or
     /// [`Tier::GpuCopied`]), as `(conversation, chunk index, tokens)` in a
     /// deterministic `(conversation, index)` order. The fault injector
@@ -690,8 +834,8 @@ impl TieredKvCache {
     /// `BTreeMap`, so the walk is ordered by construction and no
     /// post-sort is needed.
     #[must_use]
-    pub fn cpu_resident_chunks(&self) -> Vec<(ConversationId, usize, usize)> {
-        let mut out: Vec<(ConversationId, usize, usize)> = Vec::new();
+    pub fn cpu_resident_chunks(&self) -> Vec<(SessionId, usize, usize)> {
+        let mut out: Vec<(SessionId, usize, usize)> = Vec::new();
         for (&cid, e) in &self.convs {
             for (i, c) in e.chunks.iter().enumerate() {
                 if matches!(c.tier, Tier::Cpu | Tier::GpuCopied) {
@@ -713,11 +857,7 @@ impl TieredKvCache {
     /// Returns [`CacheError::UnknownConversation`] or
     /// [`CacheError::ChunkNotInCpuTier`] if the addressed chunk holds no
     /// CPU-tier copy; the cache is unchanged.
-    pub fn mark_chunk_lost(
-        &mut self,
-        conv: ConversationId,
-        chunk: usize,
-    ) -> Result<usize, CacheError> {
+    pub fn mark_chunk_lost(&mut self, conv: SessionId, chunk: usize) -> Result<usize, CacheError> {
         let tokens = self.invalidate_cpu_copy(conv, chunk)?;
         self.stats.lost_chunk_tokens += tokens as u64;
         Ok(tokens)
@@ -733,7 +873,7 @@ impl TieredKvCache {
     /// Same conditions as [`TieredKvCache::mark_chunk_lost`].
     pub fn mark_chunk_corrupt(
         &mut self,
-        conv: ConversationId,
+        conv: SessionId,
         chunk: usize,
     ) -> Result<usize, CacheError> {
         let tokens = self.invalidate_cpu_copy(conv, chunk)?;
@@ -742,11 +882,7 @@ impl TieredKvCache {
     }
 
     /// Shared state transition for loss/corruption of a CPU-tier copy.
-    fn invalidate_cpu_copy(
-        &mut self,
-        conv: ConversationId,
-        chunk: usize,
-    ) -> Result<usize, CacheError> {
+    fn invalidate_cpu_copy(&mut self, conv: SessionId, chunk: usize) -> Result<usize, CacheError> {
         let e = self
             .convs
             .get_mut(&conv)
@@ -780,7 +916,7 @@ impl TieredKvCache {
     /// drops every [`Tier::Cpu`] chunk of `conv` so its next restore plan
     /// recomputes them from raw tokens instead of retrying the transfer.
     /// Returns the tokens dropped (0 for unknown conversations).
-    pub fn drop_cpu_chunks(&mut self, conv: ConversationId, now: SimTime) -> usize {
+    pub fn drop_cpu_chunks(&mut self, conv: SessionId, now: SimTime) -> usize {
         let Some(e) = self.convs.get_mut(&conv) else {
             return 0;
         };
@@ -818,7 +954,7 @@ impl TieredKvCache {
         &mut self,
         tokens: usize,
         now: SimTime,
-        queue: &mut Option<std::collections::VecDeque<(ConversationId, usize)>>,
+        queue: &mut Option<std::collections::VecDeque<(SessionId, usize)>>,
     ) -> bool {
         if tokens > self.cfg.cpu_capacity_tokens {
             return false;
@@ -867,7 +1003,7 @@ impl TieredKvCache {
     /// Runs in amortized O(1) per reclaimed chunk: copies are queued in
     /// copy order (which follows the eviction policy's order) and stale
     /// entries are skipped on pop.
-    fn reclaim_gpu_slots(&mut self, needed: usize, favored: Option<ConversationId>) {
+    fn reclaim_gpu_slots(&mut self, needed: usize, favored: Option<SessionId>) {
         if self.gpu_free_strict() >= needed || self.gpu_copied == 0 {
             return;
         }
@@ -907,9 +1043,9 @@ impl TieredKvCache {
         tier: Tier,
         now: SimTime,
         include_pinned: bool,
-    ) -> Vec<(ConversationId, usize, f64)> {
+    ) -> Vec<(SessionId, usize, f64)> {
         let trailing = self.policy.within_order() == WithinOrder::TrailingFirst;
-        let mut out: Vec<(ConversationId, usize, f64)> = Vec::new();
+        let mut out: Vec<(SessionId, usize, f64)> = Vec::new();
         for (&cid, e) in &self.convs {
             if e.pinned && !include_pinned {
                 continue;
@@ -988,7 +1124,7 @@ mod tests {
     #[test]
     fn append_builds_chunks() {
         let mut cache = lru_cache(1000, 1000);
-        let c = ConversationId(1);
+        let c = SessionId(1);
         cache.append_tokens(c, 50, t(0.0)).unwrap();
         assert_eq!(cache.conversation_tokens(c), 50);
         cache.append_tokens(c, 20, t(1.0)).unwrap();
@@ -1001,9 +1137,100 @@ mod tests {
     }
 
     #[test]
+    fn export_import_round_trip_preserves_layout() {
+        let mut src = lru_cache(1000, 1000);
+        let c = SessionId(7);
+        src.append_tokens(c, 70, t(0.0)).unwrap();
+        src.unpin(c);
+        let export = src.export_session(c).expect("unpinned session exports");
+        assert!(!src.contains(c));
+        assert_eq!(src.gpu_slots_used(), 0);
+        assert_eq!(src.cpu_used(), 0);
+        assert_eq!(export.streamable_tokens(), 70);
+        assert_eq!(export.dropped_tokens(), 0);
+        assert!(export.chunks.iter().all(|ch| ch.tier == Tier::Cpu));
+
+        let mut dst = lru_cache(1000, 1000);
+        let admitted = dst.import_session(export, t(1.0)).unwrap();
+        assert_eq!(admitted, 70);
+        assert_eq!(dst.cpu_used(), 70);
+        let plan = dst.plan_restore(c);
+        assert_eq!(plan.swap_in_tokens, 70);
+        assert_eq!(plan.recompute_tokens, 0);
+    }
+
+    #[test]
+    fn export_refuses_pinned_and_unknown_sessions() {
+        let mut cache = lru_cache(1000, 1000);
+        let c = SessionId(1);
+        cache.append_tokens(c, 40, t(0.0)).unwrap();
+        cache.pin(c);
+        assert!(cache.export_session(c).is_none());
+        assert_eq!(cache.conversation_tokens(c), 40);
+        assert!(cache.export_session(SessionId(99)).is_none());
+        cache.unpin(c);
+        assert!(cache.export_session(c).is_some());
+    }
+
+    #[test]
+    fn lost_chunks_become_recompute_obligations() {
+        let mut src = lru_cache(1000, 1000);
+        let c = SessionId(2);
+        src.append_tokens(c, 96, t(0.0)).unwrap();
+        src.unpin(c);
+        let mut export = src.export_session(c).unwrap();
+        assert_eq!(export.mark_lost(0), 32);
+        assert_eq!(export.mark_lost(0), 0, "double-loss is idempotent");
+        assert_eq!(export.streamable_tokens(), 64);
+        assert_eq!(export.dropped_tokens(), 32);
+
+        let mut dst = lru_cache(1000, 1000);
+        assert_eq!(dst.import_session(export, t(1.0)).unwrap(), 64);
+        let plan = dst.plan_restore(c);
+        // A dropped leading chunk forces recomputation of the prefix;
+        // the surviving CPU chunks behind it are swapped in.
+        assert_eq!(plan.recompute_tokens, 32);
+        assert_eq!(plan.swap_in_tokens, 64);
+    }
+
+    #[test]
+    fn import_demotes_past_cpu_capacity() {
+        let mut src = lru_cache(1000, 1000);
+        let c = SessionId(3);
+        src.append_tokens(c, 96, t(0.0)).unwrap();
+        src.unpin(c);
+        let export = src.export_session(c).unwrap();
+
+        // Target CPU tier only fits one 32-token chunk.
+        let mut dst = lru_cache(1000, 40);
+        let before = dst.stats().dropped_tokens;
+        assert_eq!(dst.import_session(export, t(1.0)).unwrap(), 32);
+        assert_eq!(dst.stats().dropped_tokens - before, 64);
+        assert_eq!(dst.conversation_tokens(c), 96);
+        assert_eq!(dst.cpu_used(), 32);
+    }
+
+    #[test]
+    fn import_rejects_existing_session() {
+        let mut a = lru_cache(1000, 1000);
+        let c = SessionId(4);
+        a.append_tokens(c, 32, t(0.0)).unwrap();
+        a.unpin(c);
+        let export = a.export_session(c).unwrap();
+
+        let mut b = lru_cache(1000, 1000);
+        b.append_tokens(c, 32, t(0.0)).unwrap();
+        assert!(matches!(
+            b.import_session(export, t(1.0)),
+            Err(CacheError::SessionExists(s)) if s == c
+        ));
+        assert_eq!(b.conversation_tokens(c), 32);
+    }
+
+    #[test]
     fn append_rejects_overflow() {
         let mut cache = lru_cache(64, 64);
-        let c = ConversationId(1);
+        let c = SessionId(1);
         assert!(matches!(
             cache.append_tokens(c, 65, t(0.0)),
             Err(CacheError::OutOfGpu { needed: 65, .. })
@@ -1015,7 +1242,7 @@ mod tests {
     fn watermark_triggers_ahead_of_time_swap() {
         // Capacity 128, watermark 25% -> swap when effective free < 32.
         let mut cache = lru_cache(128, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 64, t(0.0)).unwrap();
         cache.unpin(a);
         // 64 free (50%): above the watermark, nothing to do.
@@ -1037,7 +1264,7 @@ mod tests {
     #[test]
     fn revalidation_restores_for_free() {
         let mut cache = lru_cache(128, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 100, t(0.0)).unwrap();
         cache.unpin(a);
         let ops = cache.maybe_swap_out(t(1.0));
@@ -1052,12 +1279,12 @@ mod tests {
     #[test]
     fn lazy_copies_reclaimed_under_pressure_then_swapped_in() {
         let mut cache = lru_cache(128, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 100, t(0.0)).unwrap();
         cache.unpin(a);
         cache.maybe_swap_out(t(1.0));
         // A second conversation consumes the reclaimable slots.
-        let b = ConversationId(2);
+        let b = SessionId(2);
         cache.append_tokens(b, 60, t(2.0)).unwrap();
         // A's copied chunk lost its GPU slot.
         let plan = cache.plan_restore(a);
@@ -1076,7 +1303,7 @@ mod tests {
     fn chunk_too_big_for_cpu_tier_is_dropped() {
         // CPU tier smaller than one chunk: eviction must drop, not copy.
         let mut cache = lru_cache(128, 16);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 128, t(0.0)).unwrap();
         cache.unpin(a);
         let ops = cache.maybe_swap_out(t(1.0));
@@ -1090,13 +1317,13 @@ mod tests {
     fn cpu_pressure_drops_cpu_chunks_leading_first() {
         let mut cache = lru_cache(192, 64);
         // Conversation A is suspended to CPU (64 tokens fill the tier).
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 64, t(0.0)).unwrap();
         cache.suspend(a, t(1.0));
         assert_eq!(cache.cpu_used(), 64);
         // Conversation B fills the GPU and triggers eviction; copying B's
         // chunk requires dropping A's leading CPU chunk.
-        let b = ConversationId(2);
+        let b = SessionId(2);
         cache.append_tokens(b, 192, t(2.0)).unwrap();
         cache.unpin(b);
         let ops = cache.maybe_swap_out(t(3.0));
@@ -1115,7 +1342,7 @@ mod tests {
     #[test]
     fn restore_plan_splits_figure5_segments() {
         let mut cache = lru_cache(128, 64);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 128, t(0.0)).unwrap();
         // Suspending with a CPU tier that holds only two chunks: chunks
         // 0 and 1 get copied but are then dropped to make room for 2 and
@@ -1136,7 +1363,7 @@ mod tests {
     #[test]
     fn suspend_moves_everything_off_gpu() {
         let mut cache = lru_cache(256, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 100, t(0.0)).unwrap();
         let moved = cache.suspend(a, t(1.0));
         assert_eq!(moved, 100);
@@ -1148,7 +1375,7 @@ mod tests {
     #[test]
     fn pinned_conversations_are_not_evicted() {
         let mut cache = lru_cache(128, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 120, t(0.0)).unwrap();
         // Still pinned: swap-out finds no candidates.
         let ops = cache.maybe_swap_out(t(1.0));
@@ -1160,13 +1387,13 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_active_conversation() {
         let mut cache = lru_cache(96, 1000);
-        let (a, b) = (ConversationId(1), ConversationId(2));
+        let (a, b) = (SessionId(1), SessionId(2));
         cache.append_tokens(a, 32, t(0.0)).unwrap();
         cache.append_tokens(b, 32, t(5.0)).unwrap();
         cache.unpin(a);
         cache.unpin(b);
         // 32 free = 33% > 25%: no swap yet. Add one more chunk.
-        let c = ConversationId(3);
+        let c = SessionId(3);
         cache.append_tokens(c, 32, t(6.0)).unwrap();
         let ops = cache.maybe_swap_out(t(7.0));
         assert_eq!(ops[0].conv, a, "oldest conversation evicted first");
@@ -1178,7 +1405,7 @@ mod tests {
             CacheConfig::for_test(32, 192, 1000),
             Box::new(CachedAttentionPolicy),
         );
-        let (a, b) = (ConversationId(1), ConversationId(2));
+        let (a, b) = (SessionId(1), SessionId(2));
         cache.append_tokens(a, 64, t(0.0)).unwrap();
         cache.append_tokens(b, 96, t(5.0)).unwrap();
         cache.unpin(a);
@@ -1196,7 +1423,7 @@ mod tests {
             CacheConfig::for_test(32, 128, 1000),
             Box::new(TrailingEndPolicy),
         );
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 128, t(0.0)).unwrap();
         cache.unpin(a);
         let ops = cache.maybe_swap_out(t(1.0));
@@ -1206,7 +1433,7 @@ mod tests {
     #[test]
     fn remove_conversation_frees_all_tiers() {
         let mut cache = lru_cache(128, 64);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 128, t(0.0)).unwrap();
         cache.unpin(a);
         cache.maybe_swap_out(t(1.0));
@@ -1219,12 +1446,12 @@ mod tests {
     #[test]
     fn commit_restore_fails_without_space_and_is_side_effect_free() {
         let mut cache = lru_cache(96, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 96, t(0.0)).unwrap();
         cache.unpin(a);
         cache.suspend(a, t(1.0));
         // Fill the GPU with another pinned conversation.
-        let b = ConversationId(2);
+        let b = SessionId(2);
         cache.append_tokens(b, 96, t(2.0)).unwrap();
         let before = cache.plan_restore(a);
         assert!(cache.commit_restore(a, t(3.0)).is_err());
@@ -1242,11 +1469,11 @@ mod tests {
         let policy = RetentionValuePolicy::new(ProfiledCostTable::profile(&cost, 32, 16384));
         let mut cache = TieredKvCache::new(CacheConfig::for_test(32, 512, 4096), Box::new(policy));
         // Conversation A: long context, idle since t=0.
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 256, t(0.0)).unwrap();
         cache.unpin(a);
         // Conversation B: short context, active recently.
-        let b = ConversationId(2);
+        let b = SessionId(2);
         cache.append_tokens(b, 128, t(100.0)).unwrap();
         cache.unpin(b);
         // Force deep eviction.
@@ -1278,7 +1505,7 @@ mod tests {
     #[test]
     fn reclamation_skips_revalidated_copies() {
         let mut cache = lru_cache(128, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 100, t(0.0)).unwrap();
         cache.unpin(a);
         // Copy one chunk out, then revalidate it by restoring A.
@@ -1292,7 +1519,7 @@ mod tests {
         let ops = cache.maybe_swap_out(t(4.0));
         assert!(!ops.is_empty());
         // A new conversation forces reclamation of the fresh copy.
-        let b = ConversationId(2);
+        let b = SessionId(2);
         cache.append_tokens(b, 50, t(5.0)).unwrap();
         assert!(cache.gpu_slots_used() <= 128);
         let plan = cache.plan_restore(a);
@@ -1302,7 +1529,7 @@ mod tests {
     #[test]
     fn lost_cpu_chunk_becomes_dropped_and_recomputes() {
         let mut cache = lru_cache(256, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 64, t(0.0)).unwrap();
         cache.suspend(a, t(1.0));
         let listing = cache.cpu_resident_chunks();
@@ -1323,7 +1550,7 @@ mod tests {
     #[test]
     fn corrupted_lazy_copy_reverts_to_gpu_resident() {
         let mut cache = lru_cache(128, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 100, t(0.0)).unwrap();
         cache.unpin(a);
         // One chunk gets lazily copied by the watermark pass.
@@ -1339,7 +1566,7 @@ mod tests {
         assert!(plan.is_full_gpu_hit());
         assert_eq!(cache.cpu_used(), 0);
         // The stale copied_fifo entry must not break later reclamation.
-        let b = ConversationId(2);
+        let b = SessionId(2);
         cache.append_tokens(b, 28, t(2.0)).unwrap();
         assert!(cache.gpu_slots_used() <= 128);
     }
@@ -1347,7 +1574,7 @@ mod tests {
     #[test]
     fn drop_cpu_chunks_forces_recompute_fallback() {
         let mut cache = lru_cache(256, 1000);
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 96, t(0.0)).unwrap();
         cache.suspend(a, t(1.0));
         assert_eq!(cache.drop_cpu_chunks(a, t(2.0)), 96);
@@ -1358,17 +1585,17 @@ mod tests {
         assert_eq!(plan.recompute_tokens, 96);
         // Idempotent and safe on unknown conversations.
         assert_eq!(cache.drop_cpu_chunks(a, t(2.0)), 0);
-        assert_eq!(cache.drop_cpu_chunks(ConversationId(99), t(2.0)), 0);
+        assert_eq!(cache.drop_cpu_chunks(SessionId(99), t(2.0)), 0);
     }
 
     #[test]
     fn fault_apis_reject_unknown_targets() {
         let mut cache = lru_cache(64, 64);
         assert_eq!(
-            cache.mark_chunk_lost(ConversationId(9), 0),
-            Err(CacheError::UnknownConversation(ConversationId(9)))
+            cache.mark_chunk_lost(SessionId(9), 0),
+            Err(CacheError::UnknownConversation(SessionId(9)))
         );
-        let a = ConversationId(1);
+        let a = SessionId(1);
         cache.append_tokens(a, 32, t(0.0)).unwrap();
         // GPU-resident chunk has no CPU copy.
         assert_eq!(
@@ -1382,7 +1609,7 @@ mod tests {
     #[test]
     fn unknown_conversation_has_empty_plan() {
         let cache = lru_cache(10, 10);
-        let plan = cache.plan_restore(ConversationId(42));
+        let plan = cache.plan_restore(SessionId(42));
         assert_eq!(plan, RequestPlan::default());
         assert!(plan.is_full_gpu_hit());
     }

@@ -4,7 +4,7 @@ use pensieve_model::{CostModel, ModelConfig};
 
 /// Identifier of a conversation whose context the cache tracks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ConversationId(pub u64);
+pub struct SessionId(pub u64);
 
 /// Where a chunk's KV-tokens currently live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +36,7 @@ pub struct ChunkState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChunkRef {
     /// Owning conversation.
-    pub conv: ConversationId,
+    pub conv: SessionId,
     /// Zero-based chunk index within the conversation's context.
     pub index: usize,
 }

@@ -341,6 +341,59 @@ pub enum TraceEvent {
         /// Worker shards that participated.
         shards: usize,
     },
+    /// A cluster router placed a request on a replica.
+    Routed {
+        /// Routing decision time (the request's arrival at the router).
+        at: SimTime,
+        /// Request id.
+        request: u64,
+        /// Conversation id.
+        conv: u64,
+        /// Chosen replica index.
+        replica: usize,
+        /// KV-tokens of the conversation already cached at that replica.
+        cached_tokens: usize,
+    },
+    /// A conversation migration began: its KV chunks stream from the
+    /// source replica to the target over the inter-node link.
+    MigrationStart {
+        /// When the handoff was initiated.
+        at: SimTime,
+        /// Conversation id.
+        conv: u64,
+        /// Source replica index.
+        from: usize,
+        /// Target replica index.
+        to: usize,
+        /// Chunks to stream.
+        chunks: usize,
+        /// Total KV bytes to stream.
+        bytes: u64,
+    },
+    /// A conversation migration finished; lost tokens fall back to
+    /// Pensieve's dropped-token recomputation at the target.
+    MigrationEnd {
+        /// When the last chunk landed (or was detected lost).
+        at: SimTime,
+        /// Conversation id.
+        conv: u64,
+        /// Target replica index.
+        to: usize,
+        /// Tokens delivered to the target's CPU tier.
+        streamed_tokens: usize,
+        /// Tokens lost in transit (recomputed at the target).
+        lost_tokens: usize,
+    },
+    /// A replica was fault-injected dead; its in-flight and queued
+    /// requests are re-routed and its KV state is gone.
+    ReplicaFailed {
+        /// Failure time.
+        at: SimTime,
+        /// The dead replica's index.
+        replica: usize,
+        /// Requests re-queued onto surviving replicas.
+        requeued: usize,
+    },
 }
 
 /// Every variant name, in declaration order. The docs-coverage test
@@ -362,6 +415,10 @@ pub const VARIANTS: &[&str] = &[
     "RequestCompleted",
     "PipelinedSwapIn",
     "TpPass",
+    "Routed",
+    "MigrationStart",
+    "MigrationEnd",
+    "ReplicaFailed",
 ];
 
 impl TraceEvent {
@@ -385,6 +442,10 @@ impl TraceEvent {
             TraceEvent::RequestCompleted { .. } => "RequestCompleted",
             TraceEvent::PipelinedSwapIn { .. } => "PipelinedSwapIn",
             TraceEvent::TpPass { .. } => "TpPass",
+            TraceEvent::Routed { .. } => "Routed",
+            TraceEvent::MigrationStart { .. } => "MigrationStart",
+            TraceEvent::MigrationEnd { .. } => "MigrationEnd",
+            TraceEvent::ReplicaFailed { .. } => "ReplicaFailed",
         }
     }
 
@@ -407,7 +468,11 @@ impl TraceEvent {
             | TraceEvent::FaultRecovery { at, .. }
             | TraceEvent::RequestCompleted { at, .. }
             | TraceEvent::PipelinedSwapIn { at, .. }
-            | TraceEvent::TpPass { at, .. } => *at,
+            | TraceEvent::TpPass { at, .. }
+            | TraceEvent::Routed { at, .. }
+            | TraceEvent::MigrationStart { at, .. }
+            | TraceEvent::MigrationEnd { at, .. }
+            | TraceEvent::ReplicaFailed { at, .. } => *at,
         }
     }
 }
@@ -690,6 +755,68 @@ impl Serialize for TraceEvent {
                     ("shards", num(*shards as f64)),
                 ],
             ),
+            TraceEvent::Routed {
+                at,
+                request,
+                conv,
+                replica,
+                cached_tokens,
+            } => obj(
+                "Routed",
+                &[
+                    ("at", time(*at)),
+                    ("request", num(*request as f64)),
+                    ("conv", num(*conv as f64)),
+                    ("replica", num(*replica as f64)),
+                    ("cached_tokens", num(*cached_tokens as f64)),
+                ],
+            ),
+            TraceEvent::MigrationStart {
+                at,
+                conv,
+                from,
+                to,
+                chunks,
+                bytes,
+            } => obj(
+                "MigrationStart",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("from", num(*from as f64)),
+                    ("to", num(*to as f64)),
+                    ("chunks", num(*chunks as f64)),
+                    ("bytes", num(*bytes as f64)),
+                ],
+            ),
+            TraceEvent::MigrationEnd {
+                at,
+                conv,
+                to,
+                streamed_tokens,
+                lost_tokens,
+            } => obj(
+                "MigrationEnd",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("to", num(*to as f64)),
+                    ("streamed_tokens", num(*streamed_tokens as f64)),
+                    ("lost_tokens", num(*lost_tokens as f64)),
+                ],
+            ),
+            TraceEvent::ReplicaFailed {
+                at,
+                replica,
+                requeued,
+            } => obj(
+                "ReplicaFailed",
+                &[
+                    ("at", time(*at)),
+                    ("replica", num(*replica as f64)),
+                    ("requeued", num(*requeued as f64)),
+                ],
+            ),
         }
     }
 }
@@ -805,6 +932,33 @@ impl Deserialize for TraceEvent {
                 conv: f_u64(v, "conv")?,
                 query_tokens: f_usize(v, "query_tokens")?,
                 shards: f_usize(v, "shards")?,
+            }),
+            "Routed" => Ok(TraceEvent::Routed {
+                at: f_time(v, "at")?,
+                request: f_u64(v, "request")?,
+                conv: f_u64(v, "conv")?,
+                replica: f_usize(v, "replica")?,
+                cached_tokens: f_usize(v, "cached_tokens")?,
+            }),
+            "MigrationStart" => Ok(TraceEvent::MigrationStart {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                from: f_usize(v, "from")?,
+                to: f_usize(v, "to")?,
+                chunks: f_usize(v, "chunks")?,
+                bytes: f_u64(v, "bytes")?,
+            }),
+            "MigrationEnd" => Ok(TraceEvent::MigrationEnd {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                to: f_usize(v, "to")?,
+                streamed_tokens: f_usize(v, "streamed_tokens")?,
+                lost_tokens: f_usize(v, "lost_tokens")?,
+            }),
+            "ReplicaFailed" => Ok(TraceEvent::ReplicaFailed {
+                at: f_time(v, "at")?,
+                replica: f_usize(v, "replica")?,
+                requeued: f_usize(v, "requeued")?,
             }),
             other => Err(DeError::custom(format!("unknown event variant {other:?}"))),
         }
@@ -926,6 +1080,33 @@ pub fn sample_events() -> Vec<TraceEvent> {
             conv: 4,
             query_tokens: 16,
             shards: 2,
+        },
+        TraceEvent::Routed {
+            at: t,
+            request: 7,
+            conv: 4,
+            replica: 2,
+            cached_tokens: 192,
+        },
+        TraceEvent::MigrationStart {
+            at: t,
+            conv: 4,
+            from: 2,
+            to: 0,
+            chunks: 6,
+            bytes: 3 << 20,
+        },
+        TraceEvent::MigrationEnd {
+            at: SimTime::from_secs(1.5),
+            conv: 4,
+            to: 0,
+            streamed_tokens: 160,
+            lost_tokens: 32,
+        },
+        TraceEvent::ReplicaFailed {
+            at: t,
+            replica: 2,
+            requeued: 3,
         },
     ]
 }

@@ -336,7 +336,11 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
             | TraceEvent::SwapInCommitted { .. }
             | TraceEvent::RecomputeCommitted { .. }
             | TraceEvent::PipelinedSwapIn { .. }
-            | TraceEvent::TpPass { .. } => {}
+            | TraceEvent::TpPass { .. }
+            | TraceEvent::Routed { .. }
+            | TraceEvent::MigrationStart { .. }
+            | TraceEvent::MigrationEnd { .. }
+            | TraceEvent::ReplicaFailed { .. } => {}
         }
     }
     // Stable sort: equal timestamps keep recording order.

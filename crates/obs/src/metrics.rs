@@ -50,6 +50,17 @@ pub mod names {
     pub const BATCH_QUERY_TOKENS: &str = "pensieve_batch_query_tokens";
     /// Histogram: time to first token, seconds.
     pub const TTFT_SECONDS: &str = "pensieve_ttft_seconds";
+    /// Counter: requests placed on a replica by the cluster router.
+    pub const ROUTED_REQUESTS_TOTAL: &str = "pensieve_routed_requests_total";
+    /// Counter: conversation migrations between replicas.
+    pub const MIGRATIONS_TOTAL: &str = "pensieve_migrations_total";
+    /// Counter: KV-tokens streamed to a migration target's CPU tier.
+    pub const MIGRATED_TOKENS_TOTAL: &str = "pensieve_migrated_tokens_total";
+    /// Counter: KV-tokens lost by the inter-node link during migration
+    /// (recomputed at the target).
+    pub const MIGRATION_LOST_TOKENS_TOTAL: &str = "pensieve_migration_lost_tokens_total";
+    /// Counter: fault-injected replica deaths handled by the router.
+    pub const REPLICA_FAILURES_TOTAL: &str = "pensieve_replica_failures_total";
 
     /// Every canonical metric name.
     pub const ALL: &[&str] = &[
@@ -71,6 +82,11 @@ pub mod names {
         ITERATION_SECONDS,
         BATCH_QUERY_TOKENS,
         TTFT_SECONDS,
+        ROUTED_REQUESTS_TOTAL,
+        MIGRATIONS_TOTAL,
+        MIGRATED_TOKENS_TOTAL,
+        MIGRATION_LOST_TOKENS_TOTAL,
+        REPLICA_FAILURES_TOTAL,
     ];
 }
 

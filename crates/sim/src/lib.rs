@@ -13,13 +13,18 @@
 //! * [`faults::FaultInjector`] — a seeded, deterministic fault source used
 //!   to exercise recovery paths (PCIe failures/timeouts, CPU-tier chunk
 //!   loss/corruption, allocation faults, worker stalls and crashes).
+//! * [`node_link::NodeLink`] — the inter-node fabric over which a cluster
+//!   router streams KV chunks during conversation migration, with seeded
+//!   per-chunk loss feeding the recompute-fallback path.
 
 pub mod events;
 pub mod faults;
 pub mod gpu;
+pub mod node_link;
 pub mod pcie;
 
 pub use events::{EventQueue, ScheduleError};
 pub use faults::{FaultConfig, FaultCounters, FaultInjector, FaultKind};
 pub use gpu::GpuTimer;
+pub use node_link::{ChunkLost, NodeLink, NodeLinkSpec};
 pub use pcie::{Direction, DuplexMode, PcieLink, TransferError};

@@ -1,0 +1,230 @@
+//! Simulated inter-node fabric for KV handoff between replicas.
+//!
+//! When a cluster router migrates a conversation, its CPU-tier KV chunks
+//! stream over the datacenter network to the target replica (the DéjàVu
+//! KV-streaming primitive). [`NodeLink`] models that fabric the same way
+//! [`crate::pcie::PcieLink`] models the host link: a single FIFO busy
+//! horizon, per-transfer setup latency, and bandwidth-proportional
+//! duration — all pure functions of the call sequence, so cluster runs
+//! stay bit-deterministic.
+//!
+//! Unlike PCIe, a network stream can *lose* a chunk (a dropped flow, a
+//! checksum mismatch at the receiver). Losses are drawn from a seeded
+//! SplitMix64 stream, one roll per non-empty chunk; a lost chunk still
+//! consumes its full link time — the bytes were sent, the receiver just
+//! cannot use them — and the router falls back to Pensieve's dropped-token
+//! recomputation for it.
+
+use std::fmt;
+
+use pensieve_model::{SimDuration, SimTime};
+
+/// Shape of the simulated inter-node link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLinkSpec {
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Per-chunk setup latency (RTT + framing).
+    pub latency: SimDuration,
+    /// Probability that any one streamed chunk is lost in transit.
+    pub loss_per_chunk: f64,
+    /// Seed for the loss stream.
+    pub seed: u64,
+}
+
+impl NodeLinkSpec {
+    /// A lossless 25 Gb Ethernet fabric (~3.125 GB/s, 50 µs setup).
+    #[must_use]
+    pub fn datacenter_25g() -> Self {
+        NodeLinkSpec {
+            bandwidth: 3.125e9,
+            latency: SimDuration::from_micros(50.0),
+            loss_per_chunk: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The 25 Gb fabric with a per-chunk loss probability, for exercising
+    /// the recompute-fallback path.
+    #[must_use]
+    pub fn lossy_25g(loss_per_chunk: f64, seed: u64) -> Self {
+        NodeLinkSpec {
+            loss_per_chunk,
+            seed,
+            ..NodeLinkSpec::datacenter_25g()
+        }
+    }
+}
+
+/// A chunk lost in transit. The link time was consumed anyway; `completes`
+/// is when the receiver detects the loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkLost {
+    /// Bytes that were streamed and discarded.
+    pub bytes: usize,
+    /// When the loss is observed.
+    pub completes: SimTime,
+}
+
+impl fmt::Display for ChunkLost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inter-node stream lost a {}-byte chunk", self.bytes)
+    }
+}
+
+impl std::error::Error for ChunkLost {}
+
+/// The inter-node link: one FIFO busy horizon shared by all migrations.
+#[derive(Debug, Clone)]
+pub struct NodeLink {
+    spec: NodeLinkSpec,
+    busy_until: SimTime,
+    /// SplitMix64 state for loss rolls.
+    state: u64,
+    streamed_bytes: u64,
+    lost_chunks: u64,
+}
+
+impl NodeLink {
+    /// Creates a link from a spec.
+    #[must_use]
+    pub fn new(spec: NodeLinkSpec) -> Self {
+        // Pre-mix the seed so that seeds 0 and 1 diverge immediately.
+        let state = spec.seed ^ 0x9E37_79B9_7F4A_7C15;
+        NodeLink {
+            spec,
+            busy_until: SimTime::ZERO,
+            state,
+            streamed_bytes: 0,
+            lost_chunks: 0,
+        }
+    }
+
+    /// The link spec.
+    #[must_use]
+    pub fn spec(&self) -> &NodeLinkSpec {
+        &self.spec
+    }
+
+    /// SplitMix64 step.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Streams one KV chunk of `bytes` at time `now`.
+    ///
+    /// Returns the `(start, completion)` instants; the chunk is usable at
+    /// the target from `completion`. Zero-byte chunks complete instantly
+    /// without occupying the link or consuming a loss roll.
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkLost`] when the loss stream fires; the link time is consumed
+    /// either way and the caller must recompute the chunk at the target.
+    pub fn stream_chunk(
+        &mut self,
+        now: SimTime,
+        bytes: usize,
+    ) -> Result<(SimTime, SimTime), ChunkLost> {
+        if bytes == 0 {
+            return Ok((now, now));
+        }
+        let start = now.max(self.busy_until);
+        let dur = self.spec.latency + SimDuration::from_secs(bytes as f64 / self.spec.bandwidth);
+        let end = start + dur;
+        self.busy_until = end;
+        self.streamed_bytes += bytes as u64;
+        // One roll per chunk, fired or not, so the loss schedule is a pure
+        // function of the seed and the chunk count.
+        let lost = self.next_f64() < self.spec.loss_per_chunk;
+        if lost {
+            self.lost_chunks += 1;
+            return Err(ChunkLost {
+                bytes,
+                completes: end,
+            });
+        }
+        Ok((start, end))
+    }
+
+    /// When the link becomes idle.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total bytes put on the wire (including lost chunks).
+    #[must_use]
+    pub fn streamed_bytes(&self) -> u64 {
+        self.streamed_bytes
+    }
+
+    /// Chunks lost in transit so far.
+    #[must_use]
+    pub fn lost_chunks(&self) -> u64 {
+        self.lost_chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn streams_are_fifo() {
+        let mut l = NodeLink::new(NodeLinkSpec::datacenter_25g());
+        let gb = 3_125_000_000usize; // one second on the wire
+        let (s1, e1) = l.stream_chunk(t(0.0), gb).unwrap();
+        let (s2, e2) = l.stream_chunk(t(0.0), gb).unwrap();
+        assert_eq!(s1, t(0.0));
+        assert!((e1.as_secs() - 1.0).abs() < 0.01);
+        assert_eq!(s2, e1, "second chunk queues behind the first");
+        assert!((e2.as_secs() - 2.0).abs() < 0.02);
+        assert_eq!(l.streamed_bytes(), 2 * gb as u64);
+    }
+
+    #[test]
+    fn zero_bytes_complete_instantly() {
+        let mut l = NodeLink::new(NodeLinkSpec::datacenter_25g());
+        let (s, e) = l.stream_chunk(t(1.0), 0).unwrap();
+        assert_eq!(s, e);
+        assert_eq!(l.busy_until(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn certain_loss_consumes_link_time() {
+        let mut l = NodeLink::new(NodeLinkSpec::lossy_25g(1.0, 3));
+        let err = l.stream_chunk(t(0.0), 3_125_000_000).unwrap_err();
+        assert!((err.completes.as_secs() - 1.0).abs() < 0.01);
+        assert_eq!(l.busy_until(), err.completes);
+        assert_eq!(l.lost_chunks(), 1);
+        assert_eq!(l.streamed_bytes(), 3_125_000_000);
+    }
+
+    #[test]
+    fn loss_schedule_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut l = NodeLink::new(NodeLinkSpec::lossy_25g(0.3, seed));
+            (0..64)
+                .map(|_| l.stream_chunk(t(0.0), 1024).is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds diverge");
+        let losses = run(7).iter().filter(|&&x| x).count();
+        assert!(losses > 5 && losses < 40, "loss count {losses} near 30%");
+    }
+}

@@ -9,8 +9,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use pensieve_core::{Request, RequestId, Response, SimServingEngine};
-use pensieve_kvcache::ConversationId;
+use pensieve_core::{Request, RequestId, Response, ServingBackend};
+use pensieve_kvcache::SessionId;
 use pensieve_model::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,8 +109,8 @@ impl Ord for Pending {
 ///
 /// Panics if `convs` is empty or contains an empty conversation.
 #[must_use]
-pub fn run_closed_loop(
-    engine: &mut SimServingEngine,
+pub fn run_closed_loop<B: ServingBackend>(
+    engine: &mut B,
     convs: &[Conversation],
     cfg: &DriverConfig,
 ) -> RunResult {
@@ -125,12 +125,12 @@ pub fn run_closed_loop(
 ///
 /// Panics if `convs` is empty or contains an empty conversation.
 #[must_use]
-pub fn run_closed_loop_probed(
-    engine: &mut SimServingEngine,
+pub fn run_closed_loop_probed<B: ServingBackend>(
+    engine: &mut B,
     convs: &[Conversation],
     cfg: &DriverConfig,
     probe_interval_secs: f64,
-    mut probe: impl FnMut(f64, &SimServingEngine),
+    mut probe: impl FnMut(f64, &B),
 ) -> RunResult {
     assert!(!convs.is_empty());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -175,14 +175,16 @@ pub fn run_closed_loop_probed(
             }
             let Reverse(p) = pending.pop().expect("peeked");
             let turn = convs[p.conv_index].turns[p.turn_index];
-            engine.submit(Request {
-                id: RequestId(next_request_id),
-                conv: ConversationId(p.conv_index as u64),
-                arrival: p.at,
-                prompt_tokens: turn.input_tokens,
-                output_tokens: turn.output_tokens,
-                history_tokens: history[p.conv_index],
-            });
+            let req = Request::builder()
+                .id(RequestId(next_request_id))
+                .session(SessionId(p.conv_index as u64))
+                .arrival(p.at)
+                .prompt_tokens(turn.input_tokens)
+                .output_tokens(turn.output_tokens)
+                .history_tokens(history[p.conv_index])
+                .build()
+                .expect("datasets produce non-empty turns");
+            engine.submit(req);
             next_request_id += 1;
             submitted[p.conv_index] += 1;
             history[p.conv_index] += turn.input_tokens + turn.output_tokens;
@@ -191,7 +193,7 @@ pub fn run_closed_loop_probed(
         if engine.is_idle() && target.is_none() {
             break;
         }
-        engine.run_until_or_response(target);
+        engine.poll(target);
         for resp in engine.drain_responses() {
             let conv_index = resp.conv.0 as usize;
             let next_turn = submitted[conv_index];
@@ -223,11 +225,12 @@ pub fn run_closed_loop_probed(
 mod tests {
     use super::*;
     use crate::dataset::DatasetSpec;
-    use pensieve_core::EngineConfig;
+    use pensieve_core::{EngineConfig, SimServingEngine};
     use pensieve_model::{HardwareSpec, ModelConfig};
 
     fn engine(cfg: EngineConfig) -> SimServingEngine {
-        SimServingEngine::new(cfg, ModelConfig::opt_13b(), HardwareSpec::azure_nc_a100(1))
+        SimServingEngine::builder(cfg, ModelConfig::opt_13b(), HardwareSpec::azure_nc_a100(1))
+            .build()
     }
 
     fn small_workload(n: usize, seed: u64) -> Vec<Conversation> {

@@ -131,13 +131,13 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
 mod tests {
     use super::*;
     use pensieve_core::RequestId;
-    use pensieve_kvcache::ConversationId;
+    use pensieve_kvcache::SessionId;
     use pensieve_model::SimTime;
 
     fn resp(arrival: f64, finish: f64, out: usize) -> Response {
         Response {
             id: RequestId(0),
-            conv: ConversationId(0),
+            conv: SessionId(0),
             arrival: SimTime::from_secs(arrival),
             first_token: SimTime::from_secs(arrival + 0.1),
             finish: SimTime::from_secs(finish),

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example cache_pressure`
 
 use pensieve_core::functional::{FunctionalConfig, FunctionalEngine};
-use pensieve_kvcache::ConversationId;
+use pensieve_kvcache::SessionId;
 use pensieve_model::ModelConfig;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         },
     );
 
-    let conversations = [ConversationId(1), ConversationId(2), ConversationId(3)];
+    let conversations = [SessionId(1), SessionId(2), SessionId(3)];
     let vocab = cfg.vocab_size as u32;
     let mut verified = 0usize;
     for round in 0..3u32 {

@@ -31,11 +31,12 @@ fn main() {
     );
     for cfg in EngineConfig::figure10_systems() {
         let name = cfg.name.clone();
-        let mut engine = SimServingEngine::new(
+        let mut engine = SimServingEngine::builder(
             cfg,
             ModelConfig::llama2_13b(),
             HardwareSpec::azure_nc_a100(1),
-        );
+        )
+        .build();
         let result = run_closed_loop(
             &mut engine,
             &convs,

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use pensieve_core::{EngineConfig, Request, RequestId, SimServingEngine};
-use pensieve_kvcache::ConversationId;
+use pensieve_kvcache::SessionId;
 use pensieve_model::{HardwareSpec, ModelConfig, SimDuration, SimTime};
 
 fn main() {
@@ -22,23 +22,26 @@ fn main() {
 
     for engine_cfg in [EngineConfig::pensieve(), EngineConfig::vllm()] {
         println!("=== {} ===", engine_cfg.name);
-        let mut engine = SimServingEngine::new(
+        let mut engine = SimServingEngine::builder(
             engine_cfg,
             ModelConfig::opt_13b(),
             HardwareSpec::azure_nc_a100(1),
-        );
-        let conv = ConversationId(1);
+        )
+        .build();
+        let conv = SessionId(1);
         let mut history = 0usize;
         let mut at = SimTime::ZERO;
         for (i, &(prompt, output)) in turns.iter().enumerate() {
-            engine.submit(Request {
-                id: RequestId(i as u64),
-                conv,
-                arrival: at,
-                prompt_tokens: prompt,
-                output_tokens: output,
-                history_tokens: history,
-            });
+            let request = Request::builder()
+                .id(RequestId(i as u64))
+                .session(conv)
+                .arrival(at)
+                .prompt_tokens(prompt)
+                .output_tokens(output)
+                .history_tokens(history)
+                .build()
+                .expect("turn is well-formed");
+            engine.submit(request);
             engine.run_until_idle();
             let resp = engine.drain_responses().remove(0);
             println!(

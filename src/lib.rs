@@ -14,6 +14,8 @@
 //! * [`obs`] — structured trace events, the metrics registry, and the
 //!   JSONL / Chrome-trace / Prometheus exporters.
 //! * [`core`] — the serving engines: Pensieve and the paper's baselines.
+//! * [`cluster`] — multi-replica serving: placement policies,
+//!   session-affinity routing, and KV migration between replicas.
 //! * [`workload`] — multi-turn conversation workloads and the closed-loop
 //!   driver.
 //!
@@ -21,26 +23,30 @@
 //!
 //! ```
 //! use pensieve::core::{EngineConfig, Request, RequestId, SimServingEngine};
-//! use pensieve::kvcache::ConversationId;
+//! use pensieve::kvcache::SessionId;
 //! use pensieve::model::{HardwareSpec, ModelConfig, SimTime};
 //!
-//! let mut engine = SimServingEngine::new(
+//! let mut engine = SimServingEngine::builder(
 //!     EngineConfig::pensieve(),
 //!     ModelConfig::opt_13b(),
 //!     HardwareSpec::azure_nc_a100(1),
+//! )
+//! .build();
+//! engine.submit(
+//!     Request::builder()
+//!         .id(RequestId(0))
+//!         .session(SessionId(1))
+//!         .arrival(SimTime::ZERO)
+//!         .prompt_tokens(64)
+//!         .output_tokens(32)
+//!         .build()
+//!         .expect("request is well-formed"),
 //! );
-//! engine.submit(Request {
-//!     id: RequestId(0),
-//!     conv: ConversationId(1),
-//!     arrival: SimTime::ZERO,
-//!     prompt_tokens: 64,
-//!     output_tokens: 32,
-//!     history_tokens: 0,
-//! });
 //! engine.run_until_idle();
 //! assert_eq!(engine.drain_responses().len(), 1);
 //! ```
 
+pub use pensieve_cluster as cluster;
 pub use pensieve_core as core;
 pub use pensieve_kernels as kernels;
 pub use pensieve_kvcache as kvcache;

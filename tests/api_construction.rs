@@ -1,0 +1,160 @@
+//! Guards the builder-only construction contract.
+//!
+//! After the `EngineBuilder` / `Request::builder()` redesign, the only
+//! place allowed to construct a `SimServingEngine` directly is the engine
+//! module itself, and the only places allowed to write a `Request` struct
+//! literal are the request module (the builder's own body) plus its
+//! in-module tests. Everything else must go through the builders, so the
+//! validation they perform cannot be bypassed. This test walks the
+//! workspace sources and fails on any new offender.
+
+use std::path::{Path, PathBuf};
+
+/// Source roots scanned for offending construction sites.
+const ROOTS: &[&str] = &["crates", "src", "tests", "examples", "benches"];
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR for the root package is the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Returns true when `text[idx..]` starts a `Request { .. }` struct
+/// literal, as opposed to a type position (`-> Request {`, `impl Request
+/// {`, `struct Request {`, ...).
+fn is_struct_literal(text: &str, idx: usize, name: &str) -> bool {
+    // Word boundary on the left (rejects RunningRequest, RequestId, ...).
+    if text[..idx].chars().next_back().is_some_and(is_ident_char) {
+        return false;
+    }
+    let after = &text[idx + name.len()..];
+    // Word boundary on the right, then the literal's opening brace.
+    if after.chars().next().is_some_and(is_ident_char) {
+        return false;
+    }
+    if !after.trim_start().starts_with('{') {
+        return false;
+    }
+    // Look left past whitespace for contexts where `Name {` is not a
+    // struct-literal expression.
+    let before = text[..idx].trim_end();
+    if before.ends_with("->") {
+        return false; // function return type followed by the body brace
+    }
+    for kw in ["struct", "impl", "enum", "trait", "for", "dyn", "as"] {
+        if before.ends_with(kw)
+            && !before[..before.len() - kw.len()]
+                .chars()
+                .next_back()
+                .is_some_and(is_ident_char)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+fn find_offenders(needle: &str, allowed: &[&str], literal_check: bool) -> Vec<String> {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for r in ROOTS {
+        rust_sources(&root.join(r), &mut files);
+    }
+    files.sort();
+    let mut offenders = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if allowed.iter().any(|a| rel == *a) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let mut search_from = 0;
+        while let Some(pos) = text[search_from..].find(needle) {
+            let idx = search_from + pos;
+            search_from = idx + needle.len();
+            let hit = if literal_check {
+                is_struct_literal(&text, idx, needle)
+            } else {
+                !text[..idx].chars().next_back().is_some_and(is_ident_char)
+            };
+            if hit {
+                let line = text[..idx].matches('\n').count() + 1;
+                offenders.push(format!("{rel}:{line}"));
+            }
+        }
+    }
+    offenders
+}
+
+#[test]
+fn requests_are_only_built_through_the_builder() {
+    let offenders = find_offenders(
+        "Request",
+        &["crates/core/src/request.rs", "tests/api_construction.rs"],
+        true,
+    );
+    assert!(
+        offenders.is_empty(),
+        "Request struct literals outside crates/core/src/request.rs — \
+         use Request::builder() instead:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
+#[test]
+fn engines_are_only_built_through_the_builder() {
+    let offenders = find_offenders(
+        "SimServingEngine::new(",
+        &["crates/core/src/engine.rs", "tests/api_construction.rs"],
+        false,
+    );
+    assert!(
+        offenders.is_empty(),
+        "direct SimServingEngine::new calls — use SimServingEngine::builder():\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
+#[test]
+fn engine_level_setter_pairs_stay_deleted() {
+    // The ad-hoc `with_*`/`set_*` pairs on the engine were collapsed into
+    // `EngineBuilder`; make sure they do not creep back in at call sites.
+    for needle in [
+        ".with_fault_injector(",
+        ".with_recovery_policy(",
+        ".with_recorder(",
+    ] {
+        let offenders = find_offenders(needle, &["tests/api_construction.rs"], false);
+        assert!(
+            offenders.is_empty(),
+            "`{needle}` call sites found — use EngineBuilder:\n  {}",
+            offenders.join("\n  ")
+        );
+    }
+}

@@ -1,13 +1,25 @@
 //! Cross-crate integration tests: the full serving stack, end to end.
 
 use pensieve_core::{EngineConfig, Request, RequestId, SimServingEngine};
-use pensieve_kvcache::ConversationId;
+use pensieve_kvcache::SessionId;
 use pensieve_model::{HardwareSpec, ModelConfig, SimDuration, SimTime};
 use pensieve_workload::dataset::DatasetSpec;
 use pensieve_workload::driver::{run_closed_loop, DriverConfig};
 
 fn engine(cfg: EngineConfig, model: ModelConfig, gpus: usize) -> SimServingEngine {
-    SimServingEngine::new(cfg, model, HardwareSpec::azure_nc_a100(gpus))
+    SimServingEngine::builder(cfg, model, HardwareSpec::azure_nc_a100(gpus)).build()
+}
+
+fn req(id: u64, conv: u64, at: SimTime, prompt: usize, out: usize, hist: usize) -> Request {
+    Request::builder()
+        .id(RequestId(id))
+        .session(SessionId(conv))
+        .arrival(at)
+        .prompt_tokens(prompt)
+        .output_tokens(out)
+        .history_tokens(hist)
+        .build()
+        .expect("test request is well-formed")
 }
 
 /// The headline claim: under a multi-turn workload, Pensieve sustains a
@@ -123,38 +135,31 @@ fn dropped_context_is_recomputed_transparently() {
         1,
     );
     // Conversation A builds history.
-    e.submit(Request {
-        id: RequestId(1),
-        conv: ConversationId(1),
-        arrival: SimTime::ZERO,
-        prompt_tokens: 2000,
-        output_tokens: 50,
-        history_tokens: 0,
-    });
+    e.submit(req(1, 1, SimTime::ZERO, 2000, 50, 0));
     e.run_until_idle();
     let t1 = e.drain_responses().remove(0);
     // Conversation B floods the GPU cache (52K-token capacity).
     for i in 0..3u64 {
-        e.submit(Request {
-            id: RequestId(10 + i),
-            conv: ConversationId(2 + i),
-            arrival: t1.finish + SimDuration::from_secs(1.0 + i as f64),
-            prompt_tokens: 15_000,
-            output_tokens: 20,
-            history_tokens: 0,
-        });
+        e.submit(req(
+            10 + i,
+            2 + i,
+            t1.finish + SimDuration::from_secs(1.0 + i as f64),
+            15_000,
+            20,
+            0,
+        ));
     }
     e.run_until_idle();
     e.drain_responses();
     // A returns; some or all of its context was dropped and recomputed.
-    e.submit(Request {
-        id: RequestId(20),
-        conv: ConversationId(1),
-        arrival: e.now() + SimDuration::from_secs(5.0),
-        prompt_tokens: 30,
-        output_tokens: 40,
-        history_tokens: 2050,
-    });
+    e.submit(req(
+        20,
+        1,
+        e.now() + SimDuration::from_secs(5.0),
+        30,
+        40,
+        2050,
+    ));
     e.run_until_idle();
     let t2 = e.drain_responses().remove(0);
     assert_eq!(t2.output_tokens, 40);
@@ -176,14 +181,14 @@ fn dropped_context_is_recomputed_transparently() {
 fn burst_arrivals_conserve_requests() {
     let mut e = engine(EngineConfig::pensieve(), ModelConfig::llama2_13b(), 1);
     for i in 0..50u64 {
-        e.submit(Request {
-            id: RequestId(i),
-            conv: ConversationId(i),
-            arrival: SimTime::ZERO,
-            prompt_tokens: 100 + (i as usize * 37) % 400,
-            output_tokens: 20 + (i as usize * 13) % 100,
-            history_tokens: 0,
-        });
+        e.submit(req(
+            i,
+            i,
+            SimTime::ZERO,
+            100 + (i as usize * 37) % 400,
+            20 + (i as usize * 13) % 100,
+            0,
+        ));
     }
     e.run_until_idle();
     let rs = e.drain_responses();

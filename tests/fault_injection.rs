@@ -78,16 +78,19 @@ fn chaos_closed_loop_completes_with_identical_outputs() {
         system_prompt_tokens: 0,
     };
     let run = |faults: Option<FaultInjector>| {
-        let mut e = SimServingEngine::new(
+        let mut builder = SimServingEngine::builder(
             EngineConfig::pensieve(),
             model.clone(),
             tight_hw(&model, &convs),
         )
-        .with_recovery_policy(RecoveryPolicy {
+        .recovery_policy(RecoveryPolicy {
             max_swap_in_retries: 2,
             ..RecoveryPolicy::default()
         });
-        e.set_fault_injector(faults);
+        if let Some(f) = faults {
+            builder = builder.fault_injector(f);
+        }
+        let mut e = builder.build();
         let result = run_closed_loop(&mut e, &convs, &driver);
         (result, e.counters().clone(), e.fault_counters().copied())
     };
@@ -135,7 +138,7 @@ fn chaos_closed_loop_completes_with_identical_outputs() {
 #[test]
 fn functional_engine_outputs_bit_identical_under_faults() {
     use pensieve_core::functional::{FunctionalConfig, FunctionalEngine};
-    use pensieve_kvcache::ConversationId;
+    use pensieve_kvcache::SessionId;
 
     let cfg = ModelConfig::tiny_llama();
     let mem = FunctionalConfig {
@@ -151,7 +154,7 @@ fn functional_engine_outputs_bit_identical_under_faults() {
     fc.cpu_chunk_corruption = 0.7;
     faulty.set_fault_injector(FaultInjector::new(fc));
 
-    let (a, b) = (ConversationId(1), ConversationId(2));
+    let (a, b) = (SessionId(1), SessionId(2));
     for turn in 0..4u32 {
         for &conv in &[a, b] {
             let prompt: Vec<u32> = (0..6u32)
@@ -213,15 +216,16 @@ fn worker_stalls_only_cost_time() {
         system_prompt_tokens: 0,
     };
     let run = |stall: f64| {
-        let mut e = SimServingEngine::new(
-            EngineConfig::pensieve(),
-            model.clone(),
-            tight_hw(&model, &convs),
-        );
         let mut fc = FaultConfig::disabled(fault_seed());
         fc.worker_stall = stall;
         fc.stall_duration = SimDuration::from_secs(20e-3);
-        e.set_fault_injector(Some(FaultInjector::new(fc)));
+        let mut e = SimServingEngine::builder(
+            EngineConfig::pensieve(),
+            model.clone(),
+            tight_hw(&model, &convs),
+        )
+        .fault_injector(FaultInjector::new(fc))
+        .build();
         let r = run_closed_loop(&mut e, &convs, &driver);
         (r, e.counters().clone())
     };
@@ -267,16 +271,17 @@ fn aggressive_fault_seed_sweep_never_panics() {
         fc.cpu_chunk_corruption = 0.20;
         fc.gpu_alloc_failure = 0.25;
         fc.worker_stall = 0.20;
-        let mut e = SimServingEngine::new(
+        let mut e = SimServingEngine::builder(
             EngineConfig::pensieve(),
             model.clone(),
             tight_hw(&model, &convs),
         )
-        .with_recovery_policy(RecoveryPolicy {
+        .recovery_policy(RecoveryPolicy {
             max_swap_in_retries: 1,
             ..RecoveryPolicy::default()
-        });
-        e.set_fault_injector(Some(FaultInjector::new(fc)));
+        })
+        .fault_injector(FaultInjector::new(fc))
+        .build();
         let result = run_closed_loop(&mut e, &convs, &driver);
         assert_eq!(
             result.responses.len(),

@@ -5,7 +5,7 @@
 //! must produce **token-identical** output to stateless recomputation.
 
 use pensieve_core::functional::{FunctionalConfig, FunctionalEngine};
-use pensieve_kvcache::ConversationId;
+use pensieve_kvcache::SessionId;
 use pensieve_model::ModelConfig;
 
 fn prompt(seed: u32, len: usize, vocab: u32) -> Vec<u32> {
@@ -30,7 +30,7 @@ fn interleaved_conversations_under_pressure_are_exact() {
             free_watermark: 3,
         },
     );
-    let convs: Vec<ConversationId> = (1..=3).map(ConversationId).collect();
+    let convs: Vec<SessionId> = (1..=3).map(SessionId).collect();
     let mut transcripts: Vec<Vec<u32>> = vec![Vec::new(); convs.len()];
     for round in 0..4u32 {
         for (ci, &conv) in convs.iter().enumerate() {
@@ -74,7 +74,7 @@ fn opt_architecture_exact_under_pressure() {
             free_watermark: 2,
         },
     );
-    let (a, b) = (ConversationId(1), ConversationId(2));
+    let (a, b) = (SessionId(1), SessionId(2));
     let mut ta: Vec<u32> = Vec::new();
     let mut tb: Vec<u32> = Vec::new();
     for round in 0..3u32 {
@@ -98,7 +98,7 @@ fn functional_engine_is_deterministic() {
     let cfg = ModelConfig::tiny_llama();
     let run = || {
         let mut e = FunctionalEngine::new(&cfg, 77, FunctionalConfig::default());
-        let conv = ConversationId(1);
+        let conv = SessionId(1);
         let mut out = Vec::new();
         for round in 0..3u32 {
             let p = prompt(round, 5, cfg.vocab_size as u32);

@@ -10,7 +10,7 @@ use pensieve_kernels::attention::single::paged_single_token_batch;
 use pensieve_kernels::ops::{matmul, matmul_par, matmul_ref};
 use pensieve_kernels::paged::gather_contiguous;
 use pensieve_kernels::{AttnConfig, AttnSeq, BlockTable, KvLayout, Matrix, PagedKvCache};
-use pensieve_kvcache::{CacheConfig, ConversationId, LruPolicy, TieredKvCache};
+use pensieve_kvcache::{CacheConfig, LruPolicy, SessionId, TieredKvCache};
 use pensieve_model::{CostModel, HardwareSpec, ModelConfig, ProfiledCostTable, SeqShape, SimTime};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -200,7 +200,7 @@ proptest! {
         for (op, conv_raw, n) in ops {
             t += 1.0;
             let now = SimTime::from_secs(t);
-            let conv = ConversationId(conv_raw);
+            let conv = SessionId(conv_raw);
             match op {
                 0 => {
                     // Append (restore first so the trailing chunk is GPU).
@@ -217,7 +217,7 @@ proptest! {
             }
             for (&c, &tokens) in &expected {
                 prop_assert_eq!(
-                    cache.conversation_tokens(ConversationId(c)),
+                    cache.conversation_tokens(SessionId(c)),
                     tokens,
                     "token count drifted for conversation {}", c
                 );
@@ -245,7 +245,7 @@ proptest! {
         for (op, conv_raw, n) in ops {
             t += 1.0;
             let now = SimTime::from_secs(t);
-            let conv = ConversationId(conv_raw);
+            let conv = SessionId(conv_raw);
             match op {
                 0 => {
                     // Admission: restore pins; the append may fail on a
@@ -282,7 +282,7 @@ proptest! {
                 }
             }
             for &c in &pinned {
-                let plan = cache.plan_restore(ConversationId(c));
+                let plan = cache.plan_restore(SessionId(c));
                 prop_assert_eq!(
                     plan.swap_in_tokens + plan.recompute_tokens,
                     0,
@@ -303,7 +303,7 @@ proptest! {
             CacheConfig::for_test(32, 4096, 512),
             Box::new(LruPolicy),
         );
-        let conv = ConversationId(1);
+        let conv = SessionId(1);
         let mut t = 0.0;
         for n in &appends {
             t += 1.0;
