@@ -14,6 +14,12 @@
 //!   driven only through that trait. Includes conversation migration
 //!   over a simulated inter-node link (with dropped-token recomputation
 //!   for chunks lost in transit) and replica fail-stop recovery.
+//! * [`ReplicationConfig`] — streaming KV replication to a standby
+//!   replica (DéjàVu-style): async mode bounds replication lag, sync
+//!   mode adds a turn-commit barrier, and on fail-stop the standby is
+//!   promoted so only the unreplicated suffix is recomputed. Chaos
+//!   schedules ([`pensieve_sim::FaultSchedule`]) drive seeded crash and
+//!   link-partition injections.
 //! * [`RouterConfig`] — saturation/hysteresis and link-shape knobs.
 //!
 //! The whole cluster is deterministic: identical inputs produce an
@@ -40,9 +46,11 @@
 //! ```
 
 pub mod policy;
+pub mod replication;
 pub mod router;
 
 pub use policy::RouterPolicy;
+pub use replication::{ReplicationConfig, ReplicationMode};
 pub use router::{Router, RouterConfig};
 
 // Re-exported so downstream code (benches, tests) can name the trait the

@@ -17,6 +17,15 @@
 //!   replica death: its KV state vanishes, completed responses remain
 //!   drainable, and queued/running requests are re-routed to survivors
 //!   (which recompute any lost context from raw tokens).
+//! * **Standby replication.** With [`ReplicationConfig`] enabled, newly
+//!   committed KV deltas stream to each session's standby replica in the
+//!   background (see [`crate::replication`]). On fail-stop the standby is
+//!   *promoted*: the replicated chunks import through the same
+//!   `export_session`/`import_session` path migration uses, and only the
+//!   unreplicated suffix flows through dropped-chunk recomputation.
+//!   [`Router::apply_fault_schedule`] turns a seeded
+//!   [`pensieve_sim::FaultSchedule`] into scheduled crashes and link
+//!   partitions for chaos testing.
 //!
 //! Everything is deterministic: replica polling order, placement
 //! tie-breaks and the link's loss schedule are pure functions of the
@@ -25,12 +34,13 @@
 use std::collections::BTreeMap;
 
 use pensieve_core::{Request, RequestId, Response, ServingBackend};
-use pensieve_kvcache::{CacheStats, SessionExport, SessionId, Tier};
-use pensieve_model::SimTime;
+use pensieve_kvcache::{CacheStats, ChunkState, SessionExport, SessionId, Tier};
+use pensieve_model::{SimDuration, SimTime};
 use pensieve_obs::{metrics, Recorder as _, SharedRecorder, TraceEvent};
-use pensieve_sim::{NodeLink, NodeLinkSpec};
+use pensieve_sim::{ClusterFaultKind, FaultSchedule, NodeLink, NodeLinkSpec};
 
 use crate::policy::RouterPolicy;
+use crate::replication::{ReplicationConfig, ReplicationMode, Replicator};
 
 /// Tuning knobs for the router.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +55,9 @@ pub struct RouterConfig {
     pub imbalance_penalty_tokens: usize,
     /// Shape of the inter-node link migrations stream over.
     pub link: NodeLinkSpec,
+    /// Standby KV replication knobs (default: disabled, so existing
+    /// cluster configurations and their pinned traces are unchanged).
+    pub replication: ReplicationConfig,
 }
 
 impl Default for RouterConfig {
@@ -53,6 +66,7 @@ impl Default for RouterConfig {
             saturation_depth: 4,
             imbalance_penalty_tokens: 256,
             link: NodeLinkSpec::datacenter_25g(),
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -93,11 +107,16 @@ pub struct Router<B> {
     /// Requests that could not be placed because no replica is alive.
     parked: Vec<Request>,
     recorder: Option<SharedRecorder>,
+    /// Standby replication state; `None` when disabled or with fewer
+    /// than two replicas (there is nobody to stand by).
+    replication: Option<Replicator>,
     routed: u64,
     migrations: u64,
     migrated_tokens: u64,
     migration_lost_tokens: u64,
     replica_failures: u64,
+    promotions: u64,
+    recomputed_suffix_tokens: u64,
 }
 
 impl<B: ServingBackend> Router<B> {
@@ -110,6 +129,12 @@ impl<B: ServingBackend> Router<B> {
     pub fn new(replicas: Vec<B>, policy: RouterPolicy, cfg: RouterConfig) -> Self {
         assert!(!replicas.is_empty(), "a cluster needs at least one replica");
         let link = NodeLink::new(cfg.link.clone());
+        let replication =
+            if cfg.replication.mode != ReplicationMode::Disabled && replicas.len() >= 2 {
+                Some(Replicator::new(cfg.replication.clone(), replicas.len()))
+            } else {
+                None
+            };
         Router {
             replicas: replicas
                 .into_iter()
@@ -129,11 +154,14 @@ impl<B: ServingBackend> Router<B> {
             buffered: Vec::new(),
             parked: Vec::new(),
             recorder: None,
+            replication,
             routed: 0,
             migrations: 0,
             migrated_tokens: 0,
             migration_lost_tokens: 0,
             replica_failures: 0,
+            promotions: 0,
+            recomputed_suffix_tokens: 0,
         }
     }
 
@@ -201,6 +229,78 @@ impl<B: ServingBackend> Router<B> {
         self.parked.len()
     }
 
+    /// Standby promotions performed so far.
+    #[must_use]
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// KV tokens delivered to standby replicas so far.
+    #[must_use]
+    pub fn replicated_tokens(&self) -> u64 {
+        self.replication
+            .as_ref()
+            .map_or(0, Replicator::replicated_tokens)
+    }
+
+    /// Bytes put on replication wires so far (delivered or lost).
+    #[must_use]
+    pub fn standby_bytes(&self) -> u64 {
+        self.replication
+            .as_ref()
+            .map_or(0, Replicator::standby_bytes)
+    }
+
+    /// Replication flush attempts lost in transit so far.
+    #[must_use]
+    pub fn replication_lost_flushes(&self) -> u64 {
+        self.replication
+            .as_ref()
+            .map_or(0, Replicator::lost_flushes)
+    }
+
+    /// Unreplicated-suffix tokens that fell back to recomputation at
+    /// promotion time (the cost replication did *not* save).
+    #[must_use]
+    pub fn recomputed_suffix_tokens(&self) -> u64 {
+        self.recomputed_suffix_tokens
+    }
+
+    /// Largest per-session committed-but-unreplicated delta right now.
+    #[must_use]
+    pub fn replication_lag_tokens(&self) -> usize {
+        self.replication
+            .as_ref()
+            .map_or(0, Replicator::max_pending_tokens)
+    }
+
+    /// Schedules every event of a seeded [`FaultSchedule`]: replica
+    /// crashes become [`Router::fail_replica_at`] injections and link
+    /// partitions become forced outage windows on the migration link and
+    /// every replication link. Crash targets beyond the fleet size are
+    /// ignored (the schedule generator caps targets, but schedules are
+    /// data and may come from anywhere).
+    pub fn apply_fault_schedule(&mut self, schedule: &FaultSchedule) {
+        for ev in schedule.events() {
+            match ev.kind {
+                ClusterFaultKind::ReplicaCrash { replica } => {
+                    if replica < self.replicas.len() {
+                        self.fail_replica_at(replica, ev.at);
+                    }
+                }
+                ClusterFaultKind::LinkPartition { duration } => {
+                    let until = ev.at + duration;
+                    self.link.add_outage(ev.at, until);
+                    if let Some(rep) = &mut self.replication {
+                        rep.add_outage(ev.at, until);
+                    }
+                    self.recorder
+                        .record(TraceEvent::LinkPartitioned { at: ev.at, until });
+                }
+            }
+        }
+    }
+
     /// Direct access to replica `idx`'s backend (inspection in tests and
     /// benches; routing itself never bypasses the trait).
     #[must_use]
@@ -253,14 +353,159 @@ impl<B: ServingBackend> Router<B> {
             replica: idx,
             requeued: orphans.len(),
         });
+        let promoted = self.promote_standbys(idx, t, &orphans);
         for mut req in orphans {
-            // The orphan restarts from scratch on a survivor; its effective
-            // arrival is the failure time (it cannot be re-admitted in the
-            // past), while drain patches the original back for latency.
-            req.arrival = req.arrival.max(t);
-            self.dispatch(req);
+            // The orphan restarts on a survivor; its effective arrival is
+            // the failure time (it cannot be re-admitted in the past) or,
+            // when its session was promoted, the instant the replicated
+            // state is usable at the standby. Drain patches the original
+            // arrival back so reported latency spans the failover.
+            match promoted.get(&req.conv).copied() {
+                Some((standby, ready)) => {
+                    req.arrival = req.arrival.max(ready);
+                    self.dispatch_to(req, standby);
+                }
+                None => {
+                    req.arrival = req.arrival.max(t);
+                    self.dispatch(req);
+                }
+            }
         }
         self.publish_metrics(t);
+    }
+
+    /// Promotes the standby of every session whose primary just failed:
+    /// the replicated chunks import into the standby (CPU tier, same path
+    /// migration uses), affinity moves, and only the unreplicated suffix
+    /// is left for dropped-chunk recomputation. Returns the promoted
+    /// sessions' `(standby, ready)` placements; `ready` is when the last
+    /// in-flight replication chunk delivers — promotion latency.
+    fn promote_standbys(
+        &mut self,
+        failed: usize,
+        t: SimTime,
+        orphans: &[Request],
+    ) -> BTreeMap<SessionId, (usize, SimTime)> {
+        let mut promoted = BTreeMap::new();
+        let Some(rep) = self.replication.as_mut() else {
+            return promoted;
+        };
+        let failover = rep.take_failover(failed);
+        if failover.is_empty() {
+            return promoted;
+        }
+        // An in-flight turn's partial output may already be committed and
+        // replicated; the orphan restarts that turn from its original
+        // history, so cap the import there to keep the standby's cache
+        // consistent with what the retried request expects.
+        let caps: BTreeMap<SessionId, usize> =
+            orphans.iter().map(|r| (r.conv, r.history_tokens)).collect();
+        for (conv, state) in failover {
+            let standby = state.standby;
+            if !self.replicas[standby].alive {
+                // Standby died too (multi-fault schedule): nothing to
+                // promote, the session recomputes from raw tokens.
+                continue;
+            }
+            let cap = caps.get(&conv).copied().unwrap_or(usize::MAX);
+            let mut ready = t;
+            let mut pos = 0usize;
+            let mut chunks = Vec::new();
+            for &(tokens, usable_at) in &state.chunks {
+                if pos >= cap {
+                    break;
+                }
+                let take = tokens.min(cap - pos);
+                pos += take;
+                chunks.push(ChunkState {
+                    tier: Tier::Cpu,
+                    tokens: take,
+                    context_end: pos,
+                });
+                ready = ready.max(usable_at);
+            }
+            let lag = state.committed.saturating_sub(state.replicated);
+            if !chunks.is_empty() {
+                let export = SessionExport {
+                    session: conv,
+                    chunks,
+                };
+                let admitted = self.replicas[standby].backend.import_session(export);
+                if admitted > 0 {
+                    self.affinity.insert(conv, standby);
+                }
+            }
+            self.promotions += 1;
+            self.recomputed_suffix_tokens += lag as u64;
+            let latency = SimDuration::from_secs((ready.as_secs() - t.as_secs()).max(0.0));
+            self.recorder.record(TraceEvent::StandbyPromoted {
+                at: ready,
+                conv: conv.0,
+                from: failed,
+                to: standby,
+                replicated_tokens: pos,
+                lag_tokens: lag,
+                latency,
+            });
+            if let Some(rec) = self.recorder.clone() {
+                let _ = rec.with_metrics(|m| {
+                    m.observe(
+                        metrics::names::PROMOTION_LATENCY_SECONDS,
+                        metrics::PROMOTION_LATENCY_SECONDS_BUCKETS,
+                        latency.as_secs(),
+                    );
+                });
+            }
+            promoted.insert(conv, (standby, ready));
+        }
+        promoted
+    }
+
+    /// The failover target for sessions whose primary is `primary`: the
+    /// next alive replica in ring order. `None` when no *other* replica
+    /// is alive.
+    fn standby_of(&self, primary: usize) -> Option<usize> {
+        let n = self.replicas.len();
+        (1..n)
+            .map(|off| (primary + off) % n)
+            .find(|&i| self.replicas[i].alive)
+    }
+
+    /// Drains every alive replica's commit log into the replicator and
+    /// flushes sessions whose pending delta reached the threshold (every
+    /// pending delta in sync mode). Called at each scheduling boundary so
+    /// replication keeps pace with generation; a pure bookkeeping step —
+    /// it never advances a replica clock.
+    fn pump_replication(&mut self) {
+        if self.replication.is_none() {
+            return;
+        }
+        for i in 0..self.replicas.len() {
+            if !self.replicas[i].alive {
+                continue;
+            }
+            let commits = self.replicas[i].backend.take_committed_kv();
+            // With no second replica alive there is nobody to stand by:
+            // the drained commits are dropped (the log stays bounded).
+            let Some(standby) = self.standby_of(i) else {
+                continue;
+            };
+            let now = self.replicas[i].backend.now();
+            let bytes_per_token = self.replicas[i].backend.kv_bytes_per_token();
+            let Some(rep) = self.replication.as_mut() else {
+                return;
+            };
+            for (conv, committed) in commits {
+                rep.observe(conv, i, standby, committed);
+            }
+            let threshold = match rep.mode() {
+                ReplicationMode::Sync => 1,
+                _ => self.cfg.replication.flush_threshold_tokens.max(1),
+            };
+            for conv in rep.due_flushes(i, threshold) {
+                rep.flush(conv, now, bytes_per_token, 1, &self.recorder);
+            }
+        }
     }
 
     /// Routes and submits one request (the single entry point for fresh
@@ -276,6 +521,15 @@ impl<B: ServingBackend> Router<B> {
         } else {
             (req, target)
         };
+        self.dispatch_to(req, target);
+    }
+
+    /// Submits `req` to a specific replica, bypassing placement: the tail
+    /// of [`Router::dispatch`], and the direct path failover promotion
+    /// uses so the orphan lands on the standby that now holds its KV
+    /// regardless of policy.
+    fn dispatch_to(&mut self, req: Request, target: usize) {
+        self.origin_arrivals.entry(req.id).or_insert(req.arrival);
         if req.arrival > self.replicas[target].backend.now() {
             self.wakeups.push(req.arrival);
             self.wakeups.sort_by_key(|&t| OrdTime(t));
@@ -440,6 +694,28 @@ impl<B: ServingBackend> Router<B> {
                 metrics::names::REPLICA_FAILURES_TOTAL,
                 self.replica_failures,
             );
+            let mut lost_chunks = self.link.lost_chunks();
+            let mut streamed_bytes = self.link.streamed_bytes();
+            if let Some(rep) = &self.replication {
+                lost_chunks += rep.link_lost_chunks();
+                streamed_bytes += rep.link_streamed_bytes();
+                m.counter_set(
+                    metrics::names::REPLICATED_TOKENS_TOTAL,
+                    rep.replicated_tokens(),
+                );
+                m.counter_set(metrics::names::STANDBY_BYTES_TOTAL, rep.standby_bytes());
+                m.counter_set(metrics::names::STANDBY_PROMOTIONS_TOTAL, self.promotions);
+                m.counter_set(
+                    metrics::names::RECOMPUTED_SUFFIX_TOKENS_TOTAL,
+                    self.recomputed_suffix_tokens,
+                );
+                m.gauge_set(
+                    metrics::names::REPLICATION_LAG_TOKENS,
+                    rep.max_pending_tokens() as f64,
+                );
+            }
+            m.counter_set(metrics::names::LINK_LOST_CHUNKS_TOTAL, lost_chunks);
+            m.counter_set(metrics::names::LINK_STREAMED_BYTES_TOTAL, streamed_bytes);
             m.sample(now);
         });
     }
@@ -503,6 +779,10 @@ impl<B: ServingBackend> ServingBackend for Router<B> {
                 self.apply_due_failures(None);
                 return self.responses_ready();
             }
+            // Replication keeps pace with generation: stream whatever the
+            // step just committed before simulating further work (and in
+            // particular before any scheduled crash lands).
+            self.pump_replication();
         }
     }
 
@@ -515,11 +795,35 @@ impl<B: ServingBackend> ServingBackend for Router<B> {
 
     fn drain_responses(&mut self) -> Vec<Response> {
         self.apply_due_failures(None);
+        self.pump_replication();
+        let sync = self
+            .replication
+            .as_ref()
+            .is_some_and(|r| r.mode() == ReplicationMode::Sync);
         let mut out = std::mem::take(&mut self.buffered);
         for i in 0..self.replicas.len() {
-            if self.replicas[i].alive {
-                out.extend(self.replicas[i].backend.drain_responses());
+            if !self.replicas[i].alive {
+                continue;
             }
+            let mut fresh = self.replicas[i].backend.drain_responses();
+            if sync {
+                // Turn-commit barrier: the turn is not finished until its
+                // KV delta is durable on the standby. The pump above
+                // flushed eagerly, so this usually covers only the final
+                // partial delta; a lost flush retries on the spot.
+                let bytes_per_token = self.replicas[i].backend.kv_bytes_per_token();
+                for resp in &mut fresh {
+                    let Some(rep) = self.replication.as_mut() else {
+                        break;
+                    };
+                    if let Some(end) =
+                        rep.flush(resp.conv, resp.finish, bytes_per_token, 3, &self.recorder)
+                    {
+                        resp.finish = resp.finish.max(end);
+                    }
+                }
+            }
+            out.extend(fresh);
         }
         let mut out: Vec<Response> = out.into_iter().map(|r| self.patch_arrival(r)).collect();
         out.sort_by_key(|r| (OrdTime(r.finish), r.id));
@@ -554,6 +858,10 @@ impl<B: ServingBackend> ServingBackend for Router<B> {
                     self.replicas[i].backend.run_until(at);
                 }
             }
+            // Stream everything committed up to the crash instant before
+            // the injection lands: KV already on the wire survives, and
+            // the victim's unflushed tail is exactly the failover lag.
+            self.pump_replication();
             self.apply_due_failures(Some(at));
         }
         for i in 0..self.replicas.len() {
@@ -561,6 +869,7 @@ impl<B: ServingBackend> ServingBackend for Router<B> {
                 self.replicas[i].backend.run_until(t);
             }
         }
+        self.pump_replication();
     }
 
     fn is_idle(&self) -> bool {
@@ -658,6 +967,13 @@ impl<B: ServingBackend> ServingBackend for Router<B> {
                 self.replicas[i].alive = false;
             }
         }
+        // Requests parked while every replica was dead were accepted but
+        // never placed: they are orphans too, owed to the caller rather
+        // than silently dropped. Pending injections and wakeups die with
+        // the cluster.
+        orphans.extend(std::mem::take(&mut self.parked));
+        self.scheduled_failures.clear();
+        self.wakeups.clear();
         self.affinity.clear();
         orphans
     }
@@ -875,6 +1191,23 @@ mod tests {
         assert_eq!(orphans.len(), 2);
         assert!(r.alive_replicas().is_empty());
         assert!(r.is_idle());
+    }
+
+    #[test]
+    fn router_fail_stop_returns_parked_requests() {
+        let mut r = cluster(1, RouterPolicy::RoundRobin, RouterConfig::default());
+        r.fail_replica_at(0, SimTime::ZERO);
+        // The arrival reaches the scheduled failure first, so the request
+        // finds every replica dead and parks.
+        r.submit(req(0, 1, 1.0, 64, 8, 0));
+        assert_eq!(r.parked_requests(), 1);
+        let orphans = r.fail_stop();
+        assert_eq!(
+            orphans.len(),
+            1,
+            "parked requests are owed to the caller, not dropped"
+        );
+        assert_eq!(r.parked_requests(), 0);
     }
 }
 

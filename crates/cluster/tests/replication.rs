@@ -1,0 +1,323 @@
+//! Failover integration tests: streaming KV replication under seeded
+//! chaos schedules.
+//!
+//! The headline property mirrors the migration one: replication and
+//! standby promotion change *when* tokens are produced (and how much
+//! context is recomputed), never *what* is produced. A chaos schedule
+//! that crashes a replica mid-run must leave per-conversation outputs
+//! bit-identical to the fault-free run, with every context token either
+//! cached at the standby or recomputed — and the whole thing replays
+//! bit-identically under the same seeds.
+//!
+//! The fault seed honors `PENSIEVE_FAULT_SEED` (CI sweeps several).
+
+use pensieve_cluster::{ReplicationConfig, ReplicationMode, Router, RouterConfig, RouterPolicy};
+use pensieve_core::{EngineConfig, Request, RequestId, Response, ServingBackend, SimServingEngine};
+use pensieve_kvcache::SessionId;
+use pensieve_model::{HardwareSpec, ModelConfig, SimDuration, SimTime};
+use pensieve_obs::{SharedRecorder, TraceEvent};
+use pensieve_sim::{FaultSchedule, NodeLinkSpec};
+use proptest::prelude::*;
+
+/// Fault-stream seed: `PENSIEVE_FAULT_SEED` env var, default 1.
+fn fault_seed() -> u64 {
+    std::env::var("PENSIEVE_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn engine() -> SimServingEngine {
+    SimServingEngine::builder(
+        EngineConfig::pensieve(),
+        ModelConfig::opt_13b(),
+        HardwareSpec::azure_nc_a100(1),
+    )
+    .build()
+}
+
+fn cluster(n: usize, cfg: RouterConfig) -> Router<SimServingEngine> {
+    Router::new(
+        (0..n).map(|_| engine()).collect(),
+        RouterPolicy::CacheAware,
+        cfg,
+    )
+}
+
+fn replicated_cfg(mode: ReplicationMode, threshold: usize) -> RouterConfig {
+    RouterConfig {
+        replication: ReplicationConfig {
+            mode,
+            flush_threshold_tokens: threshold,
+            link: NodeLinkSpec::datacenter_25g(),
+        },
+        ..RouterConfig::default()
+    }
+}
+
+fn drain_all<B: ServingBackend>(b: &mut B) -> Vec<Response> {
+    let mut out = Vec::new();
+    for _ in 0..1000 {
+        b.run_until(b.now() + SimDuration::from_secs(1000.0));
+        out.extend(b.drain_responses());
+        if b.is_idle() {
+            break;
+        }
+    }
+    out
+}
+
+fn req(id: u64, conv: u64, at: SimTime, prompt: usize, out: usize, hist: usize) -> Request {
+    Request::builder()
+        .id(RequestId(id))
+        .session(SessionId(conv))
+        .arrival(at)
+        .prompt_tokens(prompt)
+        .output_tokens(out)
+        .history_tokens(hist)
+        .build()
+        .expect("test turns are non-empty")
+}
+
+/// Two-phase script: each conversation completes a first turn (building
+/// KV state that replication streams to the standby), then every
+/// follow-up arrives in a burst — the window chaos crashes land in.
+/// Returns per-request `(id, conv, output, prefill + cached, finish
+/// bits)` sorted by id, after asserting token conservation for every
+/// follow-up.
+fn run_script<B: ServingBackend>(
+    backend: &mut B,
+    turns: &[(usize, usize, usize)], // (prompt1, out1, out2) per conversation
+) -> Vec<(u64, u64, usize, usize, u64)> {
+    let mut responses = Vec::new();
+    for (i, &(prompt, out, _)) in turns.iter().enumerate() {
+        backend.submit(req(i as u64, i as u64, backend.now(), prompt, out, 0));
+        let done = drain_all(backend);
+        assert_eq!(done.len(), 1, "phase-1 turn must complete");
+        responses.extend(done);
+    }
+    let burst = backend.now() + SimDuration::from_secs(1.0);
+    for (i, &(prompt, out, out2)) in turns.iter().enumerate() {
+        let id = 100 + i as u64;
+        backend.submit(req(id, i as u64, burst, 64, out2, prompt + out));
+        let done = drain_all(backend);
+        for r in &done {
+            assert_eq!(
+                r.prefill_tokens + r.cached_history_tokens,
+                64 + turns[(r.conv.0) as usize].0 + turns[(r.conv.0) as usize].1,
+                "follow-up context must be fully cached or recomputed, never lost"
+            );
+        }
+        responses.extend(done);
+    }
+    responses.extend(drain_all(backend));
+    let mut out: Vec<(u64, u64, usize, usize, u64)> = responses
+        .into_iter()
+        .map(|r| {
+            (
+                r.id.0,
+                r.conv.0,
+                r.output_tokens,
+                r.prefill_tokens + r.cached_history_tokens,
+                r.finish.as_secs().to_bits(),
+            )
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Failover with streaming replication preserves generation exactly:
+    /// across fault seeds, sync/async modes and lag thresholds, a seeded
+    /// chaos schedule (replica crash + link partition mid-run) yields
+    /// the same per-request outputs as the fault-free run, and the
+    /// faulty run itself replays bit-identically.
+    #[test]
+    fn chaos_failover_preserves_generation(
+        seed_off in 0u64..24,
+        sync in 0usize..2,
+        threshold in 0usize..3,
+        n_convs in 2usize..4,
+        prompt in 256usize..600,
+        out1 in 16usize..80,
+    ) {
+        let seed = fault_seed().wrapping_add(seed_off);
+        let mode = if sync == 1 { ReplicationMode::Sync } else { ReplicationMode::Async };
+        let threshold = [16usize, 64, 256][threshold];
+        let turns: Vec<(usize, usize, usize)> =
+            (0..n_convs).map(|i| (prompt + 32 * i, out1 + i, 48)).collect();
+
+        // Reference: same cluster, same replication config, no faults.
+        let mut calm = cluster(2, replicated_cfg(mode, threshold));
+        let reference = run_script(&mut calm, &turns);
+
+        let faulty_run = || {
+            let mut r = cluster(2, replicated_cfg(mode, threshold));
+            let schedule = FaultSchedule::generate(
+                seed,
+                2,
+                SimDuration::from_secs(40.0),
+                1,
+                1,
+                SimDuration::from_secs(2.0),
+            );
+            r.apply_fault_schedule(&schedule);
+            let outputs = run_script(&mut r, &turns);
+            (outputs, r.promotions(), r.replicated_tokens(), r.recomputed_suffix_tokens())
+        };
+        let (faulty, promotions, replicated, recomputed) = faulty_run();
+
+        // Outputs (id, conv, output tokens) match the fault-free run;
+        // context accounting may differ (failover legitimately recomputes
+        // the unreplicated suffix) and is conservation-checked in-script.
+        let ids = |v: &Vec<(u64, u64, usize, usize, u64)>| -> Vec<(u64, u64, usize)> {
+            v.iter().map(|&(id, conv, out, ..)| (id, conv, out)).collect()
+        };
+        prop_assert_eq!(ids(&faulty), ids(&reference));
+
+        // Bounded lag: a crash through the scheduled-failure path loses
+        // strictly less than one flush threshold per promoted session
+        // (the pump streams everything due right before the injection).
+        prop_assert!(
+            recomputed <= promotions * threshold as u64,
+            "recomputed suffix {} exceeds lag bound {} x {}",
+            recomputed, promotions, threshold
+        );
+        if promotions > 0 {
+            prop_assert!(replicated > 0, "promotion without replicated state");
+        }
+
+        // And the whole faulty timeline is deterministic.
+        let again = faulty_run();
+        prop_assert_eq!(again.0, faulty);
+        prop_assert_eq!((again.1, again.2, again.3), (promotions, replicated, recomputed));
+    }
+}
+
+/// Promotion latency is part of the affected request's reported TTFT:
+/// the drained response keeps its *original* arrival time, so latency
+/// measured as `finish - arrival` spans the crash, the promotion wait
+/// and the suffix recompute.
+#[test]
+fn promotion_latency_counts_toward_ttft() {
+    let rec = SharedRecorder::new();
+    let mut r = cluster(2, replicated_cfg(ReplicationMode::Async, 32)).recorder(rec.clone());
+    r.submit(req(0, 7, SimTime::ZERO, 1024, 64, 0));
+    let first = drain_all(&mut r);
+    assert_eq!(first.len(), 1);
+
+    // Follow-up lands on the affine replica; it dies mid-decode.
+    let t = r.now().as_secs() + 1.0;
+    let crash = SimTime::from_secs(t + 0.5);
+    r.fail_replica_at(0, crash);
+    r.submit(req(1, 7, SimTime::from_secs(t), 64, 2000, 1088));
+    let done = drain_all(&mut r);
+    assert_eq!(done.len(), 1, "orphan completes on the standby");
+    let resp = &done[0];
+
+    assert_eq!(r.promotions(), 1, "the standby must be promoted");
+    assert!(r.replicated_tokens() > 0, "phase 1 KV must have replicated");
+    assert_eq!(
+        resp.arrival,
+        SimTime::from_secs(t),
+        "original arrival preserved: TTFT includes the failover"
+    );
+    assert!(resp.finish > crash, "the turn finishes after the crash");
+    assert!(
+        resp.cached_history_tokens > 0,
+        "replicated KV must produce cache hits at the standby"
+    );
+
+    let events = rec.events();
+    let promoted = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::StandbyPromoted {
+                at,
+                conv,
+                from,
+                to,
+                replicated_tokens,
+                ..
+            } => Some((*at, *conv, *from, *to, *replicated_tokens)),
+            _ => None,
+        })
+        .expect("a StandbyPromoted event must be recorded");
+    assert_eq!(promoted.1, 7);
+    assert_eq!(promoted.2, 0, "replica 0 failed");
+    assert_eq!(promoted.3, 1, "replica 1 promoted");
+    assert!(promoted.4 > 0);
+    assert!(promoted.0 >= crash, "state usable at or after the crash");
+}
+
+/// Sync mode's turn-commit barrier makes failover lossless: everything
+/// committed by a finished turn is on the standby, so a crash between
+/// turns recomputes nothing.
+#[test]
+fn sync_mode_failover_recomputes_nothing_between_turns() {
+    let mut r = cluster(2, replicated_cfg(ReplicationMode::Sync, 64));
+    r.submit(req(0, 3, SimTime::ZERO, 768, 32, 0));
+    let first = drain_all(&mut r);
+    assert_eq!(first.len(), 1);
+
+    // Crash the affine replica while the session is idle.
+    let crash = r.now() + SimDuration::from_secs(1.0);
+    r.fail_replica_at(0, crash);
+    r.run_until(crash + SimDuration::from_secs(0.1));
+    assert_eq!(r.promotions(), 1);
+    assert_eq!(
+        r.recomputed_suffix_tokens(),
+        0,
+        "sync replication leaves no unreplicated suffix between turns"
+    );
+
+    // The follow-up finds its full context cached at the standby.
+    let t = r.now() + SimDuration::from_secs(1.0);
+    r.submit(req(1, 3, t, 64, 16, 800));
+    let done = drain_all(&mut r);
+    assert_eq!(done.len(), 1);
+    assert!(done[0].cached_history_tokens > 0);
+}
+
+/// Replicated failover strictly beats recompute-from-scratch on the
+/// orphaned request's completion time — the claim the failover benchmark
+/// pins with numbers.
+#[test]
+fn replicated_failover_beats_recompute_from_scratch() {
+    let finish_with = |mode: ReplicationMode| {
+        let mut r = cluster(2, replicated_cfg(mode, 64));
+        r.submit(req(0, 1, SimTime::ZERO, 3072, 128, 0));
+        let first = drain_all(&mut r);
+        assert_eq!(first.len(), 1);
+        let t = r.now().as_secs() + 1.0;
+        r.fail_replica_at(0, SimTime::from_secs(t + 0.2));
+        r.submit(req(1, 1, SimTime::from_secs(t), 64, 256, 3200));
+        let done = drain_all(&mut r);
+        assert_eq!(done.len(), 1);
+        done[0].finish.as_secs()
+    };
+    let replicated = finish_with(ReplicationMode::Async);
+    let scratch = finish_with(ReplicationMode::Disabled);
+    assert!(
+        replicated < scratch,
+        "failover with replicated KV ({replicated:.3}s) must finish before \
+         recompute-from-scratch ({scratch:.3}s)"
+    );
+}
+
+/// Async replication is strictly passive until a failure: enabling it
+/// must not move a single clock edge of a fault-free run.
+#[test]
+fn async_replication_is_passive_without_faults() {
+    let timeline = |cfg: RouterConfig| {
+        let mut r = cluster(3, cfg);
+        let turns = [(512, 48, 32), (416, 24, 48), (600, 64, 16)];
+        run_script(&mut r, &turns)
+    };
+    let plain = timeline(RouterConfig::default());
+    let replicated = timeline(replicated_cfg(ReplicationMode::Async, 64));
+    assert_eq!(plain, replicated);
+}

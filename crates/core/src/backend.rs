@@ -111,4 +111,14 @@ pub trait ServingBackend {
     /// re-routing. Partial output is discarded; completed responses
     /// remain drainable.
     fn fail_stop(&mut self) -> Vec<Request>;
+
+    /// Drains the backend's KV commit log: sessions whose committed
+    /// (cache-resident) context grew since the last drain, each with its
+    /// new total committed token count, in `SessionId` order. A
+    /// replication stream consumes this to learn what delta to ship to a
+    /// standby; backends with no commit tracking return nothing and are
+    /// simply not replicable.
+    fn take_committed_kv(&mut self) -> Vec<(SessionId, usize)> {
+        Vec::new()
+    }
 }

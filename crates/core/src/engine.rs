@@ -446,6 +446,16 @@ impl SimServingEngine {
         self.cache.import_session(export, self.now).unwrap_or(0)
     }
 
+    /// Drains the KV commit log: sessions whose cache-resident context
+    /// grew since the last drain, with their new committed token totals,
+    /// in `SessionId` order. The globally shared prefix is filtered out —
+    /// every replica holds it, so it is never replicated or migrated.
+    pub fn take_committed_kv(&mut self) -> Vec<(SessionId, usize)> {
+        let mut commits = self.cache.take_commits();
+        commits.retain(|&(conv, _)| conv != SHARED_PREFIX_CONV);
+        commits
+    }
+
     /// Fail-stop: the replica dies, its KV state is unrecoverable, and
     /// every queued or running request is orphaned. Returns the orphaned
     /// requests (queued first, then running, both in order) so a router
@@ -1405,6 +1415,10 @@ impl crate::backend::ServingBackend for SimServingEngine {
 
     fn fail_stop(&mut self) -> Vec<Request> {
         SimServingEngine::fail_stop(self)
+    }
+
+    fn take_committed_kv(&mut self) -> Vec<(SessionId, usize)> {
+        SimServingEngine::take_committed_kv(self)
     }
 }
 

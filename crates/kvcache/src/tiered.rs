@@ -248,6 +248,11 @@ pub struct TieredKvCache {
     /// Entries are validated at pop (a chunk may have been revalidated or
     /// suspended since).
     copied_fifo: std::collections::VecDeque<(SessionId, usize)>,
+    /// Commit log for KV replication: sessions whose committed context
+    /// grew since the last [`TieredKvCache::take_commits`] drain, mapped
+    /// to their new total token count. Bounded by the session count (one
+    /// entry per session, overwritten on every append).
+    commit_log: BTreeMap<SessionId, usize>,
     stats: CacheStats,
     /// Passive trace sink; `None` (the default) records nothing.
     recorder: Option<SharedRecorder>,
@@ -277,6 +282,7 @@ impl TieredKvCache {
             gpu_copied: 0,
             cpu_resident: 0,
             copied_fifo: std::collections::VecDeque::new(),
+            commit_log: BTreeMap::new(),
             stats: CacheStats::default(),
             recorder: None,
         }
@@ -561,9 +567,21 @@ impl TieredKvCache {
             remaining -= add;
         }
         e.last_active = now;
+        let committed = e.total_tokens();
+        self.commit_log.insert(conv, committed);
         self.gpu_resident += n;
         debug_assert!(self.check_invariants());
         Ok(())
+    }
+
+    /// Drains the KV commit log: every session whose committed context
+    /// grew since the previous drain, with its new total token count, in
+    /// `SessionId` order. Replication streams consume this to learn what
+    /// delta to ship to the standby; without a consumer the log stays
+    /// bounded at one entry per live session.
+    pub fn take_commits(&mut self) -> Vec<(SessionId, usize)> {
+        let log = std::mem::take(&mut self.commit_log);
+        log.into_iter().collect()
     }
 
     /// Ahead-of-time swap-out (§4.3.2): if strictly-free GPU slots are
@@ -729,6 +747,7 @@ impl TieredKvCache {
 
     /// Removes a conversation and frees all its space.
     pub fn remove_conversation(&mut self, conv: SessionId) {
+        self.commit_log.remove(&conv);
         if let Some(e) = self.convs.remove(&conv) {
             for c in &e.chunks {
                 match c.tier {
@@ -753,6 +772,7 @@ impl TieredKvCache {
         if self.convs.get(&session).is_none_or(|e| e.pinned) {
             return None;
         }
+        self.commit_log.remove(&session);
         let e = self.convs.remove(&session)?;
         let mut chunks = e.chunks;
         for c in &mut chunks {
@@ -793,7 +813,25 @@ impl TieredKvCache {
         if self.convs.contains_key(&export.session) {
             return Err(CacheError::SessionExists(export.session));
         }
-        let mut chunks = export.chunks;
+        // Normalize to local chunk granularity: exports from a peer cache
+        // are already chunk-sized (this is a no-op), but replication
+        // deltas arrive as one chunk per flush and must be split to keep
+        // the eviction policy's unit of work intact.
+        let mut chunks: Vec<ChunkState> = Vec::with_capacity(export.chunks.len());
+        for c in export.chunks {
+            let mut remaining = c.tokens;
+            let mut end = c.context_end - c.tokens;
+            while remaining > 0 {
+                let take = remaining.min(self.cfg.chunk_tokens);
+                end += take;
+                chunks.push(ChunkState {
+                    tier: c.tier,
+                    tokens: take,
+                    context_end: end,
+                });
+                remaining -= take;
+            }
+        }
         let mut admitted = 0usize;
         for c in &mut chunks {
             match c.tier {

@@ -394,6 +394,54 @@ pub enum TraceEvent {
         /// Requests re-queued onto surviving replicas.
         requeued: usize,
     },
+    /// A replication flush streamed a session's pending KV delta from its
+    /// primary replica to the designated standby.
+    ReplicationFlush {
+        /// When the delta was put on the wire.
+        at: SimTime,
+        /// Conversation id.
+        conv: u64,
+        /// Primary (source) replica index.
+        from: usize,
+        /// Standby (target) replica index.
+        to: usize,
+        /// Delta tokens streamed in this flush.
+        tokens: usize,
+        /// KV bytes of the delta.
+        bytes: u64,
+        /// True if the delta was lost in transit (it stays pending and
+        /// is re-streamed by a later flush).
+        lost: bool,
+    },
+    /// A standby was promoted after its primary fail-stopped: replicated
+    /// chunks were imported at the standby and only the unreplicated
+    /// suffix falls back to dropped-chunk recompute.
+    StandbyPromoted {
+        /// When the promotion completed (replicated state usable at the
+        /// standby; in-flight replication deltas have landed).
+        at: SimTime,
+        /// Conversation id.
+        conv: u64,
+        /// The dead primary's index.
+        from: usize,
+        /// The promoted standby's index.
+        to: usize,
+        /// Tokens restored from replicated state.
+        replicated_tokens: usize,
+        /// Unreplicated suffix tokens (replication lag at crash) that
+        /// must be recomputed from raw text.
+        lag_tokens: usize,
+        /// Crash-to-promotion latency.
+        latency: SimDuration,
+    },
+    /// The inter-node fabric partitioned: transfers cannot start inside
+    /// the window (in-flight transfers complete).
+    LinkPartitioned {
+        /// Window start.
+        at: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
 }
 
 /// Every variant name, in declaration order. The docs-coverage test
@@ -419,6 +467,9 @@ pub const VARIANTS: &[&str] = &[
     "MigrationStart",
     "MigrationEnd",
     "ReplicaFailed",
+    "ReplicationFlush",
+    "StandbyPromoted",
+    "LinkPartitioned",
 ];
 
 impl TraceEvent {
@@ -446,6 +497,9 @@ impl TraceEvent {
             TraceEvent::MigrationStart { .. } => "MigrationStart",
             TraceEvent::MigrationEnd { .. } => "MigrationEnd",
             TraceEvent::ReplicaFailed { .. } => "ReplicaFailed",
+            TraceEvent::ReplicationFlush { .. } => "ReplicationFlush",
+            TraceEvent::StandbyPromoted { .. } => "StandbyPromoted",
+            TraceEvent::LinkPartitioned { .. } => "LinkPartitioned",
         }
     }
 
@@ -472,7 +526,10 @@ impl TraceEvent {
             | TraceEvent::Routed { at, .. }
             | TraceEvent::MigrationStart { at, .. }
             | TraceEvent::MigrationEnd { at, .. }
-            | TraceEvent::ReplicaFailed { at, .. } => *at,
+            | TraceEvent::ReplicaFailed { at, .. }
+            | TraceEvent::ReplicationFlush { at, .. }
+            | TraceEvent::StandbyPromoted { at, .. }
+            | TraceEvent::LinkPartitioned { at, .. } => *at,
         }
     }
 }
@@ -817,6 +874,50 @@ impl Serialize for TraceEvent {
                     ("requeued", num(*requeued as f64)),
                 ],
             ),
+            TraceEvent::ReplicationFlush {
+                at,
+                conv,
+                from,
+                to,
+                tokens,
+                bytes,
+                lost,
+            } => obj(
+                "ReplicationFlush",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("from", num(*from as f64)),
+                    ("to", num(*to as f64)),
+                    ("tokens", num(*tokens as f64)),
+                    ("bytes", num(*bytes as f64)),
+                    ("lost", Value::Bool(*lost)),
+                ],
+            ),
+            TraceEvent::StandbyPromoted {
+                at,
+                conv,
+                from,
+                to,
+                replicated_tokens,
+                lag_tokens,
+                latency,
+            } => obj(
+                "StandbyPromoted",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("from", num(*from as f64)),
+                    ("to", num(*to as f64)),
+                    ("replicated_tokens", num(*replicated_tokens as f64)),
+                    ("lag_tokens", num(*lag_tokens as f64)),
+                    ("latency", dur(*latency)),
+                ],
+            ),
+            TraceEvent::LinkPartitioned { at, until } => obj(
+                "LinkPartitioned",
+                &[("at", time(*at)), ("until", time(*until))],
+            ),
         }
     }
 }
@@ -959,6 +1060,28 @@ impl Deserialize for TraceEvent {
                 at: f_time(v, "at")?,
                 replica: f_usize(v, "replica")?,
                 requeued: f_usize(v, "requeued")?,
+            }),
+            "ReplicationFlush" => Ok(TraceEvent::ReplicationFlush {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                from: f_usize(v, "from")?,
+                to: f_usize(v, "to")?,
+                tokens: f_usize(v, "tokens")?,
+                bytes: f_u64(v, "bytes")?,
+                lost: f_bool(v, "lost")?,
+            }),
+            "StandbyPromoted" => Ok(TraceEvent::StandbyPromoted {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                from: f_usize(v, "from")?,
+                to: f_usize(v, "to")?,
+                replicated_tokens: f_usize(v, "replicated_tokens")?,
+                lag_tokens: f_usize(v, "lag_tokens")?,
+                latency: f_dur(v, "latency")?,
+            }),
+            "LinkPartitioned" => Ok(TraceEvent::LinkPartitioned {
+                at: f_time(v, "at")?,
+                until: f_time(v, "until")?,
             }),
             other => Err(DeError::custom(format!("unknown event variant {other:?}"))),
         }
@@ -1107,6 +1230,28 @@ pub fn sample_events() -> Vec<TraceEvent> {
             at: t,
             replica: 2,
             requeued: 3,
+        },
+        TraceEvent::ReplicationFlush {
+            at: t,
+            conv: 4,
+            from: 2,
+            to: 0,
+            tokens: 96,
+            bytes: 3 << 19,
+            lost: false,
+        },
+        TraceEvent::StandbyPromoted {
+            at: SimTime::from_secs(1.5),
+            conv: 4,
+            from: 2,
+            to: 0,
+            replicated_tokens: 160,
+            lag_tokens: 32,
+            latency: SimDuration::from_millis(2.0),
+        },
+        TraceEvent::LinkPartitioned {
+            at: t,
+            until: SimTime::from_secs(1.75),
         },
     ]
 }

@@ -340,7 +340,10 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
             | TraceEvent::Routed { .. }
             | TraceEvent::MigrationStart { .. }
             | TraceEvent::MigrationEnd { .. }
-            | TraceEvent::ReplicaFailed { .. } => {}
+            | TraceEvent::ReplicaFailed { .. }
+            | TraceEvent::ReplicationFlush { .. }
+            | TraceEvent::StandbyPromoted { .. }
+            | TraceEvent::LinkPartitioned { .. } => {}
         }
     }
     // Stable sort: equal timestamps keep recording order.

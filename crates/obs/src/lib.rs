@@ -50,4 +50,4 @@ pub use event::{sample_events, DropReason, RecoveryKind, SwapDir, TraceEvent};
 pub use export::{chrome_trace, chrome_trace_string, parse_jsonl, to_jsonl, JsonlError};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{NullRecorder, Recorder, SharedRecorder};
-pub use report::{TraceReport, TurnAttribution};
+pub use report::{PromotionRow, TraceReport, TurnAttribution};

@@ -61,6 +61,25 @@ pub mod names {
     pub const MIGRATION_LOST_TOKENS_TOTAL: &str = "pensieve_migration_lost_tokens_total";
     /// Counter: fault-injected replica deaths handled by the router.
     pub const REPLICA_FAILURES_TOTAL: &str = "pensieve_replica_failures_total";
+    /// Counter: KV-tokens replicated to a standby's CPU tier.
+    pub const REPLICATED_TOKENS_TOTAL: &str = "pensieve_replicated_tokens_total";
+    /// Counter: KV bytes put on the wire by replication flushes.
+    pub const STANDBY_BYTES_TOTAL: &str = "pensieve_standby_bytes_total";
+    /// Counter: standby promotions after a primary fail-stop.
+    pub const STANDBY_PROMOTIONS_TOTAL: &str = "pensieve_standby_promotions_total";
+    /// Counter: unreplicated-suffix tokens recomputed after promotion.
+    pub const RECOMPUTED_SUFFIX_TOKENS_TOTAL: &str = "pensieve_recomputed_suffix_tokens_total";
+    /// Gauge: largest per-session replication lag (tokens committed at
+    /// the primary but not yet replicated to its standby).
+    pub const REPLICATION_LAG_TOKENS: &str = "pensieve_replication_lag_tokens";
+    /// Histogram: crash-to-promotion latency, seconds.
+    pub const PROMOTION_LATENCY_SECONDS: &str = "pensieve_promotion_latency_seconds";
+    /// Counter: chunks lost in transit on the inter-node links
+    /// (migration and replication combined).
+    pub const LINK_LOST_CHUNKS_TOTAL: &str = "pensieve_link_lost_chunks_total";
+    /// Counter: bytes put on the wire by the inter-node links
+    /// (migration and replication combined, including lost chunks).
+    pub const LINK_STREAMED_BYTES_TOTAL: &str = "pensieve_link_streamed_bytes_total";
 
     /// Every canonical metric name.
     pub const ALL: &[&str] = &[
@@ -87,6 +106,14 @@ pub mod names {
         MIGRATED_TOKENS_TOTAL,
         MIGRATION_LOST_TOKENS_TOTAL,
         REPLICA_FAILURES_TOTAL,
+        REPLICATED_TOKENS_TOTAL,
+        STANDBY_BYTES_TOTAL,
+        STANDBY_PROMOTIONS_TOTAL,
+        RECOMPUTED_SUFFIX_TOKENS_TOTAL,
+        REPLICATION_LAG_TOKENS,
+        PROMOTION_LATENCY_SECONDS,
+        LINK_LOST_CHUNKS_TOTAL,
+        LINK_STREAMED_BYTES_TOTAL,
     ];
 }
 
@@ -101,6 +128,10 @@ pub const BATCH_QUERY_TOKENS_BUCKETS: &[f64] = &[
 
 /// Default bucket upper bounds for [`names::TTFT_SECONDS`].
 pub const TTFT_SECONDS_BUCKETS: &[f64] = &[0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0];
+
+/// Default bucket upper bounds for [`names::PROMOTION_LATENCY_SECONDS`].
+pub const PROMOTION_LATENCY_SECONDS_BUCKETS: &[f64] =
+    &[0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5];
 
 /// A fixed-bucket histogram (cumulative at export time, per-bucket in
 /// memory).

@@ -58,6 +58,27 @@ impl TurnAttribution {
     }
 }
 
+/// One standby promotion observed in the log: a session whose primary
+/// fail-stopped and whose replicated KV state was imported at its
+/// standby replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotionRow {
+    /// Conversation promoted.
+    pub conv: u64,
+    /// The dead primary's index.
+    pub from: usize,
+    /// The promoted standby's index.
+    pub to: usize,
+    /// When the promotion completed.
+    pub at: SimTime,
+    /// Tokens restored from replicated state.
+    pub replicated_tokens: usize,
+    /// Replication lag at crash — the unreplicated suffix recomputed.
+    pub lag_tokens: usize,
+    /// Crash-to-promotion latency.
+    pub latency: SimDuration,
+}
+
 /// Aggregated report over one event log.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceReport {
@@ -89,6 +110,18 @@ pub struct TraceReport {
     /// Time GPU compute and swap-in DMA were simultaneously busy — the
     /// §4.3.3 layered-pipelining win over stop-and-copy.
     pub compute_swap_in_overlap: SimDuration,
+    /// Replica fail-stops handled by the cluster router.
+    pub replica_failures: u64,
+    /// Standby promotions, in event order (the failover timeline).
+    pub promotions: Vec<PromotionRow>,
+    /// Replication flushes put on the wire (delivered or lost).
+    pub replication_flushes: u64,
+    /// Replication flushes lost in transit (re-streamed later).
+    pub replication_lost_flushes: u64,
+    /// Delta tokens delivered to standbys across all flushes.
+    pub replicated_tokens: u64,
+    /// KV bytes put on the wire by replication flushes (incl. lost).
+    pub replicated_bytes: u64,
 }
 
 /// Sums, merges and intersects `(start, end)` second intervals.
@@ -195,6 +228,38 @@ impl TraceReport {
                 TraceEvent::Suspended { .. } => report.suspensions += 1,
                 TraceEvent::FaultRecovery { .. } => report.fault_recoveries += 1,
                 TraceEvent::RequestCompleted { .. } => report.requests_completed += 1,
+                TraceEvent::ReplicaFailed { .. } => report.replica_failures += 1,
+                TraceEvent::ReplicationFlush {
+                    tokens,
+                    bytes,
+                    lost,
+                    ..
+                } => {
+                    report.replication_flushes += 1;
+                    report.replicated_bytes += bytes;
+                    if *lost {
+                        report.replication_lost_flushes += 1;
+                    } else {
+                        report.replicated_tokens += *tokens as u64;
+                    }
+                }
+                TraceEvent::StandbyPromoted {
+                    at,
+                    conv,
+                    from,
+                    to,
+                    replicated_tokens,
+                    lag_tokens,
+                    latency,
+                } => report.promotions.push(PromotionRow {
+                    conv: *conv,
+                    from: *from,
+                    to: *to,
+                    at: *at,
+                    replicated_tokens: *replicated_tokens,
+                    lag_tokens: *lag_tokens,
+                    latency: *latency,
+                }),
                 _ => {}
             }
         }
@@ -296,6 +361,32 @@ impl TraceReport {
                 self.swap_in_busy.as_secs()
             ),
         );
+        if self.replica_failures > 0 || self.replication_flushes > 0 || !self.promotions.is_empty()
+        {
+            let _ = writeln!(out, "\n-- failover --");
+            let _ = writeln!(
+                out,
+                "replica failures {}  replication flushes {} ({} lost)  replicated tokens {} ({} bytes on wire)",
+                self.replica_failures,
+                self.replication_flushes,
+                self.replication_lost_flushes,
+                self.replicated_tokens,
+                self.replicated_bytes,
+            );
+            for p in &self.promotions {
+                let _ = writeln!(
+                    out,
+                    "promotion conv {} replica {}->{} at {:.3}s: replicated {} tokens, lag at crash {} tokens (recomputed), latency {:.3}s",
+                    p.conv,
+                    p.from,
+                    p.to,
+                    p.at.as_secs(),
+                    p.replicated_tokens,
+                    p.lag_tokens,
+                    p.latency.as_secs(),
+                );
+            }
+        }
         out
     }
 }
@@ -376,6 +467,58 @@ mod tests {
         let text = r.render();
         assert!(text.contains("gpu-hit 60 (60.0%)"), "{text}");
         assert!(text.contains("duplex overlap 0.500s"), "{text}");
+    }
+
+    #[test]
+    fn failover_section_appears_only_with_failover_events() {
+        let calm = TraceReport::from_events(&[]);
+        assert!(!calm.render().contains("-- failover --"));
+        let events = vec![
+            TraceEvent::ReplicationFlush {
+                at: t(0.5),
+                conv: 3,
+                from: 0,
+                to: 1,
+                tokens: 64,
+                bytes: 4096,
+                lost: false,
+            },
+            TraceEvent::ReplicationFlush {
+                at: t(0.6),
+                conv: 3,
+                from: 0,
+                to: 1,
+                tokens: 32,
+                bytes: 2048,
+                lost: true,
+            },
+            TraceEvent::ReplicaFailed {
+                at: t(1.0),
+                replica: 0,
+                requeued: 1,
+            },
+            TraceEvent::StandbyPromoted {
+                at: t(1.002),
+                conv: 3,
+                from: 0,
+                to: 1,
+                replicated_tokens: 64,
+                lag_tokens: 32,
+                latency: SimDuration::from_millis(2.0),
+            },
+        ];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.replica_failures, 1);
+        assert_eq!(r.replication_flushes, 2);
+        assert_eq!(r.replication_lost_flushes, 1);
+        assert_eq!(r.replicated_tokens, 64);
+        assert_eq!(r.replicated_bytes, 6144);
+        assert_eq!(r.promotions.len(), 1);
+        assert_eq!(r.promotions[0].lag_tokens, 32);
+        let text = r.render();
+        assert!(text.contains("-- failover --"), "{text}");
+        assert!(text.contains("promotion conv 3 replica 0->1"), "{text}");
+        assert!(text.contains("lag at crash 32 tokens"), "{text}");
     }
 
     #[test]

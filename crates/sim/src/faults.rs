@@ -18,7 +18,7 @@
 
 use std::fmt;
 
-use pensieve_model::SimDuration;
+use pensieve_model::{SimDuration, SimTime};
 
 /// The kinds of fault the injector can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -248,6 +248,130 @@ impl FaultInjector {
     }
 }
 
+/// Cluster-level fault kinds, scheduled at absolute simulated times.
+///
+/// Unlike the per-opportunity [`FaultKind`] rolls (polled by a component
+/// at its natural fault point), these are *time-triggered*: a chaos
+/// harness generates a [`FaultSchedule`] up front and the cluster router
+/// applies each event when its clock reaches the trigger — faults land
+/// mid-generation without the test hand-placing them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterFaultKind {
+    /// Replica `replica` fail-stops: KV state lost, in-flight requests
+    /// orphaned and re-routed.
+    ReplicaCrash {
+        /// Index of the replica that dies.
+        replica: usize,
+    },
+    /// The inter-node fabric partitions for `duration`: transfers cannot
+    /// start during the window (in-flight transfers complete).
+    LinkPartition {
+        /// Length of the unavailability window.
+        duration: SimDuration,
+    },
+}
+
+/// One scheduled cluster fault: `kind` fires when the clock reaches `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// Trigger time.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: ClusterFaultKind,
+}
+
+/// A seeded, pre-generated schedule of cluster faults, sorted by trigger
+/// time. The same `(seed, shape)` always yields the same schedule, so a
+/// chaos run is reproducible from one `u64` — the same contract as
+/// [`FaultInjector`], lifted from per-opportunity rolls to wall-clock
+/// triggers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// Generates a schedule of `crashes` replica crashes and `partitions`
+    /// link partitions, all triggered at uniform times in `(0, window)`.
+    ///
+    /// Crash targets are distinct replica indices and at most
+    /// `replicas - 1` crashes are generated, so at least one replica
+    /// always survives — a schedule that kills the whole cluster proves
+    /// nothing about recovery. Partition lengths are `mean_outage` scaled
+    /// by a uniform factor in `[0.5, 1.5)`.
+    #[must_use]
+    pub fn generate(
+        seed: u64,
+        replicas: usize,
+        window: SimDuration,
+        crashes: usize,
+        partitions: usize,
+        mean_outage: SimDuration,
+    ) -> Self {
+        // A dedicated SplitMix64 stream with its own pre-mix constant, so
+        // schedules are decorrelated from `FaultInjector` rolls on the
+        // same seed.
+        fn next_u64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn next_f64(state: &mut u64) -> f64 {
+            (next_u64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+        let mut state = seed ^ 0x3C6E_F372_FE94_F82B;
+
+        let mut events = Vec::new();
+        let mut survivors: Vec<usize> = (0..replicas).collect();
+        for _ in 0..crashes.min(replicas.saturating_sub(1)) {
+            let at = SimTime::ZERO + window * next_f64(&mut state);
+            let pick =
+                ((u128::from(next_u64(&mut state)) * survivors.len() as u128) >> 64) as usize;
+            let replica = survivors.remove(pick);
+            events.push(ScheduledFault {
+                at,
+                kind: ClusterFaultKind::ReplicaCrash { replica },
+            });
+        }
+        for _ in 0..partitions {
+            let at = SimTime::ZERO + window * next_f64(&mut state);
+            let duration = mean_outage * (0.5 + next_f64(&mut state));
+            events.push(ScheduledFault {
+                at,
+                kind: ClusterFaultKind::LinkPartition { duration },
+            });
+        }
+        // Deterministic order: by time, crashes before partitions at ties,
+        // then by target index / length.
+        events.sort_by(|a, b| {
+            a.at.total_cmp(&b.at).then_with(|| {
+                let rank = |k: &ClusterFaultKind| match *k {
+                    ClusterFaultKind::ReplicaCrash { replica } => (0usize, replica as f64),
+                    ClusterFaultKind::LinkPartition { duration } => (1, duration.as_secs()),
+                };
+                let (ra, ka) = rank(&a.kind);
+                let (rb, kb) = rank(&b.kind);
+                ra.cmp(&rb).then(ka.total_cmp(&kb))
+            })
+        });
+        FaultSchedule { events }
+    }
+
+    /// The scheduled events, sorted by trigger time.
+    #[must_use]
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// True if the schedule contains no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +428,58 @@ mod tests {
         let rate = fired as f64 / 20_000.0;
         assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
         assert_eq!(inj.counters().pcie_failures, fired as u64);
+    }
+
+    #[test]
+    fn fault_schedule_is_seed_deterministic_and_sorted() {
+        let gen = |seed| {
+            FaultSchedule::generate(
+                seed,
+                4,
+                SimDuration::from_secs(100.0),
+                3,
+                2,
+                SimDuration::from_secs(0.5),
+            )
+        };
+        let a = gen(7);
+        assert_eq!(a, gen(7), "same seed, same schedule");
+        assert_ne!(a, gen(8), "different seeds diverge");
+        assert_eq!(a.events().len(), 5);
+        for w in a.events().windows(2) {
+            assert!(w[0].at <= w[1].at, "events sorted by trigger time");
+        }
+        for e in a.events() {
+            assert!(e.at > SimTime::ZERO && e.at < SimTime::from_secs(100.0));
+        }
+    }
+
+    #[test]
+    fn fault_schedule_always_leaves_a_survivor() {
+        for seed in 0..32 {
+            let s = FaultSchedule::generate(
+                seed,
+                3,
+                SimDuration::from_secs(10.0),
+                99,
+                0,
+                SimDuration::from_secs(1.0),
+            );
+            let crashed: Vec<usize> = s
+                .events()
+                .iter()
+                .filter_map(|e| match e.kind {
+                    ClusterFaultKind::ReplicaCrash { replica } => Some(replica),
+                    ClusterFaultKind::LinkPartition { .. } => None,
+                })
+                .collect();
+            assert_eq!(crashed.len(), 2, "at most replicas - 1 crashes");
+            let mut distinct = crashed.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert_eq!(distinct.len(), crashed.len(), "targets are distinct");
+            assert!(crashed.iter().all(|&r| r < 3));
+        }
     }
 
     #[test]

@@ -12,10 +12,13 @@
 //!   model, plus the §4.3.3 pipelined per-layer swap-in overlap.
 //! * [`faults::FaultInjector`] — a seeded, deterministic fault source used
 //!   to exercise recovery paths (PCIe failures/timeouts, CPU-tier chunk
-//!   loss/corruption, allocation faults, worker stalls and crashes).
+//!   loss/corruption, allocation faults, worker stalls and crashes), plus
+//!   [`faults::FaultSchedule`] — seeded, time-triggered cluster faults
+//!   (replica crashes, link partitions) for chaos harnesses.
 //! * [`node_link::NodeLink`] — the inter-node fabric over which a cluster
-//!   router streams KV chunks during conversation migration, with seeded
-//!   per-chunk loss feeding the recompute-fallback path.
+//!   router streams KV chunks during conversation migration and
+//!   replication, with seeded per-chunk loss feeding the
+//!   recompute-fallback path and optional seeded partition windows.
 
 pub mod events;
 pub mod faults;
@@ -24,7 +27,10 @@ pub mod node_link;
 pub mod pcie;
 
 pub use events::{EventQueue, ScheduleError};
-pub use faults::{FaultConfig, FaultCounters, FaultInjector, FaultKind};
+pub use faults::{
+    ClusterFaultKind, FaultConfig, FaultCounters, FaultInjector, FaultKind, FaultSchedule,
+    ScheduledFault,
+};
 pub use gpu::GpuTimer;
-pub use node_link::{ChunkLost, NodeLink, NodeLinkSpec};
+pub use node_link::{ChunkLost, NodeLink, NodeLinkSpec, PartitionSpec};
 pub use pcie::{Direction, DuplexMode, PcieLink, TransferError};

@@ -19,6 +19,25 @@ use std::fmt;
 
 use pensieve_model::{SimDuration, SimTime};
 
+/// Seeded link-partition model: the fabric alternates between available
+/// stretches and outage windows, both drawn from a SplitMix64 stream
+/// dedicated to partitions (distinct from the loss stream, so enabling
+/// partitions does not perturb which chunks are lost).
+///
+/// Window lengths are the configured means scaled by independent uniform
+/// factors in `[0.5, 1.5)`. An outage only defers transfer *starts*: a
+/// chunk already on the wire when a window opens completes normally —
+/// the FIFO busy horizon is preserved, starts stay monotonic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// Seed for the partition-window stream.
+    pub seed: u64,
+    /// Mean length of an available stretch between outages.
+    pub mean_available: SimDuration,
+    /// Mean length of one outage window.
+    pub mean_outage: SimDuration,
+}
+
 /// Shape of the simulated inter-node link.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeLinkSpec {
@@ -30,6 +49,8 @@ pub struct NodeLinkSpec {
     pub loss_per_chunk: f64,
     /// Seed for the loss stream.
     pub seed: u64,
+    /// Optional seeded unavailability windows (transient partitions).
+    pub partition: Option<PartitionSpec>,
 }
 
 impl NodeLinkSpec {
@@ -41,6 +62,7 @@ impl NodeLinkSpec {
             latency: SimDuration::from_micros(50.0),
             loss_per_chunk: 0.0,
             seed: 0,
+            partition: None,
         }
     }
 
@@ -51,6 +73,15 @@ impl NodeLinkSpec {
         NodeLinkSpec {
             loss_per_chunk,
             seed,
+            ..NodeLinkSpec::datacenter_25g()
+        }
+    }
+
+    /// The 25 Gb fabric with seeded partition windows.
+    #[must_use]
+    pub fn partitioned_25g(partition: PartitionSpec) -> Self {
+        NodeLinkSpec {
+            partition: Some(partition),
             ..NodeLinkSpec::datacenter_25g()
         }
     }
@@ -81,6 +112,16 @@ pub struct NodeLink {
     busy_until: SimTime,
     /// SplitMix64 state for loss rolls.
     state: u64,
+    /// SplitMix64 state for partition windows (independent of losses).
+    pstate: u64,
+    /// End of the last seeded partition window generated so far; windows
+    /// are generated lazily, forward-only — sound because transfer starts
+    /// are monotonic (the busy horizon never moves backward).
+    window_frontier: SimTime,
+    /// The next seeded outage window, once generated and not yet passed.
+    next_window: Option<(SimTime, SimTime)>,
+    /// Externally scheduled outages (chaos faults), sorted by start.
+    forced_outages: Vec<(SimTime, SimTime)>,
     streamed_bytes: u64,
     lost_chunks: u64,
 }
@@ -89,12 +130,22 @@ impl NodeLink {
     /// Creates a link from a spec.
     #[must_use]
     pub fn new(spec: NodeLinkSpec) -> Self {
-        // Pre-mix the seed so that seeds 0 and 1 diverge immediately.
+        // Pre-mix the seeds so that seeds 0 and 1 diverge immediately.
+        // The partition stream uses its own constant so the same seed
+        // value drives decorrelated loss and partition schedules.
         let state = spec.seed ^ 0x9E37_79B9_7F4A_7C15;
+        let pstate = spec
+            .partition
+            .as_ref()
+            .map_or(0, |p| p.seed ^ 0xC2B2_AE3D_27D4_EB4F);
         NodeLink {
             spec,
             busy_until: SimTime::ZERO,
             state,
+            pstate,
+            window_frontier: SimTime::ZERO,
+            next_window: None,
+            forced_outages: Vec::new(),
             streamed_bytes: 0,
             lost_chunks: 0,
         }
@@ -120,6 +171,82 @@ impl NodeLink {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// SplitMix64 step on the partition stream.
+    fn next_pu64(&mut self) -> u64 {
+        self.pstate = self.pstate.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.pstate;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform factor in `[0.5, 1.5)` from the partition stream.
+    fn next_pfactor(&mut self) -> f64 {
+        0.5 + (self.next_pu64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Schedules a forced outage window `[start, end)` — a chaos-injected
+    /// partition, independent of the seeded windows. Transfers starting
+    /// inside the window are deferred to `end`; a transfer already on the
+    /// wire is unaffected.
+    pub fn add_outage(&mut self, start: SimTime, end: SimTime) {
+        if end <= start {
+            return;
+        }
+        self.forced_outages.push((start, end));
+        self.forced_outages
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    }
+
+    /// Defers `t` past every outage window (seeded and forced) that
+    /// contains it, repeating until `t` lands in an available stretch.
+    /// Seeded windows are generated lazily ahead of `t`; the generator
+    /// only moves forward, which is sound because transfer starts are
+    /// monotonic.
+    fn defer_past_outages(&mut self, mut t: SimTime) -> SimTime {
+        loop {
+            let before = t;
+            // Forced windows are sorted by start, so one ordered pass
+            // also resolves chained windows that begin after a deferral.
+            for &(s, e) in &self.forced_outages {
+                if s <= t && t < e {
+                    t = e;
+                }
+            }
+            if let Some(p) = self.spec.partition.clone() {
+                loop {
+                    let (ws, we) = match self.next_window {
+                        Some(w) => w,
+                        None => {
+                            let gap = p.mean_available * self.next_pfactor();
+                            let dur = p.mean_outage * self.next_pfactor();
+                            let ws = self.window_frontier + gap;
+                            let we = ws + dur;
+                            self.window_frontier = we;
+                            self.next_window = Some((ws, we));
+                            (ws, we)
+                        }
+                    };
+                    if we <= t {
+                        // Window fully in the past: consume and generate
+                        // the next one.
+                        self.next_window = None;
+                        continue;
+                    }
+                    if ws <= t {
+                        t = we;
+                        self.next_window = None;
+                        continue;
+                    }
+                    break; // next window is strictly in the future
+                }
+            }
+            if t == before {
+                return t;
+            }
+        }
+    }
+
     /// Streams one KV chunk of `bytes` at time `now`.
     ///
     /// Returns the `(start, completion)` instants; the chunk is usable at
@@ -138,7 +265,7 @@ impl NodeLink {
         if bytes == 0 {
             return Ok((now, now));
         }
-        let start = now.max(self.busy_until);
+        let start = self.defer_past_outages(now.max(self.busy_until));
         let dur = self.spec.latency + SimDuration::from_secs(bytes as f64 / self.spec.bandwidth);
         let end = start + dur;
         self.busy_until = end;
@@ -212,6 +339,72 @@ mod tests {
         assert_eq!(l.busy_until(), err.completes);
         assert_eq!(l.lost_chunks(), 1);
         assert_eq!(l.streamed_bytes(), 3_125_000_000);
+    }
+
+    #[test]
+    fn forced_outage_defers_starts_but_not_inflight_transfers() {
+        let mut l = NodeLink::new(NodeLinkSpec::datacenter_25g());
+        l.add_outage(t(0.5), t(2.0));
+        let gb = 3_125_000_000usize; // one second on the wire
+        let (s1, e1) = l.stream_chunk(t(0.0), gb).unwrap();
+        assert_eq!(s1, t(0.0));
+        assert!(e1 < t(2.0), "in-flight transfer completes through outage");
+        // The next chunk would start at ~1.0, inside the window: deferred.
+        let (s2, _) = l.stream_chunk(t(0.0), 1024).unwrap();
+        assert_eq!(s2, t(2.0));
+        // Chained windows: a start deferred into a later window keeps
+        // moving until it lands in an available stretch.
+        let mut l2 = NodeLink::new(NodeLinkSpec::datacenter_25g());
+        l2.add_outage(t(0.0), t(1.0));
+        l2.add_outage(t(1.0), t(3.0));
+        let (s3, _) = l2.stream_chunk(t(0.5), 1024).unwrap();
+        assert_eq!(s3, t(3.0));
+    }
+
+    #[test]
+    fn seeded_partitions_are_deterministic_and_fifo() {
+        let spec = NodeLinkSpec::partitioned_25g(PartitionSpec {
+            seed: 9,
+            mean_available: SimDuration::from_secs(0.01),
+            mean_outage: SimDuration::from_secs(0.005),
+        });
+        let run = |spec: &NodeLinkSpec| {
+            let mut l = NodeLink::new(spec.clone());
+            (0..64)
+                .map(|i| l.stream_chunk(t(i as f64 * 0.01), 1 << 20).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let a = run(&spec);
+        assert_eq!(a, run(&spec), "same seed, same schedule");
+        for w in a.windows(2) {
+            assert!(w[1].0 >= w[0].1, "starts stay FIFO behind the horizon");
+        }
+        let calm = run(&NodeLinkSpec::datacenter_25g());
+        assert!(
+            a.iter().zip(&calm).any(|(p, c)| p.0 > c.0),
+            "some start must be deferred by a partition window"
+        );
+        let mut other = spec.clone();
+        other.partition.as_mut().unwrap().seed = 10;
+        assert_ne!(a, run(&other), "different partition seeds diverge");
+    }
+
+    #[test]
+    fn partition_stream_does_not_perturb_loss_schedule() {
+        let losses = |partition: Option<PartitionSpec>| {
+            let mut spec = NodeLinkSpec::lossy_25g(0.3, 7);
+            spec.partition = partition;
+            let mut l = NodeLink::new(spec);
+            (0..64)
+                .map(|_| l.stream_chunk(t(0.0), 1024).is_err())
+                .collect::<Vec<_>>()
+        };
+        let with = losses(Some(PartitionSpec {
+            seed: 7,
+            mean_available: SimDuration::from_secs(0.001),
+            mean_outage: SimDuration::from_secs(0.001),
+        }));
+        assert_eq!(losses(None), with, "partitions must not change losses");
     }
 
     #[test]
