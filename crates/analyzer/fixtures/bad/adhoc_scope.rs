@@ -1,0 +1,14 @@
+// analyzer-fixture: crates/kernels/src/adhoc_scope.rs
+//! Known-bad: ad-hoc scoped fork/join outside the sanctioned layers.
+//! Never compiled — input for the analyzer's own test suite.
+
+use std::thread;
+
+pub fn fan_out(rows: &mut [f32]) {
+    thread::scope(|s| { //~ r3-adhoc-scope
+        for chunk in rows.chunks_mut(8) {
+            s.spawn(move || chunk.iter_mut().for_each(|x| *x += 1.0));
+        }
+    });
+    std::thread::scope(|_s| {}); //~ r3-adhoc-scope
+}

@@ -21,6 +21,10 @@
 //!   fixed by sequential merges.
 //! - **r3-raw-spawn** — no raw `thread::spawn` outside the sanctioned
 //!   concurrency layers (`shims/crossbeam`, `core::workers`).
+//! - **r3-adhoc-scope** — no ad-hoc `thread::scope` fork/join outside
+//!   the same sanctioned layers: scoped spawns re-pay thread startup on
+//!   every call and bypass the persistent pool's accounting, so all
+//!   data parallelism must route through `crossbeam::pool::Pool`.
 //! - **r3-lock-order** — the static graph of nested `.lock()`
 //!   acquisitions must be acyclic across the workspace.
 //! - **r4-suppression** — `// lint:allow(<rule>): <reason>` is the only
@@ -42,6 +46,7 @@ pub const RULE_IDS: &[&str] = &[
     "r2-hash-iter",
     "r2-float-reduce",
     "r3-raw-spawn",
+    "r3-adhoc-scope",
     "r3-lock-order",
     "r4-suppression",
     "lex-error",
@@ -201,6 +206,7 @@ impl Analyzer {
         }
         if !spawn_allowed(&scope_path) {
             rule_raw_spawn(&toks, &test_mask, &mut found);
+            rule_adhoc_scope(&toks, &test_mask, &mut found);
         }
         self.collect_lock_edges(&toks, &real_path);
 
@@ -817,6 +823,31 @@ fn rule_raw_spawn(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
     }
 }
 
+/// r3-adhoc-scope: `thread::scope` fork/join outside the sanctioned
+/// layers. Scoped spawns re-pay thread startup per call and dodge the
+/// persistent pool's task/utilization accounting.
+fn rule_adhoc_scope(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let code = code_indices(toks);
+    for (w, &i) in code.iter().enumerate() {
+        if test_mask[i] || toks[i].kind != TokKind::Ident || toks[i].text != "thread" {
+            continue;
+        }
+        let sep = code.get(w + 1).is_some_and(|&k| toks[k].text == "::");
+        let scope = code.get(w + 2).is_some_and(|&k| toks[k].text == "scope");
+        if sep && scope {
+            out.push(Violation {
+                rule: "r3-adhoc-scope",
+                path: String::new(),
+                line: toks[i].line,
+                msg: "ad-hoc `thread::scope`: fork/join must go through the \
+                      persistent `crossbeam::pool::Pool` so workers are \
+                      reused and task accounting stays accurate"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -907,6 +938,19 @@ mod tests {
         assert_eq!(run("crates/sim/src/gpu.rs", src).len(), 1);
         assert!(run("crates/core/src/workers.rs", src).is_empty());
         assert!(run("shims/crossbeam/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn adhoc_scope_flagged_outside_sanctioned_files() {
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+        let v = run("crates/kernels/src/ops.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "r3-adhoc-scope").count(), 1);
+        assert!(run("shims/crossbeam/src/lib.rs", src).is_empty());
+        assert!(run("crates/core/src/workers.rs", src).is_empty());
+        // Test code may still fork ad hoc.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { \
+                        std::thread::scope(|s| { let _ = s; }); }\n}\n";
+        assert!(run("crates/kernels/src/ops.rs", test_src).is_empty());
     }
 
     #[test]

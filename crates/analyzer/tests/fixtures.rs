@@ -107,6 +107,7 @@ fn every_rule_id_is_exercised_by_the_bad_corpus() {
         "r2-hash-iter",
         "r2-float-reduce",
         "r3-raw-spawn",
+        "r3-adhoc-scope",
         "r3-lock-order",
         "r4-suppression",
     ] {

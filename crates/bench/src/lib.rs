@@ -12,8 +12,7 @@
 //! * `PENSIEVE_THREADS` — sweep-point parallelism (default: available
 //!   cores).
 
-use std::sync::Mutex;
-
+use crossbeam::pool::Pool;
 use pensieve_cluster::{Router, RouterConfig, RouterPolicy};
 use pensieve_core::{EngineBuilder, EngineConfig, ServingBackend, SimServingEngine};
 use pensieve_kvcache::CacheStats;
@@ -201,43 +200,26 @@ pub fn run_point_on<B: ServingBackend>(spec: &PointSpec, engine: &mut B) -> Swee
     }
 }
 
-/// Runs many points in parallel (deterministic per point), preserving
-/// input order in the output.
+/// Runs many points in parallel (deterministic per point) on the
+/// process-wide persistent pool, preserving input order in the output.
 #[must_use]
 pub fn run_sweep(specs: Vec<PointSpec>) -> Vec<SweepPoint> {
-    let results: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::new());
-    let next: Mutex<usize> = Mutex::new(0);
     let threads = sweep_threads().min(specs.len().max(1));
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let idx = {
-                    let mut n = next.lock().expect("lock");
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                if idx >= specs.len() {
-                    break;
-                }
-                let point = run_point(&specs[idx]);
-                eprintln!(
-                    "  [{}] {} {} {} rate={:.1}: p90={:.1}ms tp={:.2} req/s",
-                    idx,
-                    point.system,
-                    point.model,
-                    point.dataset,
-                    point.request_rate,
-                    point.summary.p90_normalized * 1e3,
-                    point.summary.throughput_rps
-                );
-                results.lock().expect("lock").push((idx, point));
-            });
-        }
-    });
-    let mut rows = results.into_inner().expect("lock");
-    rows.sort_by_key(|(i, _)| *i);
-    rows.into_iter().map(|(_, p)| p).collect()
+    let pool = Pool::global(threads);
+    pool.map_partitions(specs.len(), |idx| {
+        let point = run_point(&specs[idx]);
+        eprintln!(
+            "  [{}] {} {} {} rate={:.1}: p90={:.1}ms tp={:.2} req/s",
+            idx,
+            point.system,
+            point.model,
+            point.dataset,
+            point.request_rate,
+            point.summary.p90_normalized * 1e3,
+            point.summary.throughput_rps
+        );
+        point
+    })
 }
 
 /// Writes experiment rows as pretty JSON to `results/<name>.json`.

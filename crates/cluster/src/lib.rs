@@ -56,3 +56,7 @@ pub use router::{Router, RouterConfig};
 // Re-exported so downstream code (benches, tests) can name the trait the
 // router both implements and consumes without an extra dependency edge.
 pub use pensieve_core::ServingBackend;
+
+// Re-exported because `Router::pool` takes it — facade users must be
+// able to name the worker pool without depending on the shim directly.
+pub use crossbeam::pool::Pool;

@@ -30,9 +30,27 @@
 //! Everything is deterministic: replica polling order, placement
 //! tie-breaks and the link's loss schedule are pure functions of the
 //! inputs, so a cluster run has a stable trace hash.
+//!
+//! # Parallel replica stepping
+//!
+//! [`Router::run_until`] advances replicas in **conservative time
+//! windows**: every alive replica runs independently up to the next
+//! inter-replica event horizon (the earliest scheduled fail-stop, then
+//! the caller's deadline), and only at those barriers does the router
+//! perform cross-replica work — replication pumping, standby promotion,
+//! failure injection. Because those are already the *only* interactions
+//! between replicas, partitioning the per-window loop across a
+//! persistent worker [`Pool`] (see [`Router::pool`]) cannot change any
+//! replica's state: each replica's simulation inside a window depends
+//! only on its own inputs. Traces stay deterministic by giving each
+//! replica its own [`SharedRecorder`]
+//! ([`Router::replica_recorders`]); at every barrier the router drains
+//! them into its own recorder in replica-index order, so the merged
+//! event stream — and its hash — is identical at every pool width.
 
 use std::collections::BTreeMap;
 
+use crossbeam::pool::Pool;
 use pensieve_core::{Request, RequestId, Response, ServingBackend};
 use pensieve_kvcache::{CacheStats, ChunkState, SessionExport, SessionId, Tier};
 use pensieve_model::{SimDuration, SimTime};
@@ -107,6 +125,11 @@ pub struct Router<B> {
     /// Requests that could not be placed because no replica is alive.
     parked: Vec<Request>,
     recorder: Option<SharedRecorder>,
+    /// Per-replica event recorders for the merged deterministic trace;
+    /// index-aligned with `replicas`. Required for parallel stepping.
+    replica_recorders: Option<Vec<SharedRecorder>>,
+    /// Worker pool for windowed replica stepping (serial by default).
+    pool: Pool,
     /// Standby replication state; `None` when disabled or with fewer
     /// than two replicas (there is nobody to stand by).
     replication: Option<Replicator>,
@@ -154,6 +177,8 @@ impl<B: ServingBackend> Router<B> {
             buffered: Vec::new(),
             parked: Vec::new(),
             recorder: None,
+            replica_recorders: None,
+            pool: Pool::serial(),
             replication,
             routed: 0,
             migrations: 0,
@@ -171,6 +196,44 @@ impl<B: ServingBackend> Router<B> {
     #[must_use]
     pub fn recorder(mut self, recorder: SharedRecorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Installs a persistent worker [`Pool`] for windowed replica
+    /// stepping (see the [module docs](self)). With a serial pool — the
+    /// default — replicas step sequentially; wider pools partition them
+    /// across the parked workers. Results are bit-identical either way.
+    ///
+    /// Parallel stepping additionally requires
+    /// [`Router::replica_recorders`]: replicas sharing one recorder
+    /// would interleave events nondeterministically (the router cannot
+    /// see how the replicas were built), so it steps sequentially until
+    /// per-replica recorders are registered.
+    #[must_use]
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Registers each replica's own [`SharedRecorder`] (index-aligned
+    /// with the construction order). At every stepping barrier the
+    /// router drains these into its own recorder in replica-index
+    /// order, producing one merged event stream that is identical at
+    /// every pool width — the determinism pin for parallel stepping.
+    /// The per-replica recorders must be the ones the replica engines
+    /// were built with, and distinct from the router's recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count does not match the replica count.
+    #[must_use]
+    pub fn replica_recorders(mut self, recorders: Vec<SharedRecorder>) -> Self {
+        assert_eq!(
+            recorders.len(),
+            self.replicas.len(),
+            "one recorder per replica, index-aligned"
+        );
+        self.replica_recorders = Some(recorders);
         self
     }
 
@@ -471,12 +534,33 @@ impl<B: ServingBackend> Router<B> {
             .find(|&i| self.replicas[i].alive)
     }
 
+    /// Drains each per-replica recorder into the router's recorder, in
+    /// replica-index order. Called at every stepping barrier so the
+    /// merged stream interleaves replica and router events identically
+    /// at every pool width. No-op without per-replica recorders.
+    fn merge_replica_events(&mut self) {
+        let Some(recs) = self.replica_recorders.as_ref() else {
+            return;
+        };
+        let Some(sink) = self.recorder.clone() else {
+            return;
+        };
+        for rec in recs {
+            for ev in rec.take_events() {
+                sink.record(ev);
+            }
+        }
+    }
+
     /// Drains every alive replica's commit log into the replicator and
     /// flushes sessions whose pending delta reached the threshold (every
     /// pending delta in sync mode). Called at each scheduling boundary so
     /// replication keeps pace with generation; a pure bookkeeping step —
     /// it never advances a replica clock.
     fn pump_replication(&mut self) {
+        // Every scheduling boundary passes through here, so this is also
+        // where the merged deterministic trace is stitched together.
+        self.merge_replica_events();
         if self.replication.is_none() {
             return;
         }
@@ -730,7 +814,32 @@ impl<B: ServingBackend> Router<B> {
     }
 }
 
-impl<B: ServingBackend> ServingBackend for Router<B> {
+impl<B: ServingBackend + Send> Router<B> {
+    /// Advances every alive replica to `horizon` — one conservative
+    /// time window. Replicas are partitioned across the worker pool
+    /// when one is installed alongside per-replica recorders; otherwise
+    /// they step sequentially. Either way each replica's state after
+    /// the window is a pure function of its own state before it, so the
+    /// two paths are interchangeable (and the trace merge at the
+    /// barrier keeps the event stream identical too).
+    fn step_replicas_to(&mut self, horizon: SimTime) {
+        if self.pool.threads() > 1 && self.replica_recorders.is_some() {
+            let _durs = self.pool.for_each_mut(&mut self.replicas, |_, r| {
+                if r.alive {
+                    r.backend.run_until(horizon);
+                }
+            });
+        } else {
+            for r in &mut self.replicas {
+                if r.alive {
+                    r.backend.run_until(horizon);
+                }
+            }
+        }
+    }
+}
+
+impl<B: ServingBackend + Send> ServingBackend for Router<B> {
     fn submit(&mut self, req: Request) {
         self.apply_due_failures(Some(req.arrival));
         self.dispatch(req);
@@ -847,28 +956,22 @@ impl<B: ServingBackend> ServingBackend for Router<B> {
     }
 
     fn run_until(&mut self, t: SimTime) {
-        // Stop at each scheduled failure first so the injection lands
-        // before later work is simulated.
+        // Windowed stepping: stop at each scheduled failure first so the
+        // injection lands before later work is simulated. Within each
+        // window replicas are independent, so `step_replicas_to` may
+        // fan them out across the worker pool.
         while let Some(&(at, _)) = self.scheduled_failures.first() {
             if at > t {
                 break;
             }
-            for i in 0..self.replicas.len() {
-                if self.replicas[i].alive {
-                    self.replicas[i].backend.run_until(at);
-                }
-            }
+            self.step_replicas_to(at);
             // Stream everything committed up to the crash instant before
             // the injection lands: KV already on the wire survives, and
             // the victim's unflushed tail is exactly the failover lag.
             self.pump_replication();
             self.apply_due_failures(Some(at));
         }
-        for i in 0..self.replicas.len() {
-            if self.replicas[i].alive {
-                self.replicas[i].backend.run_until(t);
-            }
-        }
+        self.step_replicas_to(t);
         self.pump_replication();
     }
 

@@ -19,7 +19,9 @@
 //!    configs keep their KV-tokens cached, stateless configs free them.
 
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
+use crossbeam::pool::Pool;
 use pensieve_kvcache::{
     CacheConfig, CacheStats, CachedAttentionPolicy, EvictionPolicy, LruPolicy,
     RetentionValuePolicy, SessionId, TieredKvCache, TrailingEndPolicy,
@@ -167,6 +169,17 @@ pub struct SimServingEngine {
     /// Passive trace/metrics sink shared with the cache, link and GPU
     /// timer; `None` (the default) records nothing.
     recorder: Option<SharedRecorder>,
+    /// Persistent worker pool owned by the engine (serial by default).
+    /// The timing-model engine does no arithmetic itself, so the handle
+    /// exists for ownership — a router or functional layer borrows it
+    /// for batched kernels and parallel stepping — and for the
+    /// per-iteration pool health metrics sampled below.
+    pool: Pool,
+    /// Pool busy-time at the previous metrics sample, for the
+    /// worker-utilization gauge.
+    pool_busy_prev: Duration,
+    /// Wall-clock instant of the previous metrics sample.
+    pool_wall_prev: Instant,
 }
 
 /// Builder for [`SimServingEngine`] — the only way to construct one.
@@ -183,6 +196,7 @@ pub struct EngineBuilder {
     faults: Option<FaultInjector>,
     recovery: RecoveryPolicy,
     recorder: Option<SharedRecorder>,
+    pool: Option<Pool>,
 }
 
 impl EngineBuilder {
@@ -212,12 +226,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Installs a persistent worker [`Pool`] the engine owns for its
+    /// lifetime (default: [`Pool::serial`]). Handles are cheap clones
+    /// sharing the same parked workers, so a fleet of replicas may be
+    /// built over one pool. Pool width is purely a latency knob:
+    /// simulated clocks and served results are bit-identical at every
+    /// setting.
+    #[must_use]
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Constructs the engine.
     #[must_use]
     pub fn build(self) -> SimServingEngine {
         let mut engine = SimServingEngine::new(self.cfg, self.model, self.hardware);
         engine.faults = self.faults;
         engine.recovery = self.recovery;
+        engine.pool = self.pool.unwrap_or_default();
         if let Some(recorder) = self.recorder {
             engine.attach_recorder(recorder);
         }
@@ -237,6 +264,7 @@ impl SimServingEngine {
             faults: None,
             recovery: RecoveryPolicy::default(),
             recorder: None,
+            pool: None,
         }
     }
 
@@ -282,6 +310,9 @@ impl SimServingEngine {
             recovery: RecoveryPolicy::default(),
             empty_ticks: 0,
             recorder: None,
+            pool: Pool::serial(),
+            pool_busy_prev: Duration::ZERO,
+            pool_wall_prev: Instant::now(),
         };
         // Materialize the shared system-prompt KV state once, pinned so
         // it is never evicted (its memory cost is honest: it occupies GPU
@@ -311,6 +342,12 @@ impl SimServingEngine {
         self.link.set_recorder(recorder.clone());
         self.gpu.set_recorder(recorder.clone());
         self.recorder = recorder;
+    }
+
+    /// The engine's worker-pool handle (clone it to share the workers).
+    #[must_use]
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// Counters of injected faults, if an injector is attached.
@@ -620,7 +657,7 @@ impl SimServingEngine {
     /// Mirrors the engine's counters and gauges into the recorder's
     /// metrics registry and takes one time-series sample, timestamped at
     /// the end of the just-finished iteration. No-op without a recorder.
-    fn sample_metrics(&self) {
+    fn sample_metrics(&mut self) {
         let Some(rec) = self.recorder.clone() else {
             return;
         };
@@ -629,6 +666,21 @@ impl SimServingEngine {
         let cpu_tokens = self.cache.cpu_used();
         let running = self.running.len();
         let waiting = self.wait_queue.len();
+        // Pool health: tasks, backlog, and what fraction of the parked
+        // workers this iteration kept busy (wall-clock, not simulated
+        // time — the pool does real work; a serial pool reads 0).
+        let stats = self.pool.stats();
+        let workers = stats.threads.saturating_sub(1);
+        let wall_now = Instant::now();
+        let wall = wall_now.duration_since(self.pool_wall_prev);
+        let busy = stats.busy.saturating_sub(self.pool_busy_prev);
+        let utilization = if workers == 0 || wall.is_zero() {
+            0.0
+        } else {
+            (busy.as_secs_f64() / (wall.as_secs_f64() * workers as f64)).min(1.0)
+        };
+        self.pool_busy_prev = stats.busy;
+        self.pool_wall_prev = wall_now;
         let _ = rec.with_metrics(|m| {
             m.counter_set(metrics::names::ITERATIONS_TOTAL, c.iterations);
             m.counter_set(metrics::names::PREFILL_TOKENS_TOTAL, c.prefill_tokens);
@@ -650,6 +702,9 @@ impl SimServingEngine {
             m.gauge_set(metrics::names::WAITING_REQUESTS, waiting as f64);
             m.gauge_set(metrics::names::GPU_SLOTS_USED, gpu_slots as f64);
             m.gauge_set(metrics::names::CPU_TOKENS_USED, cpu_tokens as f64);
+            m.counter_set(metrics::names::POOL_TASKS_TOTAL, stats.tasks_total);
+            m.gauge_set(metrics::names::POOL_QUEUE_DEPTH, stats.queue_depth as f64);
+            m.gauge_set(metrics::names::POOL_WORKER_UTILIZATION, utilization);
             m.sample(self.now);
         });
     }
@@ -1430,6 +1485,14 @@ mod tests {
 
     fn small_hw() -> HardwareSpec {
         HardwareSpec::azure_nc_a100(1)
+    }
+
+    /// Parallel replica stepping hands whole engines to pool workers;
+    /// this pins the `Send` bound the router's `for_each_mut` relies on.
+    #[test]
+    fn engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SimServingEngine>();
     }
 
     fn req(id: u64, conv: u64, at: f64, prompt: usize, out: usize, hist: usize) -> Request {

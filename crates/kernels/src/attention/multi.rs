@@ -127,13 +127,91 @@ pub fn paged_multi_token_par(
     seqs: &[AttnSeq<'_>],
     threads: usize,
 ) -> Matrix {
-    check_batch(cfg, q, seqs);
-    if threads <= 1 || seqs.is_empty() {
+    if threads <= 1 {
+        check_batch(cfg, q, seqs);
         return paged_multi_token(cfg, q, layer, seqs);
     }
-    let locals = crossbeam::pool::map_partitions(threads, seqs.len(), |si| {
-        attend_seq(cfg, q, layer, &seqs[si])
-    });
+    paged_multi_token_pool(cfg, q, layer, seqs, &crossbeam::pool::Pool::global(threads))
+}
+
+/// Minimum per-partition work (in score-accumulate units, see
+/// [`attn_work_units`]) below which [`paged_multi_token_pool`] stays
+/// serial. Calibrated on the committed bench shapes: a 32-way generation
+/// batch at 1 k context (one query token per sequence, ~17 M units total)
+/// splits into partitions far below this bound and used to *regress* at
+/// 4 threads once dispatch overhead was charged, while a 256-token
+/// prefill chunk at the same context (~134 M units) clears it at every
+/// bench thread count. `tests::generation_shape_stays_serial` pins both
+/// decisions.
+pub const ATTN_MIN_PART_UNITS: u64 = 16 * 1024 * 1024;
+
+/// Estimated work of an attention batch: one unit per (query row,
+/// context position, output column) triple, summed over sequences. A
+/// deliberately coarse FLOP proxy — relative cost across batch shapes is
+/// all the serial-fallback decision needs.
+#[must_use]
+pub fn attn_work_units(cfg: &AttnConfig, seqs: &[AttnSeq<'_>]) -> u64 {
+    seqs.iter()
+        .map(|s| s.q_len as u64 * s.context_len as u64 * cfg.q_width() as u64)
+        .sum()
+}
+
+/// [`paged_multi_token_par`] against an explicit persistent [`Pool`]
+/// handle — the form the model layers use so every kernel call in an
+/// engine shares one set of parked workers.
+///
+/// Serial fallback: when the per-partition share of the batch's
+/// estimated work ([`attn_work_units`]` / threads`) falls below
+/// [`ATTN_MIN_PART_UNITS`], the batch runs on the calling thread. Small
+/// generation batches (one query token per sequence) land under the
+/// threshold, so they never pay partition dispatch; prefill chunks clear
+/// it and fan out. Both paths are bit-identical, so the decision affects
+/// time only.
+///
+/// [`Pool`]: crossbeam::pool::Pool
+///
+/// # Panics
+///
+/// Same conditions as [`paged_multi_token`].
+#[must_use]
+pub fn paged_multi_token_pool(
+    cfg: &AttnConfig,
+    q: &Matrix,
+    layer: &KvLayerView<'_>,
+    seqs: &[AttnSeq<'_>],
+    pool: &crossbeam::pool::Pool,
+) -> Matrix {
+    let threads = pool.threads();
+    if threads <= 1
+        || seqs.is_empty()
+        || attn_work_units(cfg, seqs) / (threads as u64) < ATTN_MIN_PART_UNITS
+    {
+        return paged_multi_token(cfg, q, layer, seqs);
+    }
+    paged_multi_token_pool_ungated(cfg, q, layer, seqs, pool)
+}
+
+/// [`paged_multi_token_pool`] without the work-size gate: always fans
+/// one partition per sequence out over the pool (inline when the pool
+/// is serial). The cross-width bit-identity property tests drive this
+/// directly so batches far below [`ATTN_MIN_PART_UNITS`] still exercise
+/// the partitioned merge; production callers want the gated entry.
+///
+/// [`Pool`]: crossbeam::pool::Pool
+///
+/// # Panics
+///
+/// Same conditions as [`paged_multi_token`].
+#[must_use]
+pub fn paged_multi_token_pool_ungated(
+    cfg: &AttnConfig,
+    q: &Matrix,
+    layer: &KvLayerView<'_>,
+    seqs: &[AttnSeq<'_>],
+    pool: &crossbeam::pool::Pool,
+) -> Matrix {
+    check_batch(cfg, q, seqs);
+    let locals = pool.map_partitions(seqs.len(), |si| attend_seq(cfg, q, layer, &seqs[si]));
     let mut out = Matrix::zeros(q.rows(), cfg.q_width());
     for (si, local) in locals.iter().enumerate() {
         merge_seq(&seqs[si], local, &mut out);
@@ -321,6 +399,84 @@ mod tests {
                 .map(|_| rng.random_range(-1.0..1.0))
                 .collect(),
         )
+    }
+
+    /// Pins the serial-fallback decision on the committed bench shapes
+    /// (`bench_kernels`: 32 sequences, 1 k context, 8 heads x 64 dim):
+    /// the one-query-per-sequence generation batch must stay serial at
+    /// every bench thread count — parallel dispatch used to *regress*
+    /// it — while the 8-query prefill batch must fan out.
+    #[test]
+    fn generation_shape_stays_serial() {
+        let cfg = AttnConfig::new(8, 8, 64); // q_width 512, as benched
+        let table = BlockTable::new(16);
+        let gen: Vec<AttnSeq<'_>> = (0..32)
+            .map(|i| AttnSeq {
+                q_start: i,
+                q_len: 1,
+                context_len: 1024,
+                table: &table,
+            })
+            .collect();
+        let gen_units = attn_work_units(&cfg, &gen);
+        let prefill: Vec<AttnSeq<'_>> = (0..32)
+            .map(|i| AttnSeq {
+                q_start: i * 8,
+                q_len: 8,
+                context_len: 1024,
+                table: &table,
+            })
+            .collect();
+        let prefill_units = attn_work_units(&cfg, &prefill);
+        for threads in [2u64, 4, 8] {
+            assert!(
+                gen_units / threads < ATTN_MIN_PART_UNITS,
+                "generation batch must fall back to serial at {threads} threads"
+            );
+            assert!(
+                prefill_units / threads >= ATTN_MIN_PART_UNITS,
+                "prefill batch must fan out at {threads} threads"
+            );
+        }
+    }
+
+    /// A batch under the work threshold must never touch the pool (zero
+    /// dispatch overhead — the pool's task counter stays put) and must
+    /// still produce the serial kernel's exact bits.
+    #[test]
+    fn small_batches_never_touch_the_pool() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let cfg = AttnConfig::new(2, 2, 4);
+        let layout = KvLayout {
+            num_kv_heads: 2,
+            head_dim: 4,
+            block_size: 4,
+        };
+        let mut kv = PagedKvCache::new(layout, 1, 32);
+        let tables: Vec<BlockTable> = (0..4)
+            .map(|_| build_context(&mut rng, &mut kv, 12))
+            .collect();
+        let q = random_matrix(&mut rng, 4, cfg.q_width());
+        let seqs: Vec<AttnSeq<'_>> = tables
+            .iter()
+            .enumerate()
+            .map(|(i, table)| AttnSeq {
+                q_start: i,
+                q_len: 1,
+                context_len: 12,
+                table,
+            })
+            .collect();
+        let pool = crossbeam::pool::Pool::new(4);
+        let before = pool.stats().tasks_total;
+        let got = paged_multi_token_pool(&cfg, &q, &kv.layer(0), &seqs, &pool);
+        assert_eq!(
+            pool.stats().tasks_total,
+            before,
+            "a sub-threshold batch must bypass pool dispatch entirely"
+        );
+        let serial = paged_multi_token(&cfg, &q, &kv.layer(0), &seqs);
+        assert_eq!(got, serial, "fallback is bit-identical");
     }
 
     #[test]

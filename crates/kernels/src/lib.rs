@@ -26,3 +26,8 @@ pub mod tp;
 pub use attention::{AttnConfig, AttnSeq};
 pub use paged::{BlockId, BlockTable, KvLayout, OutOfBlocks, PagedKvCache};
 pub use tensor::Matrix;
+
+// Re-exported because the `*_pool` kernel entry points take it by
+// reference — facade users must be able to name the pool type without a
+// direct dependency on the `crossbeam` shim.
+pub use crossbeam::pool::Pool;

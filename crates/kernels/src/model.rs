@@ -12,15 +12,16 @@
 //! Grouped-Query Attention). Weights are random but deterministic per
 //! seed; biases are omitted (they exercise no additional kernel paths).
 
+use crossbeam::pool::Pool;
 use pensieve_model::{Activation, ModelConfig, Norm, PositionEmbedding};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::attention::multi::paged_multi_token_par;
+use crate::attention::multi::paged_multi_token_pool;
 use crate::attention::naive::naive_attention;
 use crate::attention::{AttnConfig, AttnSeq};
 use crate::ops::{
-    add_rows, apply_rope, layernorm, matmul, matmul_par, matmul_ref, relu, rmsnorm, silu,
+    add_rows, apply_rope, layernorm, matmul, matmul_pool, matmul_ref, relu, rmsnorm, silu,
 };
 use crate::paged::{BlockTable, KvLayout, OutOfBlocks, PagedKvCache};
 use crate::tensor::Matrix;
@@ -52,9 +53,10 @@ pub struct TinyModel {
     pub(crate) final_norm: Vec<f32>,
     pub(crate) final_norm_bias: Vec<f32>,
     pub(crate) lm_head: Matrix,
-    /// Worker threads for the batched kernels (1 = fully serial). Results
-    /// are bit-identical at every setting; see [`TinyModel::set_threads`].
-    threads: usize,
+    /// Persistent worker pool for the batched kernels (serial pool =
+    /// fully serial). Results are bit-identical at every width; see
+    /// [`TinyModel::set_threads`].
+    pool: Pool,
 }
 
 /// One contiguous run of query tokens at absolute positions
@@ -163,25 +165,43 @@ impl TinyModel {
             lm_head: mat(h, cfg.vocab_size),
             layers,
             cfg: cfg.clone(),
-            threads: 1,
+            pool: Pool::serial(),
         }
     }
 
     /// Sets the number of worker threads used by the batched compute
-    /// kernels ([`matmul_par`] row partitions, [`paged_multi_token_par`]
-    /// (sequence, KV-head) partitions).
+    /// kernels ([`matmul_pool`] row partitions, [`paged_multi_token_pool`]
+    /// sequence partitions) by installing the process-wide persistent
+    /// pool of that width ([`Pool::global`]) — workers are parked between
+    /// calls, never respawned.
     ///
     /// Forward-pass results are **bit-identical** at every thread count:
     /// partitions are disjoint output regions merged sequentially in a
     /// fixed order. `0` is clamped to `1`.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        self.pool = if threads <= 1 {
+            Pool::serial()
+        } else {
+            Pool::global(threads)
+        };
+    }
+
+    /// Installs an explicit worker-pool handle (e.g. one owned by the
+    /// engine builder) instead of the process-wide pool.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
     }
 
     /// Current worker-thread setting (see [`TinyModel::set_threads`]).
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads()
+    }
+
+    /// The worker pool backing the batched kernels.
+    #[must_use]
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// The model configuration.
@@ -289,9 +309,9 @@ impl TinyModel {
             for r in 0..total_q {
                 self.normalize(xn.row_mut(r), &lw.norm1, &lw.norm1_bias);
             }
-            let mut q = matmul_par(&xn, &lw.wq, self.threads);
-            let mut k = matmul_par(&xn, &lw.wk, self.threads);
-            let v = matmul_par(&xn, &lw.wv, self.threads);
+            let mut q = matmul_pool(&xn, &lw.wq, &self.pool);
+            let mut k = matmul_pool(&xn, &lw.wk, &self.pool);
+            let v = matmul_pool(&xn, &lw.wv, &self.pool);
             if self.cfg.position_embedding == PositionEmbedding::Rotary {
                 for (r, &pos) in positions.iter().enumerate() {
                     apply_rope(q.row_mut(r), self.cfg.num_heads, self.cfg.head_dim, pos);
@@ -317,8 +337,8 @@ impl TinyModel {
                     r0 += seg.tokens.len();
                 }
             }
-            let attn_out = paged_multi_token_par(&self.attn, &q, &layer_view, &seqs, self.threads);
-            let proj = matmul_par(&attn_out, &lw.wo, self.threads);
+            let attn_out = paged_multi_token_pool(&self.attn, &q, &layer_view, &seqs, &self.pool);
+            let proj = matmul_pool(&attn_out, &lw.wo, &self.pool);
             add_rows(&mut x, &proj);
 
             // MLP with pre-norm.
@@ -347,19 +367,19 @@ impl TinyModel {
     fn mlp(&self, xn: &Matrix, lw: &LayerWeights) -> Matrix {
         match self.cfg.activation {
             Activation::Relu => {
-                let mut up = matmul_par(xn, &lw.mlp[0], self.threads);
+                let mut up = matmul_pool(xn, &lw.mlp[0], &self.pool);
                 for v in up.as_mut_slice() {
                     *v = relu(*v);
                 }
-                matmul_par(&up, &lw.mlp[1], self.threads)
+                matmul_pool(&up, &lw.mlp[1], &self.pool)
             }
             Activation::Silu => {
-                let mut gate = matmul_par(xn, &lw.mlp[0], self.threads);
-                let up = matmul_par(xn, &lw.mlp[1], self.threads);
+                let mut gate = matmul_pool(xn, &lw.mlp[0], &self.pool);
+                let up = matmul_pool(xn, &lw.mlp[1], &self.pool);
                 for (g, u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
                     *g = silu(*g) * u;
                 }
-                matmul_par(&gate, &lw.mlp[2], self.threads)
+                matmul_pool(&gate, &lw.mlp[2], &self.pool)
             }
         }
     }

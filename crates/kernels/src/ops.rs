@@ -174,15 +174,61 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// Panics if the inner dimensions disagree.
 #[must_use]
 pub fn matmul_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
-    let m = a.rows();
-    // Splitting tiny products across threads costs more than it saves.
-    if threads <= 1 || m < 2 * threads || a.rows() * a.cols() * b.cols() < GEMM_MIN_VOLUME {
+    if threads <= 1 {
+        assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
         return matmul(a, b);
     }
-    let parts = threads.min(m);
+    matmul_pool(a, b, &crossbeam::pool::Pool::global(threads))
+}
+
+/// [`matmul_par`] against an explicit persistent [`Pool`] handle — the
+/// form the model layers use so every kernel call in an engine shares one
+/// set of parked workers.
+///
+/// Serial fallback: the product stays on the calling thread when any
+/// per-partition share of the multiply-accumulate volume
+/// (`m * k * n / parts`) would fall below [`GEMM_MIN_VOLUME`], or when
+/// there are too few rows to split — partition dispatch costs more than
+/// it saves on small generation-step products.
+///
+/// [`Pool`]: crossbeam::pool::Pool
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn matmul_pool(a: &Matrix, b: &Matrix, pool: &crossbeam::pool::Pool) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let threads = pool.threads();
+    let m = a.rows();
+    let volume = a.rows() * a.cols() * b.cols();
+    // Splitting tiny products across threads costs more than it saves:
+    // require a full GEMM_MIN_VOLUME of work *per partition*.
+    if threads <= 1 || m < 2 * threads || volume / threads < GEMM_MIN_VOLUME {
+        return matmul(a, b);
+    }
+    matmul_pool_ungated(a, b, pool)
+}
+
+/// [`matmul_pool`] without the work-size gate: always fans the row
+/// dimension out over the pool (inline when the pool is serial). The
+/// cross-width bit-identity property tests drive this directly so shapes
+/// below [`GEMM_MIN_VOLUME`] still exercise the partitioned merge;
+/// production callers want the gated entry.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn matmul_pool_ungated(a: &Matrix, b: &Matrix, pool: &crossbeam::pool::Pool) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let m = a.rows();
+    if m == 0 {
+        return Matrix::zeros(0, b.cols());
+    }
+    let parts = pool.threads().min(m);
     let per = m.div_ceil(parts);
-    let chunks = crossbeam::pool::map_partitions(parts, parts, |t| {
+    let chunks = pool.map_partitions(parts, |t| {
         let lo = t * per;
         let hi = m.min(lo + per);
         if lo < hi {
@@ -448,6 +494,36 @@ mod tests {
         for threads in [1usize, 2, 3, 4, 8] {
             assert_eq!(matmul_par(&a, &b, threads), want, "threads={threads}");
         }
+    }
+
+    /// Pins the GEMM serial-fallback decision: a decode-step product too
+    /// small to amortize dispatch must bypass the pool entirely (its task
+    /// counter stays put), while the bench's prefill projection shape
+    /// (256 x 512 x 512) must fan out — both bit-identical to serial.
+    #[test]
+    fn small_products_never_touch_the_pool() {
+        let pool = crossbeam::pool::Pool::new(4);
+        // 8 rows x 32 x 32: volume 8192 < GEMM_MIN_VOLUME per partition.
+        let a = lcg_matrix(5, 8, 32);
+        let b = lcg_matrix(6, 32, 32);
+        let before = pool.stats().tasks_total;
+        let got = matmul_pool(&a, &b, &pool);
+        assert_eq!(
+            pool.stats().tasks_total,
+            before,
+            "sub-threshold product must not pay pool dispatch"
+        );
+        assert_eq!(got, matmul(&a, &b));
+        // Bench prefill projection shape: clears the threshold, fans out.
+        let a = lcg_matrix(7, 256, 512);
+        let b = lcg_matrix(8, 512, 512);
+        let before = pool.stats().tasks_total;
+        let got = matmul_pool(&a, &b, &pool);
+        assert!(
+            pool.stats().tasks_total > before,
+            "prefill-shaped product must use the pool"
+        );
+        assert_eq!(got, matmul(&a, &b), "parallel path is bit-identical");
     }
 
     #[test]

@@ -23,12 +23,13 @@
 
 use std::collections::HashMap;
 
+use crossbeam::pool::Pool;
 use pensieve_model::{Activation, ModelConfig, Norm, PositionEmbedding};
 
-use crate::attention::multi::paged_multi_token_par;
+use crate::attention::multi::paged_multi_token_pool;
 use crate::attention::{AttnConfig, AttnSeq};
 use crate::model::{SegmentInput, TinyModel};
-use crate::ops::{apply_rope, layernorm, matmul, matmul_par, relu, rmsnorm, silu};
+use crate::ops::{apply_rope, layernorm, matmul, matmul_pool, relu, rmsnorm, silu};
 use crate::paged::{BlockTable, KvLayout, OutOfBlocks, PagedKvCache};
 use crate::tensor::Matrix;
 
@@ -151,8 +152,9 @@ pub struct ShardRunner {
     positions: Vec<usize>,
     pass_conv: u64,
     pass_segments: Vec<(usize, usize)>,
-    /// Worker threads for this shard's intra-operator math (1 = serial).
-    threads: usize,
+    /// Persistent worker pool for this shard's intra-operator math
+    /// (serial pool = serial).
+    pool: Pool,
 }
 
 impl ShardRunner {
@@ -170,7 +172,11 @@ impl ShardRunner {
     /// intra-shard threads split each shard's math. Results are
     /// bit-identical at every setting; `0` is clamped to `1`.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        self.pool = if threads <= 1 {
+            Pool::serial()
+        } else {
+            Pool::global(threads)
+        };
     }
 
     /// Allocates KV slots for a pass over `conv` with the given query
@@ -221,9 +227,9 @@ impl ShardRunner {
     #[must_use]
     pub fn attn_partial(&mut self, l: usize, xn: &Matrix) -> Matrix {
         let lw = &self.layers[l];
-        let mut q = matmul_par(xn, &lw.wq, self.threads);
-        let mut k = matmul_par(xn, &lw.wk, self.threads);
-        let v = matmul_par(xn, &lw.wv, self.threads);
+        let mut q = matmul_pool(xn, &lw.wq, &self.pool);
+        let mut k = matmul_pool(xn, &lw.wk, &self.pool);
+        let v = matmul_pool(xn, &lw.wv, &self.pool);
         if self.cfg.position_embedding == PositionEmbedding::Rotary {
             for r in 0..q.rows() {
                 apply_rope(
@@ -256,8 +262,8 @@ impl ShardRunner {
             q_start += len;
         }
         let attn_out =
-            paged_multi_token_par(&self.attn, &q, &self.cache.layer(l), &seqs, self.threads);
-        matmul_par(&attn_out, &lw.wo, self.threads)
+            paged_multi_token_pool(&self.attn, &q, &self.cache.layer(l), &seqs, &self.pool);
+        matmul_pool(&attn_out, &lw.wo, &self.pool)
     }
 
     /// Computes this shard's MLP partial for layer `l` (column-parallel up
@@ -267,19 +273,19 @@ impl ShardRunner {
         let lw = &self.layers[l];
         match self.cfg.activation {
             Activation::Relu => {
-                let mut up = matmul_par(xn, &lw.mlp[0], self.threads);
+                let mut up = matmul_pool(xn, &lw.mlp[0], &self.pool);
                 for v in up.as_mut_slice() {
                     *v = relu(*v);
                 }
-                matmul_par(&up, &lw.mlp[1], self.threads)
+                matmul_pool(&up, &lw.mlp[1], &self.pool)
             }
             Activation::Silu => {
-                let mut gate = matmul_par(xn, &lw.mlp[0], self.threads);
-                let up = matmul_par(xn, &lw.mlp[1], self.threads);
+                let mut gate = matmul_pool(xn, &lw.mlp[0], &self.pool);
+                let up = matmul_pool(xn, &lw.mlp[1], &self.pool);
                 for (g, u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
                     *g = silu(*g) * u;
                 }
-                matmul_par(&gate, &lw.mlp[2], self.threads)
+                matmul_pool(&gate, &lw.mlp[2], &self.pool)
             }
         }
     }
@@ -372,7 +378,7 @@ impl TpModel {
                     positions: Vec::new(),
                     pass_conv: 0,
                     pass_segments: Vec::new(),
-                    threads: 1,
+                    pool: Pool::serial(),
                 }
             })
             .collect();

@@ -1,0 +1,135 @@
+//! Property tests: the pooled kernels are **bit-identical** to their
+//! serial forms at every pool width.
+//!
+//! The eviction/merge correctness arguments (DESIGN.md §8) hinge on this:
+//! partition results are merged sequentially in a fixed order, so the
+//! pool's width is a latency knob and nothing else. The ungated entries
+//! (`matmul_pool_ungated`, `paged_multi_token_pool_ungated`) are driven
+//! directly so shapes far below the dispatch thresholds still exercise
+//! the partitioned merge — the gated entries would just fall back to
+//! serial on test-sized work, proving nothing.
+//!
+//! Shapes and element values are derived from proptest-drawn seeds via
+//! the same seeded-RNG pattern the kernel unit tests use, keeping the
+//! failure cases replayable from a single `u64`.
+
+use pensieve_kernels::attention::multi::{
+    paged_multi_token, paged_multi_token_pool, paged_multi_token_pool_ungated,
+};
+use pensieve_kernels::ops::{matmul, matmul_pool, matmul_pool_ungated};
+use pensieve_kernels::{AttnConfig, AttnSeq, BlockTable, KvLayout, Matrix, PagedKvCache};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every pool width the CI thread matrix sweeps.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect(),
+    )
+}
+
+fn build_context(rng: &mut StdRng, kv: &mut PagedKvCache, tokens: usize) -> BlockTable {
+    let mut table = BlockTable::new(kv.layout().block_size);
+    let tf = kv.layout().token_floats();
+    for _ in 0..tokens {
+        let (b, s) = table.append_token(kv).expect("enough blocks");
+        let k: Vec<f32> = (0..tf).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let v: Vec<f32> = (0..tf).map(|_| rng.random_range(-1.0..1.0)).collect();
+        kv.write_token(0, b, s, &k, &v);
+    }
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GEMM: partitioned rows merged in order equal the serial product
+    /// exactly, at every width, gated or not.
+    #[test]
+    fn gemm_pool_is_bit_identical_across_widths(
+        seed in 0u64..u64::MAX,
+        m in 1usize..48,
+        k in 1usize..32,
+        n in 1usize..32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let serial = matmul(&a, &b);
+        for width in WIDTHS {
+            let pool = crossbeam::pool::Pool::new(width);
+            prop_assert_eq!(
+                &matmul_pool_ungated(&a, &b, &pool), &serial,
+                "ungated GEMM differs at width {}", width
+            );
+            prop_assert_eq!(
+                &matmul_pool(&a, &b, &pool), &serial,
+                "gated GEMM differs at width {}", width
+            );
+        }
+    }
+
+    /// Attention: per-sequence partitions merged in sequence order equal
+    /// the serial slab walk exactly, at every width, on ragged
+    /// prefill/decode mixes.
+    #[test]
+    fn attention_pool_is_bit_identical_across_widths(
+        seed in 0u64..u64::MAX,
+        heads_pow in 0usize..3,     // 1, 2, 4 query heads per KV head
+        kv_heads in 1usize..3,
+        d in prop::sample::select(vec![2usize, 4, 8]),
+        block_size in prop::sample::select(vec![2usize, 4, 8]),
+        seq_shapes in prop::collection::vec((1usize..5, 0usize..24), 1..6),
+    ) {
+        let num_heads = kv_heads << heads_pow;
+        let cfg = AttnConfig::new(num_heads, kv_heads, d);
+        let layout = KvLayout { num_kv_heads: kv_heads, head_dim: d, block_size };
+        let mut rng = StdRng::seed_from_u64(seed);
+        // context_len >= q_len; blocks sized for the worst case.
+        let shapes: Vec<(usize, usize)> = seq_shapes
+            .iter()
+            .map(|&(q_len, extra)| (q_len, q_len + extra))
+            .collect();
+        let total_blocks: usize = shapes
+            .iter()
+            .map(|&(_, ctx)| ctx.div_ceil(block_size) + 1)
+            .sum();
+        let mut kv = PagedKvCache::new(layout, 1, total_blocks + 2);
+        let tables: Vec<BlockTable> = shapes
+            .iter()
+            .map(|&(_, ctx)| build_context(&mut rng, &mut kv, ctx))
+            .collect();
+        let total_q: usize = shapes.iter().map(|&(q_len, _)| q_len).sum();
+        let q = random_matrix(&mut rng, total_q, cfg.q_width());
+        let mut q_start = 0;
+        let seqs: Vec<AttnSeq<'_>> = shapes
+            .iter()
+            .zip(&tables)
+            .map(|(&(q_len, ctx), table)| {
+                let s = AttnSeq { q_start, q_len, context_len: ctx, table };
+                q_start += q_len;
+                s
+            })
+            .collect();
+        let layer = kv.layer(0);
+        let serial = paged_multi_token(&cfg, &q, &layer, &seqs);
+        for width in WIDTHS {
+            let pool = crossbeam::pool::Pool::new(width);
+            prop_assert_eq!(
+                &paged_multi_token_pool_ungated(&cfg, &q, &layer, &seqs, &pool), &serial,
+                "ungated attention differs at width {}", width
+            );
+            prop_assert_eq!(
+                &paged_multi_token_pool(&cfg, &q, &layer, &seqs, &pool), &serial,
+                "gated attention differs at width {}", width
+            );
+        }
+    }
+}

@@ -9,8 +9,7 @@
 //! timing decisions, so enabling a trace cannot perturb simulated
 //! results.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::event::TraceEvent;
 use crate::metrics::MetricsRegistry;
@@ -46,15 +45,16 @@ struct Observations {
 
 /// A cloneable recorder sharing one event buffer and metrics registry.
 ///
-/// The simulated engine is single-threaded, so the shared state is a
-/// plain `Rc<RefCell<..>>`: cloning hands the same buffer to the engine,
-/// cache, link and GPU timer without locks. Re-entrant borrows are
-/// impossible by construction (no recording call invokes another), but
-/// `record` still uses `try_borrow_mut` so a future mistake drops an
-/// event instead of panicking on a hot path.
+/// The shared state is an `Arc<Mutex<..>>` so a recorder can cross into
+/// pool workers (parallel replica stepping hands each replica its own
+/// recorder, and the engines those replicas wrap must be `Send`).
+/// Recording calls never nest, so the lock is uncontended and held only
+/// for a push; a poisoned lock (a panicking instrumented component) is
+/// recovered rather than propagated — observability must not turn a
+/// contained fault into a second panic.
 #[derive(Debug, Clone, Default)]
 pub struct SharedRecorder {
-    inner: Rc<RefCell<Observations>>,
+    inner: Arc<Mutex<Observations>>,
 }
 
 impl SharedRecorder {
@@ -64,44 +64,41 @@ impl SharedRecorder {
         Self::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, Observations> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Number of events recorded so far.
     #[must_use]
     pub fn event_count(&self) -> usize {
-        self.inner.try_borrow().map_or(0, |o| o.events.len())
+        self.lock().events.len()
     }
 
     /// A copy of the recorded events, in recording order.
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner
-            .try_borrow()
-            .map_or_else(|_| Vec::new(), |o| o.events.clone())
+        self.lock().events.clone()
     }
 
     /// Drains the recorded events, leaving the buffer empty.
     #[must_use]
     pub fn take_events(&self) -> Vec<TraceEvent> {
-        self.inner
-            .try_borrow_mut()
-            .map_or_else(|_| Vec::new(), |mut o| std::mem::take(&mut o.events))
+        std::mem::take(&mut self.lock().events)
     }
 
-    /// Runs `f` with mutable access to the metrics registry. Returns
-    /// `None` only on a re-entrant borrow (which instrumented code never
-    /// produces).
+    /// Runs `f` with mutable access to the metrics registry. Kept as an
+    /// `Option` for call-site compatibility; it is always `Some` now that
+    /// the shared state is lock- rather than borrow-guarded.
     pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> Option<R> {
-        self.inner
-            .try_borrow_mut()
-            .ok()
-            .map(|mut o| f(&mut o.metrics))
+        Some(f(&mut self.lock().metrics))
     }
 
     /// A snapshot of the metrics registry.
     #[must_use]
     pub fn metrics(&self) -> MetricsRegistry {
-        self.inner
-            .try_borrow()
-            .map_or_else(|_| MetricsRegistry::new(), |o| o.metrics.clone())
+        self.lock().metrics.clone()
     }
 }
 
@@ -111,9 +108,7 @@ impl Recorder for SharedRecorder {
     }
 
     fn record(&self, ev: TraceEvent) {
-        if let Ok(mut o) = self.inner.try_borrow_mut() {
-            o.events.push(ev);
-        }
+        self.lock().events.push(ev);
     }
 }
 
