@@ -1,0 +1,27 @@
+// analyzer-fixture: crates/sim/src/ambient_rng.rs
+//! Known-bad: ambient (unseeded) randomness in the deterministic
+//! simulation. Every stochastic decision must draw from a seeded
+//! `SplitMix64` stream so fault schedules replay bit-identically.
+//! Never compiled — input for the analyzer's own test suite.
+
+pub fn jittered_arrival(base: u64) -> u64 {
+    let mut rng = thread_rng(); //~ r2-ambient-rng
+    base + rng.gen_range(0..10)
+}
+
+pub fn unseeded_fault_pick(n: usize) -> usize {
+    let roll: usize = rand::random(); //~ r2-ambient-rng
+    roll % n.max(1)
+}
+
+pub fn entropy_seeded_stream() -> SmallRng {
+    SmallRng::from_entropy() //~ r2-ambient-rng
+}
+
+pub fn os_entropy(buf: &mut [u8]) {
+    OsRng.fill_bytes(buf); //~ r2-ambient-rng
+}
+
+pub fn seeded_stream_is_fine(seed: u64) -> SplitMix64 {
+    SplitMix64::new(seed)
+}

@@ -18,3 +18,8 @@ pub fn empty_reason(x: Option<u32>) -> u32 {
     //~^ r4-suppression
     x.unwrap() //~ r1-panic
 }
+
+pub fn stale_waiver(x: u32) -> u32 {
+    // lint:allow(r1-panic): the unwrap this once covered was refactored away //~ r4-suppression
+    x + 1
+}

@@ -1,0 +1,40 @@
+// analyzer-fixture: crates/kernels/src/lock_across_pool.rs
+//! Known-bad: lock guards still live when work is fanned out to the
+//! persistent pool. A partition taking the same lock deadlocks the
+//! pool; merely holding it serializes the whole batch.
+//! Never compiled — input for the analyzer's own test suite.
+
+use std::sync::{Mutex, RwLock};
+
+pub fn guard_across_map_partitions(pool: &Pool, stats: &Mutex<Vec<u64>>, parts: usize) {
+    let held = stats.lock();
+    let _ = pool.map_partitions(parts, |i| i); //~ r5-lock-across-pool
+    let _ = held;
+}
+
+pub fn read_guard_across_step(router: &mut Router<Sim>, cfg: &RwLock<u64>) {
+    let snapshot = cfg.read();
+    router.step_replicas_to(horizon()); //~ r5-lock-across-pool
+    let _ = snapshot;
+}
+
+pub fn free_helper_guard_across_matmul(pool: &Pool, counters: &Mutex<u64>) {
+    let mut tally = lock(counters);
+    *tally += 1;
+    matmul_pool(pool, 64, 64, 64); //~ r5-lock-across-pool
+}
+
+pub fn dropped_guard_is_fine(pool: &Pool, stats: &Mutex<Vec<u64>>, parts: usize) {
+    let held = stats.lock();
+    let n = held.len();
+    drop(held);
+    let _ = pool.map_partitions(parts.min(n), |i| i); // ok: guard dropped first
+}
+
+pub fn scoped_guard_is_fine(pool: &Pool, stats: &Mutex<Vec<u64>>, parts: usize) {
+    {
+        let held = stats.lock();
+        let _ = held.len();
+    }
+    let _ = pool.map_partitions(parts, |i| i); // ok: guard died with its block
+}

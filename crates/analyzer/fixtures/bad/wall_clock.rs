@@ -1,0 +1,21 @@
+// analyzer-fixture: crates/core/src/wall_clock.rs
+//! Known-bad: wall-clock reads inside the deterministic core. Simulated
+//! behavior must be timed by `SimTime`; a real clock leaking into
+//! scheduling or eviction decisions breaks bit-identical replay.
+//! Never compiled — input for the analyzer's own test suite.
+
+use std::time::{Instant, SystemTime};
+
+pub fn schedule_with_real_clock(queue: &mut Vec<Job>) {
+    let t0 = Instant::now(); //~ r2-wall-clock
+    queue.retain(|j| j.deadline_nanos > t0.elapsed().as_nanos());
+}
+
+pub fn stamp_with_epoch(job: &mut Job) {
+    job.stamp = SystemTime::now(); //~ r2-wall-clock
+}
+
+pub fn simulated_time_is_fine(now: SimTime, step: SimDuration) -> SimTime {
+    // A comment naming Instant::now is not a read of it.
+    now + step
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p pensieve-analyzer -- [--deny] [--json <path|->] [--root <dir>]
+//!     [--report json[=<path>]] [--max-suppressions <n>]
 //! ```
 //!
 //! Walks every `.rs` file under `--root` (default: the workspace root,
@@ -12,6 +13,14 @@
 //! report to a file, or to stdout when the argument is `-` (the text
 //! report then moves to stderr so the JSON pipes cleanly).
 //!
+//! `--report json` emits the suppression-debt document (every live
+//! `lint:allow` with rule, file, line, and reason) to stdout, or to a
+//! file with `--report json=<path>` — CI archives it as an artifact so
+//! the waiver inventory is reviewed per-PR. `--max-suppressions <n>` is
+//! the debt budget: the run fails when the tree carries more than `n`
+//! suppressions, so new waivers must either replace old ones or raise
+//! the budget in a visible diff.
+//!
 //! The walker skips `target/`, `.git/`, `results/`, and the analyzer's
 //! own `fixtures/` corpus (the fixtures are deliberately violating
 //! files; they are checked by their own test suite and by pointing
@@ -20,7 +29,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use pensieve_analyzer::{render_text, to_json, Analyzer};
+use pensieve_analyzer::{render_text, suppression_report, to_json, Analyzer};
 
 /// Directory names never descended into during the workspace walk.
 const SKIP_DIRS: &[&str] = &["target", ".git", "results", "fixtures", "node_modules"];
@@ -28,6 +37,10 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "results", "fixtures", "node_modu
 struct Cli {
     deny: bool,
     json: Option<String>,
+    /// Suppression-debt report destination: `None` = off, `Some(None)` =
+    /// stdout, `Some(Some(path))` = file.
+    report: Option<Option<String>>,
+    max_suppressions: Option<usize>,
     root: PathBuf,
 }
 
@@ -35,6 +48,8 @@ fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         deny: false,
         json: None,
+        report: None,
+        max_suppressions: None,
         root: PathBuf::from("."),
     };
     let mut args = std::env::args().skip(1);
@@ -44,12 +59,38 @@ fn parse_args() -> Result<Cli, String> {
             "--json" => {
                 cli.json = Some(args.next().ok_or("--json requires a path (or `-`)")?);
             }
+            "--report" => {
+                let spec = args
+                    .next()
+                    .ok_or("--report requires a format: `json` or `json=<path>`")?;
+                cli.report = match spec.as_str() {
+                    "json" => Some(None),
+                    other => match other.strip_prefix("json=") {
+                        Some(path) if !path.is_empty() => Some(Some(path.to_string())),
+                        _ => {
+                            return Err(format!(
+                                "unsupported --report format `{spec}` (expected `json` or \
+                                 `json=<path>`)"
+                            ));
+                        }
+                    },
+                };
+            }
+            "--max-suppressions" => {
+                let n = args
+                    .next()
+                    .ok_or("--max-suppressions requires a number")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--max-suppressions: {e}"))?;
+                cli.max_suppressions = Some(n);
+            }
             "--root" => {
                 cli.root = PathBuf::from(args.next().ok_or("--root requires a directory")?);
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: pensieve-analyzer [--deny] [--json <path|->] [--root <dir>]"
+                    "usage: pensieve-analyzer [--deny] [--json <path|->] [--root <dir>] \
+                     [--report json[=<path>]] [--max-suppressions <n>]"
                         .to_string(),
                 );
             }
@@ -115,9 +156,11 @@ fn main() -> ExitCode {
     }
 
     let report = analyzer.finish();
-    // With `--json -` stdout belongs to the JSON document alone (so it
-    // can be piped); the human-readable report moves to stderr.
-    if cli.json.as_deref() == Some("-") {
+    // With `--json -` or `--report json` on stdout, stdout belongs to
+    // the JSON document alone (so it can be piped); the human-readable
+    // report moves to stderr.
+    let stdout_is_json = cli.json.as_deref() == Some("-") || cli.report == Some(None);
+    if stdout_is_json {
         eprint!("{}", render_text(&report));
     } else {
         print!("{}", render_text(&report));
@@ -131,7 +174,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(dest) = &cli.report {
+        let doc = suppression_report(&report);
+        match dest {
+            None => println!("{doc}"),
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("pensieve-analyzer: cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
 
+    if let Some(budget) = cli.max_suppressions {
+        let live = report.suppressions.len();
+        if live > budget {
+            eprintln!(
+                "pensieve-analyzer: suppression debt over budget: {live} live \
+                 `lint:allow` waivers, budget is {budget} — delete a stale waiver \
+                 or raise the budget in a reviewed diff"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     if cli.deny && !report.violations.is_empty() {
         return ExitCode::FAILURE;
     }

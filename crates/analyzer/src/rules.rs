@@ -28,16 +28,32 @@
 //! - **r3-lock-order** — the static graph of nested `.lock()`
 //!   acquisitions must be acyclic across the workspace.
 //! - **r4-suppression** — `// lint:allow(<rule>): <reason>` is the only
-//!   suppression form; a missing or empty reason, or an unknown rule
-//!   id, is itself a violation.
+//!   suppression form; a missing or empty reason, an unknown rule id,
+//!   or a suppression that never fires (stale debt) is itself a
+//!   violation.
+//! - **r2-wall-clock** / **r2-ambient-rng** — no `Instant::now`/
+//!   `SystemTime::now` and no ambient randomness (`thread_rng`,
+//!   `rand::random`, `OsRng`, `from_entropy`) in the deterministic
+//!   crates: simulated behavior must flow from `SimTime` and seeded
+//!   `SplitMix64` streams only.
+//! - **r5-lock-across-pool** — no `MutexGuard`/`RwLockGuard` may be
+//!   live across a worker-pool dispatch (`map_partitions`,
+//!   `for_each_mut`, `matmul_pool*`, `paged_multi_token_pool*`,
+//!   `step_replicas_to`): a guard held over the fan-out serializes the
+//!   pool (or deadlocks it when a partition takes the same lock).
+//! - **r5-pool-capture** — closures handed to the pool may not mutate
+//!   captured state or touch interior-mutability cells: partitions must
+//!   communicate results through the ordered-merge return path only.
 //!
-//! The engine is token-stream based (see [`crate::lexer`]): it tracks
-//! just enough context — `#[cfg(test)]` regions, brace depth, attribute
-//! boundaries — to apply the rules without a full parse.
+//! The flat rules are token-stream based (see [`crate::lexer`]); the r5
+//! family runs on the scope tree from [`crate::scope`], which adds
+//! closure boundaries, binder sets, and lock-guard liveness intervals on
+//! top of the same stream (DESIGN.md §13).
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{lex, Tok, TokKind};
+use crate::scope::{ScopeKind, ScopeTree};
 
 /// Every rule id the suppression grammar accepts.
 pub const RULE_IDS: &[&str] = &[
@@ -45,10 +61,14 @@ pub const RULE_IDS: &[&str] = &[
     "r1-index",
     "r2-hash-iter",
     "r2-float-reduce",
+    "r2-wall-clock",
+    "r2-ambient-rng",
     "r3-raw-spawn",
     "r3-adhoc-scope",
     "r3-lock-order",
     "r4-suppression",
+    "r5-lock-across-pool",
+    "r5-pool-capture",
     "lex-error",
 ];
 
@@ -74,6 +94,25 @@ struct LockEdge {
     line: u32,
 }
 
+/// One `// lint:allow` in the workspace, with its audit state — the
+/// suppression-debt ledger CI archives (`--report`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionRecord {
+    /// Rule the suppression silences.
+    pub rule: String,
+    /// File the suppression lives in (workspace-relative).
+    pub path: String,
+    /// 1-based line of the suppression comment.
+    pub line: u32,
+    /// The written reason (mandatory by r4).
+    pub reason: String,
+    /// True for `lint:allow-file` (whole-file scope).
+    pub file_level: bool,
+    /// Violations this suppression silenced in this run; zero means the
+    /// suppression is stale debt (itself an r4 violation).
+    pub fired: u32,
+}
+
 /// Final analysis results for a set of files.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -83,6 +122,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Violations silenced by a reasoned suppression.
     pub suppressed: usize,
+    /// Every well-formed suppression encountered, sorted by
+    /// (path, line), with fired counts — the debt ledger.
+    pub suppressions: Vec<SuppressionRecord>,
 }
 
 /// Accumulates per-file findings and the cross-file lock graph.
@@ -92,6 +134,7 @@ pub struct Analyzer {
     lock_edges: Vec<LockEdge>,
     files_scanned: usize,
     suppressed: usize,
+    suppressions: Vec<SuppressionRecord>,
 }
 
 /// Paths are matched workspace-relative with forward slashes.
@@ -113,9 +156,34 @@ fn in_panic_scope(p: &str) -> bool {
     .any(|pre| p.starts_with(pre))
 }
 
-/// Cache hot-path files where unchecked indexing is banned (r1-index).
+/// Hot-path files where unchecked indexing is banned (r1-index): the
+/// cache swap-in/eviction path, the cluster router + replication pump
+/// (every request and KV delta crosses them), and the worker pool (an
+/// out-of-bounds panic inside dispatch would poison the whole fleet).
 fn in_index_scope(p: &str) -> bool {
-    p == "crates/kvcache/src/tiered.rs" || p == "crates/kvcache/src/store.rs"
+    [
+        "crates/kvcache/src/tiered.rs",
+        "crates/kvcache/src/store.rs",
+        "crates/cluster/src/router.rs",
+        "crates/cluster/src/replication.rs",
+        "shims/crossbeam/src/lib.rs",
+    ]
+    .contains(&p)
+}
+
+/// Crates whose behavior must be a pure function of `SimTime` and the
+/// seeded fault/RNG streams: wall-clock reads and ambient randomness are
+/// banned (r2-wall-clock, r2-ambient-rng).
+fn in_determinism_scope(p: &str) -> bool {
+    [
+        "crates/core/src/",
+        "crates/kvcache/src/",
+        "crates/kernels/src/",
+        "crates/sim/src/",
+        "crates/cluster/src/",
+    ]
+    .iter()
+    .any(|pre| p.starts_with(pre))
 }
 
 /// Scheduler/cache/kernel code where hash-order iteration is banned.
@@ -156,6 +224,8 @@ struct Suppression {
     /// suppression annotates); equals `line` for trailing comments.
     target_line: u32,
     file_level: bool,
+    /// The written reason, for the suppression-debt ledger.
+    reason: String,
 }
 
 impl Analyzer {
@@ -208,24 +278,35 @@ impl Analyzer {
             rule_raw_spawn(&toks, &test_mask, &mut found);
             rule_adhoc_scope(&toks, &test_mask, &mut found);
         }
+        if in_determinism_scope(&scope_path) {
+            rule_wall_clock(&toks, &test_mask, &mut found);
+            rule_ambient_rng(&toks, &test_mask, &mut found);
+        }
+        // The r5 concurrency rules run everywhere: the scope tree gives
+        // them closure boundaries and guard liveness on top of the same
+        // token stream.
+        let tree = ScopeTree::build(&toks);
+        rule_pool_concurrency(&toks, &tree, &test_mask, &mut found);
         self.collect_lock_edges(&toks, &real_path);
 
         // Apply suppressions: file-level allows silence the whole file;
         // a line-level allow covers its own line and the next line (so
         // the comment can trail the code or sit on its own line above).
-        let file_allows: BTreeSet<&str> = sups
-            .iter()
-            .filter(|s| s.file_level)
-            .map(|s| s.rule.as_str())
-            .collect();
-        let mut line_allows: BTreeMap<(u32, &str), ()> = BTreeMap::new();
-        for s in sups.iter().filter(|s| !s.file_level) {
-            line_allows.insert((s.line, s.rule.as_str()), ());
-            line_allows.insert((s.target_line, s.rule.as_str()), ());
-        }
+        // Each silenced violation is charged to the suppression(s) that
+        // matched it, so a suppression that never fires is visible as
+        // stale debt.
+        let mut fired = vec![0u32; sups.len()];
         for v in found {
-            let line_hit = line_allows.contains_key(&(v.line, v.rule));
-            if file_allows.contains(v.rule) || line_hit {
+            let mut hit = false;
+            for (si, s) in sups.iter().enumerate() {
+                let matches = s.rule == v.rule
+                    && (s.file_level || v.line == s.line || v.line == s.target_line);
+                if matches {
+                    fired[si] += 1;
+                    hit = true;
+                }
+            }
+            if hit {
                 self.suppressed += 1;
             } else {
                 self.violations.push(Violation {
@@ -233,6 +314,28 @@ impl Analyzer {
                     ..v
                 });
             }
+        }
+        for (si, s) in sups.iter().enumerate() {
+            if fired[si] == 0 {
+                self.violations.push(Violation {
+                    rule: "r4-suppression",
+                    path: real_path.clone(),
+                    line: s.line,
+                    msg: format!(
+                        "stale suppression: `lint:allow({})` silences nothing on this \
+                         line — delete it (suppression debt must stay live)",
+                        s.rule
+                    ),
+                });
+            }
+            self.suppressions.push(SuppressionRecord {
+                rule: s.rule.clone(),
+                path: real_path.clone(),
+                line: s.line,
+                reason: s.reason.clone(),
+                file_level: s.file_level,
+                fired: fired[si],
+            });
         }
         for v in &mut sup_violations {
             v.path.clone_from(&real_path);
@@ -247,10 +350,13 @@ impl Analyzer {
         self.detect_lock_cycles();
         self.violations
             .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.suppressions
+            .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
         Report {
             violations: self.violations,
             files_scanned: self.files_scanned,
             suppressed: self.suppressed,
+            suppressions: self.suppressions,
         }
     }
 
@@ -444,12 +550,29 @@ fn collect_suppressions(toks: &[Tok]) -> (Vec<Suppression>, Vec<Violation>) {
         let rest = after[close + 1..].trim_start();
         let reason = rest.strip_prefix(':').map(str::trim);
         match reason {
-            Some(r) if !r.is_empty() => sups.push(Suppression {
-                rule,
-                line: t.line,
-                target_line,
-                file_level,
-            }),
+            Some(r) if !r.is_empty() => {
+                // A reason may spill across consecutive comment lines;
+                // collect the continuation for the debt ledger.
+                let mut full = r.to_string();
+                for (expect, n) in (t.line + 1..).zip(&toks[ti + 1..]) {
+                    if n.kind != TokKind::LineComment || n.line != expect {
+                        break;
+                    }
+                    let tail = n.text.trim_start_matches('/').trim();
+                    if tail.starts_with("lint:allow") {
+                        break;
+                    }
+                    full.push(' ');
+                    full.push_str(tail);
+                }
+                sups.push(Suppression {
+                    rule,
+                    line: t.line,
+                    target_line,
+                    file_level,
+                    reason: full,
+                });
+            }
             _ => violations.push(Violation {
                 rule: "r4-suppression",
                 path: String::new(),
@@ -609,7 +732,9 @@ fn rule_index(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
             continue;
         };
         let prev = &toks[p];
-        let indexes = prev.kind == TokKind::Ident
+        // `&mut [T]` / `dyn [..]` are slice *types*, not index sites: no
+        // place expression can end in `mut` or `dyn`.
+        let indexes = (prev.kind == TokKind::Ident && prev.text != "mut" && prev.text != "dyn")
             || (prev.kind == TokKind::Punct && matches!(prev.text.as_str(), ")" | "]" | "?"));
         if indexes {
             out.push(Violation {
@@ -846,6 +971,475 @@ fn rule_adhoc_scope(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) 
             });
         }
     }
+}
+
+/// r2-wall-clock: `Instant::now` / `SystemTime::now` in the
+/// deterministic crates. Simulated behavior must be timed by `SimTime`;
+/// a wall-clock read that leaks into scheduling or eviction decisions
+/// breaks bit-identical replay.
+fn rule_wall_clock(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let code = code_indices(toks);
+    for (w, &i) in code.iter().enumerate() {
+        if test_mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        let sep = code.get(w + 1).is_some_and(|&k| toks[k].text == "::");
+        let now = code.get(w + 2).is_some_and(|&k| toks[k].text == "now");
+        if sep && now {
+            out.push(Violation {
+                rule: "r2-wall-clock",
+                path: String::new(),
+                line: toks[i].line,
+                msg: format!(
+                    "`{name}::now` in a deterministic crate: simulated behavior \
+                     must be driven by `SimTime` (wall-clock observability reads \
+                     need a reasoned suppression proving they never feed results)"
+                ),
+            });
+        }
+    }
+}
+
+/// Ambient (unseeded) randomness sources banned in the deterministic
+/// crates (r2-ambient-rng).
+const AMBIENT_RNG_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+
+/// r2-ambient-rng: unseeded randomness in the deterministic crates.
+/// Every stochastic decision must draw from a seeded `SplitMix64`
+/// stream so fault schedules and arrivals replay bit-identically.
+fn rule_ambient_rng(toks: &[Tok], test_mask: &[bool], out: &mut Vec<Violation>) {
+    let code = code_indices(toks);
+    for (w, &i) in code.iter().enumerate() {
+        if test_mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let ambient = AMBIENT_RNG_IDENTS.contains(&name)
+            || (name == "rand"
+                && code.get(w + 1).is_some_and(|&k| toks[k].text == "::")
+                && code.get(w + 2).is_some_and(|&k| toks[k].text == "random"));
+        if ambient {
+            out.push(Violation {
+                rule: "r2-ambient-rng",
+                path: String::new(),
+                line: toks[i].line,
+                msg: format!(
+                    "ambient randomness (`{name}`) in a deterministic crate: draw \
+                     from a seeded `SplitMix64` stream so runs replay bit-identically"
+                ),
+            });
+        }
+    }
+}
+
+/// The worker-pool dispatch surface guarded by the r5 rules: calling any
+/// of these fans work out to pool threads.
+const DISPATCH_FNS: &[&str] = &[
+    "map_partitions",
+    "for_each_mut",
+    "matmul_pool",
+    "matmul_pool_ungated",
+    "paged_multi_token_pool",
+    "paged_multi_token_pool_ungated",
+    "step_replicas_to",
+];
+
+/// Methods that produce a lock guard when `let`-bound.
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Compound-assignment and assignment operators (mutation sites for the
+/// capture rule).
+const ASSIGN_OPS: &[&str] = &[
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+/// A `let`-bound lock guard's liveness interval, in code positions.
+struct GuardLive {
+    name: String,
+    bind: usize,
+    end: usize,
+    line: u32,
+}
+
+/// True for identifiers that are type-ish rather than value-ish
+/// (uppercase initial or primitive) — used to ignore `&mut T` in nested
+/// closure parameter types.
+fn type_like(name: &str) -> bool {
+    name.chars().next().is_some_and(char::is_uppercase)
+        || matches!(
+            name,
+            "u8" | "u16"
+                | "u32"
+                | "u64"
+                | "u128"
+                | "usize"
+                | "i8"
+                | "i16"
+                | "i32"
+                | "i64"
+                | "i128"
+                | "isize"
+                | "f32"
+                | "f64"
+                | "bool"
+                | "str"
+                | "char"
+                | "self"
+        )
+}
+
+/// Identifiers declared with an interior-mutability cell type in this
+/// file (`name: RefCell<..>`, `let name = Cell::new(..)`).
+fn cell_names(toks: &[Tok]) -> BTreeSet<String> {
+    let code = code_indices(toks);
+    let mut names = BTreeSet::new();
+    for (w, &i) in code.iter().enumerate() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if !matches!(toks[i].text.as_str(), "RefCell" | "Cell" | "UnsafeCell") {
+            continue;
+        }
+        // Walk back over an optional `std::cell::`-style path prefix.
+        let mut j = w;
+        while j >= 1 {
+            let prev = &toks[code[j - 1]];
+            let is_path = prev.text == "::"
+                || (prev.kind == TokKind::Ident
+                    && matches!(prev.text.as_str(), "std" | "core" | "cell"));
+            if is_path {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j >= 2 {
+            let sep = &toks[code[j - 1]];
+            let name = &toks[code[j - 2]];
+            if (sep.text == ":" || sep.text == "=")
+                && name.kind == TokKind::Ident
+                && name.text != "use"
+            {
+                names.insert(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Collects `let`-bound lock-guard liveness intervals. Both method
+/// guards (`x.lock()`, `x.read()`, `x.write()`) and the workspace's
+/// poison-riding free helper (`lock(&x)`) count; a guard lives from its
+/// binding to its enclosing scope's end, or to an explicit
+/// `drop(guard)`.
+fn collect_guards(toks: &[Tok], tree: &ScopeTree) -> Vec<GuardLive> {
+    let code = tree.code();
+    let tok = |p: usize| &toks[code[p]];
+    let mut guards = Vec::new();
+    for w in 0..code.len() {
+        if tok(w).kind != TokKind::Ident {
+            continue;
+        }
+        let name = tok(w).text.as_str();
+        let called = w + 1 < code.len() && tok(w + 1).text == "(";
+        if !called {
+            continue;
+        }
+        let after_dot = w >= 1 && tok(w - 1).text == ".";
+        let is_method_guard = GUARD_METHODS.contains(&name) && after_dot;
+        let is_free_guard = name == "lock" && !after_dot && (w == 0 || tok(w - 1).text != "fn");
+        if !is_method_guard && !is_free_guard {
+            continue;
+        }
+        // Start of the receiver chain (`self.inner.state.lock`), or the
+        // call ident itself for the free helper.
+        let mut j = w;
+        if is_method_guard {
+            j = w - 1; // the dot
+            while j >= 1 {
+                let prev = tok(j - 1);
+                match prev.kind {
+                    TokKind::Ident => {}
+                    TokKind::Punct if prev.text == "." || prev.text == "::" => {}
+                    _ => break,
+                }
+                j -= 1;
+            }
+        }
+        // Binding shape: `let [mut] name = <chain>.lock()`.
+        let Some(eq) = j.checked_sub(1) else { continue };
+        if tok(eq).text != "=" {
+            continue;
+        }
+        let Some(nm) = eq.checked_sub(1) else {
+            continue;
+        };
+        if tok(nm).kind != TokKind::Ident || tok(nm).text == "_" {
+            continue;
+        }
+        let let_ok = nm
+            .checked_sub(1)
+            .is_some_and(|p| tok(p).text == "let" || tok(p).text == "mut");
+        if !let_ok {
+            continue;
+        }
+        let bound = tok(nm).text.clone();
+        let scope_end = tree.enclosing_end(w);
+        // An explicit `drop(name)` ends the guard early.
+        let mut end = scope_end;
+        for d in w + 1..scope_end.min(code.len()) {
+            if tok(d).text == "drop"
+                && tok(d).kind == TokKind::Ident
+                && d + 2 < code.len()
+                && tok(d + 1).text == "("
+                && tok(d + 2).text == bound
+            {
+                end = d;
+                break;
+            }
+        }
+        guards.push(GuardLive {
+            name: bound,
+            bind: w,
+            end,
+            line: tok(w).line,
+        });
+    }
+    guards
+}
+
+/// r5-lock-across-pool + r5-pool-capture: the scope-tree concurrency
+/// rules over the pool dispatch surface.
+fn rule_pool_concurrency(
+    toks: &[Tok],
+    tree: &ScopeTree,
+    test_mask: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    let code = tree.code();
+    let tok = |p: usize| &toks[code[p]];
+    let guards = collect_guards(toks, tree);
+    let cells = cell_names(toks);
+    // Dedup: a closure body can hit the same capture on one line twice.
+    let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+    for w in 0..code.len() {
+        if tok(w).kind != TokKind::Ident || !DISPATCH_FNS.contains(&tok(w).text.as_str()) {
+            continue;
+        }
+        if test_mask[code[w]] {
+            continue;
+        }
+        let called = w + 1 < code.len() && tok(w + 1).text == "(";
+        let definition = w >= 1 && tok(w - 1).text == "fn";
+        if !called || definition {
+            continue;
+        }
+        // -- r5-lock-across-pool: any guard live over this dispatch.
+        for g in &guards {
+            if g.bind < w && w < g.end {
+                out.push(Violation {
+                    rule: "r5-lock-across-pool",
+                    path: String::new(),
+                    line: tok(w).line,
+                    msg: format!(
+                        "lock guard `{}` (bound at line {}) is live across the \
+                         `{}` pool dispatch: drop it before fanning out — a \
+                         partition taking the same lock deadlocks the pool, and \
+                         holding it serializes the batch",
+                        g.name,
+                        g.line,
+                        tok(w).text
+                    ),
+                });
+            }
+        }
+        // -- r5-pool-capture: closures in this call's argument list.
+        let open = w + 1;
+        let mut depth = 0i32;
+        let mut close = code.len();
+        for p in open..code.len() {
+            match tok(p).text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = p;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (cid, c) in tree.scopes().iter().enumerate() {
+            if c.kind != ScopeKind::Closure || c.start <= open || c.start >= close {
+                continue;
+            }
+            // Only outermost pool closures: captures of a *nested*
+            // closure from its parent closure stay inside one partition
+            // task and are sequential there.
+            let mut p = c.parent;
+            let nested = loop {
+                let s = &tree.scopes()[p];
+                if s.kind == ScopeKind::Closure && s.start > open && s.start < close {
+                    break true;
+                }
+                if p == s.parent {
+                    break false;
+                }
+                p = s.parent;
+            };
+            if nested {
+                continue;
+            }
+            check_pool_closure(toks, tree, cid, &cells, test_mask, &mut seen, out);
+        }
+    }
+}
+
+/// Scans one pool closure for captured-state mutation and
+/// interior-mutability use. `boundary` is the closure scope id; a name
+/// declared at or below it (params, `let`, `for`) is partition-local and
+/// exempt.
+fn check_pool_closure(
+    toks: &[Tok],
+    tree: &ScopeTree,
+    boundary: usize,
+    cells: &BTreeSet<String>,
+    test_mask: &[bool],
+    seen: &mut BTreeSet<(u32, String)>,
+    out: &mut Vec<Violation>,
+) {
+    let code = tree.code();
+    let tok = |p: usize| &toks[code[p]];
+    let c = &tree.scopes()[boundary];
+    let body = c.start..c.end.min(code.len());
+    let mut emit = |line: u32, what: String, out: &mut Vec<Violation>| {
+        if seen.insert((line, what.clone())) {
+            out.push(Violation {
+                rule: "r5-pool-capture",
+                path: String::new(),
+                line,
+                msg: format!(
+                    "{what} inside a pool closure: partitions must stay \
+                     independent and merge results through the ordered return \
+                     path, not shared mutable state"
+                ),
+            });
+        }
+    };
+    for p in body {
+        if test_mask[code[p]] {
+            continue;
+        }
+        let t = tok(p);
+        // Mutation of a captured place: `<chain> op= ...`.
+        if t.kind == TokKind::Punct && ASSIGN_OPS.contains(&t.text.as_str()) {
+            if let Some(name) = assignment_target(toks, tree, p) {
+                let inner = tree.innermost_at(p);
+                if !tree.declared_within(inner, boundary, &name) && !type_like(&name) {
+                    emit(t.line, format!("assignment to captured `{name}`"), out);
+                }
+            }
+        }
+        // `&mut <ident>` borrow of a captured place.
+        if t.kind == TokKind::Punct
+            && t.text == "&"
+            && p + 2 < code.len()
+            && tok(p + 1).text == "mut"
+            && tok(p + 2).kind == TokKind::Ident
+        {
+            let name = tok(p + 2).text.clone();
+            let inner = tree.innermost_at(p + 2);
+            if !tree.declared_within(inner, boundary, &name) && !type_like(&name) {
+                emit(
+                    t.line,
+                    format!("`&mut {name}` borrow of captured state"),
+                    out,
+                );
+            }
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Interior mutability: `.borrow_mut()` always, and any use of an
+        // identifier declared as a cell type in this file.
+        if t.text == "borrow_mut"
+            && p >= 1
+            && tok(p - 1).text == "."
+            && p + 1 < code.len()
+            && tok(p + 1).text == "("
+        {
+            emit(t.line, "`.borrow_mut()`".to_string(), out);
+        }
+        if cells.contains(&t.text) {
+            let inner = tree.innermost_at(p);
+            if !tree.declared_within(inner, boundary, &t.text) {
+                emit(
+                    t.line,
+                    format!("captured interior-mutability cell `{}`", t.text),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// For an assignment operator at code position `p`, resolves the
+/// leftmost identifier of the assigned place (`self.replicas[i] = ..` →
+/// `self`), or `None` when the shape is a declaration (`let x = ..`) or
+/// not an assignment (`==`/`=>` are distinct tokens already).
+fn assignment_target(toks: &[Tok], tree: &ScopeTree, p: usize) -> Option<String> {
+    let code = tree.code();
+    let tok = |q: usize| &toks[code[q]];
+    let mut q = p.checked_sub(1)?;
+    // Walk left over the place expression: `]`/`)` skip to their
+    // opener; ident/`.`/`::` continue the chain.
+    let mut leading: Option<String> = None;
+    loop {
+        let t = tok(q);
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "]" | ")") => {
+                let close = t.text.clone();
+                let open = if close == "]" { "[" } else { "(" };
+                let mut depth = 1i32;
+                while depth > 0 {
+                    q = q.checked_sub(1)?;
+                    if tok(q).text == close {
+                        depth += 1;
+                    } else if tok(q).text == open {
+                        depth -= 1;
+                    }
+                }
+            }
+            (TokKind::Punct, "." | "::") => {}
+            (TokKind::Ident, name) => {
+                if matches!(name, "let" | "mut" | "ref") {
+                    // Declaration, not mutation.
+                    return None;
+                }
+                leading = Some(name.to_string());
+            }
+            (TokKind::Punct, "*") => {} // deref layers: `*x = ..`
+            _ => break,
+        }
+        let Some(next) = q.checked_sub(1) else { break };
+        q = next;
+    }
+    // `let <pat> = ..` where the pattern start was not adjacent (tuple
+    // patterns): the token right before the chain is the discriminator.
+    if tok(q).text == "let" || tok(q).text == "mut" {
+        return None;
+    }
+    // A `:` right before the `=`'s chain start means a struct-literal
+    // field or type ascription — not a mutation of a place.
+    if tok(q).text == ":" {
+        return None;
+    }
+    leading
 }
 
 #[cfg(test)]

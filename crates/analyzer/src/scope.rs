@@ -1,0 +1,571 @@
+//! Scope-aware item-tree pass over the token stream.
+//!
+//! The flat lexer rules (DESIGN.md §8) can see *what* a token is but not
+//! *where it lives*: whether a `MutexGuard` bound three statements ago is
+//! still alive when a closure is handed to the worker pool, or whether an
+//! identifier mutated inside that closure was declared by the closure or
+//! captured from the enclosing function. This module adds exactly the
+//! structure those questions need — and nothing more:
+//!
+//! - a tree of **scopes** (function bodies, plain blocks, closures) built
+//!   from brace nesting, with expression-bodied closures tracked to their
+//!   terminating `,`/`)`/`;`,
+//! - per-scope **binder sets**: closure parameters and `let`/`for`-bound
+//!   names declared directly in the scope, so capture analysis can ask
+//!   "is this name local below the closure boundary?",
+//! - **lock-guard liveness intervals**: `let g = x.lock()` (and the
+//!   workspace's poison-riding `lock(&x)` helper) is live from its
+//!   binding to the end of its enclosing scope or an explicit `drop(g)`.
+//!
+//! It is still not a parser: construction is a single forward pass over
+//! code tokens, is total (malformed or unbalanced streams produce a
+//! best-effort tree, never a panic — the round-trip proptest pins this),
+//! and costs O(tokens). The r5 concurrency rules in [`crate::rules`] are
+//! the consumers; see DESIGN.md §13 for the architecture discussion.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of region a [`Scope`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The whole file.
+    Root,
+    /// A `fn` body (free function, method, or nested item).
+    Fn,
+    /// A plain braced block: `if`/`loop`/`match` bodies, bare blocks,
+    /// struct-literal braces — anything that is not a `fn` body or a
+    /// closure.
+    Block,
+    /// A closure body, braced (`|x| { ... }`) or expression-bodied
+    /// (`|x| x + 1`).
+    Closure,
+}
+
+/// One node of the scope tree. Spans are positions into the *code*
+/// token sequence (comments removed); a scope contains position `p` when
+/// `start < p < end` for braced scopes (the delimiters themselves are
+/// the bounds) and `start <= p < end` for expression-bodied closures.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Parent scope id; the root is its own parent.
+    pub parent: usize,
+    /// Region kind.
+    pub kind: ScopeKind,
+    /// Code position of the opening delimiter (or first body token for
+    /// an expression-bodied closure).
+    pub start: usize,
+    /// Code position one past the last contained token (the closing
+    /// delimiter's position for braced scopes).
+    pub end: usize,
+    /// 1-based line the scope opens on.
+    pub line: u32,
+    /// Closure parameters ([`ScopeKind::Closure`] only).
+    pub params: Vec<String>,
+    /// Names bound by `let`/`for` directly in this scope (not in
+    /// children). Pattern binders are over-approximated: every
+    /// identifier in the pattern counts, including enum/struct names.
+    pub locals: Vec<String>,
+}
+
+/// The scope tree for one file, plus the code-token view it indexes.
+#[derive(Debug)]
+pub struct ScopeTree {
+    scopes: Vec<Scope>,
+    /// Indices of non-comment tokens into the original token slice.
+    code: Vec<usize>,
+}
+
+/// Tokens that may directly precede a `|`/`||` that *starts a closure*
+/// (as opposed to a binary-or between operands).
+fn closure_can_follow(prev: Option<&Tok>) -> bool {
+    match prev {
+        None => true,
+        Some(t) => match t.kind {
+            TokKind::Punct => matches!(
+                t.text.as_str(),
+                "(" | "," | "=" | "{" | "}" | ";" | ":" | "=>" | "[" | "&" | ".." | "..="
+            ),
+            TokKind::Ident => matches!(t.text.as_str(), "return" | "move" | "else" | "in"),
+            _ => false,
+        },
+    }
+}
+
+impl ScopeTree {
+    /// Builds the tree with a single forward pass. Total: any token
+    /// stream — including unbalanced braces — yields a tree whose spans
+    /// are clamped to the stream.
+    #[must_use]
+    pub fn build(toks: &[Tok]) -> ScopeTree {
+        Builder::run(toks)
+    }
+
+    /// Every scope; index 0 is the root.
+    #[must_use]
+    pub fn scopes(&self) -> &[Scope] {
+        &self.scopes
+    }
+
+    /// The non-comment token indices this tree was built over (positions
+    /// used by [`Scope::start`]/[`Scope::end`] index into this).
+    #[must_use]
+    pub fn code(&self) -> &[usize] {
+        &self.code
+    }
+
+    /// Id of the innermost scope containing code position `pos`.
+    #[must_use]
+    pub fn innermost_at(&self, pos: usize) -> usize {
+        // Linear over scopes: trees are small (one per file) and the
+        // rules batch their queries.
+        let mut best = 0usize;
+        for (id, s) in self.scopes.iter().enumerate().skip(1) {
+            let contains = match s.kind {
+                ScopeKind::Closure if s.start <= pos && pos < s.end => true,
+                _ => s.start < pos && pos < s.end,
+            };
+            if contains && s.start >= self.scopes[best].start && s.end <= self.scopes[best].end {
+                best = id;
+            }
+        }
+        best
+    }
+
+    /// True when `name` is declared (as a param or `let`/`for` binder)
+    /// in any scope from `from` upward through `boundary` inclusive —
+    /// i.e. the name is *local below the boundary* and therefore not a
+    /// capture from outside it.
+    #[must_use]
+    pub fn declared_within(&self, from: usize, boundary: usize, name: &str) -> bool {
+        let mut cur = from;
+        loop {
+            let s = &self.scopes[cur];
+            if s.params.iter().any(|p| p == name) || s.locals.iter().any(|l| l == name) {
+                return true;
+            }
+            if cur == boundary || cur == s.parent {
+                return false;
+            }
+            cur = s.parent;
+        }
+    }
+
+    /// Code position where the scope enclosing `pos` ends (used for
+    /// guard liveness: a `let`-bound guard lives to its block's end).
+    #[must_use]
+    pub fn enclosing_end(&self, pos: usize) -> usize {
+        self.scopes[self.innermost_at(pos)].end
+    }
+}
+
+/// An open frame during construction.
+enum Frame {
+    /// A braced scope (root, fn body, block, braced closure).
+    Scope(usize),
+    /// `(` — tracked so expression-closures know their nesting depth.
+    Paren,
+    /// `[` — same.
+    Bracket,
+    /// An expression-bodied closure's scope, closed by `,`/`)`/`]`/`;`/
+    /// `}` at its own depth.
+    ExprClosure(usize),
+}
+
+struct Builder<'a> {
+    toks: &'a [Tok],
+    code: Vec<usize>,
+    scopes: Vec<Scope>,
+    stack: Vec<Frame>,
+}
+
+impl<'a> Builder<'a> {
+    fn run(toks: &'a [Tok]) -> ScopeTree {
+        let code: Vec<usize> = (0..toks.len())
+            .filter(|&i| {
+                toks[i].kind != TokKind::LineComment && toks[i].kind != TokKind::BlockComment
+            })
+            .collect();
+        let root = Scope {
+            parent: 0,
+            kind: ScopeKind::Root,
+            start: 0,
+            end: code.len(),
+            line: 1,
+            params: Vec::new(),
+            locals: Vec::new(),
+        };
+        let mut b = Builder {
+            toks,
+            code,
+            scopes: vec![root],
+            stack: vec![Frame::Scope(0)],
+        };
+        b.walk();
+        let code = std::mem::take(&mut b.code);
+        let mut scopes = std::mem::take(&mut b.scopes);
+        // Clamp: anything still open at EOF ends at the stream's end.
+        for s in &mut scopes {
+            s.end = s.end.min(code.len());
+        }
+        ScopeTree { scopes, code }
+    }
+
+    fn tok(&self, pos: usize) -> &Tok {
+        &self.toks[self.code[pos]]
+    }
+
+    /// Id of the innermost *scope* frame currently open.
+    fn current_scope(&self) -> usize {
+        self.stack
+            .iter()
+            .rev()
+            .find_map(|f| match f {
+                Frame::Scope(id) | Frame::ExprClosure(id) => Some(*id),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    fn open_scope(&mut self, kind: ScopeKind, start: usize, params: Vec<String>) -> usize {
+        let id = self.scopes.len();
+        self.scopes.push(Scope {
+            parent: self.current_scope(),
+            kind,
+            start,
+            end: usize::MAX, // patched on close / clamped at EOF
+            line: self.tok(start.min(self.code.len().saturating_sub(1))).line,
+            params,
+            locals: Vec::new(),
+        });
+        id
+    }
+
+    /// Closes every expression-closure sitting on top of the stack (a
+    /// terminator at their depth ends them all: `f(|| g(|| h), ...)`).
+    fn close_expr_closures(&mut self, end: usize) {
+        while let Some(Frame::ExprClosure(id)) = self.stack.last() {
+            self.scopes[*id].end = end;
+            self.stack.pop();
+        }
+    }
+
+    /// Collects binder identifiers from a pattern token run starting at
+    /// `pos` and stopping at any of `stops` (at delimiter depth 0) or
+    /// after `limit` tokens. Every identifier except `mut`/`ref`/`_` and
+    /// path segments after `::` counts — deliberate over-approximation.
+    fn pattern_binders(&self, mut pos: usize, stops: &[&str], limit: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        // Position whose ident was pushed last, and whether the next
+        // ident continues a `::` path (not a fresh binder).
+        let mut last_push: Option<usize> = None;
+        let mut in_path = false;
+        let end = (pos + limit).min(self.code.len());
+        while pos < end {
+            let t = self.tok(pos);
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "(" | "[" | "{") => depth += 1,
+                (TokKind::Punct, ")" | "]" | "}") => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                (TokKind::Punct, s) if depth == 0 && stops.contains(&s) => break,
+                (TokKind::Punct, "::") => {
+                    // A path like `Mode::Fast` in a pattern: neither the
+                    // head we may have pushed nor the continuation is a
+                    // fresh binder.
+                    if last_push == pos.checked_sub(1) {
+                        out.pop();
+                        last_push = None;
+                    }
+                    in_path = true;
+                }
+                (TokKind::Ident, "mut" | "ref" | "_") => {}
+                (TokKind::Ident, name) => {
+                    if in_path {
+                        in_path = false;
+                    } else {
+                        out.push(name.to_string());
+                        last_push = Some(pos);
+                    }
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        out
+    }
+
+    /// Parses closure params between the pipes; returns `(params,
+    /// position after the closing pipe)`, or `None` when the pipe run
+    /// never closes (treated as a plain operator).
+    fn closure_params(&self, open: usize) -> Option<(Vec<String>, usize)> {
+        if self.tok(open).text == "||" {
+            return Some((Vec::new(), open + 1));
+        }
+        let mut depth = 0i32;
+        let mut pos = open + 1;
+        let limit = (open + 64).min(self.code.len());
+        while pos < limit {
+            let t = self.tok(pos);
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "(" | "[") => depth += 1,
+                (TokKind::Punct, ")" | "]") => depth -= 1,
+                (TokKind::Punct, "|") if depth == 0 => {
+                    // Param names: binders per comma segment, cut at the
+                    // `:` that starts a type annotation.
+                    let mut params = Vec::new();
+                    let mut seg = open + 1;
+                    let mut d = 0i32;
+                    let mut annotated = false;
+                    for p in open + 1..=pos {
+                        let pt = self.tok(p);
+                        match (pt.kind, pt.text.as_str()) {
+                            (TokKind::Punct, "(" | "[") => d += 1,
+                            (TokKind::Punct, ")" | "]") => d -= 1,
+                            (TokKind::Punct, ":") if d == 0 => annotated = true,
+                            (TokKind::Punct, "," | "|") if d == 0 => {
+                                let stop = if annotated { ":" } else { "," };
+                                params.extend(self.pattern_binders(seg, &[stop, "|"], p - seg + 1));
+                                seg = p + 1;
+                                annotated = false;
+                            }
+                            _ => {}
+                        }
+                    }
+                    return Some((params, pos + 1));
+                }
+                (TokKind::Punct, ";" | "{" | "}") => return None,
+                _ => {}
+            }
+            pos += 1;
+        }
+        None
+    }
+
+    fn walk(&mut self) {
+        let n = self.code.len();
+        let mut pos = 0usize;
+        // `fn` seen, body brace not yet opened.
+        let mut pending_fn = false;
+        // Closure params parsed, body not yet started.
+        let mut pending_closure: Option<Vec<String>> = None;
+        while pos < n {
+            let t = self.tok(pos);
+            // A parsed closure header binds to the next body token: `{`
+            // opens a braced closure below; `->` defers to the return
+            // type's brace; anything else starts an expression body.
+            if let Some(params) = pending_closure.take() {
+                match (t.kind, t.text.as_str()) {
+                    (TokKind::Punct, "{") => {
+                        // Fall through: the brace handler below opens the
+                        // scope as a closure.
+                        pending_closure = Some(params);
+                    }
+                    (TokKind::Punct, "->") => {
+                        // Skip the return type: re-arm and let the `{`
+                        // that follows claim the closure.
+                        pending_closure = Some(params);
+                        pos += 1;
+                        continue;
+                    }
+                    _ => {
+                        let id = self.open_scope(ScopeKind::Closure, pos, params);
+                        self.stack.push(Frame::ExprClosure(id));
+                        // Do not advance: the current token is the first
+                        // body token and may itself open structure.
+                    }
+                }
+            }
+            let t = self.tok(pos);
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "{") => {
+                    let kind = if let Some(params) = pending_closure.take() {
+                        let id = self.open_scope(ScopeKind::Closure, pos, params);
+                        self.stack.push(Frame::Scope(id));
+                        pos += 1;
+                        continue;
+                    } else if pending_fn {
+                        pending_fn = false;
+                        ScopeKind::Fn
+                    } else {
+                        ScopeKind::Block
+                    };
+                    let id = self.open_scope(kind, pos, Vec::new());
+                    self.stack.push(Frame::Scope(id));
+                }
+                (TokKind::Punct, "}") => {
+                    self.close_expr_closures(pos);
+                    // Pop through any unbalanced paren frames to the
+                    // nearest braced scope; never pop the root.
+                    while let Some(f) = self.stack.last() {
+                        match f {
+                            Frame::Scope(0) => break,
+                            Frame::Scope(id) => {
+                                self.scopes[*id].end = pos;
+                                self.stack.pop();
+                                break;
+                            }
+                            _ => {
+                                self.stack.pop();
+                            }
+                        }
+                    }
+                }
+                (TokKind::Punct, "(") => self.stack.push(Frame::Paren),
+                (TokKind::Punct, "[") => self.stack.push(Frame::Bracket),
+                (TokKind::Punct, ")" | "]") => {
+                    self.close_expr_closures(pos);
+                    if matches!(self.stack.last(), Some(Frame::Paren | Frame::Bracket)) {
+                        self.stack.pop();
+                    }
+                }
+                (TokKind::Punct, ",") => self.close_expr_closures(pos),
+                (TokKind::Punct, ";") => {
+                    // A trait method declaration ends without a body.
+                    pending_fn = false;
+                    self.close_expr_closures(pos);
+                }
+                (TokKind::Punct, "|" | "||") => {
+                    let prev = pos.checked_sub(1).map(|p| self.tok(p));
+                    if closure_can_follow(prev) {
+                        if let Some((params, after)) = self.closure_params(pos) {
+                            pending_closure = Some(params);
+                            pos = after;
+                            continue;
+                        }
+                    }
+                }
+                (TokKind::Ident, "fn") => pending_fn = true,
+                (TokKind::Ident, "let") => {
+                    let binders = self.pattern_binders(pos + 1, &["=", ";", ":"], 24);
+                    let cur = self.current_scope();
+                    self.scopes[cur].locals.extend(binders);
+                }
+                (TokKind::Ident, "for") => {
+                    // `for <pat> in ...` — attach the binders to the
+                    // current scope (over-approximate: they only live in
+                    // the loop body, which is a child).
+                    let binders = self.pattern_binders(pos + 1, &["in", "{", ";"], 16);
+                    let cur = self.current_scope();
+                    self.scopes[cur].locals.extend(binders);
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        self.close_expr_closures(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ScopeTree {
+        ScopeTree::build(&lex(src).expect("test source lexes"))
+    }
+
+    #[test]
+    fn fn_and_block_nesting() {
+        let t = tree("fn f() { if x { g(); } }");
+        let kinds: Vec<ScopeKind> = t.scopes().iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ScopeKind::Root, ScopeKind::Fn, ScopeKind::Block]
+        );
+        assert_eq!(t.scopes()[2].parent, 1);
+    }
+
+    #[test]
+    fn braced_closure_params() {
+        let t = tree("fn f(p: &P) { p.map(|x: u32, (a, b)| { x + a + b }); }");
+        let c = t
+            .scopes()
+            .iter()
+            .find(|s| s.kind == ScopeKind::Closure)
+            .expect("closure scope");
+        assert_eq!(c.params, vec!["x", "a", "b"]);
+    }
+
+    #[test]
+    fn expr_closure_ends_at_comma() {
+        let t = tree("fn f(p: &P) { p.map_partitions(4, |i| i + 1, 9); }");
+        let c = t
+            .scopes()
+            .iter()
+            .find(|s| s.kind == ScopeKind::Closure)
+            .expect("closure scope");
+        assert_eq!(c.params, vec!["i"]);
+        // The closure body is `i + 1` — three tokens.
+        assert_eq!(c.end - c.start, 3);
+    }
+
+    #[test]
+    fn binary_or_is_not_a_closure() {
+        let t = tree("fn f(a: u32, b: u32) -> u32 { a | b }");
+        assert!(t.scopes().iter().all(|s| s.kind != ScopeKind::Closure));
+        let t = tree("fn f(a: bool, b: bool) -> bool { a || b }");
+        assert!(t.scopes().iter().all(|s| s.kind != ScopeKind::Closure));
+    }
+
+    #[test]
+    fn let_and_for_binders_land_in_scope() {
+        let t = tree("fn f() { let (x, mut y) = p(); for it in xs { } }");
+        let f = &t.scopes()[1];
+        assert!(f.locals.contains(&"x".to_string()));
+        assert!(f.locals.contains(&"y".to_string()));
+        assert!(f.locals.contains(&"it".to_string()));
+        assert!(!f.locals.contains(&"mut".to_string()));
+    }
+
+    #[test]
+    fn path_segments_are_not_binders() {
+        let t = tree("fn f() { let Mode::Fast = m; }");
+        assert!(!t.scopes()[1].locals.contains(&"Mode".to_string()));
+        assert!(!t.scopes()[1].locals.contains(&"Fast".to_string()));
+    }
+
+    #[test]
+    fn declared_within_walks_to_boundary() {
+        let t = tree("fn f(p: &P) { let outer = 1; p.map(|x| { let inner = x; inner + 1 }); }");
+        let closure = t
+            .scopes()
+            .iter()
+            .position(|s| s.kind == ScopeKind::Closure)
+            .expect("closure");
+        // `inner` is declared below the closure boundary, `outer` above.
+        let inner_scope = t.scopes().len() - 1;
+        assert!(t.declared_within(inner_scope, closure, "inner"));
+        assert!(t.declared_within(inner_scope, closure, "x"));
+        assert!(!t.declared_within(inner_scope, closure, "outer"));
+    }
+
+    #[test]
+    fn unbalanced_streams_are_total() {
+        for src in ["}}}", "fn f() {", "fn f() { ) ] }", "|x|", "{ | }", "( , )"] {
+            let t = tree(src);
+            for s in t.scopes() {
+                assert!(s.end <= t.code().len(), "clamped: {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn innermost_prefers_deepest() {
+        let src = "fn f() { { g(); } }";
+        let t = tree(src);
+        // Position of `g` in the code stream.
+        let toks = lex(src).unwrap();
+        let g = t
+            .code()
+            .iter()
+            .position(|&i| toks[i].text == "g")
+            .expect("g present");
+        let id = t.innermost_at(g);
+        assert_eq!(t.scopes()[id].kind, ScopeKind::Block);
+    }
+}

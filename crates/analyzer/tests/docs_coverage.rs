@@ -1,0 +1,44 @@
+//! Keeps `docs/ANALYZER.md` in sync with the rule engine: every id in
+//! `RULE_IDS` must appear (backticked) in the reference doc. Adding a
+//! rule without documenting it fails this test.
+
+use pensieve_analyzer::RULE_IDS;
+
+fn doc_text() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("docs")
+        .join("ANALYZER.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("docs/ANALYZER.md must exist ({e})"))
+}
+
+#[test]
+fn every_rule_id_is_documented() {
+    let doc = doc_text();
+    let missing: Vec<&str> = RULE_IDS
+        .iter()
+        .filter(|r| !doc.contains(&format!("`{r}`")))
+        .copied()
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "docs/ANALYZER.md is missing rule ids: {missing:?}"
+    );
+}
+
+#[test]
+fn every_documented_rule_has_a_table_row() {
+    // The summary table is the at-a-glance contract: each rule id must
+    // appear in a `| \`rule\` |` row, not just in prose.
+    let doc = doc_text();
+    let missing: Vec<&str> = RULE_IDS
+        .iter()
+        .filter(|r| !doc.contains(&format!("| `{r}` |")))
+        .copied()
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "docs/ANALYZER.md summary table is missing rows for: {missing:?}"
+    );
+}

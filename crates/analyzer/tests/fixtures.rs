@@ -106,10 +106,14 @@ fn every_rule_id_is_exercised_by_the_bad_corpus() {
         "r1-index",
         "r2-hash-iter",
         "r2-float-reduce",
+        "r2-wall-clock",
+        "r2-ambient-rng",
         "r3-raw-spawn",
         "r3-adhoc-scope",
         "r3-lock-order",
         "r4-suppression",
+        "r5-lock-across-pool",
+        "r5-pool-capture",
     ] {
         assert!(seen.contains(rule), "no bad fixture triggers {rule}");
     }

@@ -1,0 +1,153 @@
+//! Property tests: the scope-tree pass is *total* — it never panics and
+//! always produces a well-formed tree — on arbitrary brace-balanced
+//! token streams, and stays total even when the balance is destroyed.
+//!
+//! The vocabulary is chosen adversarially for the closure heuristic and
+//! binder collection: pipes next to `||`, `move`/`let`/`for`/`fn`
+//! keywords in odd positions, `->` return arrows, path separators, and
+//! stray pattern punctuation.
+
+use pensieve_analyzer::lexer::lex;
+use pensieve_analyzer::{ScopeKind, ScopeTree};
+use proptest::prelude::*;
+
+/// Atoms that never open or close a delimiter themselves.
+const ATOMS: &[&str] = &[
+    "x",
+    "acc",
+    "pool",
+    "move",
+    "let",
+    "mut",
+    "for",
+    "in",
+    "fn",
+    "f",
+    "return",
+    "else",
+    "SplitMix64",
+    "self",
+    "|",
+    "||",
+    ",",
+    ";",
+    "=",
+    "==",
+    "=>",
+    "->",
+    "::",
+    ".",
+    "..",
+    "..=",
+    "&",
+    "*",
+    ":",
+    "0",
+    "42",
+    "1.5",
+    "'a",
+    "\"s\"",
+    "#",
+    "!",
+    "?",
+    "+=",
+    "<",
+    ">",
+];
+
+/// Opcode space: one code per atom, then open-brace/paren/bracket, then
+/// "close the innermost group".
+const OPS: usize = ATOMS.len() + 4;
+
+/// Interprets sampled opcodes as a delimiter-balanced token stream:
+/// opens push, the close opcode pops the matching delimiter, and every
+/// group still open at the end is closed. Balance holds by
+/// construction for any opcode sequence.
+fn build_balanced(ops: &[usize]) -> String {
+    let mut out: Vec<&'static str> = Vec::new();
+    let mut stack: Vec<&'static str> = Vec::new();
+    for &op in ops {
+        if let Some(&atom) = ATOMS.get(op) {
+            out.push(atom);
+        } else {
+            match op - ATOMS.len() {
+                0 => {
+                    out.push("{");
+                    stack.push("}");
+                }
+                1 => {
+                    out.push("(");
+                    stack.push(")");
+                }
+                2 => {
+                    out.push("[");
+                    stack.push("]");
+                }
+                _ => {
+                    if let Some(close) = stack.pop() {
+                        out.push(close);
+                    }
+                }
+            }
+        }
+    }
+    while let Some(close) = stack.pop() {
+        out.push(close);
+    }
+    out.join(" ")
+}
+
+/// Structural invariants every build must satisfy, balanced or not.
+fn assert_well_formed(src: &str) {
+    let toks = lex(src).expect("vocab streams always lex");
+    let tree = ScopeTree::build(&toks);
+    let n = tree.code().len();
+    let scopes = tree.scopes();
+    assert!(!scopes.is_empty(), "root scope always exists");
+    assert_eq!(scopes[0].kind, ScopeKind::Root);
+    for (id, s) in scopes.iter().enumerate() {
+        assert!(s.start <= s.end, "scope {id} has start > end");
+        assert!(s.end <= n, "scope {id} ends past the stream");
+        if id > 0 {
+            assert!(s.parent < id, "scope {id} has a forward parent");
+            let p = &scopes[s.parent];
+            assert!(
+                p.start <= s.start && s.end <= p.end,
+                "scope {id} escapes its parent"
+            );
+        }
+    }
+    for pos in 0..n {
+        let inner = tree.innermost_at(pos);
+        assert!(inner < scopes.len(), "innermost_at out of range");
+        assert!(tree.enclosing_end(pos) <= n, "enclosing_end past stream");
+        // Lookups are total for any name, declared or not.
+        let _ = tree.declared_within(inner, 0, "x");
+        let _ = tree.declared_within(inner, 0, "no_such_name");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn balanced_streams_build_well_formed_trees(
+        ops in prop::collection::vec(0usize..OPS, 0..160),
+    ) {
+        assert_well_formed(&build_balanced(&ops));
+    }
+
+    #[test]
+    fn unbalanced_streams_never_panic(
+        ops in prop::collection::vec(0usize..OPS, 0..80),
+        extra in prop::collection::vec(0usize..6, 1..8),
+    ) {
+        // Destroy the balance with stray delimiters on either side: the
+        // pass must clamp at EOF / ignore over-closes, never panic.
+        let delims = ["{", "}", "(", ")", "[", "]"];
+        let noise: Vec<&str> = extra.iter().map(|&i| delims[i % 6]).collect();
+        let src = build_balanced(&ops);
+        assert_well_formed(&format!("{src} {}", noise.join(" ")));
+        assert_well_formed(&format!("{} {src}", noise.join(" ")));
+    }
+}

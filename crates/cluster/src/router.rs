@@ -263,9 +263,7 @@ impl<B: ServingBackend> Router<B> {
     /// Indices of replicas still alive.
     #[must_use]
     pub fn alive_replicas(&self) -> Vec<usize> {
-        (0..self.replicas.len())
-            .filter(|&i| self.replicas[i].alive)
-            .collect()
+        self.alive_indices().collect()
     }
 
     /// Conversations migrated so far.
@@ -368,16 +366,28 @@ impl<B: ServingBackend> Router<B> {
     /// benches; routing itself never bypasses the trait).
     #[must_use]
     pub fn replica(&self, idx: usize) -> &B {
+        // lint:allow(r1-index): harness-only inspection accessor; a bad
+        // index should fail the test loudly, not be masked with a default.
         &self.replicas[idx].backend
     }
 
     fn alive_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.replicas.len()).filter(|&i| self.replicas[i].alive)
+        self.alive_backends().map(|(i, _)| i)
+    }
+
+    /// Every alive replica's `(index, backend)`, in index order — the
+    /// borrow-based walk that placement and aggregation build on.
+    fn alive_backends(&self) -> impl Iterator<Item = (usize, &B)> + '_ {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.alive)
+            .map(|(i, r)| (i, &r.backend))
     }
 
     fn min_alive_depth(&self) -> usize {
-        self.alive_indices()
-            .map(|i| self.replicas[i].backend.queue_depth())
+        self.alive_backends()
+            .map(|(_, b)| b.queue_depth())
             .min()
             .unwrap_or(0)
     }
@@ -400,15 +410,17 @@ impl<B: ServingBackend> Router<B> {
     }
 
     fn fail_replica_now(&mut self, idx: usize, at: SimTime) {
-        if !self.replicas[idx].alive {
+        let Some(victim) = self.replicas.get_mut(idx) else {
+            return;
+        };
+        if !victim.alive {
             return;
         }
-        let t = at.max(self.replicas[idx].backend.now());
+        let t = at.max(victim.backend.now());
         // Responses completed before the failure survive it.
-        self.buffered
-            .extend(self.replicas[idx].backend.drain_responses());
-        let orphans = self.replicas[idx].backend.fail_stop();
-        self.replicas[idx].alive = false;
+        self.buffered.extend(victim.backend.drain_responses());
+        let orphans = victim.backend.fail_stop();
+        victim.alive = false;
         self.affinity.retain(|_, r| *r != idx);
         self.replica_failures += 1;
         self.recorder.record(TraceEvent::ReplicaFailed {
@@ -465,7 +477,7 @@ impl<B: ServingBackend> Router<B> {
             orphans.iter().map(|r| (r.conv, r.history_tokens)).collect();
         for (conv, state) in failover {
             let standby = state.standby;
-            if !self.replicas[standby].alive {
+            if !self.replicas.get(standby).is_some_and(|r| r.alive) {
                 // Standby died too (multi-fault schedule): nothing to
                 // promote, the session recomputes from raw tokens.
                 continue;
@@ -493,7 +505,10 @@ impl<B: ServingBackend> Router<B> {
                     session: conv,
                     chunks,
                 };
-                let admitted = self.replicas[standby].backend.import_session(export);
+                let admitted = self
+                    .replicas
+                    .get_mut(standby)
+                    .map_or(0, |r| r.backend.import_session(export));
                 if admitted > 0 {
                     self.affinity.insert(conv, standby);
                 }
@@ -531,7 +546,7 @@ impl<B: ServingBackend> Router<B> {
         let n = self.replicas.len();
         (1..n)
             .map(|off| (primary + off) % n)
-            .find(|&i| self.replicas[i].alive)
+            .find(|&i| self.replicas.get(i).is_some_and(|r| r.alive))
     }
 
     /// Drains each per-replica recorder into the router's recorder, in
@@ -565,17 +580,20 @@ impl<B: ServingBackend> Router<B> {
             return;
         }
         for i in 0..self.replicas.len() {
-            if !self.replicas[i].alive {
+            let Some(primary) = self.replicas.get_mut(i) else {
+                break;
+            };
+            if !primary.alive {
                 continue;
             }
-            let commits = self.replicas[i].backend.take_committed_kv();
+            let commits = primary.backend.take_committed_kv();
+            let now = primary.backend.now();
+            let bytes_per_token = primary.backend.kv_bytes_per_token();
             // With no second replica alive there is nobody to stand by:
             // the drained commits are dropped (the log stays bounded).
             let Some(standby) = self.standby_of(i) else {
                 continue;
             };
-            let now = self.replicas[i].backend.now();
-            let bytes_per_token = self.replicas[i].backend.kv_bytes_per_token();
             let Some(rep) = self.replication.as_mut() else {
                 return;
             };
@@ -614,11 +632,17 @@ impl<B: ServingBackend> Router<B> {
     /// regardless of policy.
     fn dispatch_to(&mut self, req: Request, target: usize) {
         self.origin_arrivals.entry(req.id).or_insert(req.arrival);
-        if req.arrival > self.replicas[target].backend.now() {
+        let Some(rep) = self.replicas.get(target) else {
+            // A target outside the fleet (corrupt schedule data): keep the
+            // request rather than lose it; a later dispatch re-places it.
+            self.parked.push(req);
+            return;
+        };
+        if req.arrival > rep.backend.now() {
             self.wakeups.push(req.arrival);
             self.wakeups.sort_by_key(|&t| OrdTime(t));
         }
-        let cached = self.replicas[target].backend.cached_tokens(req.conv);
+        let cached = rep.backend.cached_tokens(req.conv);
         self.affinity.insert(req.conv, target);
         self.routed += 1;
         self.recorder.record(TraceEvent::Routed {
@@ -629,7 +653,9 @@ impl<B: ServingBackend> Router<B> {
             cached_tokens: cached,
         });
         self.publish_metrics(req.arrival);
-        self.replicas[target].backend.submit(req);
+        if let Some(rep) = self.replicas.get_mut(target) {
+            rep.backend.submit(req);
+        }
     }
 
     /// Picks the placement target per policy. `None` only when every
@@ -640,7 +666,7 @@ impl<B: ServingBackend> Router<B> {
             RouterPolicy::RoundRobin => {
                 for off in 0..n {
                     let i = (self.rr_next + off) % n;
-                    if self.replicas[i].alive {
+                    if self.replicas.get(i).is_some_and(|r| r.alive) {
                         self.rr_next = (i + 1) % n;
                         return Some(i);
                     }
@@ -648,16 +674,17 @@ impl<B: ServingBackend> Router<B> {
                 None
             }
             RouterPolicy::LeastLoaded => self
-                .alive_indices()
-                .min_by_key(|&i| (self.replicas[i].backend.queue_depth(), i)),
+                .alive_backends()
+                .min_by_key(|&(i, b)| (b.queue_depth(), i))
+                .map(|(i, _)| i),
             RouterPolicy::CacheAware => {
                 let min_depth = self.min_alive_depth();
                 // Highest score wins: cached hit-tokens minus the load
                 // imbalance penalty; ties go to the lowest index.
-                self.alive_indices()
-                    .map(|i| {
-                        let cached = self.replicas[i].backend.cached_tokens(req.conv) as i64;
-                        let excess = (self.replicas[i].backend.queue_depth() - min_depth) as i64;
+                self.alive_backends()
+                    .map(|(i, b)| {
+                        let cached = b.cached_tokens(req.conv) as i64;
+                        let excess = (b.queue_depth() - min_depth) as i64;
                         let score = cached - excess * self.cfg.imbalance_penalty_tokens as i64;
                         (score, i)
                     })
@@ -674,12 +701,15 @@ impl<B: ServingBackend> Router<B> {
     /// clearly less-loaded alternative exists, migrates the session's KV
     /// there and retargets the request; otherwise returns it unchanged.
     fn maybe_migrate(&mut self, mut req: Request, target: usize) -> (Request, usize) {
-        let depth = self.replicas[target].backend.queue_depth();
+        let Some(affine) = self.replicas.get(target) else {
+            return (req, target);
+        };
+        let depth = affine.backend.queue_depth();
         if depth < self.cfg.saturation_depth {
             return (req, target);
         }
         if self.affinity.get(&req.conv) != Some(&target)
-            || self.replicas[target].backend.cached_tokens(req.conv) == 0
+            || affine.backend.cached_tokens(req.conv) == 0
         {
             return (req, target);
         }
@@ -687,11 +717,14 @@ impl<B: ServingBackend> Router<B> {
         // requests lighter, so a borderline depth difference cannot
         // bounce a session back and forth.
         let alt = self
-            .alive_indices()
-            .filter(|&i| i != target)
-            .min_by_key(|&i| (self.replicas[i].backend.queue_depth(), i));
-        let Some(alt) = alt else { return (req, target) };
-        if self.replicas[alt].backend.queue_depth() + 2 > depth {
+            .alive_backends()
+            .filter(|&(i, _)| i != target)
+            .map(|(i, b)| (b.queue_depth(), i))
+            .min();
+        let Some((alt_depth, alt)) = alt else {
+            return (req, target);
+        };
+        if alt_depth + 2 > depth {
             return (req, target);
         }
         let Some(end) = self.migrate(req.conv, target, alt, req.arrival) else {
@@ -712,8 +745,9 @@ impl<B: ServingBackend> Router<B> {
         to: usize,
         at: SimTime,
     ) -> Option<SimTime> {
-        let mut export = self.replicas[from].backend.export_session(session)?;
-        let bytes_per_token = self.replicas[from].backend.kv_bytes_per_token() as u64;
+        let source = self.replicas.get_mut(from)?;
+        let mut export = source.backend.export_session(session)?;
+        let bytes_per_token = source.backend.kv_bytes_per_token() as u64;
         let total_bytes: u64 = export
             .chunks
             .iter()
@@ -731,7 +765,9 @@ impl<B: ServingBackend> Router<B> {
         let mut transfer_end = at;
         let mut lost_tokens = 0usize;
         for i in 0..export.chunks.len() {
-            let chunk = export.chunks[i];
+            let Some(chunk) = export.chunks.get(i).copied() else {
+                break;
+            };
             if chunk.tier == Tier::Dropped {
                 continue;
             }
@@ -757,7 +793,10 @@ impl<B: ServingBackend> Router<B> {
         self.migrations += 1;
         self.migrated_tokens += streamed as u64;
         self.migration_lost_tokens += lost_tokens as u64;
-        let _admitted = self.replicas[to].backend.import_session(export);
+        let _admitted = self
+            .replicas
+            .get_mut(to)
+            .map_or(0, |r| r.backend.import_session(export));
         self.affinity.insert(session, to);
         Some(transfer_end)
     }
@@ -870,13 +909,18 @@ impl<B: ServingBackend + Send> ServingBackend for Router<B> {
             };
             // Poll the laggard replica first: deterministic order, and the
             // cluster clock (the minimum) advances as fast as possible.
-            let mut order: Vec<usize> = self.alive_indices().collect();
-            order.sort_by_key(|&i| (OrdTime(self.replicas[i].backend.now()), i));
+            let mut order: Vec<(OrdTime, usize)> = self
+                .alive_backends()
+                .map(|(i, b)| (OrdTime(b.now()), i))
+                .collect();
+            order.sort();
             let mut progressed = false;
-            for i in order {
-                let before = self.replicas[i].backend.now();
-                let ready = self.replicas[i].backend.poll(eff);
-                if ready || self.replicas[i].backend.now() > before {
+            for (before, i) in order {
+                let Some(rep) = self.replicas.get_mut(i) else {
+                    continue;
+                };
+                let ready = rep.backend.poll(eff);
+                if ready || OrdTime(rep.backend.now()) > before {
                     progressed = true;
                     break;
                 }
@@ -896,10 +940,7 @@ impl<B: ServingBackend + Send> ServingBackend for Router<B> {
     }
 
     fn responses_ready(&self) -> bool {
-        !self.buffered.is_empty()
-            || self
-                .alive_indices()
-                .any(|i| self.replicas[i].backend.responses_ready())
+        !self.buffered.is_empty() || self.alive_backends().any(|(_, b)| b.responses_ready())
     }
 
     fn drain_responses(&mut self) -> Vec<Response> {
@@ -911,16 +952,19 @@ impl<B: ServingBackend + Send> ServingBackend for Router<B> {
             .is_some_and(|r| r.mode() == ReplicationMode::Sync);
         let mut out = std::mem::take(&mut self.buffered);
         for i in 0..self.replicas.len() {
-            if !self.replicas[i].alive {
+            let Some(rep) = self.replicas.get_mut(i) else {
+                break;
+            };
+            if !rep.alive {
                 continue;
             }
-            let mut fresh = self.replicas[i].backend.drain_responses();
+            let mut fresh = rep.backend.drain_responses();
+            let bytes_per_token = rep.backend.kv_bytes_per_token();
             if sync {
                 // Turn-commit barrier: the turn is not finished until its
                 // KV delta is durable on the standby. The pump above
                 // flushed eagerly, so this usually covers only the final
                 // partial delta; a lost flush retries on the spot.
-                let bytes_per_token = self.replicas[i].backend.kv_bytes_per_token();
                 for resp in &mut fresh {
                     let Some(rep) = self.replication.as_mut() else {
                         break;
@@ -944,8 +988,8 @@ impl<B: ServingBackend + Send> ServingBackend for Router<B> {
         // before it is fully simulated. With no survivors, freeze at the
         // fastest clock ever reached.
         let alive = self
-            .alive_indices()
-            .map(|i| self.replicas[i].backend.now())
+            .alive_backends()
+            .map(|(_, b)| b.now())
             .min_by_key(|&t| OrdTime(t));
         alive.unwrap_or_else(|| {
             self.replicas
@@ -976,39 +1020,34 @@ impl<B: ServingBackend + Send> ServingBackend for Router<B> {
     }
 
     fn is_idle(&self) -> bool {
-        self.buffered.is_empty()
-            && self
-                .alive_indices()
-                .all(|i| self.replicas[i].backend.is_idle())
+        self.buffered.is_empty() && self.alive_backends().all(|(_, b)| b.is_idle())
     }
 
     fn running_requests(&self) -> usize {
-        self.alive_indices()
-            .map(|i| self.replicas[i].backend.running_requests())
+        self.alive_backends()
+            .map(|(_, b)| b.running_requests())
             .sum()
     }
 
     fn waiting_requests(&self) -> usize {
-        self.alive_indices()
-            .map(|i| self.replicas[i].backend.waiting_requests())
+        self.alive_backends()
+            .map(|(_, b)| b.waiting_requests())
             .sum()
     }
 
     fn gpu_slots_used(&self) -> usize {
-        self.alive_indices()
-            .map(|i| self.replicas[i].backend.gpu_slots_used())
-            .sum()
+        self.alive_backends().map(|(_, b)| b.gpu_slots_used()).sum()
     }
 
     fn gpu_capacity_tokens(&self) -> usize {
-        self.alive_indices()
-            .map(|i| self.replicas[i].backend.gpu_capacity_tokens())
+        self.alive_backends()
+            .map(|(_, b)| b.gpu_capacity_tokens())
             .sum()
     }
 
     fn cpu_tokens_used(&self) -> usize {
-        self.alive_indices()
-            .map(|i| self.replicas[i].backend.cpu_tokens_used())
+        self.alive_backends()
+            .map(|(_, b)| b.cpu_tokens_used())
             .sum()
     }
 
@@ -1021,10 +1060,11 @@ impl<B: ServingBackend + Send> ServingBackend for Router<B> {
     }
 
     fn cached_tokens(&self, session: SessionId) -> usize {
-        match self.affinity.get(&session) {
-            Some(&i) if self.replicas[i].alive => self.replicas[i].backend.cached_tokens(session),
-            _ => 0,
-        }
+        self.affinity
+            .get(&session)
+            .and_then(|&i| self.replicas.get(i))
+            .filter(|r| r.alive)
+            .map_or(0, |r| r.backend.cached_tokens(session))
     }
 
     fn cache_stats(&self) -> CacheStats {
@@ -1039,35 +1079,36 @@ impl<B: ServingBackend + Send> ServingBackend for Router<B> {
 
     fn export_session(&mut self, session: SessionId) -> Option<SessionExport> {
         let &i = self.affinity.get(&session)?;
-        if !self.replicas[i].alive {
-            return None;
-        }
-        let export = self.replicas[i].backend.export_session(session)?;
+        let rep = self.replicas.get_mut(i).filter(|r| r.alive)?;
+        let export = rep.backend.export_session(session)?;
         self.affinity.remove(&session);
         Some(export)
     }
 
     fn import_session(&mut self, export: SessionExport) -> usize {
         let Some(target) = self
-            .alive_indices()
-            .min_by_key(|&i| (self.replicas[i].backend.queue_depth(), i))
+            .alive_backends()
+            .min_by_key(|&(i, b)| (b.queue_depth(), i))
+            .map(|(i, _)| i)
         else {
             return 0;
         };
         let session = export.session;
-        let admitted = self.replicas[target].backend.import_session(export);
+        let admitted = self
+            .replicas
+            .get_mut(target)
+            .map_or(0, |r| r.backend.import_session(export));
         self.affinity.insert(session, target);
         admitted
     }
 
     fn fail_stop(&mut self) -> Vec<Request> {
         let mut orphans = Vec::new();
-        for i in 0..self.replicas.len() {
-            if self.replicas[i].alive {
-                self.buffered
-                    .extend(self.replicas[i].backend.drain_responses());
-                orphans.extend(self.replicas[i].backend.fail_stop());
-                self.replicas[i].alive = false;
+        for r in &mut self.replicas {
+            if r.alive {
+                self.buffered.extend(r.backend.drain_responses());
+                orphans.extend(r.backend.fail_stop());
+                r.alive = false;
             }
         }
         // Requests parked while every replica was dead were accepted but

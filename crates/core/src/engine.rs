@@ -312,6 +312,9 @@ impl SimServingEngine {
             recorder: None,
             pool: Pool::serial(),
             pool_busy_prev: Duration::ZERO,
+            // lint:allow(r2-wall-clock): pool-utilization epoch for the
+            // metrics gauge only — real execution time of real threads,
+            // never read by scheduling, eviction, or token generation.
             pool_wall_prev: Instant::now(),
         };
         // Materialize the shared system-prompt KV state once, pinned so
@@ -671,6 +674,8 @@ impl SimServingEngine {
         // time — the pool does real work; a serial pool reads 0).
         let stats = self.pool.stats();
         let workers = stats.threads.saturating_sub(1);
+        // lint:allow(r2-wall-clock): measures how busy the real worker
+        // pool was between metric samples; feeds a gauge, never a result.
         let wall_now = Instant::now();
         let wall = wall_now.duration_since(self.pool_wall_prev);
         let busy = stats.busy.saturating_sub(self.pool_busy_prev);

@@ -15,6 +15,8 @@
 //!   queue is drained — the disconnect signal the engine uses to detect
 //!   dead tensor-parallel workers.
 
+pub mod model;
+
 /// A **persistent** worker pool for data-parallel kernels.
 ///
 /// Earlier revisions spawned and joined OS threads on every
@@ -385,8 +387,11 @@ pub mod pool {
                     f(i, item);
                 }
                 if n > 0 {
-                    durs[0] = t0.elapsed();
-                    self.record_inline(durs[0]);
+                    let took = t0.elapsed();
+                    if let Some(slot) = durs.first_mut() {
+                        *slot = took;
+                    }
+                    self.record_inline(took);
                 }
                 return durs;
             }
@@ -451,7 +456,9 @@ pub mod pool {
                         // batch's latch reaches zero — the borrow is
                         // live for the whole call.
                         let r = catch_unwind(AssertUnwindSafe(|| unsafe { call(data.get(), t) }));
-                        lock(&b.durs)[t] = t0.elapsed();
+                        if let Some(slot) = lock(&b.durs).get_mut(t) {
+                            *slot = t0.elapsed();
+                        }
                         b.complete(r.err());
                     }));
                 }
@@ -463,7 +470,9 @@ pub mod pool {
             // The caller is worker 0.
             let t0 = Instant::now();
             let mine = catch_unwind(AssertUnwindSafe(|| task(0)));
-            lock(&batch.durs)[0] = t0.elapsed();
+            if let Some(slot) = lock(&batch.durs).first_mut() {
+                *slot = t0.elapsed();
+            }
             // Help drain the queue instead of blocking: on machines with
             // fewer cores than partitions the caller does most of the
             // work itself, and nested dispatch from inside a worker can

@@ -1,0 +1,361 @@
+//! A loom-style exhaustive interleaving model of the pool's park/unpark
+//! + queue-drain-helping protocol.
+//!
+//! [`super::pool::Pool`] rests on three load-bearing claims:
+//!
+//! 1. **No lost-wakeup deadlock.** Jobs are enqueued *before*
+//!    `notify_all`, under the same mutex the workers re-check after
+//!    waking, so a worker can never park forever while work sits in the
+//!    queue — and even if every wakeup were lost, the dispatching caller
+//!    drains the queue itself before blocking on the latch.
+//! 2. **The latch, not queue emptiness, is the batch barrier.** A popped
+//!    job may still be *running* when the queue reads empty; the caller
+//!    must keep blocking until the latch reaches zero or a worker would
+//!    still be executing a closure that borrows the caller's dead stack
+//!    frame.
+//! 3. **Every partition runs exactly once**, across every interleaving
+//!    of pops, parks, notifies, and shutdown.
+//!
+//! This module checks those claims by exhaustive state-space search
+//! rather than by timing-dependent stress: the protocol is abstracted to
+//! a small state machine per thread (parking is atomic with the
+//! queue re-check, exactly like `Condvar::wait` releasing the mutex) and
+//! a DFS enumerates *every* reachable interleaving, counting deadlocks,
+//! double-executions, and premature barrier crossings. Knobs in
+//! [`ModelConfig`] deliberately re-introduce the historical bug classes
+//! (notify before enqueue without helping; queue-emptiness as the
+//! barrier) so the test suite can prove the explorer detects them — and
+//! therefore that the shipped protocol's zero-counts are meaningful.
+//!
+//! Wakeups are adversarial: a parked worker wakes *only* on a notify
+//! (no spurious wakeups), which is the hostile scheduling for
+//! lost-wakeup bugs.
+
+use std::collections::BTreeSet;
+
+/// One enqueued partition: `(batch, part)`.
+type Job = (u8, u8);
+
+/// Worker automaton state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Worker {
+    /// Holding no job: will pop, exit, or park at its next step.
+    Checking,
+    /// Parked on the condvar; runnable again only after a notify.
+    Parked,
+    /// Executing a popped job (the queue no longer holds it).
+    Running(Job),
+    /// Saw shutdown with an empty queue and returned.
+    Exited,
+}
+
+/// Dispatching-caller automaton state (one batch at a time, then
+/// shutdown and join — the pool's drop path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Caller {
+    /// Pushing the current batch's `parts - 1` jobs under the queue lock.
+    Enqueue,
+    /// `notify_all` after the push (or before it, in the buggy variant).
+    Notify,
+    /// Running its own partition 0 inline.
+    RunOwn,
+    /// Queue-drain helping: pop one job if any, else fall through to the
+    /// barrier.
+    Help,
+    /// Executing a job it popped while helping.
+    HelpRunning(Job),
+    /// Blocked on the batch barrier.
+    Barrier,
+    /// Setting the shutdown flag (last batch done).
+    SetShutdown,
+    /// `notify_all` so parked workers observe shutdown.
+    NotifyShutdown,
+    /// Joining workers; runnable once every worker exited.
+    Join,
+    /// Terminal.
+    Done,
+}
+
+/// One global state of the abstract protocol. `Ord` so visited-set
+/// membership is cheap and deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    queue: Vec<Job>,
+    shutdown: bool,
+    workers: Vec<Worker>,
+    caller: Caller,
+    /// Outstanding enqueued partitions of the current batch (the latch).
+    latch: u8,
+    /// Current batch index (batches dispatch sequentially).
+    batch: u8,
+    /// Execution count per `(batch, part)`, indexed `batch * parts + part`.
+    executed: Vec<u8>,
+}
+
+/// Protocol variant under test. The default is the shipped protocol;
+/// the flags re-introduce historical bug classes for negative tests.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Parked OS workers (the caller is worker 0 and is always modeled).
+    pub workers: usize,
+    /// Sequential batches to dispatch.
+    pub batches: usize,
+    /// Partitions per batch (the caller runs partition 0 inline).
+    pub parts: usize,
+    /// Shipped: the caller drains the queue before blocking. Off, the
+    /// caller blocks on the barrier right after its own partition.
+    pub caller_helps: bool,
+    /// Bug variant: `notify_all` *before* the jobs are pushed, modeling
+    /// a lost wakeup.
+    pub notify_before_enqueue: bool,
+    /// Bug variant: the caller treats *queue empty* as the batch
+    /// barrier instead of the latch.
+    pub queue_empty_barrier: bool,
+}
+
+impl ModelConfig {
+    /// The shipped protocol at the given size.
+    #[must_use]
+    pub fn shipped(workers: usize, batches: usize, parts: usize) -> Self {
+        ModelConfig {
+            workers,
+            batches,
+            parts,
+            caller_helps: true,
+            notify_before_enqueue: false,
+            queue_empty_barrier: false,
+        }
+    }
+}
+
+/// Aggregate verdict over every reachable interleaving.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Exploration {
+    /// Distinct states visited.
+    pub states: u64,
+    /// States with no enabled transition and an unfinished caller.
+    pub deadlocks: u64,
+    /// Terminal states (caller done, workers exited).
+    pub completions: u64,
+    /// States where some partition has executed more than once.
+    pub double_runs: u64,
+    /// Caller crossed the batch barrier while a job of that batch was
+    /// still queued or running — the use-after-free hazard.
+    pub premature_crossings: u64,
+    /// Terminal states where some partition never executed.
+    pub lost_jobs: u64,
+}
+
+/// Enumerates every reachable interleaving of the protocol by DFS with
+/// memoization, and tallies property violations. Deterministic: no
+/// randomness, no timing, fixed transition order.
+#[must_use]
+pub fn explore(cfg: &ModelConfig) -> Exploration {
+    let init = State {
+        queue: Vec::new(),
+        shutdown: false,
+        workers: vec![Worker::Checking; cfg.workers],
+        caller: Caller::Enqueue,
+        latch: 0,
+        batch: 0,
+        executed: vec![0; cfg.batches * cfg.parts],
+    };
+    let mut verdict = Exploration::default();
+    let mut seen: BTreeSet<State> = BTreeSet::new();
+    let mut stack: Vec<State> = vec![init];
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s.clone()) {
+            continue;
+        }
+        verdict.states += 1;
+        if s.executed.iter().any(|&n| n > 1) {
+            verdict.double_runs += 1;
+            continue; // already broken; successors add nothing
+        }
+        let succ = successors(cfg, &s, &mut verdict);
+        if succ.is_empty() {
+            if s.caller == Caller::Done {
+                verdict.completions += 1;
+                if s.executed.contains(&0) {
+                    verdict.lost_jobs += 1;
+                }
+            } else {
+                verdict.deadlocks += 1;
+            }
+        }
+        stack.extend(succ);
+    }
+    verdict
+}
+
+/// All states reachable in one atomic step from `s`. Also tallies
+/// premature barrier crossings as they are generated (the hazard is the
+/// *transition*, not the resulting state).
+fn successors(cfg: &ModelConfig, s: &State, verdict: &mut Exploration) -> Vec<State> {
+    let mut out = Vec::new();
+    // -- worker steps
+    for (w, st) in s.workers.iter().enumerate() {
+        match st {
+            Worker::Checking => {
+                let mut n = s.clone();
+                if let Some(job) = pop_front(&mut n.queue) {
+                    // Pop holds the lock; execution happens unlocked.
+                    n.workers[w] = Worker::Running(job);
+                } else if n.shutdown {
+                    n.workers[w] = Worker::Exited;
+                } else {
+                    // `Condvar::wait` parks atomically with the mutex
+                    // release: no step can interleave between the empty
+                    // re-check and the park.
+                    n.workers[w] = Worker::Parked;
+                }
+                out.push(n);
+            }
+            Worker::Running(job) => {
+                let mut n = s.clone();
+                mark_executed(cfg, &mut n, *job);
+                n.latch = n.latch.saturating_sub(1);
+                n.workers[w] = Worker::Checking;
+                out.push(n);
+            }
+            // Parked workers move only when a notify step wakes them;
+            // Exited workers never move.
+            Worker::Parked | Worker::Exited => {}
+        }
+    }
+    // -- caller steps
+    match s.caller {
+        Caller::Enqueue => {
+            let mut n = s.clone();
+            for part in 1..cfg.parts {
+                n.queue.push((n.batch, part as u8));
+            }
+            n.latch = (cfg.parts - 1) as u8;
+            n.caller = if cfg.notify_before_enqueue {
+                // Buggy ordering: the notify already happened.
+                Caller::RunOwn
+            } else {
+                Caller::Notify
+            };
+            out.push(n);
+        }
+        Caller::Notify => {
+            let mut n = s.clone();
+            wake_all(&mut n);
+            n.caller = if cfg.notify_before_enqueue {
+                Caller::Enqueue
+            } else {
+                Caller::RunOwn
+            };
+            out.push(n);
+        }
+        Caller::RunOwn => {
+            let mut n = s.clone();
+            let own = (n.batch, 0);
+            mark_executed(cfg, &mut n, own);
+            n.caller = if cfg.caller_helps {
+                Caller::Help
+            } else {
+                Caller::Barrier
+            };
+            out.push(n);
+        }
+        Caller::Help => {
+            let mut n = s.clone();
+            if let Some(job) = pop_front(&mut n.queue) {
+                n.caller = Caller::HelpRunning(job);
+            } else {
+                n.caller = Caller::Barrier;
+            }
+            out.push(n);
+        }
+        Caller::HelpRunning(job) => {
+            let mut n = s.clone();
+            mark_executed(cfg, &mut n, job);
+            n.latch = n.latch.saturating_sub(1);
+            n.caller = Caller::Help;
+            out.push(n);
+        }
+        Caller::Barrier => {
+            let open = if cfg.queue_empty_barrier {
+                s.queue.iter().all(|&(b, _)| b != s.batch)
+            } else {
+                s.latch == 0
+            };
+            if open {
+                let mut n = s.clone();
+                if in_flight(&n, n.batch) {
+                    // Crossing while a partition of this batch is still
+                    // queued or running: its closure borrows a stack
+                    // frame the caller is about to pop.
+                    verdict.premature_crossings += 1;
+                }
+                n.batch += 1;
+                n.caller = if usize::from(n.batch) < cfg.batches {
+                    Caller::Enqueue
+                } else {
+                    Caller::SetShutdown
+                };
+                out.push(n);
+            }
+            // Latch still up (or queue non-empty): blocked; the waking
+            // decrement is a worker/help step, so no self-transition.
+        }
+        Caller::SetShutdown => {
+            let mut n = s.clone();
+            n.shutdown = true;
+            n.caller = Caller::NotifyShutdown;
+            out.push(n);
+        }
+        Caller::NotifyShutdown => {
+            let mut n = s.clone();
+            wake_all(&mut n);
+            n.caller = Caller::Join;
+            out.push(n);
+        }
+        Caller::Join => {
+            if s.workers.iter().all(|w| *w == Worker::Exited) {
+                let mut n = s.clone();
+                n.caller = Caller::Done;
+                out.push(n);
+            }
+        }
+        Caller::Done => {}
+    }
+    out
+}
+
+/// FIFO pop mirroring `VecDeque::pop_front` under the queue mutex.
+fn pop_front(queue: &mut Vec<Job>) -> Option<Job> {
+    if queue.is_empty() {
+        None
+    } else {
+        Some(queue.remove(0))
+    }
+}
+
+/// `notify_all`: every parked worker becomes runnable and re-checks.
+fn wake_all(s: &mut State) {
+    for w in &mut s.workers {
+        if *w == Worker::Parked {
+            *w = Worker::Checking;
+        }
+    }
+}
+
+/// Records one execution of `job`, saturating so broken variants with
+/// double-runs stay finite.
+fn mark_executed(cfg: &ModelConfig, s: &mut State, job: Job) {
+    let idx = usize::from(job.0) * cfg.parts + usize::from(job.1);
+    if let Some(n) = s.executed.get_mut(idx) {
+        *n = n.saturating_add(1);
+    }
+}
+
+/// True when a partition of `batch` is still queued or mid-execution.
+fn in_flight(s: &State, batch: u8) -> bool {
+    s.queue.iter().any(|&(b, _)| b == batch)
+        || s.workers
+            .iter()
+            .any(|w| matches!(w, Worker::Running((b, _)) if *b == batch))
+}

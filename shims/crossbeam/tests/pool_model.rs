@@ -1,0 +1,136 @@
+//! Exhaustive interleaving checks of the pool dispatch protocol via the
+//! abstract model in `crossbeam::model`.
+//!
+//! The positive tests prove the shipped protocol (enqueue-then-notify,
+//! caller queue-drain helping, latch barrier) is deadlock-free,
+//! exactly-once, and never crosses the batch barrier with work still in
+//! flight — over *every* interleaving at several pool sizes, including
+//! zero workers (the caller-only degenerate pool) and more workers than
+//! jobs. The negative tests re-introduce two historical bug classes and
+//! assert the explorer flags them, which is what makes the zero-counts
+//! above evidence rather than vacuous.
+
+use crossbeam::model::{explore, ModelConfig};
+
+#[test]
+fn shipped_protocol_is_deadlock_free_and_exactly_once() {
+    for (workers, batches, parts) in [
+        (0, 1, 1), // degenerate pool: caller runs everything inline
+        (1, 2, 2),
+        (2, 2, 3),
+        (3, 1, 2), // more workers than enqueued jobs: extras must park and exit
+        (2, 3, 2), // batch reuse: the same pool dispatches repeatedly
+    ] {
+        let v = explore(&ModelConfig::shipped(workers, batches, parts));
+        assert!(
+            v.states > 0,
+            "{workers}w/{batches}b/{parts}p explored nothing"
+        );
+        assert_eq!(
+            v.deadlocks, 0,
+            "{workers}w/{batches}b/{parts}p: deadlocking interleaving found: {v:?}"
+        );
+        assert_eq!(
+            v.double_runs, 0,
+            "{workers}w/{batches}b/{parts}p: a partition ran twice: {v:?}"
+        );
+        assert_eq!(
+            v.premature_crossings, 0,
+            "{workers}w/{batches}b/{parts}p: barrier crossed with work in flight: {v:?}"
+        );
+        assert_eq!(
+            v.lost_jobs, 0,
+            "{workers}w/{batches}b/{parts}p: a completed run skipped a partition: {v:?}"
+        );
+        assert!(
+            v.completions > 0,
+            "{workers}w/{batches}b/{parts}p: no interleaving reached completion: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn helping_alone_masks_lost_wakeups() {
+    // Even with the buggy notify-before-enqueue ordering, the shipped
+    // queue-drain helping keeps the batch itself deadlock-free: a caller
+    // that finds every worker asleep simply runs all partitions itself,
+    // and the shutdown notify still wakes the parked workers. This is
+    // the redundancy that makes the protocol robust, and why the
+    // deadlock below only appears once helping is also removed.
+    let v = explore(&ModelConfig {
+        workers: 2,
+        batches: 2,
+        parts: 3,
+        caller_helps: true,
+        notify_before_enqueue: true,
+        queue_empty_barrier: false,
+    });
+    assert_eq!(
+        v.deadlocks, 0,
+        "helping should absorb the lost wakeup: {v:?}"
+    );
+    assert_eq!(v.double_runs, 0, "{v:?}");
+    assert!(v.completions > 0, "{v:?}");
+}
+
+#[test]
+fn lost_wakeup_without_helping_deadlocks() {
+    // The explorer must detect the classic lost-wakeup bug: notify fires
+    // before the jobs are enqueued, a worker wakes, sees an empty queue,
+    // and parks forever; with no queue-drain helping the caller then
+    // blocks on a latch nobody will decrement. This is the negative
+    // control proving the zero-deadlock results above are meaningful.
+    let v = explore(&ModelConfig {
+        workers: 1,
+        batches: 1,
+        parts: 2,
+        caller_helps: false,
+        notify_before_enqueue: true,
+        queue_empty_barrier: false,
+    });
+    assert!(
+        v.deadlocks > 0,
+        "explorer failed to find the lost-wakeup deadlock: {v:?}"
+    );
+}
+
+#[test]
+fn correct_ordering_without_helping_is_still_deadlock_free() {
+    // Isolate the bug to the notify ordering: with enqueue-then-notify
+    // under one lock, even a non-helping caller never deadlocks, because
+    // a worker either parked before the notify (and is woken) or was
+    // checking and observes the now-non-empty queue.
+    let v = explore(&ModelConfig {
+        workers: 2,
+        batches: 2,
+        parts: 2,
+        caller_helps: false,
+        notify_before_enqueue: false,
+        queue_empty_barrier: false,
+    });
+    assert_eq!(v.deadlocks, 0, "{v:?}");
+    assert_eq!(v.double_runs, 0, "{v:?}");
+    assert!(v.completions > 0, "{v:?}");
+}
+
+#[test]
+fn queue_empty_barrier_crosses_with_work_in_flight() {
+    // The latch exists because "queue is empty" is NOT "batch is done":
+    // a worker may have popped a job it is still executing. A caller
+    // using queue emptiness as the barrier returns while that closure
+    // still borrows its stack frame — the use-after-free hazard the
+    // latch prevents. The explorer must observe at least one such
+    // premature crossing.
+    let v = explore(&ModelConfig {
+        workers: 2,
+        batches: 1,
+        parts: 3,
+        caller_helps: true,
+        notify_before_enqueue: false,
+        queue_empty_barrier: true,
+    });
+    assert!(
+        v.premature_crossings > 0,
+        "explorer failed to catch the queue-empty barrier hazard: {v:?}"
+    );
+}
