@@ -26,6 +26,17 @@
 //!   [`Router::apply_fault_schedule`] turns a seeded
 //!   [`pensieve_sim::FaultSchedule`] into scheduled crashes and link
 //!   partitions for chaos testing.
+//! * **Cold-store manifest persistence.** With
+//!   [`RouterConfig::manifest_persistence`] on, every replication
+//!   barrier also serializes each session's chunk manifest to a
+//!   simulated cold object store that survives replica fail-stops. A
+//!   turn whose session has no cached KV anywhere rehydrates its chunk
+//!   layout from the manifest on a survivor — chunks re-admitted at the
+//!   cold tier, read back through that replica's own cold device at
+//!   admission — instead of recomputing from scratch. Torn manifest
+//!   writes (seeded [`pensieve_sim::FaultKind::TornManifestWrite`]
+//!   rolls) fail their checksum at rehydration time and fall back to
+//!   recomputation. See `docs/STORAGE.md` for the full storage model.
 //!
 //! Everything is deterministic: replica polling order, placement
 //! tie-breaks and the link's loss schedule are pure functions of the
@@ -52,10 +63,15 @@ use std::collections::BTreeMap;
 
 use crossbeam::pool::Pool;
 use pensieve_core::{Request, RequestId, Response, ServingBackend};
-use pensieve_kvcache::{CacheStats, ChunkState, SessionExport, SessionId, Tier};
+use pensieve_kvcache::{
+    CacheStats, ChunkState, ColdObjectStore, ManifestError, SessionExport, SessionId,
+    SessionManifest, Tier,
+};
 use pensieve_model::{SimDuration, SimTime};
-use pensieve_obs::{metrics, Recorder as _, SharedRecorder, TraceEvent};
-use pensieve_sim::{ClusterFaultKind, FaultSchedule, NodeLink, NodeLinkSpec};
+use pensieve_obs::{metrics, Recorder as _, RecoveryKind, SharedRecorder, TraceEvent};
+use pensieve_sim::{
+    ClusterFaultKind, FaultConfig, FaultInjector, FaultKind, FaultSchedule, NodeLink, NodeLinkSpec,
+};
 
 use crate::policy::RouterPolicy;
 use crate::replication::{ReplicationConfig, ReplicationMode, Replicator};
@@ -76,6 +92,16 @@ pub struct RouterConfig {
     /// Standby KV replication knobs (default: disabled, so existing
     /// cluster configurations and their pinned traces are unchanged).
     pub replication: ReplicationConfig,
+    /// Persist each session's chunk manifest to a simulated cold object
+    /// store at every replication barrier, so sessions orphaned by a
+    /// fail-stopped replica rehydrate their KV layout from the cold tier
+    /// instead of recomputing everything (see `docs/STORAGE.md`).
+    /// Default: off, so existing cluster traces are unchanged.
+    pub manifest_persistence: bool,
+    /// Seeded fault stream for manifest writes: each write rolls
+    /// [`FaultKind::TornManifestWrite`] once. `None` means writes never
+    /// tear. Ignored unless `manifest_persistence` is on.
+    pub manifest_faults: Option<FaultConfig>,
 }
 
 impl Default for RouterConfig {
@@ -85,6 +111,8 @@ impl Default for RouterConfig {
             imbalance_penalty_tokens: 256,
             link: NodeLinkSpec::datacenter_25g(),
             replication: ReplicationConfig::default(),
+            manifest_persistence: false,
+            manifest_faults: None,
         }
     }
 }
@@ -133,6 +161,11 @@ pub struct Router<B> {
     /// Standby replication state; `None` when disabled or with fewer
     /// than two replicas (there is nobody to stand by).
     replication: Option<Replicator>,
+    /// Cold-tier manifest store: session chunk layouts that survive any
+    /// replica's fail-stop (empty unless manifest persistence is on).
+    cold_store: ColdObjectStore,
+    /// Seeded torn-write roll source for manifest persistence.
+    manifest_faults: Option<FaultInjector>,
     routed: u64,
     migrations: u64,
     migrated_tokens: u64,
@@ -140,6 +173,10 @@ pub struct Router<B> {
     replica_failures: u64,
     promotions: u64,
     recomputed_suffix_tokens: u64,
+    manifests_persisted: u64,
+    torn_manifests: u64,
+    rehydrations: u64,
+    rehydrated_tokens: u64,
 }
 
 impl<B: ServingBackend> Router<B> {
@@ -158,7 +195,7 @@ impl<B: ServingBackend> Router<B> {
             } else {
                 None
             };
-        Router {
+        let mut router = Router {
             replicas: replicas
                 .into_iter()
                 .map(|backend| Replica {
@@ -180,6 +217,8 @@ impl<B: ServingBackend> Router<B> {
             replica_recorders: None,
             pool: Pool::serial(),
             replication,
+            cold_store: ColdObjectStore::new(),
+            manifest_faults: None,
             routed: 0,
             migrations: 0,
             migrated_tokens: 0,
@@ -187,7 +226,13 @@ impl<B: ServingBackend> Router<B> {
             replica_failures: 0,
             promotions: 0,
             recomputed_suffix_tokens: 0,
-        }
+            manifests_persisted: 0,
+            torn_manifests: 0,
+            rehydrations: 0,
+            rehydrated_tokens: 0,
+        };
+        router.manifest_faults = router.cfg.manifest_faults.clone().map(FaultInjector::new);
+        router
     }
 
     /// Attaches a recorder for router-level events and metrics. The
@@ -327,6 +372,36 @@ impl<B: ServingBackend> Router<B> {
         self.recomputed_suffix_tokens
     }
 
+    /// Manifest records written to the cold store so far (torn included).
+    #[must_use]
+    pub fn manifests_persisted(&self) -> u64 {
+        self.manifests_persisted
+    }
+
+    /// Manifest writes torn mid-write by fault injection so far.
+    #[must_use]
+    pub fn torn_manifests(&self) -> u64 {
+        self.torn_manifests
+    }
+
+    /// Sessions rebuilt from cold-store manifests after failures so far.
+    #[must_use]
+    pub fn rehydrations(&self) -> u64 {
+        self.rehydrations
+    }
+
+    /// KV tokens re-admitted at the cold tier by those rehydrations.
+    #[must_use]
+    pub fn rehydrated_tokens(&self) -> u64 {
+        self.rehydrated_tokens
+    }
+
+    /// Sessions with a manifest currently in the cold store.
+    #[must_use]
+    pub fn persisted_manifest_count(&self) -> usize {
+        self.cold_store.len()
+    }
+
     /// Largest per-session committed-but-unreplicated delta right now.
     #[must_use]
     pub fn replication_lag_tokens(&self) -> usize {
@@ -441,6 +516,8 @@ impl<B: ServingBackend> Router<B> {
                     self.dispatch_to(req, standby);
                 }
                 None => {
+                    // No replicated standby: `dispatch` consults the cold
+                    // store's manifests before recompute placement.
                     req.arrival = req.arrival.max(t);
                     self.dispatch(req);
                 }
@@ -576,6 +653,7 @@ impl<B: ServingBackend> Router<B> {
         // Every scheduling boundary passes through here, so this is also
         // where the merged deterministic trace is stitched together.
         self.merge_replica_events();
+        self.persist_manifests();
         if self.replication.is_none() {
             return;
         }
@@ -614,6 +692,24 @@ impl<B: ServingBackend> Router<B> {
     /// submissions and re-routes alike).
     fn dispatch(&mut self, req: Request) {
         self.origin_arrivals.entry(req.id).or_insert(req.arrival);
+        // A turn with history but no cached KV anywhere — its replica
+        // fail-stopped, or pressure demoted-then-dropped everything —
+        // may rebuild its chunk layout from the cold store's persisted
+        // manifest instead of recomputing. The chunk *reads* are charged
+        // by the target replica's own cold device at admission; only
+        // placement happens here.
+        let affine_cached = self
+            .affinity
+            .get(&req.conv)
+            .and_then(|&i| self.replicas.get(i))
+            .filter(|r| r.alive)
+            .map_or(0, |r| r.backend.cached_tokens(req.conv));
+        if req.history_tokens > 0 && affine_cached == 0 {
+            if let Some(target) = self.try_rehydrate(req.conv, req.history_tokens, req.arrival) {
+                self.dispatch_to(req, target);
+                return;
+            }
+        }
         let Some(target) = self.pick_replica(&req) else {
             self.parked.push(req);
             return;
@@ -801,6 +897,124 @@ impl<B: ServingBackend> Router<B> {
         Some(transfer_end)
     }
 
+    /// Serializes every alive replica's *changed* session manifests to
+    /// the cold object store — a pure bookkeeping step on the barrier
+    /// path (it never advances a replica clock). Each actual write rolls
+    /// [`FaultKind::TornManifestWrite`] once; a torn record fails its
+    /// checksum at rehydration time, and because unchanged manifests are
+    /// skipped by value comparison a torn record is rewritten (healed) at
+    /// the next barrier.
+    fn persist_manifests(&mut self) {
+        if !self.cfg.manifest_persistence {
+            return;
+        }
+        for i in 0..self.replicas.len() {
+            let Some(rep) = self.replicas.get(i) else {
+                break;
+            };
+            if !rep.alive {
+                continue;
+            }
+            let now = rep.backend.now();
+            for conv in rep.backend.manifest_sessions() {
+                let Some(manifest) = rep.backend.session_manifest(conv) else {
+                    continue;
+                };
+                if manifest.total_tokens() == 0 {
+                    continue;
+                }
+                if self.cold_store.get(conv).is_ok_and(|m| m == manifest) {
+                    continue; // unchanged since the last barrier
+                }
+                let torn = self
+                    .manifest_faults
+                    .as_mut()
+                    .is_some_and(|f| f.roll(FaultKind::TornManifestWrite));
+                let bytes = self.cold_store.put(&manifest, torn);
+                self.manifests_persisted += 1;
+                if torn {
+                    self.torn_manifests += 1;
+                }
+                self.recorder.record(TraceEvent::ManifestPersisted {
+                    at: now,
+                    conv: conv.0,
+                    tokens: manifest.total_tokens(),
+                    bytes: bytes as u64,
+                    torn,
+                });
+            }
+        }
+    }
+
+    /// Attempts to rebuild an orphaned session from its cold-store
+    /// manifest on the least-loaded survivor. Returns the replica that
+    /// now holds the rehydrated (cold-tier) chunks, or `None` when the
+    /// session must recompute instead: persistence off, no manifest, a
+    /// torn manifest (recorded as a [`RecoveryKind::TornManifest`]
+    /// recovery), or the survivor refused the chunks.
+    fn try_rehydrate(&mut self, conv: SessionId, cap: usize, t: SimTime) -> Option<usize> {
+        if !self.cfg.manifest_persistence {
+            return None;
+        }
+        let manifest = match self.cold_store.get(conv) {
+            Ok(m) => m,
+            Err(ManifestError::Missing) => return None,
+            Err(ManifestError::Torn) => {
+                // The record failed its checksum: drop it so the next
+                // barrier re-persists a clean one, and recompute now.
+                self.cold_store.remove(conv);
+                self.recorder.record(TraceEvent::FaultRecovery {
+                    at: t,
+                    conv: Some(conv.0),
+                    kind: RecoveryKind::TornManifest,
+                    tokens: 0,
+                });
+                return None;
+            }
+        };
+        // Cap at the orphan's history: a partially committed turn
+        // restarts from its original context, the same rule standby
+        // promotion applies to replicated chunks.
+        let mut chunk_tokens = Vec::new();
+        let mut pos = 0usize;
+        for &tokens in &manifest.chunk_tokens {
+            if pos >= cap {
+                break;
+            }
+            let take = tokens.min(cap - pos);
+            pos += take;
+            chunk_tokens.push(take);
+        }
+        let capped = SessionManifest {
+            session: conv,
+            chunk_tokens,
+        };
+        if capped.total_tokens() == 0 {
+            return None;
+        }
+        let target = self
+            .alive_backends()
+            .min_by_key(|&(i, b)| (b.queue_depth(), i))
+            .map(|(i, _)| i)?;
+        let admitted = self
+            .replicas
+            .get_mut(target)
+            .map_or(0, |r| r.backend.rehydrate_session(&capped));
+        if admitted == 0 {
+            return None;
+        }
+        self.affinity.insert(conv, target);
+        self.rehydrations += 1;
+        self.rehydrated_tokens += admitted as u64;
+        self.recorder.record(TraceEvent::SessionRehydrated {
+            at: t,
+            conv: conv.0,
+            tokens: admitted,
+            replica: target,
+        });
+        Some(target)
+    }
+
     fn publish_metrics(&self, now: SimTime) {
         let Some(rec) = self.recorder.clone() else {
             return;
@@ -839,6 +1053,16 @@ impl<B: ServingBackend> Router<B> {
             }
             m.counter_set(metrics::names::LINK_LOST_CHUNKS_TOTAL, lost_chunks);
             m.counter_set(metrics::names::LINK_STREAMED_BYTES_TOTAL, streamed_bytes);
+            if self.cfg.manifest_persistence {
+                m.counter_set(
+                    metrics::names::MANIFESTS_PERSISTED_TOTAL,
+                    self.manifests_persisted,
+                );
+                m.counter_set(
+                    metrics::names::SESSION_REHYDRATIONS_TOTAL,
+                    self.rehydrations,
+                );
+            }
             m.sample(now);
         });
     }

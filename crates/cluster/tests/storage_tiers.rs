@@ -1,0 +1,361 @@
+//! Deep-storage integration tests: cold-tier manifest persistence,
+//! cross-restart session rehydration and seeded storage chaos.
+//!
+//! The headline property mirrors migration's and replication's: the
+//! storage hierarchy changes *when* tokens are produced (and how much
+//! context is recomputed), never *what* is produced. A replica restart
+//! that rehydrates sessions from tier-3 manifests, a torn manifest
+//! write, or a seeded cold-read fault must all leave per-request outputs
+//! bit-identical to the calm run — and every faulty run must replay
+//! bit-identically from its seeds.
+//!
+//! The fault seed honors `PENSIEVE_FAULT_SEED` (CI sweeps several).
+
+use pensieve_cluster::{Router, RouterConfig, RouterPolicy};
+use pensieve_core::{EngineConfig, Request, RequestId, Response, ServingBackend, SimServingEngine};
+use pensieve_kvcache::SessionId;
+use pensieve_model::{HardwareSpec, ModelConfig, SimDuration, SimTime};
+use pensieve_obs::{RecoveryKind, SharedRecorder, TraceEvent};
+use pensieve_sim::{FaultConfig, FaultInjector};
+
+/// Fault-stream seed: `PENSIEVE_FAULT_SEED` env var, default 1.
+fn fault_seed() -> u64 {
+    std::env::var("PENSIEVE_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A deep-tier engine on the paper's hardware (capacities far above the
+/// test workloads, so only restarts — not pressure — move chunks).
+fn deep_engine() -> SimServingEngine {
+    SimServingEngine::builder(
+        EngineConfig::pensieve_deep_tiers(1 << 20, 1 << 20),
+        ModelConfig::opt_13b(),
+        HardwareSpec::azure_nc_a100(1),
+    )
+    .build()
+}
+
+fn cluster(n: usize, cfg: RouterConfig) -> Router<SimServingEngine> {
+    Router::new(
+        (0..n).map(|_| deep_engine()).collect(),
+        RouterPolicy::CacheAware,
+        cfg,
+    )
+}
+
+/// Router config with cold-store manifest persistence on; `torn` sets
+/// the probability that a manifest write tears mid-write.
+fn persistent_cfg(torn: f64) -> RouterConfig {
+    RouterConfig {
+        manifest_persistence: true,
+        manifest_faults: (torn > 0.0).then(|| FaultConfig {
+            torn_manifest_write: torn,
+            ..FaultConfig::disabled(fault_seed())
+        }),
+        ..RouterConfig::default()
+    }
+}
+
+fn req(id: u64, conv: u64, at: SimTime, prompt: usize, out: usize, hist: usize) -> Request {
+    Request::builder()
+        .id(RequestId(id))
+        .session(SessionId(conv))
+        .arrival(at)
+        .prompt_tokens(prompt)
+        .output_tokens(out)
+        .history_tokens(hist)
+        .build()
+        .expect("test turns are non-empty")
+}
+
+fn drain_all<B: ServingBackend>(b: &mut B) -> Vec<Response> {
+    let mut out = Vec::new();
+    for _ in 0..1000 {
+        b.run_until(b.now() + SimDuration::from_secs(1000.0));
+        out.extend(b.drain_responses());
+        if b.is_idle() {
+            break;
+        }
+    }
+    out
+}
+
+/// Generation identity: `(id, conv, output tokens)` sorted by id — what
+/// must be bit-identical across calm and faulty runs. Context accounting
+/// (cached vs recomputed) legitimately differs and is conservation-
+/// checked separately.
+fn ids(responses: &[Response]) -> Vec<(u64, u64, usize)> {
+    let mut out: Vec<(u64, u64, usize)> = responses
+        .iter()
+        .map(|r| (r.id.0, r.conv.0, r.output_tokens))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+const TURNS: [(u64, usize, usize); 2] = [(0, 600, 48), (1, 420, 32)];
+const FOLLOW_OUT: usize = 40;
+
+/// Phase 1 builds per-conversation KV on the affine replica (ties route
+/// everything to replica 0); optionally replica 0 then fail-stops while
+/// idle; phase 2's follow-ups arrive afterwards. Returns all responses.
+fn run_restart_script(r: &mut Router<SimServingEngine>, crash: bool) -> Vec<Response> {
+    let mut responses = Vec::new();
+    for &(conv, prompt, out) in &TURNS {
+        r.submit(req(conv, conv, r.now(), prompt, out, 0));
+        let done = drain_all(r);
+        assert_eq!(done.len(), 1, "phase-1 turn must complete");
+        responses.extend(done);
+    }
+    if crash {
+        let at = r.now() + SimDuration::from_secs(0.5);
+        r.fail_replica_at(0, at);
+        r.run_until(at + SimDuration::from_secs(0.1));
+    }
+    let t = r.now() + SimDuration::from_secs(1.0);
+    for &(conv, prompt, out) in &TURNS {
+        r.submit(req(100 + conv, conv, t, 64, FOLLOW_OUT, prompt + out));
+    }
+    let done = drain_all(r);
+    for resp in &done {
+        let (_, prompt, out) = TURNS[resp.conv.0 as usize];
+        assert_eq!(
+            resp.prefill_tokens + resp.cached_history_tokens,
+            64 + prompt + out,
+            "follow-up context must be fully cached or recomputed, never lost"
+        );
+    }
+    responses.extend(done);
+    responses
+}
+
+/// A replica restart rehydrates its sessions from their cold-store
+/// manifests on a survivor: generation output is bit-identical to the
+/// never-restarted run, the follow-ups hit rehydrated (cold-tier) KV
+/// instead of recomputing, and the whole thing replays bit-identically.
+#[test]
+fn restart_rehydrates_sessions_from_cold_manifests() {
+    let mut calm = cluster(2, persistent_cfg(0.0));
+    let reference = run_restart_script(&mut calm, false);
+
+    let faulty_run = || {
+        let rec = SharedRecorder::new();
+        let mut r = cluster(2, persistent_cfg(0.0)).recorder(rec.clone());
+        let responses = run_restart_script(&mut r, true);
+        (
+            ids(&responses),
+            r.rehydrations(),
+            r.rehydrated_tokens(),
+            r.manifests_persisted(),
+            rec.events(),
+        )
+    };
+    let (faulty, rehydrations, tokens, persisted, events) = faulty_run();
+
+    assert_eq!(faulty, ids(&reference), "restart must not change outputs");
+    assert_eq!(rehydrations, 2, "both orphaned sessions rehydrate");
+    // The final generated token of a turn is never cache-committed (it is
+    // recomputed with the next turn's prefill), so each conversation's
+    // manifest holds its history minus one token.
+    let expected: usize = TURNS.iter().map(|&(_, p, o)| p + o - 1).sum();
+    assert_eq!(
+        tokens as usize, expected,
+        "full committed histories rehydrate"
+    );
+    assert!(persisted >= 2, "manifests persisted at barriers");
+
+    let rehydrated: Vec<(u64, usize, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::SessionRehydrated {
+                conv,
+                tokens,
+                replica,
+                ..
+            } => Some((*conv, *tokens, *replica)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rehydrated.len(), 2);
+    for &(conv, tokens, replica) in &rehydrated {
+        let (_, p, o) = TURNS[conv as usize];
+        assert_eq!(tokens, p + o - 1);
+        assert_eq!(replica, 1, "sessions land on the survivor");
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ManifestPersisted { torn: false, .. })),
+        "clean manifest writes must be recorded"
+    );
+
+    // And the rehydrated KV actually serves the follow-ups.
+    let again = faulty_run();
+    assert_eq!(again.0, faulty, "faulty run must replay bit-identically");
+    assert_eq!(
+        (again.1, again.2, again.3),
+        (rehydrations, tokens, persisted)
+    );
+}
+
+/// Every manifest write torn: rehydration is abandoned (checksum fails),
+/// the sessions recompute from raw tokens, and outputs stay
+/// bit-identical to the calm run.
+#[test]
+fn torn_manifest_writes_fall_back_to_recompute() {
+    let mut calm = cluster(2, persistent_cfg(0.0));
+    let reference = run_restart_script(&mut calm, false);
+
+    let faulty_run = || {
+        let rec = SharedRecorder::new();
+        let mut r = cluster(2, persistent_cfg(1.0)).recorder(rec.clone());
+        let responses = run_restart_script(&mut r, true);
+        (
+            ids(&responses),
+            r.rehydrations(),
+            r.torn_manifests(),
+            rec.events(),
+        )
+    };
+    let (faulty, rehydrations, torn, events) = faulty_run();
+
+    assert_eq!(
+        faulty,
+        ids(&reference),
+        "torn manifests must not change outputs — recompute covers them"
+    );
+    assert_eq!(rehydrations, 0, "a torn manifest must never rehydrate");
+    assert!(torn >= 2, "every manifest write tears at p=1.0");
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            TraceEvent::FaultRecovery {
+                kind: RecoveryKind::TornManifest,
+                ..
+            }
+        )),
+        "the torn-manifest recovery path must be recorded"
+    );
+
+    let again = faulty_run();
+    assert_eq!(again.0, faulty, "faulty run must replay bit-identically");
+    assert_eq!((again.1, again.2), (rehydrations, torn));
+}
+
+/// Manifest persistence is strictly passive without faults: enabling it
+/// must not move a single clock edge of a calm run.
+#[test]
+fn manifest_persistence_is_passive_without_faults() {
+    let timeline = |cfg: RouterConfig| {
+        let mut r = cluster(2, cfg);
+        let responses = run_restart_script(&mut r, false);
+        let mut out: Vec<(u64, u64, usize, usize, u64)> = responses
+            .iter()
+            .map(|r| {
+                (
+                    r.id.0,
+                    r.conv.0,
+                    r.output_tokens,
+                    r.prefill_tokens + r.cached_history_tokens,
+                    r.finish.as_secs().to_bits(),
+                )
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    };
+    let plain = timeline(RouterConfig::default());
+    let persistent = timeline(persistent_cfg(0.0));
+    assert_eq!(plain, persistent);
+}
+
+/// A deep-tier engine under memory pressure with seeded cold-read faults
+/// (stalls and outright failures): every failed deep read falls back to
+/// dropped-chunk recomputation and the outputs stay bit-identical to the
+/// fault-free engine.
+#[test]
+fn cold_read_faults_fall_back_to_recompute() {
+    let n_convs = 6u64;
+    let prompt = 800usize;
+    let out1 = 32usize;
+
+    // Tiny GPU/CPU tiers so idle sessions demote all the way down.
+    let tiny_engine = |faults: Option<FaultConfig>| {
+        let model = ModelConfig::opt_13b();
+        let mut hw = HardwareSpec::azure_nc_a100(1);
+        let probe =
+            SimServingEngine::builder(EngineConfig::pensieve(), model.clone(), hw.clone()).build();
+        let bpt = probe.kv_bytes_per_token();
+        hw.gpu_kv_budget_bytes = bpt * 4096;
+        hw.cpu_cache_bytes_per_gpu = bpt * 1024;
+        let mut b =
+            SimServingEngine::builder(EngineConfig::pensieve_deep_tiers(2048, 1 << 20), model, hw);
+        if let Some(f) = faults {
+            b = b.fault_injector(FaultInjector::new(f));
+        }
+        b.build()
+    };
+
+    let script = |e: &mut SimServingEngine| {
+        let mut responses = Vec::new();
+        for i in 0..n_convs {
+            e.submit(req(i, i, e.now(), prompt, out1, 0));
+            let done = drain_all(e);
+            assert_eq!(done.len(), 1);
+            responses.extend(done);
+        }
+        // Oldest conversations first: their chunks demoted the deepest.
+        for i in 0..n_convs {
+            let t = e.now() + SimDuration::from_secs(1.0);
+            e.submit(req(100 + i, i, t, 64, 16, prompt + out1));
+            let done = drain_all(e);
+            for r in &done {
+                assert_eq!(
+                    r.prefill_tokens + r.cached_history_tokens,
+                    64 + prompt + out1,
+                    "context fully cached or recomputed, never lost"
+                );
+            }
+            responses.extend(done);
+        }
+        responses
+    };
+
+    let mut calm = tiny_engine(None);
+    let reference = script(&mut calm);
+    let stats = calm.cache_stats();
+    assert!(
+        stats.ssd_hit_tokens + stats.cold_hit_tokens > 0,
+        "the pressure script must actually exercise deep-tier restores \
+         (got ssd {} cold {})",
+        stats.ssd_hit_tokens,
+        stats.cold_hit_tokens
+    );
+
+    let faulty_run = || {
+        let mut e = tiny_engine(Some(FaultConfig {
+            cold_read_stall: 0.5,
+            cold_read_failure: 1.0,
+            ..FaultConfig::disabled(fault_seed())
+        }));
+        let responses = script(&mut e);
+        (ids(&responses), e.counters().cold_read_faults)
+    };
+    let (faulty, faults) = faulty_run();
+
+    assert_eq!(
+        faulty,
+        ids(&reference),
+        "cold-read faults must not change outputs — recompute covers them"
+    );
+    assert!(faults > 0, "deep reads must have been attempted and failed");
+
+    let again = faulty_run();
+    assert_eq!(
+        again,
+        (faulty, faults),
+        "faulty run replays bit-identically"
+    );
+}

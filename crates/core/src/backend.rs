@@ -24,7 +24,7 @@
 //!   fault-recovery primitives (DéjàVu-style KV streaming, with
 //!   Pensieve's dropped-token recomputation as the fallback).
 
-use pensieve_kvcache::{CacheStats, SessionExport, SessionId};
+use pensieve_kvcache::{CacheStats, SessionExport, SessionId, SessionManifest};
 use pensieve_model::SimTime;
 
 use crate::request::{Request, Response};
@@ -120,5 +120,28 @@ pub trait ServingBackend {
     /// simply not replicable.
     fn take_committed_kv(&mut self) -> Vec<(SessionId, usize)> {
         Vec::new()
+    }
+
+    /// Sessions whose cache state is eligible for cold-tier manifest
+    /// persistence, in ascending id order. Backends without manifest
+    /// support return nothing and their sessions are simply not
+    /// rehydratable across restarts.
+    fn manifest_sessions(&self) -> Vec<SessionId> {
+        Vec::new()
+    }
+
+    /// Builds a cold-tier manifest of `session`'s chunk layout for
+    /// persistence, or `None` when the backend does not track the
+    /// session (or does not support manifests).
+    fn session_manifest(&self, _session: SessionId) -> Option<SessionManifest> {
+        None
+    }
+
+    /// Rebuilds a session from a persisted manifest (chunks re-admitted
+    /// at the cold tier, up to capacity); returns the tokens admitted.
+    /// Backends without manifest support refuse with 0 and the session
+    /// recomputes instead.
+    fn rehydrate_session(&mut self, _manifest: &SessionManifest) -> usize {
+        0
     }
 }

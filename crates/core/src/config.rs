@@ -78,6 +78,16 @@ pub struct EngineConfig {
     /// `None` processes each prefill in one invocation (the paper's
     /// systems).
     pub chunked_prefill: Option<usize>,
+    /// Capacity of the tier-2 simulated-NVMe cache in tokens. `0` (the
+    /// default, and the paper's configuration) disables the tier; CPU
+    /// eviction then drops chunks exactly as two-tier Pensieve does.
+    /// Ignored when `stateful` or `cpu_cache` is false. See
+    /// `docs/STORAGE.md`.
+    pub ssd_capacity_tokens: usize,
+    /// Capacity of the tier-3 simulated cold object store in tokens.
+    /// `0` (the default) disables the tier. Ignored when `stateful` or
+    /// `cpu_cache` is false.
+    pub cold_capacity_tokens: usize,
 }
 
 impl EngineConfig {
@@ -102,6 +112,23 @@ impl EngineConfig {
             reserve_max_decode: false,
             suspend_policy: SuspendPolicy::NewestFirst,
             chunked_prefill: None,
+            ssd_capacity_tokens: 0,
+            cold_capacity_tokens: 0,
+        }
+    }
+
+    /// Pensieve with the deep storage hierarchy enabled: evicted CPU
+    /// chunks demote to a simulated NVMe tier and then to a simulated
+    /// cold object store instead of being dropped, and session manifests
+    /// persisted to the cold tier let restarted replicas rehydrate
+    /// sessions instead of recomputing them (see `docs/STORAGE.md`).
+    #[must_use]
+    pub fn pensieve_deep_tiers(ssd_tokens: usize, cold_tokens: usize) -> Self {
+        EngineConfig {
+            name: "Pensieve (deep tiers)".to_owned(),
+            ssd_capacity_tokens: ssd_tokens,
+            cold_capacity_tokens: cold_tokens,
+            ..Self::pensieve()
         }
     }
 
@@ -182,6 +209,8 @@ impl EngineConfig {
             reserve_max_decode: false,
             suspend_policy: SuspendPolicy::NewestFirst,
             chunked_prefill: None,
+            ssd_capacity_tokens: 0,
+            cold_capacity_tokens: 0,
         }
     }
 
@@ -248,6 +277,12 @@ mod tests {
         assert!(!t.stateful);
         assert!(t.compute_scale < v.compute_scale);
         assert!(t.iteration_overhead < v.iteration_overhead);
+
+        assert_eq!(p.ssd_capacity_tokens, 0, "deep tiers off by default");
+        let d = EngineConfig::pensieve_deep_tiers(4096, 65536);
+        assert!(d.stateful && d.cpu_cache);
+        assert_eq!(d.ssd_capacity_tokens, 4096);
+        assert_eq!(d.cold_capacity_tokens, 65536);
     }
 
     #[test]

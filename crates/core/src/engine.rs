@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use crossbeam::pool::Pool;
 use pensieve_kvcache::{
     CacheConfig, CacheStats, CachedAttentionPolicy, EvictionPolicy, LruPolicy,
-    RetentionValuePolicy, SessionId, TieredKvCache, TrailingEndPolicy,
+    RetentionValuePolicy, SessionId, SessionManifest, TieredKvCache, TrailingEndPolicy,
 };
 use pensieve_model::{
     BatchShape, CostModel, HardwareSpec, ModelConfig, ProfiledCostTable, SeqShape, SimDuration,
@@ -33,6 +33,7 @@ use pensieve_model::{
 use pensieve_obs::{metrics, DropReason, Recorder as _, RecoveryKind, SharedRecorder, TraceEvent};
 use pensieve_sim::{
     Direction, DuplexMode, FaultCounters, FaultInjector, FaultKind, GpuTimer, PcieLink,
+    StorageDevice, StorageDeviceSpec,
 };
 
 use crate::config::{EngineConfig, PolicyKind, SuspendPolicy};
@@ -123,6 +124,9 @@ pub struct EngineCounters {
     pub worker_stalls: u64,
     /// CPU-tier chunks lost or corrupted by injected host-memory faults.
     pub chunk_faults: u64,
+    /// Deep-tier (SSD/cold) reads that failed, dropping the session's
+    /// deep chunks and falling back to recomputation.
+    pub cold_read_faults: u64,
 }
 
 /// Retry/backoff parameters for recovering from transient swap-in faults.
@@ -163,6 +167,10 @@ pub struct SimServingEngine {
     pcie_bandwidth: f64,
     faults: Option<FaultInjector>,
     recovery: RecoveryPolicy,
+    /// Tier-2 simulated NVMe device serving SSD-tier chunk reads.
+    ssd_dev: StorageDevice,
+    /// Tier-3 simulated NFS/object-store device serving cold-tier reads.
+    cold_dev: StorageDevice,
     /// Consecutive fault-induced ticks that admitted nothing; bounds the
     /// empty-tick retry loop in `iteration`.
     empty_ticks: u32,
@@ -278,6 +286,12 @@ impl SimServingEngine {
         cache_cfg.decode_reserve = cfg.decode_reserve;
         if !cfg.cpu_cache || !cfg.stateful {
             cache_cfg.cpu_capacity_tokens = 0;
+        } else {
+            // Deep tiers hang below the CPU tier; without it (or without
+            // statefulness) there is nothing to demote, so they stay at
+            // their disabled default of 0.
+            cache_cfg.ssd_capacity_tokens = cfg.ssd_capacity_tokens;
+            cache_cfg.cold_capacity_tokens = cfg.cold_capacity_tokens;
         }
         let policy: Box<dyn EvictionPolicy> = match cfg.policy {
             PolicyKind::RetentionValue => Box::new(RetentionValuePolicy::new(
@@ -308,6 +322,8 @@ impl SimServingEngine {
             pcie_bandwidth,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            ssd_dev: StorageDevice::new(StorageDeviceSpec::nvme()),
+            cold_dev: StorageDevice::new(StorageDeviceSpec::nfs()),
             empty_ticks: 0,
             recorder: None,
             pool: Pool::serial(),
@@ -486,6 +502,43 @@ impl SimServingEngine {
         self.cache.import_session(export, self.now).unwrap_or(0)
     }
 
+    /// Builds a cold-tier manifest of `session`'s chunk layout (see
+    /// [`pensieve_kvcache::manifest`]), or `None` when this engine does
+    /// not track the session or it is the globally shared prefix (every
+    /// replica rebuilds that at construction). Read-only — persisting
+    /// the manifest to the cold object store is the router's job.
+    #[must_use]
+    pub fn session_manifest(&self, session: SessionId) -> Option<SessionManifest> {
+        if session == SHARED_PREFIX_CONV || !self.cache.contains(session) {
+            return None;
+        }
+        Some(SessionManifest {
+            session,
+            chunk_tokens: self.cache.chunk_layout(session),
+        })
+    }
+
+    /// Sessions whose cache state is eligible for manifest persistence
+    /// (all tracked conversations except the shared prefix), in
+    /// ascending id order.
+    #[must_use]
+    pub fn manifest_sessions(&self) -> Vec<SessionId> {
+        let mut sessions = self.cache.sessions();
+        sessions.retain(|&s| s != SHARED_PREFIX_CONV);
+        sessions
+    }
+
+    /// Rebuilds a session from a persisted manifest after this replica
+    /// took over for a failed one: the layout is re-admitted at the cold
+    /// tier (up to capacity; the remainder recomputes) and served as
+    /// cold reads on the session's next restore. Returns the tokens
+    /// admitted; a session already tracked here yields 0 unchanged.
+    pub fn rehydrate_session(&mut self, manifest: &SessionManifest) -> usize {
+        self.cache
+            .rehydrate_session(manifest.session, &manifest.chunk_tokens, self.now)
+            .unwrap_or(0)
+    }
+
     /// Drains the KV commit log: sessions whose cache-resident context
     /// grew since the last drain, with their new committed token totals,
     /// in `SessionId` order. The globally shared prefix is filtered out —
@@ -496,11 +549,15 @@ impl SimServingEngine {
         commits
     }
 
-    /// Fail-stop: the replica dies, its KV state is unrecoverable, and
-    /// every queued or running request is orphaned. Returns the orphaned
-    /// requests (queued first, then running, both in order) so a router
-    /// can re-route them; partially generated output is discarded and
-    /// regenerated from scratch at the new replica. Already-completed
+    /// Fail-stop: the replica dies, its in-memory KV state is
+    /// unrecoverable, and every queued or running request is orphaned.
+    /// Returns the orphaned requests (queued first, then running, both
+    /// in order) so a router can re-route them; partially generated
+    /// output is discarded and regenerated from scratch at the new
+    /// replica. Session manifests already persisted to the cold object
+    /// store survive the replica — the router may use them to rehydrate
+    /// orphaned sessions instead of recomputing (see
+    /// [`SimServingEngine::rehydrate_session`]). Already-completed
     /// responses remain drainable.
     pub fn fail_stop(&mut self) -> Vec<Request> {
         let mut orphans: Vec<Request> = Vec::new();
@@ -667,6 +724,9 @@ impl SimServingEngine {
         let c = &self.counters;
         let gpu_slots = self.cache.gpu_slots_used();
         let cpu_tokens = self.cache.cpu_used();
+        let ssd_tokens = self.cache.ssd_used();
+        let cold_tokens = self.cache.cold_used();
+        let cache_stats = self.cache.stats().clone();
         let running = self.running.len();
         let waiting = self.wait_queue.len();
         // Pool health: tasks, backlog, and what fraction of the parked
@@ -703,10 +763,29 @@ impl SimServingEngine {
             m.counter_set(metrics::names::GPU_ALLOC_FAULTS_TOTAL, c.gpu_alloc_faults);
             m.counter_set(metrics::names::WORKER_STALLS_TOTAL, c.worker_stalls);
             m.counter_set(metrics::names::CHUNK_FAULTS_TOTAL, c.chunk_faults);
+            m.counter_set(
+                metrics::names::SSD_HIT_TOKENS_TOTAL,
+                cache_stats.ssd_hit_tokens,
+            );
+            m.counter_set(
+                metrics::names::COLD_HIT_TOKENS_TOTAL,
+                cache_stats.cold_hit_tokens,
+            );
+            m.counter_set(
+                metrics::names::DEMOTED_TOKENS_TOTAL,
+                cache_stats.demoted_tokens,
+            );
+            m.counter_set(
+                metrics::names::REHYDRATED_TOKENS_TOTAL,
+                cache_stats.rehydrated_tokens,
+            );
+            m.counter_set(metrics::names::COLD_READ_FAULTS_TOTAL, c.cold_read_faults);
             m.gauge_set(metrics::names::RUNNING_REQUESTS, running as f64);
             m.gauge_set(metrics::names::WAITING_REQUESTS, waiting as f64);
             m.gauge_set(metrics::names::GPU_SLOTS_USED, gpu_slots as f64);
             m.gauge_set(metrics::names::CPU_TOKENS_USED, cpu_tokens as f64);
+            m.gauge_set(metrics::names::SSD_TOKENS_USED, ssd_tokens as f64);
+            m.gauge_set(metrics::names::COLD_TOKENS_USED, cold_tokens as f64);
             m.counter_set(metrics::names::POOL_TASKS_TOTAL, stats.tasks_total);
             m.gauge_set(metrics::names::POOL_QUEUE_DEPTH, stats.queue_depth as f64);
             m.gauge_set(metrics::names::POOL_WORKER_UTILIZATION, utilization);
@@ -967,6 +1046,28 @@ impl SimServingEngine {
                     }
                 }
             }
+            // Deep-tier reads: SSD/cold-resident history must come back
+            // through its device before the prefill can use it. Like
+            // swap-ins the reads overlap with compute, so only their
+            // completion time past `now` is charged as queueing delay. A
+            // failed read drops the deep chunks and re-plans the
+            // admission as recomputation.
+            {
+                let plan = self.cache.plan_restore(conv);
+                if plan.ssd_read_tokens + plan.cold_read_tokens > 0 {
+                    match self.deep_reads_with_fallback(
+                        conv,
+                        plan.ssd_read_tokens,
+                        plan.cold_read_tokens,
+                    ) {
+                        Ok(delay) => {
+                            reserved_delay =
+                                Some(reserved_delay.unwrap_or(SimDuration::ZERO).max(delay));
+                        }
+                        Err(()) => continue,
+                    }
+                }
+            }
             let Some(item) = self.wait_queue.pop_front() else {
                 return;
             };
@@ -977,6 +1078,60 @@ impl SimServingEngine {
                 // The item was re-queued at the front; stop admitting
                 // this tick and retry after the next eviction pass.
                 return;
+            }
+        }
+    }
+
+    /// Schedules this restore's SSD and cold reads on their devices.
+    /// Both reads are issued together and proceed independently; the
+    /// returned delay is how far past `now` the later one completes,
+    /// which `execute` folds into the iteration's stall exactly like a
+    /// swap-in queueing delay.
+    ///
+    /// # Errors
+    ///
+    /// `Err(())` when an injected read fault fires: the engine clock is
+    /// advanced past the failure-detection point, the session's deep
+    /// chunks are dropped, and the caller re-plans the admission as
+    /// recomputation (dropped chunks cannot fail again, so this
+    /// converges).
+    fn deep_reads_with_fallback(
+        &mut self,
+        conv: SessionId,
+        ssd_tokens: usize,
+        cold_tokens: usize,
+    ) -> Result<SimDuration, ()> {
+        let ssd_bytes = ssd_tokens * self.kv_bytes_per_token_per_gpu;
+        let cold_bytes = cold_tokens * self.kv_bytes_per_token_per_gpu;
+        let ssd_res = self
+            .ssd_dev
+            .try_read(self.now, ssd_bytes, self.faults.as_mut());
+        let cold_res = self
+            .cold_dev
+            .try_read(self.now, cold_bytes, self.faults.as_mut());
+        match (ssd_res, cold_res) {
+            (Ok((_, ssd_end)), Ok((_, cold_end))) => {
+                Ok(ssd_end.max(cold_end).duration_since(self.now))
+            }
+            (ssd_res, cold_res) => {
+                // A failed read still held its device until the failure
+                // was detected; charge that time before recomputing.
+                let detected = [
+                    ssd_res.map_or_else(|e| e.completes, |(_, end)| end),
+                    cold_res.map_or_else(|e| e.completes, |(_, end)| end),
+                ]
+                .into_iter()
+                .fold(self.now, SimTime::max);
+                self.now = detected;
+                let dropped = self.cache.drop_deep_chunks(conv, self.now);
+                self.counters.cold_read_faults += 1;
+                self.recorder.record(TraceEvent::FaultRecovery {
+                    at: self.now,
+                    conv: Some(conv.0),
+                    kind: RecoveryKind::ColdReadFallback,
+                    tokens: dropped,
+                });
+                Err(())
             }
         }
     }
@@ -1103,6 +1258,7 @@ impl SimServingEngine {
                 let cached_before = plan.gpu_hit_tokens
                     + plan.revalidate_tokens
                     + plan.swap_in_tokens
+                    + plan.deep_read_tokens()
                     + plan.recompute_tokens;
                 let tail = req.history_tokens.saturating_sub(cached_before + shared);
                 let reserved = if self.cfg.reserve_max_decode {
@@ -1155,6 +1311,7 @@ impl SimServingEngine {
                     cached_tokens: plan.gpu_hit_tokens
                         + plan.revalidate_tokens
                         + plan.swap_in_tokens
+                        + plan.deep_read_tokens()
                         + shared,
                     preallocated: self.cfg.reserve_max_decode,
                     req,
@@ -1479,6 +1636,18 @@ impl crate::backend::ServingBackend for SimServingEngine {
 
     fn take_committed_kv(&mut self) -> Vec<(SessionId, usize)> {
         SimServingEngine::take_committed_kv(self)
+    }
+
+    fn manifest_sessions(&self) -> Vec<SessionId> {
+        SimServingEngine::manifest_sessions(self)
+    }
+
+    fn session_manifest(&self, session: SessionId) -> Option<SessionManifest> {
+        SimServingEngine::session_manifest(self, session)
+    }
+
+    fn rehydrate_session(&mut self, manifest: &SessionManifest) -> usize {
+        SimServingEngine::rehydrate_session(self, manifest)
     }
 }
 

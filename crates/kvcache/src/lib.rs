@@ -1,10 +1,14 @@
-//! Two-tier (GPU + CPU) KV-token cache management for Pensieve (§4.3).
+//! Multi-tier KV-token cache management for Pensieve (§4.3), extended
+//! below the paper's GPU + CPU pair with simulated SSD and cold
+//! object-store tiers (see `docs/STORAGE.md` at the repository root).
 //!
 //! This crate implements the paper's cache manager at the *decision* level:
 //! which chunks live where, what gets evicted when, and what a returning
-//! conversation must swap in or recompute. It tracks token counts and chunk
-//! states; the physical KV bytes live either in the simulator (timing
-//! experiments) or in `pensieve-kernels`' paged pool (functional tests).
+//! conversation must swap in, read back, or recompute. It tracks token
+//! counts and chunk states; the physical KV bytes live either in the
+//! simulator (timing experiments) or in `pensieve-kernels`' paged pool
+//! (functional tests), and deep-tier device timing lives in
+//! `pensieve-sim`'s storage model.
 //!
 //! Key concepts, mapped to the paper:
 //!
@@ -17,19 +21,28 @@
 //!   watermark (25 %), chunks are *copied* to CPU but their GPU slots are
 //!   reclaimed lazily, so a quickly-returning conversation gets them back
 //!   for free ([`tiered::TieredKvCache`]).
-//! * **Dropping and recomputation** — under CPU pressure chunks are
-//!   dropped entirely; a later request recomputes them from raw tokens kept
-//!   in a persistent store ([`store::RawTokenStore`]).
-//! * **Request plans** — a returning conversation's context splits into the
-//!   paper's Figure-5 segments: dropped prefix (recompute), CPU middle
-//!   (swap in), GPU tail (hit), new prompt (compute).
+//! * **Demotion and recomputation** — under CPU pressure chunks demote
+//!   tier-by-tier (CPU → SSD → cold) instead of being dropped outright;
+//!   only when the bottom tier is full (or the deep tiers are disabled,
+//!   the default) is a chunk dropped and later recomputed from raw
+//!   tokens kept in a persistent store ([`store::RawTokenStore`]).
+//! * **Request plans** — a returning conversation's context splits into
+//!   the paper's Figure-5 segments, generalized across the hierarchy:
+//!   dropped prefix (recompute), cold/SSD middle (device read), CPU
+//!   middle (swap in), GPU tail (hit), new prompt (compute).
+//! * **Manifests** — each session's chunk layout can be persisted to the
+//!   cold tier ([`manifest::ColdObjectStore`]) so a restarted replica
+//!   rehydrates the session as cold-tier reads instead of recomputing
+//!   its whole history.
 
+pub mod manifest;
 pub mod policy;
 pub mod stats;
 pub mod store;
 pub mod tiered;
 pub mod types;
 
+pub use manifest::{ColdObjectStore, ManifestError, SessionManifest};
 pub use policy::{
     CachedAttentionPolicy, EvictionPolicy, LruPolicy, RetentionValuePolicy, TrailingEndPolicy,
 };

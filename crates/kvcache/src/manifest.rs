@@ -1,0 +1,289 @@
+//! Per-session chunk manifests persisted to the cold tier, and the
+//! simulated cold object store that holds them across restarts.
+//!
+//! Pensieve's caches are an optimization over a durable raw-token store,
+//! so a restarted replica *can* always recompute a session from scratch
+//! — but recomputation burns prefill compute proportional to the whole
+//! history. A manifest records just enough of a session's chunk layout
+//! (token counts, in context order) that a fresh replica can re-admit
+//! the session's chunks at [`Tier::Cold`](crate::Tier::Cold) and serve
+//! the history as cold-tier reads instead, via
+//! [`TieredKvCache::rehydrate_session`](crate::TieredKvCache::rehydrate_session).
+//!
+//! The simulation tracks token *counts*, never KV values, so the wire
+//! format carries only the layout plus an FNV-1a checksum trailer. A
+//! torn write (fault-injected or otherwise) truncates the record; both
+//! truncation and checksum mismatch surface as
+//! [`ManifestError::Torn`], which callers treat as "no manifest" and
+//! fall back to recompute — never as corrupted state.
+//!
+//! Wire format (all fields little-endian `u64`):
+//!
+//! ```text
+//! [magic "PNSVMAN1"] [session id] [chunk count n] [n x chunk tokens]
+//! [fnv1a checksum of all preceding bytes]
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::types::SessionId;
+
+/// Magic prefix of a serialized manifest: `b"PNSVMAN1"` as a
+/// little-endian `u64`.
+const MAGIC: u64 = u64::from_le_bytes(*b"PNSVMAN1");
+
+/// FNV-1a over a byte slice — the repo-standard determinism pin.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// A session's chunk layout, as persisted to the cold tier.
+///
+/// Counts only: chunk token sizes in context order. The durable
+/// raw-token store remains the source of truth for the tokens
+/// themselves; the manifest exists so a restarted replica knows *what to
+/// re-admit* without replaying the whole conversation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionManifest {
+    /// The session this manifest describes.
+    pub session: SessionId,
+    /// Per-chunk token counts, in context order.
+    pub chunk_tokens: Vec<usize>,
+}
+
+/// Why a stored manifest could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManifestError {
+    /// No manifest is stored for the requested session.
+    Missing,
+    /// The record is truncated or fails its checksum — a torn write.
+    /// Callers must treat this exactly like [`ManifestError::Missing`]
+    /// and recompute.
+    Torn,
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Missing => write!(f, "no manifest stored for session"),
+            Self::Torn => write!(f, "manifest record torn or checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl SessionManifest {
+    /// Total tokens across all chunks.
+    #[must_use]
+    pub fn total_tokens(&self) -> usize {
+        self.chunk_tokens.iter().sum()
+    }
+
+    /// Serializes to the checksummed little-endian wire format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * (4 + self.chunk_tokens.len()));
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.session.0.to_le_bytes());
+        out.extend_from_slice(&(self.chunk_tokens.len() as u64).to_le_bytes());
+        for &tokens in &self.chunk_tokens {
+            out.extend_from_slice(&(tokens as u64).to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a wire record, verifying magic, length and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError::Torn`] if the record is truncated,
+    /// carries the wrong magic, or fails its checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ManifestError> {
+        let read_u64 = |at: usize| -> Option<u64> {
+            bytes
+                .get(at..at + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+        };
+        let header_ok = read_u64(0) == Some(MAGIC);
+        let Some(n) = read_u64(16) else {
+            return Err(ManifestError::Torn);
+        };
+        let n = usize::try_from(n).map_err(|_| ManifestError::Torn)?;
+        if n > bytes.len() / 8 {
+            // A garbage count in a torn record; also keeps the length
+            // arithmetic below overflow-free.
+            return Err(ManifestError::Torn);
+        }
+        let body_len = 8 * (3 + n);
+        if !header_ok || bytes.len() != body_len + 8 {
+            return Err(ManifestError::Torn);
+        }
+        let stored_sum = read_u64(body_len).ok_or(ManifestError::Torn)?;
+        let body = bytes.get(..body_len).ok_or(ManifestError::Torn)?;
+        if fnv1a(body) != stored_sum {
+            return Err(ManifestError::Torn);
+        }
+        let session = SessionId(read_u64(8).ok_or(ManifestError::Torn)?);
+        let mut chunk_tokens = Vec::with_capacity(n);
+        for i in 0..n {
+            let tokens = read_u64(24 + 8 * i).ok_or(ManifestError::Torn)?;
+            chunk_tokens.push(usize::try_from(tokens).map_err(|_| ManifestError::Torn)?);
+        }
+        Ok(Self {
+            session,
+            chunk_tokens,
+        })
+    }
+}
+
+/// Simulated tier-3 object store holding serialized session manifests.
+///
+/// One instance outlives the engines that write to it — the cluster
+/// router owns it so a fail-stopped replica's sessions survive the
+/// replica — and a `BTreeMap` keeps iteration deterministic. Storage is
+/// byte-level on purpose: a torn write really does truncate the record,
+/// and the damage is only discovered at read time, like a real object
+/// store with a partial PUT.
+#[derive(Debug, Default)]
+pub struct ColdObjectStore {
+    objects: BTreeMap<SessionId, Vec<u8>>,
+}
+
+impl ColdObjectStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a session's manifest, replacing any previous record.
+    /// A `torn` write stores only the first half of the bytes — the
+    /// record decodes as [`ManifestError::Torn`] until overwritten by a
+    /// later clean write. Returns the bytes stored.
+    pub fn put(&mut self, manifest: &SessionManifest, torn: bool) -> usize {
+        let mut bytes = manifest.to_bytes();
+        if torn {
+            bytes.truncate(bytes.len() / 2);
+        }
+        let stored = bytes.len();
+        self.objects.insert(manifest.session, bytes);
+        stored
+    }
+
+    /// Reads back a session's manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Missing`] if no record exists;
+    /// [`ManifestError::Torn`] if the stored record is truncated or
+    /// fails its checksum.
+    pub fn get(&self, session: SessionId) -> Result<SessionManifest, ManifestError> {
+        let bytes = self.objects.get(&session).ok_or(ManifestError::Missing)?;
+        SessionManifest::from_bytes(bytes)
+    }
+
+    /// Removes a session's record (e.g. when the conversation ends).
+    pub fn remove(&mut self, session: SessionId) {
+        self.objects.remove(&session);
+    }
+
+    /// Number of stored records (torn or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no records are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Sessions with a stored record, in ascending id order.
+    #[must_use]
+    pub fn sessions(&self) -> Vec<SessionId> {
+        self.objects.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(id: u64, chunks: &[usize]) -> SessionManifest {
+        SessionManifest {
+            session: SessionId(id),
+            chunk_tokens: chunks.to_vec(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_wire_format() {
+        let m = manifest(42, &[32, 32, 17]);
+        let bytes = m.to_bytes();
+        assert_eq!(bytes.len(), 8 * (3 + 3) + 8);
+        assert_eq!(SessionManifest::from_bytes(&bytes).unwrap(), m);
+        assert_eq!(m.total_tokens(), 81);
+    }
+
+    #[test]
+    fn empty_layout_round_trips() {
+        let m = manifest(7, &[]);
+        assert_eq!(SessionManifest::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn truncation_and_corruption_decode_as_torn() {
+        let bytes = manifest(1, &[32, 32]).to_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                SessionManifest::from_bytes(&bytes[..cut]),
+                Err(ManifestError::Torn),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        let mut flipped = bytes.clone();
+        flipped[9] ^= 0x40; // Corrupt the session id; checksum catches it.
+        assert_eq!(
+            SessionManifest::from_bytes(&flipped),
+            Err(ManifestError::Torn)
+        );
+        let mut grown = bytes;
+        grown.push(0);
+        assert_eq!(
+            SessionManifest::from_bytes(&grown),
+            Err(ManifestError::Torn)
+        );
+    }
+
+    #[test]
+    fn store_put_get_and_torn_writes() {
+        let mut store = ColdObjectStore::new();
+        let m = manifest(3, &[32, 8]);
+        assert_eq!(store.get(m.session), Err(ManifestError::Missing));
+        let clean_len = store.put(&m, false);
+        assert_eq!(clean_len, m.to_bytes().len());
+        assert_eq!(store.get(m.session).unwrap(), m);
+
+        // A torn overwrite loses the record until rewritten cleanly.
+        let torn_len = store.put(&m, true);
+        assert!(torn_len < clean_len);
+        assert_eq!(store.get(m.session), Err(ManifestError::Torn));
+        store.put(&m, false);
+        assert_eq!(store.get(m.session).unwrap(), m);
+
+        assert_eq!(store.sessions(), vec![m.session]);
+        assert_eq!(store.len(), 1);
+        store.remove(m.session);
+        assert!(store.is_empty());
+    }
+}

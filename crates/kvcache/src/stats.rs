@@ -39,6 +39,19 @@ pub struct CacheStats {
     /// CPU-tier tokens force-dropped because their swap-in transfers kept
     /// failing and the engine fell back to recomputation.
     pub swap_in_fault_tokens: u64,
+    /// Tokens served by reading back from the SSD (tier-2) cache.
+    pub ssd_hit_tokens: u64,
+    /// Tokens served by reading back from the cold store (tier 3).
+    pub cold_hit_tokens: u64,
+    /// Tokens demoted one tier down (CPU→SSD or SSD→cold) instead of
+    /// being dropped under memory pressure.
+    pub demoted_tokens: u64,
+    /// Tokens rehydrated into the cache from a cold-tier session manifest
+    /// after a restart or failover.
+    pub rehydrated_tokens: u64,
+    /// Deep-tier tokens force-dropped because their cold reads failed and
+    /// the engine fell back to recomputation.
+    pub cold_read_fault_tokens: u64,
 }
 
 impl CacheStats {
@@ -57,14 +70,21 @@ impl CacheStats {
         self.lost_chunk_tokens += other.lost_chunk_tokens;
         self.corrupted_chunk_tokens += other.corrupted_chunk_tokens;
         self.swap_in_fault_tokens += other.swap_in_fault_tokens;
+        self.ssd_hit_tokens += other.ssd_hit_tokens;
+        self.cold_hit_tokens += other.cold_hit_tokens;
+        self.demoted_tokens += other.demoted_tokens;
+        self.rehydrated_tokens += other.rehydrated_tokens;
+        self.cold_read_fault_tokens += other.cold_read_fault_tokens;
     }
 
-    /// Fraction of reusable history tokens found in either cache tier.
+    /// Fraction of reusable history tokens found in *any* cache tier
+    /// (GPU, CPU, SSD or cold store).
     ///
     /// Returns 1.0 when no history has been requested yet.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.gpu_hit_tokens + self.cpu_hit_tokens;
+        let hits =
+            self.gpu_hit_tokens + self.cpu_hit_tokens + self.ssd_hit_tokens + self.cold_hit_tokens;
         let total = hits + self.recomputed_tokens;
         if total == 0 {
             1.0
@@ -114,12 +134,19 @@ mod tests {
             lost_chunk_tokens: 10,
             corrupted_chunk_tokens: 11,
             swap_in_fault_tokens: 12,
+            ssd_hit_tokens: 13,
+            cold_hit_tokens: 14,
+            demoted_tokens: 15,
+            rehydrated_tokens: 16,
+            cold_read_fault_tokens: 17,
         };
         let mut sum = a.clone();
         sum.merge(&a);
         assert_eq!(sum.gpu_hit_tokens, 2);
         assert_eq!(sum.swap_in_fault_tokens, 24);
         assert_eq!(sum.partial_hits, 18);
+        assert_eq!(sum.ssd_hit_tokens, 26);
+        assert_eq!(sum.cold_read_fault_tokens, 34);
     }
 
     #[test]

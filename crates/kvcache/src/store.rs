@@ -4,8 +4,11 @@
 //! dropped KV chunks can be recomputed: the scheduler fetches the dropped
 //! range's raw tokens and prepends them to the new prompt (§4.3.4). This
 //! in-memory implementation stands in for the paper's external store; it
-//! is the source of truth for conversation *text*, while the tiered cache
-//! is only ever an optimization.
+//! is the source of truth for conversation *text*, while the tiered
+//! cache — every level of it, from GPU slots down to the simulated cold
+//! object store — is only ever an optimization. (The cold tier's
+//! *manifests* live separately in [`crate::manifest::ColdObjectStore`];
+//! this store holds the tokens themselves.)
 
 use std::collections::BTreeMap;
 

@@ -1,8 +1,9 @@
-//! The two-tier GPU/CPU KV cache manager (§4.3).
+//! The tiered KV cache manager (§4.3), deepened below the CPU with the
+//! SSD and cold storage tiers of `docs/STORAGE.md`.
 //!
-//! [`TieredKvCache`] tracks every active conversation's chunks across four
-//! states (GPU-resident, lazily-copied, CPU-resident, dropped) and makes
-//! the paper's three decisions:
+//! [`TieredKvCache`] tracks every active conversation's chunks across the
+//! storage hierarchy (GPU-resident, lazily-copied, CPU-resident,
+//! SSD-resident, cold-resident, dropped) and makes the paper's decisions:
 //!
 //! 1. **Ahead-of-time swap-out** (§4.3.2): when strictly-free GPU slots
 //!    fall below the 25 % watermark, chunks chosen by the eviction policy
@@ -10,23 +11,32 @@
 //!    are reclaimed lazily — only when another allocation actually needs
 //!    them — so a conversation that returns quickly gets its context back
 //!    without any transfer ("revalidation").
-//! 2. **Dropping** (§4.3.4): when the CPU tier is full, the same policy
-//!    drops chunks entirely; they must later be recomputed from raw
-//!    tokens.
+//! 2. **Cross-tier demotion** (generalizing the paper's §4.3.4 dropping):
+//!    when the CPU tier is full, the same retention-value policy chooses
+//!    victims, but instead of dropping them outright each victim is
+//!    demoted one tier down — CPU→SSD, SSD→cold — and only falls off the
+//!    bottom of the hierarchy when the cold tier itself is full. With the
+//!    deep tiers disabled (capacity `0`, the default), demotion reduces
+//!    to the paper's two-tier dropping behaviour exactly.
 //! 3. **Restore planning**: a returning conversation's context is split
-//!    into the Figure-5 segments — dropped prefix (recompute), CPU middle
-//!    (swap in), GPU tail (hit) — and committed once the scheduler has
-//!    verified GPU space.
+//!    into generalized Figure-5 segments — dropped prefix (recompute),
+//!    deep-tier and CPU middles (read back / swap in), GPU tail (hit) —
+//!    and committed once the scheduler has verified GPU space.
+//! 4. **Rehydration**: a restarted or failed-over replica can rebuild a
+//!    session's chunks in the cold tier from a persisted manifest (see
+//!    [`crate::manifest`]) via [`TieredKvCache::rehydrate_session`],
+//!    turning a full recompute into cold reads.
 //!
 //! All quantities are in tokens; byte conversion and transfer timing are
-//! the simulator's job, physical KV bytes the functional engine's.
+//! the simulator's job (`pensieve_sim::storage` models the deep-tier
+//! devices), physical KV bytes the functional engine's.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
 
 use pensieve_model::SimTime;
-use pensieve_obs::{DropReason, Recorder as _, SharedRecorder, TraceEvent};
+use pensieve_obs::{DropReason, Recorder as _, SharedRecorder, StorageTier, TraceEvent};
 
 use crate::policy::{EvictionPolicy, Granularity, WithinOrder};
 use crate::stats::CacheStats;
@@ -160,7 +170,8 @@ pub struct SwapOutOp {
     pub dropped: bool,
 }
 
-/// Restore plan for a returning conversation (paper Figure 5).
+/// Restore plan for a returning conversation (paper Figure 5,
+/// generalized to the deep storage hierarchy).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RequestPlan {
     /// Tokens still resident in the GPU tier (free hits).
@@ -169,6 +180,11 @@ pub struct RequestPlan {
     pub revalidate_tokens: usize,
     /// Tokens to transfer CPU -> GPU.
     pub swap_in_tokens: usize,
+    /// Tokens to read back from the SSD tier (through the CPU staging
+    /// path, then over PCIe).
+    pub ssd_read_tokens: usize,
+    /// Tokens to read back from the cold store (slowest path).
+    pub cold_read_tokens: usize,
     /// Dropped tokens to recompute from raw text.
     pub recompute_tokens: usize,
     /// Token ranges, in context order, with the tier they were found in.
@@ -177,10 +193,17 @@ pub struct RequestPlan {
 }
 
 impl RequestPlan {
-    /// New GPU slots this restore will occupy (swap-ins + recomputes).
+    /// New GPU slots this restore will occupy (swap-ins, deep-tier reads
+    /// and recomputes).
     #[must_use]
     pub fn new_gpu_slots(&self) -> usize {
-        self.swap_in_tokens + self.recompute_tokens
+        self.swap_in_tokens + self.ssd_read_tokens + self.cold_read_tokens + self.recompute_tokens
+    }
+
+    /// Tokens read back from the deep (SSD + cold) tiers.
+    #[must_use]
+    pub fn deep_read_tokens(&self) -> usize {
+        self.ssd_read_tokens + self.cold_read_tokens
     }
 
     /// Token ranges that must be recomputed, in ascending order.
@@ -196,8 +219,19 @@ impl RequestPlan {
     /// True if the whole context was GPU-resident (or empty).
     #[must_use]
     pub fn is_full_gpu_hit(&self) -> bool {
-        self.swap_in_tokens == 0 && self.recompute_tokens == 0
+        self.swap_in_tokens == 0 && self.deep_read_tokens() == 0 && self.recompute_tokens == 0
     }
+}
+
+/// Caller-held eviction-candidate snapshots, one per host-side tier.
+/// Each is collected lazily and at most once per eviction pass, then
+/// consumed from the front with entries re-validated at use — the same
+/// O(n log n)-per-pass discipline the two-tier drop queue used.
+#[derive(Default)]
+struct EvictQueues {
+    cpu: Option<std::collections::VecDeque<(SessionId, usize)>>,
+    ssd: Option<std::collections::VecDeque<(SessionId, usize)>>,
+    cold: Option<std::collections::VecDeque<(SessionId, usize)>>,
 }
 
 #[derive(Debug)]
@@ -244,6 +278,10 @@ pub struct TieredKvCache {
     gpu_copied: usize,
     /// Tokens in `Tier::Cpu`.
     cpu_resident: usize,
+    /// Tokens in `Tier::Ssd` (the tier-2 simulated NVMe).
+    ssd_resident: usize,
+    /// Tokens in `Tier::Cold` (the tier-3 simulated NFS/object store).
+    cold_resident: usize,
     /// Lazily-copied chunks in copy order, for O(1) slot reclamation.
     /// Entries are validated at pop (a chunk may have been revalidated or
     /// suspended since).
@@ -265,6 +303,8 @@ impl fmt::Debug for TieredKvCache {
             .field("gpu_resident", &self.gpu_resident)
             .field("gpu_copied", &self.gpu_copied)
             .field("cpu_resident", &self.cpu_resident)
+            .field("ssd_resident", &self.ssd_resident)
+            .field("cold_resident", &self.cold_resident)
             .field("policy", &self.policy.name())
             .finish()
     }
@@ -281,6 +321,8 @@ impl TieredKvCache {
             gpu_resident: 0,
             gpu_copied: 0,
             cpu_resident: 0,
+            ssd_resident: 0,
+            cold_resident: 0,
             copied_fifo: std::collections::VecDeque::new(),
             commit_log: BTreeMap::new(),
             stats: CacheStats::default(),
@@ -331,6 +373,18 @@ impl TieredKvCache {
         self.cpu_resident + self.gpu_copied
     }
 
+    /// SSD (tier-2) tokens in use.
+    #[must_use]
+    pub fn ssd_used(&self) -> usize {
+        self.ssd_resident
+    }
+
+    /// Cold-store (tier-3) tokens in use.
+    #[must_use]
+    pub fn cold_used(&self) -> usize {
+        self.cold_resident
+    }
+
     /// Lazily-copied tokens belonging to `conv`.
     fn copied_tokens_of(&self, conv: SessionId) -> usize {
         self.convs.get(&conv).map_or(0, |e| {
@@ -356,6 +410,22 @@ impl TieredKvCache {
     #[must_use]
     pub fn conversation_tokens(&self, conv: SessionId) -> usize {
         self.convs.get(&conv).map_or(0, ConvEntry::total_tokens)
+    }
+
+    /// All tracked conversations, in ascending id order.
+    #[must_use]
+    pub fn sessions(&self) -> Vec<SessionId> {
+        self.convs.keys().copied().collect()
+    }
+
+    /// Per-chunk token counts of `conv` in context order, regardless of
+    /// tier (a dropped chunk still shapes the layout). Empty for unknown
+    /// conversations. This is what a cold-tier manifest records.
+    #[must_use]
+    pub fn chunk_layout(&self, conv: SessionId) -> Vec<usize> {
+        self.convs
+            .get(&conv)
+            .map_or_else(Vec::new, |e| e.chunks.iter().map(|c| c.tokens).collect())
     }
 
     /// True if the conversation has tracked context.
@@ -401,6 +471,8 @@ impl TieredKvCache {
                 Tier::Gpu => plan.gpu_hit_tokens += c.tokens,
                 Tier::GpuCopied => plan.revalidate_tokens += c.tokens,
                 Tier::Cpu => plan.swap_in_tokens += c.tokens,
+                Tier::Ssd => plan.ssd_read_tokens += c.tokens,
+                Tier::Cold => plan.cold_read_tokens += c.tokens,
                 Tier::Dropped => plan.recompute_tokens += c.tokens,
             }
             // Merge adjacent ranges of the same effective segment kind
@@ -457,6 +529,16 @@ impl TieredKvCache {
                         self.stats.swapped_in_tokens += c.tokens as u64;
                         c.tier = Tier::Gpu;
                     }
+                    Tier::Ssd => {
+                        self.ssd_resident -= c.tokens;
+                        self.gpu_resident += c.tokens;
+                        c.tier = Tier::Gpu;
+                    }
+                    Tier::Cold => {
+                        self.cold_resident -= c.tokens;
+                        self.gpu_resident += c.tokens;
+                        c.tier = Tier::Gpu;
+                    }
                     Tier::Dropped => {
                         self.gpu_resident += c.tokens;
                         c.tier = Tier::Gpu;
@@ -468,10 +550,13 @@ impl TieredKvCache {
         }
         self.stats.gpu_hit_tokens += (plan.gpu_hit_tokens + plan.revalidate_tokens) as u64;
         self.stats.cpu_hit_tokens += plan.swap_in_tokens as u64;
+        self.stats.ssd_hit_tokens += plan.ssd_read_tokens as u64;
+        self.stats.cold_hit_tokens += plan.cold_read_tokens as u64;
         self.stats.recomputed_tokens += plan.recompute_tokens as u64;
         if plan.gpu_hit_tokens
             + plan.revalidate_tokens
             + plan.swap_in_tokens
+            + plan.deep_read_tokens()
             + plan.recompute_tokens
             > 0
         {
@@ -494,6 +579,22 @@ impl TieredKvCache {
                     at: now,
                     conv: conv.0,
                     tokens: plan.swap_in_tokens,
+                });
+            }
+            if plan.ssd_read_tokens > 0 {
+                self.recorder.record(TraceEvent::TierReadCommitted {
+                    at: now,
+                    conv: conv.0,
+                    tokens: plan.ssd_read_tokens,
+                    tier: StorageTier::Ssd,
+                });
+            }
+            if plan.cold_read_tokens > 0 {
+                self.recorder.record(TraceEvent::TierReadCommitted {
+                    at: now,
+                    conv: conv.0,
+                    tokens: plan.cold_read_tokens,
+                    tier: StorageTier::Cold,
                 });
             }
             if plan.recompute_tokens > 0 {
@@ -625,14 +726,15 @@ impl TieredKvCache {
         if free(self) >= trigger {
             return ops;
         }
-        // One candidate collection per pass: both the GPU eviction order
-        // and (lazily) the CPU drop order are snapshots walked in sorted
-        // order, which keeps the pass O(n log n) instead of O(n^2).
+        // One candidate collection per pass: the GPU eviction order and
+        // (lazily) each lower tier's demotion order are snapshots walked
+        // in sorted order, which keeps the pass O(n log n) instead of
+        // O(n^2).
         let mut candidates = self.collect_candidates(Tier::Gpu, now, false);
         if let Some(c) = for_conv {
             candidates.retain(|&(conv, _, _)| conv != c);
         }
-        let mut drop_queue: Option<std::collections::VecDeque<(SessionId, usize)>> = None;
+        let mut queues = EvictQueues::default();
         let conversation_granularity = self.policy.granularity() == Granularity::Conversation;
         let mut active_conv: Option<SessionId> = None;
         for (conv, idx, _) in candidates {
@@ -654,7 +756,7 @@ impl TieredKvCache {
                 continue;
             };
             // Make CPU room; if impossible, drop the chunk instead.
-            let copied = self.ensure_cpu_space_with(tokens, now, &mut drop_queue);
+            let copied = self.ensure_cpu_space_with(tokens, now, &mut queues);
             let Some(c) = self
                 .convs
                 .get_mut(&conv)
@@ -720,8 +822,9 @@ impl TieredKvCache {
                 continue;
             }
             let copied = self.ensure_cpu_space(tokens, now);
-            // ensure_cpu_space only drops CPU-tier chunks and never
-            // removes a conversation entry, but the walk stays total.
+            // ensure_cpu_space only demotes or drops host-tier chunks
+            // and never removes a conversation entry, but the walk stays
+            // total.
             let Some(c) = self.convs.get_mut(&conv).and_then(|e| e.chunks.get_mut(i)) else {
                 continue;
             };
@@ -754,6 +857,8 @@ impl TieredKvCache {
                     Tier::Gpu => self.gpu_resident -= c.tokens,
                     Tier::GpuCopied => self.gpu_copied -= c.tokens,
                     Tier::Cpu => self.cpu_resident -= c.tokens,
+                    Tier::Ssd => self.ssd_resident -= c.tokens,
+                    Tier::Cold => self.cold_resident -= c.tokens,
                     Tier::Dropped => {}
                 }
             }
@@ -763,8 +868,10 @@ impl TieredKvCache {
 
     /// Removes `session` from this cache and returns a portable snapshot
     /// of its chunk layout for handoff to another replica. All resident
-    /// chunks (GPU, lazily-copied, CPU) are staged as [`Tier::Cpu`] in
-    /// the export; already-[`Tier::Dropped`] chunks stay dropped and
+    /// chunks (GPU, lazily-copied, CPU, SSD, cold) are staged as
+    /// [`Tier::Cpu`] in the export — the wire format carries host-memory
+    /// bytes, so deep-tier chunks are read up before transfer;
+    /// already-[`Tier::Dropped`] chunks stay dropped and
     /// become recompute obligations at the target. Returns `None` if the
     /// session is unknown or pinned in the running batch — pinned
     /// sessions must finish or be suspended before export.
@@ -786,6 +893,14 @@ impl TieredKvCache {
                     c.tier = Tier::Cpu;
                 }
                 Tier::Cpu => self.cpu_resident -= c.tokens,
+                Tier::Ssd => {
+                    self.ssd_resident -= c.tokens;
+                    c.tier = Tier::Cpu;
+                }
+                Tier::Cold => {
+                    self.cold_resident -= c.tokens;
+                    c.tier = Tier::Cpu;
+                }
                 Tier::Dropped => {}
             }
         }
@@ -793,13 +908,16 @@ impl TieredKvCache {
         Some(SessionExport { session, chunks })
     }
 
-    /// Installs a handed-off session snapshot into this cache's CPU
-    /// tier. Chunks are admitted in context order; once CPU capacity is
-    /// exhausted the remainder is demoted to [`Tier::Dropped`] (counted
-    /// in [`CacheStats::dropped_tokens`]) and recomputed on the next
+    /// Installs a handed-off session snapshot into this cache's host
+    /// tiers. Chunks are admitted in context order at the tier the
+    /// snapshot names (peer exports stage everything as [`Tier::Cpu`];
+    /// rehydrated manifests may carry [`Tier::Ssd`]/[`Tier::Cold`]
+    /// placements); once a tier's capacity is exhausted the remainder is
+    /// demoted to [`Tier::Dropped`] (counted in
+    /// [`CacheStats::dropped_tokens`]) and recomputed on the next
     /// restore. Imports never evict existing residents — a migrated-in
     /// conversation has no claim over the target's warm cache. Returns
-    /// the tokens admitted to the CPU tier.
+    /// the tokens admitted to resident tiers.
     ///
     /// # Errors
     ///
@@ -838,6 +956,24 @@ impl TieredKvCache {
                 Tier::Cpu => {
                     if self.cpu_used() + c.tokens <= self.cfg.cpu_capacity_tokens {
                         self.cpu_resident += c.tokens;
+                        admitted += c.tokens;
+                    } else {
+                        c.tier = Tier::Dropped;
+                        self.stats.dropped_tokens += c.tokens as u64;
+                    }
+                }
+                Tier::Ssd => {
+                    if self.ssd_resident + c.tokens <= self.cfg.ssd_capacity_tokens {
+                        self.ssd_resident += c.tokens;
+                        admitted += c.tokens;
+                    } else {
+                        c.tier = Tier::Dropped;
+                        self.stats.dropped_tokens += c.tokens as u64;
+                    }
+                }
+                Tier::Cold => {
+                    if self.cold_resident + c.tokens <= self.cfg.cold_capacity_tokens {
+                        self.cold_resident += c.tokens;
                         admitted += c.tokens;
                     } else {
                         c.tier = Tier::Dropped;
@@ -942,7 +1078,7 @@ impl TieredKvCache {
                 self.gpu_copied -= tokens;
                 self.gpu_resident += tokens;
             }
-            Tier::Gpu | Tier::Dropped => {
+            Tier::Gpu | Tier::Ssd | Tier::Cold | Tier::Dropped => {
                 return Err(CacheError::ChunkNotInCpuTier { conv, chunk });
             }
         }
@@ -978,27 +1114,115 @@ impl TieredKvCache {
         dropped
     }
 
-    /// Frees CPU space for `tokens` by dropping policy-chosen CPU-tier
-    /// chunks. Returns false if space could not be found (caller should
-    /// drop instead of copy).
-    fn ensure_cpu_space(&mut self, tokens: usize, now: SimTime) -> bool {
-        self.ensure_cpu_space_with(tokens, now, &mut None)
+    /// Recompute fallback after a failed deep-tier read: drops every
+    /// [`Tier::Ssd`] and [`Tier::Cold`] chunk of `conv` so its next
+    /// restore plan recomputes them from raw tokens instead of retrying
+    /// the device. Returns the tokens dropped (0 for unknown
+    /// conversations).
+    pub fn drop_deep_chunks(&mut self, conv: SessionId, now: SimTime) -> usize {
+        let Some(e) = self.convs.get_mut(&conv) else {
+            return 0;
+        };
+        let mut dropped = 0;
+        for (i, c) in e.chunks.iter_mut().enumerate() {
+            match c.tier {
+                Tier::Ssd => self.ssd_resident -= c.tokens,
+                Tier::Cold => self.cold_resident -= c.tokens,
+                _ => continue,
+            }
+            c.tier = Tier::Dropped;
+            dropped += c.tokens;
+            self.recorder.record(TraceEvent::ChunkDropped {
+                at: now,
+                conv: conv.0,
+                chunk: i,
+                tokens: c.tokens,
+                reason: DropReason::ColdReadFault,
+            });
+        }
+        self.stats.cold_read_fault_tokens += dropped as u64;
+        debug_assert!(self.check_invariants());
+        dropped
     }
 
-    /// [`TieredKvCache::ensure_cpu_space`] with a caller-held drop queue:
-    /// the candidate snapshot is collected at most once per pass and
-    /// consumed from the front, entries being re-validated at use.
+    /// Rebuilds a session's chunk layout from a persisted manifest after
+    /// a restart: installs `chunk_tokens` (the per-chunk token counts in
+    /// context order) at [`Tier::Cold`] while cold capacity allows,
+    /// never evicting existing residents; the remainder is installed as
+    /// [`Tier::Dropped`] and becomes a recompute obligation in the next
+    /// restore plan. Returns the tokens admitted to the cold tier,
+    /// counted in [`CacheStats::rehydrated_tokens`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::SessionExists`] if the session is already
+    /// tracked here; the cache is unchanged.
+    pub fn rehydrate_session(
+        &mut self,
+        session: SessionId,
+        chunk_tokens: &[usize],
+        now: SimTime,
+    ) -> Result<usize, CacheError> {
+        if self.convs.contains_key(&session) {
+            return Err(CacheError::SessionExists(session));
+        }
+        let mut chunks = Vec::with_capacity(chunk_tokens.len());
+        let mut end = 0usize;
+        let mut admitted = 0usize;
+        for &tokens in chunk_tokens {
+            if tokens == 0 {
+                continue; // Defensive: a manifest never records empty chunks.
+            }
+            end += tokens;
+            let tier = if self.cold_resident + tokens <= self.cfg.cold_capacity_tokens {
+                self.cold_resident += tokens;
+                admitted += tokens;
+                Tier::Cold
+            } else {
+                Tier::Dropped
+            };
+            chunks.push(ChunkState {
+                tier,
+                tokens,
+                context_end: end,
+            });
+        }
+        self.convs.insert(
+            session,
+            ConvEntry {
+                chunks,
+                last_active: now,
+                pinned: false,
+            },
+        );
+        self.stats.rehydrated_tokens += admitted as u64;
+        debug_assert!(self.check_invariants());
+        Ok(admitted)
+    }
+
+    /// Frees CPU space for `tokens` by demoting policy-chosen CPU-tier
+    /// chunks down the storage hierarchy (dropping them when the deep
+    /// tiers are disabled or full). Returns false if space could not be
+    /// found (caller should drop instead of copy).
+    fn ensure_cpu_space(&mut self, tokens: usize, now: SimTime) -> bool {
+        self.ensure_cpu_space_with(tokens, now, &mut EvictQueues::default())
+    }
+
+    /// [`TieredKvCache::ensure_cpu_space`] with caller-held eviction
+    /// queues: each tier's candidate snapshot is collected at most once
+    /// per pass and consumed from the front, entries being re-validated
+    /// at use.
     fn ensure_cpu_space_with(
         &mut self,
         tokens: usize,
         now: SimTime,
-        queue: &mut Option<std::collections::VecDeque<(SessionId, usize)>>,
+        queues: &mut EvictQueues,
     ) -> bool {
         if tokens > self.cfg.cpu_capacity_tokens {
             return false;
         }
         while self.cpu_used() + tokens > self.cfg.cpu_capacity_tokens {
-            let q = queue.get_or_insert_with(|| {
+            let q = queues.cpu.get_or_insert_with(|| {
                 self.collect_candidates(Tier::Cpu, now, false)
                     .into_iter()
                     .map(|(c, i, _)| (c, i))
@@ -1007,28 +1231,168 @@ impl TieredKvCache {
             let Some((conv, idx)) = q.pop_front() else {
                 return false;
             };
-            let Some(e) = self.convs.get_mut(&conv) else {
+            let Some(e) = self.convs.get(&conv) else {
                 continue; // Conversation removed since the snapshot.
             };
             if e.pinned {
                 continue; // Re-pinned since the snapshot.
             }
-            let Some(c) = e.chunks.get_mut(idx) else {
+            let Some(c) = e.chunks.get(idx) else {
                 continue; // Chunk index stale; snapshot outlived it.
             };
             if c.tier != Tier::Cpu {
                 continue; // Tier changed since the snapshot.
             }
-            self.cpu_resident -= c.tokens;
-            self.stats.dropped_tokens += c.tokens as u64;
-            let tokens = c.tokens;
+            let victim_tokens = c.tokens;
+            self.cpu_resident -= victim_tokens;
+            self.demote_chunk(conv, idx, victim_tokens, Tier::Cpu, now, queues);
+        }
+        true
+    }
+
+    /// Moves an evicted chunk one tier down the hierarchy: a CPU victim
+    /// lands in the SSD tier (or the cold store when the SSD tier is
+    /// disabled), an SSD victim lands in the cold store, and a chunk the
+    /// whole hierarchy cannot hold is dropped. The caller has already
+    /// removed the chunk from its source tier's accounting.
+    fn demote_chunk(
+        &mut self,
+        conv: SessionId,
+        idx: usize,
+        tokens: usize,
+        from: Tier,
+        now: SimTime,
+        queues: &mut EvictQueues,
+    ) {
+        let to = if from == Tier::Cpu && self.ensure_ssd_space(tokens, now, queues) {
+            Some((Tier::Ssd, StorageTier::Ssd))
+        } else if self.ensure_cold_space(tokens, now, queues) {
+            Some((Tier::Cold, StorageTier::Cold))
+        } else {
+            None
+        };
+        let Some(c) = self
+            .convs
+            .get_mut(&conv)
+            .and_then(|e| e.chunks.get_mut(idx))
+        else {
+            return; // Validated by the caller; the walk stays total.
+        };
+        match to {
+            Some((tier, obs_to)) => {
+                c.tier = tier;
+                match tier {
+                    Tier::Ssd => self.ssd_resident += tokens,
+                    _ => self.cold_resident += tokens,
+                }
+                self.stats.demoted_tokens += tokens as u64;
+                self.recorder.record(TraceEvent::ChunkDemoted {
+                    at: now,
+                    conv: conv.0,
+                    chunk: idx,
+                    tokens,
+                    from: if from == Tier::Cpu {
+                        StorageTier::Cpu
+                    } else {
+                        StorageTier::Ssd
+                    },
+                    to: obs_to,
+                });
+            }
+            None => {
+                c.tier = Tier::Dropped;
+                self.stats.dropped_tokens += tokens as u64;
+                self.recorder.record(TraceEvent::ChunkDropped {
+                    at: now,
+                    conv: conv.0,
+                    chunk: idx,
+                    tokens,
+                    reason: if from == Tier::Cpu {
+                        DropReason::CpuPressure
+                    } else {
+                        DropReason::ColdPressure
+                    },
+                });
+            }
+        }
+    }
+
+    /// Frees SSD space for `tokens` by demoting policy-chosen SSD chunks
+    /// to the cold store (or dropping them when it is full). Returns
+    /// false when the SSD tier is disabled or cannot fit the chunk.
+    fn ensure_ssd_space(&mut self, tokens: usize, now: SimTime, queues: &mut EvictQueues) -> bool {
+        if tokens > self.cfg.ssd_capacity_tokens {
+            return false;
+        }
+        while self.ssd_resident + tokens > self.cfg.ssd_capacity_tokens {
+            let q = queues.ssd.get_or_insert_with(|| {
+                self.collect_candidates(Tier::Ssd, now, false)
+                    .into_iter()
+                    .map(|(c, i, _)| (c, i))
+                    .collect()
+            });
+            let Some((conv, idx)) = q.pop_front() else {
+                return false;
+            };
+            let Some(e) = self.convs.get(&conv) else {
+                continue;
+            };
+            if e.pinned {
+                continue;
+            }
+            let Some(c) = e.chunks.get(idx) else {
+                continue;
+            };
+            if c.tier != Tier::Ssd {
+                continue;
+            }
+            let victim_tokens = c.tokens;
+            self.ssd_resident -= victim_tokens;
+            self.demote_chunk(conv, idx, victim_tokens, Tier::Ssd, now, queues);
+        }
+        true
+    }
+
+    /// Frees cold-store space for `tokens` by dropping policy-chosen
+    /// cold chunks — the bottom of the hierarchy has nowhere further to
+    /// demote. Returns false when the cold tier is disabled or cannot
+    /// fit the chunk.
+    fn ensure_cold_space(&mut self, tokens: usize, now: SimTime, queues: &mut EvictQueues) -> bool {
+        if tokens > self.cfg.cold_capacity_tokens {
+            return false;
+        }
+        while self.cold_resident + tokens > self.cfg.cold_capacity_tokens {
+            let q = queues.cold.get_or_insert_with(|| {
+                self.collect_candidates(Tier::Cold, now, false)
+                    .into_iter()
+                    .map(|(c, i, _)| (c, i))
+                    .collect()
+            });
+            let Some((conv, idx)) = q.pop_front() else {
+                return false;
+            };
+            let Some(e) = self.convs.get_mut(&conv) else {
+                continue;
+            };
+            if e.pinned {
+                continue;
+            }
+            let Some(c) = e.chunks.get_mut(idx) else {
+                continue;
+            };
+            if c.tier != Tier::Cold {
+                continue;
+            }
+            let victim_tokens = c.tokens;
             c.tier = Tier::Dropped;
+            self.cold_resident -= victim_tokens;
+            self.stats.dropped_tokens += victim_tokens as u64;
             self.recorder.record(TraceEvent::ChunkDropped {
                 at: now,
                 conv: conv.0,
                 chunk: idx,
-                tokens,
-                reason: DropReason::CpuPressure,
+                tokens: victim_tokens,
+                reason: DropReason::ColdPressure,
             });
         }
         true
@@ -1123,6 +1487,8 @@ impl TieredKvCache {
         let mut gpu = 0;
         let mut copied = 0;
         let mut cpu = 0;
+        let mut ssd = 0;
+        let mut cold = 0;
         for e in self.convs.values() {
             let mut pos = 0;
             for c in &e.chunks {
@@ -1133,6 +1499,8 @@ impl TieredKvCache {
                     Tier::Gpu => gpu += c.tokens,
                     Tier::GpuCopied => copied += c.tokens,
                     Tier::Cpu => cpu += c.tokens,
+                    Tier::Ssd => ssd += c.tokens,
+                    Tier::Cold => cold += c.tokens,
                     Tier::Dropped => {}
                 }
             }
@@ -1140,8 +1508,12 @@ impl TieredKvCache {
         assert_eq!(gpu, self.gpu_resident, "gpu_resident drift");
         assert_eq!(copied, self.gpu_copied, "gpu_copied drift");
         assert_eq!(cpu, self.cpu_resident, "cpu_resident drift");
+        assert_eq!(ssd, self.ssd_resident, "ssd_resident drift");
+        assert_eq!(cold, self.cold_resident, "cold_resident drift");
         assert!(self.gpu_slots_used() <= self.cfg.gpu_capacity_tokens);
         assert!(self.cpu_used() <= self.cfg.cpu_capacity_tokens);
+        assert!(self.ssd_resident <= self.cfg.ssd_capacity_tokens);
+        assert!(self.cold_resident <= self.cfg.cold_capacity_tokens);
         true
     }
 }
@@ -1650,5 +2022,151 @@ mod tests {
         let plan = cache.plan_restore(SessionId(42));
         assert_eq!(plan, RequestPlan::default());
         assert!(plan.is_full_gpu_hit());
+    }
+
+    fn deep_cache(gpu: usize, cpu: usize, ssd: usize, cold: usize) -> TieredKvCache {
+        TieredKvCache::new(
+            CacheConfig::for_test(32, gpu, cpu).with_deep_tiers(ssd, cold),
+            Box::new(LruPolicy),
+        )
+    }
+
+    #[test]
+    fn eviction_cascades_down_the_tier_hierarchy() {
+        // One 32-token chunk per host tier: each suspension pushes the
+        // previous resident one tier further down until the oldest falls
+        // off the bottom.
+        let mut cache = deep_cache(128, 32, 32, 32);
+        let (a, b, c, d) = (SessionId(1), SessionId(2), SessionId(3), SessionId(4));
+        for (i, s) in [a, b, c, d].into_iter().enumerate() {
+            let at = t(2.0 * i as f64);
+            cache.append_tokens(s, 32, at).unwrap();
+            cache.suspend(s, t(2.0 * i as f64 + 1.0));
+        }
+        let tier_of = |cache: &TieredKvCache, s: SessionId| {
+            cache
+                .plan_restore(s)
+                .segments
+                .first()
+                .map(|(_, tier)| *tier)
+                .unwrap()
+        };
+        assert_eq!(tier_of(&cache, a), Tier::Dropped, "oldest fell off");
+        assert_eq!(tier_of(&cache, b), Tier::Cold);
+        assert_eq!(tier_of(&cache, c), Tier::Ssd);
+        assert_eq!(tier_of(&cache, d), Tier::Cpu);
+        assert_eq!(cache.cpu_used(), 32);
+        assert_eq!(cache.ssd_used(), 32);
+        assert_eq!(cache.cold_used(), 32);
+        // a: cpu->ssd, ssd->cold; b: cpu->ssd, ssd->cold; c: cpu->ssd.
+        assert_eq!(cache.stats().demoted_tokens, 160);
+        assert_eq!(cache.stats().dropped_tokens, 32);
+    }
+
+    #[test]
+    fn deep_tier_chunks_restore_as_hits() {
+        let mut cache = deep_cache(128, 32, 32, 32);
+        let (a, b, c) = (SessionId(1), SessionId(2), SessionId(3));
+        for (i, s) in [a, b, c].into_iter().enumerate() {
+            let at = t(2.0 * i as f64);
+            cache.append_tokens(s, 32, at).unwrap();
+            cache.suspend(s, t(2.0 * i as f64 + 1.0));
+        }
+        // a is cold, b is SSD, c is CPU.
+        let plan_b = cache.plan_restore(b);
+        assert_eq!(plan_b.ssd_read_tokens, 32);
+        assert_eq!(plan_b.new_gpu_slots(), 32);
+        assert!(!plan_b.is_full_gpu_hit());
+        let committed = cache.commit_restore(b, t(10.0)).unwrap();
+        assert_eq!(committed.ssd_read_tokens, 32);
+        assert_eq!(cache.stats().ssd_hit_tokens, 32);
+        assert_eq!(cache.ssd_used(), 0, "SSD chunk promoted to GPU");
+
+        let plan_a = cache.plan_restore(a);
+        assert_eq!(plan_a.cold_read_tokens, 32);
+        cache.commit_restore(a, t(11.0)).unwrap();
+        assert_eq!(cache.stats().cold_hit_tokens, 32);
+        assert_eq!(cache.cold_used(), 0);
+        // Both restores were served entirely from the deep tiers.
+        assert_eq!(cache.stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_deep_tiers_reduce_to_two_tier_dropping() {
+        // with_deep_tiers(0, 0) is the default everywhere: CPU pressure
+        // must drop, exactly as before this hierarchy existed.
+        let mut cache = deep_cache(128, 32, 0, 0);
+        let (a, b) = (SessionId(1), SessionId(2));
+        cache.append_tokens(a, 32, t(0.0)).unwrap();
+        cache.suspend(a, t(1.0));
+        cache.append_tokens(b, 32, t(2.0)).unwrap();
+        cache.suspend(b, t(3.0));
+        assert_eq!(cache.stats().demoted_tokens, 0);
+        assert_eq!(cache.stats().dropped_tokens, 32);
+        assert_eq!(cache.plan_restore(a).recompute_tokens, 32);
+    }
+
+    #[test]
+    fn drop_deep_chunks_forces_recompute() {
+        let mut cache = deep_cache(128, 32, 32, 32);
+        let (a, b) = (SessionId(1), SessionId(2));
+        cache.append_tokens(a, 32, t(0.0)).unwrap();
+        cache.suspend(a, t(1.0));
+        cache.append_tokens(b, 32, t(2.0)).unwrap();
+        cache.suspend(b, t(3.0));
+        // a is on SSD now; a failed device read drops it for recompute.
+        assert_eq!(cache.drop_deep_chunks(a, t(4.0)), 32);
+        assert_eq!(cache.stats().cold_read_fault_tokens, 32);
+        assert_eq!(cache.ssd_used(), 0);
+        assert_eq!(cache.plan_restore(a).recompute_tokens, 32);
+        // Unknown conversations and warm sessions are no-ops.
+        assert_eq!(cache.drop_deep_chunks(SessionId(9), t(4.0)), 0);
+        assert_eq!(cache.drop_deep_chunks(b, t(4.0)), 0);
+    }
+
+    #[test]
+    fn rehydrate_installs_cold_chunks_up_to_capacity() {
+        let mut cache = deep_cache(128, 32, 32, 64);
+        let a = SessionId(7);
+        // Three chunks, cold tier fits two: trailing chunk drops to a
+        // recompute obligation.
+        assert_eq!(
+            cache.rehydrate_session(a, &[32, 32, 32], t(0.0)).unwrap(),
+            64
+        );
+        assert_eq!(cache.cold_used(), 64);
+        assert_eq!(cache.stats().rehydrated_tokens, 64);
+        assert_eq!(cache.conversation_tokens(a), 96);
+        let plan = cache.plan_restore(a);
+        assert_eq!(plan.cold_read_tokens, 64);
+        assert_eq!(plan.recompute_tokens, 32);
+        // Restoring after rehydration promotes the cold chunks to GPU.
+        cache.commit_restore(a, t(1.0)).unwrap();
+        assert_eq!(cache.stats().cold_hit_tokens, 64);
+        assert_eq!(cache.cold_used(), 0);
+        // A second rehydration of a live session is rejected unchanged.
+        assert!(matches!(
+            cache.rehydrate_session(a, &[32], t(2.0)),
+            Err(CacheError::SessionExists(s)) if s == a
+        ));
+    }
+
+    #[test]
+    fn deep_tiers_round_trip_through_export_import() {
+        let mut src = deep_cache(128, 32, 32, 32);
+        let (a, b) = (SessionId(1), SessionId(2));
+        src.append_tokens(a, 32, t(0.0)).unwrap();
+        src.suspend(a, t(1.0));
+        src.append_tokens(b, 32, t(2.0)).unwrap();
+        src.suspend(b, t(3.0));
+        // a sits on SSD; export stages it back to CPU for the wire.
+        let export = src.export_session(a).unwrap();
+        assert_eq!(src.ssd_used(), 0);
+        assert!(export.chunks.iter().all(|c| c.tier == Tier::Cpu));
+
+        let mut dst = deep_cache(128, 64, 0, 0);
+        assert_eq!(dst.import_session(export, t(4.0)).unwrap(), 32);
+        assert_eq!(dst.cpu_used(), 32);
+        assert_eq!(dst.plan_restore(a).swap_in_tokens, 32);
     }
 }

@@ -17,6 +17,12 @@ pub enum Tier {
     GpuCopied,
     /// Resident in CPU memory only; must be swapped in before use.
     Cpu,
+    /// Demoted to the simulated NVMe SSD (tier 2); must be read back
+    /// through the CPU on its way to the GPU.
+    Ssd,
+    /// Demoted to the cold NFS/object store (tier 3) — the slowest,
+    /// largest and only restart-durable tier.
+    Cold,
     /// Dropped entirely; must be recomputed from raw tokens.
     Dropped,
 }
@@ -50,6 +56,11 @@ pub struct CacheConfig {
     pub gpu_capacity_tokens: usize,
     /// CPU cache capacity in tokens.
     pub cpu_capacity_tokens: usize,
+    /// SSD (tier-2) capacity in tokens; `0` disables the tier and CPU
+    /// evictions drop chunks, as in the two-tier paper configuration.
+    pub ssd_capacity_tokens: usize,
+    /// Cold-store (tier-3) capacity in tokens; `0` disables the tier.
+    pub cold_capacity_tokens: usize,
     /// Start ahead-of-time swap-out when free GPU fraction drops below
     /// this (paper: 0.25).
     pub swap_watermark: f64,
@@ -75,6 +86,8 @@ impl CacheConfig {
             chunk_tokens: 32,
             gpu_capacity_tokens: hw.total_gpu_kv_budget() / per_token,
             cpu_capacity_tokens: hw.total_cpu_cache_bytes() / per_token,
+            ssd_capacity_tokens: 0,
+            cold_capacity_tokens: 0,
             swap_watermark: 0.25,
             decode_reserve: 0.10,
         }
@@ -87,9 +100,20 @@ impl CacheConfig {
             chunk_tokens,
             gpu_capacity_tokens: gpu,
             cpu_capacity_tokens: cpu,
+            ssd_capacity_tokens: 0,
+            cold_capacity_tokens: 0,
             swap_watermark: 0.25,
             decode_reserve: 0.10,
         }
+    }
+
+    /// Enables the deep tiers: SSD (tier 2) and cold store (tier 3)
+    /// capacities in tokens. `0` leaves the corresponding tier off.
+    #[must_use]
+    pub fn with_deep_tiers(mut self, ssd: usize, cold: usize) -> Self {
+        self.ssd_capacity_tokens = ssd;
+        self.cold_capacity_tokens = cold;
+        self
     }
 
     /// GPU token threshold below which ahead-of-time swap-out starts.

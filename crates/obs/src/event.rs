@@ -55,6 +55,12 @@ pub enum DropReason {
     HostCorruption,
     /// Persistent swap-in DMA failures forced a recompute fallback.
     SwapInFault,
+    /// The whole storage hierarchy below the CPU was full: the chunk fell
+    /// off the bottom (cold) tier.
+    ColdPressure,
+    /// A deep-tier read failed and the chunk's storage copy was discarded
+    /// in favour of recomputation.
+    ColdReadFault,
 }
 
 impl DropReason {
@@ -66,6 +72,8 @@ impl DropReason {
             DropReason::HostLoss => "host-loss",
             DropReason::HostCorruption => "host-corruption",
             DropReason::SwapInFault => "swap-in-fault",
+            DropReason::ColdPressure => "cold-pressure",
+            DropReason::ColdReadFault => "cold-read-fault",
         }
     }
 
@@ -75,7 +83,42 @@ impl DropReason {
             "host-loss" => Ok(DropReason::HostLoss),
             "host-corruption" => Ok(DropReason::HostCorruption),
             "swap-in-fault" => Ok(DropReason::SwapInFault),
+            "cold-pressure" => Ok(DropReason::ColdPressure),
+            "cold-read-fault" => Ok(DropReason::ColdReadFault),
             other => Err(DeError::custom(format!("unknown drop reason {other:?}"))),
+        }
+    }
+}
+
+/// A host-side storage tier of the deep cache hierarchy (the GPU tier is
+/// never a demotion source or target, so it does not appear here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageTier {
+    /// Tier 1: host DRAM (the paper's CPU cache).
+    Cpu,
+    /// Tier 2: simulated NVMe SSD.
+    Ssd,
+    /// Tier 3: simulated NFS/object cold store (restart-durable).
+    Cold,
+}
+
+impl StorageTier {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorageTier::Cpu => "cpu",
+            StorageTier::Ssd => "ssd",
+            StorageTier::Cold => "cold",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, DeError> {
+        match s {
+            "cpu" => Ok(StorageTier::Cpu),
+            "ssd" => Ok(StorageTier::Ssd),
+            "cold" => Ok(StorageTier::Cold),
+            other => Err(DeError::custom(format!("unknown storage tier {other:?}"))),
         }
     }
 }
@@ -93,6 +136,12 @@ pub enum RecoveryKind {
     GpuAllocFault,
     /// An injected worker stall lengthened the iteration.
     WorkerStall,
+    /// A deep-tier (SSD/cold) read failed; the affected chunks were
+    /// dropped and recomputed from raw tokens.
+    ColdReadFallback,
+    /// A session manifest read back from the cold store was torn (partial
+    /// write); rehydration was abandoned in favour of recomputation.
+    TornManifest,
 }
 
 impl RecoveryKind {
@@ -104,6 +153,8 @@ impl RecoveryKind {
             RecoveryKind::RecomputeFallback => "recompute-fallback",
             RecoveryKind::GpuAllocFault => "gpu-alloc-fault",
             RecoveryKind::WorkerStall => "worker-stall",
+            RecoveryKind::ColdReadFallback => "cold-read-fallback",
+            RecoveryKind::TornManifest => "torn-manifest",
         }
     }
 
@@ -113,6 +164,8 @@ impl RecoveryKind {
             "recompute-fallback" => Ok(RecoveryKind::RecomputeFallback),
             "gpu-alloc-fault" => Ok(RecoveryKind::GpuAllocFault),
             "worker-stall" => Ok(RecoveryKind::WorkerStall),
+            "cold-read-fallback" => Ok(RecoveryKind::ColdReadFallback),
+            "torn-manifest" => Ok(RecoveryKind::TornManifest),
             other => Err(DeError::custom(format!("unknown recovery kind {other:?}"))),
         }
     }
@@ -243,6 +296,23 @@ pub enum TraceEvent {
         /// Why the copy was discarded.
         reason: DropReason,
     },
+    /// Memory pressure demoted a chunk one storage tier down (CPU→SSD,
+    /// SSD→cold, or CPU→cold when the SSD tier is disabled) instead of
+    /// dropping it.
+    ChunkDemoted {
+        /// Demotion time.
+        at: SimTime,
+        /// Owning conversation.
+        conv: u64,
+        /// Chunk index within the conversation.
+        chunk: usize,
+        /// Tokens in the chunk.
+        tokens: usize,
+        /// Tier the chunk left.
+        from: StorageTier,
+        /// Tier the chunk landed in.
+        to: StorageTier,
+    },
     /// A restore revalidated lazily-copied tokens in place — their GPU
     /// slots were never reclaimed, so the "swap-in" was free.
     Revalidated {
@@ -271,6 +341,18 @@ pub enum TraceEvent {
         conv: u64,
         /// Tokens to recompute.
         tokens: usize,
+    },
+    /// A restore committed a deep-tier (SSD or cold) read of this many
+    /// tokens; they travel through the CPU staging path to the GPU.
+    TierReadCommitted {
+        /// Restore commit time.
+        at: SimTime,
+        /// Conversation restored.
+        conv: u64,
+        /// Tokens read back.
+        tokens: usize,
+        /// The tier the tokens were read from.
+        tier: StorageTier,
     },
     /// A running request was suspended (§4.3.5) and its GPU-resident
     /// context moved to the CPU tier.
@@ -442,6 +524,33 @@ pub enum TraceEvent {
         /// Window end.
         until: SimTime,
     },
+    /// A session's chunk manifest was serialized to the cold store,
+    /// making the conversation rehydratable across a restart.
+    ManifestPersisted {
+        /// When the manifest write was issued.
+        at: SimTime,
+        /// Conversation id.
+        conv: u64,
+        /// Context tokens covered by the manifest.
+        tokens: usize,
+        /// Serialized manifest bytes written.
+        bytes: u64,
+        /// True when an injected torn-write fault truncated the manifest
+        /// (detected by checksum at rehydration time).
+        torn: bool,
+    },
+    /// A restarted or failed-over replica rebuilt a conversation's cache
+    /// state from its cold-store manifest instead of recomputing it.
+    SessionRehydrated {
+        /// When the rehydrated state became usable at the replica.
+        at: SimTime,
+        /// Conversation id.
+        conv: u64,
+        /// Tokens admitted back into the cache's cold tier.
+        tokens: usize,
+        /// The rehydrating replica's index.
+        replica: usize,
+    },
 }
 
 /// Every variant name, in declaration order. The docs-coverage test
@@ -455,9 +564,11 @@ pub const VARIANTS: &[&str] = &[
     "SwapEnd",
     "ChunkEvicted",
     "ChunkDropped",
+    "ChunkDemoted",
     "Revalidated",
     "SwapInCommitted",
     "RecomputeCommitted",
+    "TierReadCommitted",
     "Suspended",
     "FaultRecovery",
     "RequestCompleted",
@@ -470,6 +581,8 @@ pub const VARIANTS: &[&str] = &[
     "ReplicationFlush",
     "StandbyPromoted",
     "LinkPartitioned",
+    "ManifestPersisted",
+    "SessionRehydrated",
 ];
 
 impl TraceEvent {
@@ -485,9 +598,11 @@ impl TraceEvent {
             TraceEvent::SwapEnd { .. } => "SwapEnd",
             TraceEvent::ChunkEvicted { .. } => "ChunkEvicted",
             TraceEvent::ChunkDropped { .. } => "ChunkDropped",
+            TraceEvent::ChunkDemoted { .. } => "ChunkDemoted",
             TraceEvent::Revalidated { .. } => "Revalidated",
             TraceEvent::SwapInCommitted { .. } => "SwapInCommitted",
             TraceEvent::RecomputeCommitted { .. } => "RecomputeCommitted",
+            TraceEvent::TierReadCommitted { .. } => "TierReadCommitted",
             TraceEvent::Suspended { .. } => "Suspended",
             TraceEvent::FaultRecovery { .. } => "FaultRecovery",
             TraceEvent::RequestCompleted { .. } => "RequestCompleted",
@@ -500,6 +615,8 @@ impl TraceEvent {
             TraceEvent::ReplicationFlush { .. } => "ReplicationFlush",
             TraceEvent::StandbyPromoted { .. } => "StandbyPromoted",
             TraceEvent::LinkPartitioned { .. } => "LinkPartitioned",
+            TraceEvent::ManifestPersisted { .. } => "ManifestPersisted",
+            TraceEvent::SessionRehydrated { .. } => "SessionRehydrated",
         }
     }
 
@@ -515,9 +632,11 @@ impl TraceEvent {
             | TraceEvent::SwapEnd { at, .. }
             | TraceEvent::ChunkEvicted { at, .. }
             | TraceEvent::ChunkDropped { at, .. }
+            | TraceEvent::ChunkDemoted { at, .. }
             | TraceEvent::Revalidated { at, .. }
             | TraceEvent::SwapInCommitted { at, .. }
             | TraceEvent::RecomputeCommitted { at, .. }
+            | TraceEvent::TierReadCommitted { at, .. }
             | TraceEvent::Suspended { at, .. }
             | TraceEvent::FaultRecovery { at, .. }
             | TraceEvent::RequestCompleted { at, .. }
@@ -529,7 +648,9 @@ impl TraceEvent {
             | TraceEvent::ReplicaFailed { at, .. }
             | TraceEvent::ReplicationFlush { at, .. }
             | TraceEvent::StandbyPromoted { at, .. }
-            | TraceEvent::LinkPartitioned { at, .. } => *at,
+            | TraceEvent::LinkPartitioned { at, .. }
+            | TraceEvent::ManifestPersisted { at, .. }
+            | TraceEvent::SessionRehydrated { at, .. } => *at,
         }
     }
 }
@@ -714,6 +835,24 @@ impl Serialize for TraceEvent {
                     ("reason", Value::String(reason.as_str().to_owned())),
                 ],
             ),
+            TraceEvent::ChunkDemoted {
+                at,
+                conv,
+                chunk,
+                tokens,
+                from,
+                to,
+            } => obj(
+                "ChunkDemoted",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("chunk", num(*chunk as f64)),
+                    ("tokens", num(*tokens as f64)),
+                    ("from", Value::String(from.as_str().to_owned())),
+                    ("to", Value::String(to.as_str().to_owned())),
+                ],
+            ),
             TraceEvent::Revalidated { at, conv, tokens } => obj(
                 "Revalidated",
                 &[
@@ -736,6 +875,20 @@ impl Serialize for TraceEvent {
                     ("at", time(*at)),
                     ("conv", num(*conv as f64)),
                     ("tokens", num(*tokens as f64)),
+                ],
+            ),
+            TraceEvent::TierReadCommitted {
+                at,
+                conv,
+                tokens,
+                tier,
+            } => obj(
+                "TierReadCommitted",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("tokens", num(*tokens as f64)),
+                    ("tier", Value::String(tier.as_str().to_owned())),
                 ],
             ),
             TraceEvent::Suspended { at, conv, tokens } => obj(
@@ -918,6 +1071,36 @@ impl Serialize for TraceEvent {
                 "LinkPartitioned",
                 &[("at", time(*at)), ("until", time(*until))],
             ),
+            TraceEvent::ManifestPersisted {
+                at,
+                conv,
+                tokens,
+                bytes,
+                torn,
+            } => obj(
+                "ManifestPersisted",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("tokens", num(*tokens as f64)),
+                    ("bytes", num(*bytes as f64)),
+                    ("torn", Value::Bool(*torn)),
+                ],
+            ),
+            TraceEvent::SessionRehydrated {
+                at,
+                conv,
+                tokens,
+                replica,
+            } => obj(
+                "SessionRehydrated",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("tokens", num(*tokens as f64)),
+                    ("replica", num(*replica as f64)),
+                ],
+            ),
         }
     }
 }
@@ -985,6 +1168,14 @@ impl Deserialize for TraceEvent {
                 tokens: f_usize(v, "tokens")?,
                 reason: DropReason::parse(&f_str(v, "reason")?)?,
             }),
+            "ChunkDemoted" => Ok(TraceEvent::ChunkDemoted {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                chunk: f_usize(v, "chunk")?,
+                tokens: f_usize(v, "tokens")?,
+                from: StorageTier::parse(&f_str(v, "from")?)?,
+                to: StorageTier::parse(&f_str(v, "to")?)?,
+            }),
             "Revalidated" => Ok(TraceEvent::Revalidated {
                 at: f_time(v, "at")?,
                 conv: f_u64(v, "conv")?,
@@ -999,6 +1190,12 @@ impl Deserialize for TraceEvent {
                 at: f_time(v, "at")?,
                 conv: f_u64(v, "conv")?,
                 tokens: f_usize(v, "tokens")?,
+            }),
+            "TierReadCommitted" => Ok(TraceEvent::TierReadCommitted {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                tokens: f_usize(v, "tokens")?,
+                tier: StorageTier::parse(&f_str(v, "tier")?)?,
             }),
             "Suspended" => Ok(TraceEvent::Suspended {
                 at: f_time(v, "at")?,
@@ -1083,6 +1280,19 @@ impl Deserialize for TraceEvent {
                 at: f_time(v, "at")?,
                 until: f_time(v, "until")?,
             }),
+            "ManifestPersisted" => Ok(TraceEvent::ManifestPersisted {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                tokens: f_usize(v, "tokens")?,
+                bytes: f_u64(v, "bytes")?,
+                torn: f_bool(v, "torn")?,
+            }),
+            "SessionRehydrated" => Ok(TraceEvent::SessionRehydrated {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                tokens: f_usize(v, "tokens")?,
+                replica: f_usize(v, "replica")?,
+            }),
             other => Err(DeError::custom(format!("unknown event variant {other:?}"))),
         }
     }
@@ -1155,6 +1365,14 @@ pub fn sample_events() -> Vec<TraceEvent> {
             tokens: 32,
             reason: DropReason::CpuPressure,
         },
+        TraceEvent::ChunkDemoted {
+            at: t,
+            conv: 2,
+            chunk: 4,
+            tokens: 32,
+            from: StorageTier::Cpu,
+            to: StorageTier::Ssd,
+        },
         TraceEvent::Revalidated {
             at: t,
             conv: 4,
@@ -1169,6 +1387,12 @@ pub fn sample_events() -> Vec<TraceEvent> {
             at: t,
             conv: 4,
             tokens: 32,
+        },
+        TraceEvent::TierReadCommitted {
+            at: t,
+            conv: 4,
+            tokens: 64,
+            tier: StorageTier::Cold,
         },
         TraceEvent::Suspended {
             at: t,
@@ -1252,6 +1476,19 @@ pub fn sample_events() -> Vec<TraceEvent> {
         TraceEvent::LinkPartitioned {
             at: t,
             until: SimTime::from_secs(1.75),
+        },
+        TraceEvent::ManifestPersisted {
+            at: t,
+            conv: 4,
+            tokens: 192,
+            bytes: 96,
+            torn: false,
+        },
+        TraceEvent::SessionRehydrated {
+            at: SimTime::from_secs(1.6),
+            conv: 4,
+            tokens: 192,
+            replica: 0,
         },
     ]
 }

@@ -335,6 +335,8 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
             | TraceEvent::Revalidated { .. }
             | TraceEvent::SwapInCommitted { .. }
             | TraceEvent::RecomputeCommitted { .. }
+            | TraceEvent::TierReadCommitted { .. }
+            | TraceEvent::ChunkDemoted { .. }
             | TraceEvent::PipelinedSwapIn { .. }
             | TraceEvent::TpPass { .. }
             | TraceEvent::Routed { .. }
@@ -343,7 +345,9 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
             | TraceEvent::ReplicaFailed { .. }
             | TraceEvent::ReplicationFlush { .. }
             | TraceEvent::StandbyPromoted { .. }
-            | TraceEvent::LinkPartitioned { .. } => {}
+            | TraceEvent::LinkPartitioned { .. }
+            | TraceEvent::ManifestPersisted { .. }
+            | TraceEvent::SessionRehydrated { .. } => {}
         }
     }
     // Stable sort: equal timestamps keep recording order.

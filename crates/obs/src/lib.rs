@@ -46,7 +46,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod report;
 
-pub use event::{sample_events, DropReason, RecoveryKind, SwapDir, TraceEvent};
+pub use event::{sample_events, DropReason, RecoveryKind, StorageTier, SwapDir, TraceEvent};
 pub use export::{chrome_trace, chrome_trace_string, parse_jsonl, to_jsonl, JsonlError};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{NullRecorder, Recorder, SharedRecorder};

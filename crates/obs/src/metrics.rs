@@ -87,6 +87,25 @@ pub mod names {
     /// Gauge: fraction of the pool's parked workers kept busy since the
     /// previous sample (0.0 for a serial pool).
     pub const POOL_WORKER_UTILIZATION: &str = "pensieve_pool_worker_utilization";
+    /// Counter: history tokens served by reading back from the SSD tier.
+    pub const SSD_HIT_TOKENS_TOTAL: &str = "pensieve_ssd_hit_tokens_total";
+    /// Counter: history tokens served by reading back from the cold tier.
+    pub const COLD_HIT_TOKENS_TOTAL: &str = "pensieve_cold_hit_tokens_total";
+    /// Counter: tokens demoted one storage tier down instead of dropped.
+    pub const DEMOTED_TOKENS_TOTAL: &str = "pensieve_demoted_tokens_total";
+    /// Counter: tokens rehydrated from cold-store session manifests.
+    pub const REHYDRATED_TOKENS_TOTAL: &str = "pensieve_rehydrated_tokens_total";
+    /// Counter: deep-tier reads that failed and fell back to recompute.
+    pub const COLD_READ_FAULTS_TOTAL: &str = "pensieve_cold_read_faults_total";
+    /// Counter: session manifests serialized to the cold store.
+    pub const MANIFESTS_PERSISTED_TOTAL: &str = "pensieve_manifests_persisted_total";
+    /// Counter: sessions rebuilt from cold-store manifests after a
+    /// restart or failover.
+    pub const SESSION_REHYDRATIONS_TOTAL: &str = "pensieve_session_rehydrations_total";
+    /// Gauge: SSD (tier-2) cache tokens in use.
+    pub const SSD_TOKENS_USED: &str = "pensieve_ssd_tokens_used";
+    /// Gauge: cold-store (tier-3) cache tokens in use.
+    pub const COLD_TOKENS_USED: &str = "pensieve_cold_tokens_used";
 
     /// Every canonical metric name.
     pub const ALL: &[&str] = &[
@@ -124,6 +143,15 @@ pub mod names {
         POOL_TASKS_TOTAL,
         POOL_QUEUE_DEPTH,
         POOL_WORKER_UTILIZATION,
+        SSD_HIT_TOKENS_TOTAL,
+        COLD_HIT_TOKENS_TOTAL,
+        DEMOTED_TOKENS_TOTAL,
+        REHYDRATED_TOKENS_TOTAL,
+        COLD_READ_FAULTS_TOTAL,
+        MANIFESTS_PERSISTED_TOTAL,
+        SESSION_REHYDRATIONS_TOTAL,
+        SSD_TOKENS_USED,
+        COLD_TOKENS_USED,
     ];
 }
 

@@ -8,7 +8,7 @@
 //! directions and GPU compute actually overlap?" (the §4.2 duplex and
 //! §4.3.3 pipelining claims).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 
 use pensieve_model::{SimDuration, SimTime};
@@ -122,6 +122,20 @@ pub struct TraceReport {
     pub replicated_tokens: u64,
     /// KV bytes put on the wire by replication flushes (incl. lost).
     pub replicated_bytes: u64,
+    /// Tokens demoted down the storage hierarchy, keyed by path
+    /// (`"cpu->ssd"`, `"ssd->cold"`, `"cpu->cold"`), in tokens.
+    pub demotion_tokens: BTreeMap<String, u64>,
+    /// History tokens read back from each deep tier (`"ssd"`, `"cold"`)
+    /// by committed restores.
+    pub tier_read_tokens: BTreeMap<String, u64>,
+    /// Session manifests serialized to the cold store.
+    pub manifests_persisted: u64,
+    /// Manifests truncated by injected torn-write faults.
+    pub torn_manifests: u64,
+    /// Sessions rehydrated from cold-store manifests.
+    pub rehydrations: u64,
+    /// Tokens admitted back into caches by rehydration.
+    pub rehydrated_tokens: u64,
 }
 
 /// Sums, merges and intersects `(start, end)` second intervals.
@@ -260,6 +274,28 @@ impl TraceReport {
                     lag_tokens: *lag_tokens,
                     latency: *latency,
                 }),
+                TraceEvent::ChunkDemoted {
+                    tokens, from, to, ..
+                } => {
+                    let path = format!("{}->{}", from.as_str(), to.as_str());
+                    *report.demotion_tokens.entry(path).or_insert(0) += *tokens as u64;
+                }
+                TraceEvent::TierReadCommitted { tokens, tier, .. } => {
+                    *report
+                        .tier_read_tokens
+                        .entry(tier.as_str().to_owned())
+                        .or_insert(0) += *tokens as u64;
+                }
+                TraceEvent::ManifestPersisted { torn, .. } => {
+                    report.manifests_persisted += 1;
+                    if *torn {
+                        report.torn_manifests += 1;
+                    }
+                }
+                TraceEvent::SessionRehydrated { tokens, .. } => {
+                    report.rehydrations += 1;
+                    report.rehydrated_tokens += *tokens as u64;
+                }
                 _ => {}
             }
         }
@@ -361,6 +397,27 @@ impl TraceReport {
                 self.swap_in_busy.as_secs()
             ),
         );
+        if !self.demotion_tokens.is_empty()
+            || !self.tier_read_tokens.is_empty()
+            || self.manifests_persisted > 0
+            || self.rehydrations > 0
+        {
+            let _ = writeln!(out, "\n-- storage tiers --");
+            for (path, tokens) in &self.demotion_tokens {
+                let _ = writeln!(out, "demoted {path} {tokens} tokens");
+            }
+            for (tier, tokens) in &self.tier_read_tokens {
+                let _ = writeln!(out, "read back from {tier} {tokens} tokens");
+            }
+            let _ = writeln!(
+                out,
+                "manifests persisted {} ({} torn)  rehydrations {} ({} tokens)",
+                self.manifests_persisted,
+                self.torn_manifests,
+                self.rehydrations,
+                self.rehydrated_tokens,
+            );
+        }
         if self.replica_failures > 0 || self.replication_flushes > 0 || !self.promotions.is_empty()
         {
             let _ = writeln!(out, "\n-- failover --");
@@ -519,6 +576,66 @@ mod tests {
         assert!(text.contains("-- failover --"), "{text}");
         assert!(text.contains("promotion conv 3 replica 0->1"), "{text}");
         assert!(text.contains("lag at crash 32 tokens"), "{text}");
+    }
+
+    #[test]
+    fn storage_tier_section_attributes_demotions_and_rehydrations() {
+        use crate::event::StorageTier;
+        let calm = TraceReport::from_events(&[]);
+        assert!(!calm.render().contains("-- storage tiers --"));
+        let events = vec![
+            TraceEvent::ChunkDemoted {
+                at: t(0.1),
+                conv: 1,
+                chunk: 0,
+                tokens: 32,
+                from: StorageTier::Cpu,
+                to: StorageTier::Ssd,
+            },
+            TraceEvent::ChunkDemoted {
+                at: t(0.2),
+                conv: 1,
+                chunk: 1,
+                tokens: 32,
+                from: StorageTier::Ssd,
+                to: StorageTier::Cold,
+            },
+            TraceEvent::TierReadCommitted {
+                at: t(0.5),
+                conv: 1,
+                tokens: 64,
+                tier: StorageTier::Cold,
+            },
+            TraceEvent::ManifestPersisted {
+                at: t(0.6),
+                conv: 1,
+                tokens: 64,
+                bytes: 48,
+                torn: true,
+            },
+            TraceEvent::SessionRehydrated {
+                at: t(0.9),
+                conv: 1,
+                tokens: 64,
+                replica: 0,
+            },
+        ];
+        let r = TraceReport::from_events(&events);
+        assert_eq!(r.demotion_tokens.get("cpu->ssd"), Some(&32));
+        assert_eq!(r.demotion_tokens.get("ssd->cold"), Some(&32));
+        assert_eq!(r.tier_read_tokens.get("cold"), Some(&64));
+        assert_eq!(r.manifests_persisted, 1);
+        assert_eq!(r.torn_manifests, 1);
+        assert_eq!(r.rehydrations, 1);
+        assert_eq!(r.rehydrated_tokens, 64);
+        let text = r.render();
+        assert!(text.contains("-- storage tiers --"), "{text}");
+        assert!(text.contains("demoted cpu->ssd 32 tokens"), "{text}");
+        assert!(text.contains("read back from cold 64 tokens"), "{text}");
+        assert!(
+            text.contains("manifests persisted 1 (1 torn)  rehydrations 1 (64 tokens)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub enum FaultKind {
     /// A tensor-parallel worker shard dies; detected via channel
     /// disconnect and surfaced as a typed error.
     WorkerCrash,
+    /// A deep-tier (SSD/cold) read stalls: the data arrives, but late by
+    /// the configured penalty (device GC pause, congested NFS server).
+    ColdReadStall,
+    /// A deep-tier read fails outright; the device time is consumed but
+    /// nothing arrives. The chunks are recomputed from raw tokens.
+    ColdReadFailure,
+    /// A session-manifest write to the cold tier is torn mid-write; the
+    /// truncated manifest fails its checksum on read and the session
+    /// rehydration falls back to recomputation.
+    TornManifestWrite,
 }
 
 impl fmt::Display for FaultKind {
@@ -56,6 +66,9 @@ impl fmt::Display for FaultKind {
             FaultKind::GpuAllocFailure => "gpu-alloc-failure",
             FaultKind::WorkerStall => "worker-stall",
             FaultKind::WorkerCrash => "worker-crash",
+            FaultKind::ColdReadStall => "cold-read-stall",
+            FaultKind::ColdReadFailure => "cold-read-failure",
+            FaultKind::TornManifestWrite => "torn-manifest-write",
         };
         f.write_str(s)
     }
@@ -81,10 +94,18 @@ pub struct FaultConfig {
     /// Probability that a worker shard crashes (functional engines only;
     /// the timing engine treats crashes as stalls).
     pub worker_crash: f64,
+    /// Probability that a deep-tier read stalls (delivers late).
+    pub cold_read_stall: f64,
+    /// Probability that a deep-tier read fails (delivers nothing).
+    pub cold_read_failure: f64,
+    /// Probability that a cold-tier manifest write is torn.
+    pub torn_manifest_write: f64,
     /// Extra wall-clock consumed before a timed-out transfer is detected.
     pub timeout_penalty: SimDuration,
     /// Duration of one worker stall.
     pub stall_duration: SimDuration,
+    /// Extra delivery delay of one stalled deep-tier read.
+    pub cold_stall_penalty: SimDuration,
 }
 
 impl FaultConfig {
@@ -100,8 +121,12 @@ impl FaultConfig {
             gpu_alloc_failure: 0.0,
             worker_stall: 0.0,
             worker_crash: 0.0,
+            cold_read_stall: 0.0,
+            cold_read_failure: 0.0,
+            torn_manifest_write: 0.0,
             timeout_penalty: SimDuration::from_secs(10e-3),
             stall_duration: SimDuration::from_secs(5e-3),
+            cold_stall_penalty: SimDuration::from_secs(20e-3),
         }
     }
 
@@ -139,6 +164,12 @@ pub struct FaultCounters {
     pub worker_stalls: u64,
     /// Worker crashes injected.
     pub worker_crashes: u64,
+    /// Deep-tier read stalls injected.
+    pub cold_read_stalls: u64,
+    /// Deep-tier read failures injected.
+    pub cold_read_failures: u64,
+    /// Torn cold-tier manifest writes injected.
+    pub torn_manifest_writes: u64,
 }
 
 impl FaultCounters {
@@ -152,6 +183,9 @@ impl FaultCounters {
             + self.gpu_alloc_failures
             + self.worker_stalls
             + self.worker_crashes
+            + self.cold_read_stalls
+            + self.cold_read_failures
+            + self.torn_manifest_writes
     }
 }
 
@@ -219,6 +253,9 @@ impl FaultInjector {
             FaultKind::GpuAllocFailure => self.cfg.gpu_alloc_failure,
             FaultKind::WorkerStall => self.cfg.worker_stall,
             FaultKind::WorkerCrash => self.cfg.worker_crash,
+            FaultKind::ColdReadStall => self.cfg.cold_read_stall,
+            FaultKind::ColdReadFailure => self.cfg.cold_read_failure,
+            FaultKind::TornManifestWrite => self.cfg.torn_manifest_write,
         };
         let fired = self.next_f64() < p;
         if fired {
@@ -231,6 +268,9 @@ impl FaultInjector {
                 FaultKind::GpuAllocFailure => c.gpu_alloc_failures += 1,
                 FaultKind::WorkerStall => c.worker_stalls += 1,
                 FaultKind::WorkerCrash => c.worker_crashes += 1,
+                FaultKind::ColdReadStall => c.cold_read_stalls += 1,
+                FaultKind::ColdReadFailure => c.cold_read_failures += 1,
+                FaultKind::TornManifestWrite => c.torn_manifest_writes += 1,
             }
         }
         fired

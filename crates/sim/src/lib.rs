@@ -19,12 +19,16 @@
 //!   router streams KV chunks during conversation migration and
 //!   replication, with seeded per-chunk loss feeding the
 //!   recompute-fallback path and optional seeded partition windows.
+//! * [`storage::StorageDevice`] — deep-storage tiers (simulated NVMe SSD
+//!   and cold NFS/object store) below the CPU cache, with per-direction
+//!   FIFO busy horizons and seeded cold-read stall/failure faults.
 
 pub mod events;
 pub mod faults;
 pub mod gpu;
 pub mod node_link;
 pub mod pcie;
+pub mod storage;
 
 pub use events::{EventQueue, ScheduleError};
 pub use faults::{
@@ -34,3 +38,4 @@ pub use faults::{
 pub use gpu::GpuTimer;
 pub use node_link::{ChunkLost, NodeLink, NodeLinkSpec, PartitionSpec};
 pub use pcie::{Direction, DuplexMode, PcieLink, TransferError};
+pub use storage::{StorageDevice, StorageDeviceSpec, StorageReadError};
