@@ -157,15 +157,17 @@ fn in_panic_scope(p: &str) -> bool {
 }
 
 /// Hot-path files where unchecked indexing is banned (r1-index): the
-/// cache swap-in/eviction path, the manifest decoder and storage-device
-/// models (torn records are hostile input by design), the cluster
-/// router + replication pump (every request and KV delta crosses them),
-/// and the worker pool (an out-of-bounds panic inside dispatch would
-/// poison the whole fleet).
+/// cache swap-in/eviction path, the radix prefix index (walked on every
+/// admission with caller-supplied token histories), the manifest
+/// decoder and storage-device models (torn records are hostile input by
+/// design), the cluster router + replication pump (every request and KV
+/// delta crosses them), and the worker pool (an out-of-bounds panic
+/// inside dispatch would poison the whole fleet).
 fn in_index_scope(p: &str) -> bool {
     [
         "crates/kvcache/src/tiered.rs",
         "crates/kvcache/src/store.rs",
+        "crates/kvcache/src/prefix.rs",
         "crates/kvcache/src/manifest.rs",
         "crates/sim/src/storage.rs",
         "crates/cluster/src/router.rs",

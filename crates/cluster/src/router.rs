@@ -64,8 +64,8 @@ use std::collections::BTreeMap;
 use crossbeam::pool::Pool;
 use pensieve_core::{Request, RequestId, Response, ServingBackend};
 use pensieve_kvcache::{
-    CacheStats, ChunkState, ColdObjectStore, ManifestError, SessionExport, SessionId,
-    SessionManifest, Tier,
+    CacheStats, ChunkId, ChunkState, ColdObjectStore, ManifestChunk, ManifestError,
+    SessionExport, SessionId, SessionManifest, Tier,
 };
 use pensieve_model::{SimDuration, SimTime};
 use pensieve_obs::{metrics, Recorder as _, RecoveryKind, SharedRecorder, TraceEvent};
@@ -578,9 +578,15 @@ impl<B: ServingBackend> Router<B> {
             }
             let lag = state.committed.saturating_sub(state.replicated);
             if !chunks.is_empty() {
+                // Replicated deltas carry *private* committed tokens only;
+                // a globally shared preamble is never byte-streamed (every
+                // replica already holds its chunks), so the failover export
+                // attaches no shared chain and the retried turn re-derives
+                // any preamble credit through the standby's own index.
                 let export = SessionExport {
                     session: conv,
                     chunks,
+                    shared: Vec::new(),
                 };
                 let admitted = self
                     .replicas
@@ -975,19 +981,23 @@ impl<B: ServingBackend> Router<B> {
         // Cap at the orphan's history: a partially committed turn
         // restarts from its original context, the same rule standby
         // promotion applies to replicated chunks.
-        let mut chunk_tokens = Vec::new();
+        let mut chunks = Vec::new();
         let mut pos = 0usize;
-        for &tokens in &manifest.chunk_tokens {
+        for m in &manifest.chunks {
             if pos >= cap {
                 break;
             }
-            let take = tokens.min(cap - pos);
+            let take = m.tokens.min(cap - pos);
             pos += take;
-            chunk_tokens.push(take);
+            // A truncated shared chunk cannot re-attach by id (attaching
+            // would bring the whole chunk back); demote it to a private
+            // cold entry of the capped size instead.
+            let id = if take == m.tokens { m.id } else { ChunkId::NONE };
+            chunks.push(ManifestChunk { id, tokens: take });
         }
         let capped = SessionManifest {
             session: conv,
-            chunk_tokens,
+            chunks,
         };
         if capped.total_tokens() == 0 {
             return None;

@@ -39,9 +39,12 @@ use pensieve_sim::{
 use crate::config::{EngineConfig, PolicyKind, SuspendPolicy};
 use crate::request::{Request, Response};
 
-/// Pseudo-conversation holding the globally shared system-prompt KV state
-/// (paper §7 footnote 3). Pinned for the engine's lifetime.
-const SHARED_PREFIX_CONV: pensieve_kvcache::SessionId = pensieve_kvcache::SessionId(u64::MAX);
+/// Seed of the deterministic synthetic token stream standing in for the
+/// deployment-wide system preamble (paper §7 footnote 3) in the timing
+/// model. Every replica derives the same stream and therefore the same
+/// content-addressed chunk chain, so manifests and migrations re-attach
+/// it by id.
+const SHARED_PREAMBLE_SEED: u64 = 0x50_45_4e_53; // "PENS"
 
 /// Internal per-request execution state.
 #[derive(Debug, Clone)]
@@ -188,6 +191,26 @@ pub struct SimServingEngine {
     pool_busy_prev: Duration,
     /// Wall-clock instant of the previous metrics sample.
     pool_wall_prev: Instant,
+    /// Content-addressed chain of the globally shared system preamble;
+    /// empty when stateless or `shared_prefix_tokens == 0`.
+    shared_chain: Vec<pensieve_kvcache::ChunkId>,
+    /// Tokens the chain covers (whole chunks of `shared_prefix_tokens`;
+    /// a partial trailing chunk is recomputed per conversation).
+    shared_tokens: usize,
+    /// Explicit references pinning the preamble chain for the engine's
+    /// lifetime; given back to the cache on drop.
+    shared_handles: Vec<pensieve_kvcache::ChunkHandle>,
+}
+
+impl Drop for SimServingEngine {
+    fn drop(&mut self) {
+        // The engine owns both the cache and the global-preamble handles,
+        // so its teardown is the matching release — anything else would
+        // trip the handle leak check.
+        for h in std::mem::take(&mut self.shared_handles) {
+            let _ = self.cache.release(h);
+        }
+    }
 }
 
 /// Builder for [`SimServingEngine`] — the only way to construct one.
@@ -312,7 +335,7 @@ impl SimServingEngine {
             model,
             gpu,
             link,
-            cache: TieredKvCache::new(cache_cfg, policy),
+            cache: TieredKvCache::builder(cache_cfg).policy(policy).build(),
             now: SimTime::ZERO,
             wait_queue: VecDeque::new(),
             running: Vec::new(),
@@ -332,23 +355,31 @@ impl SimServingEngine {
             // metrics gauge only — real execution time of real threads,
             // never read by scheduling, eviction, or token generation.
             pool_wall_prev: Instant::now(),
+            shared_chain: Vec::new(),
+            shared_tokens: 0,
+            shared_handles: Vec::new(),
         };
-        // Materialize the shared system-prompt KV state once, pinned so
-        // it is never evicted (its memory cost is honest: it occupies GPU
-        // slots for the engine's lifetime).
+        // Register the deployment-wide system preamble as one
+        // content-addressed chain and materialize it globally: every
+        // conversation attaches to the same physical chunks, and its
+        // memory cost is honest — the chain occupies GPU slots for the
+        // engine's lifetime.
         if engine.cfg.stateful && engine.cfg.shared_prefix_tokens > 0 {
-            engine
+            let preamble = pensieve_kvcache::synthetic_preamble(
+                SHARED_PREAMBLE_SEED,
+                engine.cfg.shared_prefix_tokens,
+            );
+            let chain = engine.cache.register_shared(&preamble, SimTime::ZERO);
+            engine.shared_handles = engine
                 .cache
-                .append_tokens(
-                    SHARED_PREFIX_CONV,
-                    engine.cfg.shared_prefix_tokens,
-                    SimTime::ZERO,
-                )
+                .materialize_global(&chain, SimTime::ZERO)
                 // lint:allow(r1-panic): a shared prefix larger than the
                 // GPU cache is a configuration bug, not a runtime
                 // condition — fail loudly at construction, not
                 // mid-serving.
                 .expect("shared prefix must fit in the GPU cache");
+            engine.shared_tokens = chain.len() * engine.cache.config().chunk_tokens;
+            engine.shared_chain = chain;
         }
         engine
     }
@@ -375,13 +406,14 @@ impl SimServingEngine {
         self.faults.as_ref().map(FaultInjector::counters)
     }
 
-    /// Tokens of `history` served by the globally shared prefix.
-    fn shared_credit(&self, history: usize) -> usize {
-        if self.cfg.stateful {
-            self.cfg.shared_prefix_tokens.min(history)
-        } else {
-            0
-        }
+    /// True when `conv`'s next admission should first attach the global
+    /// preamble chain: the conversation is new to the cache and its
+    /// history actually starts with the preamble.
+    fn should_attach_shared(&self, conv: SessionId, history: usize) -> bool {
+        self.cfg.stateful
+            && !self.shared_chain.is_empty()
+            && !self.cache.contains(conv)
+            && history >= self.shared_tokens
     }
 
     /// The engine configuration.
@@ -466,12 +498,29 @@ impl SimServingEngine {
     /// History tokens of `session` this engine could serve from its KV
     /// cache right now (GPU hits, in-place revalidations and CPU
     /// swap-ins; dropped chunks need recomputation and do not count).
-    /// The globally shared system prefix is excluded — every replica of
-    /// a cluster holds it, so it never differentiates placement.
+    /// The globally shared system preamble is excluded — every replica
+    /// of a cluster holds it, so it never differentiates placement.
     #[must_use]
     pub fn cached_tokens(&self, session: SessionId) -> usize {
         let plan = self.cache.plan_restore(session);
-        plan.gpu_hit_tokens + plan.revalidate_tokens + plan.swap_in_tokens
+        (plan.gpu_hit_tokens + plan.revalidate_tokens + plan.swap_in_tokens)
+            .saturating_sub(self.cache.global_shared_tokens(session))
+    }
+
+    /// Tokens resident (any non-dropped tier) summed *per sharer*: a
+    /// shared chunk counts once for every conversation whose chain holds
+    /// it. The baseline an unshared cache would need.
+    #[must_use]
+    pub fn logical_resident_tokens(&self) -> usize {
+        self.cache.logical_resident_tokens()
+    }
+
+    /// Tokens physically resident: each shared chunk counted once,
+    /// regardless of sharer count. `physical / logical` is the cache's
+    /// cross-conversation dedup ratio.
+    #[must_use]
+    pub fn physical_resident_tokens(&self) -> usize {
+        self.cache.physical_resident_tokens()
     }
 
     /// Removes `session`'s KV state for handoff to another engine.
@@ -487,7 +536,7 @@ impl SimServingEngine {
                 WorkItem::New(r) => r.conv == session,
                 WorkItem::Resumed(r) => r.req.conv == session,
             });
-        if in_flight || session == SHARED_PREFIX_CONV {
+        if in_flight {
             return None;
         }
         self.cache.export_session(session)
@@ -502,51 +551,67 @@ impl SimServingEngine {
         self.cache.import_session(export, self.now).unwrap_or(0)
     }
 
-    /// Builds a cold-tier manifest of `session`'s chunk layout (see
-    /// [`pensieve_kvcache::manifest`]), or `None` when this engine does
-    /// not track the session or it is the globally shared prefix (every
-    /// replica rebuilds that at construction). Read-only — persisting
-    /// the manifest to the cold object store is the router's job.
+    /// Builds a cold-tier manifest of `session`'s chunk layout — the
+    /// shared chain's content-addressed ids followed by private chunks
+    /// (see [`pensieve_kvcache::SessionManifest`]) — or `None` when this
+    /// engine does not track the session. Read-only — persisting the
+    /// manifest to the cold object store is the router's job.
     #[must_use]
     pub fn session_manifest(&self, session: SessionId) -> Option<SessionManifest> {
-        if session == SHARED_PREFIX_CONV || !self.cache.contains(session) {
+        if !self.cache.contains(session) {
             return None;
         }
         Some(SessionManifest {
             session,
-            chunk_tokens: self.cache.chunk_layout(session),
+            chunks: self.cache.manifest_chunks(session),
         })
     }
 
     /// Sessions whose cache state is eligible for manifest persistence
-    /// (all tracked conversations except the shared prefix), in
-    /// ascending id order.
+    /// (all tracked conversations), in ascending id order.
     #[must_use]
     pub fn manifest_sessions(&self) -> Vec<SessionId> {
-        let mut sessions = self.cache.sessions();
-        sessions.retain(|&s| s != SHARED_PREFIX_CONV);
-        sessions
+        self.cache.sessions()
     }
 
     /// Rebuilds a session from a persisted manifest after this replica
-    /// took over for a failed one: the layout is re-admitted at the cold
-    /// tier (up to capacity; the remainder recomputes) and served as
-    /// cold reads on the session's next restore. Returns the tokens
-    /// admitted; a session already tracked here yields 0 unchanged.
+    /// took over for a failed one: shared chain ids this replica still
+    /// pools (the global preamble always, fork chains when warm)
+    /// re-attach for free, and the rest is re-admitted at the cold tier
+    /// (up to capacity; the remainder recomputes) and served as cold
+    /// reads on the session's next restore. Returns the tokens recovered
+    /// without recomputation; a session already tracked here yields 0
+    /// unchanged.
     pub fn rehydrate_session(&mut self, manifest: &SessionManifest) -> usize {
         self.cache
-            .rehydrate_session(manifest.session, &manifest.chunk_tokens, self.now)
+            .rehydrate_session(manifest.session, &manifest.chunks, self.now)
             .unwrap_or(0)
     }
 
-    /// Drains the KV commit log: sessions whose cache-resident context
-    /// grew since the last drain, with their new committed token totals,
-    /// in `SessionId` order. The globally shared prefix is filtered out —
-    /// every replica holds it, so it is never replicated or migrated.
+    /// Drains the KV commit log: sessions whose cache-resident *private*
+    /// context grew since the last drain, with their new committed token
+    /// totals, in `SessionId` order. Shared chunks never appear — they
+    /// travel by content-addressed id, not bytes.
     pub fn take_committed_kv(&mut self) -> Vec<(SessionId, usize)> {
-        let mut commits = self.cache.take_commits();
-        commits.retain(|&(conv, _)| conv != SHARED_PREFIX_CONV);
-        commits
+        self.cache.take_commits()
+    }
+
+    /// Forks `child` from `parent` (agentic tree-of-thought branching):
+    /// the parent's context is promoted into shared chunks both
+    /// conversations reference, with no KV bytes copied. See
+    /// [`pensieve_kvcache::TieredKvCache::fork_session`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pensieve_kvcache::CacheError::UnknownConversation`] if
+    /// `parent` is not cached here or
+    /// [`pensieve_kvcache::CacheError::SessionExists`] if `child` is.
+    pub fn fork_session(
+        &mut self,
+        parent: SessionId,
+        child: SessionId,
+    ) -> Result<usize, pensieve_kvcache::CacheError> {
+        self.cache.fork_session(parent, child, self.now)
     }
 
     /// Fail-stop: the replica dies, its in-memory KV state is
@@ -1194,17 +1259,26 @@ impl SimServingEngine {
     fn admission_cost(&self, item: &WorkItem) -> (pensieve_kvcache::SessionId, usize, usize) {
         match item {
             WorkItem::New(req) => {
+                // A conversation's tracked tokens include its shared
+                // chain; a first admission that will attach the global
+                // preamble chain (see `commit_admission`) gets the same
+                // credit up front. The chain is globally GPU-resident,
+                // so it adds neither query tokens nor new slots.
                 let cached = if self.cfg.stateful {
                     self.cache.conversation_tokens(req.conv)
                 } else {
                     0
                 };
-                let shared = self.shared_credit(req.history_tokens);
+                let attach = if self.should_attach_shared(req.conv, req.history_tokens) {
+                    self.shared_tokens
+                } else {
+                    0
+                };
                 let plan = self.cache.plan_restore(req.conv);
-                // History beyond the shared prefix and what the cache
-                // tracks (e.g. the final token of the previous turn) is
-                // recomputed with the prompt.
-                let tail = req.history_tokens.saturating_sub(cached + shared);
+                // History beyond what the cache tracks (e.g. the final
+                // token of the previous turn) is recomputed with the
+                // prompt.
+                let tail = req.history_tokens.saturating_sub(cached + attach);
                 let query = plan.recompute_tokens + tail + req.prompt_tokens;
                 let mut slots = plan.new_gpu_slots() + tail + req.prompt_tokens;
                 if self.cfg.reserve_max_decode {
@@ -1214,11 +1288,10 @@ impl SimServingEngine {
                 (req.conv, query, slots)
             }
             WorkItem::Resumed(r) => {
-                let shared = self.shared_credit(r.context_len);
                 let plan = self.cache.plan_restore(r.req.conv);
                 let tail = r
                     .context_len
-                    .saturating_sub(self.cache.conversation_tokens(r.req.conv) + shared);
+                    .saturating_sub(self.cache.conversation_tokens(r.req.conv));
                 let query = (plan.recompute_tokens + tail).max(1);
                 let slots = plan.new_gpu_slots() + tail;
                 (r.req.conv, query, slots)
@@ -1243,6 +1316,19 @@ impl SimServingEngine {
         query_tokens: usize,
         reserved_delay: Option<SimDuration>,
     ) -> Result<(), pensieve_kvcache::CacheError> {
+        // A conversation new to the cache whose history begins with the
+        // global preamble attaches the shared chain before its restore is
+        // committed, so the chain's chunks restore as shared hits instead
+        // of being recomputed into private slots.
+        if let WorkItem::New(req) = &item {
+            if self.should_attach_shared(req.conv, req.history_tokens) {
+                let chain = self.shared_chain.clone();
+                // Cannot fail: the chain was validated at construction
+                // and the conversation is untracked; if it somehow does,
+                // the request simply recomputes its preamble privately.
+                let _ = self.cache.attach_shared(req.conv, &chain, self.now);
+            }
+        }
         let plan = match self.cache.commit_restore(conv, self.now) {
             Ok(plan) => plan,
             Err(e) => {
@@ -1253,14 +1339,16 @@ impl SimServingEngine {
         let swap_in_bytes = plan.swap_in_tokens * self.kv_bytes_per_token_per_gpu;
         match item {
             WorkItem::New(req) => {
-                let shared = self.shared_credit(req.history_tokens);
+                let shared = plan.shared_hit_tokens;
                 self.counters.shared_prefix_hits += shared as u64;
+                // Shared-chain hits are already inside the plan's
+                // per-tier counts, so the tail is history minus the plan.
                 let cached_before = plan.gpu_hit_tokens
                     + plan.revalidate_tokens
                     + plan.swap_in_tokens
                     + plan.deep_read_tokens()
                     + plan.recompute_tokens;
-                let tail = req.history_tokens.saturating_sub(cached_before + shared);
+                let tail = req.history_tokens.saturating_sub(cached_before);
                 let reserved = if self.cfg.reserve_max_decode {
                     req.output_tokens
                 } else {
@@ -1311,16 +1399,15 @@ impl SimServingEngine {
                     cached_tokens: plan.gpu_hit_tokens
                         + plan.revalidate_tokens
                         + plan.swap_in_tokens
-                        + plan.deep_read_tokens()
-                        + shared,
+                        + plan.deep_read_tokens(),
                     preallocated: self.cfg.reserve_max_decode,
                     req,
                 });
             }
             WorkItem::Resumed(mut r) => {
-                let shared = self.shared_credit(r.context_len);
+                let shared = plan.shared_hit_tokens;
                 let cached_now = self.cache.conversation_tokens(r.req.conv);
-                let tail = r.context_len.saturating_sub(cached_now + shared);
+                let tail = r.context_len.saturating_sub(cached_now);
                 if tail > 0 {
                     if let Err(e) = self.cache.append_tokens(r.req.conv, tail, self.now) {
                         // Same recovery as the New arm: re-queue and let
@@ -1950,6 +2037,31 @@ mod tests {
         assert_eq!(
             t3.prefill_tokens + t3.cached_history_tokens,
             shared + 450 + 30
+        );
+    }
+
+    /// Every `ChunkHandle` the engine acquires for the global preamble
+    /// chain is released on drop: the process-wide leak counter stays at
+    /// zero after an engine that materialized (and served) the shared
+    /// chain is torn down.
+    #[test]
+    fn engine_teardown_releases_all_chunk_handles() {
+        let shared = 512usize;
+        {
+            let mut e = SimServingEngine::builder(
+                EngineConfig::pensieve_shared_prefix(shared),
+                ModelConfig::opt_13b(),
+                small_hw(),
+            )
+            .build();
+            e.submit(req(1, 1, 0.0, 40, 10, shared));
+            e.run_until_idle();
+            assert_eq!(e.drain_responses().len(), 1);
+        } // engine drops here, releasing its preamble handles
+        assert_eq!(
+            pensieve_kvcache::leaked_chunk_handles(),
+            0,
+            "engine drop must release every global-preamble ChunkHandle"
         );
     }
 

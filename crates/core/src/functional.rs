@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use pensieve_kernels::model::{SegmentInput, SeqInput, TinyModel};
 use pensieve_kernels::ops::argmax;
 use pensieve_kernels::paged::{BlockId, BlockTable, PagedKvCache};
-use pensieve_kvcache::{RawTokenStore, SessionId};
+use pensieve_kvcache::{CacheError, SessionId, TokenChunkStore};
 use pensieve_model::ModelConfig;
 use pensieve_sim::{FaultCounters, FaultInjector, FaultKind};
 
@@ -90,7 +90,7 @@ pub struct FunctionalEngine {
     stash: BTreeMap<(SessionId, usize), HostBlock>,
     /// Insertion order of stash entries, for drop-from-front decisions.
     stash_order: Vec<(SessionId, usize)>,
-    store: RawTokenStore,
+    store: TokenChunkStore,
     clock: u64,
     /// Counters: (swapped_out, swapped_in, dropped, recomputed) blocks.
     swap_out_blocks: u64,
@@ -120,6 +120,7 @@ impl FunctionalEngine {
             model_cfg.num_layers,
             cfg.pool_blocks,
         );
+        let store = TokenChunkStore::new(cfg.block_size);
         FunctionalEngine {
             model,
             pool,
@@ -127,7 +128,7 @@ impl FunctionalEngine {
             convs: BTreeMap::new(),
             stash: BTreeMap::new(),
             stash_order: Vec::new(),
-            store: RawTokenStore::new(),
+            store,
             clock: 0,
             swap_out_blocks: 0,
             swap_in_blocks: 0,
@@ -173,13 +174,35 @@ impl FunctionalEngine {
         self.model.set_threads(threads);
     }
 
-    /// Full raw history of a conversation.
+    /// Full raw history of a conversation, composed back into logical
+    /// order from the store's shared chunk chain and private tail.
     #[must_use]
     pub fn history(&self, conv: SessionId) -> Vec<u32> {
         self.store
-            .fetch(conv, 0..self.store.len(conv))
-            .map(<[u32]>::to_vec)
+            .view(conv)
+            .map(|v| v.to_vec())
             .unwrap_or_default()
+    }
+
+    /// Forks `parent` into a new conversation `child`. The raw-token
+    /// history is shared by reference in the chunked store (no tokens
+    /// are copied); the child starts with no resident KV and recomputes
+    /// lazily on its first turn, so serving it is bit-identical to
+    /// serving a fresh conversation fed the parent's full history.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownConversation`] if `parent` was never served;
+    /// [`CacheError::SessionExists`] if `child` already has history.
+    pub fn fork_conversation(&mut self, parent: SessionId, child: SessionId) -> Result<(), CacheError> {
+        self.store.fork(parent, child)
+    }
+
+    /// `(physical, logical)` raw-token counts in the chunked store; the
+    /// ratio is the store's dedup factor across forked conversations.
+    #[must_use]
+    pub fn store_dedup(&self) -> (usize, usize) {
+        (self.store.physical_tokens(), self.store.logical_tokens())
     }
 
     /// Blocks swapped out / swapped in / dropped, and tokens recomputed.
@@ -269,12 +292,12 @@ impl FunctionalEngine {
             segments.push(SegmentInput {
                 tokens: self
                     .store
-                    .fetch(conv, r.clone())
+                    .view(conv)
+                    .and_then(|v| v.slice(r.clone()))
                     // lint:allow(r1-panic): recompute ranges are clipped
                     // to cached_len <= hist_len above; serve_turn
                     // documents its panic semantics.
-                    .expect("range clipped")
-                    .to_vec(),
+                    .expect("range clipped"),
                 start_pos: r.start,
             });
         }
@@ -282,12 +305,12 @@ impl FunctionalEngine {
         // the previous turn's final token) plus the new prompt.
         let tail: Vec<u32> = self
             .store
-            .fetch(conv, cached_len..hist_len)
+            .view(conv)
+            .and_then(|v| v.slice(cached_len..hist_len))
             // lint:allow(r1-panic): cached_len <= hist_len is asserted
             // above and predates this turn's append; serve_turn documents
             // its panic semantics.
-            .expect("tail within history")
-            .to_vec();
+            .expect("tail within history");
         let mut last_seg: Vec<u32> = tail;
         last_seg.extend_from_slice(prompt);
         segments.push(SegmentInput {
@@ -659,6 +682,43 @@ mod tests {
                 "turn {turn}"
             );
         }
+    }
+
+    #[test]
+    fn forked_conversation_matches_fresh_history_replay() {
+        let cfg = ModelConfig::tiny_llama();
+        let mut e = FunctionalEngine::new(&cfg, 16, FunctionalConfig::default());
+        let (parent, child) = (SessionId(1), SessionId(2));
+        for turn in 0..2 {
+            let p = prompt(80 + turn, 6, cfg.vocab_size as u32);
+            e.serve_turn(parent, &p, 3);
+        }
+        e.fork_conversation(parent, child)
+            .expect("parent exists, child fresh");
+        assert_eq!(
+            e.fork_conversation(parent, child),
+            Err(CacheError::SessionExists(child)),
+            "double fork must be rejected"
+        );
+        let (physical, logical) = e.store_dedup();
+        assert!(
+            physical < logical,
+            "fork must share sealed chunks: physical {physical} logical {logical}"
+        );
+        // The forked branch serves exactly like a fresh conversation
+        // whose context is the parent's full history.
+        let base = e.history(parent);
+        let p = prompt(90, 6, cfg.vocab_size as u32);
+        let got = e.serve_turn(child, &p, 4);
+        let mut full = base.clone();
+        full.extend_from_slice(&p);
+        assert_eq!(got, e.reference_decode(&full, 4), "forked branch");
+        // The parent's own continuation is unaffected by the fork.
+        let pp = prompt(91, 6, cfg.vocab_size as u32);
+        let gp = e.serve_turn(parent, &pp, 4);
+        let mut full_p = base;
+        full_p.extend_from_slice(&pp);
+        assert_eq!(gp, e.reference_decode(&full_p, 4), "parent after fork");
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub use backend::ServingBackend;
 pub use config::EngineConfig;
 pub use engine::{EngineBuilder, EngineCounters, RecoveryPolicy, SimServingEngine};
 pub use error::{PensieveError, WorkerError};
-pub use functional::FunctionalEngine;
+pub use functional::{FunctionalConfig, FunctionalEngine};
 pub use request::{Request, RequestBuildError, RequestBuilder, RequestId, Response};
 pub use workers::ThreadedTpEngine;

@@ -1,6 +1,8 @@
 //! Multi-tier KV-token cache management for Pensieve (§4.3), extended
 //! below the paper's GPU + CPU pair with simulated SSD and cold
-//! object-store tiers (see `docs/STORAGE.md` at the repository root).
+//! object-store tiers (see `docs/STORAGE.md` at the repository root)
+//! and *across* conversations with content-addressed shared chunks
+//! (`DESIGN.md` §14).
 //!
 //! This crate implements the paper's cache manager at the *decision* level:
 //! which chunks live where, what gets evicted when, and what a returning
@@ -16,37 +18,54 @@
 //!   (32 by default) to amortize decision-making and PCIe transfer costs.
 //! * **Retention value** — `V = Cost(l) / T`: chunks that are cheap to
 //!   recompute (leading chunks, small `l`) or belong to long-inactive
-//!   conversations are evicted first ([`policy::RetentionValuePolicy`]).
+//!   conversations are evicted first ([`RetentionValuePolicy`]).
 //! * **Ahead-of-time swapping** — when GPU free space falls below a
 //!   watermark (25 %), chunks are *copied* to CPU but their GPU slots are
 //!   reclaimed lazily, so a quickly-returning conversation gets them back
-//!   for free ([`tiered::TieredKvCache`]).
+//!   for free ([`TieredKvCache`]).
 //! * **Demotion and recomputation** — under CPU pressure chunks demote
 //!   tier-by-tier (CPU → SSD → cold) instead of being dropped outright;
 //!   only when the bottom tier is full (or the deep tiers are disabled,
 //!   the default) is a chunk dropped and later recomputed from raw
-//!   tokens kept in a persistent store ([`store::RawTokenStore`]).
+//!   tokens kept in a persistent store ([`TokenChunkStore`]).
+//! * **Cross-conversation sharing** — a common prefix (tool preamble,
+//!   RAG document, forked history) registers once as a chain of
+//!   content-addressed, reference-counted chunks ([`ChunkId`]) behind a
+//!   radix prefix index ([`PrefixIndex`]); N conversations attach to
+//!   one physical copy, and eviction weighs a chunk by its sharer
+//!   count. Explicit references travel as [`ChunkHandle`] guards.
 //! * **Request plans** — a returning conversation's context splits into
 //!   the paper's Figure-5 segments, generalized across the hierarchy:
 //!   dropped prefix (recompute), cold/SSD middle (device read), CPU
 //!   middle (swap in), GPU tail (hit), new prompt (compute).
-//! * **Manifests** — each session's chunk layout can be persisted to the
-//!   cold tier ([`manifest::ColdObjectStore`]) so a restarted replica
-//!   rehydrates the session as cold-tier reads instead of recomputing
-//!   its whole history.
+//! * **Manifests** — each session's chunk layout (shared chain ids
+//!   included) can be persisted to the cold tier ([`ColdObjectStore`])
+//!   so a restarted replica rehydrates the session as shared re-attach
+//!   plus cold-tier reads instead of recomputing its whole history.
+//!
+//! The crate's entire API is re-exported here at the root — the module
+//! tree is private layout, not surface.
 
-pub mod manifest;
-pub mod policy;
-pub mod stats;
-pub mod store;
-pub mod tiered;
-pub mod types;
+#![deny(missing_docs)]
 
-pub use manifest::{ColdObjectStore, ManifestError, SessionManifest};
+mod manifest;
+mod policy;
+mod prefix;
+mod stats;
+mod store;
+mod tiered;
+mod types;
+
+pub use manifest::{ColdObjectStore, ManifestChunk, ManifestError, SessionManifest};
 pub use policy::{
-    CachedAttentionPolicy, EvictionPolicy, LruPolicy, RetentionValuePolicy, TrailingEndPolicy,
+    CachedAttentionPolicy, EvictionPolicy, Granularity, LruPolicy, RetentionValuePolicy,
+    TrailingEndPolicy, WithinOrder,
 };
+pub use prefix::{synthetic_preamble, PrefixIndex};
 pub use stats::CacheStats;
-pub use store::RawTokenStore;
-pub use tiered::{CacheError, RequestPlan, SessionExport, SwapOutOp, TieredKvCache};
-pub use types::{CacheConfig, ChunkRef, ChunkState, SessionId, Tier};
+pub use store::{SessionView, TokenChunkStore};
+pub use tiered::{
+    leaked_chunk_handles, CacheError, ChunkHandle, RequestPlan, SessionExport, SharedChunkRef,
+    SwapOutOp, TieredKvCache, TieredKvCacheBuilder,
+};
+pub use types::{CacheConfig, ChunkId, ChunkRef, ChunkState, SessionId, Tier};

@@ -17,20 +17,30 @@
 //! [`ManifestError::Torn`], which callers treat as "no manifest" and
 //! fall back to recompute — never as corrupted state.
 //!
-//! Wire format (all fields little-endian `u64`):
+//! Wire format **v2** (all fields little-endian `u64`):
 //!
 //! ```text
-//! [magic "PNSVMAN1"] [session id] [chunk count n] [n x chunk tokens]
+//! [magic "PNSVMAN2"] [session id] [chunk count n]
+//! [n x (chunk id, chunk tokens)]
 //! [fnv1a checksum of all preceding bytes]
 //! ```
+//!
+//! v2 replaces the v1 format (magic `"PNSVMAN1"`, token counts only):
+//! each entry now persists the chunk's content-addressed
+//! [`ChunkId`](crate::ChunkId) so rehydration can re-*attach* shared
+//! chunks by reference instead of re-admitting an owned copy —
+//! [`ChunkId::NONE`](crate::ChunkId::NONE) marks a conversation-private
+//! chunk. v1 records fail the magic check and decode as
+//! [`ManifestError::Torn`], i.e. a restarted v2 replica safely
+//! recomputes pre-upgrade sessions.
 
 use std::collections::BTreeMap;
 
-use crate::types::SessionId;
+use crate::types::{ChunkId, SessionId};
 
-/// Magic prefix of a serialized manifest: `b"PNSVMAN1"` as a
+/// Magic prefix of a serialized manifest: `b"PNSVMAN2"` as a
 /// little-endian `u64`.
-const MAGIC: u64 = u64::from_le_bytes(*b"PNSVMAN1");
+const MAGIC: u64 = u64::from_le_bytes(*b"PNSVMAN2");
 
 /// FNV-1a over a byte slice — the repo-standard determinism pin.
 fn fnv1a(data: &[u8]) -> u64 {
@@ -42,18 +52,29 @@ fn fnv1a(data: &[u8]) -> u64 {
     h
 }
 
+/// One chunk entry in a persisted manifest: its shared identity (or
+/// [`ChunkId::NONE`] for a private chunk) and its token count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestChunk {
+    /// Content-addressed id, [`ChunkId::NONE`] if conversation-private.
+    pub id: ChunkId,
+    /// Tokens in the chunk.
+    pub tokens: usize,
+}
+
 /// A session's chunk layout, as persisted to the cold tier.
 ///
-/// Counts only: chunk token sizes in context order. The durable
-/// raw-token store remains the source of truth for the tokens
-/// themselves; the manifest exists so a restarted replica knows *what to
-/// re-admit* without replaying the whole conversation.
+/// Layout only — ids and token counts in context order, never KV bytes.
+/// The durable raw-token store remains the source of truth for the
+/// tokens themselves; the manifest exists so a restarted replica knows
+/// *what to re-admit* (and which shared chunks to re-*attach* by
+/// reference) without replaying the whole conversation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionManifest {
     /// The session this manifest describes.
     pub session: SessionId,
-    /// Per-chunk token counts, in context order.
-    pub chunk_tokens: Vec<usize>,
+    /// Per-chunk entries, in context order.
+    pub chunks: Vec<ManifestChunk>,
 }
 
 /// Why a stored manifest could not be decoded.
@@ -82,18 +103,19 @@ impl SessionManifest {
     /// Total tokens across all chunks.
     #[must_use]
     pub fn total_tokens(&self) -> usize {
-        self.chunk_tokens.iter().sum()
+        self.chunks.iter().map(|c| c.tokens).sum()
     }
 
     /// Serializes to the checksummed little-endian wire format.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 * (4 + self.chunk_tokens.len()));
+        let mut out = Vec::with_capacity(8 * (4 + 2 * self.chunks.len()));
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&self.session.0.to_le_bytes());
-        out.extend_from_slice(&(self.chunk_tokens.len() as u64).to_le_bytes());
-        for &tokens in &self.chunk_tokens {
-            out.extend_from_slice(&(tokens as u64).to_le_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
+        for chunk in &self.chunks {
+            out.extend_from_slice(&chunk.id.0.to_le_bytes());
+            out.extend_from_slice(&(chunk.tokens as u64).to_le_bytes());
         }
         let sum = fnv1a(&out);
         out.extend_from_slice(&sum.to_le_bytes());
@@ -105,7 +127,8 @@ impl SessionManifest {
     /// # Errors
     ///
     /// Returns [`ManifestError::Torn`] if the record is truncated,
-    /// carries the wrong magic, or fails its checksum.
+    /// carries the wrong magic (including the pre-sharing `"PNSVMAN1"`
+    /// format), or fails its checksum.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ManifestError> {
         let read_u64 = |at: usize| -> Option<u64> {
             bytes
@@ -118,12 +141,12 @@ impl SessionManifest {
             return Err(ManifestError::Torn);
         };
         let n = usize::try_from(n).map_err(|_| ManifestError::Torn)?;
-        if n > bytes.len() / 8 {
+        if n > bytes.len() / 16 {
             // A garbage count in a torn record; also keeps the length
             // arithmetic below overflow-free.
             return Err(ManifestError::Torn);
         }
-        let body_len = 8 * (3 + n);
+        let body_len = 8 * (3 + 2 * n);
         if !header_ok || bytes.len() != body_len + 8 {
             return Err(ManifestError::Torn);
         }
@@ -133,15 +156,16 @@ impl SessionManifest {
             return Err(ManifestError::Torn);
         }
         let session = SessionId(read_u64(8).ok_or(ManifestError::Torn)?);
-        let mut chunk_tokens = Vec::with_capacity(n);
+        let mut chunks = Vec::with_capacity(n);
         for i in 0..n {
-            let tokens = read_u64(24 + 8 * i).ok_or(ManifestError::Torn)?;
-            chunk_tokens.push(usize::try_from(tokens).map_err(|_| ManifestError::Torn)?);
+            let id = ChunkId(read_u64(24 + 16 * i).ok_or(ManifestError::Torn)?);
+            let tokens = read_u64(32 + 16 * i).ok_or(ManifestError::Torn)?;
+            chunks.push(ManifestChunk {
+                id,
+                tokens: usize::try_from(tokens).map_err(|_| ManifestError::Torn)?,
+            });
         }
-        Ok(Self {
-            session,
-            chunk_tokens,
-        })
+        Ok(Self { session, chunks })
     }
 }
 
@@ -222,7 +246,19 @@ mod tests {
     fn manifest(id: u64, chunks: &[usize]) -> SessionManifest {
         SessionManifest {
             session: SessionId(id),
-            chunk_tokens: chunks.to_vec(),
+            chunks: chunks
+                .iter()
+                .enumerate()
+                .map(|(i, &tokens)| ManifestChunk {
+                    // Mix shared (content-addressed) and private entries.
+                    id: if i % 2 == 0 {
+                        ChunkId::derive_words(ChunkId::ROOT, &[id, i as u64])
+                    } else {
+                        ChunkId::NONE
+                    },
+                    tokens,
+                })
+                .collect(),
         }
     }
 
@@ -230,9 +266,23 @@ mod tests {
     fn round_trips_through_wire_format() {
         let m = manifest(42, &[32, 32, 17]);
         let bytes = m.to_bytes();
-        assert_eq!(bytes.len(), 8 * (3 + 3) + 8);
+        assert_eq!(bytes.len(), 8 * (3 + 2 * 3) + 8);
         assert_eq!(SessionManifest::from_bytes(&bytes).unwrap(), m);
         assert_eq!(m.total_tokens(), 81);
+    }
+
+    #[test]
+    fn v1_records_decode_as_torn() {
+        // A well-formed v1 record: old magic, counts-only entries.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&u64::from_le_bytes(*b"PNSVMAN1").to_le_bytes());
+        v1.extend_from_slice(&9u64.to_le_bytes());
+        v1.extend_from_slice(&2u64.to_le_bytes());
+        v1.extend_from_slice(&32u64.to_le_bytes());
+        v1.extend_from_slice(&32u64.to_le_bytes());
+        let sum = fnv1a(&v1);
+        v1.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(SessionManifest::from_bytes(&v1), Err(ManifestError::Torn));
     }
 
     #[test]

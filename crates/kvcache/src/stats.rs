@@ -52,6 +52,9 @@ pub struct CacheStats {
     /// Deep-tier tokens force-dropped because their cold reads failed and
     /// the engine fell back to recomputation.
     pub cold_read_fault_tokens: u64,
+    /// Tokens served from content-addressed shared chunks (any tier)
+    /// instead of a conversation's private chunks.
+    pub shared_hit_tokens: u64,
 }
 
 impl CacheStats {
@@ -75,6 +78,7 @@ impl CacheStats {
         self.demoted_tokens += other.demoted_tokens;
         self.rehydrated_tokens += other.rehydrated_tokens;
         self.cold_read_fault_tokens += other.cold_read_fault_tokens;
+        self.shared_hit_tokens += other.shared_hit_tokens;
     }
 
     /// Fraction of reusable history tokens found in *any* cache tier
@@ -139,6 +143,7 @@ mod tests {
             demoted_tokens: 15,
             rehydrated_tokens: 16,
             cold_read_fault_tokens: 17,
+            shared_hit_tokens: 18,
         };
         let mut sum = a.clone();
         sum.merge(&a);
@@ -147,6 +152,7 @@ mod tests {
         assert_eq!(sum.partial_hits, 18);
         assert_eq!(sum.ssd_hit_tokens, 26);
         assert_eq!(sum.cold_read_fault_tokens, 34);
+        assert_eq!(sum.shared_hit_tokens, 36);
     }
 
     #[test]

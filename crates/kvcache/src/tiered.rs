@@ -34,13 +34,29 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pensieve_model::SimTime;
 use pensieve_obs::{DropReason, Recorder as _, SharedRecorder, StorageTier, TraceEvent};
 
-use crate::policy::{EvictionPolicy, Granularity, WithinOrder};
+use crate::manifest::ManifestChunk;
+use crate::policy::{EvictionPolicy, Granularity, LruPolicy, WithinOrder};
+use crate::prefix::PrefixIndex;
 use crate::stats::CacheStats;
-use crate::types::{CacheConfig, ChunkState, SessionId, Tier};
+use crate::types::{CacheConfig, ChunkId, ChunkState, SessionId, Tier};
+
+/// Handles dropped without being released through
+/// [`TieredKvCache::release`] — the leak-check counterpart of the
+/// refcount errors. Global across caches (handles are just ids).
+static LEAKED_HANDLES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`ChunkHandle`]s ever dropped without a matching
+/// [`TieredKvCache::release`]. Test harnesses assert this stays zero;
+/// the analyzer's leak lint points here.
+#[must_use]
+pub fn leaked_chunk_handles() -> u64 {
+    LEAKED_HANDLES.load(Ordering::Relaxed)
+}
 
 /// Error from cache operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +90,18 @@ pub enum CacheError {
         /// Stored history length.
         len: usize,
     },
+    /// A shared-chunk operation addressed a chunk id the cache does not
+    /// hold.
+    UnknownChunk(ChunkId),
+    /// A shared chunk's reference count would overflow — acquisitions
+    /// are unbalanced by a full `u32::MAX` of missing releases.
+    RefCountOverflow(ChunkId),
+    /// A release was issued against a shared chunk with no outstanding
+    /// matching acquire — a double release.
+    RefCountUnderflow(ChunkId),
+    /// A shared chunk chain's context offsets do not line up — the ids
+    /// are not consecutive chunks of one prefix.
+    BrokenSharedChain(ChunkId),
 }
 
 impl fmt::Display for CacheError {
@@ -97,6 +125,18 @@ impl fmt::Display for CacheError {
                     "raw-token fetch past stored history of {conv:?}: end {end}, stored {len}"
                 )
             }
+            CacheError::UnknownChunk(id) => {
+                write!(f, "unknown shared chunk {id:?}")
+            }
+            CacheError::RefCountOverflow(id) => {
+                write!(f, "reference count overflow on shared chunk {id:?}")
+            }
+            CacheError::RefCountUnderflow(id) => {
+                write!(f, "release without matching acquire on shared chunk {id:?}")
+            }
+            CacheError::BrokenSharedChain(id) => {
+                write!(f, "shared chunk {id:?} breaks its chain's context continuity")
+            }
         }
     }
 }
@@ -117,8 +157,25 @@ impl std::error::Error for CacheError {}
 pub struct SessionExport {
     /// The exported session.
     pub session: SessionId,
-    /// Chunk states in context order.
+    /// The session's leading shared chunk chain, *by reference*: shared
+    /// chunks are content-addressed, so migration ships their ids, and
+    /// the target re-attaches any chunk it already holds instead of
+    /// streaming bytes. Ids the target does not hold become recompute
+    /// obligations.
+    pub shared: Vec<SharedChunkRef>,
+    /// Private chunk states in context order (after the shared chain).
     pub chunks: Vec<ChunkState>,
+}
+
+/// One entry of a [`SessionExport`]'s shared chain: the chunk's
+/// content-addressed identity plus its token count (so a target that
+/// does not hold the chunk knows the size of the recompute obligation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedChunkRef {
+    /// Content-addressed id.
+    pub id: ChunkId,
+    /// Tokens in the chunk.
+    pub tokens: usize,
 }
 
 impl SessionExport {
@@ -160,14 +217,18 @@ impl SessionExport {
 /// direct dropping when the CPU tier cannot hold it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwapOutOp {
-    /// Owning conversation.
+    /// Owning conversation. Meaningless (zero) when `shared` is set — a
+    /// shared chunk has sharers, not an owner.
     pub conv: SessionId,
-    /// Chunk index within the conversation.
+    /// Chunk index within the conversation. Meaningless (zero) when
+    /// `shared` is set.
     pub chunk: usize,
     /// Tokens to copy.
     pub tokens: usize,
     /// True if the chunk was dropped instead of copied (no CPU space).
     pub dropped: bool,
+    /// Set when the evicted chunk is a content-addressed shared chunk.
+    pub shared: Option<ChunkId>,
 }
 
 /// Restore plan for a returning conversation (paper Figure 5,
@@ -187,6 +248,11 @@ pub struct RequestPlan {
     pub cold_read_tokens: usize,
     /// Dropped tokens to recompute from raw text.
     pub recompute_tokens: usize,
+    /// Of all the tokens above, how many were served from the
+    /// conversation's *shared* chunk chain (any resident tier) — the
+    /// cross-conversation sharing win, also counted in
+    /// [`CacheStats::shared_hit_tokens`] at commit.
+    pub shared_hit_tokens: usize,
     /// Token ranges, in context order, with the tier they were found in.
     /// `Tier::Dropped` ranges become recompute sub-requests.
     pub segments: Vec<(Range<usize>, Tier)>,
@@ -223,27 +289,108 @@ impl RequestPlan {
     }
 }
 
+/// One eviction victim: a conversation-private chunk or a shared chunk.
+/// The derived order (`Conv` before `Shared`, then by id) is the
+/// deterministic tie-break among equal policy scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Victim {
+    /// Private chunk `index` of a conversation.
+    Conv(SessionId, usize),
+    /// A content-addressed shared chunk.
+    Shared(ChunkId),
+}
+
 /// Caller-held eviction-candidate snapshots, one per host-side tier.
 /// Each is collected lazily and at most once per eviction pass, then
 /// consumed from the front with entries re-validated at use — the same
 /// O(n log n)-per-pass discipline the two-tier drop queue used.
 #[derive(Default)]
 struct EvictQueues {
-    cpu: Option<std::collections::VecDeque<(SessionId, usize)>>,
-    ssd: Option<std::collections::VecDeque<(SessionId, usize)>>,
-    cold: Option<std::collections::VecDeque<(SessionId, usize)>>,
+    cpu: Option<std::collections::VecDeque<Victim>>,
+    ssd: Option<std::collections::VecDeque<Victim>>,
+    cold: Option<std::collections::VecDeque<Victim>>,
+}
+
+/// One physical, content-addressed, reference-counted chunk shared
+/// across conversations. Shared chunks never enter [`Tier::GpuCopied`]:
+/// lazy reclamation is a per-conversation return-soon bet that has no
+/// owner to bet on here, so GPU eviction moves them straight to the CPU
+/// tier.
+#[derive(Debug, Clone)]
+struct SharedChunk {
+    /// Tokens in the chunk.
+    tokens: usize,
+    /// Context length at the chunk's end within its chain.
+    context_end: usize,
+    /// Current tier (never [`Tier::GpuCopied`]).
+    tier: Tier,
+    /// Total references: chain memberships across conversations plus
+    /// outstanding [`ChunkHandle`]s.
+    refs: usize,
+    /// Outstanding explicitly-acquired [`ChunkHandle`]s (a subset of
+    /// `refs`), tracked separately so releases can be validated.
+    external_refs: usize,
+    /// References held by *pinned* (running-batch) conversations; a
+    /// chunk with any is exempt from eviction.
+    pinned_refs: usize,
+    /// True for globally-materialized chunks (e.g. the deployment-wide
+    /// tool preamble): exempt from eviction regardless of refs.
+    global: bool,
+    /// Last time any sharer touched the chunk.
+    last_active: SimTime,
+}
+
+/// RAII guard for an explicit shared-chunk reference, returned by
+/// [`TieredKvCache::acquire`] and [`TieredKvCache::materialize_global`].
+///
+/// The guard must be given back via [`TieredKvCache::release`] — the
+/// cache owns the refcount, so the guard cannot decrement it on `Drop`.
+/// Dropping an unreleased handle is *leak-checked* instead: it
+/// increments the process-wide [`leaked_chunk_handles`] counter, which
+/// tests and the analyzer's leak lint pin to zero.
+#[derive(Debug)]
+pub struct ChunkHandle {
+    id: ChunkId,
+    armed: bool,
+}
+
+impl ChunkHandle {
+    /// The referenced chunk's content-addressed id.
+    #[must_use]
+    pub fn id(&self) -> ChunkId {
+        self.id
+    }
+}
+
+impl Drop for ChunkHandle {
+    fn drop(&mut self) {
+        if self.armed {
+            LEAKED_HANDLES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 #[derive(Debug)]
 struct ConvEntry {
+    /// Leading shared chunk chain (ids into the cache's shared pool).
+    shared: Vec<ChunkId>,
+    /// Tokens covered by `shared`; private chunk positions start here.
+    shared_tokens: usize,
+    /// Conversation-private chunks, after the shared chain.
     chunks: Vec<ChunkState>,
     last_active: SimTime,
     pinned: bool,
 }
 
 impl ConvEntry {
-    fn total_tokens(&self) -> usize {
+    /// Private (non-shared) tokens.
+    fn private_tokens(&self) -> usize {
         self.chunks.iter().map(|c| c.tokens).sum()
+    }
+
+    /// Logical context tokens: shared chain + private chunks.
+    fn total_tokens(&self) -> usize {
+        self.shared_tokens + self.private_tokens()
     }
 }
 
@@ -255,10 +402,9 @@ impl ConvEntry {
 /// use pensieve_kvcache::{CacheConfig, SessionId, LruPolicy, TieredKvCache};
 /// use pensieve_model::SimTime;
 ///
-/// let mut cache = TieredKvCache::new(
-///     CacheConfig::for_test(32, 1024, 4096),
-///     Box::new(LruPolicy),
-/// );
+/// let mut cache = TieredKvCache::builder(CacheConfig::for_test(32, 1024, 4096))
+///     .policy(Box::new(LruPolicy))
+///     .build();
 /// let conv = SessionId(1);
 /// // A first turn appends its prompt + outputs to the GPU tier.
 /// cache.append_tokens(conv, 300, SimTime::from_secs(0.0)).unwrap();
@@ -286,14 +432,71 @@ pub struct TieredKvCache {
     /// Entries are validated at pop (a chunk may have been revalidated or
     /// suspended since).
     copied_fifo: std::collections::VecDeque<(SessionId, usize)>,
-    /// Commit log for KV replication: sessions whose committed context
-    /// grew since the last [`TieredKvCache::take_commits`] drain, mapped
-    /// to their new total token count. Bounded by the session count (one
-    /// entry per session, overwritten on every append).
+    /// Commit log for KV replication: sessions whose committed *private*
+    /// context grew since the last [`TieredKvCache::take_commits`] drain,
+    /// mapped to their new private token count (shared chunks are
+    /// attached by id at the standby, never byte-streamed). Bounded by
+    /// the session count (one entry per session, overwritten on every
+    /// append).
     commit_log: BTreeMap<SessionId, usize>,
+    /// Pool of content-addressed shared chunks, keyed by id.
+    shared: BTreeMap<ChunkId, SharedChunk>,
+    /// Radix index from token prefixes to shared chunk chains.
+    index: PrefixIndex,
     stats: CacheStats,
     /// Passive trace sink; `None` (the default) records nothing.
     recorder: Option<SharedRecorder>,
+}
+
+/// Builder for [`TieredKvCache`] — the only public construction path.
+///
+/// # Examples
+///
+/// ```
+/// use pensieve_kvcache::{CacheConfig, TieredKvCache};
+///
+/// let cache = TieredKvCache::builder(CacheConfig::for_test(32, 2048, 8192))
+///     .deep_tiers(16_384, 65_536)
+///     .build();
+/// assert_eq!(cache.config().ssd_capacity_tokens, 16_384);
+/// ```
+pub struct TieredKvCacheBuilder {
+    cfg: CacheConfig,
+    policy: Box<dyn EvictionPolicy>,
+    recorder: Option<SharedRecorder>,
+}
+
+impl TieredKvCacheBuilder {
+    /// Sets the eviction policy (default: [`LruPolicy`]).
+    #[must_use]
+    pub fn policy(mut self, policy: Box<dyn EvictionPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the SSD (tier-2) and cold (tier-3) capacities, in tokens;
+    /// `0` leaves the corresponding tier off. Shorthand for
+    /// [`CacheConfig::with_deep_tiers`] on the builder's config.
+    #[must_use]
+    pub fn deep_tiers(mut self, ssd: usize, cold: usize) -> Self {
+        self.cfg = self.cfg.with_deep_tiers(ssd, cold);
+        self
+    }
+
+    /// Attaches a passive trace recorder from the start.
+    #[must_use]
+    pub fn recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builds the cache.
+    #[must_use]
+    pub fn build(self) -> TieredKvCache {
+        let mut cache = TieredKvCache::new(self.cfg, self.policy);
+        cache.recorder = self.recorder;
+        cache
+    }
 }
 
 impl fmt::Debug for TieredKvCache {
@@ -311,9 +514,21 @@ impl fmt::Debug for TieredKvCache {
 }
 
 impl TieredKvCache {
-    /// Creates a cache with the given capacities and eviction policy.
+    /// Starts building a cache over `cfg`; see [`TieredKvCacheBuilder`].
     #[must_use]
-    pub fn new(cfg: CacheConfig, policy: Box<dyn EvictionPolicy>) -> Self {
+    pub fn builder(cfg: CacheConfig) -> TieredKvCacheBuilder {
+        TieredKvCacheBuilder {
+            cfg,
+            policy: Box::new(LruPolicy),
+            recorder: None,
+        }
+    }
+
+    /// Creates a cache with the given capacities and eviction policy
+    /// (crate-internal; public construction goes through
+    /// [`TieredKvCache::builder`]).
+    fn new(cfg: CacheConfig, policy: Box<dyn EvictionPolicy>) -> Self {
+        let chunk_tokens = cfg.chunk_tokens;
         TieredKvCache {
             cfg,
             policy,
@@ -325,6 +540,8 @@ impl TieredKvCache {
             cold_resident: 0,
             copied_fifo: std::collections::VecDeque::new(),
             commit_log: BTreeMap::new(),
+            shared: BTreeMap::new(),
+            index: PrefixIndex::new(chunk_tokens),
             stats: CacheStats::default(),
             recorder: None,
         }
@@ -418,14 +635,28 @@ impl TieredKvCache {
         self.convs.keys().copied().collect()
     }
 
-    /// Per-chunk token counts of `conv` in context order, regardless of
-    /// tier (a dropped chunk still shapes the layout). Empty for unknown
-    /// conversations. This is what a cold-tier manifest records.
+    /// Per-chunk manifest entries of `conv` in context order, regardless
+    /// of tier (a dropped chunk still shapes the layout): the shared
+    /// chain's content-addressed ids first, then private chunks as
+    /// [`ChunkId::NONE`]. Empty for unknown conversations. This is what
+    /// a cold-tier manifest records.
     #[must_use]
-    pub fn chunk_layout(&self, conv: SessionId) -> Vec<usize> {
-        self.convs
-            .get(&conv)
-            .map_or_else(Vec::new, |e| e.chunks.iter().map(|c| c.tokens).collect())
+    pub fn manifest_chunks(&self, conv: SessionId) -> Vec<ManifestChunk> {
+        let Some(e) = self.convs.get(&conv) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(e.shared.len() + e.chunks.len());
+        for id in &e.shared {
+            let tokens = self.shared.get(id).map_or(0, |s| s.tokens);
+            out.push(ManifestChunk { id: *id, tokens });
+        }
+        for c in &e.chunks {
+            out.push(ManifestChunk {
+                id: ChunkId::NONE,
+                tokens: c.tokens,
+            });
+        }
+        out
     }
 
     /// True if the conversation has tracked context.
@@ -437,27 +668,50 @@ impl TieredKvCache {
     /// Marks a conversation as part of the running batch: its chunks are
     /// exempt from eviction.
     pub fn pin(&mut self, conv: SessionId) {
-        if let Some(e) = self.convs.get_mut(&conv) {
-            e.pinned = true;
-        }
+        self.set_pinned(conv, true);
     }
 
     /// Clears the running-batch pin.
     pub fn unpin(&mut self, conv: SessionId) {
-        if let Some(e) = self.convs.get_mut(&conv) {
-            e.pinned = false;
+        self.set_pinned(conv, false);
+    }
+
+    /// Central pin transition: keeps each shared chunk's pinned-sharer
+    /// refcount consistent by adjusting it exactly once per state change.
+    fn set_pinned(&mut self, conv: SessionId, pinned: bool) {
+        let Some(e) = self.convs.get_mut(&conv) else {
+            return;
+        };
+        if e.pinned == pinned {
+            return;
+        }
+        e.pinned = pinned;
+        for id in e.shared.clone() {
+            if let Some(s) = self.shared.get_mut(&id) {
+                if pinned {
+                    s.pinned_refs += 1;
+                } else {
+                    s.pinned_refs = s.pinned_refs.saturating_sub(1);
+                }
+            }
         }
     }
 
-    /// Updates a conversation's last-active time.
+    /// Updates a conversation's last-active time (shared chain included).
     pub fn touch(&mut self, conv: SessionId, now: SimTime) {
         if let Some(e) = self.convs.get_mut(&conv) {
             e.last_active = now;
+            for id in e.shared.clone() {
+                if let Some(s) = self.shared.get_mut(&id) {
+                    s.last_active = now;
+                }
+            }
         }
     }
 
     /// Computes the Figure-5 restore plan for `conv` without mutating
-    /// anything. Unknown conversations yield an empty plan.
+    /// anything: the shared chain first (in chain order), then the
+    /// private chunks. Unknown conversations yield an empty plan.
     #[must_use]
     pub fn plan_restore(&self, conv: SessionId) -> RequestPlan {
         let Some(e) = self.convs.get(&conv) else {
@@ -465,7 +719,19 @@ impl TieredKvCache {
         };
         let mut plan = RequestPlan::default();
         let mut pos = 0;
-        for c in &e.chunks {
+        let shared_states = e.shared.iter().filter_map(|id| {
+            self.shared.get(id).map(|s| {
+                (
+                    ChunkState {
+                        tier: s.tier,
+                        tokens: s.tokens,
+                        context_end: s.context_end,
+                    },
+                    true,
+                )
+            })
+        });
+        for (c, is_shared) in shared_states.chain(e.chunks.iter().map(|c| (*c, false))) {
             let range = pos..pos + c.tokens;
             match c.tier {
                 Tier::Gpu => plan.gpu_hit_tokens += c.tokens,
@@ -474,6 +740,9 @@ impl TieredKvCache {
                 Tier::Ssd => plan.ssd_read_tokens += c.tokens,
                 Tier::Cold => plan.cold_read_tokens += c.tokens,
                 Tier::Dropped => plan.recompute_tokens += c.tokens,
+            }
+            if is_shared && c.tier != Tier::Dropped {
+                plan.shared_hit_tokens += c.tokens;
             }
             // Merge adjacent ranges of the same effective segment kind
             // (GPU and GpuCopied both count as resident hits).
@@ -512,6 +781,43 @@ impl TieredKvCache {
             });
         }
         self.reclaim_gpu_slots(needed, Some(conv));
+        // Promote the shared chain first: one physical promotion serves
+        // every sharer, and later sharers restore it as a free GPU hit.
+        let chain = self
+            .convs
+            .get(&conv)
+            .map_or_else(Vec::new, |e| e.shared.clone());
+        for id in chain {
+            let Some(s) = self.shared.get_mut(&id) else {
+                continue;
+            };
+            match s.tier {
+                Tier::Gpu => {}
+                Tier::Cpu => {
+                    self.cpu_resident -= s.tokens;
+                    self.gpu_resident += s.tokens;
+                    self.stats.swapped_in_tokens += s.tokens as u64;
+                    s.tier = Tier::Gpu;
+                }
+                Tier::Ssd => {
+                    self.ssd_resident -= s.tokens;
+                    self.gpu_resident += s.tokens;
+                    s.tier = Tier::Gpu;
+                }
+                Tier::Cold => {
+                    self.cold_resident -= s.tokens;
+                    self.gpu_resident += s.tokens;
+                    s.tier = Tier::Gpu;
+                }
+                Tier::Dropped => {
+                    self.gpu_resident += s.tokens;
+                    s.tier = Tier::Gpu;
+                }
+                // Shared chunks never hold lazy GPU copies.
+                Tier::GpuCopied => {}
+            }
+            s.last_active = now;
+        }
         if let Some(e) = self.convs.get_mut(&conv) {
             for c in e.chunks.iter_mut() {
                 match c.tier {
@@ -546,13 +852,14 @@ impl TieredKvCache {
                 }
             }
             e.last_active = now;
-            e.pinned = true;
         }
+        self.set_pinned(conv, true);
         self.stats.gpu_hit_tokens += (plan.gpu_hit_tokens + plan.revalidate_tokens) as u64;
         self.stats.cpu_hit_tokens += plan.swap_in_tokens as u64;
         self.stats.ssd_hit_tokens += plan.ssd_read_tokens as u64;
         self.stats.cold_hit_tokens += plan.cold_read_tokens as u64;
         self.stats.recomputed_tokens += plan.recompute_tokens as u64;
+        self.stats.shared_hit_tokens += plan.shared_hit_tokens as u64;
         if plan.gpu_hit_tokens
             + plan.revalidate_tokens
             + plan.swap_in_tokens
@@ -636,6 +943,8 @@ impl TieredKvCache {
         self.reclaim_gpu_slots(n, Some(conv));
         let chunk_tokens = self.cfg.chunk_tokens;
         let e = self.convs.entry(conv).or_insert_with(|| ConvEntry {
+            shared: Vec::new(),
+            shared_tokens: 0,
             chunks: Vec::new(),
             last_active: now,
             pinned: true,
@@ -668,7 +977,7 @@ impl TieredKvCache {
             remaining -= add;
         }
         e.last_active = now;
-        let committed = e.total_tokens();
+        let committed = e.private_tokens();
         self.commit_log.insert(conv, committed);
         self.gpu_resident += n;
         debug_assert!(self.check_invariants());
@@ -732,17 +1041,69 @@ impl TieredKvCache {
         // O(n^2).
         let mut candidates = self.collect_candidates(Tier::Gpu, now, false);
         if let Some(c) = for_conv {
-            candidates.retain(|&(conv, _, _)| conv != c);
+            candidates.retain(|&(v, _)| !matches!(v, Victim::Conv(conv, _) if conv == c));
         }
         let mut queues = EvictQueues::default();
         let conversation_granularity = self.policy.granularity() == Granularity::Conversation;
         let mut active_conv: Option<SessionId> = None;
-        for (conv, idx, _) in candidates {
+        for (victim, _) in candidates {
+            let finishing = conversation_granularity
+                && matches!(victim, Victim::Conv(conv, _) if Some(conv) == active_conv);
             // Conversation-granularity policies finish the conversation
             // they started evicting before honoring the watermark.
-            if free(self) >= trigger && !(conversation_granularity && Some(conv) == active_conv) {
+            if free(self) >= trigger && !finishing {
                 break;
             }
+            let (conv, idx) = match victim {
+                Victim::Conv(conv, idx) => (conv, idx),
+                Victim::Shared(id) => {
+                    // A shared GPU chunk is either moved to the CPU tier
+                    // (a real transfer — every sharer still references
+                    // it) or, when only unreferenced, dropped outright.
+                    let Some(tokens) = self
+                        .shared
+                        .get(&id)
+                        .filter(|s| s.tier == Tier::Gpu && s.pinned_refs == 0 && !s.global)
+                        .map(|s| s.tokens)
+                    else {
+                        continue;
+                    };
+                    let copied = self.ensure_cpu_space_with(tokens, now, &mut queues);
+                    let Some(s) = self.shared.get_mut(&id) else {
+                        continue;
+                    };
+                    let refs = s.refs;
+                    if copied {
+                        s.tier = Tier::Cpu;
+                        self.gpu_resident -= tokens;
+                        self.cpu_resident += tokens;
+                        self.stats.swapped_out_tokens += tokens as u64;
+                    } else if refs == 0 {
+                        s.tier = Tier::Dropped;
+                        self.gpu_resident -= tokens;
+                        self.stats.dropped_tokens += tokens as u64;
+                    } else {
+                        // Referenced but nowhere to put it: keep it
+                        // resident rather than burn every sharer.
+                        continue;
+                    }
+                    self.recorder.record(TraceEvent::SharedChunkEvicted {
+                        at: now,
+                        chunk: id.0,
+                        tokens,
+                        refs,
+                        dropped: !copied,
+                    });
+                    ops.push(SwapOutOp {
+                        conv: SessionId(0),
+                        chunk: 0,
+                        tokens,
+                        dropped: !copied,
+                        shared: Some(id),
+                    });
+                    continue;
+                }
+            };
             active_conv = Some(conv);
             // Candidates were collected from `convs` this pass, but the
             // walk is total anyway: a missing entry is skipped, not a
@@ -787,6 +1148,7 @@ impl TieredKvCache {
                 chunk: idx,
                 tokens,
                 dropped: !copied,
+                shared: None,
             });
         }
         debug_assert!(self.check_invariants());
@@ -797,10 +1159,10 @@ impl TieredKvCache {
     /// chunks to the CPU tier immediately and unpins it. Returns the
     /// number of tokens that must be transferred.
     pub fn suspend(&mut self, conv: SessionId, now: SimTime) -> usize {
+        self.set_pinned(conv, false);
         let Some(e) = self.convs.get_mut(&conv) else {
             return 0;
         };
-        e.pinned = false;
         let mut to_move = Vec::new();
         for (i, c) in e.chunks.iter().enumerate() {
             match c.tier {
@@ -848,10 +1210,20 @@ impl TieredKvCache {
         transferred
     }
 
-    /// Removes a conversation and frees all its space.
+    /// Removes a conversation and frees all its private space, releasing
+    /// its shared-chain references. A shared chunk whose last reference
+    /// is released here stays in the pool (still resident, still
+    /// indexed) but becomes fully evictable and falls out of the
+    /// hierarchy under pressure.
     pub fn remove_conversation(&mut self, conv: SessionId) {
+        self.set_pinned(conv, false);
         self.commit_log.remove(&conv);
         if let Some(e) = self.convs.remove(&conv) {
+            for id in &e.shared {
+                if let Some(s) = self.shared.get_mut(id) {
+                    s.refs = s.refs.saturating_sub(1);
+                }
+            }
             for c in &e.chunks {
                 match c.tier {
                     Tier::Gpu => self.gpu_resident -= c.tokens,
@@ -881,6 +1253,18 @@ impl TieredKvCache {
         }
         self.commit_log.remove(&session);
         let e = self.convs.remove(&session)?;
+        // Shared chunks travel by reference, never by bytes: the export
+        // names their ids so the target can re-attach any it already
+        // holds. The local references are released here; a chunk whose
+        // last sharer departs stays pooled but becomes fully evictable.
+        let mut shared = Vec::with_capacity(e.shared.len());
+        for id in &e.shared {
+            let tokens = self.shared.get(id).map_or(0, |s| s.tokens);
+            shared.push(SharedChunkRef { id: *id, tokens });
+            if let Some(s) = self.shared.get_mut(id) {
+                s.refs = s.refs.saturating_sub(1);
+            }
+        }
         let mut chunks = e.chunks;
         for c in &mut chunks {
             match c.tier {
@@ -905,7 +1289,11 @@ impl TieredKvCache {
             }
         }
         debug_assert!(self.check_invariants());
-        Some(SessionExport { session, chunks })
+        Some(SessionExport {
+            session,
+            chunks,
+            shared,
+        })
     }
 
     /// Installs a handed-off session snapshot into this cache's host
@@ -931,11 +1319,59 @@ impl TieredKvCache {
         if self.convs.contains_key(&export.session) {
             return Err(CacheError::SessionExists(export.session));
         }
+        // Re-attach the leading run of shared chunks this cache already
+        // pools (bytes never travel for shared state — only ids do). The
+        // first unknown id breaks prefix continuity, so it and everything
+        // after it become private recompute obligations.
+        let mut shared_ids: Vec<ChunkId> = Vec::new();
+        let mut shared_tokens = 0usize;
+        let mut unknown: Vec<SharedChunkRef> = Vec::new();
+        for r in &export.shared {
+            if r.tokens == 0 {
+                continue;
+            }
+            if unknown.is_empty() && self.shared.contains_key(&r.id) {
+                shared_ids.push(r.id);
+                shared_tokens += r.tokens;
+            } else {
+                unknown.push(*r);
+            }
+        }
+        let mut admitted = 0usize;
+        for id in &shared_ids {
+            if let Some(s) = self.shared.get_mut(id) {
+                s.refs += 1;
+                s.last_active = now;
+                if s.tier != Tier::Dropped {
+                    admitted += s.tokens;
+                }
+            }
+        }
+        if !shared_ids.is_empty() {
+            self.recorder.record(TraceEvent::SharedAttached {
+                at: now,
+                conv: export.session.0,
+                tokens: shared_tokens,
+                chunks: shared_ids.len(),
+            });
+        }
         // Normalize to local chunk granularity: exports from a peer cache
         // are already chunk-sized (this is a no-op), but replication
         // deltas arrive as one chunk per flush and must be split to keep
-        // the eviction policy's unit of work intact.
-        let mut chunks: Vec<ChunkState> = Vec::with_capacity(export.chunks.len());
+        // the eviction policy's unit of work intact. Unattached shared
+        // spans lead the private chain as dropped chunks so the context
+        // offsets stay contiguous.
+        let mut chunks: Vec<ChunkState> = Vec::with_capacity(export.chunks.len() + unknown.len());
+        let mut unknown_end = shared_tokens;
+        for r in &unknown {
+            unknown_end += r.tokens;
+            chunks.push(ChunkState {
+                tier: Tier::Dropped,
+                tokens: r.tokens,
+                context_end: unknown_end,
+            });
+            self.stats.dropped_tokens += r.tokens as u64;
+        }
         for c in export.chunks {
             let mut remaining = c.tokens;
             let mut end = c.context_end - c.tokens;
@@ -950,7 +1386,6 @@ impl TieredKvCache {
                 remaining -= take;
             }
         }
-        let mut admitted = 0usize;
         for c in &mut chunks {
             match c.tier {
                 Tier::Cpu => {
@@ -992,6 +1427,8 @@ impl TieredKvCache {
         self.convs.insert(
             export.session,
             ConvEntry {
+                shared: shared_ids,
+                shared_tokens,
                 chunks,
                 last_active: now,
                 pinned: false,
@@ -1146,12 +1583,14 @@ impl TieredKvCache {
     }
 
     /// Rebuilds a session's chunk layout from a persisted manifest after
-    /// a restart: installs `chunk_tokens` (the per-chunk token counts in
-    /// context order) at [`Tier::Cold`] while cold capacity allows,
-    /// never evicting existing residents; the remainder is installed as
-    /// [`Tier::Dropped`] and becomes a recompute obligation in the next
-    /// restore plan. Returns the tokens admitted to the cold tier,
-    /// counted in [`CacheStats::rehydrated_tokens`].
+    /// a restart. The leading run of manifest entries whose
+    /// content-addressed ids are still pooled here re-attach as shared
+    /// references (no bytes move); the remainder installs at
+    /// [`Tier::Cold`] while cold capacity allows, never evicting existing
+    /// residents, and past that as [`Tier::Dropped`] recompute
+    /// obligations. Returns the tokens recovered without recomputation
+    /// (re-attached plus cold-admitted), counted in
+    /// [`CacheStats::rehydrated_tokens`].
     ///
     /// # Errors
     ///
@@ -1160,36 +1599,61 @@ impl TieredKvCache {
     pub fn rehydrate_session(
         &mut self,
         session: SessionId,
-        chunk_tokens: &[usize],
+        manifest: &[ManifestChunk],
         now: SimTime,
     ) -> Result<usize, CacheError> {
         if self.convs.contains_key(&session) {
             return Err(CacheError::SessionExists(session));
         }
-        let mut chunks = Vec::with_capacity(chunk_tokens.len());
+        let mut shared_ids: Vec<ChunkId> = Vec::new();
+        let mut shared_tokens = 0usize;
+        let mut chunks = Vec::with_capacity(manifest.len());
         let mut end = 0usize;
         let mut admitted = 0usize;
-        for &tokens in chunk_tokens {
-            if tokens == 0 {
+        for m in manifest {
+            if m.tokens == 0 {
                 continue; // Defensive: a manifest never records empty chunks.
             }
-            end += tokens;
-            let tier = if self.cold_resident + tokens <= self.cfg.cold_capacity_tokens {
-                self.cold_resident += tokens;
-                admitted += tokens;
+            if chunks.is_empty() && m.id != ChunkId::NONE {
+                if let Some(s) = self.shared.get_mut(&m.id) {
+                    s.refs += 1;
+                    s.last_active = now;
+                    shared_ids.push(m.id);
+                    shared_tokens += m.tokens;
+                    end += m.tokens;
+                    if s.tier != Tier::Dropped {
+                        admitted += m.tokens;
+                    }
+                    continue;
+                }
+            }
+            end += m.tokens;
+            let tier = if self.cold_resident + m.tokens <= self.cfg.cold_capacity_tokens {
+                self.cold_resident += m.tokens;
+                admitted += m.tokens;
                 Tier::Cold
             } else {
                 Tier::Dropped
             };
             chunks.push(ChunkState {
                 tier,
-                tokens,
+                tokens: m.tokens,
                 context_end: end,
+            });
+        }
+        if !shared_ids.is_empty() {
+            self.recorder.record(TraceEvent::SharedAttached {
+                at: now,
+                conv: session.0,
+                tokens: shared_tokens,
+                chunks: shared_ids.len(),
             });
         }
         self.convs.insert(
             session,
             ConvEntry {
+                shared: shared_ids,
+                shared_tokens,
                 chunks,
                 last_active: now,
                 pinned: false,
@@ -1225,11 +1689,18 @@ impl TieredKvCache {
             let q = queues.cpu.get_or_insert_with(|| {
                 self.collect_candidates(Tier::Cpu, now, false)
                     .into_iter()
-                    .map(|(c, i, _)| (c, i))
+                    .map(|(v, _)| v)
                     .collect()
             });
-            let Some((conv, idx)) = q.pop_front() else {
+            let Some(victim) = q.pop_front() else {
                 return false;
+            };
+            let (conv, idx) = match victim {
+                Victim::Shared(id) => {
+                    self.demote_shared_chunk(id, Tier::Cpu, now, queues);
+                    continue;
+                }
+                Victim::Conv(conv, idx) => (conv, idx),
             };
             let Some(e) = self.convs.get(&conv) else {
                 continue; // Conversation removed since the snapshot.
@@ -1248,6 +1719,73 @@ impl TieredKvCache {
             self.demote_chunk(conv, idx, victim_tokens, Tier::Cpu, now, queues);
         }
         true
+    }
+
+    /// Refcount-aware demotion of a *shared* chunk one tier down: a
+    /// still-referenced chunk is only moved when the next tier has room
+    /// (its sharers keep it; dropping would burn them all), while an
+    /// unreferenced chunk falls through the hierarchy and off the bottom
+    /// exactly like a private one. No-op if the chunk is not where the
+    /// snapshot said (stale queue entry), pinned, or global.
+    fn demote_shared_chunk(
+        &mut self,
+        id: ChunkId,
+        from: Tier,
+        now: SimTime,
+        queues: &mut EvictQueues,
+    ) {
+        let Some((tokens, refs)) = self
+            .shared
+            .get(&id)
+            .filter(|s| s.tier == from && s.pinned_refs == 0 && !s.global)
+            .map(|s| (s.tokens, s.refs))
+        else {
+            return;
+        };
+        // Find space *before* touching source accounting, so a failed
+        // placement leaves the chunk exactly where it was.
+        let to = if from == Tier::Cpu && self.ensure_ssd_space(tokens, now, queues) {
+            Some(Tier::Ssd)
+        } else if from != Tier::Cold && self.ensure_cold_space(tokens, now, queues) {
+            Some(Tier::Cold)
+        } else {
+            None
+        };
+        if to.is_none() && refs > 0 {
+            return; // Referenced and nowhere to go: keep it resident.
+        }
+        let Some(s) = self.shared.get_mut(&id) else {
+            return;
+        };
+        match from {
+            Tier::Cpu => self.cpu_resident -= tokens,
+            Tier::Ssd => self.ssd_resident -= tokens,
+            Tier::Cold => self.cold_resident -= tokens,
+            Tier::Gpu | Tier::GpuCopied | Tier::Dropped => return,
+        }
+        match to {
+            Some(Tier::Ssd) => {
+                s.tier = Tier::Ssd;
+                self.ssd_resident += tokens;
+                self.stats.demoted_tokens += tokens as u64;
+            }
+            Some(_) => {
+                s.tier = Tier::Cold;
+                self.cold_resident += tokens;
+                self.stats.demoted_tokens += tokens as u64;
+            }
+            None => {
+                s.tier = Tier::Dropped;
+                self.stats.dropped_tokens += tokens as u64;
+            }
+        }
+        self.recorder.record(TraceEvent::SharedChunkEvicted {
+            at: now,
+            chunk: id.0,
+            tokens,
+            refs,
+            dropped: to.is_none(),
+        });
     }
 
     /// Moves an evicted chunk one tier down the hierarchy: a CPU victim
@@ -1328,11 +1866,18 @@ impl TieredKvCache {
             let q = queues.ssd.get_or_insert_with(|| {
                 self.collect_candidates(Tier::Ssd, now, false)
                     .into_iter()
-                    .map(|(c, i, _)| (c, i))
+                    .map(|(v, _)| v)
                     .collect()
             });
-            let Some((conv, idx)) = q.pop_front() else {
+            let Some(victim) = q.pop_front() else {
                 return false;
+            };
+            let (conv, idx) = match victim {
+                Victim::Shared(id) => {
+                    self.demote_shared_chunk(id, Tier::Ssd, now, queues);
+                    continue;
+                }
+                Victim::Conv(conv, idx) => (conv, idx),
             };
             let Some(e) = self.convs.get(&conv) else {
                 continue;
@@ -1365,11 +1910,21 @@ impl TieredKvCache {
             let q = queues.cold.get_or_insert_with(|| {
                 self.collect_candidates(Tier::Cold, now, false)
                     .into_iter()
-                    .map(|(c, i, _)| (c, i))
+                    .map(|(v, _)| v)
                     .collect()
             });
-            let Some((conv, idx)) = q.pop_front() else {
+            let Some(victim) = q.pop_front() else {
                 return false;
+            };
+            let (conv, idx) = match victim {
+                Victim::Shared(id) => {
+                    // Bottom of the hierarchy: a still-referenced shared
+                    // chunk is kept (its sharers outweigh the incomer),
+                    // an unreferenced one is dropped.
+                    self.demote_shared_chunk(id, Tier::Cold, now, queues);
+                    continue;
+                }
+                Victim::Conv(conv, idx) => (conv, idx),
             };
             let Some(e) = self.convs.get_mut(&conv) else {
                 continue;
@@ -1438,16 +1993,23 @@ impl TieredKvCache {
         }
     }
 
-    /// All evictable chunks in `tier`, sorted ascending by
-    /// (score, conversation, within-order index).
+    /// All evictable chunks in `tier` — private chunks of unpinned
+    /// conversations plus shared chunks with no pinned sharer — sorted
+    /// ascending by (score, victim identity), with the policy's
+    /// within-conversation order applied to private chunk indices.
+    ///
+    /// A shared chunk's score is the policy score *multiplied by its
+    /// sharer count*: evicting it burns every sharer's restore, so its
+    /// retention value `V = Cost(s, l)/T` scales with the number of
+    /// conversations it serves.
     fn collect_candidates(
         &self,
         tier: Tier,
         now: SimTime,
         include_pinned: bool,
-    ) -> Vec<(SessionId, usize, f64)> {
+    ) -> Vec<(Victim, f64)> {
         let trailing = self.policy.within_order() == WithinOrder::TrailingFirst;
-        let mut out: Vec<(SessionId, usize, f64)> = Vec::new();
+        let mut out: Vec<(Victim, f64)> = Vec::new();
         for (&cid, e) in &self.convs {
             if e.pinned && !include_pinned {
                 continue;
@@ -1455,31 +2017,449 @@ impl TieredKvCache {
             for (i, c) in e.chunks.iter().enumerate() {
                 if c.tier == tier {
                     let score = self.policy.score(c, e.last_active, now);
-                    out.push((cid, i, score));
+                    out.push((Victim::Conv(cid, i), score));
                 }
             }
+        }
+        for (&id, s) in &self.shared {
+            if s.tier != tier || s.global || (s.pinned_refs > 0 && !include_pinned) {
+                continue;
+            }
+            let state = ChunkState {
+                tier: s.tier,
+                tokens: s.tokens,
+                context_end: s.context_end,
+            };
+            let score = self.policy.score(&state, s.last_active, now) * s.refs.max(1) as f64;
+            out.push((Victim::Shared(id), score));
         }
         // total_cmp gives a total order even if a policy ever returned a
         // NaN score (NaN sorts last instead of panicking), and agrees
         // with partial_cmp on the finite scores every in-tree policy
         // produces.
-        match self.policy.granularity() {
-            Granularity::Chunk => {
-                out.sort_by(|a, b| {
-                    a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(if trailing {
-                        b.1.cmp(&a.1)
+        let conversation_granularity = self.policy.granularity() == Granularity::Conversation;
+        out.sort_by(|a, b| {
+            a.1.total_cmp(&b.1).then_with(|| match (a.0, b.0) {
+                (Victim::Conv(c1, i1), Victim::Conv(c2, i2)) => {
+                    c1.cmp(&c2).then(if trailing && !conversation_granularity {
+                        i2.cmp(&i1)
                     } else {
-                        a.1.cmp(&b.1)
+                        i1.cmp(&i2)
                     })
-                });
-            }
-            Granularity::Conversation => {
-                // Order conversations by score, then take each
-                // conversation's chunks together (leading first).
-                out.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+                }
+                _ => a.0.cmp(&b.0),
+            })
+        });
+        out
+    }
+
+    /// Registers `tokens` as a shareable prefix (tool preamble, RAG
+    /// document, common system prompt) and returns its content-addressed
+    /// chunk chain. Whole chunks only — a trailing partial chunk is not
+    /// shareable under chunked eviction and is silently ignored. Chunks
+    /// enter the pool at [`Tier::Dropped`] (identity without bytes) and
+    /// gain residency the first time a sharer restores them or via
+    /// [`TieredKvCache::materialize_global`]. Registering the same
+    /// prefix twice is idempotent.
+    pub fn register_shared(&mut self, tokens: &[u32], now: SimTime) -> Vec<ChunkId> {
+        let chain = self.index.insert(tokens);
+        let chunk_tokens = self.index.chunk_tokens();
+        let mut end = 0usize;
+        for id in &chain {
+            end += chunk_tokens;
+            if let Some(s) = self.shared.get_mut(id) {
+                s.last_active = now;
+            } else {
+                self.shared.insert(
+                    *id,
+                    SharedChunk {
+                        tokens: chunk_tokens,
+                        context_end: end,
+                        tier: Tier::Dropped,
+                        refs: 0,
+                        external_refs: 0,
+                        pinned_refs: 0,
+                        global: false,
+                        last_active: now,
+                    },
+                );
             }
         }
-        out
+        chain
+    }
+
+    /// Longest registered chunk chain matching a prefix of `tokens` —
+    /// the discovery half of sharing. Token bytes are compared at every
+    /// hop, so a hash collision shortens the match instead of sharing
+    /// the wrong KV.
+    #[must_use]
+    pub fn lookup_shared(&self, tokens: &[u32]) -> Vec<ChunkId> {
+        self.index.longest_match(tokens)
+    }
+
+    /// Starts a new conversation whose context begins with the shared
+    /// chunk chain `chain` (typically from
+    /// [`TieredKvCache::lookup_shared`]): every chunk's reference count
+    /// rises by one and no KV bytes are duplicated. Private tokens
+    /// appended later sit after the chain. Returns the logical tokens
+    /// covered by the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::SessionExists`] if `conv` is already
+    /// tracked, [`CacheError::UnknownChunk`] for an unregistered id, or
+    /// [`CacheError::BrokenSharedChain`] when the ids are not
+    /// consecutive chunks of one prefix. The cache is unchanged on
+    /// error.
+    pub fn attach_shared(
+        &mut self,
+        conv: SessionId,
+        chain: &[ChunkId],
+        now: SimTime,
+    ) -> Result<usize, CacheError> {
+        if self.convs.contains_key(&conv) {
+            return Err(CacheError::SessionExists(conv));
+        }
+        // Validate the whole chain before mutating anything.
+        let mut total = 0usize;
+        for id in chain {
+            let s = self.shared.get(id).ok_or(CacheError::UnknownChunk(*id))?;
+            if s.context_end != total + s.tokens {
+                return Err(CacheError::BrokenSharedChain(*id));
+            }
+            total += s.tokens;
+        }
+        for id in chain {
+            if let Some(s) = self.shared.get_mut(id) {
+                s.refs += 1;
+                s.last_active = now;
+            }
+        }
+        self.convs.insert(
+            conv,
+            ConvEntry {
+                shared: chain.to_vec(),
+                shared_tokens: total,
+                chunks: Vec::new(),
+                last_active: now,
+                pinned: false,
+            },
+        );
+        if !chain.is_empty() {
+            self.recorder.record(TraceEvent::SharedAttached {
+                at: now,
+                conv: conv.0,
+                tokens: total,
+                chunks: chain.len(),
+            });
+        }
+        debug_assert!(self.check_invariants());
+        Ok(total)
+    }
+
+    /// Promotes a registered chain to permanent GPU residency — the
+    /// deployment-wide tool preamble every request shares. Global chunks
+    /// are exempt from eviction; the returned handles hold the explicit
+    /// references and must eventually go back through
+    /// [`TieredKvCache::release`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownChunk`] for an unregistered id,
+    /// [`CacheError::RefCountOverflow`] on a saturated chunk, or
+    /// [`CacheError::OutOfGpu`] when the non-resident part of the chain
+    /// exceeds effectively-free GPU space. The cache is unchanged on
+    /// error.
+    pub fn materialize_global(
+        &mut self,
+        chain: &[ChunkId],
+        now: SimTime,
+    ) -> Result<Vec<ChunkHandle>, CacheError> {
+        // Validate everything up front so a failure mutates nothing.
+        let mut needed = 0usize;
+        for id in chain {
+            let s = self.shared.get(id).ok_or(CacheError::UnknownChunk(*id))?;
+            if s.refs.checked_add(1).is_none() || s.external_refs.checked_add(1).is_none() {
+                return Err(CacheError::RefCountOverflow(*id));
+            }
+            if s.tier != Tier::Gpu {
+                needed += s.tokens;
+            }
+        }
+        if needed > self.gpu_free_effective() {
+            return Err(CacheError::OutOfGpu {
+                needed,
+                free: self.gpu_free_effective(),
+            });
+        }
+        self.reclaim_gpu_slots(needed, None);
+        let mut handles = Vec::with_capacity(chain.len());
+        for id in chain {
+            let Some(s) = self.shared.get_mut(id) else {
+                continue; // Validated above; the walk stays total.
+            };
+            match s.tier {
+                Tier::Gpu => {}
+                Tier::Cpu => {
+                    self.cpu_resident -= s.tokens;
+                    self.gpu_resident += s.tokens;
+                    self.stats.swapped_in_tokens += s.tokens as u64;
+                }
+                Tier::Ssd => {
+                    self.ssd_resident -= s.tokens;
+                    self.gpu_resident += s.tokens;
+                }
+                Tier::Cold => {
+                    self.cold_resident -= s.tokens;
+                    self.gpu_resident += s.tokens;
+                }
+                // Dropped = computed once here; shared chunks never hold
+                // lazy GPU copies.
+                Tier::Dropped | Tier::GpuCopied => {
+                    self.gpu_resident += s.tokens;
+                }
+            }
+            s.tier = Tier::Gpu;
+            s.global = true;
+            s.refs += 1;
+            s.external_refs += 1;
+            s.last_active = now;
+            handles.push(ChunkHandle { id: *id, armed: true });
+        }
+        debug_assert!(self.check_invariants());
+        Ok(handles)
+    }
+
+    /// Takes an explicit reference on a pooled shared chunk, keeping it
+    /// alive independent of any conversation (e.g. while a migration is
+    /// in flight). Pair with [`TieredKvCache::release`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownChunk`] for an unregistered id or
+    /// [`CacheError::RefCountOverflow`] on a saturated chunk.
+    pub fn acquire(&mut self, id: ChunkId) -> Result<ChunkHandle, CacheError> {
+        let s = self
+            .shared
+            .get_mut(&id)
+            .ok_or(CacheError::UnknownChunk(id))?;
+        let refs = s
+            .refs
+            .checked_add(1)
+            .ok_or(CacheError::RefCountOverflow(id))?;
+        let external = s
+            .external_refs
+            .checked_add(1)
+            .ok_or(CacheError::RefCountOverflow(id))?;
+        s.refs = refs;
+        s.external_refs = external;
+        Ok(ChunkHandle { id, armed: true })
+    }
+
+    /// Gives back an explicit reference taken by
+    /// [`TieredKvCache::acquire`] or
+    /// [`TieredKvCache::materialize_global`]. Consumes the handle either
+    /// way; a handle dropped *without* coming here counts in
+    /// [`leaked_chunk_handles`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownChunk`] if the pool no longer knows
+    /// the id, or [`CacheError::RefCountUnderflow`] when no matching
+    /// acquire is outstanding (a double release through forged handles).
+    pub fn release(&mut self, handle: ChunkHandle) -> Result<(), CacheError> {
+        let mut handle = handle;
+        handle.armed = false;
+        let id = handle.id;
+        let s = self
+            .shared
+            .get_mut(&id)
+            .ok_or(CacheError::UnknownChunk(id))?;
+        if s.external_refs == 0 || s.refs == 0 {
+            return Err(CacheError::RefCountUnderflow(id));
+        }
+        s.external_refs -= 1;
+        s.refs -= 1;
+        Ok(())
+    }
+
+    /// Outstanding references on a pooled shared chunk (0 if unknown):
+    /// chain memberships plus explicit handles.
+    #[must_use]
+    pub fn shared_refs(&self, id: ChunkId) -> usize {
+        self.shared.get(&id).map_or(0, |s| s.refs)
+    }
+
+    /// Tokens of `conv`'s chain held by *global* (permanently resident)
+    /// shared chunks — context the engine serves without charging the
+    /// conversation any cache space.
+    #[must_use]
+    pub fn global_shared_tokens(&self, conv: SessionId) -> usize {
+        self.convs.get(&conv).map_or(0, |e| {
+            e.shared
+                .iter()
+                .filter_map(|id| self.shared.get(id))
+                .filter(|s| s.global)
+                .map(|s| s.tokens)
+                .sum()
+        })
+    }
+
+    /// Logical resident KV tokens: what the cache would hold if every
+    /// sharer kept a private copy — each conversation's non-dropped
+    /// private chunks plus its chain's non-dropped chunks, counted once
+    /// *per sharer*. The denominator of the dedup ratio.
+    #[must_use]
+    pub fn logical_resident_tokens(&self) -> usize {
+        let mut total = 0usize;
+        for e in self.convs.values() {
+            for id in &e.shared {
+                if let Some(s) = self.shared.get(id) {
+                    if s.tier != Tier::Dropped {
+                        total += s.tokens;
+                    }
+                }
+            }
+            total += e
+                .chunks
+                .iter()
+                .filter(|c| c.tier != Tier::Dropped)
+                .map(|c| c.tokens)
+                .sum::<usize>();
+        }
+        total
+    }
+
+    /// Physical resident KV tokens actually held: non-dropped private
+    /// chunks plus each non-dropped pooled shared chunk counted *once*,
+    /// however many conversations reference it. The numerator of the
+    /// dedup ratio.
+    #[must_use]
+    pub fn physical_resident_tokens(&self) -> usize {
+        let shared: usize = self
+            .shared
+            .values()
+            .filter(|s| s.tier != Tier::Dropped)
+            .map(|s| s.tokens)
+            .sum();
+        let private: usize = self
+            .convs
+            .values()
+            .flat_map(|e| e.chunks.iter())
+            .filter(|c| c.tier != Tier::Dropped)
+            .map(|c| c.tokens)
+            .sum();
+        shared + private
+    }
+
+    /// Forks `child` from `parent`, sharing the parent's entire current
+    /// context instead of copying it. The parent's private chunks are
+    /// *promoted* into the shared pool (their physical placement is
+    /// untouched; lazy GPU copies revalidate, since shared chunks never
+    /// stay [`Tier::GpuCopied`]) under lineage-derived ids, and both
+    /// conversations continue from the same chain with refcount 2 per
+    /// chunk. Returns the logical tokens now shared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownConversation`] if `parent` is not
+    /// tracked or [`CacheError::SessionExists`] if `child` is. The cache
+    /// is unchanged on error.
+    pub fn fork_session(
+        &mut self,
+        parent: SessionId,
+        child: SessionId,
+        now: SimTime,
+    ) -> Result<usize, CacheError> {
+        if !self.convs.contains_key(&parent) {
+            return Err(CacheError::UnknownConversation(parent));
+        }
+        if self.convs.contains_key(&child) {
+            return Err(CacheError::SessionExists(child));
+        }
+        let Some(e) = self.convs.get_mut(&parent) else {
+            return Err(CacheError::UnknownConversation(parent));
+        };
+        let parent_pinned = e.pinned;
+        let mut chain = std::mem::take(&mut e.shared);
+        let private = std::mem::take(&mut e.chunks);
+        let mut context_end = e.shared_tokens;
+        let mut prev = chain.last().copied().unwrap_or(ChunkId::ROOT);
+        // Promote each private chunk under a lineage-derived id: the
+        // timing model tracks token *counts*, so identity chains over
+        // (parent, position, length) exactly as content ids chain over
+        // token bytes — deterministic across replicas and reruns.
+        let mut promoted = Vec::with_capacity(private.len());
+        for (i, c) in private.iter().enumerate() {
+            let id = ChunkId::derive_words(
+                prev,
+                &[parent.0, (chain.len() + i) as u64, c.tokens as u64],
+            );
+            context_end += c.tokens;
+            promoted.push((id, *c));
+            prev = id;
+        }
+        for (id, c) in &promoted {
+            let tier = match c.tier {
+                // Revalidate the lazy copy: keep the GPU slot, drop the
+                // CPU-side copy. The chunk's copied_fifo entry goes
+                // stale and is skipped at reclamation.
+                Tier::GpuCopied => {
+                    self.gpu_copied -= c.tokens;
+                    self.gpu_resident += c.tokens;
+                    self.stats.revalidated_tokens += c.tokens as u64;
+                    Tier::Gpu
+                }
+                t => t,
+            };
+            self.shared.insert(
+                *id,
+                SharedChunk {
+                    tokens: c.tokens,
+                    context_end: c.context_end,
+                    tier,
+                    refs: 2,
+                    external_refs: 0,
+                    pinned_refs: usize::from(parent_pinned),
+                    global: false,
+                    last_active: now,
+                },
+            );
+            chain.push(*id);
+        }
+        // Pre-existing chain chunks gain the child as one more sharer.
+        for id in chain.iter().take(chain.len() - promoted.len()) {
+            if let Some(s) = self.shared.get_mut(id) {
+                s.refs += 1;
+                s.last_active = now;
+            }
+        }
+        if let Some(e) = self.convs.get_mut(&parent) {
+            e.shared.clone_from(&chain);
+            e.shared_tokens = context_end;
+            e.last_active = now;
+        }
+        // The parent's committed private context is now shared; the
+        // replication stream ships shared state by id, not bytes.
+        self.commit_log.remove(&parent);
+        self.convs.insert(
+            child,
+            ConvEntry {
+                shared: chain.clone(),
+                shared_tokens: context_end,
+                chunks: Vec::new(),
+                last_active: now,
+                pinned: false,
+            },
+        );
+        self.recorder.record(TraceEvent::SharedAttached {
+            at: now,
+            conv: child.0,
+            tokens: context_end,
+            chunks: chain.len(),
+        });
+        debug_assert!(self.check_invariants());
+        Ok(context_end)
     }
 
     /// Verifies internal accounting; used in debug assertions.
@@ -1489,8 +2469,20 @@ impl TieredKvCache {
         let mut cpu = 0;
         let mut ssd = 0;
         let mut cold = 0;
+        let mut chain_refs: BTreeMap<ChunkId, usize> = BTreeMap::new();
+        let mut chain_pins: BTreeMap<ChunkId, usize> = BTreeMap::new();
         for e in self.convs.values() {
-            let mut pos = 0;
+            let mut chain_tokens = 0usize;
+            for id in &e.shared {
+                assert!(self.shared.contains_key(id), "chain id missing from pool");
+                chain_tokens += self.shared.get(id).map_or(0, |s| s.tokens);
+                *chain_refs.entry(*id).or_insert(0) += 1;
+                if e.pinned {
+                    *chain_pins.entry(*id).or_insert(0) += 1;
+                }
+            }
+            assert_eq!(chain_tokens, e.shared_tokens, "shared_tokens drift");
+            let mut pos = e.shared_tokens;
             for c in &e.chunks {
                 assert!(c.tokens > 0 && c.tokens <= self.cfg.chunk_tokens);
                 assert_eq!(c.context_end, pos + c.tokens, "context_end drift");
@@ -1504,6 +2496,28 @@ impl TieredKvCache {
                     Tier::Dropped => {}
                 }
             }
+        }
+        for (id, s) in &self.shared {
+            assert!(s.tokens > 0 && s.tokens <= self.cfg.chunk_tokens);
+            assert_ne!(s.tier, Tier::GpuCopied, "shared chunk holds a lazy copy");
+            match s.tier {
+                Tier::Gpu => gpu += s.tokens,
+                Tier::Cpu => cpu += s.tokens,
+                Tier::Ssd => ssd += s.tokens,
+                Tier::Cold => cold += s.tokens,
+                Tier::GpuCopied | Tier::Dropped => {}
+            }
+            let from_chains = chain_refs.get(id).copied().unwrap_or(0);
+            assert_eq!(
+                s.refs,
+                from_chains + s.external_refs,
+                "shared refcount drift"
+            );
+            assert_eq!(
+                s.pinned_refs,
+                chain_pins.get(id).copied().unwrap_or(0),
+                "shared pinned-ref drift"
+            );
         }
         assert_eq!(gpu, self.gpu_resident, "gpu_resident drift");
         assert_eq!(copied, self.gpu_copied, "gpu_copied drift");
@@ -1522,6 +2536,7 @@ impl TieredKvCache {
 mod tests {
     use super::*;
     use crate::policy::{CachedAttentionPolicy, LruPolicy, TrailingEndPolicy};
+    use crate::prefix::synthetic_preamble;
 
     fn lru_cache(gpu: usize, cpu: usize) -> TieredKvCache {
         TieredKvCache::new(CacheConfig::for_test(32, gpu, cpu), Box::new(LruPolicy))
@@ -1529,6 +2544,17 @@ mod tests {
 
     fn t(secs: f64) -> SimTime {
         SimTime::from_secs(secs)
+    }
+
+    /// Manifest entries for private (non-shared) chunks of the given sizes.
+    fn private_manifest(tokens: &[usize]) -> Vec<ManifestChunk> {
+        tokens
+            .iter()
+            .map(|&tokens| ManifestChunk {
+                id: ChunkId::NONE,
+                tokens,
+            })
+            .collect()
     }
 
     #[test]
@@ -2131,7 +3157,9 @@ mod tests {
         // Three chunks, cold tier fits two: trailing chunk drops to a
         // recompute obligation.
         assert_eq!(
-            cache.rehydrate_session(a, &[32, 32, 32], t(0.0)).unwrap(),
+            cache
+                .rehydrate_session(a, &private_manifest(&[32, 32, 32]), t(0.0))
+                .unwrap(),
             64
         );
         assert_eq!(cache.cold_used(), 64);
@@ -2146,7 +3174,7 @@ mod tests {
         assert_eq!(cache.cold_used(), 0);
         // A second rehydration of a live session is rejected unchanged.
         assert!(matches!(
-            cache.rehydrate_session(a, &[32], t(2.0)),
+            cache.rehydrate_session(a, &private_manifest(&[32]), t(2.0)),
             Err(CacheError::SessionExists(s)) if s == a
         ));
     }
@@ -2168,5 +3196,222 @@ mod tests {
         assert_eq!(dst.import_session(export, t(4.0)).unwrap(), 32);
         assert_eq!(dst.cpu_used(), 32);
         assert_eq!(dst.plan_restore(a).swap_in_tokens, 32);
+    }
+
+    // ---- Cross-conversation shared chunks ----
+
+    #[test]
+    fn attach_shares_one_physical_copy_across_sharers() {
+        let mut cache = lru_cache(4096, 4096);
+        let preamble = synthetic_preamble(1, 96); // 3 chunks of 32
+        let chain = cache.register_shared(&preamble, t(0.0));
+        assert_eq!(chain.len(), 3);
+        assert_eq!(cache.lookup_shared(&preamble), chain);
+        for i in 0..4u64 {
+            let conv = SessionId(i + 1);
+            assert_eq!(cache.attach_shared(conv, &chain, t(0.1)).unwrap(), 96);
+            cache.commit_restore(conv, t(0.2)).unwrap();
+            cache.append_tokens(conv, 32, t(0.3)).unwrap();
+            cache.unpin(conv);
+        }
+        // First restore computes the chain once; later ones hit it.
+        assert_eq!(cache.stats().shared_hit_tokens, 3 * 96);
+        for id in &chain {
+            assert_eq!(cache.shared_refs(*id), 4);
+        }
+        // One chain + four private turns, not four chains.
+        assert_eq!(cache.physical_resident_tokens(), 96 + 4 * 32);
+        assert_eq!(cache.logical_resident_tokens(), 4 * 96 + 4 * 32);
+        // Positions: private context starts after the shared chain.
+        assert_eq!(cache.conversation_tokens(SessionId(1)), 128);
+    }
+
+    #[test]
+    fn attach_validates_chain_and_session() {
+        let mut cache = lru_cache(1024, 1024);
+        let chain = cache.register_shared(&synthetic_preamble(2, 64), t(0.0));
+        cache.attach_shared(SessionId(1), &chain, t(0.1)).unwrap();
+        assert!(matches!(
+            cache.attach_shared(SessionId(1), &chain, t(0.2)),
+            Err(CacheError::SessionExists(s)) if s == SessionId(1)
+        ));
+        assert!(matches!(
+            cache.attach_shared(SessionId(2), &[ChunkId(42)], t(0.3)),
+            Err(CacheError::UnknownChunk(id)) if id == ChunkId(42)
+        ));
+        // Out-of-order ids break context continuity.
+        let reversed: Vec<ChunkId> = chain.iter().rev().copied().collect();
+        assert!(matches!(
+            cache.attach_shared(SessionId(2), &reversed, t(0.4)),
+            Err(CacheError::BrokenSharedChain(_))
+        ));
+        assert!(!cache.contains(SessionId(2)), "failed attach mutates nothing");
+    }
+
+    #[test]
+    fn shared_chunk_survives_eviction_while_referenced() {
+        // GPU fits the shared chunk plus one private chunk; CPU has room.
+        let mut cache = lru_cache(64, 256);
+        let chain = cache.register_shared(&synthetic_preamble(3, 32), t(0.0));
+        let (a, b) = (SessionId(1), SessionId(2));
+        cache.attach_shared(a, &chain, t(0.1)).unwrap();
+        cache.commit_restore(a, t(0.2)).unwrap();
+        cache.append_tokens(a, 32, t(0.3)).unwrap();
+        cache.unpin(a);
+        // Forcing full free space must evict, but the shared chunk moves
+        // to CPU (its sharer still references it) instead of dropping.
+        cache.swap_out_until(64, t(1.0));
+        assert_eq!(cache.stats().dropped_tokens, 0);
+        let plan = cache.plan_restore(a);
+        assert_eq!(plan.recompute_tokens, 0);
+        // A second sharer attaching later still finds the chunk.
+        cache.attach_shared(b, &chain, t(2.0)).unwrap();
+        assert_eq!(cache.shared_refs(chain[0]), 2);
+        assert!(cache.plan_restore(b).shared_hit_tokens > 0);
+    }
+
+    #[test]
+    fn last_release_makes_shared_chunk_droppable() {
+        let mut cache = lru_cache(64, 0); // no CPU tier: eviction = drop
+        let chain = cache.register_shared(&synthetic_preamble(4, 32), t(0.0));
+        let a = SessionId(1);
+        cache.attach_shared(a, &chain, t(0.1)).unwrap();
+        cache.commit_restore(a, t(0.2)).unwrap();
+        cache.unpin(a);
+        // Referenced with nowhere to go: eviction keeps it resident.
+        cache.swap_out_until(64, t(1.0));
+        assert_eq!(cache.gpu_slots_used(), 32);
+        // Last sharer leaves; now the same pressure drops it.
+        cache.remove_conversation(a);
+        assert_eq!(cache.shared_refs(chain[0]), 0);
+        cache.swap_out_until(64, t(2.0));
+        assert_eq!(cache.gpu_slots_used(), 0);
+        assert_eq!(cache.stats().dropped_tokens, 32);
+        // Identity survives the drop: a new attach recomputes, not errors.
+        let b = SessionId(2);
+        cache.attach_shared(b, &chain, t(3.0)).unwrap();
+        assert_eq!(cache.plan_restore(b).recompute_tokens, 32);
+    }
+
+    #[test]
+    fn global_chunks_are_never_evicted() {
+        let mut cache = lru_cache(96, 0);
+        let chain = cache.register_shared(&synthetic_preamble(5, 32), t(0.0));
+        let handles = cache.materialize_global(&chain, t(0.0)).unwrap();
+        assert_eq!(cache.gpu_slots_used(), 32);
+        cache.swap_out_until(96, t(1.0));
+        assert_eq!(cache.gpu_slots_used(), 32, "global chunk stays resident");
+        for h in handles {
+            cache.release(h).unwrap();
+        }
+        assert_eq!(leaked_chunk_handles(), 0);
+    }
+
+    #[test]
+    fn handle_refcounts_are_balanced_and_typed() {
+        let mut cache = lru_cache(256, 0);
+        let chain = cache.register_shared(&synthetic_preamble(6, 32), t(0.0));
+        let id = chain[0];
+        assert!(matches!(
+            cache.acquire(ChunkId(7)),
+            Err(CacheError::UnknownChunk(_))
+        ));
+        let h1 = cache.acquire(id).unwrap();
+        let h2 = cache.acquire(id).unwrap();
+        assert_eq!(cache.shared_refs(id), 2);
+        cache.release(h1).unwrap();
+        cache.release(h2).unwrap();
+        assert_eq!(cache.shared_refs(id), 0);
+        // A forged handle releases into an empty refcount: typed error,
+        // no panic, no underflow.
+        let forged = ChunkHandle { id, armed: false };
+        assert!(matches!(
+            cache.release(forged),
+            Err(CacheError::RefCountUnderflow(e)) if e == id
+        ));
+        assert_eq!(cache.shared_refs(id), 0);
+    }
+
+    #[test]
+    fn fork_shares_parent_history_without_copying() {
+        let mut cache = lru_cache(4096, 4096);
+        let (parent, child) = (SessionId(1), SessionId(2));
+        cache.append_tokens(parent, 96, t(0.0)).unwrap();
+        cache.unpin(parent);
+        let before_physical = cache.physical_resident_tokens();
+        assert_eq!(cache.fork_session(parent, child, t(1.0)).unwrap(), 96);
+        // No bytes copied: physical stays put, logical doubles.
+        assert_eq!(cache.physical_resident_tokens(), before_physical);
+        assert_eq!(cache.logical_resident_tokens(), 2 * before_physical);
+        assert_eq!(cache.conversation_tokens(parent), 96);
+        assert_eq!(cache.conversation_tokens(child), 96);
+        // Both continue independently from the same point.
+        cache.commit_restore(parent, t(2.0)).unwrap();
+        cache.append_tokens(parent, 32, t(2.1)).unwrap();
+        cache.unpin(parent);
+        cache.commit_restore(child, t(3.0)).unwrap();
+        cache.append_tokens(child, 16, t(3.1)).unwrap();
+        cache.unpin(child);
+        assert_eq!(cache.conversation_tokens(parent), 128);
+        assert_eq!(cache.conversation_tokens(child), 112);
+        // Fork errors are typed and non-mutating.
+        assert!(matches!(
+            cache.fork_session(SessionId(9), SessionId(10), t(4.0)),
+            Err(CacheError::UnknownConversation(_))
+        ));
+        assert!(matches!(
+            cache.fork_session(parent, child, t(4.0)),
+            Err(CacheError::SessionExists(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_round_trips_shared_chain_through_rehydrate() {
+        let mut cache = deep_cache(4096, 64, 64, 256);
+        let chain = cache.register_shared(&synthetic_preamble(8, 64), t(0.0));
+        let a = SessionId(1);
+        cache.attach_shared(a, &chain, t(0.1)).unwrap();
+        cache.commit_restore(a, t(0.2)).unwrap();
+        cache.append_tokens(a, 32, t(0.3)).unwrap();
+        cache.unpin(a);
+        let manifest = cache.manifest_chunks(a);
+        assert_eq!(manifest.len(), 3);
+        assert_eq!(manifest[0].id, chain[0]);
+        assert_eq!(manifest[2].id, ChunkId::NONE);
+        cache.remove_conversation(a);
+        // Rehydration re-attaches the chain (still pooled) and installs
+        // the private tail cold.
+        let got = cache.rehydrate_session(a, &manifest, t(1.0)).unwrap();
+        assert_eq!(got, 96, "64 shared re-attached + 32 cold-admitted");
+        assert_eq!(cache.shared_refs(chain[0]), 1);
+        assert_eq!(cache.conversation_tokens(a), 96);
+        assert_eq!(cache.plan_restore(a).recompute_tokens, 0);
+    }
+
+    #[test]
+    fn export_releases_and_import_reattaches_shared_chain() {
+        let mut src = lru_cache(4096, 4096);
+        let mut dst = lru_cache(4096, 4096);
+        let preamble = synthetic_preamble(9, 64);
+        let chain = src.register_shared(&preamble, t(0.0));
+        // The destination knows the same preamble (content addressing
+        // derives identical ids).
+        assert_eq!(dst.register_shared(&preamble, t(0.0)), chain);
+        let a = SessionId(1);
+        src.attach_shared(a, &chain, t(0.1)).unwrap();
+        src.commit_restore(a, t(0.2)).unwrap();
+        src.append_tokens(a, 32, t(0.3)).unwrap();
+        src.unpin(a);
+        let export = src.export_session(a).unwrap();
+        assert_eq!(src.shared_refs(chain[0]), 0, "export releases the ref");
+        assert_eq!(export.shared.len(), 2);
+        dst.import_session(export, t(1.0)).unwrap();
+        assert_eq!(dst.shared_refs(chain[0]), 1);
+        assert_eq!(dst.conversation_tokens(a), 96);
+        // The chain was never materialized at dst, so it recomputes once
+        // — but the private tail transferred as bytes.
+        let plan = dst.plan_restore(a);
+        assert_eq!(plan.swap_in_tokens, 32);
+        assert_eq!(plan.recompute_tokens, 64);
     }
 }

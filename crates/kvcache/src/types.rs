@@ -6,6 +6,60 @@ use pensieve_model::{CostModel, ModelConfig};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
 
+/// Content-addressed identifier of a shared KV chunk.
+///
+/// The id is an FNV-1a hash chained over the chunk's *prefix* id and its
+/// token ids, so two chunks collide only when both their content and
+/// their entire preceding context match — exactly the condition under
+/// which their KV values are interchangeable (same tokens attended
+/// against the same prefix). Conversations that share a tool preamble,
+/// RAG document, or forked history therefore derive identical chains and
+/// share one physical copy per chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkId(pub u64);
+
+impl ChunkId {
+    /// Sentinel for "no shared identity": a conversation-private chunk.
+    /// Manifests persist it for chunks that were never content-addressed.
+    pub const NONE: ChunkId = ChunkId(0);
+
+    /// Root of every derivation chain — the FNV-1a offset basis, i.e. the
+    /// hash of the empty prefix.
+    pub const ROOT: ChunkId = ChunkId(0xcbf2_9ce4_8422_2325);
+
+    /// Derives the id of the chunk holding `tokens`, attended against the
+    /// context identified by `parent` (use [`ChunkId::ROOT`] at position
+    /// zero). FNV-1a over the parent id's little-endian bytes followed by
+    /// each token id's little-endian bytes.
+    #[must_use]
+    pub fn derive(parent: ChunkId, tokens: &[u32]) -> ChunkId {
+        let mut h = fnv1a_words(Self::ROOT.0, &[parent.0]);
+        for &t in tokens {
+            h = fnv1a_words(h, &[u64::from(t)]);
+        }
+        ChunkId(h)
+    }
+
+    /// Derives an id from arbitrary `u64` words instead of token ids —
+    /// used for lineage hashing where real tokens are not tracked (the
+    /// timing-model cache stores counts, not contents).
+    #[must_use]
+    pub fn derive_words(parent: ChunkId, words: &[u64]) -> ChunkId {
+        ChunkId(fnv1a_words(fnv1a_words(Self::ROOT.0, &[parent.0]), words))
+    }
+}
+
+/// FNV-1a over the little-endian bytes of `words`, continuing from `h`.
+fn fnv1a_words(mut h: u64, words: &[u64]) -> u64 {
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Where a chunk's KV-tokens currently live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tier {
@@ -148,6 +202,22 @@ mod tests {
         let ratio = cache_l.gpu_capacity_tokens as f64 / cache.gpu_capacity_tokens as f64;
         assert!((ratio - 4.0).abs() < 1e-3, "ratio {ratio}");
         assert!(cache.cpu_capacity_tokens > cache.gpu_capacity_tokens);
+    }
+
+    #[test]
+    fn chunk_ids_are_prefix_sensitive() {
+        let a = ChunkId::derive(ChunkId::ROOT, &[1, 2, 3]);
+        let b = ChunkId::derive(ChunkId::ROOT, &[1, 2, 3]);
+        assert_eq!(a, b, "same content + prefix must collide");
+        let c = ChunkId::derive(ChunkId::ROOT, &[1, 2, 4]);
+        assert_ne!(a, c, "different content must not collide");
+        let d = ChunkId::derive(a, &[1, 2, 3]);
+        assert_ne!(a, d, "same content under a different prefix must not collide");
+        assert_ne!(a, ChunkId::NONE);
+        assert_ne!(
+            ChunkId::derive_words(ChunkId::ROOT, &[7, 0, 32]),
+            ChunkId::derive_words(ChunkId::ROOT, &[7, 1, 32]),
+        );
     }
 
     #[test]

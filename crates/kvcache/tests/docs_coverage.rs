@@ -57,8 +57,12 @@ fn every_tier_is_documented() {
 fn manifest_identifiers_are_documented() {
     let doc = doc_text();
     assert!(
-        doc.contains("PNSVMAN1"),
+        doc.contains("PNSVMAN2"),
         "docs/STORAGE.md must state the manifest magic"
+    );
+    assert!(
+        doc.contains("PNSVMAN1"),
+        "docs/STORAGE.md must note the legacy v1 magic decodes as Torn"
     );
     assert!(
         doc.to_lowercase().contains("fnv"),

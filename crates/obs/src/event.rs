@@ -551,6 +551,36 @@ pub enum TraceEvent {
         /// The rehydrating replica's index.
         replica: usize,
     },
+    /// A conversation attached to a content-addressed shared chunk chain
+    /// (tool preamble, RAG document, or forked history): its leading
+    /// context is now served by refcounted chunks shared with every other
+    /// sharer instead of a private copy.
+    SharedAttached {
+        /// Attach time (first admission of the conversation).
+        at: SimTime,
+        /// Conversation id.
+        conv: u64,
+        /// Context tokens covered by the shared chain.
+        tokens: usize,
+        /// Chunks in the attached chain.
+        chunks: usize,
+    },
+    /// The eviction pass moved a content-addressed shared chunk down the
+    /// hierarchy (`dropped = false`) or discarded it because its last
+    /// reference had been released (`dropped = true`). Shared chunks are
+    /// identified by their content hash, not an owning conversation.
+    SharedChunkEvicted {
+        /// Eviction time.
+        at: SimTime,
+        /// The chunk's content-addressed id.
+        chunk: u64,
+        /// Tokens in the chunk.
+        tokens: usize,
+        /// Conversations still referencing the chunk at eviction time.
+        refs: usize,
+        /// True if dropped instead of demoted one tier down.
+        dropped: bool,
+    },
 }
 
 /// Every variant name, in declaration order. The docs-coverage test
@@ -583,6 +613,8 @@ pub const VARIANTS: &[&str] = &[
     "LinkPartitioned",
     "ManifestPersisted",
     "SessionRehydrated",
+    "SharedAttached",
+    "SharedChunkEvicted",
 ];
 
 impl TraceEvent {
@@ -617,6 +649,8 @@ impl TraceEvent {
             TraceEvent::LinkPartitioned { .. } => "LinkPartitioned",
             TraceEvent::ManifestPersisted { .. } => "ManifestPersisted",
             TraceEvent::SessionRehydrated { .. } => "SessionRehydrated",
+            TraceEvent::SharedAttached { .. } => "SharedAttached",
+            TraceEvent::SharedChunkEvicted { .. } => "SharedChunkEvicted",
         }
     }
 
@@ -650,7 +684,9 @@ impl TraceEvent {
             | TraceEvent::StandbyPromoted { at, .. }
             | TraceEvent::LinkPartitioned { at, .. }
             | TraceEvent::ManifestPersisted { at, .. }
-            | TraceEvent::SessionRehydrated { at, .. } => *at,
+            | TraceEvent::SessionRehydrated { at, .. }
+            | TraceEvent::SharedAttached { at, .. }
+            | TraceEvent::SharedChunkEvicted { at, .. } => *at,
         }
     }
 }
@@ -1101,6 +1137,36 @@ impl Serialize for TraceEvent {
                     ("replica", num(*replica as f64)),
                 ],
             ),
+            TraceEvent::SharedAttached {
+                at,
+                conv,
+                tokens,
+                chunks,
+            } => obj(
+                "SharedAttached",
+                &[
+                    ("at", time(*at)),
+                    ("conv", num(*conv as f64)),
+                    ("tokens", num(*tokens as f64)),
+                    ("chunks", num(*chunks as f64)),
+                ],
+            ),
+            TraceEvent::SharedChunkEvicted {
+                at,
+                chunk,
+                tokens,
+                refs,
+                dropped,
+            } => obj(
+                "SharedChunkEvicted",
+                &[
+                    ("at", time(*at)),
+                    ("chunk", num(*chunk as f64)),
+                    ("tokens", num(*tokens as f64)),
+                    ("refs", num(*refs as f64)),
+                    ("dropped", Value::Bool(*dropped)),
+                ],
+            ),
         }
     }
 }
@@ -1292,6 +1358,19 @@ impl Deserialize for TraceEvent {
                 conv: f_u64(v, "conv")?,
                 tokens: f_usize(v, "tokens")?,
                 replica: f_usize(v, "replica")?,
+            }),
+            "SharedAttached" => Ok(TraceEvent::SharedAttached {
+                at: f_time(v, "at")?,
+                conv: f_u64(v, "conv")?,
+                tokens: f_usize(v, "tokens")?,
+                chunks: f_usize(v, "chunks")?,
+            }),
+            "SharedChunkEvicted" => Ok(TraceEvent::SharedChunkEvicted {
+                at: f_time(v, "at")?,
+                chunk: f_u64(v, "chunk")?,
+                tokens: f_usize(v, "tokens")?,
+                refs: f_usize(v, "refs")?,
+                dropped: f_bool(v, "dropped")?,
             }),
             other => Err(DeError::custom(format!("unknown event variant {other:?}"))),
         }
@@ -1489,6 +1568,19 @@ pub fn sample_events() -> Vec<TraceEvent> {
             conv: 4,
             tokens: 192,
             replica: 0,
+        },
+        TraceEvent::SharedAttached {
+            at: SimTime::from_secs(1.7),
+            conv: 5,
+            tokens: 1536,
+            chunks: 48,
+        },
+        TraceEvent::SharedChunkEvicted {
+            at: SimTime::from_secs(1.8),
+            chunk: 0x9e37_79b9,
+            tokens: 32,
+            refs: 3,
+            dropped: false,
         },
     ]
 }

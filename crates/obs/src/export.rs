@@ -347,7 +347,9 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
             | TraceEvent::StandbyPromoted { .. }
             | TraceEvent::LinkPartitioned { .. }
             | TraceEvent::ManifestPersisted { .. }
-            | TraceEvent::SessionRehydrated { .. } => {}
+            | TraceEvent::SessionRehydrated { .. }
+            | TraceEvent::SharedAttached { .. }
+            | TraceEvent::SharedChunkEvicted { .. } => {}
         }
     }
     // Stable sort: equal timestamps keep recording order.

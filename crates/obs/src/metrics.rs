@@ -106,6 +106,15 @@ pub mod names {
     pub const SSD_TOKENS_USED: &str = "pensieve_ssd_tokens_used";
     /// Gauge: cold-store (tier-3) cache tokens in use.
     pub const COLD_TOKENS_USED: &str = "pensieve_cold_tokens_used";
+    /// Counter: restore-plan tokens served from content-addressed shared
+    /// chunks (any tier) instead of a conversation's private chunks.
+    pub const SHARED_HIT_TOKENS_TOTAL: &str = "pensieve_shared_hit_tokens_total";
+    /// Gauge: resident KV tokens counted once per *sharer* — what the
+    /// cache would hold without cross-conversation deduplication.
+    pub const LOGICAL_RESIDENT_TOKENS: &str = "pensieve_logical_resident_kv_tokens";
+    /// Gauge: resident KV tokens counted once per *physical copy*; the
+    /// logical/physical ratio is the dedup factor.
+    pub const PHYSICAL_RESIDENT_TOKENS: &str = "pensieve_physical_resident_kv_tokens";
 
     /// Every canonical metric name.
     pub const ALL: &[&str] = &[
@@ -152,6 +161,9 @@ pub mod names {
         SESSION_REHYDRATIONS_TOTAL,
         SSD_TOKENS_USED,
         COLD_TOKENS_USED,
+        SHARED_HIT_TOKENS_TOTAL,
+        LOGICAL_RESIDENT_TOKENS,
+        PHYSICAL_RESIDENT_TOKENS,
     ];
 }
 

@@ -34,6 +34,22 @@ impl Conversation {
             .map(|t| t.input_tokens + t.output_tokens)
             .sum()
     }
+
+    /// Forks the conversation at turn boundary `turn`: the returned
+    /// conversation shares turns `0..turn` verbatim (the history a
+    /// KV-sharing engine can serve from one physical copy via
+    /// `fork_session`) and then diverges with whatever turns the caller
+    /// appends. `None` when `turn` is 0 or past the end — a fork must
+    /// share at least one turn and must branch *within* the history.
+    #[must_use]
+    pub fn fork_at(&self, turn: usize) -> Option<Conversation> {
+        if turn == 0 || turn > self.turns.len() {
+            return None;
+        }
+        Some(Conversation {
+            turns: self.turns.get(..turn)?.to_vec(),
+        })
+    }
 }
 
 /// Statistical profile of a dataset (paper Table 2).
@@ -52,6 +68,13 @@ pub struct DatasetSpec {
     /// Log-normal shape parameter for length distributions (ShareGPT's
     /// real lengths are heavy-tailed; UltraChat's synthetic ones less so).
     pub length_sigma: f64,
+    /// Tokens of a preamble every conversation shares verbatim (tool
+    /// instructions, RAG context). Counts toward `max_context` but adds
+    /// no turn: the driver submits it as pre-existing history, so a
+    /// content-addressed cache stores it once for the whole fleet.
+    /// Defaults to 0 (absent in older serialized specs).
+    #[serde(default)]
+    pub preamble_tokens: usize,
 }
 
 impl DatasetSpec {
@@ -66,6 +89,7 @@ impl DatasetSpec {
             mean_output: 204.58,
             max_context: 16_384,
             length_sigma: 1.0,
+            preamble_tokens: 0,
         }
     }
 
@@ -79,6 +103,26 @@ impl DatasetSpec {
             mean_output: 257.81,
             max_context: 16_384,
             length_sigma: 0.6,
+            preamble_tokens: 0,
+        }
+    }
+
+    /// Agentic fleet: K agents spun up from the *same* tool preamble,
+    /// exchanging many short tool-call turns. The preamble (clamped to
+    /// the 1–2k-token range typical of tool manifests) dominates each
+    /// agent's context, so a per-conversation cache stores it K times
+    /// while a content-addressed cache stores it once — this is the
+    /// workload `bench_sharing` measures dedup on.
+    #[must_use]
+    pub fn agentic(preamble_tokens: usize) -> Self {
+        DatasetSpec {
+            name: "Agentic".to_owned(),
+            mean_turns: 8.0,
+            mean_input: 48.0,
+            mean_output: 96.0,
+            max_context: 16_384,
+            length_sigma: 0.4,
+            preamble_tokens: preamble_tokens.clamp(1024, 2048),
         }
     }
 
@@ -109,7 +153,8 @@ impl DatasetSpec {
         // = mean  =>  p = 1 / mean.
         let p = 1.0 / self.mean_turns;
         let mut turns = Vec::new();
-        let mut total = 0usize;
+        // The shared preamble occupies context from turn one.
+        let mut total = self.preamble_tokens;
         loop {
             let input = self.sample_length(rng, self.mean_input);
             let output = self.sample_length(rng, self.mean_output);
@@ -117,9 +162,11 @@ impl DatasetSpec {
             if total + input + output > self.max_context {
                 if turns.is_empty() {
                     // Clamp a pathological first turn so every
-                    // conversation has at least one servable request.
-                    let input = input.min(self.max_context / 4);
-                    let output = (self.max_context - input).min(output).max(1);
+                    // conversation has at least one servable request
+                    // (within the context left over after the preamble).
+                    let budget = self.max_context.saturating_sub(self.preamble_tokens);
+                    let input = input.min(budget / 4).max(1);
+                    let output = budget.saturating_sub(input).min(output).max(1);
                     turns.push(Turn {
                         input_tokens: input,
                         output_tokens: output,
@@ -263,6 +310,54 @@ mod tests {
         let c = DatasetSpec::sharegpt().generate(50, 8);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    /// The agentic preset budgets its shared preamble inside the context
+    /// cap and stays deterministic per seed.
+    #[test]
+    fn agentic_preset_accounts_for_preamble() {
+        let spec = DatasetSpec::agentic(1536);
+        assert_eq!(spec.preamble_tokens, 1536);
+        assert_eq!(DatasetSpec::agentic(10).preamble_tokens, 1024, "clamped up");
+        assert_eq!(
+            DatasetSpec::agentic(50_000).preamble_tokens,
+            2048,
+            "clamped down"
+        );
+        let convs = spec.generate(500, 5);
+        for c in &convs {
+            assert!(
+                spec.preamble_tokens + c.total_tokens() <= spec.max_context,
+                "preamble plus turns exceed the context cap"
+            );
+            assert!(!c.turns.is_empty());
+        }
+        assert_eq!(convs, spec.generate(500, 5));
+    }
+
+    /// Older serialized specs (no `preamble_tokens` field) still load.
+    #[test]
+    fn preamble_field_defaults_when_absent() {
+        let json = r#"{"name":"Old","mean_turns":2.0,"mean_input":10.0,
+            "mean_output":20.0,"max_context":4096,"length_sigma":0.5}"#;
+        let spec: DatasetSpec = serde_json::from_str(json).expect("legacy spec parses");
+        assert_eq!(spec.preamble_tokens, 0);
+    }
+
+    #[test]
+    fn fork_shares_the_prefix_and_rejects_empty_forks() {
+        let conv = DatasetSpec::sharegpt()
+            .generate(1, 6)
+            .pop()
+            .expect("one conversation");
+        assert!(conv.fork_at(0).is_none(), "a fork must share history");
+        assert!(conv.fork_at(conv.turns.len() + 1).is_none());
+        if conv.turns.len() >= 2 {
+            let fork = conv.fork_at(1).expect("valid boundary");
+            assert_eq!(fork.turns, conv.turns[..1].to_vec());
+        }
+        let full = conv.fork_at(conv.turns.len()).expect("fork at end");
+        assert_eq!(full, conv);
     }
 
     /// ShareGPT has more turns than UltraChat — the property §6.2 uses to

@@ -10,15 +10,26 @@
 //! * tuple structs with a single field (newtypes),
 //! * enums whose variants are all unit variants.
 //!
-//! Serde field/variant attributes (`#[serde(...)]`) are not supported and
-//! produce a compile error, as does any other shape.
+//! Of serde's field/variant attributes, exactly one is supported:
+//! `#[serde(default)]` on a named-struct field, which makes a missing
+//! key deserialize via [`Default`] instead of erroring (used for
+//! forward-compatible spec fields). Any other `#[serde(...)]` content
+//! produces a compile error, as does any other shape.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field of a derived struct.
+struct Field {
+    /// Field identifier.
+    name: String,
+    /// `#[serde(default)]`: tolerate a missing key on deserialize.
+    default: bool,
+}
+
 /// Parsed shape of a derive input item.
 enum Item {
-    /// `struct S { a: T, b: U }` — field names in declaration order.
-    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S { a: T, b: U }` — fields in declaration order.
+    NamedStruct { name: String, fields: Vec<Field> },
     /// `struct S(T);`
     Newtype { name: String },
     /// `enum E { A, B }` — variant names in declaration order.
@@ -26,13 +37,13 @@ enum Item {
 }
 
 /// Derives the shim `serde::Serialize` trait.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, true)
 }
 
 /// Derives the shim `serde::Deserialize` trait.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, false)
 }
@@ -51,6 +62,7 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
             let inserts: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
                     )
@@ -69,10 +81,20 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
             let reads: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(obj.get({f:?}).ok_or_else(|| \
-                         ::serde::DeError::custom(concat!(\"missing field `\", {f:?}, \"` in \", {name:?})))?)?,\n"
-                    )
+                    let (f, default) = (&f.name, f.default);
+                    if default {
+                        format!(
+                            "{f}: match obj.get({f:?}) {{\n\
+                             ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                             ::std::option::Option::None => ::std::default::Default::default(),\n\
+                             }},\n"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(obj.get({f:?}).ok_or_else(|| \
+                             ::serde::DeError::custom(concat!(\"missing field `\", {f:?}, \"` in \", {name:?})))?)?,\n"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -193,16 +215,45 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
 }
 
-/// Extracts field names from the body of a braced struct.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// True when the attribute body (the tokens inside `#[...]`) is exactly
+/// the supported `serde(default)`; `Err` for any other `serde(...)`.
+fn parse_serde_attr(group: &proc_macro::Group) -> Result<bool, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(false), // not a serde attribute (doc, lint, ...)
+    }
+    if let Some(TokenTree::Group(args)) = tokens.get(1) {
+        let body = args.stream().to_string();
+        if body.trim() == "default" {
+            return Ok(true);
+        }
+        return Err(format!(
+            "serde shim derive supports only #[serde(default)], found #[serde({})]",
+            body.trim()
+        ));
+    }
+    Err("malformed #[serde(...)] attribute".to_string())
+}
+
+/// Extracts fields (name + `#[serde(default)]` flag) from the body of a
+/// braced struct.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Skip field attributes and visibility.
+        // Consume field attributes (recording `#[serde(default)]`) and
+        // visibility.
+        let mut default = false;
         loop {
             match tokens.get(i) {
-                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        default |= parse_serde_attr(g)?;
+                    }
+                    i += 2;
+                }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     i += 1;
                     if let Some(TokenTree::Group(g)) = tokens.get(i) {
@@ -240,7 +291,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }

@@ -142,6 +142,37 @@ fn engines_are_only_built_through_the_builder() {
 }
 
 #[test]
+fn caches_are_only_built_through_the_builder() {
+    // After the content-addressed sharing redesign, `TieredKvCache::new`
+    // is crate-private: every caller goes through
+    // `TieredKvCache::builder()` so the eviction policy, deep tiers, and
+    // recorder are wired in one validated place.
+    let offenders = find_offenders(
+        "TieredKvCache::new(",
+        &["crates/kvcache/src/tiered.rs", "tests/api_construction.rs"],
+        false,
+    );
+    assert!(
+        offenders.is_empty(),
+        "direct TieredKvCache::new calls — use TieredKvCache::builder():\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
+#[test]
+fn legacy_session_keyed_fetch_store_stays_deleted() {
+    // `RawTokenStore` (session-keyed `fetch` of a contiguous private
+    // slice) was replaced by the content-addressed `TokenChunkStore` +
+    // `SessionView` read surface; the old name must not creep back.
+    let offenders = find_offenders("RawTokenStore", &["tests/api_construction.rs"], false);
+    assert!(
+        offenders.is_empty(),
+        "RawTokenStore references found — use TokenChunkStore + SessionView:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
+#[test]
 fn engine_level_setter_pairs_stay_deleted() {
     // The ad-hoc `with_*`/`set_*` pairs on the engine were collapsed into
     // `EngineBuilder`; make sure they do not creep back in at call sites.

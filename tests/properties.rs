@@ -10,6 +10,7 @@ use pensieve_kernels::attention::single::paged_single_token_batch;
 use pensieve_kernels::ops::{matmul, matmul_par, matmul_ref};
 use pensieve_kernels::paged::gather_contiguous;
 use pensieve_kernels::{AttnConfig, AttnSeq, BlockTable, KvLayout, Matrix, PagedKvCache};
+use pensieve_core::{FunctionalConfig, FunctionalEngine};
 use pensieve_kvcache::{CacheConfig, LruPolicy, SessionId, TieredKvCache};
 use pensieve_model::{CostModel, HardwareSpec, ModelConfig, ProfiledCostTable, SeqShape, SimTime};
 use proptest::prelude::*;
@@ -191,10 +192,9 @@ proptest! {
     fn cache_conserves_tokens(
         ops in prop::collection::vec((0u8..5, 0u64..4, 1usize..100), 1..60),
     ) {
-        let mut cache = TieredKvCache::new(
-            CacheConfig::for_test(32, 2048, 1024),
-            Box::new(LruPolicy),
-        );
+        let mut cache = TieredKvCache::builder(CacheConfig::for_test(32, 2048, 1024))
+            .policy(Box::new(LruPolicy))
+            .build();
         let mut expected: std::collections::HashMap<u64, usize> = Default::default();
         let mut t = 0.0f64;
         for (op, conv_raw, n) in ops {
@@ -236,10 +236,9 @@ proptest! {
     fn eviction_never_evicts_pinned_chunks(
         ops in prop::collection::vec((0u8..7, 0u64..4, 1usize..64), 1..60),
     ) {
-        let mut cache = TieredKvCache::new(
-            CacheConfig::for_test(32, 1024, 4096),
-            Box::new(LruPolicy),
-        );
+        let mut cache = TieredKvCache::builder(CacheConfig::for_test(32, 1024, 4096))
+            .policy(Box::new(LruPolicy))
+            .build();
         let mut pinned: std::collections::HashSet<u64> = Default::default();
         let mut t = 0.0f64;
         for (op, conv_raw, n) in ops {
@@ -299,10 +298,9 @@ proptest! {
     fn restore_plans_are_complete(
         appends in prop::collection::vec(1usize..200, 1..6),
     ) {
-        let mut cache = TieredKvCache::new(
-            CacheConfig::for_test(32, 4096, 512),
-            Box::new(LruPolicy),
-        );
+        let mut cache = TieredKvCache::builder(CacheConfig::for_test(32, 4096, 512))
+            .policy(Box::new(LruPolicy))
+            .build();
         let conv = SessionId(1);
         let mut t = 0.0;
         for n in &appends {
@@ -338,6 +336,46 @@ proptest! {
             prev = c;
             l += chunk.max(97);
         }
+    }
+
+    /// Forking one conversation into N branches over the shared
+    /// content-addressed store never changes a single output token:
+    /// every branch decodes bit-identically to stateless recomputation
+    /// of its full (logically private) history, while the store holds
+    /// the shared prefix physically once.
+    #[test]
+    fn forked_sessions_decode_bit_identical_to_unshared(
+        seed in 0u64..100,
+        forks in 2usize..5,
+        parent_turns in 1usize..3,
+        prompt_len in 3usize..8,
+    ) {
+        let cfg = ModelConfig::tiny_llama();
+        let mut e = FunctionalEngine::new(&cfg, seed, FunctionalConfig::default());
+        let parent = SessionId(1);
+        let prompt = |salt: u32| -> Vec<u32> {
+            (0..prompt_len as u32)
+                .map(|i| (seed as u32 ^ (salt * 131 + i * 17)) % cfg.vocab_size as u32)
+                .collect()
+        };
+        for turn in 0..parent_turns {
+            e.serve_turn(parent, &prompt(turn as u32), 2);
+        }
+        let base = e.history(parent);
+        for k in 0..forks {
+            let child = SessionId(100 + k as u64);
+            e.fork_conversation(parent, child).expect("fresh child fork");
+            let p = prompt(50 + k as u32);
+            let got = e.serve_turn(child, &p, 3);
+            let mut full = base.clone();
+            full.extend_from_slice(&p);
+            prop_assert_eq!(&got, &e.reference_decode(&full, 3),
+                "fork {} diverged from stateless recomputation", k);
+        }
+        // The branches really share the parent prefix physically.
+        let (physical, logical) = e.store_dedup();
+        prop_assert!(physical < logical,
+            "expected dedup: physical {} >= logical {}", physical, logical);
     }
 
     /// Batch cost is superadditive-ish: a unified batch never costs more
